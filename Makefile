@@ -1,0 +1,36 @@
+# mrbio — MapReduce-MPI BLAST & SOM reproduction.
+
+GO ?= go
+BIN ?= bin
+
+.PHONY: all build test race bench figures examples clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+	$(GO) build -o $(BIN)/ ./cmd/...
+
+test:
+	$(GO) vet ./...
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every figure/table of the paper's evaluation.
+figures: build
+	$(BIN)/benchfig -fig all -out results -csv results/csv
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/metagenomics
+	$(GO) run ./examples/proteinsearch
+	$(GO) run ./examples/somcolors -out .
+	$(GO) run ./examples/tetrasom
+
+clean:
+	rm -rf $(BIN) results som_colors.ppm som_umatrix.pgm

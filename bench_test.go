@@ -1,0 +1,369 @@
+package repro
+
+// One benchmark per evaluation artifact of the paper, plus kernel
+// benchmarks for the engines underneath. The Fig3–Fig6 benchmarks time the
+// regeneration of each figure (cluster simulation over the calibrated cost
+// model); the Fig7/Fig8 and end-to-end benchmarks exercise the real
+// engines. Run with:
+//
+//	go test -bench=. -benchmem
+import (
+	"encoding/binary"
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/bio"
+	"repro/internal/blast"
+	"repro/internal/blastdb"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/mpi"
+	"repro/internal/mrmpi"
+	"repro/internal/som"
+)
+
+// BenchmarkFig3 regenerates the BLAST scaling figure (4 series × 6 core
+// counts of simulated Ranger runs).
+func BenchmarkFig3(b *testing.B) {
+	m := bench.DefaultNucleotideModel()
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Fig3(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig4 regenerates the core-minutes-per-query figure.
+func BenchmarkFig4(b *testing.B) {
+	m := bench.DefaultNucleotideModel()
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Fig4(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig5 regenerates the 1024-core protein utilization trace.
+func BenchmarkFig5(b *testing.B) {
+	m := bench.DefaultProteinModel()
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Fig5(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkProteinScaling regenerates the §IV.A 512-vs-1024-core numbers.
+func BenchmarkProteinScaling(b *testing.B) {
+	m := bench.DefaultProteinModel()
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.ProteinScaling(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig6 regenerates the SOM scaling figure.
+func BenchmarkFig6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Fig6(0.004, 20); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig7 trains the RGB correctness SOM (scaled for bench time; the
+// full 50×50 run is cmd/benchfig -fig 7).
+func BenchmarkFig7(b *testing.B) {
+	dir := b.TempDir()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Fig7(dir, 20, 20, 100, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig8 trains the high-dimensional U-matrix SOM (scaled; full
+// size is cmd/benchfig -fig 8).
+func BenchmarkFig8(b *testing.B) {
+	dir := b.TempDir()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Fig8(dir, 15, 15, 500, 100, 5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBlastnSearch times the real nucleotide engine on one planted
+// workload: a 20-read block against a 100 kb subject.
+func BenchmarkBlastnSearch(b *testing.B) {
+	g := bio.NewGenerator(bio.SynthParams{Seed: 1})
+	genome := g.RandomDNA("genome", 100000)
+	strain := g.Mutate(genome, "strain", 0.08, 0.002, bio.DNA)
+	reads, err := bio.Shred(strain, bio.DefaultShredParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	reads = reads[:20]
+	eng, err := blast.NewEngine(reads, blast.DefaultNucleotideParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng.SetDatabaseDims(int64(genome.Len()), 1)
+	subj := blast.EncodeSubject(genome, bio.DNA)
+	b.SetBytes(int64(genome.Len()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.SearchSubject(subj); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBlastpSearch times the real protein engine.
+func BenchmarkBlastpSearch(b *testing.B) {
+	g := bio.NewGenerator(bio.SynthParams{Seed: 2})
+	target := g.RandomProtein("target", 5000)
+	queries := []*bio.Sequence{
+		g.Mutate(target, "q1", 0.3, 0, bio.Protein),
+		g.RandomProtein("q2", 300),
+		g.RandomProtein("q3", 300),
+	}
+	queries[0].Letters = queries[0].Letters[:300]
+	eng, err := blast.NewEngine(queries, blast.DefaultProteinParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng.SetDatabaseDims(int64(target.Len()), 1)
+	subj := blast.EncodeSubject(target, bio.Protein)
+	b.SetBytes(int64(target.Len()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.SearchSubject(subj); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSOMBatchAccumulate times the parallel SOM's map kernel at the
+// paper's configuration (50×50 map, 256-d, blocks of 40).
+func BenchmarkSOMBatchAccumulate(b *testing.B) {
+	grid, _ := som.NewGrid(50, 50)
+	cb, _ := som.NewCodebook(grid, 256)
+	cb.InitRandom(1)
+	data := bio.RandomVectors(1, 40, 256)
+	num := make([]float64, grid.Cells()*256)
+	den := make([]float64, grid.Cells())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		som.BatchAccumulate(cb, data, 40, 12, num, den)
+	}
+}
+
+// BenchmarkMRMPIWordCount times a full map/collate/reduce cycle of the
+// MapReduce-MPI port on 4 ranks.
+func BenchmarkMRMPIWordCount(b *testing.B) {
+	words := make([][]byte, 64)
+	for i := range words {
+		words[i] = []byte(fmt.Sprintf("word%02d", i%16))
+	}
+	for i := 0; i < b.N; i++ {
+		err := mpi.Run(4, func(c *mpi.Comm) error {
+			mr := mrmpi.New(c)
+			defer mr.Close()
+			if _, err := mr.Map(32, func(itask int, kv *mrmpi.KeyValue) error {
+				for _, w := range words {
+					kv.Add(w, []byte{1})
+				}
+				return nil
+			}); err != nil {
+				return err
+			}
+			if _, err := mr.Collate(nil); err != nil {
+				return err
+			}
+			_, err := mr.Reduce(func(key []byte, values [][]byte, out *mrmpi.KeyValue) error {
+				return nil
+			})
+			return err
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkClusterSim times one 1024-core simulated map phase of the
+// paper's largest BLAST run (8720 work units).
+func BenchmarkClusterSim(b *testing.B) {
+	m := bench.DefaultNucleotideModel()
+	w := bench.BlastWorkload{
+		NQueries: 80000, QueryLen: 400, BlockSize: 1000,
+		Partitions: 109, PartitionBytes: 1 << 30,
+		PartitionResidues: 364_000_000_000 / 109, Model: m,
+	}
+	tasks := w.Tasks()
+	cfg, err := cluster.RangerConfig(1024)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cluster.Run(cfg, tasks, cluster.ScheduleMasterWorker); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkParallelBlastEndToEnd times a small real parallel search on 4
+// in-process ranks (generation and formatting excluded).
+func BenchmarkParallelBlastEndToEnd(b *testing.B) {
+	dir := b.TempDir()
+	g := bio.NewGenerator(bio.SynthParams{Seed: 3})
+	set := g.GenerateGenomeSet(bio.GenomeSetParams{
+		NTaxa: 3, MinLen: 2000, MaxLen: 4000,
+		StrainsPerGenome: 1, StrainIdentity: 0.92,
+	})
+	var strains []*bio.Sequence
+	for _, ss := range set.Strains {
+		strains = append(strains, ss...)
+	}
+	reads, err := bio.ShredAll(strains, bio.DefaultShredParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	qpath := filepath.Join(dir, "q.fa")
+	if err := bio.WriteFastaFile(qpath, reads); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := blastdb.Format(set.Genomes, bio.DNA, dir, "db",
+		blastdb.FormatOptions{TargetResidues: 4000}); err != nil {
+		b.Fatal(err)
+	}
+	job := core.BlastJob{
+		QueryPath:    qpath,
+		ManifestPath: filepath.Join(dir, "db.json"),
+		BlockSize:    16,
+		EValueCutoff: 1e-5,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.RunBlast(4, job); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkParallelSOMEndToEnd times a small real parallel SOM training on
+// 4 in-process ranks.
+func BenchmarkParallelSOMEndToEnd(b *testing.B) {
+	dir := b.TempDir()
+	data := bio.RandomVectors(4, 1000, 16)
+	path := filepath.Join(dir, "v.bin")
+	if err := som.WriteVectorFile(path, data, 1000, 16); err != nil {
+		b.Fatal(err)
+	}
+	job := core.SOMJob{DataPath: path, Width: 10, Height: 10, Epochs: 5, BlockSize: 40}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.RunSOM(4, job); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSchedulerAblation times the scheduler comparison at 256 cores.
+func BenchmarkSchedulerAblation(b *testing.B) {
+	m := bench.DefaultNucleotideModel()
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.SchedulerAblation(m, 256); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDNALookupBuild times building the blastn word lookup for a
+// 100-read query block.
+func BenchmarkDNALookupBuild(b *testing.B) {
+	g := bio.NewGenerator(bio.SynthParams{Seed: 5})
+	var reads []*bio.Sequence
+	for i := 0; i < 100; i++ {
+		reads = append(reads, g.RandomDNA(fmt.Sprintf("r%03d", i), 400))
+	}
+	p := blast.DefaultNucleotideParams()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := blast.NewEngine(reads, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkProteinLookupBuild times the neighborhood-word lookup for a
+// protein query block (the expensive DFS enumeration).
+func BenchmarkProteinLookupBuild(b *testing.B) {
+	g := bio.NewGenerator(bio.SynthParams{Seed: 6})
+	var prots []*bio.Sequence
+	for i := 0; i < 10; i++ {
+		prots = append(prots, g.RandomProtein(fmt.Sprintf("p%02d", i), 300))
+	}
+	p := blast.DefaultProteinParams()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := blast.NewEngine(prots, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMRMPICollateVolume times the aggregate+convert exchange of 100k
+// small pairs across 4 ranks.
+func BenchmarkMRMPICollateVolume(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		err := mpi.Run(4, func(c *mpi.Comm) error {
+			mr := mrmpi.New(c)
+			defer mr.Close()
+			if _, err := mr.Map(100, func(itask int, kv *mrmpi.KeyValue) error {
+				var key [8]byte
+				for j := 0; j < 250; j++ {
+					binary.LittleEndian.PutUint64(key[:], uint64(itask*1000+j%97))
+					kv.Add(key[:], key[:4])
+				}
+				return nil
+			}); err != nil {
+				return err
+			}
+			_, err := mr.Collate(nil)
+			return err
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkVolumeLoad times loading a ~1 Mbp partition from disk with
+// checksum verification.
+func BenchmarkVolumeLoad(b *testing.B) {
+	dir := b.TempDir()
+	g := bio.NewGenerator(bio.SynthParams{Seed: 7})
+	var seqs []*bio.Sequence
+	for i := 0; i < 20; i++ {
+		seqs = append(seqs, g.RandomDNA(fmt.Sprintf("s%02d", i), 50000))
+	}
+	m, err := blastdb.Format(seqs, bio.DNA, dir, "db", blastdb.FormatOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(1000000 / 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := blastdb.LoadVolume(m.VolumePath(0)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

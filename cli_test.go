@@ -1,0 +1,160 @@
+package repro
+
+// End-to-end CLI integration: builds the command binaries once and drives
+// the full pipeline the README documents — generate → formatdb → shred →
+// mrblast → mergehits → blastview, plus genseq/mrsom — through their real
+// main packages.
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var (
+	buildOnce sync.Once
+	buildDir  string
+	buildErr  error
+)
+
+// buildCLIs compiles all cmd binaries into a shared temp dir.
+func buildCLIs(t *testing.T) string {
+	t.Helper()
+	buildOnce.Do(func() {
+		buildDir, buildErr = os.MkdirTemp("", "mrbio-cli")
+		if buildErr != nil {
+			return
+		}
+		cmd := exec.Command("go", "build", "-o", buildDir+string(os.PathSeparator), "./cmd/...")
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			buildErr = err
+			buildDir = string(out)
+		}
+	})
+	if buildErr != nil {
+		t.Fatalf("building CLIs: %v\n%s", buildErr, buildDir)
+	}
+	return buildDir
+}
+
+func runCLI(t *testing.T, dir, name string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(filepath.Join(buildCLIs(t), name), args...)
+	cmd.Dir = dir
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %v failed: %v\n%s", name, args, err, out)
+	}
+	return string(out)
+}
+
+func TestCLIPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI pipeline is not short")
+	}
+	dir := t.TempDir()
+
+	// Synthetic community: 4 genomes with one strain each.
+	out := runCLI(t, dir, "genseq", "-mode", "genomes", "-n", "4",
+		"-minlen", "3000", "-maxlen", "6000", "-strains", "1",
+		"-identity", "0.93", "-out", "all.fa")
+	if !strings.Contains(out, "wrote 8 sequences") {
+		t.Fatalf("genseq output: %s", out)
+	}
+
+	// Split genomes (DB) from strains (query source) by ID.
+	all, err := os.ReadFile(filepath.Join(dir, "all.fa"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var db, strains strings.Builder
+	target := &db
+	for _, line := range strings.SplitAfter(string(all), "\n") {
+		if strings.HasPrefix(line, ">") {
+			if strings.Contains(line, ".s") {
+				target = &strains
+			} else {
+				target = &db
+			}
+		}
+		target.WriteString(line)
+	}
+	os.WriteFile(filepath.Join(dir, "refs.fa"), []byte(db.String()), 0o644)
+	os.WriteFile(filepath.Join(dir, "strains.fa"), []byte(strains.String()), 0o644)
+
+	out = runCLI(t, dir, "formatdb", "-in", "refs.fa", "-out", "db",
+		"-name", "refdb", "-target-residues", "6000")
+	if !strings.Contains(out, "partition") {
+		t.Fatalf("formatdb output: %s", out)
+	}
+
+	out = runCLI(t, dir, "shred", "-in", "strains.fa", "-out", "reads.fa")
+	if !strings.Contains(out, "fragments") {
+		t.Fatalf("shred output: %s", out)
+	}
+
+	out = runCLI(t, dir, "mrblast", "-query", "reads.fa", "-db", "db/refdb.json",
+		"-ranks", "4", "-block-size", "16", "-evalue", "1e-6", "-out", "hits")
+	if !strings.Contains(out, "hits in") {
+		t.Fatalf("mrblast output: %s", out)
+	}
+
+	out = runCLI(t, dir, "mergehits", "-in", "hits", "-out", "merged.tsv")
+	if !strings.Contains(out, "hits for") {
+		t.Fatalf("mergehits output: %s", out)
+	}
+	merged, err := os.ReadFile(filepath.Join(dir, "merged.tsv"))
+	if err != nil || len(merged) == 0 {
+		t.Fatalf("merged.tsv empty or unreadable: %v", err)
+	}
+
+	out = runCLI(t, dir, "blastview", "-hits", "merged.tsv",
+		"-query", "reads.fa", "-db", "db/refdb.json", "-n", "1")
+	if !strings.Contains(out, "Query") || !strings.Contains(out, "Sbjct") {
+		t.Fatalf("blastview output: %s", out)
+	}
+}
+
+func TestCLISOMPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI pipeline is not short")
+	}
+	dir := t.TempDir()
+	runCLI(t, dir, "genseq", "-mode", "vectors", "-n", "400", "-dim", "8", "-out", "v.bin")
+	out := runCLI(t, dir, "mrsom", "-data", "v.bin", "-ranks", "3",
+		"-w", "8", "-h", "8", "-epochs", "8",
+		"-umatrix", "um.pgm", "-codebook", "cb.ppm",
+		"-checkpoint", "ck.somc")
+	if !strings.Contains(out, "quantization error") {
+		t.Fatalf("mrsom output: %s", out)
+	}
+	for _, f := range []string{"um.pgm", "cb.ppm", "ck.somc"} {
+		if _, err := os.Stat(filepath.Join(dir, f)); err != nil {
+			t.Errorf("missing output %s: %v", f, err)
+		}
+	}
+	// Resume from the checkpoint: must succeed and not retrain from zero.
+	out = runCLI(t, dir, "mrsom", "-data", "v.bin", "-ranks", "3",
+		"-w", "8", "-h", "8", "-epochs", "8", "-checkpoint", "ck.somc")
+	if !strings.Contains(out, "quantization error") {
+		t.Fatalf("mrsom resume output: %s", out)
+	}
+}
+
+func TestCLIBenchfigQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI pipeline is not short")
+	}
+	dir := t.TempDir()
+	out := runCLI(t, dir, "benchfig", "-fig", "4", "-csv", "csv")
+	if !strings.Contains(out, "fig4") {
+		t.Fatalf("benchfig output: %s", out)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "csv", "fig4.csv")); err != nil {
+		t.Errorf("missing CSV: %v", err)
+	}
+}

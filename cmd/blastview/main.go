@@ -1,0 +1,136 @@
+// Command blastview renders hits from mrblast output files as BLAST-style
+// pairwise text alignments, resolving the query and subject sequences from
+// the original FASTA and the database volumes.
+//
+// Usage:
+//
+//	blastview -hits hits/ -query reads.fa -db db/refdb.json -n 5
+//	blastview -hits merged.tsv -query reads.fa -db db/refdb.json -protein
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/bio"
+	"repro/internal/blast"
+	"repro/internal/blastdb"
+	"repro/internal/mrblast"
+)
+
+func main() {
+	hitsPath := flag.String("hits", "", "hits TSV file or a directory of hits.rank*.tsv (required)")
+	queryPath := flag.String("query", "", "query FASTA (required)")
+	dbPath := flag.String("db", "", "database manifest JSON (required)")
+	n := flag.Int("n", 10, "render at most N alignments (0 = all)")
+	protein := flag.Bool("protein", false, "protein alignment (BLOSUM62); default nucleotide")
+	width := flag.Int("width", 60, "residues per alignment line")
+	flag.Parse()
+	if *hitsPath == "" || *queryPath == "" || *dbPath == "" {
+		fail(fmt.Errorf("-hits, -query and -db are required"))
+	}
+
+	hits, err := loadHits(*hitsPath)
+	fail(err)
+	if len(hits) == 0 {
+		fail(fmt.Errorf("no hits in %s", *hitsPath))
+	}
+	sort.SliceStable(hits, func(i, j int) bool { return hits[i].EValue < hits[j].EValue })
+	if *n > 0 && len(hits) > *n {
+		hits = hits[:*n]
+	}
+
+	queries, err := bio.ReadFastaFile(*queryPath)
+	fail(err)
+	queryByID := map[string]*bio.Sequence{}
+	for _, q := range queries {
+		queryByID[q.ID] = q
+	}
+
+	manifest, err := blastdb.OpenManifest(*dbPath)
+	fail(err)
+	// Resolve only the subjects the rendered hits need.
+	needed := map[string]*bio.Sequence{}
+	for _, h := range hits {
+		needed[h.SubjectID] = nil
+	}
+	alpha, err := manifest.Alpha()
+	fail(err)
+	for pi := 0; pi < manifest.NumPartitions(); pi++ {
+		vol, err := blastdb.LoadVolume(manifest.VolumePath(pi))
+		fail(err)
+		for si := 0; si < vol.NumSeqs(); si++ {
+			id := vol.ID(si)
+			if _, want := needed[id]; !want || needed[id] != nil {
+				continue
+			}
+			subj := vol.Subject(si)
+			var letters []byte
+			if alpha == bio.DNA {
+				letters = bio.DecodeDNA(subj.Codes)
+			} else {
+				letters = bio.DecodeProtein(subj.Codes)
+			}
+			needed[id] = &bio.Sequence{ID: id, Letters: letters}
+		}
+	}
+
+	var m blast.Matrix
+	var gaps blast.GapCosts
+	if *protein {
+		m, gaps = blast.Blosum62(), blast.DefaultProteinGaps()
+	} else {
+		m, gaps = blast.DefaultDNAMatrix(), blast.DefaultDNAGaps()
+	}
+	rendered := 0
+	for _, h := range hits {
+		q := queryByID[h.QueryID]
+		s := needed[h.SubjectID]
+		if q == nil || s == nil {
+			fmt.Fprintf(os.Stderr, "blastview: skipping %s vs %s (sequence not found)\n",
+				h.QueryID, h.SubjectID)
+			continue
+		}
+		out, err := blast.RenderAlignment(h, q, s, m, gaps, *width)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "blastview: %s vs %s: %v\n", h.QueryID, h.SubjectID, err)
+			continue
+		}
+		fmt.Print(out)
+		rendered++
+	}
+	fmt.Fprintf(os.Stderr, "blastview: rendered %d alignment(s)\n", rendered)
+}
+
+func loadHits(path string) ([]*blast.HSP, error) {
+	st, err := os.Stat(path)
+	if err != nil {
+		return nil, err
+	}
+	if !st.IsDir() {
+		return mrblast.ReadHitsFile(path)
+	}
+	files, err := filepath.Glob(filepath.Join(path, "hits.rank*.tsv"))
+	if err != nil {
+		return nil, err
+	}
+	var all []*blast.HSP
+	for _, f := range files {
+		hits, err := mrblast.ReadHitsFile(f)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, hits...)
+	}
+	return all, nil
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "blastview:", err)
+		os.Exit(1)
+	}
+}

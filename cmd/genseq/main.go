@@ -1,0 +1,76 @@
+// Command genseq generates the synthetic datasets the reproduction uses in
+// place of the paper's NCBI databases and random benchmark vectors.
+//
+// Modes:
+//
+//	genseq -mode genomes  -n 20 -minlen 50000 -maxlen 500000 -strains 3 -identity 0.92 -out refs.fa
+//	genseq -mode proteins -n 1000 -minlen 100 -maxlen 600 -out prots.fa
+//	genseq -mode vectors  -n 81920 -dim 256 -out vectors.bin
+//	genseq -mode rgb      -n 100 -out rgb.bin
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bio"
+	"repro/internal/som"
+)
+
+func main() {
+	mode := flag.String("mode", "genomes", "genomes | proteins | vectors | rgb")
+	n := flag.Int("n", 10, "number of sequences or vectors")
+	minLen := flag.Int("minlen", 10000, "minimum sequence length (genomes/proteins)")
+	maxLen := flag.Int("maxlen", 100000, "maximum sequence length (genomes/proteins)")
+	strains := flag.Int("strains", 0, "derived strains per genome (genomes mode)")
+	identity := flag.Float64("identity", 0.92, "strain identity to parent (genomes mode)")
+	dim := flag.Int("dim", 256, "vector dimension (vectors mode)")
+	seed := flag.Int64("seed", 1, "random seed")
+	out := flag.String("out", "", "output file (required)")
+	flag.Parse()
+	if *out == "" {
+		fail(fmt.Errorf("-out is required"))
+	}
+
+	g := bio.NewGenerator(bio.SynthParams{Seed: *seed})
+	switch *mode {
+	case "genomes":
+		set := g.GenerateGenomeSet(bio.GenomeSetParams{
+			NTaxa: *n, MinLen: *minLen, MaxLen: *maxLen,
+			StrainsPerGenome: *strains, StrainIdentity: *identity,
+		})
+		all := set.All()
+		fail(bio.WriteFastaFile(*out, all))
+		fmt.Printf("wrote %d sequences (%d genomes, %d strains each) to %s\n",
+			len(all), *n, *strains, *out)
+	case "proteins":
+		seqs := make([]*bio.Sequence, *n)
+		for i := range seqs {
+			length := *minLen
+			if *maxLen > *minLen {
+				length += i * (*maxLen - *minLen) / max(*n-1, 1)
+			}
+			seqs[i] = g.RandomProtein(fmt.Sprintf("prot%05d", i), length)
+		}
+		fail(bio.WriteFastaFile(*out, seqs))
+		fmt.Printf("wrote %d proteins to %s\n", *n, *out)
+	case "vectors":
+		data := bio.RandomVectors(*seed, *n, *dim)
+		fail(som.WriteVectorFile(*out, data, *n, *dim))
+		fmt.Printf("wrote %d x %d-d vectors to %s\n", *n, *dim, *out)
+	case "rgb":
+		data := bio.RandomRGB(*seed, *n)
+		fail(som.WriteVectorFile(*out, data, *n, 3))
+		fmt.Printf("wrote %d RGB vectors to %s\n", *n, *out)
+	default:
+		fail(fmt.Errorf("unknown mode %q", *mode))
+	}
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "genseq:", err)
+		os.Exit(1)
+	}
+}

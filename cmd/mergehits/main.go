@@ -1,0 +1,86 @@
+// Command mergehits merges the per-rank output files of mrblast into a
+// single TSV — the paper's "combiner job" step, which it notes is rarely
+// needed for large-scale downstream analysis but convenient for small
+// result sets. Hits are ordered by query ID, then ascending E-value.
+//
+// Usage:
+//
+//	mergehits -in hits/ -out merged.tsv
+//	mergehits -in hits/ -topk 5 -out merged.tsv
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/blast"
+	"repro/internal/mrblast"
+)
+
+func main() {
+	in := flag.String("in", "", "directory of mrblast per-rank hits files (required)")
+	out := flag.String("out", "", "merged output file (default stdout)")
+	topK := flag.Int("topk", 0, "keep at most K hits per query (0 = all)")
+	flag.Parse()
+	if *in == "" {
+		fail(fmt.Errorf("-in is required"))
+	}
+	files, err := filepath.Glob(filepath.Join(*in, "hits.rank*.tsv"))
+	fail(err)
+	if len(files) == 0 {
+		fail(fmt.Errorf("no hits.rank*.tsv files in %s", *in))
+	}
+	sort.Strings(files)
+	var all []*blast.HSP
+	for _, f := range files {
+		hits, err := mrblast.ReadHitsFile(f)
+		fail(err)
+		all = append(all, hits...)
+	}
+	// Group per query, keep each group's E-value order (already sorted in
+	// the rank files), optionally cut to top-K, and order groups by query
+	// ID.
+	byQuery := map[string][]*blast.HSP{}
+	var order []string
+	for _, h := range all {
+		if _, ok := byQuery[h.QueryID]; !ok {
+			order = append(order, h.QueryID)
+		}
+		byQuery[h.QueryID] = append(byQuery[h.QueryID], h)
+	}
+	sort.Strings(order)
+
+	w := bufio.NewWriter(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		fail(err)
+		defer f.Close()
+		w = bufio.NewWriter(f)
+	}
+	total := 0
+	for _, q := range order {
+		hits := byQuery[q]
+		sort.SliceStable(hits, func(i, j int) bool { return hits[i].EValue < hits[j].EValue })
+		if *topK > 0 && len(hits) > *topK {
+			hits = hits[:*topK]
+		}
+		for _, h := range hits {
+			fmt.Fprintln(w, h.String())
+			total++
+		}
+	}
+	fail(w.Flush())
+	fmt.Fprintf(os.Stderr, "mergehits: %d hits for %d queries from %d rank files\n",
+		total, len(order), len(files))
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mergehits:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,37 @@
+// Command seqstat prints summary statistics of a FASTA file: sequence
+// count, residues, length distribution, N50, and GC content.
+//
+// Usage:
+//
+//	seqstat refs.fa [more.fa ...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bio"
+)
+
+func main() {
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: seqstat <fasta> [...]")
+		os.Exit(2)
+	}
+	for _, path := range flag.Args() {
+		seqs, err := bio.ReadFastaFile(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "seqstat:", err)
+			os.Exit(1)
+		}
+		st := bio.ComputeSeqStats(seqs)
+		fmt.Printf("%s:\n", path)
+		fmt.Printf("  sequences:  %d\n", st.Count)
+		fmt.Printf("  residues:   %d\n", st.TotalResidues)
+		fmt.Printf("  length:     min %d, mean %.1f, max %d\n", st.MinLen, st.MeanLen, st.MaxLen)
+		fmt.Printf("  N50:        %d\n", st.N50)
+		fmt.Printf("  GC:         %.1f%%\n", 100*st.GC)
+	}
+}

@@ -1,0 +1,25 @@
+// Package repro is a from-scratch Go reproduction of Sul & Tovchigrechko,
+// "Parallelizing BLAST and SOM algorithms with MapReduce-MPI library"
+// (IEEE IPDPS Workshops 2011).
+//
+// The repository implements the paper's two parallel applications and
+// every substrate they depend on:
+//
+//   - internal/mpi      — in-process MPI runtime (ranks as goroutines)
+//   - internal/mrmpi    — port of Sandia's MapReduce-MPI library
+//   - internal/bio      — FASTA, alphabets, 2-bit packing, read shredder,
+//     synthetic data generators, k-mer composition
+//   - internal/blast    — BLAST engine (blastn/blastp) with Karlin–Altschul
+//     statistics and DUST/SEG filtering
+//   - internal/blastdb  — formatdb equivalent: partitioned 2-bit volumes
+//   - internal/som      — online/batch SOM, U-matrix, quality metrics
+//   - internal/mrblast  — the paper's parallel BLAST (Fig. 1)
+//   - internal/mrsom    — the paper's parallel batch SOM (Fig. 2)
+//   - internal/cluster  — discrete-event simulator of the Ranger cluster
+//   - internal/bench    — harness regenerating every evaluation figure
+//
+// See README.md for usage, DESIGN.md for the system inventory and
+// per-experiment index, and EXPERIMENTS.md for the paper-vs-measured
+// comparison. The benchmarks in bench_test.go regenerate each figure under
+// `go test -bench`.
+package repro

@@ -1,0 +1,193 @@
+package bench
+
+import "repro/internal/cluster"
+
+// The ablations quantify the design choices the paper discusses: the
+// master–worker scheduler (vs static chunking), the work-unit size, and
+// the proposed location-aware scheduler of the paper's future-work section.
+
+// SchedulerAblation compares scheduling policies on the 80K-query workload
+// at a given core count: wall-clock minutes per policy.
+func SchedulerAblation(model CostModel, cores int) (*Figure, error) {
+	w := nucleotideWorkload(model, 80000, 1000)
+	fig := &Figure{
+		ID:     "ablation-sched",
+		Title:  "Scheduler ablation (80K queries, blocks of 1000)",
+		XLabel: "cores",
+		YLabel: "wall clock (min)",
+	}
+	for _, sched := range []cluster.Schedule{
+		cluster.ScheduleStatic,
+		cluster.ScheduleMasterWorker,
+		cluster.ScheduleLocalityAware,
+	} {
+		wall, _, err := blastWall(w, cores, sched)
+		if err != nil {
+			return nil, err
+		}
+		fig.Series = append(fig.Series, Series{
+			Label:  sched.String(),
+			Points: []Point{{X: float64(cores), Y: wall / 60}},
+		})
+	}
+	return fig, nil
+}
+
+// BlockSizeAblation sweeps the query-block size at a fixed core count —
+// the tuning knob the paper identifies as load-balance-versus-reload
+// trade-off.
+func BlockSizeAblation(model CostModel, cores int, blockSizes []int) (*Figure, error) {
+	if len(blockSizes) == 0 {
+		blockSizes = []int{250, 500, 1000, 2000, 4000}
+	}
+	fig := &Figure{
+		ID:     "ablation-blocksize",
+		Title:  "Query block size ablation (80K queries)",
+		XLabel: "block size (queries)",
+		YLabel: "wall clock (min)",
+	}
+	s := Series{Label: blockLabel(cores)}
+	for _, bs := range blockSizes {
+		w := nucleotideWorkload(model, 80000, bs)
+		wall, _, err := blastWall(w, cores, cluster.ScheduleMasterWorker)
+		if err != nil {
+			return nil, err
+		}
+		s.Points = append(s.Points, Point{X: float64(bs), Y: wall / 60})
+	}
+	fig.Series = append(fig.Series, s)
+	return fig, nil
+}
+
+func blockLabel(cores int) string {
+	return "at " + itoa(cores) + " cores"
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+// LocalityLoadsAblation reports partition loads under master–worker versus
+// locality-aware scheduling at each core count, quantifying the paper's
+// claim that improving DB locality permits smaller query blocks.
+func LocalityLoadsAblation(model CostModel) (*Figure, error) {
+	w := nucleotideWorkload(model, 80000, 1000)
+	fig := &Figure{
+		ID:     "ablation-locality",
+		Title:  "Partition loads: master-worker vs locality-aware",
+		XLabel: "cores",
+		YLabel: "partition loads",
+	}
+	for _, sched := range []cluster.Schedule{cluster.ScheduleMasterWorker, cluster.ScheduleLocalityAware} {
+		s := Series{Label: sched.String()}
+		for _, cores := range PaperCoreCounts {
+			_, res, err := blastWall(w, cores, sched)
+			if err != nil {
+				return nil, err
+			}
+			s.Points = append(s.Points, Point{X: float64(cores), Y: float64(res.PartitionLoads)})
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// TaperedBlocksTasks builds work units for an explicit block-size plan
+// (queries per block), the cost-model counterpart of
+// bio.FastaIndex.DynamicBlocks.
+func TaperedBlocksTasks(model CostModel, blockSizes []int, queryLen int) []cluster.Task {
+	parts, bytes, residues := PaperNucleotideDB()
+	var tasks []cluster.Task
+	unit := 0
+	for _, bs := range blockSizes {
+		blockResidues := int64(bs) * int64(queryLen)
+		for p := 0; p < parts; p++ {
+			tasks = append(tasks, cluster.Task{
+				Partition:      p,
+				PartitionBytes: bytes,
+				Service:        model.UnitService(blockResidues, residues, unit),
+			})
+			unit++
+		}
+	}
+	return tasks
+}
+
+// planBlocks mirrors bio.FastaIndex.DynamicBlocks as a pure size plan.
+func planBlocks(n, base, minSize int) []int {
+	var sizes []int
+	pos := 0
+	bulkEnd := n * 3 / 4
+	for pos < bulkEnd && n-pos > base {
+		sizes = append(sizes, base)
+		pos += base
+	}
+	size := base
+	for pos < n {
+		if size > minSize {
+			size = max(size/2, minSize)
+		}
+		take := min(size, n-pos)
+		sizes = append(sizes, take)
+		pos += take
+	}
+	return sizes
+}
+
+// TaperedBlocksAblation compares fixed query blocks against the paper's
+// proposed progressively-smaller-blocks-toward-the-end plan at a given
+// core count: the taper fills the final waves more uniformly, cutting tail
+// idle without paying the full reload cost of uniformly small blocks.
+//
+// Pathological heavy units are disabled for this ablation: when one unit
+// takes many times the mean, it dominates the makespan of every plan
+// equally (the straggler effect the paper's §IV.A discusses) and would
+// mask the wave-quantization difference the taper targets.
+func TaperedBlocksAblation(model CostModel, cores int) (*Figure, error) {
+	model.HeavyProb = 0
+	const nqueries = 80000
+	fig := &Figure{
+		ID:     "ablation-tapered",
+		Title:  "Fixed vs dynamically tapered query blocks (80K queries)",
+		XLabel: "cores",
+		YLabel: "wall clock (min)",
+	}
+	cfg, err := cluster.RangerConfig(cores)
+	if err != nil {
+		return nil, err
+	}
+	run := func(label string, tasks []cluster.Task) error {
+		res, err := cluster.Run(cfg, tasks, cluster.ScheduleMasterWorker)
+		if err != nil {
+			return err
+		}
+		fig.Series = append(fig.Series, Series{
+			Label:  label,
+			Points: []Point{{X: float64(cores), Y: res.Makespan / 60}},
+		})
+		return nil
+	}
+	fixed2000 := nucleotideWorkload(model, nqueries, 2000)
+	if err := run("fixed 2000", fixed2000.Tasks()); err != nil {
+		return nil, err
+	}
+	fixed1000 := nucleotideWorkload(model, nqueries, 1000)
+	if err := run("fixed 1000", fixed1000.Tasks()); err != nil {
+		return nil, err
+	}
+	tapered := TaperedBlocksTasks(model, planBlocks(nqueries, 2000, 250), 400)
+	if err := run("tapered 2000->250", tapered); err != nil {
+		return nil, err
+	}
+	return fig, nil
+}

@@ -1,0 +1,549 @@
+package bench
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// Each test here encodes a shape criterion from the paper's evaluation:
+// who wins, by roughly what factor, and where crossovers fall. Absolute
+// values are not asserted (our substrate is a simulator over a calibrated
+// cost model, not the authors' 2010 testbed).
+
+func seriesMap(fig *Figure) map[string]Series {
+	m := map[string]Series{}
+	for _, s := range fig.Series {
+		m[s.Label] = s
+	}
+	return m
+}
+
+func atCores(s Series, cores int) float64 {
+	for _, p := range s.Points {
+		if p.X == float64(cores) {
+			return p.Y
+		}
+	}
+	return math.NaN()
+}
+
+func TestFig3Shape(t *testing.T) {
+	fig, err := Fig3(DefaultNucleotideModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 4 {
+		t.Fatalf("series = %d, want 4", len(fig.Series))
+	}
+	sm := seriesMap(fig)
+	s12 := sm["12K queries / blocks of 1000"]
+	s80 := sm["80K queries / blocks of 1000"]
+	s80b2000 := sm["80K queries / blocks of 2000"]
+
+	// Wall clock decreases monotonically with cores for every series.
+	for _, s := range fig.Series {
+		for i := 1; i < len(s.Points); i++ {
+			if s.Points[i].Y >= s.Points[i-1].Y {
+				t.Errorf("%s: wall clock rose at %v cores", s.Label, s.Points[i].X)
+			}
+		}
+	}
+	// Large core counts are only efficient for large datasets: the 12K
+	// series gains far less from 512->1024 than the 80K series gained from
+	// 32->64.
+	smallGain := atCores(s12, 512) / atCores(s12, 1024)
+	bigGain := atCores(s80, 32) / atCores(s80, 64)
+	if smallGain > 1.6 {
+		t.Errorf("12K queries kept scaling at 1024 cores (gain %.2f); expected saturation", smallGain)
+	}
+	if bigGain < 1.8 {
+		t.Errorf("80K queries should scale nearly ideally at low cores, gain %.2f", bigGain)
+	}
+	// Larger work units win at small core counts...
+	if atCores(s80b2000, 32) >= atCores(s80, 32) {
+		t.Errorf("2000-query blocks should beat 1000 at 32 cores: %.1f vs %.1f",
+			atCores(s80b2000, 32), atCores(s80, 32))
+	}
+	// ...and lose at large core counts.
+	if atCores(s80b2000, 1024) <= atCores(s80, 1024) {
+		t.Errorf("1000-query blocks should beat 2000 at 1024 cores: %.1f vs %.1f",
+			atCores(s80, 1024), atCores(s80b2000, 1024))
+	}
+}
+
+func TestFig4Shape(t *testing.T) {
+	fig, err := Fig4(DefaultNucleotideModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm := seriesMap(fig)
+	b40 := sm["40 blocks (2000 queries each)"]
+	b80 := sm["80 blocks (1000 queries each)"]
+
+	// The paper's crossover: big blocks cheaper per query at small core
+	// counts, small blocks cheaper at large core counts.
+	if atCores(b40, 32) >= atCores(b80, 32) {
+		t.Errorf("40 blocks should win at 32 cores: %.4f vs %.4f",
+			atCores(b40, 32), atCores(b80, 32))
+	}
+	if atCores(b40, 1024) <= atCores(b80, 1024) {
+		t.Errorf("80 blocks should win at 1024 cores: %.4f vs %.4f",
+			atCores(b80, 1024), atCores(b40, 1024))
+	}
+	// The RAM-caching dip: some medium core count beats 32 cores in
+	// per-query cost for the 80-block series (the paper reports the
+	// superlinear point at 128 cores).
+	best := math.Inf(1)
+	bestCores := 0
+	for _, p := range b80.Points {
+		if p.Y < best {
+			best = p.Y
+			bestCores = int(p.X)
+		}
+	}
+	if bestCores <= 32 || bestCores > 256 {
+		t.Errorf("80-block optimum at %d cores; expected a medium-core dip", bestCores)
+	}
+	if best >= atCores(b80, 32) {
+		t.Errorf("no superlinear dip: best %.4f vs 32-core %.4f", best, atCores(b80, 32))
+	}
+	// At 1024 cores the per-query cost rises again (idle tail).
+	if atCores(b80, 1024) <= best {
+		t.Errorf("per-query cost should rise at 1024 cores")
+	}
+}
+
+func TestFig5Shape(t *testing.T) {
+	fig, err := Fig5(DefaultProteinModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := fig.Series[0].Points
+	if len(pts) != 100 {
+		t.Fatalf("trace points = %d", len(pts))
+	}
+	// High plateau through the bulk of the run…
+	mid := 0.0
+	for _, p := range pts[10:60] {
+		mid += p.Y
+	}
+	mid /= 50
+	if mid < 0.80 {
+		t.Errorf("mid-run utilization %.2f; paper shows a high plateau", mid)
+	}
+	// …tapering off at the end as cores idle.
+	tail := pts[len(pts)-2].Y
+	if tail >= mid/2 {
+		t.Errorf("no tapering: tail %.2f vs plateau %.2f", tail, mid)
+	}
+	for _, p := range pts {
+		if p.Y < 0 || p.Y > 1.001 {
+			t.Errorf("utilization out of range: %+v", p)
+		}
+	}
+}
+
+func TestProteinScalingShape(t *testing.T) {
+	r, err := ProteinScaling(DefaultProteinModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: the 1024-core run uses only ~6% more core·min per query than
+	// 512 cores. Accept a single-digit-to-teens percentage.
+	if r.Overhead1024vs512 < 0 || r.Overhead1024vs512 > 0.20 {
+		t.Errorf("1024 vs 512 overhead = %.1f%%, paper reports ~6%%", r.Overhead1024vs512*100)
+	}
+	// Paper: 294 min absolute at 1024 cores; accept the right order of
+	// magnitude.
+	if r.Wall1024Min < 100 || r.Wall1024Min > 900 {
+		t.Errorf("1024-core wall = %.0f min, paper reports 294", r.Wall1024Min)
+	}
+}
+
+func TestFig6Shape(t *testing.T) {
+	fig, err := Fig6(0.004, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eff := Efficiency(fig.Series[0])
+	last := eff[len(eff)-1]
+	if last.X != 1024 {
+		t.Fatalf("last point at %v cores", last.X)
+	}
+	// Paper: 96% efficiency at 1024 relative to 32. Near-linear scaling
+	// must hold; accept >= 80% with our faster per-vector constant.
+	if last.Y < 0.80 {
+		t.Errorf("SOM efficiency at 1024 = %.2f, want near-linear (paper: 0.96)", last.Y)
+	}
+	for _, p := range eff {
+		if p.Y > 1.05 {
+			t.Errorf("efficiency above 1 at %v cores: %.2f", p.X, p.Y)
+		}
+	}
+	// With a paper-era (slower) per-vector cost the efficiency must reach
+	// the paper's 96%.
+	figSlow, err := Fig6(0.012, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	effSlow := Efficiency(figSlow.Series[0])
+	if got := effSlow[len(effSlow)-1].Y; got < 0.93 {
+		t.Errorf("paper-era SOM efficiency at 1024 = %.2f, paper reports 0.96", got)
+	}
+}
+
+func TestFig7Correctness(t *testing.T) {
+	res, err := Fig7(t.TempDir(), 20, 20, 100, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Files) != 2 {
+		t.Fatalf("files = %v", res.Files)
+	}
+	// 100 colors on 400 neurons: quantization error must be small (the
+	// map has spare capacity) and topology largely preserved.
+	if res.QuantErr > 0.12 {
+		t.Errorf("RGB quantization error = %.3f", res.QuantErr)
+	}
+}
+
+func TestFig8Correctness(t *testing.T) {
+	// Scaled-down configuration for test speed (full size runs in
+	// cmd/benchfig).
+	res, err := Fig8(t.TempDir(), 12, 12, 400, 50, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Files) != 1 {
+		t.Fatalf("files = %v", res.Files)
+	}
+	if res.QuantErr <= 0 {
+		t.Errorf("quantization error = %f", res.QuantErr)
+	}
+}
+
+func TestCalibrateBlast(t *testing.T) {
+	c, err := CalibrateBlast(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.BlastnSecPerMCell <= 0 || c.BlastpSecPerMCell <= 0 || c.SOMSecPerVector <= 0 {
+		t.Fatalf("calibration has non-positive costs: %+v", c)
+	}
+	// Protein search must be more expensive per cell than nucleotide.
+	if c.BlastpSecPerMCell <= c.BlastnSecPerMCell {
+		t.Errorf("protein (%g) should cost more per Mcell than nucleotide (%g)",
+			c.BlastpSecPerMCell, c.BlastnSecPerMCell)
+	}
+	nm := c.NucleotideModel()
+	if nm.SecPerMCell <= 0 || nm.Sigma <= 0 {
+		t.Errorf("nucleotide model broken: %+v", nm)
+	}
+	pm := c.ProteinModel()
+	if pm.SecPerMCell <= nm.SecPerMCell {
+		t.Errorf("protein model should be costlier: %+v vs %+v", pm, nm)
+	}
+}
+
+func TestSchedulerAblation(t *testing.T) {
+	fig, err := SchedulerAblation(DefaultNucleotideModel(), 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm := seriesMap(fig)
+	static := sm["static"].Points[0].Y
+	mw := sm["master-worker"].Points[0].Y
+	la := sm["locality-aware"].Points[0].Y
+	// Dynamic balancing must beat static chunking on irregular work.
+	if mw >= static {
+		t.Errorf("master-worker (%.1f) should beat static (%.1f)", mw, static)
+	}
+	// Locality awareness must not hurt.
+	if la > mw*1.05 {
+		t.Errorf("locality-aware (%.1f) much worse than master-worker (%.1f)", la, mw)
+	}
+}
+
+func TestBlockSizeAblation(t *testing.T) {
+	fig, err := BlockSizeAblation(DefaultNucleotideModel(), 1024, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := fig.Series[0].Points
+	if len(pts) != 5 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	// At 1024 cores small blocks must beat very large blocks.
+	if pts[0].Y >= pts[len(pts)-1].Y {
+		t.Errorf("at 1024 cores, block %v (%.1f min) should beat block %v (%.1f min)",
+			pts[0].X, pts[0].Y, pts[len(pts)-1].X, pts[len(pts)-1].Y)
+	}
+}
+
+func TestLocalityLoadsAblation(t *testing.T) {
+	fig, err := LocalityLoadsAblation(DefaultNucleotideModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm := seriesMap(fig)
+	for _, cores := range []int{128, 1024} {
+		mw := atCores(sm["master-worker"], cores)
+		la := atCores(sm["locality-aware"], cores)
+		if la >= mw {
+			t.Errorf("at %d cores locality-aware loads %.0f >= master-worker %.0f", cores, la, mw)
+		}
+	}
+}
+
+func TestWorkloadAccounting(t *testing.T) {
+	w := nucleotideWorkload(DefaultNucleotideModel(), 80000, 1000)
+	if w.Blocks() != 80 {
+		t.Errorf("blocks = %d", w.Blocks())
+	}
+	tasks := w.Tasks()
+	if len(tasks) != 80*109 {
+		t.Errorf("tasks = %d, want 8720 (the paper's 80×109)", len(tasks))
+	}
+	for i, task := range tasks {
+		if task.Service <= 0 {
+			t.Fatalf("task %d has service %f", i, task.Service)
+		}
+		if task.Partition != i%109 {
+			t.Fatalf("task %d partition order broken", i)
+		}
+	}
+	// Uneven final block.
+	w2 := nucleotideWorkload(DefaultNucleotideModel(), 1500, 1000)
+	if w2.Blocks() != 2 {
+		t.Errorf("blocks = %d", w2.Blocks())
+	}
+}
+
+func TestCostModelDeterminismAndDispersion(t *testing.T) {
+	m := DefaultNucleotideModel()
+	a := m.UnitService(4e5, 3.3e9, 17)
+	b := m.UnitService(4e5, 3.3e9, 17)
+	if a != b {
+		t.Error("unit service not deterministic")
+	}
+	// Mean-one multiplier: average over many units near the base cost.
+	base := m.SecPerMCell * 4e5 * 3.3e9 / 1e6
+	sum := 0.0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		sum += m.UnitService(4e5, 3.3e9, i)
+	}
+	mean := sum / n
+	if math.Abs(mean-base)/base > 0.10 {
+		t.Errorf("mean unit %.1f deviates from base %.1f", mean, base)
+	}
+	// And dispersion exists.
+	varSum := 0.0
+	for i := 0; i < 1000; i++ {
+		d := m.UnitService(4e5, 3.3e9, i) - mean
+		varSum += d * d
+	}
+	if varSum == 0 {
+		t.Error("no per-unit variability")
+	}
+}
+
+func TestWriteFigure(t *testing.T) {
+	fig := &Figure{
+		ID: "t", Title: "test", XLabel: "x", YLabel: "y",
+		Series: []Series{
+			{Label: "a", Points: []Point{{32, 1.5}, {64, 0.75}}},
+			{Label: "b", Points: []Point{{32, 2}, {128, 1}}},
+		},
+	}
+	var buf bytes.Buffer
+	if err := WriteFigure(&buf, fig); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"== t: test ==", "a", "b", "32", "64", "128", "1.5"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	var buf2 bytes.Buffer
+	if err := WriteEfficiencyTable(&buf2, fig); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf2.String(), "efficiency") {
+		t.Error("efficiency table missing label")
+	}
+	empty := &Figure{ID: "e", Title: "empty"}
+	var buf3 bytes.Buffer
+	if err := WriteFigure(&buf3, empty); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEfficiencyHelper(t *testing.T) {
+	s := Series{Points: []Point{{32, 100}, {64, 50}, {1024, 12.5}}}
+	eff := Efficiency(s)
+	if math.Abs(eff[0].Y-1) > 1e-12 {
+		t.Errorf("base efficiency = %f", eff[0].Y)
+	}
+	if math.Abs(eff[1].Y-1) > 1e-12 {
+		t.Errorf("perfect halving should be efficiency 1, got %f", eff[1].Y)
+	}
+	if math.Abs(eff[2].Y-0.25) > 1e-12 {
+		t.Errorf("eff at 1024 = %f, want 0.25", eff[2].Y)
+	}
+	if Efficiency(Series{}) != nil {
+		t.Error("empty series should give nil")
+	}
+}
+
+func TestTaperedBlocksAblation(t *testing.T) {
+	fig, err := TaperedBlocksAblation(DefaultNucleotideModel(), 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm := seriesMap(fig)
+	fixed2000 := sm["fixed 2000"].Points[0].Y
+	tapered := sm["tapered 2000->250"].Points[0].Y
+	// The taper must beat uniformly large blocks at high core counts (the
+	// point of the paper's proposal).
+	if tapered >= fixed2000 {
+		t.Errorf("tapered (%.1f min) should beat fixed-2000 (%.1f min) at 1024 cores",
+			tapered, fixed2000)
+	}
+}
+
+func TestPlanBlocksCoverage(t *testing.T) {
+	for _, n := range []int{10, 999, 80000} {
+		sizes := planBlocks(n, 2000, 250)
+		total := 0
+		for _, s := range sizes {
+			if s <= 0 {
+				t.Fatalf("non-positive block in plan for n=%d", n)
+			}
+			total += s
+		}
+		if total != n {
+			t.Fatalf("plan covers %d of %d", total, n)
+		}
+	}
+}
+
+func TestFailureModels(t *testing.T) {
+	fm := DefaultFailureModel()
+	// Without failures (infinite MTBF) everything equals the raw time.
+	inf := FailureModel{NodeMTBFHours: math.Inf(1), RestartOverheadHours: 0}
+	if got := inf.ExpectedMPIHours(10, 64); math.Abs(got-10) > 1e-6 {
+		t.Errorf("no-failure MPI = %f", got)
+	}
+	// MPI expected time exceeds the raw time and grows with node count.
+	t64 := fm.ExpectedMPIHours(5, 64)
+	t128 := fm.ExpectedMPIHours(5, 128)
+	if t64 <= 5 || t128 <= t64 {
+		t.Errorf("MPI failure costs wrong: %f, %f", t64, t128)
+	}
+	// HTC overhead is tiny for short tasks.
+	htc := fm.ExpectedHTCHours(5, 0.01)
+	if htc < 5 || htc > 5.01 {
+		t.Errorf("HTC expected = %f", htc)
+	}
+	// Checkpointing sits between plain MPI and HTC.
+	ckpt := fm.ExpectedCheckpointedHours(5, 64, 0.5)
+	if ckpt <= 5 || ckpt >= t64 {
+		t.Errorf("checkpointed = %f, MPI = %f", ckpt, t64)
+	}
+}
+
+func TestFailureAblationOrdering(t *testing.T) {
+	fig, err := FailureAblation(DefaultNucleotideModel(), DefaultFailureModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm := seriesMap(fig)
+	// The paper's trade-off: a task farm's per-task retry always beats
+	// whole-job restart under failures.
+	for _, cores := range []int{32, 128, 1024} {
+		mpi := atCores(sm["MPI (restart from scratch)"], cores)
+		htc := atCores(sm["HTC task farm (per-task retry)"], cores)
+		if htc > mpi {
+			t.Errorf("at %d cores: HTC %f > MPI %f", cores, htc, mpi)
+		}
+	}
+	// Checkpointing pays off on the long low-core runs (hours), but not
+	// necessarily on the short 1024-core run, where its fixed overhead can
+	// exceed the tiny expected failure loss.
+	mpi32 := atCores(sm["MPI (restart from scratch)"], 32)
+	ckpt32 := atCores(sm["MPI + 30 min checkpoints"], 32)
+	if ckpt32 > mpi32 {
+		t.Errorf("at 32 cores checkpointing (%f) should beat plain MPI (%f)", ckpt32, mpi32)
+	}
+}
+
+func TestHTCvsMPIComparison(t *testing.T) {
+	htc, mpi, err := HTCvsMPI(DefaultProteinModel(), 960)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if htc.Jobs != 960 {
+		t.Errorf("jobs = %d", htc.Jobs)
+	}
+	// Paper: "the longest VICS job took about the same wall clock time as
+	// our run at 1024 cores".
+	ratio := htc.LongestJobSec / 60 / mpi.Wall1024Min
+	if ratio < 0.6 || ratio > 2.0 {
+		t.Errorf("longest-HTC-job / MPI-wall = %.2f, paper reports ~1", ratio)
+	}
+	// Paper: "the user CPU utilization was similar" (both high).
+	if htc.Utilization < 0.6 {
+		t.Errorf("HTC utilization = %.2f, expected high", htc.Utilization)
+	}
+	if htc.WallSec <= htc.LongestJobSec-1 {
+		t.Errorf("wall %f below longest job %f", htc.WallSec, htc.LongestJobSec)
+	}
+	out := WriteHTCComparison(htc, mpi)
+	if !strings.Contains(out, "VICS") || !strings.Contains(out, "MR-MPI") {
+		t.Errorf("comparison text malformed:\n%s", out)
+	}
+}
+
+func TestListSchedule(t *testing.T) {
+	// 4 jobs on 2 slots: earliest-free assignment.
+	makespan, busy := listSchedule([]float64{4, 3, 2, 1}, 2)
+	// slot0: 4, then 1 -> 5; slot1: 3, then 2 -> 5.
+	if makespan != 5 || busy != 10 {
+		t.Errorf("makespan %f busy %f", makespan, busy)
+	}
+	if m, b := listSchedule(nil, 4); m != 0 || b != 0 {
+		t.Errorf("empty schedule: %f %f", m, b)
+	}
+	if m, _ := listSchedule([]float64{1}, 0); m != 0 {
+		t.Errorf("zero slots: %f", m)
+	}
+}
+
+func TestWriteFigureCSV(t *testing.T) {
+	fig := &Figure{
+		ID: "t", XLabel: "cores",
+		Series: []Series{
+			{Label: "a,b", Points: []Point{{32, 1.5}, {64, 0.75}}},
+			{Label: "plain", Points: []Point{{32, 2}}},
+		},
+	}
+	var buf bytes.Buffer
+	if err := WriteFigureCSV(&buf, fig); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if lines[0] != `cores,"a,b",plain` {
+		t.Errorf("header = %q", lines[0])
+	}
+	if lines[1] != "32,1.5,2" || lines[2] != "64,0.75," {
+		t.Errorf("rows wrong:\n%s", out)
+	}
+}

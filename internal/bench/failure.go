@@ -1,0 +1,100 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/cluster"
+)
+
+// The paper (§II.A) notes that the price of MapReduce-MPI's portability is
+// "a lack of fault-tolerance inherent in the underlying MPI execution
+// model": one rank failure kills the whole job, unlike HTC task farms that
+// simply retry the failed task. This ablation quantifies that trade-off
+// with standard reliability models over the simulated run times.
+
+// FailureModel parameterizes node reliability.
+type FailureModel struct {
+	// NodeMTBFHours is the mean time between failures of one node
+	// (exponential model).
+	NodeMTBFHours float64
+	// RestartOverheadHours is the fixed cost of relaunching a failed MPI
+	// job (requeue, startup).
+	RestartOverheadHours float64
+}
+
+// DefaultFailureModel reflects cluster-era hardware: ~2000 h node MTBF and
+// a 10-minute requeue.
+func DefaultFailureModel() FailureModel {
+	return FailureModel{NodeMTBFHours: 2000, RestartOverheadHours: 0.17}
+}
+
+// ExpectedMPIHours is the expected completion time of a T-hour MPI job on
+// nodes nodes when any node failure restarts the job from scratch:
+// E[T] = (e^{λT} − 1)/λ with λ = nodes/MTBF, plus restart overheads for
+// the expected number of attempts.
+func (f FailureModel) ExpectedMPIHours(runHours float64, nodes int) float64 {
+	lambda := float64(nodes) / f.NodeMTBFHours
+	if lambda == 0 {
+		return runHours
+	}
+	x := lambda * runHours
+	expected := (math.Exp(x) - 1) / lambda
+	// Expected attempts = e^{λT}; each failed attempt pays the restart
+	// overhead.
+	attempts := math.Exp(x)
+	return expected + (attempts-1)*f.RestartOverheadHours
+}
+
+// ExpectedHTCHours is the expected completion of the same work as an HTC
+// task farm where a failure only repeats the failed task: per-task overhead
+// factor (e^{λt} − 1)/(λt) with t the mean task duration on one node.
+func (f FailureModel) ExpectedHTCHours(runHours float64, meanTaskHours float64) float64 {
+	lambda := 1 / f.NodeMTBFHours
+	x := lambda * meanTaskHours
+	if x == 0 {
+		return runHours
+	}
+	factor := (math.Exp(x) - 1) / x
+	return runHours * factor
+}
+
+// ExpectedCheckpointedHours estimates a checkpointed MPI job (like the SOM
+// driver's codebook checkpoints): each failure loses on average half a
+// checkpoint interval plus the restart overhead.
+func (f FailureModel) ExpectedCheckpointedHours(runHours float64, nodes int, intervalHours float64) float64 {
+	lambda := float64(nodes) / f.NodeMTBFHours
+	expectedFailures := lambda * runHours
+	return runHours + expectedFailures*(intervalHours/2+f.RestartOverheadHours)
+}
+
+// FailureAblation compares the three execution models over the paper's
+// 80K-query BLAST run at each core count: plain MPI (the paper's setting),
+// MPI with checkpoint/restart, and an idealized HTC task farm.
+func FailureAblation(model CostModel, fm FailureModel) (*Figure, error) {
+	w := nucleotideWorkload(model, 80000, 1000)
+	fig := &Figure{
+		ID:     "ablation-failure",
+		Title:  fmt.Sprintf("Expected completion under failures (node MTBF %.0f h)", fm.NodeMTBFHours),
+		XLabel: "cores",
+		YLabel: "expected hours",
+	}
+	var mpiS, ckptS, htcS Series
+	mpiS.Label = "MPI (restart from scratch)"
+	ckptS.Label = "MPI + 30 min checkpoints"
+	htcS.Label = "HTC task farm (per-task retry)"
+	for _, cores := range PaperCoreCounts {
+		wall, res, err := blastWall(w, cores, cluster.ScheduleMasterWorker)
+		if err != nil {
+			return nil, err
+		}
+		hours := wall / 3600
+		nodes := cores / 16
+		meanTask := res.ServiceTotal / float64(len(w.Tasks())) / 3600
+		mpiS.Points = append(mpiS.Points, Point{X: float64(cores), Y: fm.ExpectedMPIHours(hours, nodes)})
+		ckptS.Points = append(ckptS.Points, Point{X: float64(cores), Y: fm.ExpectedCheckpointedHours(hours, nodes, 0.5)})
+		htcS.Points = append(htcS.Points, Point{X: float64(cores), Y: fm.ExpectedHTCHours(hours, meanTask)})
+	}
+	fig.Series = []Series{mpiS, ckptS, htcS}
+	return fig, nil
+}

@@ -1,0 +1,150 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteFigure renders a figure as an aligned text table: one row per X
+// value, one column per series. This is the canonical output of
+// cmd/benchfig and the source of the numbers recorded in EXPERIMENTS.md.
+func WriteFigure(w io.Writer, fig *Figure) error {
+	if _, err := fmt.Fprintf(w, "== %s: %s ==\n", fig.ID, fig.Title); err != nil {
+		return err
+	}
+	if len(fig.Series) == 0 {
+		_, err := fmt.Fprintln(w, "(no data)")
+		return err
+	}
+	// Collect the union of X values in first-appearance order.
+	var xs []float64
+	seen := map[float64]bool{}
+	for _, s := range fig.Series {
+		for _, p := range s.Points {
+			if !seen[p.X] {
+				seen[p.X] = true
+				xs = append(xs, p.X)
+			}
+		}
+	}
+	header := []string{fig.XLabel}
+	for _, s := range fig.Series {
+		header = append(header, s.Label)
+	}
+	rows := [][]string{header}
+	for _, x := range xs {
+		row := []string{trimFloat(x)}
+		for _, s := range fig.Series {
+			cell := ""
+			for _, p := range s.Points {
+				if p.X == x {
+					cell = fmt.Sprintf("%.3g", p.Y)
+					break
+				}
+			}
+			row = append(row, cell)
+		}
+		rows = append(rows, row)
+	}
+	return writeAligned(w, rows)
+}
+
+func trimFloat(x float64) string {
+	if x == float64(int64(x)) {
+		return fmt.Sprintf("%d", int64(x))
+	}
+	return fmt.Sprintf("%.3g", x)
+}
+
+func writeAligned(w io.Writer, rows [][]string) error {
+	if len(rows) == 0 {
+		return nil
+	}
+	widths := make([]int, len(rows[0]))
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	for _, row := range rows {
+		var b strings.Builder
+		for i, cell := range row {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(cell)
+			if pad := widths[i] - len(cell); pad > 0 && i < len(row)-1 {
+				b.WriteString(strings.Repeat(" ", pad))
+			}
+		}
+		if _, err := fmt.Fprintln(w, b.String()); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// WriteEfficiencyTable renders each series' parallel efficiency relative
+// to its smallest core count.
+func WriteEfficiencyTable(w io.Writer, fig *Figure) error {
+	eff := &Figure{
+		ID:     fig.ID + "-efficiency",
+		Title:  fig.Title + " — efficiency relative to first point",
+		XLabel: fig.XLabel,
+		YLabel: "efficiency",
+	}
+	for _, s := range fig.Series {
+		eff.Series = append(eff.Series, Series{Label: s.Label, Points: Efficiency(s)})
+	}
+	return WriteFigure(w, eff)
+}
+
+// WriteFigureCSV renders a figure as CSV (one row per X value, one column
+// per series) for downstream plotting tools.
+func WriteFigureCSV(w io.Writer, fig *Figure) error {
+	var xs []float64
+	seen := map[float64]bool{}
+	for _, s := range fig.Series {
+		for _, p := range s.Points {
+			if !seen[p.X] {
+				seen[p.X] = true
+				xs = append(xs, p.X)
+			}
+		}
+	}
+	cols := []string{csvEscape(fig.XLabel)}
+	for _, s := range fig.Series {
+		cols = append(cols, csvEscape(s.Label))
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(cols, ",")); err != nil {
+		return err
+	}
+	for _, x := range xs {
+		row := []string{trimFloat(x)}
+		for _, s := range fig.Series {
+			cell := ""
+			for _, p := range s.Points {
+				if p.X == x {
+					cell = fmt.Sprintf("%g", p.Y)
+					break
+				}
+			}
+			row = append(row, cell)
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}

@@ -1,0 +1,211 @@
+// Package bio provides the sequence substrate shared by the BLAST and SOM
+// pipelines: alphabets, FASTA I/O, 2-bit nucleotide packing, a read
+// shredder, synthetic data generators with planted homologies, and k-mer
+// composition vectors.
+//
+// The package is deliberately self-contained (stdlib only) and deterministic:
+// every randomized component takes an explicit seed so that experiments are
+// reproducible run to run.
+package bio
+
+import "fmt"
+
+// Alphabet identifies the residue alphabet of a sequence.
+type Alphabet int
+
+const (
+	// DNA is the 4-letter nucleotide alphabet ACGT. Ambiguity codes are
+	// accepted on input and canonicalized (see CleanDNA).
+	DNA Alphabet = iota
+	// Protein is the 20-letter amino-acid alphabet plus X for unknown.
+	Protein
+)
+
+func (a Alphabet) String() string {
+	switch a {
+	case DNA:
+		return "dna"
+	case Protein:
+		return "protein"
+	default:
+		return fmt.Sprintf("Alphabet(%d)", int(a))
+	}
+}
+
+// NumLetters reports the size of the encoded alphabet: 4 for DNA and 25 for
+// protein (20 residues, plus B, Z, X, U and '*' mapped to distinct codes so
+// scoring tables can treat them individually).
+func (a Alphabet) NumLetters() int {
+	switch a {
+	case DNA:
+		return 4
+	case Protein:
+		return ProteinAlphabetSize
+	default:
+		return 0
+	}
+}
+
+// ProteinAlphabetSize is the number of distinct encoded protein letters.
+const ProteinAlphabetSize = 24
+
+// ProteinLetters lists the encoded protein alphabet in code order: code i is
+// ProteinLetters[i]. The first 20 are the standard amino acids in the
+// conventional BLOSUM62 row ordering; B and Z are the ambiguity codes, X is
+// unknown, and '*' is a stop.
+const ProteinLetters = "ARNDCQEGHILKMFPSTWYVBZX*"
+
+// DNALetters lists the encoded DNA alphabet in code order.
+const DNALetters = "ACGT"
+
+var (
+	dnaCode     [256]int8
+	proteinCode [256]int8
+)
+
+func init() {
+	for i := range dnaCode {
+		dnaCode[i] = -1
+		proteinCode[i] = -1
+	}
+	for i := 0; i < len(DNALetters); i++ {
+		c := DNALetters[i]
+		dnaCode[c] = int8(i)
+		dnaCode[c+'a'-'A'] = int8(i)
+	}
+	for i := 0; i < len(ProteinLetters); i++ {
+		c := ProteinLetters[i]
+		proteinCode[c] = int8(i)
+		if c >= 'A' && c <= 'Z' {
+			proteinCode[c+'a'-'A'] = int8(i)
+		}
+	}
+	// U (selenocysteine), O (pyrrolysine) and J (I/L ambiguity) fold into X;
+	// '-' is invalid.
+	for _, c := range []byte("UuOoJj") {
+		proteinCode[c] = proteinCode['X']
+	}
+}
+
+// DNACode returns the 2-bit code (0..3) for a nucleotide letter, or -1 if the
+// byte is not one of acgtACGT.
+func DNACode(c byte) int8 { return dnaCode[c] }
+
+// ProteinCode returns the code (0..24) for an amino-acid letter, or -1 if the
+// byte is not a recognized residue.
+func ProteinCode(c byte) int8 { return proteinCode[c] }
+
+// EncodeDNA converts an ASCII nucleotide sequence to 2-bit codes. Ambiguous
+// or invalid letters are replaced by deterministic pseudo-random ACGT letters
+// derived from their position, mirroring how BLAST database formatting
+// replaces ambiguity codes in its 2-bit representation.
+func EncodeDNA(seq []byte) []byte {
+	out := make([]byte, len(seq))
+	for i, c := range seq {
+		code := dnaCode[c]
+		if code < 0 {
+			code = int8(splitmix64(uint64(i)+0x9e3779b9) & 3)
+		}
+		out[i] = byte(code)
+	}
+	return out
+}
+
+// DecodeDNA converts 2-bit codes back to ASCII letters.
+func DecodeDNA(codes []byte) []byte {
+	out := make([]byte, len(codes))
+	for i, c := range codes {
+		out[i] = DNALetters[c&3]
+	}
+	return out
+}
+
+// EncodeProtein converts an ASCII amino-acid sequence to codes 0..24.
+// Unrecognized bytes become X.
+func EncodeProtein(seq []byte) []byte {
+	out := make([]byte, len(seq))
+	xCode := byte(proteinCode['X'])
+	for i, c := range seq {
+		code := proteinCode[c]
+		if code < 0 {
+			out[i] = xCode
+		} else {
+			out[i] = byte(code)
+		}
+	}
+	return out
+}
+
+// DecodeProtein converts protein codes back to ASCII letters.
+func DecodeProtein(codes []byte) []byte {
+	out := make([]byte, len(codes))
+	for i, c := range codes {
+		if int(c) < len(ProteinLetters) {
+			out[i] = ProteinLetters[c]
+		} else {
+			out[i] = 'X'
+		}
+	}
+	return out
+}
+
+// CleanDNA returns seq with every byte that is not acgtACGT replaced by 'N'
+// and lower case folded to upper case. The input is not modified.
+func CleanDNA(seq []byte) []byte {
+	out := make([]byte, len(seq))
+	for i, c := range seq {
+		if dnaCode[c] >= 0 {
+			if c >= 'a' {
+				c -= 'a' - 'A'
+			}
+			out[i] = c
+		} else {
+			out[i] = 'N'
+		}
+	}
+	return out
+}
+
+// ReverseComplement returns the reverse complement of an ASCII DNA sequence.
+// Non-ACGT bytes map to 'N'.
+func ReverseComplement(seq []byte) []byte {
+	out := make([]byte, len(seq))
+	for i, c := range seq {
+		out[len(seq)-1-i] = complementBase(c)
+	}
+	return out
+}
+
+// ReverseComplementCodes reverse-complements a 2-bit coded DNA sequence in a
+// newly allocated slice. Complement of code c is 3-c (A<->T, C<->G).
+func ReverseComplementCodes(codes []byte) []byte {
+	out := make([]byte, len(codes))
+	for i, c := range codes {
+		out[len(codes)-1-i] = 3 - (c & 3)
+	}
+	return out
+}
+
+func complementBase(c byte) byte {
+	switch c {
+	case 'A', 'a':
+		return 'T'
+	case 'C', 'c':
+		return 'G'
+	case 'G', 'g':
+		return 'C'
+	case 'T', 't':
+		return 'A'
+	default:
+		return 'N'
+	}
+}
+
+// splitmix64 is the SplitMix64 mixing function, used for cheap deterministic
+// position-derived pseudo-randomness.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

@@ -1,0 +1,120 @@
+package bio
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestDNACodes(t *testing.T) {
+	cases := map[byte]int8{
+		'A': 0, 'C': 1, 'G': 2, 'T': 3,
+		'a': 0, 'c': 1, 'g': 2, 't': 3,
+		'N': -1, 'X': -1, '-': -1, '>': -1,
+	}
+	for c, want := range cases {
+		if got := DNACode(c); got != want {
+			t.Errorf("DNACode(%q) = %d, want %d", c, got, want)
+		}
+	}
+}
+
+func TestProteinCodes(t *testing.T) {
+	for i := 0; i < len(ProteinLetters); i++ {
+		c := ProteinLetters[i]
+		if got := ProteinCode(c); got != int8(i) {
+			t.Errorf("ProteinCode(%q) = %d, want %d", c, got, i)
+		}
+	}
+	if ProteinCode('U') != ProteinCode('X') {
+		t.Errorf("U should map to X")
+	}
+	if ProteinCode('1') != -1 {
+		t.Errorf("digit should be invalid")
+	}
+}
+
+func TestEncodeDecodeDNARoundTrip(t *testing.T) {
+	in := []byte("ACGTACGTTTGGCCAA")
+	codes := EncodeDNA(in)
+	out := DecodeDNA(codes)
+	if !bytes.Equal(in, out) {
+		t.Errorf("round trip: got %q want %q", out, in)
+	}
+}
+
+func TestEncodeDNAAmbiguityDeterministic(t *testing.T) {
+	in := []byte("ACGTNNNN")
+	a := EncodeDNA(in)
+	b := EncodeDNA(in)
+	if !bytes.Equal(a, b) {
+		t.Errorf("ambiguity replacement must be deterministic")
+	}
+	for i, c := range a {
+		if c > 3 {
+			t.Errorf("code[%d] = %d out of range", i, c)
+		}
+	}
+}
+
+func TestEncodeDecodeProteinRoundTrip(t *testing.T) {
+	in := []byte("MKVLAARNDCQEGHILKMFPSTWYV")
+	out := DecodeProtein(EncodeProtein(in))
+	if !bytes.Equal(in, out) {
+		t.Errorf("round trip: got %q want %q", out, in)
+	}
+}
+
+func TestEncodeProteinUnknown(t *testing.T) {
+	out := DecodeProtein(EncodeProtein([]byte("M1K")))
+	if string(out) != "MXK" {
+		t.Errorf("got %q want MXK", out)
+	}
+}
+
+func TestCleanDNA(t *testing.T) {
+	got := CleanDNA([]byte("acGTnRYx"))
+	if string(got) != "ACGTNNNN" {
+		t.Errorf("CleanDNA = %q", got)
+	}
+}
+
+func TestReverseComplement(t *testing.T) {
+	got := ReverseComplement([]byte("AACGT"))
+	if string(got) != "ACGTT" {
+		t.Errorf("ReverseComplement = %q, want ACGTT", got)
+	}
+}
+
+func TestReverseComplementInvolution(t *testing.T) {
+	f := func(raw []byte) bool {
+		seq := CleanDNA(raw)
+		// Restrict to pure ACGT so revcomp is exactly invertible.
+		for i, c := range seq {
+			if c == 'N' {
+				seq[i] = 'A'
+			}
+		}
+		return bytes.Equal(ReverseComplement(ReverseComplement(seq)), seq)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReverseComplementCodes(t *testing.T) {
+	codes := EncodeDNA([]byte("AACGT"))
+	rc := ReverseComplementCodes(codes)
+	if string(DecodeDNA(rc)) != "ACGTT" {
+		t.Errorf("ReverseComplementCodes wrong: %q", DecodeDNA(rc))
+	}
+}
+
+func TestAlphabetMeta(t *testing.T) {
+	if DNA.NumLetters() != 4 || Protein.NumLetters() != 24 {
+		t.Errorf("NumLetters wrong")
+	}
+	if DNA.String() != "dna" || Protein.String() != "protein" {
+		t.Errorf("String wrong")
+	}
+}

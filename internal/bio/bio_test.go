@@ -1,0 +1,524 @@
+package bio
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTwoBitRoundTrip(t *testing.T) {
+	for _, n := range []int{0, 1, 3, 4, 5, 17, 1000} {
+		g := NewGenerator(SynthParams{Seed: int64(n)})
+		seq := g.RandomDNA("s", n)
+		codes := EncodeDNA(seq.Letters)
+		tb := PackDNA(codes)
+		if tb.Len() != n {
+			t.Fatalf("n=%d: Len=%d", n, tb.Len())
+		}
+		if !bytes.Equal(tb.UnpackAll(), codes) {
+			t.Fatalf("n=%d: unpack mismatch", n)
+		}
+		for i := 0; i < n; i++ {
+			if tb.Base(i) != codes[i] {
+				t.Fatalf("n=%d: Base(%d) = %d want %d", n, i, tb.Base(i), codes[i])
+			}
+		}
+	}
+}
+
+func TestTwoBitPartialUnpack(t *testing.T) {
+	codes := EncodeDNA([]byte("ACGTACGTAC"))
+	tb := PackDNA(codes)
+	got := tb.Unpack(3, 7)
+	if !bytes.Equal(got, codes[3:7]) {
+		t.Errorf("Unpack(3,7) = %v want %v", got, codes[3:7])
+	}
+}
+
+func TestTwoBitFromPacked(t *testing.T) {
+	codes := EncodeDNA([]byte("ACGTT"))
+	tb := PackDNA(codes)
+	tb2 := FromPacked(tb.Packed(), tb.Len())
+	if !bytes.Equal(tb2.UnpackAll(), codes) {
+		t.Errorf("FromPacked mismatch")
+	}
+}
+
+func TestTwoBitPanics(t *testing.T) {
+	tb := PackDNA(EncodeDNA([]byte("ACGT")))
+	for _, f := range []func(){
+		func() { tb.Unpack(-1, 2) },
+		func() { tb.Unpack(0, 5) },
+		func() { tb.Unpack(3, 2) },
+		func() { FromPacked([]byte{0}, 10) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestPackedSize(t *testing.T) {
+	for n, want := range map[int]int{0: 0, 1: 1, 4: 1, 5: 2, 8: 2, 9: 3} {
+		if got := PackedSize(n); got != want {
+			t.Errorf("PackedSize(%d) = %d want %d", n, got, want)
+		}
+	}
+}
+
+func TestShredBasic(t *testing.T) {
+	seq := &Sequence{ID: "g1", Letters: bytes.Repeat([]byte("ACGT"), 250)} // 1000 bp
+	frags, err := Shred(seq, DefaultShredParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Starts: 0,200,400,600; the 600-1000 fragment reaches the end, so no
+	// redundant suffix fragments follow.
+	if len(frags) != 4 {
+		t.Fatalf("got %d fragments, want 4", len(frags))
+	}
+	if frags[0].ID != "g1/0-400" || frags[3].ID != "g1/600-1000" {
+		t.Errorf("fragment IDs wrong: %s, %s", frags[0].ID, frags[3].ID)
+	}
+	if frags[3].Len() != 400 {
+		t.Errorf("terminal fragment len = %d", frags[3].Len())
+	}
+}
+
+func TestShredDropsShortTerminal(t *testing.T) {
+	seq := &Sequence{ID: "g", Letters: make([]byte, 450)}
+	frags, err := Shred(seq, ShredParams{FragLen: 400, Overlap: 200, MinLen: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Starts 0 (400), 200 (250), 400 (50 -> dropped).
+	if len(frags) != 2 {
+		t.Fatalf("got %d fragments, want 2", len(frags))
+	}
+}
+
+func TestShredShortSequence(t *testing.T) {
+	seq := &Sequence{ID: "g", Letters: make([]byte, 50)}
+	frags, err := Shred(seq, DefaultShredParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frags) != 1 || frags[0].Len() != 50 {
+		t.Fatalf("short sequence should yield itself: %+v", frags)
+	}
+}
+
+func TestShredValidation(t *testing.T) {
+	bad := []ShredParams{
+		{FragLen: 0, Overlap: 0},
+		{FragLen: 100, Overlap: 100},
+		{FragLen: 100, Overlap: -1},
+		{FragLen: 100, Overlap: 10, MinLen: -5},
+	}
+	for _, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("params %+v should be invalid", p)
+		}
+	}
+}
+
+func TestShredCoverage(t *testing.T) {
+	// Every base of the parent must be covered by at least one fragment.
+	g := NewGenerator(SynthParams{Seed: 7})
+	seq := g.RandomDNA("g", 3271)
+	frags, err := Shred(seq, ShredParams{FragLen: 400, Overlap: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	covered := make([]bool, seq.Len())
+	for _, f := range frags {
+		var start, end int
+		if _, err := sscanFragment(f.ID, &start, &end); err != nil {
+			t.Fatalf("bad fragment id %q", f.ID)
+		}
+		if !bytes.Equal(f.Letters, seq.Letters[start:end]) {
+			t.Fatalf("fragment %s letters mismatch", f.ID)
+		}
+		for i := start; i < end; i++ {
+			covered[i] = true
+		}
+	}
+	for i, c := range covered {
+		if !c {
+			t.Fatalf("base %d not covered", i)
+		}
+	}
+}
+
+func sscanFragment(id string, start, end *int) (int, error) {
+	slash := strings.LastIndexByte(id, '/')
+	var s, e int
+	n, err := fmtSscanf(id[slash+1:], &s, &e)
+	*start, *end = s, e
+	return n, err
+}
+
+func fmtSscanf(s string, a, b *int) (int, error) {
+	dash := strings.IndexByte(s, '-')
+	var err error
+	*a, err = atoi(s[:dash])
+	if err != nil {
+		return 0, err
+	}
+	*b, err = atoi(s[dash+1:])
+	if err != nil {
+		return 1, err
+	}
+	return 2, nil
+}
+
+func atoi(s string) (int, error) {
+	n := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] < '0' || s[i] > '9' {
+			return 0, &parseError{s}
+		}
+		n = n*10 + int(s[i]-'0')
+	}
+	return n, nil
+}
+
+type parseError struct{ s string }
+
+func (e *parseError) Error() string { return "bad int: " + e.s }
+
+func TestFragmentParent(t *testing.T) {
+	if got := FragmentParent("taxon12/400-800"); got != "taxon12" {
+		t.Errorf("got %q", got)
+	}
+	if got := FragmentParent("plain"); got != "plain" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	a := NewGenerator(SynthParams{Seed: 42}).RandomDNA("x", 500)
+	b := NewGenerator(SynthParams{Seed: 42}).RandomDNA("x", 500)
+	if !bytes.Equal(a.Letters, b.Letters) {
+		t.Errorf("same seed must give same sequence")
+	}
+	c := NewGenerator(SynthParams{Seed: 43}).RandomDNA("x", 500)
+	if bytes.Equal(a.Letters, c.Letters) {
+		t.Errorf("different seeds should differ")
+	}
+}
+
+func TestGeneratorGCContent(t *testing.T) {
+	g := NewGenerator(SynthParams{Seed: 1, GC: 0.7})
+	seq := g.RandomDNA("x", 100000)
+	gc := 0
+	for _, c := range seq.Letters {
+		if c == 'G' || c == 'C' {
+			gc++
+		}
+	}
+	frac := float64(gc) / float64(seq.Len())
+	if math.Abs(frac-0.7) > 0.02 {
+		t.Errorf("GC fraction = %.3f, want ~0.7", frac)
+	}
+}
+
+func TestRandomProteinComposition(t *testing.T) {
+	g := NewGenerator(SynthParams{Seed: 1})
+	seq := g.RandomProtein("p", 200000)
+	counts := make(map[byte]int)
+	for _, c := range seq.Letters {
+		counts[c]++
+	}
+	// Leucine should be the most common residue (9%), tryptophan rare (1.3%).
+	if counts['L'] < counts['W'] {
+		t.Errorf("L (%d) should outnumber W (%d)", counts['L'], counts['W'])
+	}
+	fracL := float64(counts['L']) / float64(seq.Len())
+	if math.Abs(fracL-0.0902) > 0.01 {
+		t.Errorf("L frequency = %.4f, want ~0.09", fracL)
+	}
+}
+
+func TestMutateIdentity(t *testing.T) {
+	g := NewGenerator(SynthParams{Seed: 5})
+	parent := g.RandomDNA("p", 20000)
+	child := g.Mutate(parent, "c", 0.1, 0, DNA)
+	if child.Len() != parent.Len() {
+		t.Fatalf("no indels requested but length changed")
+	}
+	diff := 0
+	for i := range parent.Letters {
+		if parent.Letters[i] != child.Letters[i] {
+			diff++
+		}
+	}
+	frac := float64(diff) / float64(parent.Len())
+	if math.Abs(frac-0.1) > 0.01 {
+		t.Errorf("substitution rate = %.3f, want ~0.1", frac)
+	}
+}
+
+func TestMutateIndels(t *testing.T) {
+	g := NewGenerator(SynthParams{Seed: 6})
+	parent := g.RandomDNA("p", 10000)
+	child := g.Mutate(parent, "c", 0, 0.02, DNA)
+	// Insertions and deletions are balanced in expectation; the length should
+	// stay within a few percent of the parent.
+	if d := child.Len() - parent.Len(); d < -300 || d > 300 {
+		t.Errorf("length drift too large: %d", d)
+	}
+}
+
+func TestGenerateGenomeSet(t *testing.T) {
+	g := NewGenerator(SynthParams{Seed: 2})
+	set := g.GenerateGenomeSet(GenomeSetParams{
+		NTaxa: 5, MinLen: 1000, MaxLen: 5000,
+		StrainsPerGenome: 2, StrainIdentity: 0.95,
+	})
+	if len(set.Genomes) != 5 {
+		t.Fatalf("got %d genomes", len(set.Genomes))
+	}
+	all := set.All()
+	if len(all) != 5*3 {
+		t.Fatalf("All() returned %d sequences, want 15", len(all))
+	}
+	for i, genome := range set.Genomes {
+		if genome.Len() < 1000 || genome.Len() > 5000 {
+			t.Errorf("genome %d length %d out of range", i, genome.Len())
+		}
+		if len(set.Strains[i]) != 2 {
+			t.Errorf("genome %d has %d strains", i, len(set.Strains[i]))
+		}
+	}
+}
+
+func TestKmerProfileBasics(t *testing.T) {
+	// "AAAA" has a single 4-mer AAAA.
+	v, err := KmerProfile([]byte("AAAA"), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v[0] != 1 {
+		t.Errorf("AAAA profile[0] = %f, want 1", v[0])
+	}
+	sum := 0.0
+	for _, x := range v {
+		sum += x
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Errorf("profile sum = %f", sum)
+	}
+}
+
+func TestKmerProfileSkipsAmbiguity(t *testing.T) {
+	v, err := KmerProfile([]byte("AANAA"), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Valid 2-mers: AA (positions 0-1) and AA (positions 3-4).
+	if v[0] != 1 {
+		t.Errorf("expected all weight on AA, got %f", v[0])
+	}
+}
+
+func TestKmerProfileTooShort(t *testing.T) {
+	v, err := KmerProfile([]byte("AC"), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range v {
+		if x != 0 {
+			t.Fatalf("short sequence should give zero vector")
+		}
+	}
+}
+
+func TestKmerProfileBadK(t *testing.T) {
+	if _, err := KmerProfile([]byte("ACGT"), 0); err == nil {
+		t.Errorf("k=0 should error")
+	}
+	if _, err := KmerProfile([]byte("ACGT"), 13); err == nil {
+		t.Errorf("k=13 should error")
+	}
+}
+
+func TestKmerString(t *testing.T) {
+	if got := KmerString(0, 4); got != "AAAA" {
+		t.Errorf("got %q", got)
+	}
+	if got := KmerString(0b11100100, 4); got != "TGCA" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestKmerProfileNormalized(t *testing.T) {
+	f := func(raw []byte) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		seq := CleanDNA(raw)
+		v, err := KmerProfile(seq, 3)
+		if err != nil {
+			return false
+		}
+		sum := 0.0
+		for _, x := range v {
+			if x < 0 {
+				return false
+			}
+			sum += x
+		}
+		return sum == 0 || math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestProfileMatrix(t *testing.T) {
+	seqs := []*Sequence{
+		{ID: "a", Letters: []byte("ACGTACGTACGT")},
+		{ID: "b", Letters: []byte("GGGGGGGGCCCC")},
+	}
+	m, dim, err := ProfileMatrix(seqs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dim != 256 || len(m) != 512 {
+		t.Fatalf("dim=%d len=%d", dim, len(m))
+	}
+}
+
+func TestRandomVectors(t *testing.T) {
+	v := RandomVectors(1, 10, 4)
+	if len(v) != 40 {
+		t.Fatalf("len = %d", len(v))
+	}
+	for _, x := range v {
+		if x < 0 || x >= 1 {
+			t.Fatalf("component %f out of [0,1)", x)
+		}
+	}
+	v2 := RandomVectors(1, 10, 4)
+	for i := range v {
+		if v[i] != v2[i] {
+			t.Fatalf("not deterministic")
+		}
+	}
+}
+
+func TestClusteredVectors(t *testing.T) {
+	data, labels := ClusteredVectors(3, 100, 5, 4, 0.01)
+	if len(data) != 500 || len(labels) != 100 {
+		t.Fatalf("shapes wrong")
+	}
+	seen := map[int]bool{}
+	for _, l := range labels {
+		if l < 0 || l >= 4 {
+			t.Fatalf("label %d out of range", l)
+		}
+		seen[l] = true
+	}
+	if len(seen) < 2 {
+		t.Errorf("expected multiple clusters used")
+	}
+	// Same-cluster vectors must be much closer than cross-cluster on average.
+	var same, cross float64
+	var nSame, nCross int
+	for i := 0; i < 100; i++ {
+		for j := i + 1; j < 100; j++ {
+			d := 0.0
+			for k := 0; k < 5; k++ {
+				diff := data[i*5+k] - data[j*5+k]
+				d += diff * diff
+			}
+			if labels[i] == labels[j] {
+				same += d
+				nSame++
+			} else {
+				cross += d
+				nCross++
+			}
+		}
+	}
+	if nSame == 0 || nCross == 0 {
+		t.Skip("degenerate draw")
+	}
+	if same/float64(nSame) >= cross/float64(nCross) {
+		t.Errorf("cluster structure not recoverable")
+	}
+}
+
+func TestComputeSeqStats(t *testing.T) {
+	seqs := []*Sequence{
+		{ID: "a", Letters: []byte("GGCC")},                    // 4, all GC
+		{ID: "b", Letters: []byte("AAAATTTT")},                // 8, no GC
+		{ID: "c", Letters: []byte(strings.Repeat("ACGT", 5))}, // 20, half GC
+	}
+	st := ComputeSeqStats(seqs)
+	if st.Count != 3 || st.TotalResidues != 32 {
+		t.Fatalf("count/residues = %d/%d", st.Count, st.TotalResidues)
+	}
+	if st.MinLen != 4 || st.MaxLen != 20 {
+		t.Errorf("min/max = %d/%d", st.MinLen, st.MaxLen)
+	}
+	if math.Abs(st.MeanLen-32.0/3) > 1e-9 {
+		t.Errorf("mean = %f", st.MeanLen)
+	}
+	// N50: lengths desc 20,8,4; half of 32 is 16; 20 >= 16 -> N50 = 20.
+	if st.N50 != 20 {
+		t.Errorf("N50 = %d", st.N50)
+	}
+	// GC = (4 + 0 + 10) / 32.
+	if math.Abs(st.GC-14.0/32) > 1e-9 {
+		t.Errorf("GC = %f", st.GC)
+	}
+	if empty := ComputeSeqStats(nil); empty.Count != 0 {
+		t.Errorf("empty stats = %+v", empty)
+	}
+}
+
+func TestSplitFastaBySizeProperty(t *testing.T) {
+	// Every block respects the target unless it holds a single oversize
+	// sequence, and blocks partition the input exactly.
+	f := func(lens []uint16, targetRaw uint16) bool {
+		if len(lens) == 0 {
+			return true
+		}
+		target := int(targetRaw%5000) + 1
+		seqs := make([]*Sequence, len(lens))
+		for i, l := range lens {
+			seqs[i] = &Sequence{ID: KmerString(i%256, 4), Letters: make([]byte, int(l%3000))}
+		}
+		blocks := SplitFastaBySize(seqs, target)
+		idx := 0
+		for _, b := range blocks {
+			if len(b) == 0 {
+				return false
+			}
+			total := 0
+			for _, s := range b {
+				if s != seqs[idx] {
+					return false
+				}
+				idx++
+				total += s.Len()
+			}
+			if total > target && len(b) > 1 {
+				return false
+			}
+		}
+		return idx == len(seqs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,80 @@
+package bio
+
+import "fmt"
+
+// KmerProfile computes the k-mer frequency vector of a DNA sequence: the
+// normalized counts of all 4^k words, in lexicographic ACGT order. This is
+// the tetranucleotide composition space (k=4) in which the paper's
+// metagenomic SOM use case clusters sequences.
+//
+// Windows containing non-ACGT letters are skipped. The returned vector sums
+// to 1 when at least one valid window exists, otherwise it is all zeros.
+func KmerProfile(seq []byte, k int) ([]float64, error) {
+	if k <= 0 || k > 12 {
+		return nil, fmt.Errorf("bio: KmerProfile k must be in 1..12, got %d", k)
+	}
+	dim := 1 << (2 * k)
+	counts := make([]float64, dim)
+	mask := uint32(dim - 1)
+	var word uint32
+	valid := 0 // number of consecutive valid bases ending at current position
+	total := 0
+	for _, c := range seq {
+		code := DNACode(c)
+		if code < 0 {
+			valid = 0
+			word = 0
+			continue
+		}
+		word = (word<<2 | uint32(code)) & mask
+		valid++
+		if valid >= k {
+			counts[word]++
+			total++
+		}
+	}
+	if total > 0 {
+		inv := 1 / float64(total)
+		for i := range counts {
+			counts[i] *= inv
+		}
+	}
+	return counts, nil
+}
+
+// TetraProfile is KmerProfile with k=4 (dimension 256), the standard
+// composition signature for metagenomic binning.
+func TetraProfile(seq []byte) []float64 {
+	v, err := KmerProfile(seq, 4)
+	if err != nil {
+		panic(err) // k=4 is always valid
+	}
+	return v
+}
+
+// KmerString returns the k-mer spelled by the given lexicographic index, e.g.
+// KmerString(0, 4) == "AAAA".
+func KmerString(index, k int) string {
+	out := make([]byte, k)
+	for i := k - 1; i >= 0; i-- {
+		out[i] = DNALetters[index&3]
+		index >>= 2
+	}
+	return string(out)
+}
+
+// ProfileMatrix computes k-mer profiles for a set of sequences, flattened
+// row-major into a single []float64 of n*4^k values, the dense-matrix layout
+// consumed by the parallel SOM.
+func ProfileMatrix(seqs []*Sequence, k int) ([]float64, int, error) {
+	dim := 1 << (2 * k)
+	out := make([]float64, 0, len(seqs)*dim)
+	for _, s := range seqs {
+		v, err := KmerProfile(s.Letters, k)
+		if err != nil {
+			return nil, 0, err
+		}
+		out = append(out, v...)
+	}
+	return out, dim, nil
+}

@@ -1,0 +1,160 @@
+package bio
+
+import (
+	"bytes"
+	"io"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestFastaReaderBasic(t *testing.T) {
+	in := ">seq1 first sequence\nACGT\nACGT\n>seq2\nTTTT\n"
+	seqs, err := ReadAllFasta(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seqs) != 2 {
+		t.Fatalf("got %d records, want 2", len(seqs))
+	}
+	if seqs[0].ID != "seq1" || seqs[0].Desc != "first sequence" {
+		t.Errorf("record 0 defline parsed wrong: %+v", seqs[0])
+	}
+	if string(seqs[0].Letters) != "ACGTACGT" {
+		t.Errorf("record 0 letters = %q", seqs[0].Letters)
+	}
+	if seqs[1].ID != "seq2" || seqs[1].Desc != "" || string(seqs[1].Letters) != "TTTT" {
+		t.Errorf("record 1 wrong: %+v", seqs[1])
+	}
+}
+
+func TestFastaReaderNoTrailingNewline(t *testing.T) {
+	seqs, err := ReadAllFasta(strings.NewReader(">a\nACG"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seqs) != 1 || string(seqs[0].Letters) != "ACG" {
+		t.Fatalf("got %+v", seqs)
+	}
+}
+
+func TestFastaReaderBlankLinesAndCRLF(t *testing.T) {
+	in := "\n>a x\r\nAC GT\r\n\r\n>b\r\nTT\r\n"
+	seqs, err := ReadAllFasta(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seqs) != 2 {
+		t.Fatalf("got %d records", len(seqs))
+	}
+	if string(seqs[0].Letters) != "ACGT" {
+		t.Errorf("interior whitespace not removed: %q", seqs[0].Letters)
+	}
+}
+
+func TestFastaReaderEmpty(t *testing.T) {
+	seqs, err := ReadAllFasta(strings.NewReader(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seqs) != 0 {
+		t.Fatalf("expected no records, got %d", len(seqs))
+	}
+	fr := NewFastaReader(strings.NewReader(""))
+	if _, err := fr.Read(); err != io.EOF {
+		t.Errorf("expected io.EOF, got %v", err)
+	}
+}
+
+func TestFastaReaderEmptySequence(t *testing.T) {
+	seqs, err := ReadAllFasta(strings.NewReader(">a\n>b\nAC\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seqs) != 2 || seqs[0].Len() != 0 || string(seqs[1].Letters) != "AC" {
+		t.Fatalf("got %+v", seqs)
+	}
+}
+
+func TestFastaWriteReadRoundTrip(t *testing.T) {
+	g := NewGenerator(SynthParams{Seed: 1})
+	var seqs []*Sequence
+	seqs = append(seqs, g.RandomDNA("long", 345))
+	seqs = append(seqs, &Sequence{ID: "x", Desc: "with desc", Letters: []byte("ACGT")})
+	var buf bytes.Buffer
+	if err := WriteFasta(&buf, seqs); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadAllFasta(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(seqs) {
+		t.Fatalf("got %d records, want %d", len(back), len(seqs))
+	}
+	for i := range seqs {
+		if back[i].ID != seqs[i].ID || back[i].Desc != seqs[i].Desc ||
+			!bytes.Equal(back[i].Letters, seqs[i].Letters) {
+			t.Errorf("record %d mismatch", i)
+		}
+	}
+}
+
+func TestFastaFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "test.fa")
+	seqs := []*Sequence{{ID: "a", Letters: []byte("ACGTACGT")}}
+	if err := WriteFastaFile(path, seqs); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadFastaFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 1 || string(back[0].Letters) != "ACGTACGT" {
+		t.Fatalf("got %+v", back)
+	}
+}
+
+func TestSplitFasta(t *testing.T) {
+	seqs := make([]*Sequence, 7)
+	for i := range seqs {
+		seqs[i] = &Sequence{ID: string(rune('a' + i))}
+	}
+	blocks := SplitFasta(seqs, 3)
+	if len(blocks) != 3 || len(blocks[0]) != 3 || len(blocks[2]) != 1 {
+		t.Fatalf("blocks shape wrong: %v", len(blocks))
+	}
+	total := 0
+	for _, b := range blocks {
+		total += len(b)
+	}
+	if total != 7 {
+		t.Errorf("sequences lost: %d", total)
+	}
+}
+
+func TestSplitFastaBySize(t *testing.T) {
+	seqs := []*Sequence{
+		{ID: "a", Letters: make([]byte, 100)},
+		{ID: "b", Letters: make([]byte, 100)},
+		{ID: "c", Letters: make([]byte, 300)}, // oversize alone
+		{ID: "d", Letters: make([]byte, 50)},
+	}
+	blocks := SplitFastaBySize(seqs, 200)
+	if len(blocks) != 3 {
+		t.Fatalf("got %d blocks, want 3", len(blocks))
+	}
+	if len(blocks[0]) != 2 || blocks[1][0].ID != "c" || blocks[2][0].ID != "d" {
+		t.Errorf("block assignment wrong")
+	}
+}
+
+func TestSplitFastaPanicsOnBadBlockSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("expected panic")
+		}
+	}()
+	SplitFasta(nil, 0)
+}

@@ -1,0 +1,148 @@
+package bio
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeIndexedFasta(t *testing.T, n int) (string, []*Sequence) {
+	t.Helper()
+	g := NewGenerator(SynthParams{Seed: 77})
+	seqs := make([]*Sequence, n)
+	for i := range seqs {
+		seqs[i] = g.RandomDNA(
+			"seq"+string(rune('a'+i%26))+string(rune('0'+i/26)), 50+i*17)
+		if i%3 == 0 {
+			seqs[i].Desc = "with a description"
+		}
+	}
+	path := filepath.Join(t.TempDir(), "indexed.fa")
+	if err := WriteFastaFile(path, seqs); err != nil {
+		t.Fatal(err)
+	}
+	return path, seqs
+}
+
+func TestIndexFastaDimensions(t *testing.T) {
+	path, seqs := writeIndexedFasta(t, 9)
+	ix, err := IndexFasta(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.NumSeqs() != 9 {
+		t.Fatalf("NumSeqs = %d", ix.NumSeqs())
+	}
+	var want int64
+	for i, s := range seqs {
+		if ix.Lengths[i] != s.Len() {
+			t.Errorf("length[%d] = %d, want %d", i, ix.Lengths[i], s.Len())
+		}
+		want += int64(s.Len())
+	}
+	if ix.TotalResidues() != want {
+		t.Errorf("TotalResidues = %d, want %d", ix.TotalResidues(), want)
+	}
+	st, _ := os.Stat(path)
+	if ix.Offsets[len(ix.Offsets)-1] != st.Size() {
+		t.Errorf("final offset %d != file size %d", ix.Offsets[len(ix.Offsets)-1], st.Size())
+	}
+}
+
+func TestIndexReadRange(t *testing.T) {
+	path, seqs := writeIndexedFasta(t, 12)
+	ix, err := IndexFasta(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range [][2]int{{0, 12}, {0, 1}, {11, 12}, {3, 7}, {5, 5}} {
+		got, err := ix.ReadRange(tc[0], tc[1])
+		if err != nil {
+			t.Fatalf("ReadRange(%v): %v", tc, err)
+		}
+		if len(got) != tc[1]-tc[0] {
+			t.Fatalf("ReadRange(%v) returned %d records", tc, len(got))
+		}
+		for i, s := range got {
+			want := seqs[tc[0]+i]
+			if s.ID != want.ID || string(s.Letters) != string(want.Letters) || s.Desc != want.Desc {
+				t.Errorf("range %v record %d mismatch", tc, i)
+			}
+		}
+	}
+	if _, err := ix.ReadRange(-1, 2); err == nil {
+		t.Error("negative lo accepted")
+	}
+	if _, err := ix.ReadRange(0, 13); err == nil {
+		t.Error("overrun accepted")
+	}
+}
+
+func TestIndexFastaEmptyFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "empty.fa")
+	os.WriteFile(path, nil, 0o644)
+	if _, err := IndexFasta(path); err == nil {
+		t.Error("empty file accepted")
+	}
+}
+
+func TestIndexFastaNoTrailingNewline(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "x.fa")
+	os.WriteFile(path, []byte(">a\nACGT\n>b\nTT"), 0o644)
+	ix, err := IndexFasta(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.NumSeqs() != 2 || ix.Lengths[0] != 4 || ix.Lengths[1] != 2 {
+		t.Fatalf("index = %+v", ix)
+	}
+	recs, err := ix.ReadRange(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(recs[0].Letters) != "TT" {
+		t.Errorf("got %q", recs[0].Letters)
+	}
+}
+
+func TestDynamicBlocks(t *testing.T) {
+	path, _ := writeIndexedFasta(t, 100)
+	ix, err := IndexFasta(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocks := ix.DynamicBlocks(20, 5)
+	// Coverage: contiguous, complete, in order.
+	pos := 0
+	for _, b := range blocks {
+		if b[0] != pos || b[1] <= b[0] {
+			t.Fatalf("blocks not contiguous at %v", b)
+		}
+		pos = b[1]
+	}
+	if pos != 100 {
+		t.Fatalf("blocks cover %d of 100", pos)
+	}
+	// Tapering: the last block is smaller than the first.
+	first := blocks[0][1] - blocks[0][0]
+	last := blocks[len(blocks)-1][1] - blocks[len(blocks)-1][0]
+	if last >= first {
+		t.Errorf("no tapering: first %d last %d", first, last)
+	}
+}
+
+func TestDynamicBlocksDefaults(t *testing.T) {
+	path, _ := writeIndexedFasta(t, 10)
+	ix, _ := IndexFasta(path)
+	blocks := ix.DynamicBlocks(0, 0)
+	pos := 0
+	for _, b := range blocks {
+		if b[0] != pos {
+			t.Fatalf("gap at %v", b)
+		}
+		pos = b[1]
+	}
+	if pos != 10 {
+		t.Fatalf("coverage %d", pos)
+	}
+}

@@ -1,0 +1,87 @@
+package bio
+
+import "fmt"
+
+// ShredParams controls the read simulator that fragments long sequences into
+// overlapping windows. The paper shreds RefSeq sequences into 400 bp
+// fragments overlapping by 200 bp to simulate sequencing reads.
+type ShredParams struct {
+	// FragLen is the fragment length in residues (paper: 400).
+	FragLen int
+	// Overlap is the overlap between consecutive fragments (paper: 200).
+	Overlap int
+	// MinLen drops terminal fragments shorter than this; 0 keeps all.
+	MinLen int
+}
+
+// DefaultShredParams returns the paper's 400/200 shredding configuration.
+func DefaultShredParams() ShredParams {
+	return ShredParams{FragLen: 400, Overlap: 200, MinLen: 100}
+}
+
+// Validate reports whether the parameters are internally consistent.
+func (p ShredParams) Validate() error {
+	if p.FragLen <= 0 {
+		return fmt.Errorf("bio: shred FragLen must be positive, got %d", p.FragLen)
+	}
+	if p.Overlap < 0 || p.Overlap >= p.FragLen {
+		return fmt.Errorf("bio: shred Overlap must be in [0, FragLen), got %d", p.Overlap)
+	}
+	if p.MinLen < 0 {
+		return fmt.Errorf("bio: shred MinLen must be non-negative, got %d", p.MinLen)
+	}
+	return nil
+}
+
+// Shred fragments one sequence into overlapping windows. Fragment IDs are
+// "<parentID>/<start>-<end>" with half-open zero-based coordinates, so the
+// parent and the source interval are recoverable downstream (used by the
+// paper's self-hit exclusion and by the metagenomics example's truth labels).
+func Shred(seq *Sequence, p ShredParams) ([]*Sequence, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	step := p.FragLen - p.Overlap
+	var frags []*Sequence
+	for start := 0; start < seq.Len(); start += step {
+		end := min(start+p.FragLen, seq.Len())
+		if end-start < p.MinLen && start > 0 {
+			break
+		}
+		frags = append(frags, &Sequence{
+			ID:      fmt.Sprintf("%s/%d-%d", seq.ID, start, end),
+			Desc:    seq.Desc,
+			Letters: append([]byte(nil), seq.Letters[start:end]...),
+		})
+		if end == seq.Len() {
+			break
+		}
+	}
+	return frags, nil
+}
+
+// ShredAll fragments every sequence, concatenating the results in input
+// order.
+func ShredAll(seqs []*Sequence, p ShredParams) ([]*Sequence, error) {
+	var all []*Sequence
+	for _, s := range seqs {
+		frags, err := Shred(s, p)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, frags...)
+	}
+	return all, nil
+}
+
+// FragmentParent extracts the parent sequence ID from a fragment ID produced
+// by Shred. It returns the input unchanged when the ID does not carry a
+// fragment suffix.
+func FragmentParent(fragID string) string {
+	for i := len(fragID) - 1; i >= 0; i-- {
+		if fragID[i] == '/' {
+			return fragID[:i]
+		}
+	}
+	return fragID
+}

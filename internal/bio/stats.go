@@ -1,0 +1,69 @@
+package bio
+
+import "sort"
+
+// SeqStats summarizes a sequence collection, the numbers a database README
+// quotes (and cmd/seqstat prints).
+type SeqStats struct {
+	// Count is the number of sequences.
+	Count int
+	// TotalResidues sums all lengths.
+	TotalResidues int64
+	// MinLen/MaxLen/MeanLen describe the length distribution.
+	MinLen, MaxLen int
+	MeanLen        float64
+	// N50 is the standard assembly statistic: the length L such that
+	// sequences of length >= L cover at least half the total residues.
+	N50 int
+	// GC is the fraction of G/C letters among ACGT letters (DNA only;
+	// 0 when no ACGT letters are present).
+	GC float64
+}
+
+// ComputeSeqStats scans a collection.
+func ComputeSeqStats(seqs []*Sequence) SeqStats {
+	var st SeqStats
+	if len(seqs) == 0 {
+		return st
+	}
+	st.Count = len(seqs)
+	lengths := make([]int, len(seqs))
+	var gc, acgt int64
+	st.MinLen = seqs[0].Len()
+	for i, s := range seqs {
+		l := s.Len()
+		lengths[i] = l
+		st.TotalResidues += int64(l)
+		if l < st.MinLen {
+			st.MinLen = l
+		}
+		if l > st.MaxLen {
+			st.MaxLen = l
+		}
+		for _, c := range s.Letters {
+			switch c {
+			case 'G', 'g', 'C', 'c':
+				gc++
+				acgt++
+			case 'A', 'a', 'T', 't':
+				acgt++
+			}
+		}
+	}
+	st.MeanLen = float64(st.TotalResidues) / float64(st.Count)
+	if acgt > 0 {
+		st.GC = float64(gc) / float64(acgt)
+	}
+	// N50: walk lengths descending until half the residues are covered.
+	sort.Sort(sort.Reverse(sort.IntSlice(lengths)))
+	var acc int64
+	half := (st.TotalResidues + 1) / 2
+	for _, l := range lengths {
+		acc += int64(l)
+		if acc >= half {
+			st.N50 = l
+			break
+		}
+	}
+	return st
+}

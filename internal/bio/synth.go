@@ -1,0 +1,246 @@
+package bio
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Robinson–Robinson amino-acid background frequencies, indexed by the first
+// 20 codes of ProteinLetters (ARNDCQEGHILKMFPSTWYV). These are the standard
+// frequencies used by BLAST's Karlin–Altschul statistics.
+var RobinsonFreqs = [20]float64{
+	0.07805, // A
+	0.05129, // R
+	0.04487, // N
+	0.05364, // D
+	0.01925, // C
+	0.04264, // Q
+	0.06295, // E
+	0.07377, // G
+	0.02199, // H
+	0.05142, // I
+	0.09019, // L
+	0.05744, // K
+	0.02243, // M
+	0.03856, // F
+	0.05203, // P
+	0.07120, // S
+	0.05841, // T
+	0.01330, // W
+	0.03216, // Y
+	0.06441, // V
+}
+
+// SynthParams configures the synthetic sequence generator.
+type SynthParams struct {
+	// Seed makes generation deterministic.
+	Seed int64
+	// GC is the genome GC content in [0,1] (DNA only); 0 means 0.5.
+	GC float64
+}
+
+// Generator produces deterministic synthetic sequence data with planted
+// homologies. It substitutes for the NCBI reference databases used by the
+// paper: what matters for the parallel experiments is the workload shape
+// (many sequences, skewed and irregular similarity structure), not the exact
+// biology.
+type Generator struct {
+	rng *rand.Rand
+	p   SynthParams
+}
+
+// NewGenerator returns a generator with the given parameters.
+func NewGenerator(p SynthParams) *Generator {
+	if p.GC == 0 {
+		p.GC = 0.5
+	}
+	return &Generator{rng: rand.New(rand.NewSource(p.Seed)), p: p}
+}
+
+// RandomDNA returns a random DNA sequence of length n with the configured GC
+// content.
+func (g *Generator) RandomDNA(id string, n int) *Sequence {
+	letters := make([]byte, n)
+	for i := range letters {
+		r := g.rng.Float64()
+		switch {
+		case r < g.p.GC/2:
+			letters[i] = 'G'
+		case r < g.p.GC:
+			letters[i] = 'C'
+		case r < g.p.GC+(1-g.p.GC)/2:
+			letters[i] = 'A'
+		default:
+			letters[i] = 'T'
+		}
+	}
+	return &Sequence{ID: id, Letters: letters}
+}
+
+// RandomProtein returns a random protein sequence of length n drawn from the
+// Robinson–Robinson background distribution.
+func (g *Generator) RandomProtein(id string, n int) *Sequence {
+	letters := make([]byte, n)
+	for i := range letters {
+		letters[i] = ProteinLetters[g.sampleResidue()]
+	}
+	return &Sequence{ID: id, Letters: letters}
+}
+
+func (g *Generator) sampleResidue() int {
+	r := g.rng.Float64()
+	acc := 0.0
+	for i, f := range RobinsonFreqs {
+		acc += f
+		if r < acc {
+			return i
+		}
+	}
+	return 19 // V; reachable only through rounding
+}
+
+// Mutate returns a copy of seq with approximately rate*len substitutions and
+// indelRate*len single-residue indels, simulating evolutionary divergence.
+// The alphabet is inferred from the sequence content via alpha.
+func (g *Generator) Mutate(seq *Sequence, id string, rate, indelRate float64, alpha Alphabet) *Sequence {
+	out := make([]byte, 0, seq.Len()+8)
+	for _, c := range seq.Letters {
+		r := g.rng.Float64()
+		switch {
+		case r < indelRate/2:
+			// Deletion: skip this residue.
+		case r < indelRate:
+			// Insertion: keep the residue and add a random one.
+			out = append(out, c, g.randomLetter(alpha))
+		case r < indelRate+rate:
+			out = append(out, g.substitute(c, alpha))
+		default:
+			out = append(out, c)
+		}
+	}
+	return &Sequence{ID: id, Desc: "mutated from " + seq.ID, Letters: out}
+}
+
+func (g *Generator) randomLetter(alpha Alphabet) byte {
+	if alpha == DNA {
+		return DNALetters[g.rng.Intn(4)]
+	}
+	return ProteinLetters[g.sampleResidue()]
+}
+
+func (g *Generator) substitute(c byte, alpha Alphabet) byte {
+	for {
+		n := g.randomLetter(alpha)
+		if n != c {
+			return n
+		}
+	}
+}
+
+// GenomeSet describes a synthetic reference collection: nTaxa "genomes" whose
+// lengths are drawn log-uniformly in [minLen, maxLen]. For each genome,
+// related "strains" at the given identity are planted so that database
+// searches find real, unevenly distributed homologies — the source of the
+// irregular per-query cost the paper's load-balancing analysis depends on.
+type GenomeSet struct {
+	// Genomes are the primary reference sequences.
+	Genomes []*Sequence
+	// Strains maps genome index to its derived strain sequences.
+	Strains [][]*Sequence
+}
+
+// GenomeSetParams configures GenerateGenomeSet.
+type GenomeSetParams struct {
+	NTaxa            int
+	MinLen, MaxLen   int
+	StrainsPerGenome int
+	// StrainIdentity is the expected residue identity of each strain with its
+	// parent (e.g. 0.9 leaves ~10% substitutions).
+	StrainIdentity float64
+}
+
+// GenerateGenomeSet builds a synthetic reference collection.
+func (g *Generator) GenerateGenomeSet(p GenomeSetParams) *GenomeSet {
+	if p.NTaxa <= 0 || p.MinLen <= 0 || p.MaxLen < p.MinLen {
+		panic("bio: invalid GenomeSetParams")
+	}
+	set := &GenomeSet{
+		Genomes: make([]*Sequence, p.NTaxa),
+		Strains: make([][]*Sequence, p.NTaxa),
+	}
+	for i := 0; i < p.NTaxa; i++ {
+		n := g.logUniformLen(p.MinLen, p.MaxLen)
+		genome := g.RandomDNA(fmt.Sprintf("taxon%04d", i), n)
+		set.Genomes[i] = genome
+		rate := 1 - p.StrainIdentity
+		for s := 0; s < p.StrainsPerGenome; s++ {
+			id := fmt.Sprintf("taxon%04d.s%d", i, s+1)
+			set.Strains[i] = append(set.Strains[i], g.Mutate(genome, id, rate, rate/10, DNA))
+		}
+	}
+	return set
+}
+
+// All returns genomes and strains flattened in deterministic order.
+func (s *GenomeSet) All() []*Sequence {
+	var all []*Sequence
+	for i, genome := range s.Genomes {
+		all = append(all, genome)
+		all = append(all, s.Strains[i]...)
+	}
+	return all
+}
+
+func (g *Generator) logUniformLen(lo, hi int) int {
+	if lo == hi {
+		return lo
+	}
+	// Log-uniform between lo and hi gives a skewed length distribution like
+	// real sequence databases.
+	u := g.rng.Float64()
+	ratio := float64(hi) / float64(lo)
+	n := int(float64(lo) * math.Pow(ratio, u))
+	return max(lo, min(hi, n))
+}
+
+// RandomVectors returns n vectors of dimension dim with components uniform in
+// [0,1), flattened row-major. Used by the SOM benchmarks (paper: 81,920
+// random 256-d vectors; Fig. 8: 10,000 random 500-d vectors).
+func RandomVectors(seed int64, n, dim int) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]float64, n*dim)
+	for i := range out {
+		out[i] = rng.Float64()
+	}
+	return out
+}
+
+// RandomRGB returns n random RGB color vectors (dim 3, components in [0,1)),
+// as used by the paper's Fig. 7 correctness check.
+func RandomRGB(seed int64, n int) []float64 {
+	return RandomVectors(seed, n, 3)
+}
+
+// ClusteredVectors returns n vectors of dimension dim drawn from k Gaussian
+// clusters with the given within-cluster standard deviation; centers are
+// uniform in [0,1). It returns the flattened data and the true cluster label
+// of each vector. Useful for SOM quality tests where structure must be
+// recoverable.
+func ClusteredVectors(seed int64, n, dim, k int, sigma float64) (data []float64, labels []int) {
+	rng := rand.New(rand.NewSource(seed))
+	centers := make([]float64, k*dim)
+	for i := range centers {
+		centers[i] = rng.Float64()
+	}
+	data = make([]float64, n*dim)
+	labels = make([]int, n)
+	for v := 0; v < n; v++ {
+		c := rng.Intn(k)
+		labels[v] = c
+		for d := 0; d < dim; d++ {
+			data[v*dim+d] = centers[c*dim+d] + rng.NormFloat64()*sigma
+		}
+	}
+	return data, labels
+}

@@ -1,0 +1,61 @@
+package bio
+
+// TwoBit is a densely packed 2-bit-per-base DNA sequence, the on-disk and
+// in-memory representation used by BLAST database volumes (mirroring NCBI
+// formatdb's packed format). Base i occupies bits (i%4)*2 of byte i/4,
+// little-endian within the byte.
+type TwoBit struct {
+	data []byte
+	n    int
+}
+
+// PackDNA packs 2-bit codes (values 0..3, as produced by EncodeDNA) into a
+// TwoBit sequence.
+func PackDNA(codes []byte) *TwoBit {
+	tb := &TwoBit{
+		data: make([]byte, (len(codes)+3)/4),
+		n:    len(codes),
+	}
+	for i, c := range codes {
+		tb.data[i>>2] |= (c & 3) << uint((i&3)<<1)
+	}
+	return tb
+}
+
+// FromPacked wraps an already-packed byte slice holding n bases. The slice is
+// used directly without copying.
+func FromPacked(data []byte, n int) *TwoBit {
+	if need := (n + 3) / 4; len(data) < need {
+		panic("bio: FromPacked data too short for n bases")
+	}
+	return &TwoBit{data: data, n: n}
+}
+
+// Len reports the number of bases.
+func (tb *TwoBit) Len() int { return tb.n }
+
+// Packed returns the underlying packed bytes (shared, not copied).
+func (tb *TwoBit) Packed() []byte { return tb.data }
+
+// Base returns the 2-bit code of base i.
+func (tb *TwoBit) Base(i int) byte {
+	return (tb.data[i>>2] >> uint((i&3)<<1)) & 3
+}
+
+// Unpack expands bases [start, end) into 2-bit codes, one per byte.
+func (tb *TwoBit) Unpack(start, end int) []byte {
+	if start < 0 || end > tb.n || start > end {
+		panic("bio: TwoBit.Unpack range out of bounds")
+	}
+	out := make([]byte, end-start)
+	for i := range out {
+		out[i] = tb.Base(start + i)
+	}
+	return out
+}
+
+// UnpackAll expands the whole sequence into 2-bit codes, one per byte.
+func (tb *TwoBit) UnpackAll() []byte { return tb.Unpack(0, tb.n) }
+
+// PackedSize reports the number of bytes needed to pack n bases.
+func PackedSize(n int) int { return (n + 3) / 4 }

@@ -1,0 +1,220 @@
+package blast
+
+import "fmt"
+
+// AlignStats summarizes a gapped alignment path.
+type AlignStats struct {
+	// Identities is the number of identical aligned residue pairs.
+	Identities int
+	// Mismatches is the number of differing aligned residue pairs.
+	Mismatches int
+	// Gaps is the total number of gap positions (residues opposite gaps).
+	Gaps int
+	// AlignLen is the alignment length including gap columns.
+	AlignLen int
+}
+
+// EditOp is one traceback operation.
+type EditOp byte
+
+const (
+	// OpMatch aligns one residue of each sequence (match or mismatch).
+	OpMatch EditOp = 'M'
+	// OpInsQ consumes a query residue opposite a gap.
+	OpInsQ EditOp = 'Q'
+	// OpInsS consumes a subject residue opposite a gap.
+	OpInsS EditOp = 'S'
+)
+
+// bandedGlobalAlign aligns q against s end-to-end with affine gaps inside a
+// diagonal band, returning the score and the edit path. The band half-width
+// is |len(q)-len(s)| + pad, enough for any path whose gap total is within
+// pad of the minimum. It is used to recover alignment statistics for an HSP
+// whose rectangle is already fixed by the X-drop extension.
+func bandedGlobalAlign(q, s []byte, m Matrix, gaps GapCosts, pad int) (int, []EditOp, error) {
+	nq, ns := len(q), len(s)
+	if nq == 0 || ns == 0 {
+		// Degenerate: pure gap alignment.
+		ops := make([]EditOp, 0, nq+ns)
+		score := 0
+		if nq > 0 {
+			score = -(gaps.Open + gaps.Extend*nq)
+			for i := 0; i < nq; i++ {
+				ops = append(ops, OpInsQ)
+			}
+		} else if ns > 0 {
+			score = -(gaps.Open + gaps.Extend*ns)
+			for i := 0; i < ns; i++ {
+				ops = append(ops, OpInsS)
+			}
+		}
+		return score, ops, nil
+	}
+	half := abs(nq-ns) + pad
+	// Band: for row i, columns in [i-half, i+half] intersected with [0, ns].
+	width := 2*half + 1
+	idx := func(i, j int) (int, bool) {
+		off := j - (i - half)
+		if off < 0 || off >= width {
+			return 0, false
+		}
+		return i*width + off, true
+	}
+	// Three DP layers: M (last op diagonal), E (gap consuming q), F (gap
+	// consuming s), each with backpointers packed as (layer<<...) — store
+	// separate byte arrays.
+	size := (nq + 1) * width
+	mS := make([]int, size)
+	eS := make([]int, size)
+	fS := make([]int, size)
+	for i := range mS {
+		mS[i], eS[i], fS[i] = negInf, negInf, negInf
+	}
+	// back[k] bits: 0-1 from-layer for M, 2-3 for E, 4-5 for F
+	// layer encoding: 0=M, 1=E, 2=F.
+	backM := make([]byte, size)
+	backE := make([]byte, size)
+	backF := make([]byte, size)
+
+	openExt := gaps.Open + gaps.Extend
+	if k, ok := idx(0, 0); ok {
+		mS[k] = 0
+	}
+	for j := 1; j <= min(ns, half); j++ {
+		if k, ok := idx(0, j); ok {
+			fS[k] = -(gaps.Open + gaps.Extend*j)
+			if kp, okp := idx(0, j-1); okp && j > 1 {
+				_ = kp
+				backF[k] = 2 // extend F
+			} else {
+				backF[k] = 0 // open from M at (0,0)
+			}
+		}
+	}
+	for i := 1; i <= nq; i++ {
+		lo := max(0, i-half)
+		hi := min(ns, i+half)
+		for j := lo; j <= hi; j++ {
+			k, ok := idx(i, j)
+			if !ok {
+				continue
+			}
+			// E: gap consuming q (from row i-1, same column).
+			if kp, okp := idx(i-1, j); okp {
+				open := mS[kp] - openExt
+				ext := eS[kp] - gaps.Extend
+				if open >= ext {
+					eS[k] = open
+					backE[k] = 0
+				} else {
+					eS[k] = ext
+					backE[k] = 1
+				}
+			}
+			// F: gap consuming s (from column j-1, same row).
+			if j > lo || j > 0 {
+				if kp, okp := idx(i, j-1); okp {
+					open := mS[kp] - openExt
+					ext := fS[kp] - gaps.Extend
+					if open >= ext {
+						fS[k] = open
+						backF[k] = 0
+					} else {
+						fS[k] = ext
+						backF[k] = 2
+					}
+				}
+			}
+			// M: diagonal.
+			if i >= 1 && j >= 1 {
+				if kp, okp := idx(i-1, j-1); okp {
+					d := max(mS[kp], max(eS[kp], fS[kp]))
+					if d > negInf/2 {
+						sc := d + m.Score(q[i-1], s[j-1])
+						mS[k] = sc
+						switch {
+						case d == mS[kp]:
+							backM[k] = 0
+						case d == eS[kp]:
+							backM[k] = 1
+						default:
+							backM[k] = 2
+						}
+					}
+				}
+			}
+		}
+	}
+	kEnd, ok := idx(nq, ns)
+	if !ok {
+		return 0, nil, fmt.Errorf("blast: band too narrow for %dx%d alignment", nq, ns)
+	}
+	layer := 0
+	best := mS[kEnd]
+	if eS[kEnd] > best {
+		best, layer = eS[kEnd], 1
+	}
+	if fS[kEnd] > best {
+		best, layer = fS[kEnd], 2
+	}
+	if best <= negInf/2 {
+		return 0, nil, fmt.Errorf("blast: no path within band for %dx%d alignment", nq, ns)
+	}
+
+	// Traceback.
+	var rev []EditOp
+	i, j := nq, ns
+	for i > 0 || j > 0 {
+		k, okk := idx(i, j)
+		if !okk {
+			return 0, nil, fmt.Errorf("blast: traceback left the band at (%d,%d)", i, j)
+		}
+		switch layer {
+		case 0:
+			rev = append(rev, OpMatch)
+			layer = int(backM[k])
+			i--
+			j--
+		case 1:
+			rev = append(rev, OpInsQ)
+			layer = int(backE[k])
+			i--
+		case 2:
+			rev = append(rev, OpInsS)
+			layer = int(backF[k])
+			j--
+		}
+	}
+	ops := make([]EditOp, len(rev))
+	for x := range rev {
+		ops[x] = rev[len(rev)-1-x]
+	}
+	return best, ops, nil
+}
+
+// alignmentStats walks an edit path and counts identities, mismatches and
+// gaps.
+func alignmentStats(q, s []byte, ops []EditOp) AlignStats {
+	var st AlignStats
+	qi, si := 0, 0
+	for _, op := range ops {
+		st.AlignLen++
+		switch op {
+		case OpMatch:
+			if q[qi] == s[si] {
+				st.Identities++
+			} else {
+				st.Mismatches++
+			}
+			qi++
+			si++
+		case OpInsQ:
+			st.Gaps++
+			qi++
+		case OpInsS:
+			st.Gaps++
+			si++
+		}
+	}
+	return st
+}

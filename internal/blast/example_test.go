@@ -1,0 +1,32 @@
+package blast_test
+
+import (
+	"fmt"
+
+	"repro/internal/bio"
+	"repro/internal/blast"
+)
+
+// Search a query block against one subject with the blastn engine.
+func ExampleEngine_SearchSubject() {
+	g := bio.NewGenerator(bio.SynthParams{Seed: 1})
+	genome := g.RandomDNA("genome", 2000)
+	// Query: an exact 300 bp fragment of the genome.
+	query := &bio.Sequence{ID: "read1", Letters: append([]byte(nil), genome.Letters[500:800]...)}
+
+	eng, err := blast.NewEngine([]*bio.Sequence{query}, blast.DefaultNucleotideParams())
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	eng.SetDatabaseDims(int64(genome.Len()), 1)
+	hits, err := eng.SearchSubject(blast.EncodeSubject(genome, bio.DNA))
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	h := hits[0]
+	fmt.Printf("%s hits %s at subject %d-%d, %d/%d identities\n",
+		h.QueryID, h.SubjectID, h.SStart, h.SEnd, h.Identities, h.AlignLen)
+	// Output: read1 hits genome at subject 500-800, 300/300 identities
+}

@@ -1,0 +1,141 @@
+package blast
+
+import "math"
+
+// Interval is a half-open masked region [Start, End).
+type Interval struct {
+	Start, End int
+}
+
+// mergeIntervals sorts and coalesces overlapping or adjacent intervals.
+// Inputs are produced in left-to-right order by the filters, so a single
+// linear pass suffices.
+func mergeIntervals(ivs []Interval) []Interval {
+	if len(ivs) == 0 {
+		return nil
+	}
+	out := ivs[:1]
+	for _, iv := range ivs[1:] {
+		last := &out[len(out)-1]
+		if iv.Start <= last.End {
+			if iv.End > last.End {
+				last.End = iv.End
+			}
+		} else {
+			out = append(out, iv)
+		}
+	}
+	return out
+}
+
+// DustWindow is the window length of the DUST low-complexity filter.
+const DustWindow = 64
+
+// DustThreshold is the masking threshold in classic DUST score units.
+const DustThreshold = 20.0
+
+// DustMask finds low-complexity regions of a 2-bit encoded DNA sequence
+// using the classic DUST heuristic: within each window, score =
+// 10·Σ c_t(c_t−1)/2 / (n−1) over triplet counts c_t; windows scoring above
+// DustThreshold are masked. BLAST applies DUST to nucleotide queries by
+// default; the paper notes that low-complexity filtering is "usually
+// requested" in the searches it parallelizes.
+func DustMask(codes []byte) []Interval {
+	if len(codes) < 3 {
+		return nil
+	}
+	var out []Interval
+	var counts [64]int
+	step := DustWindow / 2
+	for start := 0; start < len(codes); start += step {
+		end := min(start+DustWindow, len(codes))
+		ntrip := 0
+		for i := range counts {
+			counts[i] = 0
+		}
+		for i := start; i+3 <= end; i++ {
+			c0, c1, c2 := codes[i], codes[i+1], codes[i+2]
+			if c0 > 3 || c1 > 3 || c2 > 3 {
+				continue
+			}
+			t := int(c0)<<4 | int(c1)<<2 | int(c2)
+			counts[t]++
+			ntrip++
+		}
+		if ntrip < 2 {
+			if end == len(codes) {
+				break
+			}
+			continue
+		}
+		s := 0
+		for _, c := range counts {
+			s += c * (c - 1) / 2
+		}
+		score := 10 * float64(s) / float64(ntrip-1)
+		if score > DustThreshold {
+			out = append(out, Interval{Start: start, End: end})
+		}
+		if end == len(codes) {
+			break
+		}
+	}
+	return mergeIntervals(out)
+}
+
+// SegWindow is the trigger window length of the SEG filter.
+const SegWindow = 12
+
+// SegEntropyThreshold is the entropy (bits) below which a window is
+// considered low complexity (SEG's K2 trigger of 2.2).
+const SegEntropyThreshold = 2.2
+
+// SegMask finds low-complexity regions of an encoded protein sequence with
+// a simplified SEG: windows of SegWindow residues whose Shannon entropy
+// falls below SegEntropyThreshold are masked. BLAST applies SEG to protein
+// queries.
+func SegMask(codes []byte) []Interval {
+	if len(codes) < SegWindow {
+		return nil
+	}
+	var out []Interval
+	var counts [32]int
+	for start := 0; start+SegWindow <= len(codes); start++ {
+		for i := range counts {
+			counts[i] = 0
+		}
+		valid := 0
+		for i := start; i < start+SegWindow; i++ {
+			c := codes[i]
+			if c < 20 {
+				counts[c]++
+				valid++
+			}
+		}
+		if valid < SegWindow {
+			continue
+		}
+		h := 0.0
+		for _, c := range counts {
+			if c > 0 {
+				p := float64(c) / float64(valid)
+				h -= p * math.Log2(p)
+			}
+		}
+		if h < SegEntropyThreshold {
+			out = append(out, Interval{Start: start, End: start + SegWindow})
+		}
+	}
+	return mergeIntervals(out)
+}
+
+// applyMask writes maskedCode over the masked intervals of an encoded
+// sequence (soft masking: only the lookup stage sees the mask; extensions
+// use the original residues).
+func applyMask(codes []byte, ivs []Interval) {
+	for _, iv := range ivs {
+		for i := max(iv.Start, 0); i < min(iv.End, len(codes)); i++ {
+			codes[i] = maskedCode
+		}
+	}
+}

@@ -1,0 +1,155 @@
+package blast
+
+const negInf = -1 << 30
+
+// gappedResult is the outcome of a bidirectional gapped X-drop extension in
+// concat-query / subject coordinates (half-open ranges).
+type gappedResult struct {
+	score    int
+	qlo, qhi int
+	slo, shi int
+}
+
+// extendGapped runs the BLAST stage-3 gapped X-drop extension from a seed
+// point inside an ungapped HSP: two half-extensions (left of and right of
+// the seed) whose scores add. The seed residue pair itself is scored in the
+// right half.
+func extendGapped(q []byte, qloBound, qhiBound int, s []byte, qseed, sseed int, m Matrix, gaps GapCosts, xdrop int) gappedResult {
+	// Right half includes the seed pair: align q[qseed..qhiBound) with
+	// s[sseed..len).
+	rScore, rq, rs := xdropHalf(q[qseed:qhiBound], s[sseed:], m, gaps, xdrop)
+	// Left half: reversed prefixes, excluding the seed pair.
+	lq := reverseSlice(q[qloBound:qseed])
+	ls := reverseSlice(s[:sseed])
+	lScore, lqe, lse := xdropHalf(lq, ls, m, gaps, xdrop)
+	return gappedResult{
+		score: rScore + lScore,
+		qlo:   qseed - lqe,
+		qhi:   qseed + rq,
+		slo:   sseed - lse,
+		shi:   sseed + rs,
+	}
+}
+
+func reverseSlice(b []byte) []byte {
+	out := make([]byte, len(b))
+	for i, c := range b {
+		out[len(b)-1-i] = c
+	}
+	return out
+}
+
+// xdropHalf computes the best-scoring alignment of prefixes of q and s that
+// starts at (0,0), pruning any dynamic-programming cell whose score falls
+// more than xdrop below the best seen. It returns the best score and the
+// prefix lengths (qext, sext) at which it is achieved.
+//
+// The recurrence is the affine-gap X-drop of Zhang et al. as used in NCBI's
+// gapped extension: row i consumes q[i-1], column j consumes s[j-1].
+func xdropHalf(q, s []byte, m Matrix, gaps GapCosts, xdrop int) (best, qext, sext int) {
+	openExt := gaps.Open + gaps.Extend
+
+	// score[j]: best alignment score ending at (i, j); eGap[j]: best ending
+	// with a gap that consumes q (vertical). Window [jlo, jhi] holds the
+	// live columns of the previous row.
+	width := len(s) + 1
+	score := make([]int, width)
+	eGap := make([]int, width)
+
+	best = 0
+	qext, sext = 0, 0
+	score[0] = 0
+	eGap[0] = negInf
+	jhi := 0
+	for j := 1; j < width; j++ {
+		v := -(gaps.Open + gaps.Extend*j)
+		if v < -xdrop {
+			break
+		}
+		score[j] = v
+		eGap[j] = negInf
+		jhi = j
+	}
+	jlo := 0
+
+	prevScore := make([]int, width)
+	for i := 1; i <= len(q); i++ {
+		copy(prevScore, score)
+		// Columns left of the live window are dead; kill the one cell the
+		// diagonal recurrence can reach so stale values never leak in.
+		if jlo >= 1 {
+			prevScore[jlo-1] = negInf
+		}
+		// The window may grow one column to the right via the diagonal.
+		newHi := min(jhi+1, width-1)
+		fGap := negInf
+		rowBestSet := false
+		newLo := -1
+		qc := q[i-1]
+
+		// Column jlo-1 is dead in this row unless jlo == 0.
+		if jlo == 0 {
+			// Score of aligning q[0:i] against the empty subject prefix.
+			v := -(gaps.Open + gaps.Extend*i)
+			if v >= best-xdrop {
+				score[0] = v
+				eGap[0] = max(eGap[0]-gaps.Extend, prevScore[0]-openExt)
+				newLo = 0
+				rowBestSet = true
+			} else {
+				score[0] = negInf
+				eGap[0] = negInf
+			}
+		}
+		for j := max(jlo, 1); j <= newHi; j++ {
+			diag := negInf
+			if j-1 <= jhi && j-1 >= jlo-1 {
+				if prevScore[j-1] > negInf/2 {
+					diag = prevScore[j-1] + m.Score(qc, s[j-1])
+				}
+			}
+			e := negInf
+			if j <= jhi {
+				e = max(eGap[j]-gaps.Extend, prevScore[j]-openExt)
+			}
+			f := fGap
+			v := max(diag, max(e, f))
+			if v < best-xdrop {
+				score[j] = negInf
+				eGap[j] = negInf
+				fGap = max(fGap-gaps.Extend, negInf)
+				continue
+			}
+			score[j] = v
+			eGap[j] = e
+			fGap = max(f-gaps.Extend, v-openExt)
+			if v > best {
+				best = v
+				qext, sext = i, j
+			}
+			if newLo < 0 {
+				newLo = j
+			}
+			rowBestSet = true
+		}
+		if !rowBestSet {
+			break // every cell pruned: extension is finished
+		}
+		// Shrink the window to the live cells.
+		if newLo < 0 {
+			break
+		}
+		jlo = newLo
+		jhi = newHi
+		for jhi > jlo && score[jhi] <= negInf/2 {
+			jhi--
+		}
+		for jlo < jhi && score[jlo] <= negInf/2 {
+			jlo++
+		}
+		if jhi == width-1 && jlo == width-1 && score[jhi] <= negInf/2 {
+			break
+		}
+	}
+	return best, qext, sext
+}

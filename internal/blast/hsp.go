@@ -1,0 +1,185 @@
+package blast
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// HSP is a High-Scoring Pair: one local alignment between a query and a
+// database subject, the unit the paper's map() emits as the value of a
+// (queryID, hit) key-value pair.
+type HSP struct {
+	// QueryID and SubjectID identify the aligned sequences.
+	QueryID   string
+	SubjectID string
+	// Strand is +1 when the query aligns to the subject as given, -1 when
+	// its reverse complement does (DNA only; protein HSPs are always +1).
+	Strand int8
+	// QStart/QEnd are 0-based half-open query coordinates on the plus
+	// strand.
+	QStart, QEnd int
+	// SStart/SEnd are 0-based half-open subject coordinates.
+	SStart, SEnd int
+	// Score is the raw alignment score.
+	Score int
+	// BitScore is the normalized score in bits.
+	BitScore float64
+	// EValue is the expected number of chance alignments this good.
+	EValue float64
+	// Identities, Gaps and AlignLen summarize the alignment path.
+	Identities int
+	Gaps       int
+	AlignLen   int
+}
+
+// PercentIdentity reports identities over alignment length.
+func (h *HSP) PercentIdentity() float64 {
+	if h.AlignLen == 0 {
+		return 0
+	}
+	return 100 * float64(h.Identities) / float64(h.AlignLen)
+}
+
+// String renders a compact tabular form (similar to BLAST outfmt 6, plus a
+// trailing strand column).
+func (h *HSP) String() string {
+	strand := byte('+')
+	if h.Strand < 0 {
+		strand = '-'
+	}
+	return fmt.Sprintf("%s\t%s\t%.1f\t%d\t%d\t%d\t%d\t%d\t%d\t%.2g\t%.1f\t%c",
+		h.QueryID, h.SubjectID, h.PercentIdentity(), h.AlignLen, h.Gaps,
+		h.QStart, h.QEnd, h.SStart, h.SEnd, h.EValue, h.BitScore, strand)
+}
+
+// Marshal serializes the HSP to a compact binary form for transport through
+// the MapReduce key-value store.
+func (h *HSP) Marshal() []byte {
+	buf := make([]byte, 0, 64+len(h.QueryID)+len(h.SubjectID))
+	put := func(v uint64) { buf = binary.AppendUvarint(buf, v) }
+	putS := func(s string) {
+		put(uint64(len(s)))
+		buf = append(buf, s...)
+	}
+	putS(h.QueryID)
+	putS(h.SubjectID)
+	buf = append(buf, byte(h.Strand+2)) // 1 or 3
+	put(uint64(h.QStart))
+	put(uint64(h.QEnd))
+	put(uint64(h.SStart))
+	put(uint64(h.SEnd))
+	put(uint64(h.Score))
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(h.BitScore))
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(h.EValue))
+	put(uint64(h.Identities))
+	put(uint64(h.Gaps))
+	put(uint64(h.AlignLen))
+	return buf
+}
+
+// UnmarshalHSP parses a binary HSP produced by Marshal.
+func UnmarshalHSP(data []byte) (*HSP, error) {
+	h := &HSP{}
+	get := func() (uint64, error) {
+		v, n := binary.Uvarint(data)
+		if n <= 0 {
+			return 0, fmt.Errorf("blast: truncated HSP record")
+		}
+		data = data[n:]
+		return v, nil
+	}
+	getS := func() (string, error) {
+		n, err := get()
+		if err != nil {
+			return "", err
+		}
+		if uint64(len(data)) < n {
+			return "", fmt.Errorf("blast: truncated HSP string")
+		}
+		s := string(data[:n])
+		data = data[n:]
+		return s, nil
+	}
+	var err error
+	if h.QueryID, err = getS(); err != nil {
+		return nil, err
+	}
+	if h.SubjectID, err = getS(); err != nil {
+		return nil, err
+	}
+	if len(data) < 1 {
+		return nil, fmt.Errorf("blast: truncated HSP record")
+	}
+	h.Strand = int8(data[0]) - 2
+	data = data[1:]
+	fields := []*int{&h.QStart, &h.QEnd, &h.SStart, &h.SEnd, &h.Score}
+	for _, f := range fields {
+		v, err := get()
+		if err != nil {
+			return nil, err
+		}
+		*f = int(v)
+	}
+	if len(data) < 16 {
+		return nil, fmt.Errorf("blast: truncated HSP floats")
+	}
+	h.BitScore = math.Float64frombits(binary.LittleEndian.Uint64(data))
+	h.EValue = math.Float64frombits(binary.LittleEndian.Uint64(data[8:]))
+	data = data[16:]
+	tail := []*int{&h.Identities, &h.Gaps, &h.AlignLen}
+	for _, f := range tail {
+		v, err := get()
+		if err != nil {
+			return nil, err
+		}
+		*f = int(v)
+	}
+	return h, nil
+}
+
+// SortHSPs orders hits the way BLAST reports them: ascending E-value, then
+// descending score, then positional tie-breakers for determinism.
+func SortHSPs(hsps []*HSP) {
+	sort.SliceStable(hsps, func(i, j int) bool {
+		a, b := hsps[i], hsps[j]
+		if a.EValue != b.EValue {
+			return a.EValue < b.EValue
+		}
+		if a.Score != b.Score {
+			return a.Score > b.Score
+		}
+		if a.SubjectID != b.SubjectID {
+			return a.SubjectID < b.SubjectID
+		}
+		if a.QStart != b.QStart {
+			return a.QStart < b.QStart
+		}
+		return a.SStart < b.SStart
+	})
+}
+
+// TopK keeps at most k best hits (by SortHSPs order) per query, preserving
+// the global order of the result. k <= 0 keeps everything. This is the
+// reduce-side cutoff of the paper's protocol: each DB partition contributes
+// up to k hits per query and all but the global top k are discarded after
+// collate.
+//
+// TopK sorts and filters hsps in place; the input slice must not be reused
+// afterwards.
+func TopK(hsps []*HSP, k int) []*HSP {
+	if k <= 0 {
+		return hsps
+	}
+	SortHSPs(hsps)
+	seen := make(map[string]int)
+	out := hsps[:0]
+	for _, h := range hsps {
+		if seen[h.QueryID] < k {
+			seen[h.QueryID]++
+			out = append(out, h)
+		}
+	}
+	return out
+}

@@ -1,0 +1,346 @@
+package blast
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/bio"
+)
+
+// KarlinParams are the Karlin–Altschul statistical parameters of a scoring
+// system: E = K·m'·n'·exp(−Lambda·S) for raw score S and effective search
+// space m'·n'.
+type KarlinParams struct {
+	Lambda float64 // scale of the scoring system, nats per raw score unit
+	K      float64 // search-space correction constant
+	H      float64 // relative entropy, nats per aligned residue pair
+}
+
+// BitScore converts a raw score to a normalized bit score.
+func (kp KarlinParams) BitScore(raw int) float64 {
+	return (kp.Lambda*float64(raw) - math.Log(kp.K)) / math.Ln2
+}
+
+// RawScore converts a bit score back to the smallest raw score reaching it.
+func (kp KarlinParams) RawScore(bits float64) int {
+	// The epsilon guards against Ceil lifting an exact integer produced by
+	// BitScore round-tripping.
+	return int(math.Ceil((bits*math.Ln2+math.Log(kp.K))/kp.Lambda - 1e-9))
+}
+
+// BackgroundFreqs returns the standard residue background distribution for
+// an alphabet: uniform for DNA, Robinson–Robinson for protein (indexed by
+// encoded letter, zero beyond the 20 standard residues).
+func BackgroundFreqs(alpha bio.Alphabet) []float64 {
+	switch alpha {
+	case bio.DNA:
+		return []float64{0.25, 0.25, 0.25, 0.25}
+	case bio.Protein:
+		freqs := make([]float64, bio.ProteinAlphabetSize)
+		copy(freqs, bio.RobinsonFreqs[:])
+		return freqs
+	default:
+		panic(fmt.Sprintf("blast: unknown alphabet %v", alpha))
+	}
+}
+
+// scoreDistribution builds the probability of each raw score under
+// independent residue draws from freqs. It returns probs indexed by
+// score−low, plus low and high.
+func scoreDistribution(m Matrix, freqs []float64) (probs []float64, low, high int) {
+	low, high = m.MinScore(), m.MaxScore()
+	probs = make([]float64, high-low+1)
+	for a := 0; a < len(freqs); a++ {
+		if freqs[a] == 0 {
+			continue
+		}
+		for b := 0; b < len(freqs); b++ {
+			if freqs[b] == 0 {
+				continue
+			}
+			probs[m.Score(byte(a), byte(b))-low] += freqs[a] * freqs[b]
+		}
+	}
+	return probs, low, high
+}
+
+// ComputeUngappedKarlin derives the ungapped Karlin–Altschul parameters of a
+// scoring matrix against the standard background frequencies. Lambda is the
+// unique positive solution of sum p_s·exp(lambda·s) = 1; H is the relative
+// entropy at lambda; K is computed with the convolution series of Karlin &
+// Altschul (1990) as implemented in Altschul's karlin.c / NCBI blast_stat.c.
+//
+// It fails when the scoring system is invalid: the expected score must be
+// negative and the maximum score positive.
+func ComputeUngappedKarlin(m Matrix, freqs []float64) (KarlinParams, error) {
+	probs, low, high := scoreDistribution(m, freqs)
+	// Trim zero-probability tails so low/high are the achievable range.
+	for low < high && probs[0] == 0 {
+		probs = probs[1:]
+		low++
+	}
+	for high > low && probs[len(probs)-1] == 0 {
+		probs = probs[:len(probs)-1]
+		high--
+	}
+	if high <= 0 {
+		return KarlinParams{}, fmt.Errorf("blast: maximum achievable score %d is not positive", high)
+	}
+	mean := 0.0
+	total := 0.0
+	for i, p := range probs {
+		mean += float64(low+i) * p
+		total += p
+	}
+	if math.Abs(total-1) > 1e-6 {
+		return KarlinParams{}, fmt.Errorf("blast: score probabilities sum to %g, not 1", total)
+	}
+	if mean >= 0 {
+		return KarlinParams{}, fmt.Errorf("blast: expected score %g must be negative", mean)
+	}
+
+	lambda, err := solveLambda(probs, low)
+	if err != nil {
+		return KarlinParams{}, err
+	}
+	// H = lambda * sum s p_s exp(lambda s).
+	h := 0.0
+	for i, p := range probs {
+		s := float64(low + i)
+		h += s * p * math.Exp(lambda*s)
+	}
+	h *= lambda
+
+	k, err := computeK(probs, low, lambda, h)
+	if err != nil {
+		return KarlinParams{}, err
+	}
+	return KarlinParams{Lambda: lambda, K: k, H: h}, nil
+}
+
+// solveLambda finds the positive root of f(x) = sum p_s e^{x s} − 1 by
+// bisection refined with Newton steps.
+func solveLambda(probs []float64, low int) (float64, error) {
+	f := func(x float64) float64 {
+		sum := -1.0
+		for i, p := range probs {
+			sum += p * math.Exp(x*float64(low+i))
+		}
+		return sum
+	}
+	// f(0)=0 with f'(0)=mean<0, and f(x)→∞ as x→∞; bracket the positive
+	// root.
+	lo, hi := 0.0, 0.5
+	for f(hi) < 0 {
+		lo = hi
+		hi *= 2
+		if hi > 1e4 {
+			return 0, fmt.Errorf("blast: lambda bracket failed")
+		}
+	}
+	for iter := 0; iter < 200; iter++ {
+		mid := (lo + hi) / 2
+		if f(mid) < 0 {
+			lo = mid
+		} else {
+			hi = mid
+		}
+		if hi-lo < 1e-12 {
+			break
+		}
+	}
+	return (lo + hi) / 2, nil
+}
+
+// computeK evaluates K = d·λ·e^{−2σ} / (H·(1−e^{−λd})), where d is the gcd
+// of achievable scores and σ is the Karlin–Altschul series
+//
+//	σ = Σ_{k≥1} (1/k)·( Σ_{j<0} P_k(j)·e^{λj} + Σ_{j≥0} P_k(j) )
+//
+// with P_k the k-fold convolution of the per-step score distribution.
+func computeK(probs []float64, low int, lambda, h float64) (float64, error) {
+	if h <= 0 {
+		return 0, fmt.Errorf("blast: non-positive entropy H=%g", h)
+	}
+	// Reduce scores by their gcd so the lattice has unit span.
+	d := 0
+	for i, p := range probs {
+		if p != 0 {
+			d = gcd(d, abs(low+i))
+		}
+	}
+	if d == 0 {
+		return 0, fmt.Errorf("blast: degenerate score distribution")
+	}
+	if d > 1 {
+		reduced := make([]float64, (len(probs)-1)/d+1)
+		for i, p := range probs {
+			if p != 0 {
+				reduced[i/d] += p
+			}
+		}
+		probs = reduced
+		low /= d
+	}
+	lambdaD := lambda * float64(d)
+
+	const maxIter = 80
+	const tol = 1e-12
+	sigma := 0.0
+	// P starts as the one-step distribution; offset tracks P's low score.
+	p := append([]float64(nil), probs...)
+	cur := append([]float64(nil), probs...)
+	offset := low
+	for k := 1; k <= maxIter; k++ {
+		term := 0.0
+		for i, q := range cur {
+			if q == 0 {
+				continue
+			}
+			j := offset + i
+			if j < 0 {
+				term += q * math.Exp(lambdaD*float64(j))
+			} else {
+				term += q
+			}
+		}
+		sigma += term / float64(k)
+		if term/float64(k) < tol {
+			break
+		}
+		// Convolve cur with the one-step distribution.
+		next := make([]float64, len(cur)+len(p)-1)
+		for i, a := range cur {
+			if a == 0 {
+				continue
+			}
+			for j, b := range p {
+				next[i+j] += a * b
+			}
+		}
+		cur = next
+		offset += low
+	}
+	K := float64(d) * lambda * math.Exp(-2*sigma) / (h * (1 - math.Exp(-lambdaD)))
+	if K <= 0 || math.IsNaN(K) || math.IsInf(K, 0) {
+		return 0, fmt.Errorf("blast: K computation failed (K=%g)", K)
+	}
+	return K, nil
+}
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// GappedKarlin returns the gapped Karlin–Altschul parameters for a scoring
+// system. Gapped parameters cannot be computed analytically; BLAST ships
+// simulation-derived lookup tables for supported combinations. We include
+// the published values for the combinations our engines use and fall back to
+// the ungapped parameters otherwise — the approximation NCBI itself applies
+// for gap costs high enough that optimal gapped and ungapped alignments
+// coincide (true for our default DNA costs).
+func GappedKarlin(m Matrix, gaps GapCosts, ungapped KarlinParams) KarlinParams {
+	if pm, ok := m.(*ProteinMatrix); ok && pm.Name() == "BLOSUM62" {
+		switch gaps {
+		case GapCosts{Open: 11, Extend: 1}:
+			return KarlinParams{Lambda: 0.267, K: 0.041, H: 0.14}
+		case GapCosts{Open: 10, Extend: 1}:
+			return KarlinParams{Lambda: 0.243, K: 0.035, H: 0.12}
+		case GapCosts{Open: 12, Extend: 1}:
+			return KarlinParams{Lambda: 0.283, K: 0.049, H: 0.18}
+		}
+	}
+	return ungapped
+}
+
+// LengthAdjustment computes the BLAST length adjustment ("edge effect"
+// correction): the expected length of an alignment that reaches significance
+// cannot be part of the effective search space. It iterates
+//
+//	l = ln(K·(m−l)·(n−N·l)) / H
+//
+// to a fixed point (cf. NCBI BlastComputeLengthAdjustment), clamped so
+// effective lengths stay positive. m is the query length, n the total
+// database length, numSeqs the number of database sequences.
+func LengthAdjustment(kp KarlinParams, m int, n int64, numSeqs int64) int {
+	if m <= 0 || n <= 0 || numSeqs <= 0 || kp.H <= 0 {
+		return 0
+	}
+	l := 0.0
+	mf, nf, nsf := float64(m), float64(n), float64(numSeqs)
+	for i := 0; i < 20; i++ {
+		me := mf - l
+		ne := nf - nsf*l
+		if me < 1 {
+			me = 1
+		}
+		if ne < 1 {
+			ne = 1
+		}
+		next := math.Log(kp.K*me*ne) / kp.H
+		if next < 0 {
+			next = 0
+		}
+		if math.Abs(next-l) < 0.5 {
+			l = next
+			break
+		}
+		l = next
+	}
+	li := int(l)
+	// Effective query length must stay at least 1/K (NCBI guard).
+	if minM := int(math.Ceil(1 / kp.K)); m-li < minM {
+		li = m - minM
+		if li < 0 {
+			li = 0
+		}
+	}
+	return li
+}
+
+// SearchSpace describes the effective search space of one query against a
+// database, after length adjustment.
+type SearchSpace struct {
+	// EffQueryLen is the query length minus the length adjustment.
+	EffQueryLen int64
+	// EffDBLen is the database length minus numSeqs×adjustment.
+	EffDBLen int64
+}
+
+// Space is the product m'·n'.
+func (ss SearchSpace) Space() float64 {
+	return float64(ss.EffQueryLen) * float64(ss.EffDBLen)
+}
+
+// NewSearchSpace applies the length adjustment for a query of length m
+// against a database of n total residues in numSeqs sequences. In
+// matrix-split parallel BLAST, n and numSeqs describe the whole database,
+// not the partition being scanned — the paper's "DB length override".
+func NewSearchSpace(kp KarlinParams, m int, n int64, numSeqs int64) SearchSpace {
+	l := LengthAdjustment(kp, m, n, numSeqs)
+	effM := int64(m - l)
+	if effM < 1 {
+		effM = 1
+	}
+	effN := n - numSeqs*int64(l)
+	if effN < 1 {
+		effN = 1
+	}
+	return SearchSpace{EffQueryLen: effM, EffDBLen: effN}
+}
+
+// EValue computes the expected number of chance alignments with raw score at
+// least s in the given search space.
+func EValue(kp KarlinParams, s int, ss SearchSpace) float64 {
+	return kp.K * ss.Space() * math.Exp(-kp.Lambda*float64(s))
+}

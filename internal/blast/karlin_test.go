@@ -1,0 +1,98 @@
+package blast
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/bio"
+)
+
+func relErr(got, want float64) float64 {
+	return math.Abs(got-want) / math.Abs(want)
+}
+
+// Published NCBI values: BLOSUM62 ungapped lambda=0.3176, K=0.134, H=0.4012.
+func TestKarlinBlosum62Ungapped(t *testing.T) {
+	kp, err := ComputeUngappedKarlin(Blosum62(), BackgroundFreqs(bio.Protein))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("BLOSUM62 ungapped: lambda=%.4f K=%.4f H=%.4f", kp.Lambda, kp.K, kp.H)
+	if relErr(kp.Lambda, 0.3176) > 0.03 {
+		t.Errorf("lambda = %.4f, want ~0.3176", kp.Lambda)
+	}
+	if relErr(kp.K, 0.134) > 0.10 {
+		t.Errorf("K = %.4f, want ~0.134", kp.K)
+	}
+	if relErr(kp.H, 0.4012) > 0.05 {
+		t.Errorf("H = %.4f, want ~0.4012", kp.H)
+	}
+}
+
+// Published NCBI values for blastn +1/-2: lambda=1.33, K=0.621.
+func TestKarlinDNA12(t *testing.T) {
+	m, err := NewDNAMatrix(1, -2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kp, err := ComputeUngappedKarlin(m, BackgroundFreqs(bio.DNA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("+1/-2: lambda=%.4f K=%.4f H=%.4f", kp.Lambda, kp.K, kp.H)
+	if relErr(kp.Lambda, 1.33) > 0.02 {
+		t.Errorf("lambda = %.4f, want ~1.33", kp.Lambda)
+	}
+	if relErr(kp.K, 0.621) > 0.10 {
+		t.Errorf("K = %.4f, want ~0.621", kp.K)
+	}
+}
+
+// Published NCBI values for blastn +1/-3: lambda=1.374, K=0.711.
+func TestKarlinDNA13(t *testing.T) {
+	m, _ := NewDNAMatrix(1, -3)
+	kp, err := ComputeUngappedKarlin(m, BackgroundFreqs(bio.DNA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("+1/-3: lambda=%.4f K=%.4f H=%.4f", kp.Lambda, kp.K, kp.H)
+	if relErr(kp.Lambda, 1.374) > 0.02 {
+		t.Errorf("lambda = %.4f, want ~1.374", kp.Lambda)
+	}
+	if relErr(kp.K, 0.711) > 0.10 {
+		t.Errorf("K = %.4f, want ~0.711", kp.K)
+	}
+}
+
+func TestKarlinPropertyAcrossSchemes(t *testing.T) {
+	// For every valid match/mismatch scheme: lambda>0, K in (0,1), H>0,
+	// and lambda grows as mismatches get more expensive (more information
+	// per aligned pair).
+	freqs := BackgroundFreqs(bio.DNA)
+	var prevLambda float64
+	for _, mismatch := range []int{-1, -2, -3, -4, -5} {
+		m, err := NewDNAMatrix(1, mismatch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		kp, err := ComputeUngappedKarlin(m, freqs)
+		if err != nil {
+			t.Fatalf("mismatch %d: %v", mismatch, err)
+		}
+		if kp.Lambda <= 0 || kp.K <= 0 || kp.K >= 1 || kp.H <= 0 {
+			t.Fatalf("mismatch %d: params out of range: %+v", mismatch, kp)
+		}
+		if kp.Lambda <= prevLambda {
+			t.Errorf("lambda not increasing with |mismatch|: %f after %f", kp.Lambda, prevLambda)
+		}
+		prevLambda = kp.Lambda
+	}
+}
+
+func TestKarlinRejectsDegenerateSchemes(t *testing.T) {
+	// Positive expected score (match reward too generous) must be rejected.
+	m := &DNAMatrix{Match: 10, Mismatch: -1}
+	if _, err := ComputeUngappedKarlin(m, BackgroundFreqs(bio.DNA)); err == nil {
+		t.Error("positive-drift scheme accepted")
+	}
+}

@@ -1,0 +1,196 @@
+package blast
+
+import (
+	"fmt"
+
+	"repro/internal/bio"
+)
+
+// Lookup is a word lookup table over a QuerySet: it maps a subject word to
+// the concatenated-query positions whose words match (exactly for DNA;
+// within the neighborhood threshold for protein).
+type Lookup interface {
+	// W is the word size.
+	W() int
+	// Positions returns the query concat positions registered for the word
+	// starting at subject[pos]; ok is false when the window is not a valid
+	// word (e.g. it spans masked or out-of-alphabet letters).
+	Positions(subject []byte, pos int) (positions []int32, ok bool)
+}
+
+// maskedCode marks soft-masked residues in encoded sequences; lookup
+// building and word scanning skip windows containing it, but extensions run
+// through it using the unmasked residue (see maskApply).
+const maskedCode = 0xFE
+
+// DNALookup is an exact-match lookup for 2-bit DNA words, the blastn
+// contiguous-word seeding strategy.
+type DNALookup struct {
+	w     int
+	mask  uint64
+	cells map[uint64][]int32
+}
+
+// NewDNALookup builds the lookup from every valid w-length window of the
+// query set.
+func NewDNALookup(qs *QuerySet, w int) (*DNALookup, error) {
+	if qs.Alpha != bio.DNA {
+		return nil, fmt.Errorf("blast: DNA lookup needs DNA queries, got %v", qs.Alpha)
+	}
+	if w < 4 || w > 31 {
+		return nil, fmt.Errorf("blast: DNA word size must be in 4..31, got %d", w)
+	}
+	lk := &DNALookup{
+		w:     w,
+		mask:  (uint64(1) << (2 * w)) - 1,
+		cells: make(map[uint64][]int32),
+	}
+	for _, c := range qs.Contexts {
+		var word uint64
+		valid := 0
+		for i := 0; i < c.Len; i++ {
+			code := qs.Concat[c.Start+i]
+			if code > 3 {
+				valid = 0
+				word = 0
+				continue
+			}
+			word = (word<<2 | uint64(code)) & lk.mask
+			valid++
+			if valid >= w {
+				start := int32(c.Start + i - w + 1)
+				lk.cells[word] = append(lk.cells[word], start)
+			}
+		}
+	}
+	return lk, nil
+}
+
+// W implements Lookup.
+func (lk *DNALookup) W() int { return lk.w }
+
+// Positions implements Lookup.
+func (lk *DNALookup) Positions(subject []byte, pos int) ([]int32, bool) {
+	var word uint64
+	for i := 0; i < lk.w; i++ {
+		code := subject[pos+i]
+		if code > 3 {
+			return nil, false
+		}
+		word = word<<2 | uint64(code)
+	}
+	return lk.cells[word], true
+}
+
+// NumWords reports the number of distinct words registered (for tests and
+// diagnostics).
+func (lk *DNALookup) NumWords() int { return len(lk.cells) }
+
+// ProteinLookup is a neighborhood lookup for protein words: a subject word
+// matches a query position when the matrix score between the words is at
+// least the neighborhood threshold T (NCBI's blastp seeding).
+type ProteinLookup struct {
+	w     int
+	cells [][]int32
+}
+
+// DefaultNeighborThreshold is the blastp default word threshold (T=11).
+const DefaultNeighborThreshold = 11
+
+// NewProteinLookup builds the neighborhood lookup over the 20 standard
+// residues. Query windows containing non-standard letters (X, B, Z, *) or
+// masked residues are skipped, as NCBI does.
+func NewProteinLookup(qs *QuerySet, w int, m Matrix, threshold int) (*ProteinLookup, error) {
+	if qs.Alpha != bio.Protein {
+		return nil, fmt.Errorf("blast: protein lookup needs protein queries, got %v", qs.Alpha)
+	}
+	if w != 2 && w != 3 {
+		return nil, fmt.Errorf("blast: protein word size must be 2 or 3, got %d", w)
+	}
+	ncells := 1
+	for i := 0; i < w; i++ {
+		ncells *= bio.ProteinAlphabetSize
+	}
+	lk := &ProteinLookup{w: w, cells: make([][]int32, ncells)}
+
+	// rowMax[a] is the best score achievable against residue a, used to
+	// prune the neighborhood enumeration.
+	var rowMax [20]int
+	for a := 0; a < 20; a++ {
+		best := m.Score(byte(a), 0)
+		for b := 1; b < 20; b++ {
+			if s := m.Score(byte(a), byte(b)); s > best {
+				best = s
+			}
+		}
+		rowMax[a] = best
+	}
+
+	word := make([]byte, w)
+	var add func(qword []byte, depth, score, cellIndex, qpos int)
+	add = func(qword []byte, depth, score, cellIndex, qpos int) {
+		if depth == w {
+			if score >= threshold {
+				lk.cells[cellIndex] = append(lk.cells[cellIndex], int32(qpos))
+			}
+			return
+		}
+		// Upper bound on the remaining score.
+		bound := 0
+		for d := depth + 1; d < w; d++ {
+			bound += rowMax[qword[d]]
+		}
+		for b := 0; b < 20; b++ {
+			s := score + m.Score(qword[depth], byte(b))
+			if s+bound < threshold {
+				continue
+			}
+			word[depth] = byte(b)
+			add(qword, depth+1, s, cellIndex*bio.ProteinAlphabetSize+b, qpos)
+		}
+	}
+
+	for _, c := range qs.Contexts {
+		for i := 0; i+w <= c.Len; i++ {
+			qword := qs.Concat[c.Start+i : c.Start+i+w]
+			okWindow := true
+			for _, code := range qword {
+				if code >= 20 { // non-standard or masked
+					okWindow = false
+					break
+				}
+			}
+			if !okWindow {
+				continue
+			}
+			add(qword, 0, 0, 0, c.Start+i)
+		}
+	}
+	return lk, nil
+}
+
+// W implements Lookup.
+func (lk *ProteinLookup) W() int { return lk.w }
+
+// Positions implements Lookup.
+func (lk *ProteinLookup) Positions(subject []byte, pos int) ([]int32, bool) {
+	idx := 0
+	for i := 0; i < lk.w; i++ {
+		code := subject[pos+i]
+		if code >= bio.ProteinAlphabetSize {
+			return nil, false
+		}
+		idx = idx*bio.ProteinAlphabetSize + int(code)
+	}
+	return lk.cells[idx], true
+}
+
+// NumEntries reports the total number of (word, position) entries (for
+// tests and diagnostics).
+func (lk *ProteinLookup) NumEntries() int {
+	n := 0
+	for _, c := range lk.cells {
+		n += len(c)
+	}
+	return n
+}

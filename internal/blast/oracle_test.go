@@ -1,0 +1,189 @@
+package blast
+
+import (
+	"testing"
+
+	"repro/internal/bio"
+)
+
+// smithWaterman is a brute-force affine-gap local alignment: the exact
+// optimum the heuristic engine approximates. Used as a reference oracle.
+func smithWaterman(q, s []byte, m Matrix, gaps GapCosts) int {
+	openExt := gaps.Open + gaps.Extend
+	nq, ns := len(q), len(s)
+	M := make([][]int, nq+1)
+	E := make([][]int, nq+1)
+	F := make([][]int, nq+1)
+	for i := range M {
+		M[i] = make([]int, ns+1)
+		E[i] = make([]int, ns+1)
+		F[i] = make([]int, ns+1)
+		for j := range M[i] {
+			E[i][j] = negInf
+			F[i][j] = negInf
+		}
+	}
+	best := 0
+	for i := 1; i <= nq; i++ {
+		for j := 1; j <= ns; j++ {
+			E[i][j] = max(M[i-1][j]-openExt, E[i-1][j]-gaps.Extend)
+			F[i][j] = max(M[i][j-1]-openExt, F[i][j-1]-gaps.Extend)
+			diag := max(M[i-1][j-1], max(E[i-1][j-1], F[i-1][j-1]))
+			v := diag + m.Score(q[i-1], s[j-1])
+			v = max(v, max(E[i][j], F[i][j]))
+			if v < 0 {
+				v = 0
+			}
+			M[i][j] = v
+			if v > best {
+				best = v
+			}
+		}
+	}
+	return best
+}
+
+// bestEngineScore runs the engine on a single query/subject pair and
+// returns the top HSP score (0 when no hit).
+func bestEngineScore(t *testing.T, query, subj *bio.Sequence, p Params) int {
+	t.Helper()
+	e, err := NewEngine([]*bio.Sequence{query}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.SetDatabaseDims(int64(subj.Len()), 1)
+	var enc Subject
+	if p.Alpha == bio.DNA {
+		enc = EncodeSubject(subj, bio.DNA)
+	} else {
+		enc = EncodeSubject(subj, bio.Protein)
+	}
+	hsps, err := e.SearchSubject(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := 0
+	for _, h := range hsps {
+		if h.Score > best {
+			best = h.Score
+		}
+	}
+	return best
+}
+
+func TestEngineMatchesSmithWatermanOnPlantedDNA(t *testing.T) {
+	// On high-identity planted homologies with generous X-drops, the
+	// heuristic pipeline must recover the exact optimal local alignment
+	// score.
+	g := bio.NewGenerator(bio.SynthParams{Seed: 70})
+	p := DefaultNucleotideParams()
+	p.XDropUngappedBits = 40
+	p.XDropGappedBits = 60
+
+	for trial := 0; trial < 8; trial++ {
+		query := g.RandomDNA("q", 120)
+		subj := g.RandomDNA("s", 400)
+		// Plant a 4%-diverged copy.
+		hom := g.Mutate(query, "hom", 0.04, 0.005, bio.DNA)
+		copy(subj.Letters[120:], hom.Letters)
+
+		want := swBothStrands(query, subj, p)
+		got := bestEngineScore(t, query, subj, p)
+		if got != want {
+			t.Errorf("trial %d: engine score %d != Smith-Waterman %d", trial, got, want)
+		}
+	}
+}
+
+func swBothStrands(query, subj *bio.Sequence, p Params) int {
+	q := bio.EncodeDNA(query.Letters)
+	s := bio.EncodeDNA(subj.Letters)
+	plus := smithWaterman(q, s, p.ScoreMatrix, p.Gaps)
+	minus := smithWaterman(bio.ReverseComplementCodes(q), s, p.ScoreMatrix, p.Gaps)
+	return max(plus, minus)
+}
+
+func TestEngineMatchesSmithWatermanMinusStrand(t *testing.T) {
+	g := bio.NewGenerator(bio.SynthParams{Seed: 71})
+	p := DefaultNucleotideParams()
+	p.XDropUngappedBits = 40
+	p.XDropGappedBits = 60
+	query := g.RandomDNA("q", 100)
+	subj := g.RandomDNA("s", 300)
+	copy(subj.Letters[80:], bio.ReverseComplement(query.Letters))
+
+	want := swBothStrands(query, subj, p)
+	got := bestEngineScore(t, query, subj, p)
+	if got != want {
+		t.Errorf("engine %d != SW %d", got, want)
+	}
+}
+
+func TestEngineMatchesSmithWatermanOnPlantedProtein(t *testing.T) {
+	g := bio.NewGenerator(bio.SynthParams{Seed: 72})
+	p := DefaultProteinParams()
+	p.XDropUngappedBits = 30
+	p.XDropGappedBits = 60
+
+	for trial := 0; trial < 5; trial++ {
+		target := g.RandomProtein("t", 250)
+		query := g.Mutate(target, "q", 0.15, 0.005, bio.Protein)
+		query.Letters = query.Letters[:150]
+
+		want := smithWaterman(bio.EncodeProtein(query.Letters),
+			bio.EncodeProtein(target.Letters), p.ScoreMatrix, p.Gaps)
+		got := bestEngineScore(t, query, target, p)
+		if got != want {
+			t.Errorf("trial %d: engine score %d != Smith-Waterman %d", trial, got, want)
+		}
+	}
+}
+
+func TestEngineNeverExceedsSmithWaterman(t *testing.T) {
+	// The heuristic can miss the optimum but must never beat it — a
+	// score above SW would indicate a scoring bug.
+	g := bio.NewGenerator(bio.SynthParams{Seed: 73})
+	p := DefaultNucleotideParams()
+	for trial := 0; trial < 10; trial++ {
+		query := g.RandomDNA("q", 60+trial*10)
+		subj := g.RandomDNA("s", 200)
+		if trial%2 == 0 {
+			hom := g.Mutate(query, "h", 0.15, 0.02, bio.DNA)
+			copy(subj.Letters[40:], hom.Letters)
+		}
+		want := swBothStrands(query, subj, p)
+		got := bestEngineScore(t, query, subj, p)
+		if got > want {
+			t.Errorf("trial %d: engine score %d exceeds optimal %d", trial, got, want)
+		}
+	}
+}
+
+func TestEngineRobustOnRandomInputs(t *testing.T) {
+	// Fuzz-ish: the engine must not panic or report out-of-bounds HSPs on
+	// arbitrary inputs.
+	g := bio.NewGenerator(bio.SynthParams{Seed: 74})
+	p := DefaultNucleotideParams()
+	p.EValueCutoff = 1000 // let weak hits through to stress bookkeeping
+	for trial := 0; trial < 15; trial++ {
+		qlen := 15 + trial*13%200
+		slen := 12 + trial*37%300
+		query := g.RandomDNA("q", qlen)
+		subj := g.RandomDNA("s", slen)
+		e, err := NewEngine([]*bio.Sequence{query}, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.SetDatabaseDims(int64(slen), 1)
+		hsps, err := e.SearchSubject(EncodeSubject(subj, bio.DNA))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, h := range hsps {
+			if h.QStart < 0 || h.QEnd > qlen || h.SStart < 0 || h.SEnd > slen ||
+				h.QStart >= h.QEnd || h.SStart >= h.SEnd {
+				t.Fatalf("trial %d: HSP out of bounds: %+v", trial, h)
+			}
+		}
+	}
+}

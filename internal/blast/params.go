@@ -1,0 +1,131 @@
+package blast
+
+import (
+	"fmt"
+
+	"repro/internal/bio"
+)
+
+// Params configures a search. The zero value is not usable; start from
+// DefaultNucleotideParams or DefaultProteinParams.
+type Params struct {
+	// Alpha is the sequence alphabet (determines the engine flavor: blastn
+	// for DNA, blastp for protein).
+	Alpha bio.Alphabet
+	// ScoreMatrix scores residue pairs. When nil, the alphabet default is
+	// used (+1/−2 for DNA, BLOSUM62 for protein).
+	ScoreMatrix Matrix
+	// Gaps are the affine gap costs.
+	Gaps GapCosts
+	// WordSize is the seed word length (blastn default 11, blastp 3).
+	WordSize int
+	// NeighborThreshold is the protein neighborhood word score threshold T.
+	NeighborThreshold int
+	// TwoHitWindow is the maximum diagonal distance between two word hits
+	// that triggers an ungapped extension; 0 selects one-hit seeding (the
+	// blastn mode). Protein default 40.
+	TwoHitWindow int
+	// XDropUngappedBits and XDropGappedBits are the stage-2 and stage-3
+	// X-drop values in bits (converted to raw via lambda).
+	XDropUngappedBits float64
+	XDropGappedBits   float64
+	// GapTriggerBits is the minimum ungapped score (bits) that admits an
+	// HSP to the gapped extension stage (NCBI default 22).
+	GapTriggerBits float64
+	// EValueCutoff discards hits with larger E-values (default 10).
+	EValueCutoff float64
+	// MaxHSPsPerSubject caps HSPs kept per query-subject pair; 0 keeps all.
+	MaxHSPsPerSubject int
+	// Filter enables query low-complexity masking (DUST for DNA, SEG for
+	// protein).
+	Filter bool
+	// DBLength overrides the database length used for E-value statistics.
+	// Matrix-split parallel BLAST must set it to the whole database length
+	// so a partition search reports the same E-values as a full search (the
+	// paper's override of the DB length in the BLAST call).
+	DBLength int64
+	// DBNumSeqs overrides the database sequence count used in the length
+	// adjustment, paired with DBLength.
+	DBNumSeqs int64
+	// Strand restricts DNA searches: 0 searches both strands (default),
+	// +1 only the query as given, -1 only its reverse complement.
+	Strand int8
+	// UngappedOnly skips the gapped extension stage and reports ungapped
+	// HSPs with ungapped Karlin–Altschul statistics (blastn's -ungapped
+	// mode).
+	UngappedOnly bool
+}
+
+// DefaultNucleotideParams returns blastn-like defaults.
+func DefaultNucleotideParams() Params {
+	return Params{
+		Alpha:             bio.DNA,
+		ScoreMatrix:       DefaultDNAMatrix(),
+		Gaps:              DefaultDNAGaps(),
+		WordSize:          11,
+		TwoHitWindow:      0, // one-hit seeding
+		XDropUngappedBits: 20,
+		XDropGappedBits:   30,
+		GapTriggerBits:    18,
+		EValueCutoff:      10,
+	}
+}
+
+// DefaultProteinParams returns blastp-like defaults.
+func DefaultProteinParams() Params {
+	return Params{
+		Alpha:             bio.Protein,
+		ScoreMatrix:       Blosum62(),
+		Gaps:              DefaultProteinGaps(),
+		WordSize:          3,
+		NeighborThreshold: DefaultNeighborThreshold,
+		TwoHitWindow:      40,
+		XDropUngappedBits: 7,
+		XDropGappedBits:   15,
+		GapTriggerBits:    22,
+		EValueCutoff:      10,
+	}
+}
+
+// Validate checks internal consistency and fills alphabet defaults.
+func (p *Params) Validate() error {
+	if p.ScoreMatrix == nil {
+		switch p.Alpha {
+		case bio.DNA:
+			p.ScoreMatrix = DefaultDNAMatrix()
+		case bio.Protein:
+			p.ScoreMatrix = Blosum62()
+		default:
+			return fmt.Errorf("blast: unsupported alphabet %v", p.Alpha)
+		}
+	}
+	if p.ScoreMatrix.Alphabet() != p.Alpha {
+		return fmt.Errorf("blast: matrix %s is for %v, params are for %v",
+			p.ScoreMatrix.Name(), p.ScoreMatrix.Alphabet(), p.Alpha)
+	}
+	if err := p.Gaps.Validate(); err != nil {
+		return err
+	}
+	if p.WordSize <= 0 {
+		return fmt.Errorf("blast: word size must be positive, got %d", p.WordSize)
+	}
+	if p.EValueCutoff <= 0 {
+		return fmt.Errorf("blast: E-value cutoff must be positive, got %g", p.EValueCutoff)
+	}
+	if p.XDropUngappedBits <= 0 || p.XDropGappedBits <= 0 {
+		return fmt.Errorf("blast: X-drop values must be positive")
+	}
+	if p.DBLength < 0 || p.DBNumSeqs < 0 {
+		return fmt.Errorf("blast: DB overrides must be non-negative")
+	}
+	if (p.DBLength == 0) != (p.DBNumSeqs == 0) {
+		return fmt.Errorf("blast: DBLength and DBNumSeqs must be overridden together")
+	}
+	if p.Strand != 0 && p.Strand != 1 && p.Strand != -1 {
+		return fmt.Errorf("blast: Strand must be -1, 0 or +1, got %d", p.Strand)
+	}
+	if p.Strand != 0 && p.Alpha != bio.DNA {
+		return fmt.Errorf("blast: Strand selection applies to DNA searches only")
+	}
+	return nil
+}

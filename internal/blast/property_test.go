@@ -1,0 +1,196 @@
+package blast
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"repro/internal/bio"
+)
+
+// TestBlockSplitInvariance verifies the foundation of the matrix-split
+// parallelization: searching queries in separate blocks (separate engines)
+// finds exactly the hits of one combined block, because each query's
+// lookup, extensions and statistics are independent of its block-mates.
+func TestBlockSplitInvariance(t *testing.T) {
+	g := bio.NewGenerator(bio.SynthParams{Seed: 90})
+	subj := g.RandomDNA("subj", 4000)
+	var queries []*bio.Sequence
+	for i := 0; i < 12; i++ {
+		var q *bio.Sequence
+		switch i % 3 {
+		case 0: // planted fragment
+			start := 200 * i
+			q = &bio.Sequence{ID: fmt.Sprintf("q%02d", i),
+				Letters: append([]byte(nil), subj.Letters[start:start+300]...)}
+		case 1: // diverged fragment
+			start := 150 * i
+			frag := &bio.Sequence{ID: fmt.Sprintf("q%02d", i),
+				Letters: append([]byte(nil), subj.Letters[start:start+300]...)}
+			q = g.Mutate(frag, frag.ID, 0.08, 0.003, bio.DNA)
+		default: // unrelated
+			q = g.RandomDNA(fmt.Sprintf("q%02d", i), 300)
+		}
+		queries = append(queries, q)
+	}
+	params := DefaultNucleotideParams()
+	params.EValueCutoff = 1e-6
+
+	search := func(block []*bio.Sequence) []string {
+		e, err := NewEngine(block, params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.SetDatabaseDims(4000, 1)
+		hsps, err := e.SearchSubject(EncodeSubject(subj, bio.DNA))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var fp []string
+		for _, h := range hsps {
+			fp = append(fp, fmt.Sprintf("%s|%d|%d|%d|%d|%d|%d",
+				h.QueryID, h.Strand, h.QStart, h.QEnd, h.SStart, h.SEnd, h.Score))
+		}
+		sort.Strings(fp)
+		return fp
+	}
+
+	combined := search(queries)
+	if len(combined) == 0 {
+		t.Fatal("no hits in combined search; workload broken")
+	}
+	for _, blockSize := range []int{1, 3, 5} {
+		var split []string
+		for i := 0; i < len(queries); i += blockSize {
+			split = append(split, search(queries[i:min(i+blockSize, len(queries))])...)
+		}
+		sort.Strings(split)
+		if len(split) != len(combined) {
+			t.Fatalf("block size %d: %d hits vs combined %d", blockSize, len(split), len(combined))
+		}
+		for i := range combined {
+			if split[i] != combined[i] {
+				t.Fatalf("block size %d: hit %d differs:\n %s\n %s",
+					blockSize, i, split[i], combined[i])
+			}
+		}
+	}
+}
+
+// TestDNALookupCompleteness: every clean w-mer window of a query must be
+// discoverable through the lookup table from a subject containing it.
+func TestDNALookupCompleteness(t *testing.T) {
+	g := bio.NewGenerator(bio.SynthParams{Seed: 91})
+	q := g.RandomDNA("q", 300)
+	qs, err := NewQuerySet([]*bio.Sequence{q}, bio.DNA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const w = 11
+	lk, err := NewDNALookup(qs, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	codes := bio.EncodeDNA(q.Letters)
+	for start := 0; start+w <= len(codes); start += 7 {
+		window := codes[start : start+w]
+		positions, ok := lk.Positions(window, 0)
+		if !ok {
+			t.Fatalf("window at %d rejected", start)
+		}
+		found := false
+		for _, p := range positions {
+			if int(p) == start {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("window at %d not registered (got %v)", start, positions)
+		}
+	}
+}
+
+// TestProteinLookupSelfWords: every standard-residue query word scoring at
+// least T against itself must map back to its own position.
+func TestProteinLookupSelfWords(t *testing.T) {
+	g := bio.NewGenerator(bio.SynthParams{Seed: 92})
+	q := g.RandomProtein("q", 200)
+	qs, err := NewQuerySet([]*bio.Sequence{q}, bio.Protein)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := Blosum62()
+	const w, T = 3, DefaultNeighborThreshold
+	lk, err := NewProteinLookup(qs, w, m, T)
+	if err != nil {
+		t.Fatal(err)
+	}
+	codes := bio.EncodeProtein(q.Letters)
+	for start := 0; start+w <= len(codes); start++ {
+		word := codes[start : start+w]
+		self := 0
+		clean := true
+		for _, c := range word {
+			if c >= 20 {
+				clean = false
+				break
+			}
+			self += m.Score(c, c)
+		}
+		if !clean || self < T {
+			continue
+		}
+		positions, ok := lk.Positions(word, 0)
+		if !ok {
+			t.Fatalf("word at %d rejected", start)
+		}
+		found := false
+		for _, p := range positions {
+			if int(p) == start {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("self word at %d missing from neighborhood", start)
+		}
+	}
+}
+
+// TestEngineReuseAcrossSubjects: the per-subject scratch reset must isolate
+// subjects — searching A, then B, then A again gives identical results for
+// A both times.
+func TestEngineReuseAcrossSubjects(t *testing.T) {
+	g := bio.NewGenerator(bio.SynthParams{Seed: 93})
+	query := g.RandomDNA("q", 200)
+	subjA := plantedDNA(t, 94, 800, query, 0, 200, 100)
+	subjA.ID = "A"
+	subjB := plantedDNA(t, 95, 600, query, 50, 150, 200)
+	subjB.ID = "B"
+
+	e := newDNAEngine(t, []*bio.Sequence{query}, nil)
+	e.SetDatabaseDims(1400, 2)
+	encA := EncodeSubject(subjA, bio.DNA)
+	encB := EncodeSubject(subjB, bio.DNA)
+
+	first, err := e.SearchSubject(encA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.SearchSubject(encB); err != nil {
+		t.Fatal(err)
+	}
+	again, err := e.SearchSubject(encA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first) != len(again) {
+		t.Fatalf("hit counts differ across reuse: %d vs %d", len(first), len(again))
+	}
+	for i := range first {
+		if *first[i] != *again[i] {
+			t.Fatalf("hit %d differs across engine reuse", i)
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package blast
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/bio"
+)
+
+// Context is one strand of one query in the concatenated query space the
+// lookup table is built over. NCBI BLAST likewise concatenates the current
+// query block and builds a single word lookup table out of it.
+type Context struct {
+	// Query indexes QuerySet.IDs.
+	Query int
+	// Strand is +1 for the query as given, -1 for its reverse complement
+	// (DNA searches scan the subject's plus strand against both query
+	// strands).
+	Strand int8
+	// Start and Len delimit this context in QuerySet.Concat.
+	Start, Len int
+}
+
+// QuerySet holds a block of encoded queries concatenated for lookup
+// building and scanning.
+type QuerySet struct {
+	// Alpha is the residue alphabet.
+	Alpha bio.Alphabet
+	// IDs are the query identifiers in input order.
+	IDs []string
+	// QueryLens are the query lengths in input order.
+	QueryLens []int
+	// Contexts lists the scan contexts (one per query for protein, two per
+	// query for DNA).
+	Contexts []Context
+	// Concat is the encoded concatenation of all contexts.
+	Concat []byte
+
+	ctxStarts []int // sorted context start offsets for position lookup
+}
+
+// NewQuerySet encodes and concatenates a query block. For DNA, both strands
+// of every query become contexts; for protein, one context per query.
+func NewQuerySet(seqs []*bio.Sequence, alpha bio.Alphabet) (*QuerySet, error) {
+	return NewQuerySetStrand(seqs, alpha, 0)
+}
+
+// NewQuerySetStrand is NewQuerySet with DNA strand selection: 0 builds
+// contexts for both strands, +1 only the given strand, -1 only the reverse
+// complement.
+func NewQuerySetStrand(seqs []*bio.Sequence, alpha bio.Alphabet, strand int8) (*QuerySet, error) {
+	if len(seqs) == 0 {
+		return nil, fmt.Errorf("blast: empty query block")
+	}
+	qs := &QuerySet{Alpha: alpha}
+	for qi, s := range seqs {
+		if s.Len() == 0 {
+			return nil, fmt.Errorf("blast: query %q is empty", s.ID)
+		}
+		qs.IDs = append(qs.IDs, s.ID)
+		qs.QueryLens = append(qs.QueryLens, s.Len())
+		switch alpha {
+		case bio.DNA:
+			plus := bio.EncodeDNA(s.Letters)
+			if strand >= 0 {
+				qs.addContext(qi, +1, plus)
+			}
+			if strand <= 0 {
+				qs.addContext(qi, -1, bio.ReverseComplementCodes(plus))
+			}
+		case bio.Protein:
+			qs.addContext(qi, +1, bio.EncodeProtein(s.Letters))
+		default:
+			return nil, fmt.Errorf("blast: unsupported alphabet %v", alpha)
+		}
+	}
+	for _, c := range qs.Contexts {
+		qs.ctxStarts = append(qs.ctxStarts, c.Start)
+	}
+	return qs, nil
+}
+
+func (qs *QuerySet) addContext(query int, strand int8, codes []byte) {
+	qs.Contexts = append(qs.Contexts, Context{
+		Query:  query,
+		Strand: strand,
+		Start:  len(qs.Concat),
+		Len:    len(codes),
+	})
+	qs.Concat = append(qs.Concat, codes...)
+}
+
+// ContextAt returns the index of the context containing concat position
+// pos.
+func (qs *QuerySet) ContextAt(pos int) int {
+	// First context whose start is > pos, minus one.
+	i := sort.SearchInts(qs.ctxStarts, pos+1) - 1
+	if i < 0 || pos >= qs.Contexts[i].Start+qs.Contexts[i].Len {
+		panic(fmt.Sprintf("blast: concat position %d outside all contexts", pos))
+	}
+	return i
+}
+
+// QueryCoords converts a half-open concat range [lo, hi) inside context ci
+// to 0-based query coordinates on the plus strand of the original query.
+// For a minus-strand context the returned interval is the reverse-complement
+// footprint on the plus strand.
+func (qs *QuerySet) QueryCoords(ci, lo, hi int) (qstart, qend int) {
+	c := qs.Contexts[ci]
+	relLo, relHi := lo-c.Start, hi-c.Start
+	if c.Strand > 0 {
+		return relLo, relHi
+	}
+	l := qs.QueryLens[c.Query]
+	return l - relHi, l - relLo
+}

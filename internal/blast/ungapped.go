@@ -1,0 +1,51 @@
+package blast
+
+// ungappedHSP is the result of an ungapped X-drop extension around a word
+// hit, in concat-query / subject coordinates (half-open ranges).
+type ungappedHSP struct {
+	score    int
+	qlo, qhi int
+	slo, shi int
+}
+
+// extendUngapped grows a w-length seed at (qpos, spos) into the maximal
+// ungapped segment, abandoning each direction once the running score falls
+// more than xdrop below the best seen (the BLAST stage-2 X-drop rule).
+// qlo/qhi bound the query context; the subject is bounded by its own length.
+func extendUngapped(q []byte, qloBound, qhiBound int, s []byte, qpos, spos, w int, m Matrix, xdrop int) ungappedHSP {
+	// Seed score.
+	score := 0
+	for i := 0; i < w; i++ {
+		score += m.Score(q[qpos+i], s[spos+i])
+	}
+	best := score
+	bqhi, bshi := qpos+w, spos+w
+
+	// Extend right.
+	run := score
+	for qi, si := qpos+w, spos+w; qi < qhiBound && si < len(s); qi, si = qi+1, si+1 {
+		run += m.Score(q[qi], s[si])
+		if run > best {
+			best = run
+			bqhi, bshi = qi+1, si+1
+		}
+		if run <= best-xdrop {
+			break
+		}
+	}
+
+	// Extend left from the seed start.
+	bqlo, bslo := qpos, spos
+	run = best
+	for qi, si := qpos-1, spos-1; qi >= qloBound && si >= 0; qi, si = qi-1, si-1 {
+		run += m.Score(q[qi], s[si])
+		if run > best {
+			best = run
+			bqlo, bslo = qi, si
+		}
+		if run <= best-xdrop {
+			break
+		}
+	}
+	return ungappedHSP{score: best, qlo: bqlo, qhi: bqhi, slo: bslo, shi: bshi}
+}

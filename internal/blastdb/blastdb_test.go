@@ -1,0 +1,355 @@
+package blastdb
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/bio"
+)
+
+func testSeqs(t *testing.T, n, minLen int, alpha bio.Alphabet) []*bio.Sequence {
+	t.Helper()
+	g := bio.NewGenerator(bio.SynthParams{Seed: 42})
+	seqs := make([]*bio.Sequence, n)
+	for i := range seqs {
+		id := "seq" + string(rune('a'+i%26)) + string(rune('0'+i/26))
+		if alpha == bio.DNA {
+			seqs[i] = g.RandomDNA(id, minLen+i*13)
+		} else {
+			seqs[i] = g.RandomProtein(id, minLen+i*13)
+		}
+	}
+	return seqs
+}
+
+func TestFormatAndLoadDNA(t *testing.T) {
+	dir := t.TempDir()
+	seqs := testSeqs(t, 10, 50, bio.DNA)
+	m, err := Format(seqs, bio.DNA, dir, "testdb", FormatOptions{Title: "test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumPartitions() != 1 {
+		t.Fatalf("partitions = %d, want 1", m.NumPartitions())
+	}
+	if m.NumSeqs != 10 {
+		t.Errorf("NumSeqs = %d", m.NumSeqs)
+	}
+	var wantResidues int64
+	for _, s := range seqs {
+		wantResidues += int64(s.Len())
+	}
+	if m.TotalResidues != wantResidues {
+		t.Errorf("TotalResidues = %d, want %d", m.TotalResidues, wantResidues)
+	}
+
+	v, err := LoadVolume(m.VolumePath(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.NumSeqs() != 10 || v.Residues() != wantResidues {
+		t.Fatalf("volume dims: %d seqs, %d residues", v.NumSeqs(), v.Residues())
+	}
+	for i, s := range seqs {
+		if v.ID(i) != s.ID || v.SeqLen(i) != s.Len() {
+			t.Errorf("seq %d index mismatch", i)
+		}
+		subj := v.Subject(i)
+		want := bio.EncodeDNA(s.Letters)
+		if !bytes.Equal(subj.Codes, want) {
+			t.Errorf("seq %d payload mismatch", i)
+		}
+	}
+}
+
+func TestFormatAndLoadProtein(t *testing.T) {
+	dir := t.TempDir()
+	seqs := testSeqs(t, 5, 30, bio.Protein)
+	m, err := Format(seqs, bio.Protein, dir, "prot", FormatOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := LoadVolume(m.VolumePath(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Alpha != bio.Protein {
+		t.Fatalf("alphabet = %v", v.Alpha)
+	}
+	for i, s := range seqs {
+		subj := v.Subject(i)
+		if !bytes.Equal(subj.Codes, bio.EncodeProtein(s.Letters)) {
+			t.Errorf("seq %d payload mismatch", i)
+		}
+	}
+}
+
+func TestFormatPartitioning(t *testing.T) {
+	dir := t.TempDir()
+	seqs := testSeqs(t, 20, 100, bio.DNA)
+	m, err := Format(seqs, bio.DNA, dir, "split", FormatOptions{TargetResidues: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumPartitions() < 3 {
+		t.Fatalf("partitions = %d, want several", m.NumPartitions())
+	}
+	// Every sequence present exactly once, in order.
+	var ids []string
+	var total int64
+	for i := 0; i < m.NumPartitions(); i++ {
+		v, err := LoadVolume(m.VolumePath(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := 0; j < v.NumSeqs(); j++ {
+			ids = append(ids, v.ID(j))
+		}
+		total += v.Residues()
+		if v.Residues() != m.Volumes[i].Residues {
+			t.Errorf("volume %d residues mismatch", i)
+		}
+	}
+	if len(ids) != len(seqs) {
+		t.Fatalf("sequences lost: %d vs %d", len(ids), len(seqs))
+	}
+	for i, s := range seqs {
+		if ids[i] != s.ID {
+			t.Errorf("order broken at %d: %s vs %s", i, ids[i], s.ID)
+		}
+	}
+	if total != m.TotalResidues {
+		t.Errorf("residue totals disagree")
+	}
+}
+
+func TestOpenManifestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	seqs := testSeqs(t, 6, 80, bio.DNA)
+	m, err := Format(seqs, bio.DNA, dir, "db", FormatOptions{TargetResidues: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := OpenManifest(filepath.Join(dir, "db.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.NumSeqs != m.NumSeqs || m2.TotalResidues != m.TotalResidues ||
+		m2.NumPartitions() != m.NumPartitions() {
+		t.Errorf("manifest round trip mismatch: %+v vs %+v", m2, m)
+	}
+	if _, err := LoadVolume(m2.VolumePath(0)); err != nil {
+		t.Errorf("volume path resolution broken: %v", err)
+	}
+	alpha, err := m2.Alpha()
+	if err != nil || alpha != bio.DNA {
+		t.Errorf("alpha = %v, %v", alpha, err)
+	}
+}
+
+func TestLoadVolumeRejectsGarbage(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.vol")
+	if err := os.WriteFile(bad, []byte("this is not a volume"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadVolume(bad); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := LoadVolume(filepath.Join(dir, "missing.vol")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestFormatRejectsEmpty(t *testing.T) {
+	if _, err := Format(nil, bio.DNA, t.TempDir(), "x", FormatOptions{}); err == nil {
+		t.Error("empty input accepted")
+	}
+}
+
+func TestCacheLRU(t *testing.T) {
+	dir := t.TempDir()
+	seqs := testSeqs(t, 12, 100, bio.DNA)
+	m, err := Format(seqs, bio.DNA, dir, "db", FormatOptions{TargetResidues: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumPartitions() < 3 {
+		t.Skip("need >=3 partitions for this test")
+	}
+	c := NewCache(2)
+	p0, p1, p2 := m.VolumePath(0), m.VolumePath(1), m.VolumePath(2)
+
+	if _, err := c.Get(p0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Get(p1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Get(p0); err != nil { // hit
+		t.Fatal(err)
+	}
+	if _, err := c.Get(p2); err != nil { // evicts p1 (LRU)
+		t.Fatal(err)
+	}
+	if _, err := c.Get(p0); err != nil { // still cached
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.Hits != 2 || st.Misses != 3 || st.Evictions != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	if c.Resident() != 2 {
+		t.Errorf("resident = %d", c.Resident())
+	}
+	// p1 was evicted: next Get is a miss.
+	if _, err := c.Get(p1); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Stats().Misses; got != 4 {
+		t.Errorf("misses = %d, want 4", got)
+	}
+}
+
+func TestCacheCapacityOne(t *testing.T) {
+	// The paper's configuration: one cached DB object per rank.
+	dir := t.TempDir()
+	seqs := testSeqs(t, 8, 100, bio.DNA)
+	m, err := Format(seqs, bio.DNA, dir, "db", FormatOptions{TargetResidues: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCache(0) // clamps to 1
+	if _, err := c.Get(m.VolumePath(0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Get(m.VolumePath(1)); err != nil {
+		t.Fatal(err)
+	}
+	if c.Resident() != 1 {
+		t.Errorf("resident = %d, want 1", c.Resident())
+	}
+}
+
+func TestLoadVolumeDetectsCorruption(t *testing.T) {
+	dir := t.TempDir()
+	seqs := testSeqs(t, 4, 100, bio.DNA)
+	m, err := Format(seqs, bio.DNA, dir, "db", FormatOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := m.VolumePath(0)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a payload byte: the CRC must catch it.
+	corrupted := append([]byte(nil), data...)
+	corrupted[len(corrupted)-10] ^= 0xFF
+	if err := os.WriteFile(path, corrupted, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadVolume(path); err == nil {
+		t.Error("payload corruption not detected")
+	}
+	// Truncation must be caught too.
+	if err := os.WriteFile(path, data[:len(data)-6], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadVolume(path); err == nil {
+		t.Error("truncation not detected")
+	}
+	// Restore: loads again.
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadVolume(path); err != nil {
+		t.Errorf("restored volume fails to load: %v", err)
+	}
+}
+
+func TestFormatRejectsDuplicateIDs(t *testing.T) {
+	g := bio.NewGenerator(bio.SynthParams{Seed: 1})
+	a := g.RandomDNA("same", 100)
+	b := g.RandomDNA("same", 120)
+	if _, err := Format([]*bio.Sequence{a, b}, bio.DNA, t.TempDir(), "x", FormatOptions{}); err == nil {
+		t.Error("duplicate IDs accepted")
+	}
+	c := g.RandomDNA("", 50)
+	if _, err := Format([]*bio.Sequence{c}, bio.DNA, t.TempDir(), "x", FormatOptions{}); err == nil {
+		t.Error("empty ID accepted")
+	}
+}
+
+func TestManifestValidate(t *testing.T) {
+	dir := t.TempDir()
+	seqs := testSeqs(t, 6, 80, bio.DNA)
+	m, err := Format(seqs, bio.DNA, dir, "db", FormatOptions{TargetResidues: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatalf("fresh manifest invalid: %v", err)
+	}
+	// Truncate a volume: Validate must notice.
+	path := m.VolumePath(1)
+	data, _ := os.ReadFile(path)
+	os.WriteFile(path, data[:len(data)-3], 0o644)
+	if err := m.Validate(); err == nil {
+		t.Error("truncated volume passed validation")
+	}
+	// Remove a volume: Validate must notice.
+	os.Remove(m.VolumePath(0))
+	if err := m.Validate(); err == nil {
+		t.Error("missing volume passed validation")
+	}
+}
+
+func TestOpenManifestErrorPaths(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := OpenManifest(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing manifest accepted")
+	}
+	bad := filepath.Join(dir, "bad.json")
+	os.WriteFile(bad, []byte("{not json"), 0o644)
+	if _, err := OpenManifest(bad); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+	unknownAlpha := filepath.Join(dir, "alpha.json")
+	os.WriteFile(unknownAlpha, []byte(`{"alphabet":"rna","volumes":[{"path":"x"}]}`), 0o644)
+	if _, err := OpenManifest(unknownAlpha); err == nil {
+		t.Error("unknown alphabet accepted")
+	}
+	empty := filepath.Join(dir, "empty.json")
+	os.WriteFile(empty, []byte(`{"alphabet":"dna","volumes":[]}`), 0o644)
+	if _, err := OpenManifest(empty); err == nil {
+		t.Error("volume-less manifest accepted")
+	}
+}
+
+func TestManifestAlphaValues(t *testing.T) {
+	for name, want := range map[string]bio.Alphabet{"dna": bio.DNA, "protein": bio.Protein} {
+		m := &Manifest{Alphabet: name}
+		got, err := m.Alpha()
+		if err != nil || got != want {
+			t.Errorf("Alpha(%q) = %v, %v", name, got, err)
+		}
+	}
+	m := &Manifest{Alphabet: "peptide"}
+	if _, err := m.Alpha(); err == nil {
+		t.Error("bad alphabet accepted")
+	}
+}
+
+func TestFormatIntoUnwritableDir(t *testing.T) {
+	seqs := testSeqs(t, 2, 50, bio.DNA)
+	// A file where the output directory should be.
+	dir := t.TempDir()
+	blocker := filepath.Join(dir, "blocked")
+	os.WriteFile(blocker, []byte("x"), 0o644)
+	if _, err := Format(seqs, bio.DNA, filepath.Join(blocker, "sub"), "db", FormatOptions{}); err == nil {
+		t.Error("unwritable destination accepted")
+	}
+}

@@ -1,0 +1,398 @@
+// Package cluster is a discrete-event simulator of the HPC environment the
+// paper benchmarks on (TACC Ranger: 16-core / 32 GB nodes, Lustre shared
+// file system, 32–1024 core MPI jobs). It substitutes for hardware we do
+// not have: the paper's scaling figures are governed by master–worker load
+// balancing, per-node page-cache locality of memory-mapped DB partitions,
+// and end-of-run idling — all of which the simulation reproduces from first
+// principles over a calibrated per-work-unit cost model.
+//
+// The simulator is a list scheduler over virtual time: cores become free,
+// pull the next work unit per the scheduling policy, pay a partition load
+// cost when the unit's DB partition is not resident in their node's page
+// cache (LRU by bytes), then run the unit's service time. Nothing about the
+// resulting curves is hard-coded: the superlinear region of the paper's
+// Fig. 4 and the tail-idle utilization decay of Fig. 5 emerge from the
+// cache and queue dynamics.
+package cluster
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+)
+
+// Config describes the simulated machine.
+type Config struct {
+	// Nodes is the number of compute nodes.
+	Nodes int
+	// CoresPerNode is the core count per node (Ranger: 16).
+	CoresPerNode int
+	// NodeRAMBytes is the page-cache capacity per node (Ranger: 32 GB;
+	// we budget the full node RAM for the cache, as the paper's
+	// memory-mapped partitions do).
+	NodeRAMBytes int64
+	// LoadBandwidth is the per-reader shared-FS bandwidth in bytes/second
+	// used to charge partition load time.
+	LoadBandwidth float64
+	// MasterIsDedicated reserves core 0 for the master (the paper's MR-MPI
+	// master–worker mode: rank 0 distributes work and does none itself).
+	MasterIsDedicated bool
+}
+
+// RangerConfig returns the paper's machine for a given total core count
+// (must be a multiple of 16, as Ranger allocates whole nodes).
+func RangerConfig(totalCores int) (Config, error) {
+	if totalCores <= 0 || totalCores%16 != 0 {
+		return Config{}, fmt.Errorf("cluster: Ranger core counts are multiples of 16, got %d", totalCores)
+	}
+	return Config{
+		Nodes:        totalCores / 16,
+		CoresPerNode: 16,
+		NodeRAMBytes: 32 << 30,
+		// Effective per-reader throughput of demand-faulting a memory-
+		// mapped 1 GB partition from shared, contended Lustre — well below
+		// streaming bandwidth.
+		LoadBandwidth:     60e6,
+		MasterIsDedicated: true,
+	}, nil
+}
+
+// Cores reports the total core count.
+func (c Config) Cores() int { return c.Nodes * c.CoresPerNode }
+
+// Task is one work unit: a (query block, DB partition) pair in the BLAST
+// experiments, a vector block in the SOM experiments.
+type Task struct {
+	// Partition identifies the data this task reads; -1 means no data
+	// dependency (no load cost ever).
+	Partition int
+	// PartitionBytes is the on-disk size of the partition.
+	PartitionBytes int64
+	// Service is the task's pure compute time in seconds.
+	Service float64
+}
+
+// Schedule selects the work distribution policy.
+type Schedule int
+
+const (
+	// ScheduleMasterWorker hands the next task in order to whichever core
+	// frees first — MR-MPI's master–worker mode, the paper's choice for
+	// BLAST.
+	ScheduleMasterWorker Schedule = iota
+	// ScheduleStatic pre-assigns contiguous task chunks to cores
+	// (MR-MPI's default mapstyle), the no-load-balancing baseline.
+	ScheduleStatic
+	// ScheduleLocalityAware is the paper's proposed future-work scheduler:
+	// the master prefers, within a bounded lookahead of the queue head, a
+	// task whose partition is already cached on the requesting node.
+	ScheduleLocalityAware
+)
+
+func (s Schedule) String() string {
+	switch s {
+	case ScheduleMasterWorker:
+		return "master-worker"
+	case ScheduleStatic:
+		return "static"
+	case ScheduleLocalityAware:
+		return "locality-aware"
+	default:
+		return fmt.Sprintf("Schedule(%d)", int(s))
+	}
+}
+
+// LocalityLookahead is how many queued tasks the locality-aware scheduler
+// inspects for a cache-resident partition.
+const LocalityLookahead = 64
+
+// Result summarizes a simulated run.
+type Result struct {
+	// Makespan is the wall-clock time of the map phase in seconds.
+	Makespan float64
+	// ServiceTotal is the sum of task service times (useful CPU seconds).
+	ServiceTotal float64
+	// LoadTotal is the total partition-load time paid.
+	LoadTotal float64
+	// PartitionLoads counts partition loads from the shared FS.
+	PartitionLoads int
+	// CacheHits counts tasks that found their partition resident.
+	CacheHits int
+	// WorkerCores is the number of cores that executed tasks.
+	WorkerCores int
+	// busy holds per-task (start, end, serviceStart) intervals for the
+	// utilization trace.
+	busy []interval
+}
+
+type interval struct {
+	start, serviceStart, end float64
+}
+
+// Efficiency is useful CPU over total core time:
+// ServiceTotal / (WorkerCores × Makespan).
+func (r *Result) Efficiency() float64 {
+	if r.Makespan == 0 || r.WorkerCores == 0 {
+		return 0
+	}
+	return r.ServiceTotal / (float64(r.WorkerCores) * r.Makespan)
+}
+
+// coreHeap orders cores by the time they become free.
+type coreHeap []coreState
+
+type coreState struct {
+	freeAt float64
+	node   int
+	id     int
+}
+
+func (h coreHeap) Len() int      { return len(h) }
+func (h coreHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h coreHeap) Less(i, j int) bool {
+	if h[i].freeAt != h[j].freeAt {
+		return h[i].freeAt < h[j].freeAt
+	}
+	return h[i].id < h[j].id // deterministic tie-break
+}
+func (h *coreHeap) Push(x any) { *h = append(*h, x.(coreState)) }
+func (h *coreHeap) Pop() any {
+	old := *h
+	x := old[len(old)-1]
+	*h = old[:len(old)-1]
+	return x
+}
+
+// nodeCache is the per-node page cache: LRU over partitions by bytes.
+type nodeCache struct {
+	capacity int64
+	used     int64
+	order    []int // LRU order, most recent last
+	resident map[int]int64
+}
+
+func newNodeCache(capacity int64) *nodeCache {
+	return &nodeCache{capacity: capacity, resident: make(map[int]int64)}
+}
+
+// touch returns true when the partition was already resident; otherwise it
+// loads it, evicting LRU entries as needed.
+func (nc *nodeCache) touch(partition int, bytes int64) bool {
+	if _, ok := nc.resident[partition]; ok {
+		nc.moveToBack(partition)
+		return true
+	}
+	for nc.used+bytes > nc.capacity && len(nc.order) > 0 {
+		oldest := nc.order[0]
+		nc.order = nc.order[1:]
+		nc.used -= nc.resident[oldest]
+		delete(nc.resident, oldest)
+	}
+	if bytes <= nc.capacity {
+		nc.resident[partition] = bytes
+		nc.used += bytes
+		nc.order = append(nc.order, partition)
+	}
+	return false
+}
+
+func (nc *nodeCache) moveToBack(partition int) {
+	for i, p := range nc.order {
+		if p == partition {
+			nc.order = append(nc.order[:i], nc.order[i+1:]...)
+			nc.order = append(nc.order, partition)
+			return
+		}
+	}
+}
+
+func (nc *nodeCache) has(partition int) bool {
+	_, ok := nc.resident[partition]
+	return ok
+}
+
+// Run simulates executing tasks (in queue order) on the configured machine
+// under the given schedule and returns the phase result.
+func Run(cfg Config, tasks []Task, sched Schedule) (*Result, error) {
+	if cfg.Nodes <= 0 || cfg.CoresPerNode <= 0 {
+		return nil, fmt.Errorf("cluster: invalid machine %+v", cfg)
+	}
+	if cfg.LoadBandwidth <= 0 {
+		return nil, fmt.Errorf("cluster: LoadBandwidth must be positive")
+	}
+	nworkers := cfg.Cores()
+	if cfg.MasterIsDedicated {
+		nworkers--
+	}
+	if nworkers <= 0 {
+		return nil, fmt.Errorf("cluster: no worker cores")
+	}
+	res := &Result{WorkerCores: nworkers}
+	if len(tasks) == 0 {
+		return res, nil
+	}
+
+	caches := make([]*nodeCache, cfg.Nodes)
+	for i := range caches {
+		caches[i] = newNodeCache(cfg.NodeRAMBytes)
+	}
+
+	switch sched {
+	case ScheduleStatic:
+		runStatic(cfg, tasks, caches, nworkers, res)
+	case ScheduleMasterWorker, ScheduleLocalityAware:
+		runDynamic(cfg, tasks, caches, nworkers, sched, res)
+	default:
+		return nil, fmt.Errorf("cluster: unknown schedule %v", sched)
+	}
+
+	sort.Slice(res.busy, func(i, j int) bool { return res.busy[i].start < res.busy[j].start })
+	return res, nil
+}
+
+// runDynamic is the master–worker list scheduler: the earliest-free core
+// takes the next task (or, locality-aware, a nearby cached one).
+func runDynamic(cfg Config, tasks []Task, caches []*nodeCache, nworkers int, sched Schedule, res *Result) {
+	h := make(coreHeap, 0, nworkers)
+	skip := 0
+	if cfg.MasterIsDedicated {
+		skip = 1
+	}
+	for c := 0; c < nworkers; c++ {
+		global := c + skip
+		h = append(h, coreState{freeAt: 0, node: global / cfg.CoresPerNode, id: global})
+	}
+	heap.Init(&h)
+
+	pending := make([]Task, len(tasks))
+	copy(pending, tasks)
+	for len(pending) > 0 {
+		core := heap.Pop(&h).(coreState)
+		// Pick a task.
+		pick := 0
+		if sched == ScheduleLocalityAware {
+			limit := min(LocalityLookahead, len(pending))
+			for i := 0; i < limit; i++ {
+				p := pending[i].Partition
+				if p < 0 || caches[core.node].has(p) {
+					pick = i
+					break
+				}
+			}
+		}
+		task := pending[pick]
+		pending = append(pending[:pick], pending[pick+1:]...)
+		execute(cfg, caches, core, task, res)
+		heap.Push(&h, coreState{freeAt: res.busy[len(res.busy)-1].end, node: core.node, id: core.id})
+	}
+	for _, iv := range res.busy {
+		if iv.end > res.Makespan {
+			res.Makespan = iv.end
+		}
+	}
+}
+
+// runStatic pre-assigns contiguous chunks, simulating each core's chunk
+// sequentially.
+func runStatic(cfg Config, tasks []Task, caches []*nodeCache, nworkers int, res *Result) {
+	skip := 0
+	if cfg.MasterIsDedicated {
+		skip = 1
+	}
+	for c := 0; c < nworkers; c++ {
+		lo := c * len(tasks) / nworkers
+		hi := (c + 1) * len(tasks) / nworkers
+		global := c + skip
+		core := coreState{freeAt: 0, node: global / cfg.CoresPerNode, id: global}
+		t := 0.0
+		for _, task := range tasks[lo:hi] {
+			core.freeAt = t
+			execute(cfg, caches, core, task, res)
+			t = res.busy[len(res.busy)-1].end
+		}
+		if t > res.Makespan {
+			res.Makespan = t
+		}
+	}
+}
+
+// execute charges one task to a core: load cost on a cache miss, then
+// service.
+func execute(cfg Config, caches []*nodeCache, core coreState, task Task, res *Result) {
+	start := core.freeAt
+	serviceStart := start
+	if task.Partition >= 0 {
+		if caches[core.node].touch(task.Partition, task.PartitionBytes) {
+			res.CacheHits++
+		} else {
+			loadTime := float64(task.PartitionBytes) / cfg.LoadBandwidth
+			serviceStart += loadTime
+			res.LoadTotal += loadTime
+			res.PartitionLoads++
+		}
+	}
+	end := serviceStart + task.Service
+	res.ServiceTotal += task.Service
+	res.busy = append(res.busy, interval{start: start, serviceStart: serviceStart, end: end})
+}
+
+// TracePoint is one sample of the utilization time series.
+type TracePoint struct {
+	// Time is the sample time in seconds.
+	Time float64
+	// Utilization is useful CPU (inside service, excluding partition
+	// loads) divided by total allocated cores — the paper's Fig. 5 metric.
+	Utilization float64
+}
+
+// UtilizationTrace samples the run's "useful CPU utilization per core" at
+// n evenly spaced points, over totalCores allocated cores (workers plus the
+// dedicated master, like the paper's definition which divides by all cores
+// of the MPI job).
+func (r *Result) UtilizationTrace(n int, totalCores int) []TracePoint {
+	if n <= 0 || r.Makespan == 0 {
+		return nil
+	}
+	// Sweep: accumulate busy service time per bucket.
+	bucket := r.Makespan / float64(n)
+	busy := make([]float64, n)
+	for _, iv := range r.busy {
+		// Clip the service portion [serviceStart, end) onto buckets.
+		lo, hi := iv.serviceStart, iv.end
+		b0 := int(lo / bucket)
+		b1 := int(hi / bucket)
+		if b1 >= n {
+			b1 = n - 1
+		}
+		for b := b0; b <= b1; b++ {
+			blo := float64(b) * bucket
+			bhi := blo + bucket
+			overlap := minF(hi, bhi) - maxF(lo, blo)
+			if overlap > 0 {
+				busy[b] += overlap
+			}
+		}
+	}
+	out := make([]TracePoint, n)
+	for b := range out {
+		out[b] = TracePoint{
+			Time:        (float64(b) + 0.5) * bucket,
+			Utilization: busy[b] / (bucket * float64(totalCores)),
+		}
+	}
+	return out
+}
+
+func minF(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxF(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

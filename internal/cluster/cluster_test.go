@@ -1,0 +1,314 @@
+package cluster
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func uniformTasks(n int, service float64, partitions int, partBytes int64) []Task {
+	tasks := make([]Task, n)
+	for i := range tasks {
+		p := -1
+		if partitions > 0 {
+			p = i % partitions
+		}
+		tasks[i] = Task{Partition: p, PartitionBytes: partBytes, Service: service}
+	}
+	return tasks
+}
+
+func TestRangerConfig(t *testing.T) {
+	cfg, err := RangerConfig(128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Nodes != 8 || cfg.CoresPerNode != 16 || cfg.Cores() != 128 {
+		t.Errorf("config = %+v", cfg)
+	}
+	if _, err := RangerConfig(100); err == nil {
+		t.Error("non-multiple of 16 accepted")
+	}
+	if _, err := RangerConfig(0); err == nil {
+		t.Error("zero cores accepted")
+	}
+}
+
+func TestPerfectScalingWithoutData(t *testing.T) {
+	// No partitions, uniform tasks: makespan = ceil(n/workers)×service.
+	tasks := uniformTasks(512, 10, 0, 0)
+	cfg, _ := RangerConfig(32) // 31 workers
+	res, err := Run(cfg, tasks, ScheduleMasterWorker)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 512 tasks over 31 workers: 16 full waves + remainder wave = 17.
+	want := math.Ceil(512.0/31.0) * 10
+	if math.Abs(res.Makespan-want) > 1e-9 {
+		t.Errorf("makespan = %f, want %f", res.Makespan, want)
+	}
+	if res.ServiceTotal != 5120 {
+		t.Errorf("service total = %f", res.ServiceTotal)
+	}
+	if res.PartitionLoads != 0 || res.LoadTotal != 0 {
+		t.Errorf("unexpected load activity: %+v", res)
+	}
+}
+
+func TestWorkConservation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	tasks := make([]Task, 300)
+	totalService := 0.0
+	for i := range tasks {
+		s := rng.Float64()*20 + 1
+		tasks[i] = Task{Partition: i % 7, PartitionBytes: 1 << 30, Service: s}
+		totalService += s
+	}
+	cfg, _ := RangerConfig(64)
+	for _, sched := range []Schedule{ScheduleMasterWorker, ScheduleStatic, ScheduleLocalityAware} {
+		res, err := Run(cfg, tasks, sched)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(res.ServiceTotal-totalService) > 1e-6 {
+			t.Errorf("%v: service not conserved: %f vs %f", sched, res.ServiceTotal, totalService)
+		}
+		if res.CacheHits+res.PartitionLoads != len(tasks) {
+			t.Errorf("%v: hits+loads = %d, want %d", sched, res.CacheHits+res.PartitionLoads, len(tasks))
+		}
+		// Makespan can't beat the critical path lower bound.
+		lb := totalService / float64(res.WorkerCores)
+		if res.Makespan < lb-1e-9 {
+			t.Errorf("%v: makespan %f below lower bound %f", sched, res.Makespan, lb)
+		}
+	}
+}
+
+func TestMasterWorkerBeatsStaticOnSkewedWork(t *testing.T) {
+	// Highly skewed service times: dynamic load balancing must win — the
+	// reason the paper uses master–worker mode for BLAST.
+	rng := rand.New(rand.NewSource(2))
+	tasks := make([]Task, 400)
+	for i := range tasks {
+		s := math.Exp(rng.NormFloat64() * 1.2) // lognormal, heavy tail
+		tasks[i] = Task{Partition: -1, Service: s}
+	}
+	cfg, _ := RangerConfig(64)
+	dyn, err := Run(cfg, tasks, ScheduleMasterWorker)
+	if err != nil {
+		t.Fatal(err)
+	}
+	static, err := Run(cfg, tasks, ScheduleStatic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dyn.Makespan >= static.Makespan {
+		t.Errorf("master-worker (%f) should beat static (%f) on skewed work",
+			dyn.Makespan, static.Makespan)
+	}
+}
+
+func TestCacheEffectOnRepeatedPartitions(t *testing.T) {
+	// Few partitions that fit in node RAM: after the first touch per node,
+	// loads stop.
+	const nparts = 4
+	tasks := uniformTasks(200, 5, nparts, 1<<30) // 4 partitions of 1 GB
+	cfg, _ := RangerConfig(32)                   // 2 nodes, 32 GB each
+	res, err := Run(cfg, tasks, ScheduleMasterWorker)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxLoads := nparts * cfg.Nodes
+	if res.PartitionLoads > maxLoads {
+		t.Errorf("loads = %d, want <= %d (partitions fit in RAM)", res.PartitionLoads, maxLoads)
+	}
+	if res.CacheHits == 0 {
+		t.Error("no cache hits")
+	}
+}
+
+func TestCacheThrashingWhenRAMTooSmall(t *testing.T) {
+	// Many partitions cycling through a small cache: LRU thrashes, loads
+	// scale with task count — the small-core-count regime of Fig. 4.
+	const nparts = 50
+	tasks := uniformTasks(500, 5, nparts, 1<<30)
+	cfg, _ := RangerConfig(16)
+	cfg.NodeRAMBytes = 8 << 30 // holds 8 of 50 partitions
+	res, err := Run(cfg, tasks, ScheduleMasterWorker)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(res.PartitionLoads) < 0.9*float64(len(tasks)) {
+		t.Errorf("loads = %d of %d tasks; expected cyclic LRU thrashing", res.PartitionLoads, len(tasks))
+	}
+}
+
+func TestLocalityAwareReducesLoads(t *testing.T) {
+	const nparts = 40
+	tasks := uniformTasks(800, 5, nparts, 1<<30)
+	cfg, _ := RangerConfig(64)
+	cfg.NodeRAMBytes = 12 << 30
+	mw, err := Run(cfg, tasks, ScheduleMasterWorker)
+	if err != nil {
+		t.Fatal(err)
+	}
+	la, err := Run(cfg, tasks, ScheduleLocalityAware)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if la.PartitionLoads >= mw.PartitionLoads {
+		t.Errorf("locality-aware loads %d >= master-worker %d", la.PartitionLoads, mw.PartitionLoads)
+	}
+}
+
+func TestDedicatedMasterReservesCore(t *testing.T) {
+	cfg, _ := RangerConfig(32)
+	res, _ := Run(cfg, uniformTasks(31, 10, 0, 0), ScheduleMasterWorker)
+	if res.WorkerCores != 31 {
+		t.Errorf("workers = %d, want 31", res.WorkerCores)
+	}
+	cfg.MasterIsDedicated = false
+	res, _ = Run(cfg, uniformTasks(32, 10, 0, 0), ScheduleMasterWorker)
+	if res.WorkerCores != 32 {
+		t.Errorf("workers = %d, want 32", res.WorkerCores)
+	}
+}
+
+func TestTailIdlingLowersUtilization(t *testing.T) {
+	// Fewer tasks than 2 waves: utilization near the end must drop — the
+	// paper's Fig. 5 tapering.
+	tasks := uniformTasks(40, 100, 0, 0)
+	cfg, _ := RangerConfig(32) // 31 workers, 40 tasks -> 9-worker second wave
+	res, err := Run(cfg, tasks, ScheduleMasterWorker)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := res.UtilizationTrace(20, cfg.Cores())
+	early := trace[2].Utilization
+	late := trace[len(trace)-2].Utilization
+	if early <= late {
+		t.Errorf("utilization did not taper: early %f late %f", early, late)
+	}
+	for _, p := range trace {
+		if p.Utilization < 0 || p.Utilization > 1.0001 {
+			t.Errorf("utilization out of range: %+v", p)
+		}
+	}
+}
+
+func TestUtilizationIntegralMatchesService(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	tasks := make([]Task, 200)
+	for i := range tasks {
+		tasks[i] = Task{Partition: i % 5, PartitionBytes: 1 << 28, Service: rng.Float64()*10 + 1}
+	}
+	cfg, _ := RangerConfig(48)
+	res, err := Run(cfg, tasks, ScheduleMasterWorker)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const nsamples = 2000
+	trace := res.UtilizationTrace(nsamples, cfg.Cores())
+	integral := 0.0
+	for _, p := range trace {
+		integral += p.Utilization * (res.Makespan / nsamples) * float64(cfg.Cores())
+	}
+	if math.Abs(integral-res.ServiceTotal)/res.ServiceTotal > 0.02 {
+		t.Errorf("trace integral %f != service total %f", integral, res.ServiceTotal)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(Config{}, nil, ScheduleMasterWorker); err == nil {
+		t.Error("empty config accepted")
+	}
+	cfg, _ := RangerConfig(16)
+	cfg.LoadBandwidth = 0
+	if _, err := Run(cfg, nil, ScheduleMasterWorker); err == nil {
+		t.Error("zero bandwidth accepted")
+	}
+	cfg, _ = RangerConfig(16)
+	if _, err := Run(cfg, uniformTasks(1, 1, 0, 0), Schedule(99)); err == nil {
+		t.Error("unknown schedule accepted")
+	}
+	res, err := Run(cfg, nil, ScheduleMasterWorker)
+	if err != nil || res.Makespan != 0 {
+		t.Errorf("empty task list: %v %+v", err, res)
+	}
+}
+
+func TestNetworkCosts(t *testing.T) {
+	n := RangerNetwork()
+	if n.BcastCost(1<<20, 1) != 0 {
+		t.Error("single-rank bcast should be free")
+	}
+	c2 := n.BcastCost(1<<20, 2)
+	c1024 := n.BcastCost(1<<20, 1024)
+	if c1024 <= c2 {
+		t.Error("bcast cost should grow with ranks")
+	}
+	if c1024 > 20*c2 {
+		t.Error("bcast cost should grow logarithmically, not linearly")
+	}
+	r := n.ReduceCost(8<<20, 64, 1e-10)
+	if r <= 0 {
+		t.Error("reduce cost should be positive")
+	}
+	if n.AlltoallCost(1<<10, 1) != 0 {
+		t.Error("single-rank alltoall should be free")
+	}
+	if n.CollatePhaseCost(1<<30, 64, 1e-9) <= 0 {
+		t.Error("collate phase should cost something")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	tasks := uniformTasks(100, 3, 10, 1<<28)
+	cfg, _ := RangerConfig(32)
+	a, _ := Run(cfg, tasks, ScheduleMasterWorker)
+	b, _ := Run(cfg, tasks, ScheduleMasterWorker)
+	if a.Makespan != b.Makespan || a.PartitionLoads != b.PartitionLoads {
+		t.Error("simulation not deterministic")
+	}
+}
+
+func TestLocalityAwareBoundedStarvation(t *testing.T) {
+	// The head-of-queue task may be bypassed at most while matching tasks
+	// exist within the lookahead window; with tasks all on one partition
+	// except the head, the head must still run early.
+	tasks := make([]Task, 200)
+	tasks[0] = Task{Partition: 0, PartitionBytes: 1 << 30, Service: 1}
+	for i := 1; i < len(tasks); i++ {
+		tasks[i] = Task{Partition: 1, PartitionBytes: 1 << 30, Service: 1}
+	}
+	cfg, _ := RangerConfig(16)
+	res, err := Run(cfg, tasks, ScheduleLocalityAware)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All work completes.
+	if res.ServiceTotal != 200 {
+		t.Errorf("service total = %f", res.ServiceTotal)
+	}
+}
+
+func TestStaticScheduleDeterministicChunks(t *testing.T) {
+	tasks := uniformTasks(100, 2, 0, 0)
+	cfg, _ := RangerConfig(16) // 15 workers
+	res, err := Run(cfg, tasks, ScheduleStatic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Chunks of ceil/floor(100/15): makespan = largest chunk × 2s = 7×2.
+	if res.Makespan != 14 {
+		t.Errorf("makespan = %f, want 14", res.Makespan)
+	}
+}
+
+func TestScheduleString(t *testing.T) {
+	if ScheduleMasterWorker.String() != "master-worker" ||
+		ScheduleStatic.String() != "static" ||
+		ScheduleLocalityAware.String() != "locality-aware" {
+		t.Error("schedule names wrong")
+	}
+}

@@ -1,0 +1,74 @@
+package cluster
+
+import "math"
+
+// Network models the cluster interconnect for collective-phase costs with
+// the standard latency/bandwidth (alpha-beta) model.
+type Network struct {
+	// LatencySec is the per-message latency alpha.
+	LatencySec float64
+	// BandwidthBytesPerSec is the per-link bandwidth 1/beta.
+	BandwidthBytesPerSec float64
+}
+
+// RangerNetwork approximates Ranger's Infiniband fabric.
+func RangerNetwork() Network {
+	return Network{LatencySec: 3e-6, BandwidthBytesPerSec: 1e9}
+}
+
+// BcastCost is the time for a broadcast of bytes to ranks, using the
+// pipelined (scatter-allgather) model production MPIs apply to large
+// messages: latency grows with tree depth, bandwidth is paid ~twice
+// regardless of rank count.
+func (n Network) BcastCost(bytes int64, ranks int) float64 {
+	if ranks <= 1 {
+		return 0
+	}
+	depth := math.Ceil(math.Log2(float64(ranks)))
+	return depth*n.LatencySec + 2*float64(bytes)/n.BandwidthBytesPerSec
+}
+
+// ReduceCost is the time for a reduction of bytes per rank, pipelined like
+// BcastCost, plus the combine arithmetic.
+func (n Network) ReduceCost(bytes int64, ranks int, combinePerByte float64) float64 {
+	if ranks <= 1 {
+		return 0
+	}
+	depth := math.Ceil(math.Log2(float64(ranks)))
+	// In a pipelined reduction each rank combines its incoming stream once;
+	// the combine work does not multiply with tree depth.
+	return depth*n.LatencySec + 2*float64(bytes)/n.BandwidthBytesPerSec +
+		2*float64(bytes)*combinePerByte
+}
+
+// AlltoallCost is the time for each of ranks ranks to exchange
+// bytesPerRankPair with every other rank — the MR-MPI collate() exchange.
+// The dominant term is each rank sending/receiving (ranks−1)×bytes.
+func (n Network) AlltoallCost(bytesPerRankPair int64, ranks int) float64 {
+	if ranks <= 1 {
+		return 0
+	}
+	volume := float64(bytesPerRankPair) * float64(ranks-1)
+	return float64(ranks-1)*n.LatencySec + volume/n.BandwidthBytesPerSec
+}
+
+// CollatePhaseCost models the paper's collate()+reduce() tail for a BLAST
+// iteration: the hits (totalKVBytes across all ranks) are exchanged
+// all-to-all and then sorted/written locally at sortPerByte cost. The
+// exchange volume per rank is totalKVBytes/ranks.
+func (n Network) CollatePhaseCost(totalKVBytes int64, ranks int, sortPerByte float64) float64 {
+	if ranks <= 0 {
+		return 0
+	}
+	perRank := totalKVBytes / int64(ranks)
+	exchange := n.AlltoallCost(perRank/int64(maxI(ranks-1, 1)), ranks)
+	local := float64(perRank) * sortPerByte
+	return exchange + local
+}
+
+func maxI(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,176 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/bio"
+	"repro/internal/blastdb"
+	"repro/internal/som"
+)
+
+// setupBlastJob writes a small query FASTA and a partitioned DB to disk.
+func setupBlastJob(t *testing.T) BlastJob {
+	t.Helper()
+	dir := t.TempDir()
+	g := bio.NewGenerator(bio.SynthParams{Seed: 500})
+	set := g.GenerateGenomeSet(bio.GenomeSetParams{
+		NTaxa: 3, MinLen: 2000, MaxLen: 3000,
+		StrainsPerGenome: 1, StrainIdentity: 0.93,
+	})
+	var strains []*bio.Sequence
+	for _, ss := range set.Strains {
+		strains = append(strains, ss...)
+	}
+	frags, err := bio.ShredAll(strains, bio.DefaultShredParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	qpath := filepath.Join(dir, "queries.fa")
+	if err := bio.WriteFastaFile(qpath, frags); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := blastdb.Format(set.Genomes, bio.DNA, dir, "refdb",
+		blastdb.FormatOptions{TargetResidues: 3000}); err != nil {
+		t.Fatal(err)
+	}
+	return BlastJob{
+		QueryPath:    qpath,
+		ManifestPath: filepath.Join(dir, "refdb.json"),
+		BlockSize:    8,
+		EValueCutoff: 1e-5,
+		OutDir:       filepath.Join(dir, "out"),
+	}
+}
+
+func TestRunBlastEndToEnd(t *testing.T) {
+	job := setupBlastJob(t)
+	sum, err := RunBlast(3, job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.TotalHits == 0 {
+		t.Fatal("no hits found")
+	}
+	if sum.Queries == 0 || sum.Blocks == 0 || sum.Partitions < 2 {
+		t.Errorf("summary dims: %+v", sum)
+	}
+	if sum.WorkItems != sum.Blocks*sum.Partitions {
+		t.Errorf("work items = %d, want %d", sum.WorkItems, sum.Blocks*sum.Partitions)
+	}
+	if len(sum.OutFiles) != 3 {
+		t.Fatalf("out files = %v", sum.OutFiles)
+	}
+	// Output files exist and collectively hold TotalHits lines.
+	lines := 0
+	for _, f := range sum.OutFiles {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lines += strings.Count(string(data), "\n")
+	}
+	if int64(lines) != sum.TotalHits {
+		t.Errorf("output lines = %d, TotalHits = %d", lines, sum.TotalHits)
+	}
+}
+
+func TestRunBlastValidation(t *testing.T) {
+	if _, err := RunBlast(2, BlastJob{QueryPath: "/nonexistent", ManifestPath: "/nonexistent"}); err == nil {
+		t.Error("missing inputs accepted")
+	}
+	job := setupBlastJob(t)
+	job.ManifestPath = "/nonexistent.json"
+	if _, err := RunBlast(2, job); err == nil {
+		t.Error("missing manifest accepted")
+	}
+}
+
+func TestRunSOMEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	data, _ := bio.ClusteredVectors(7, 200, 6, 4, 0.03)
+	path := filepath.Join(dir, "v.bin")
+	if err := som.WriteVectorFile(path, data, 200, 6); err != nil {
+		t.Fatal(err)
+	}
+	sum, err := RunSOM(4, SOMJob{
+		DataPath: path, Width: 6, Height: 6, Epochs: 12, BlockSize: 16, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Vectors != 200 || sum.Dim != 6 {
+		t.Errorf("dims: %+v", sum)
+	}
+	if sum.Codebook == nil || sum.QuantErr <= 0 || sum.QuantErr > 0.2 {
+		t.Errorf("quality: qe=%f te=%f", sum.QuantErr, sum.TopoErr)
+	}
+}
+
+func TestRunSOMValidation(t *testing.T) {
+	if _, err := RunSOM(2, SOMJob{DataPath: "/nope", Width: 5, Height: 5, Epochs: 1}); err == nil {
+		t.Error("missing data accepted")
+	}
+	if _, err := RunSOM(2, SOMJob{DataPath: "/nope", Width: 0, Height: 5, Epochs: 1}); err == nil {
+		t.Error("zero width accepted")
+	}
+	if _, err := RunSOM(2, SOMJob{DataPath: "/nope", Width: 5, Height: 5, Epochs: 0}); err == nil {
+		t.Error("zero epochs accepted")
+	}
+}
+
+func TestRunBlastDynamicBlocksAndLocality(t *testing.T) {
+	job := setupBlastJob(t)
+	base, err := RunBlast(3, job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	job.DynamicBlocks = true
+	job.LocalityAware = true
+	job.OutDir = t.TempDir()
+	dyn, err := RunBlast(3, job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same hits regardless of block plan and scheduler.
+	if dyn.TotalHits != base.TotalHits {
+		t.Errorf("dynamic/locality hits = %d, base = %d", dyn.TotalHits, base.TotalHits)
+	}
+	// The dynamic plan produces more blocks (tapered tail).
+	if dyn.Blocks <= base.Blocks {
+		t.Errorf("dynamic blocks = %d, want more than %d", dyn.Blocks, base.Blocks)
+	}
+}
+
+func TestRunBlastStrandAndUngappedOptions(t *testing.T) {
+	job := setupBlastJob(t)
+	base, err := RunBlast(3, job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Plus-strand-only search finds a subset of the hits (shredded strains
+	// align forward to their parents, so most hits survive, but the option
+	// must plumb through without error and never find more).
+	job.Strand = 1
+	job.OutDir = t.TempDir()
+	plus, err := RunBlast(3, job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plus.TotalHits > base.TotalHits {
+		t.Errorf("plus-only hits %d > both-strand %d", plus.TotalHits, base.TotalHits)
+	}
+	// Ungapped-only also plumbs through.
+	job.Strand = 0
+	job.UngappedOnly = true
+	job.OutDir = t.TempDir()
+	ung, err := RunBlast(3, job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ung.TotalHits == 0 {
+		t.Error("ungapped-only search found nothing")
+	}
+}

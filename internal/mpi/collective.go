@@ -1,0 +1,229 @@
+package mpi
+
+import "fmt"
+
+// Internal tags for collective traffic. User tags are non-negative, so these
+// can never collide with point-to-point messages. Successive collectives of
+// the same kind are kept straight by MPI's non-overtaking guarantee on each
+// (source, tag) pair.
+const (
+	tagBcast = -2 - iota
+	tagReduce
+	tagGather
+	tagScatter
+	tagAlltoall
+	tagAllgather
+)
+
+// Barrier blocks until every rank in the world has entered it.
+func (c *Comm) Barrier() {
+	c.world.barrier.wait(c.world.timeout)
+}
+
+// Bcast broadcasts v from root to all ranks: every rank returns root's
+// value. Reference values (slices, maps, pointers) are shared between ranks
+// after Bcast; receivers must treat them as read-only or copy. Use
+// BcastFloat64s for a copying broadcast of numeric buffers.
+func Bcast[T any](c *Comm, root int, v T) T {
+	c.checkRoot(root)
+	if c.rank == root {
+		for r := 0; r < c.Size(); r++ {
+			if r != root {
+				c.send(r, tagBcast, v)
+			}
+		}
+		return v
+	}
+	data, _ := c.recv(root, tagBcast)
+	return data.(T)
+}
+
+// BcastFloat64s broadcasts a float64 buffer from root, giving each non-root
+// rank its own copy. Root's own slice is returned unchanged at root.
+func BcastFloat64s(c *Comm, root int, v []float64) []float64 {
+	c.checkRoot(root)
+	if c.rank == root {
+		for r := 0; r < c.Size(); r++ {
+			if r != root {
+				cp := make([]float64, len(v))
+				copy(cp, v)
+				c.send(r, tagBcast, cp)
+			}
+		}
+		return v
+	}
+	data, _ := c.recv(root, tagBcast)
+	return data.([]float64)
+}
+
+// Reduce combines one value from every rank at root using combine, folding
+// in rank order (combine(combine(v0, v1), v2)...), which makes the result
+// deterministic. Root receives (result, true); other ranks get (zero,
+// false).
+func Reduce[T any](c *Comm, root int, v T, combine func(a, b T) T) (T, bool) {
+	c.checkRoot(root)
+	if c.rank != root {
+		c.send(root, tagReduce, v)
+		var zero T
+		return zero, false
+	}
+	// Gather values in rank order, then fold.
+	vals := make([]T, c.Size())
+	vals[root] = v
+	for r := 0; r < c.Size(); r++ {
+		if r == root {
+			continue
+		}
+		data, _ := c.recv(r, tagReduce)
+		vals[r] = data.(T)
+	}
+	acc := vals[0]
+	for r := 1; r < c.Size(); r++ {
+		acc = combine(acc, vals[r])
+	}
+	return acc, true
+}
+
+// Allreduce is Reduce followed by a broadcast of the result; every rank
+// returns the combined value.
+func Allreduce[T any](c *Comm, v T, combine func(a, b T) T) T {
+	res, _ := Reduce(c, 0, v, combine)
+	return Bcast(c, 0, res)
+}
+
+// ReduceSumFloat64s element-wise sums one float64 buffer per rank at root.
+// All buffers must have equal length. Root receives the sum in a newly
+// allocated slice; other ranks receive nil. This is the MPI_Reduce(…,
+// MPI_SUM) call the paper's batch SOM uses to combine codebook updates.
+func ReduceSumFloat64s(c *Comm, root int, v []float64) []float64 {
+	c.checkRoot(root)
+	if c.rank != root {
+		c.send(root, tagReduce, v)
+		return nil
+	}
+	sum := make([]float64, len(v))
+	copy(sum, v)
+	for r := 0; r < c.Size(); r++ {
+		if r == root {
+			continue
+		}
+		data, _ := c.recv(r, tagReduce)
+		other := data.([]float64)
+		if len(other) != len(sum) {
+			panic(fmt.Sprintf("mpi: ReduceSumFloat64s length mismatch: rank %d sent %d, want %d",
+				r, len(other), len(sum)))
+		}
+		for i, x := range other {
+			sum[i] += x
+		}
+	}
+	return sum
+}
+
+// AllreduceSumFloat64s element-wise sums buffers across ranks; every rank
+// returns its own copy of the sum.
+func AllreduceSumFloat64s(c *Comm, v []float64) []float64 {
+	sum := ReduceSumFloat64s(c, 0, v)
+	return BcastFloat64s(c, 0, sum)
+}
+
+// ReduceSumInt64 sums an int64 across ranks at root; other ranks get 0.
+func ReduceSumInt64(c *Comm, root int, v int64) int64 {
+	res, ok := Reduce(c, root, v, func(a, b int64) int64 { return a + b })
+	if !ok {
+		return 0
+	}
+	return res
+}
+
+// AllreduceSumInt64 sums an int64 across ranks; every rank gets the sum.
+func AllreduceSumInt64(c *Comm, v int64) int64 {
+	return Allreduce(c, v, func(a, b int64) int64 { return a + b })
+}
+
+// AllreduceMaxFloat64 takes the max of one float64 per rank.
+func AllreduceMaxFloat64(c *Comm, v float64) float64 {
+	return Allreduce(c, v, func(a, b float64) float64 {
+		if a > b {
+			return a
+		}
+		return b
+	})
+}
+
+// Gather collects one value from every rank at root, indexed by rank. Root
+// receives the full slice; other ranks receive nil.
+func Gather[T any](c *Comm, root int, v T) []T {
+	c.checkRoot(root)
+	if c.rank != root {
+		c.send(root, tagGather, v)
+		return nil
+	}
+	out := make([]T, c.Size())
+	out[root] = v
+	for r := 0; r < c.Size(); r++ {
+		if r == root {
+			continue
+		}
+		data, _ := c.recv(r, tagGather)
+		out[r] = data.(T)
+	}
+	return out
+}
+
+// Allgather collects one value from every rank at every rank.
+func Allgather[T any](c *Comm, v T) []T {
+	out := Gather(c, 0, v)
+	return Bcast(c, 0, out)
+}
+
+// Scatter distributes vals[r] from root to rank r; every rank returns its
+// element. Only root's vals is consulted; it must have length Size.
+func Scatter[T any](c *Comm, root int, vals []T) T {
+	c.checkRoot(root)
+	if c.rank == root {
+		if len(vals) != c.Size() {
+			panic(fmt.Sprintf("mpi: Scatter needs %d values, got %d", c.Size(), len(vals)))
+		}
+		for r := 0; r < c.Size(); r++ {
+			if r != root {
+				c.send(r, tagScatter, vals[r])
+			}
+		}
+		return vals[root]
+	}
+	data, _ := c.recv(root, tagScatter)
+	return data.(T)
+}
+
+// Alltoall sends send[r] to rank r from every rank and returns recv where
+// recv[r] is the value this rank received from rank r. send must have length
+// Size. This is the exchange primitive under MapReduce-MPI's aggregate step.
+func Alltoall[T any](c *Comm, send []T) []T {
+	if len(send) != c.Size() {
+		panic(fmt.Sprintf("mpi: Alltoall needs %d values, got %d", c.Size(), len(send)))
+	}
+	recv := make([]T, c.Size())
+	recv[c.rank] = send[c.rank]
+	for r := 0; r < c.Size(); r++ {
+		if r != c.rank {
+			c.send(r, tagAlltoall, send[r])
+		}
+	}
+	// Receive exactly one message from each peer. Matching per-source keeps
+	// consecutive Alltoall rounds separated via the FIFO non-overtaking
+	// guarantee on each (source, tag) pair.
+	for r := 0; r < c.Size(); r++ {
+		if r != c.rank {
+			data, _ := c.recv(r, tagAlltoall)
+			recv[r] = data.(T)
+		}
+	}
+	return recv
+}
+
+func (c *Comm) checkRoot(root int) {
+	if root < 0 || root >= c.Size() {
+		panic(fmt.Sprintf("mpi: invalid root %d (size %d)", root, c.Size()))
+	}
+}

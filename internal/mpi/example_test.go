@@ -1,0 +1,47 @@
+package mpi_test
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/mpi"
+)
+
+// Run an SPMD program on 4 in-process ranks: each rank contributes its rank
+// number, and an Allreduce gives every rank the sum.
+func ExampleRun() {
+	var mu sync.Mutex
+	var sums []int64
+	err := mpi.Run(4, func(c *mpi.Comm) error {
+		sum := mpi.AllreduceSumInt64(c, int64(c.Rank()))
+		mu.Lock()
+		sums = append(sums, sum)
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	sort.Slice(sums, func(i, j int) bool { return sums[i] < sums[j] })
+	fmt.Println(sums)
+	// Output: [6 6 6 6]
+}
+
+// Point-to-point messaging with tags, as the master-worker protocols use.
+func ExampleComm_Send() {
+	err := mpi.Run(2, func(c *mpi.Comm) error {
+		if c.Rank() == 0 {
+			c.Send(1, 42, "work unit 7")
+			return nil
+		}
+		data, st := c.Recv(0, 42)
+		fmt.Printf("rank 1 got %q from rank %d\n", data, st.Source)
+		return nil
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+	}
+	// Output: rank 1 got "work unit 7" from rank 0
+}

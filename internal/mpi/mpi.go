@@ -1,0 +1,241 @@
+// Package mpi is an in-process MPI runtime: ranks are goroutines, messages
+// are Go values, and the standard collectives (Barrier, Bcast, Reduce,
+// Allreduce, Gather, Scatter, Allgather, Alltoall) are implemented over
+// tagged point-to-point channels with MPI's non-overtaking delivery
+// semantics.
+//
+// It substitutes for the OpenMPI/Infiniband environment of the paper: the
+// ported algorithms (MapReduce-MPI, MR-BLAST, MR-SOM) only require MPI
+// semantics — SPMD ranks, collectives, and p2p matching — which this package
+// provides faithfully. Performance at scale is studied separately with the
+// discrete-event cluster simulator (internal/cluster).
+//
+// Ownership convention: a sent value is handed off to the receiver. Senders
+// must not mutate a value (or anything it references) after sending it;
+// receivers own what they receive. Collectives that logically give every
+// rank its own copy (e.g. Bcast of a slice) document whether they copy.
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// AnySource matches messages from any sending rank in Recv.
+const AnySource = -1
+
+// AnyTag matches messages with any user tag in Recv.
+const AnyTag = -1
+
+// ErrAborted is returned or carried in panics when the world has been
+// aborted because some rank failed.
+var ErrAborted = errors.New("mpi: world aborted")
+
+// DefaultRecvTimeout bounds how long a Recv or collective may block before
+// the runtime declares a deadlock. Zero disables the watchdog.
+var DefaultRecvTimeout = 60 * time.Second
+
+// message is one in-flight point-to-point message.
+type message struct {
+	src  int
+	tag  int
+	data any
+}
+
+// mailbox holds pending messages for one rank.
+type mailbox struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []message
+	aborted bool
+}
+
+// World is a set of communicating ranks launched together.
+type World struct {
+	size      int
+	boxes     []*mailbox
+	barrier   *reusableBarrier
+	abortOnce sync.Once
+	timeout   time.Duration
+}
+
+// Comm is one rank's handle on the world; it is the receiver for all
+// point-to-point operations and the first argument of all collectives.
+type Comm struct {
+	rank  int
+	world *World
+}
+
+// Rank reports this process's rank in [0, Size).
+func (c *Comm) Rank() int { return c.rank }
+
+// Size reports the number of ranks in the world.
+func (c *Comm) Size() int { return c.world.size }
+
+// newWorld creates a world of n ranks.
+func newWorld(n int, timeout time.Duration) *World {
+	w := &World{
+		size:    n,
+		boxes:   make([]*mailbox, n),
+		barrier: newReusableBarrier(n),
+		timeout: timeout,
+	}
+	for i := range w.boxes {
+		b := &mailbox{}
+		b.cond = sync.NewCond(&b.mu)
+		w.boxes[i] = b
+	}
+	return w
+}
+
+// abort wakes every blocked rank; they will panic with ErrAborted, which Run
+// converts into an error return.
+func (w *World) abort() {
+	w.abortOnce.Do(func() {
+		for _, b := range w.boxes {
+			b.mu.Lock()
+			b.aborted = true
+			b.cond.Broadcast()
+			b.mu.Unlock()
+		}
+		w.barrier.abort()
+	})
+}
+
+// RunOptions configures a Run invocation.
+type RunOptions struct {
+	// Timeout overrides DefaultRecvTimeout for blocking operations.
+	Timeout time.Duration
+}
+
+// Run executes f as an SPMD program on n ranks (goroutines) and blocks until
+// all ranks finish. If any rank returns an error or panics, the world is
+// aborted: blocked ranks are woken and fail with ErrAborted, and Run returns
+// the join of all per-rank errors, wrapped with their ranks.
+func Run(n int, f func(c *Comm) error) error {
+	return RunWith(n, RunOptions{}, f)
+}
+
+// RunWith is Run with explicit options.
+func RunWith(n int, opts RunOptions, f func(c *Comm) error) error {
+	if n <= 0 {
+		return fmt.Errorf("mpi: Run needs at least 1 rank, got %d", n)
+	}
+	timeout := opts.Timeout
+	if timeout == 0 {
+		timeout = DefaultRecvTimeout
+	}
+	w := newWorld(n, timeout)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for rank := 0; rank < n; rank++ {
+		go func(rank int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					if err, ok := r.(error); ok && err == ErrAborted {
+						// Pure collateral damage from another rank's failure.
+						errs[rank] = ErrAborted
+					} else if err, ok := r.(error); ok && errors.Is(err, ErrAborted) {
+						// A local diagnosis (timeout, deadlock) wrapping the
+						// abort sentinel: keep the message as a root cause.
+						errs[rank] = fmt.Errorf("rank %d: %w", rank, err)
+					} else {
+						buf := make([]byte, 8<<10)
+						buf = buf[:runtime.Stack(buf, false)]
+						errs[rank] = fmt.Errorf("mpi: rank %d panicked: %v\n%s", rank, r, buf)
+					}
+					w.abort()
+				}
+			}()
+			c := &Comm{rank: rank, world: w}
+			if err := f(c); err != nil {
+				errs[rank] = fmt.Errorf("rank %d: %w", rank, err)
+				w.abort()
+			}
+		}(rank)
+	}
+	wg.Wait()
+	// Report real failures first; suppress pure ErrAborted collateral if a
+	// root cause exists.
+	var rootCauses, collateral []error
+	for _, err := range errs {
+		switch {
+		case err == nil:
+		case errors.Is(err, ErrAborted) && err == ErrAborted:
+			collateral = append(collateral, err)
+		default:
+			rootCauses = append(rootCauses, err)
+		}
+	}
+	if len(rootCauses) > 0 {
+		return errors.Join(rootCauses...)
+	}
+	return errors.Join(collateral...)
+}
+
+// reusableBarrier is a generation-counted barrier usable any number of times.
+type reusableBarrier struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	n       int
+	count   int
+	gen     int
+	aborted bool
+}
+
+func newReusableBarrier(n int) *reusableBarrier {
+	b := &reusableBarrier{n: n}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *reusableBarrier) wait(timeout time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.aborted {
+		panic(ErrAborted)
+	}
+	gen := b.gen
+	b.count++
+	if b.count == b.n {
+		b.count = 0
+		b.gen++
+		b.cond.Broadcast()
+		return
+	}
+	deadline := time.Now().Add(timeout)
+	var watchdog *time.Timer
+	defer func() {
+		if watchdog != nil {
+			watchdog.Stop()
+		}
+	}()
+	for b.gen == gen && !b.aborted {
+		if timeout > 0 && watchdog == nil {
+			watchdog = time.AfterFunc(time.Until(deadline), func() {
+				b.mu.Lock()
+				b.cond.Broadcast()
+				b.mu.Unlock()
+			})
+		}
+		b.cond.Wait()
+		if timeout > 0 && b.gen == gen && !b.aborted && time.Now().After(deadline) {
+			panic(fmt.Errorf("mpi: barrier timed out after %v (likely deadlock): %w", timeout, ErrAborted))
+		}
+	}
+	if b.aborted {
+		panic(ErrAborted)
+	}
+}
+
+func (b *reusableBarrier) abort() {
+	b.mu.Lock()
+	b.aborted = true
+	b.cond.Broadcast()
+	b.mu.Unlock()
+}

@@ -1,0 +1,565 @@
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRunSingleRank(t *testing.T) {
+	ran := false
+	err := Run(1, func(c *Comm) error {
+		if c.Rank() != 0 || c.Size() != 1 {
+			t.Errorf("rank/size wrong: %d/%d", c.Rank(), c.Size())
+		}
+		ran = true
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Fatal("body did not run")
+	}
+}
+
+func TestRunRejectsZeroRanks(t *testing.T) {
+	if err := Run(0, func(c *Comm) error { return nil }); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestRanksDistinct(t *testing.T) {
+	var seen [8]int32
+	err := Run(8, func(c *Comm) error {
+		atomic.AddInt32(&seen[c.Rank()], 1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r, n := range seen {
+		if n != 1 {
+			t.Errorf("rank %d ran %d times", r, n)
+		}
+	}
+}
+
+func TestSendRecvBasic(t *testing.T) {
+	err := Run(2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			c.Send(1, 7, "hello")
+			return nil
+		}
+		data, st := c.Recv(0, 7)
+		if data.(string) != "hello" || st.Source != 0 || st.Tag != 7 {
+			return fmt.Errorf("got %v %+v", data, st)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecvAnySourceAnyTag(t *testing.T) {
+	err := Run(3, func(c *Comm) error {
+		if c.Rank() != 0 {
+			c.Send(0, c.Rank(), c.Rank()*10)
+			return nil
+		}
+		got := map[int]int{}
+		for i := 0; i < 2; i++ {
+			data, st := c.Recv(AnySource, AnyTag)
+			got[st.Source] = data.(int)
+		}
+		if got[1] != 10 || got[2] != 20 {
+			return fmt.Errorf("got %v", got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecvTagSelectivity(t *testing.T) {
+	err := Run(2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			c.Send(1, 1, "first-tag1")
+			c.Send(1, 2, "first-tag2")
+			c.Send(1, 1, "second-tag1")
+			return nil
+		}
+		// Receive tag 2 first even though tag-1 messages arrived earlier.
+		data, _ := c.Recv(0, 2)
+		if data.(string) != "first-tag2" {
+			return fmt.Errorf("tag 2: got %v", data)
+		}
+		// Non-overtaking within (src, tag).
+		a, _ := c.Recv(0, 1)
+		b, _ := c.Recv(0, 1)
+		if a.(string) != "first-tag1" || b.(string) != "second-tag1" {
+			return fmt.Errorf("fifo violated: %v, %v", a, b)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendNegativeTagPanics(t *testing.T) {
+	err := Run(2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic on negative tag")
+				}
+			}()
+			c.Send(1, -1, "x")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProbe(t *testing.T) {
+	err := Run(2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			c.Send(1, 5, 99)
+			return nil
+		}
+		// Poll until the message lands.
+		for {
+			if ok, st := c.Probe(0, 5); ok {
+				if st.Source != 0 || st.Tag != 5 {
+					return fmt.Errorf("probe status %+v", st)
+				}
+				break
+			}
+			time.Sleep(time.Millisecond)
+		}
+		data, _ := c.Recv(0, 5)
+		if data.(int) != 99 {
+			return fmt.Errorf("got %v", data)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBarrier(t *testing.T) {
+	const n = 8
+	var phase atomic.Int32
+	err := Run(n, func(c *Comm) error {
+		// Everyone increments, barrier, then all must observe the full count.
+		phase.Add(1)
+		c.Barrier()
+		if got := phase.Load(); got != n {
+			return fmt.Errorf("rank %d saw phase %d before barrier release", c.Rank(), got)
+		}
+		c.Barrier()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBarrierReusable(t *testing.T) {
+	var counter atomic.Int32
+	err := Run(4, func(c *Comm) error {
+		for i := 0; i < 50; i++ {
+			c.Barrier()
+			v := counter.Add(1)
+			c.Barrier()
+			want := int32((i + 1) * 4)
+			if i == 49 && c.Rank() == 0 && v > want {
+				return fmt.Errorf("barrier generation leak: %d > %d", v, want)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBcast(t *testing.T) {
+	err := Run(5, func(c *Comm) error {
+		v := ""
+		if c.Rank() == 2 {
+			v = "payload"
+		}
+		got := Bcast(c, 2, v)
+		if got != "payload" {
+			return fmt.Errorf("rank %d got %q", c.Rank(), got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBcastFloat64sCopies(t *testing.T) {
+	err := Run(3, func(c *Comm) error {
+		var v []float64
+		if c.Rank() == 0 {
+			v = []float64{1, 2, 3}
+		}
+		got := BcastFloat64s(c, 0, v)
+		if len(got) != 3 || got[1] != 2 {
+			return fmt.Errorf("rank %d got %v", c.Rank(), got)
+		}
+		// Mutate the local copy; other ranks must not observe it.
+		got[0] = float64(100 + c.Rank())
+		c.Barrier()
+		if c.Rank() == 0 && got[0] != 100 {
+			return fmt.Errorf("root copy clobbered: %v", got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReduceDeterministicOrder(t *testing.T) {
+	err := Run(6, func(c *Comm) error {
+		// String concatenation is order-sensitive, so this checks rank order.
+		v := fmt.Sprintf("%d", c.Rank())
+		got, ok := Reduce(c, 0, v, func(a, b string) string { return a + b })
+		if c.Rank() == 0 {
+			if !ok || got != "012345" {
+				return fmt.Errorf("got %q ok=%v", got, ok)
+			}
+		} else if ok {
+			return fmt.Errorf("non-root got ok=true")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReduceSumFloat64s(t *testing.T) {
+	const n = 4
+	err := Run(n, func(c *Comm) error {
+		v := []float64{float64(c.Rank()), 1}
+		sum := ReduceSumFloat64s(c, 0, v)
+		if c.Rank() == 0 {
+			if sum[0] != 0+1+2+3 || sum[1] != n {
+				return fmt.Errorf("sum = %v", sum)
+			}
+		} else if sum != nil {
+			return fmt.Errorf("non-root sum = %v", sum)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReduceSumFloat64sLengthMismatch(t *testing.T) {
+	err := Run(2, func(c *Comm) error {
+		v := make([]float64, 2+c.Rank())
+		ReduceSumFloat64s(c, 0, v)
+		return nil
+	})
+	if err == nil {
+		t.Fatal("expected length-mismatch failure")
+	}
+}
+
+func TestAllreduce(t *testing.T) {
+	err := Run(7, func(c *Comm) error {
+		sum := AllreduceSumInt64(c, int64(c.Rank()))
+		if sum != 21 {
+			return fmt.Errorf("rank %d sum %d", c.Rank(), sum)
+		}
+		mx := AllreduceMaxFloat64(c, float64(c.Rank()))
+		if mx != 6 {
+			return fmt.Errorf("rank %d max %f", c.Rank(), mx)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllreduceSumFloat64s(t *testing.T) {
+	err := Run(3, func(c *Comm) error {
+		v := []float64{1, float64(c.Rank())}
+		sum := AllreduceSumFloat64s(c, v)
+		if sum[0] != 3 || sum[1] != 3 {
+			return fmt.Errorf("rank %d got %v", c.Rank(), sum)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGatherScatter(t *testing.T) {
+	err := Run(4, func(c *Comm) error {
+		all := Gather(c, 1, c.Rank()*2)
+		if c.Rank() == 1 {
+			for r, v := range all {
+				if v != r*2 {
+					return fmt.Errorf("gather[%d] = %d", r, v)
+				}
+			}
+		} else if all != nil {
+			return fmt.Errorf("non-root gather = %v", all)
+		}
+		var vals []string
+		if c.Rank() == 0 {
+			vals = []string{"a", "b", "c", "d"}
+		}
+		got := Scatter(c, 0, vals)
+		want := string(rune('a' + c.Rank()))
+		if got != want {
+			return fmt.Errorf("scatter: rank %d got %q want %q", c.Rank(), got, want)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllgather(t *testing.T) {
+	err := Run(5, func(c *Comm) error {
+		all := Allgather(c, c.Rank()+100)
+		for r, v := range all {
+			if v != r+100 {
+				return fmt.Errorf("rank %d: allgather[%d] = %d", c.Rank(), r, v)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAlltoall(t *testing.T) {
+	const n = 6
+	err := Run(n, func(c *Comm) error {
+		send := make([]int, n)
+		for r := range send {
+			send[r] = c.Rank()*100 + r
+		}
+		recv := Alltoall(c, send)
+		for r, v := range recv {
+			if want := r*100 + c.Rank(); v != want {
+				return fmt.Errorf("rank %d recv[%d] = %d want %d", c.Rank(), r, v, want)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAlltoallBackToBack(t *testing.T) {
+	// Consecutive rounds must not bleed into each other even when ranks race
+	// ahead: round markers verify per-round isolation.
+	const n = 4
+	err := Run(n, func(c *Comm) error {
+		for round := 0; round < 20; round++ {
+			send := make([][2]int, n)
+			for r := range send {
+				send[r] = [2]int{round, c.Rank()}
+			}
+			recv := Alltoall(c, send)
+			for r, v := range recv {
+				if v[0] != round || v[1] != r {
+					return fmt.Errorf("rank %d round %d: recv[%d] = %v", c.Rank(), round, r, v)
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCollectivesInterleaved(t *testing.T) {
+	// Stress mixed collectives with per-rank jitter to shake out tag
+	// cross-matching between collective kinds.
+	err := Run(5, func(c *Comm) error {
+		rng := rand.New(rand.NewSource(int64(c.Rank())))
+		for i := 0; i < 30; i++ {
+			time.Sleep(time.Duration(rng.Intn(100)) * time.Microsecond)
+			b := Bcast(c, i%5, i*7)
+			if b != i*7 {
+				return fmt.Errorf("bcast round %d: got %d", i, b)
+			}
+			s := AllreduceSumInt64(c, int64(i))
+			if s != int64(i*5) {
+				return fmt.Errorf("allreduce round %d: got %d", i, s)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestErrorPropagation(t *testing.T) {
+	sentinel := errors.New("rank 2 exploded")
+	err := Run(4, func(c *Comm) error {
+		if c.Rank() == 2 {
+			return sentinel
+		}
+		// Other ranks block; the abort must wake them.
+		c.Recv(2, 0)
+		return nil
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if !errors.Is(err, sentinel) {
+		t.Errorf("root cause lost: %v", err)
+	}
+}
+
+func TestPanicBecomesError(t *testing.T) {
+	err := Run(2, func(c *Comm) error {
+		if c.Rank() == 1 {
+			panic("boom")
+		}
+		c.Barrier()
+		return nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("panic not converted: %v", err)
+	}
+}
+
+func TestRecvTimeout(t *testing.T) {
+	start := time.Now()
+	err := RunWith(1, RunOptions{Timeout: 50 * time.Millisecond}, func(c *Comm) error {
+		c.Recv(0, 1) // never sent
+		return nil
+	})
+	if err == nil {
+		t.Fatal("expected timeout error")
+	}
+	if !strings.Contains(err.Error(), "timed out") {
+		t.Errorf("unexpected error: %v", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Errorf("timeout took too long")
+	}
+}
+
+func TestBarrierTimeout(t *testing.T) {
+	err := RunWith(2, RunOptions{Timeout: 50 * time.Millisecond}, func(c *Comm) error {
+		if c.Rank() == 0 {
+			c.Barrier() // rank 1 never joins
+		}
+		return nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "timed out") {
+		t.Fatalf("expected barrier timeout, got %v", err)
+	}
+}
+
+func TestSendInvalidRankPanics(t *testing.T) {
+	err := Run(1, func(c *Comm) error {
+		c.Send(5, 0, "x")
+		return nil
+	})
+	if err == nil {
+		t.Fatal("expected error from invalid destination")
+	}
+}
+
+func TestManyRanksRing(t *testing.T) {
+	// Token passed around a ring accumulates every rank exactly once.
+	const n = 16
+	err := Run(n, func(c *Comm) error {
+		next := (c.Rank() + 1) % n
+		if c.Rank() == 0 {
+			c.Send(next, 0, int64(0))
+			data, _ := c.Recv(n-1, 0)
+			if got := data.(int64); got != n*(n-1)/2 {
+				return fmt.Errorf("ring sum = %d", got)
+			}
+			return nil
+		}
+		data, _ := c.Recv(c.Rank()-1, 0)
+		c.Send(next, 0, data.(int64)+int64(c.Rank()))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendrecvExchange(t *testing.T) {
+	// Pairwise exchange that would deadlock with blocking sends in a
+	// rendezvous MPI; our Sendrecv must complete.
+	err := Run(2, func(c *Comm) error {
+		other := 1 - c.Rank()
+		data, st := c.Sendrecv(other, 3, c.Rank()*10, other, 3)
+		if data.(int) != other*10 || st.Source != other {
+			return fmt.Errorf("rank %d got %v from %d", c.Rank(), data, st.Source)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestManyRanksCollectives(t *testing.T) {
+	// Stress a larger world than any driver test uses.
+	const n = 64
+	err := Run(n, func(c *Comm) error {
+		sum := AllreduceSumInt64(c, int64(c.Rank()))
+		if sum != n*(n-1)/2 {
+			return fmt.Errorf("rank %d: sum = %d", c.Rank(), sum)
+		}
+		all := Allgather(c, c.Rank())
+		for r, v := range all {
+			if v != r {
+				return fmt.Errorf("allgather[%d] = %d", r, v)
+			}
+		}
+		c.Barrier()
+		vals := make([][]byte, n)
+		for r := range vals {
+			vals[r] = []byte{byte(c.Rank()), byte(r)}
+		}
+		recv := Alltoall(c, vals)
+		for r, v := range recv {
+			if v[0] != byte(r) || v[1] != byte(c.Rank()) {
+				return fmt.Errorf("alltoall from %d wrong: %v", r, v)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

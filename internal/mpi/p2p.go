@@ -1,0 +1,130 @@
+package mpi
+
+import (
+	"fmt"
+	"time"
+)
+
+// Status describes a received message.
+type Status struct {
+	// Source is the sending rank.
+	Source int
+	// Tag is the message tag.
+	Tag int
+}
+
+// Send delivers data to rank dst with the given tag. It is buffered (never
+// blocks), matching MPI_Send on an eager-protocol transport. Tags must be
+// non-negative; negative tags are reserved for collectives.
+func (c *Comm) Send(dst, tag int, data any) {
+	if tag < 0 {
+		panic(fmt.Sprintf("mpi: user tags must be non-negative, got %d", tag))
+	}
+	c.send(dst, tag, data)
+}
+
+func (c *Comm) send(dst, tag int, data any) {
+	if dst < 0 || dst >= c.world.size {
+		panic(fmt.Sprintf("mpi: Send to invalid rank %d (size %d)", dst, c.world.size))
+	}
+	b := c.world.boxes[dst]
+	b.mu.Lock()
+	if b.aborted {
+		b.mu.Unlock()
+		panic(ErrAborted)
+	}
+	b.queue = append(b.queue, message{src: c.rank, tag: tag, data: data})
+	b.cond.Broadcast()
+	b.mu.Unlock()
+}
+
+// Recv blocks until a message matching (src, tag) arrives and returns its
+// payload. src may be AnySource and tag may be AnyTag. Matching follows MPI
+// semantics: among pending messages, the earliest-enqueued match is
+// delivered, and messages between a fixed (source, tag) pair never overtake
+// one another.
+func (c *Comm) Recv(src, tag int) (any, Status) {
+	if tag == AnyTag {
+		// AnyTag must not match internal collective traffic.
+		return c.recvMatch(func(m *message) bool {
+			return (src == AnySource || m.src == src) && m.tag >= 0
+		})
+	}
+	return c.recvMatch(func(m *message) bool {
+		return (src == AnySource || m.src == src) && m.tag == tag
+	})
+}
+
+// recv matches an exact (src, tag) pair, including internal negative tags.
+func (c *Comm) recv(src, tag int) (any, Status) {
+	return c.recvMatch(func(m *message) bool {
+		return m.src == src && m.tag == tag
+	})
+}
+
+func (c *Comm) recvMatch(match func(*message) bool) (any, Status) {
+	b := c.world.boxes[c.rank]
+	timeout := c.world.timeout
+	var deadline time.Time
+	if timeout > 0 {
+		deadline = time.Now().Add(timeout)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var watchdog *time.Timer
+	defer func() {
+		if watchdog != nil {
+			watchdog.Stop()
+		}
+	}()
+	for {
+		if b.aborted {
+			panic(ErrAborted)
+		}
+		for i := range b.queue {
+			if match(&b.queue[i]) {
+				m := b.queue[i]
+				b.queue = append(b.queue[:i], b.queue[i+1:]...)
+				return m.data, Status{Source: m.src, Tag: m.tag}
+			}
+		}
+		if timeout > 0 && time.Now().After(deadline) {
+			panic(fmt.Errorf("mpi: rank %d Recv timed out after %v (likely deadlock): %w",
+				c.rank, timeout, ErrAborted))
+		}
+		if timeout > 0 && watchdog == nil {
+			// Wake the cond at the deadline so the timeout check above
+			// runs; stopped on return so successful receives leave no
+			// lingering timers.
+			watchdog = time.AfterFunc(time.Until(deadline), func() {
+				b.mu.Lock()
+				b.cond.Broadcast()
+				b.mu.Unlock()
+			})
+		}
+		b.cond.Wait()
+	}
+}
+
+// Probe reports whether a message matching (src, tag) is pending, without
+// receiving it.
+func (c *Comm) Probe(src, tag int) (bool, Status) {
+	b := c.world.boxes[c.rank]
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for i := range b.queue {
+		m := &b.queue[i]
+		if (src == AnySource || m.src == src) && (tag == AnyTag && m.tag >= 0 || m.tag == tag) {
+			return true, Status{Source: m.src, Tag: m.tag}
+		}
+	}
+	return false, Status{}
+}
+
+// Sendrecv performs a combined send and receive, safe against the pairwise
+// exchange deadlock of two blocking calls: the send is buffered, then the
+// receive blocks.
+func (c *Comm) Sendrecv(dst, sendTag int, data any, src, recvTag int) (any, Status) {
+	c.Send(dst, sendTag, data)
+	return c.Recv(src, recvTag)
+}

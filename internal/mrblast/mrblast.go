@@ -1,0 +1,441 @@
+// Package mrblast is the paper's first contribution: matrix-split parallel
+// BLAST over MapReduce-MPI (the paper's Fig. 1).
+//
+// The work unit is a (query block, database partition) pair. MapReduce runs
+// in master–worker mode so the highly non-uniform per-unit BLAST cost is
+// load-balanced: rank 0 hands the next unit to whichever worker asks first.
+// Each map() call builds (or reuses) the search engine for its query block,
+// loads (or reuses from the per-rank cache) its DB partition, overrides the
+// database length with the whole-database totals so E-values match a
+// monolithic search, and emits one (query key, serialized HSP) pair per
+// hit. collate() groups hits per query across partitions; reduce() sorts
+// each query's hits by E-value, applies the top-K cutoff, and appends them
+// to one output file per rank. Queries can be streamed through multiple
+// MapReduce iterations to bound the in-memory key-value working set.
+package mrblast
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/bio"
+	"repro/internal/blast"
+	"repro/internal/blastdb"
+	"repro/internal/mpi"
+	"repro/internal/mrmpi"
+)
+
+// Config controls a parallel BLAST run.
+type Config struct {
+	// Params configure the underlying search engine. DBLength/DBNumSeqs
+	// are filled from the manifest automatically (the whole-DB override);
+	// explicit values win.
+	Params blast.Params
+	// QueryBlocks are the pre-split query blocks (the paper pre-splits the
+	// query set into FASTA files of a target size; bio.SplitFasta and
+	// bio.SplitFastaBySize produce these).
+	QueryBlocks [][]*bio.Sequence
+	// Manifest describes the partitioned database.
+	Manifest *blastdb.Manifest
+	// TopK caps reported hits per query after collation (0 = all hits
+	// passing the E-value cutoff).
+	TopK int
+	// MapStyle is the work distribution policy (default master–worker).
+	MapStyle mrmpi.MapStyle
+	// LocalityAware switches the master to the paper's proposed
+	// location-aware scheduler: workers preferentially receive work units
+	// whose DB partition they processed before, reducing partition
+	// reloads. Overrides MapStyle.
+	LocalityAware bool
+	// CacheCapacity is the number of DB volumes each rank keeps resident
+	// (default 1, the paper's configuration: the DB object is cached
+	// between map() invocations and re-initialized only when a different
+	// partition is required).
+	CacheCapacity int
+	// OutDir receives one output file per rank (hits.rankNNNN.tsv). Empty
+	// disables file output; hits are still counted.
+	OutDir string
+	// ExcludeSelfHits drops hits whose query fragment derives from the
+	// subject sequence (bio.FragmentParent(queryID) == subjectID) — the
+	// paper's modification that excludes RefSeq fragments hitting
+	// themselves.
+	ExcludeSelfHits bool
+	// BlocksPerIteration bounds how many query blocks enter one MapReduce
+	// cycle, implementing the paper's multi-iteration protocol that
+	// controls the intermediate key-value working set (0 = all blocks in
+	// one iteration).
+	BlocksPerIteration int
+	// MRMemSize is the MapReduce out-of-core memory budget per object.
+	MRMemSize int64
+	// OutFormat selects the output encoding: "tsv" (default, outfmt-6-like
+	// with a strand column) or "jsonl" (one JSON object per hit).
+	OutFormat string
+	// Cancel, when non-nil and closed, aborts the run at the next work-item
+	// boundary with ErrCanceled. All ranks must receive the same channel.
+	Cancel <-chan struct{}
+}
+
+// ErrCanceled reports that a run was aborted through Config.Cancel.
+var ErrCanceled = errors.New("mrblast: run canceled")
+
+func canceled(ch <-chan struct{}) bool {
+	if ch == nil {
+		return false
+	}
+	select {
+	case <-ch:
+		return true
+	default:
+		return false
+	}
+}
+
+// Result summarizes a run (per-rank fields are local to the calling rank).
+type Result struct {
+	// TotalHits is the global number of reported hits.
+	TotalHits int64
+	// OutFile is this rank's output file ("" when OutDir is unset).
+	OutFile string
+	// WorkItems is the number of (block, partition) units this rank
+	// processed.
+	WorkItems int
+	// CacheStats reports this rank's DB volume cache activity.
+	CacheStats blastdb.CacheStats
+	// EngineStats aggregates the scan-stage counters across this rank's
+	// map calls.
+	EngineStats blast.EngineStats
+	// Iterations is the number of MapReduce cycles executed.
+	Iterations int
+	// EngineTime is this rank's time spent inside BLAST engine calls — the
+	// "user CPU time within the BLAST call" of the paper's Fig. 5
+	// utilization metric.
+	EngineTime time.Duration
+	// WallTime is this rank's total time inside Run.
+	WallTime time.Duration
+}
+
+// Utilization is the paper's "useful CPU utilization" for a completed run:
+// the engine time summed over ranks divided by ranks × wall clock.
+func Utilization(results []*Result) float64 {
+	var busy time.Duration
+	var wall time.Duration
+	for _, r := range results {
+		busy += r.EngineTime
+		if r.WallTime > wall {
+			wall = r.WallTime
+		}
+	}
+	if wall == 0 || len(results) == 0 {
+		return 0
+	}
+	return float64(busy) / (float64(wall) * float64(len(results)))
+}
+
+// queryKey builds the collation key for global query index qi: a big-endian
+// 8-byte integer, so lexicographic key order equals the original query
+// order and the per-rank output preserves it (as the paper's does).
+func queryKey(qi uint64) []byte {
+	var k [8]byte
+	binary.BigEndian.PutUint64(k[:], qi)
+	return k[:]
+}
+
+// Run executes the parallel search collectively: every rank of comm must
+// call it with identical configuration. It returns this rank's view of the
+// result.
+func Run(comm *mpi.Comm, cfg Config) (*Result, error) {
+	if len(cfg.QueryBlocks) == 0 {
+		return nil, fmt.Errorf("mrblast: no query blocks")
+	}
+	if cfg.Manifest == nil || cfg.Manifest.NumPartitions() == 0 {
+		return nil, fmt.Errorf("mrblast: no database partitions")
+	}
+	alpha, err := cfg.Manifest.Alpha()
+	if err != nil {
+		return nil, err
+	}
+	if err := cfg.Manifest.Validate(); err != nil {
+		return nil, err
+	}
+	if alpha != cfg.Params.Alpha {
+		return nil, fmt.Errorf("mrblast: database alphabet %v != params alphabet %v",
+			alpha, cfg.Params.Alpha)
+	}
+	// Whole-database statistics override.
+	if cfg.Params.DBLength == 0 {
+		cfg.Params.DBLength = cfg.Manifest.TotalResidues
+		cfg.Params.DBNumSeqs = cfg.Manifest.NumSeqs
+	}
+	if cfg.CacheCapacity == 0 {
+		cfg.CacheCapacity = 1
+	}
+	switch cfg.OutFormat {
+	case "", "tsv", "jsonl":
+	default:
+		return nil, fmt.Errorf("mrblast: unknown output format %q", cfg.OutFormat)
+	}
+
+	// Global query index base per block, so keys order by original query
+	// position.
+	blockBase := make([]uint64, len(cfg.QueryBlocks)+1)
+	for i, blk := range cfg.QueryBlocks {
+		blockBase[i+1] = blockBase[i] + uint64(len(blk))
+	}
+
+	res := &Result{}
+	runStart := time.Now()
+	defer func() { res.WallTime = time.Since(runStart) }()
+	var out *bufio.Writer
+	var outFile *os.File
+	if cfg.OutDir != "" {
+		if err := os.MkdirAll(cfg.OutDir, 0o755); err != nil {
+			return nil, err
+		}
+		res.OutFile = filepath.Join(cfg.OutDir, fmt.Sprintf("hits.rank%04d.tsv", comm.Rank()))
+		outFile, err = os.Create(res.OutFile)
+		if err != nil {
+			return nil, err
+		}
+		out = bufio.NewWriterSize(outFile, 1<<16)
+		defer outFile.Close()
+	}
+
+	cache := blastdb.NewCache(cfg.CacheCapacity)
+	// Engine reuse: rebuilding the lookup table is wasted work when the
+	// master hands consecutive units of the same query block to a rank.
+	var cachedEngine *blast.Engine
+	cachedBlock := -1
+
+	nparts := cfg.Manifest.NumPartitions()
+	step := cfg.BlocksPerIteration
+	if step <= 0 {
+		step = len(cfg.QueryBlocks)
+	}
+
+	var localHits int64
+	for iterStart := 0; iterStart < len(cfg.QueryBlocks); iterStart += step {
+		iterEnd := min(iterStart+step, len(cfg.QueryBlocks))
+		iterBlocks := cfg.QueryBlocks[iterStart:iterEnd]
+		nmap := len(iterBlocks) * nparts
+
+		opts := mrmpi.Options{
+			MapStyle: cfg.MapStyle,
+			MemSize:  cfg.MRMemSize,
+		}
+		if cfg.LocalityAware {
+			opts.MapStyle = mrmpi.MapStyleMasterAffinity
+			opts.Affinity = func(itask int) int { return itask % nparts }
+		}
+		mr := mrmpi.NewWith(comm, opts)
+
+		_, err := mr.Map(nmap, func(itask int, kv *mrmpi.KeyValue) error {
+			if canceled(cfg.Cancel) {
+				return ErrCanceled
+			}
+			bi := iterStart + itask/nparts
+			pi := itask % nparts
+			res.WorkItems++
+
+			if cachedBlock != bi {
+				eng, err := blast.NewEngine(cfg.QueryBlocks[bi], cfg.Params)
+				if err != nil {
+					return fmt.Errorf("block %d: %w", bi, err)
+				}
+				if cachedEngine != nil {
+					res.EngineStats = addStats(res.EngineStats, cachedEngine.Stats)
+				}
+				cachedEngine, cachedBlock = eng, bi
+			}
+			eng := cachedEngine
+			eng.SetDatabaseDims(cfg.Manifest.TotalResidues, cfg.Manifest.NumSeqs)
+
+			vol, err := cache.Get(cfg.Manifest.VolumePath(pi))
+			if err != nil {
+				return fmt.Errorf("partition %d: %w", pi, err)
+			}
+			searchStart := time.Now()
+			for si := 0; si < vol.NumSeqs(); si++ {
+				subj := vol.Subject(si)
+				hsps, err := eng.SearchSubject(subj)
+				if err != nil {
+					return err
+				}
+				for _, h := range hsps {
+					if cfg.ExcludeSelfHits && bio.FragmentParent(h.QueryID) == h.SubjectID {
+						continue
+					}
+					qi := blockBase[bi] + uint64(queryIndexInBlock(cfg.QueryBlocks[bi], h.QueryID))
+					kv.Add(queryKey(qi), h.Marshal())
+				}
+			}
+			res.EngineTime += time.Since(searchStart)
+			return nil
+		})
+		if err != nil {
+			mr.Close()
+			return nil, err
+		}
+
+		if _, err := mr.Collate(nil); err != nil {
+			mr.Close()
+			return nil, err
+		}
+		// Keep queries in original order within each rank's output.
+		if err := mr.SortKeys(bytes.Compare); err != nil {
+			mr.Close()
+			return nil, err
+		}
+
+		_, err = mr.Reduce(func(key []byte, values [][]byte, _ *mrmpi.KeyValue) error {
+			hsps := make([]*blast.HSP, 0, len(values))
+			for _, v := range values {
+				h, err := blast.UnmarshalHSP(v)
+				if err != nil {
+					return err
+				}
+				hsps = append(hsps, h)
+			}
+			blast.SortHSPs(hsps)
+			if cfg.TopK > 0 && len(hsps) > cfg.TopK {
+				hsps = hsps[:cfg.TopK]
+			}
+			localHits += int64(len(hsps))
+			if out != nil {
+				for _, h := range hsps {
+					if cfg.OutFormat == "jsonl" {
+						data, err := json.Marshal(h)
+						if err != nil {
+							return err
+						}
+						if _, err := out.Write(append(data, '\n')); err != nil {
+							return err
+						}
+					} else if _, err := fmt.Fprintln(out, h.String()); err != nil {
+						return err
+					}
+				}
+			}
+			return nil
+		})
+		mr.Close()
+		if err != nil {
+			return nil, err
+		}
+		res.Iterations++
+	}
+
+	if cachedEngine != nil {
+		res.EngineStats = addStats(res.EngineStats, cachedEngine.Stats)
+	}
+	res.CacheStats = cache.Stats()
+	if out != nil {
+		if err := out.Flush(); err != nil {
+			return nil, err
+		}
+		if err := outFile.Sync(); err != nil {
+			return nil, err
+		}
+	}
+	res.TotalHits = mpi.AllreduceSumInt64(comm, localHits)
+	return res, nil
+}
+
+func addStats(a, b blast.EngineStats) blast.EngineStats {
+	a.Subjects += b.Subjects
+	a.WordHits += b.WordHits
+	a.UngappedExts += b.UngappedExts
+	a.GappedExts += b.GappedExts
+	a.HSPsReported += b.HSPsReported
+	a.ResiduesScanned += b.ResiduesScanned
+	return a
+}
+
+// queryIndexInBlock locates a query ID inside its block. Blocks are small
+// (hundreds to thousands of sequences), and hits cluster by query, so a
+// linear scan with a memo would be overkill; IDs within a block are unique
+// by construction.
+func queryIndexInBlock(block []*bio.Sequence, id string) int {
+	for i, s := range block {
+		if s.ID == id {
+			return i
+		}
+	}
+	panic(fmt.Sprintf("mrblast: query %q not in its block", id))
+}
+
+// SerialSearch runs the same search on one core without MapReduce: the
+// baseline the parallel result is validated against and the reference for
+// speedup measurements. It returns all hits in global report order.
+func SerialSearch(queries []*bio.Sequence, manifest *blastdb.Manifest, params blast.Params, topK int, excludeSelf bool) ([]*blast.HSP, error) {
+	if params.DBLength == 0 {
+		params.DBLength = manifest.TotalResidues
+		params.DBNumSeqs = manifest.NumSeqs
+	}
+	eng, err := blast.NewEngine(queries, params)
+	if err != nil {
+		return nil, err
+	}
+	eng.SetDatabaseDims(manifest.TotalResidues, manifest.NumSeqs)
+	var all []*blast.HSP
+	for pi := 0; pi < manifest.NumPartitions(); pi++ {
+		vol, err := blastdb.LoadVolume(manifest.VolumePath(pi))
+		if err != nil {
+			return nil, err
+		}
+		for si := 0; si < vol.NumSeqs(); si++ {
+			hsps, err := eng.SearchSubject(vol.Subject(si))
+			if err != nil {
+				return nil, err
+			}
+			for _, h := range hsps {
+				if excludeSelf && bio.FragmentParent(h.QueryID) == h.SubjectID {
+					continue
+				}
+				all = append(all, h)
+			}
+		}
+	}
+	all = blast.TopK(all, topK)
+	blast.SortHSPs(all)
+	return all, nil
+}
+
+// ReadHitsFile parses one rank output file back into HSP-like records for
+// verification and downstream analysis. Only the fields present in the TSV
+// are recovered.
+func ReadHitsFile(path string) ([]*blast.HSP, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var out []*blast.HSP
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		h := &blast.HSP{}
+		var pid, bits float64
+		var strand string
+		_, err := fmt.Sscanf(sc.Text(), "%s\t%s\t%f\t%d\t%d\t%d\t%d\t%d\t%d\t%g\t%f\t%s",
+			&h.QueryID, &h.SubjectID, &pid, &h.AlignLen, &h.Gaps,
+			&h.QStart, &h.QEnd, &h.SStart, &h.SEnd, &h.EValue, &bits, &strand)
+		if err != nil {
+			return nil, fmt.Errorf("mrblast: parsing %s: %w", path, err)
+		}
+		h.BitScore = bits
+		h.Identities = int(pid*float64(h.AlignLen)/100 + 0.5)
+		h.Strand = 1
+		if strand == "-" {
+			h.Strand = -1
+		}
+		out = append(out, h)
+	}
+	return out, sc.Err()
+}

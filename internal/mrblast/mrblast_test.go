@@ -1,0 +1,557 @@
+package mrblast
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/bio"
+	"repro/internal/blast"
+	"repro/internal/blastdb"
+	"repro/internal/mpi"
+	"repro/internal/mrmpi"
+)
+
+// workload bundles a small synthetic metagenomic search: queries are
+// shredded fragments of mutated strains, the database is the genome set.
+type workload struct {
+	blocks   [][]*bio.Sequence
+	queries  []*bio.Sequence
+	manifest *blastdb.Manifest
+	params   blast.Params
+}
+
+func makeWorkload(t *testing.T, blockSize int, nparts int64) *workload {
+	t.Helper()
+	g := bio.NewGenerator(bio.SynthParams{Seed: 100})
+	set := g.GenerateGenomeSet(bio.GenomeSetParams{
+		NTaxa: 4, MinLen: 2000, MaxLen: 4000,
+		StrainsPerGenome: 1, StrainIdentity: 0.92,
+	})
+	// Queries: shredded strains (diverged copies of DB genomes).
+	var strains []*bio.Sequence
+	for _, ss := range set.Strains {
+		strains = append(strains, ss...)
+	}
+	frags, err := bio.ShredAll(strains, bio.ShredParams{FragLen: 400, Overlap: 200, MinLen: 150})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frags) < 10 {
+		t.Fatalf("too few fragments: %d", len(frags))
+	}
+	frags = frags[:min(len(frags), 36)]
+
+	var total int64
+	for _, s := range set.Genomes {
+		total += int64(s.Len())
+	}
+	m, err := blastdb.Format(set.Genomes, bio.DNA, t.TempDir(), "db",
+		blastdb.FormatOptions{TargetResidues: total/nparts + 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := blast.DefaultNucleotideParams()
+	params.EValueCutoff = 1e-5
+	return &workload{
+		blocks:   bio.SplitFasta(frags, blockSize),
+		queries:  frags,
+		manifest: m,
+		params:   params,
+	}
+}
+
+func runParallel(t *testing.T, w *workload, nranks int, mod func(*Config)) (allHits []*blast.HSP, results map[int]*Result) {
+	t.Helper()
+	outDir := t.TempDir()
+	results = map[int]*Result{}
+	var mu sync.Mutex
+	err := mpi.Run(nranks, func(c *mpi.Comm) error {
+		cfg := Config{
+			Params:      w.params,
+			QueryBlocks: w.blocks,
+			Manifest:    w.manifest,
+			MapStyle:    mrmpi.MapStyleMaster,
+			OutDir:      outDir,
+		}
+		if mod != nil {
+			mod(&cfg)
+		}
+		res, err := Run(c, cfg)
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		results[c.Rank()] = res
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, res := range results {
+		hits, err := ReadHitsFile(res.OutFile)
+		if err != nil {
+			t.Fatal(err)
+		}
+		allHits = append(allHits, hits...)
+	}
+	return allHits, results
+}
+
+func TestParallelMatchesSerial(t *testing.T) {
+	w := makeWorkload(t, 9, 4)
+	serial, err := SerialSearch(w.queries, w.manifest, w.params, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) == 0 {
+		t.Fatal("serial baseline found no hits; workload broken")
+	}
+	want := fingerprintsFromFiles(serial)
+
+	for _, tc := range []struct {
+		name   string
+		nranks int
+		mod    func(*Config)
+	}{
+		{"master-3ranks", 3, nil},
+		{"master-5ranks", 5, nil},
+		{"chunk-2ranks", 2, func(c *Config) { c.MapStyle = mrmpi.MapStyleChunk }},
+		{"stride-4ranks", 4, func(c *Config) { c.MapStyle = mrmpi.MapStyleStride }},
+		{"single-rank", 1, nil},
+		{"big-cache", 4, func(c *Config) { c.CacheCapacity = 8 }},
+		{"multi-iteration", 4, func(c *Config) { c.BlocksPerIteration = 1 }},
+		{"tiny-mr-memory", 3, func(c *Config) { c.MRMemSize = 1024 }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			hits, results := runParallel(t, w, tc.nranks, tc.mod)
+			got := fingerprintsFromFiles(hits)
+			if len(got) != len(want) {
+				t.Fatalf("hit count %d != serial %d", len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("hit %d differs:\n got %s\nwant %s", i, got[i], want[i])
+				}
+			}
+			var total int64
+			for _, r := range results {
+				total = r.TotalHits // same on every rank
+			}
+			if total != int64(len(serial)) {
+				t.Errorf("TotalHits = %d, want %d", total, len(serial))
+			}
+		})
+	}
+}
+
+// fingerprintsFromFiles canonicalizes hits parsed back from TSV (which
+// lack Strand/Score); use coordinate fields only.
+func fingerprintsFromFiles(hsps []*blast.HSP) []string {
+	out := make([]string, len(hsps))
+	for i, h := range hsps {
+		out[i] = fmt.Sprintf("%s|%s|%d|%d|%d|%d", h.QueryID, h.SubjectID,
+			h.QStart, h.QEnd, h.SStart, h.SEnd)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func TestParallelTopKMatchesSerialTopK(t *testing.T) {
+	w := makeWorkload(t, 9, 3)
+	const k = 2
+	serial, err := SerialSearch(w.queries, w.manifest, w.params, k, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits, _ := runParallel(t, w, 4, func(c *Config) { c.TopK = k })
+	if len(hits) != len(serial) {
+		t.Fatalf("topK hit count %d != serial %d", len(hits), len(serial))
+	}
+	// Per-query count must respect k.
+	perQuery := map[string]int{}
+	for _, h := range hits {
+		perQuery[h.QueryID]++
+	}
+	for q, n := range perQuery {
+		if n > k {
+			t.Errorf("query %s has %d hits, cap %d", q, n, k)
+		}
+	}
+}
+
+func TestSelfHitExclusion(t *testing.T) {
+	// Queries shredded directly from the DB genomes: without exclusion each
+	// fragment trivially hits its parent; with exclusion those vanish.
+	g := bio.NewGenerator(bio.SynthParams{Seed: 200})
+	set := g.GenerateGenomeSet(bio.GenomeSetParams{
+		NTaxa: 3, MinLen: 1500, MaxLen: 2500, StrainsPerGenome: 0, StrainIdentity: 1,
+	})
+	frags, err := bio.ShredAll(set.Genomes, bio.ShredParams{FragLen: 400, Overlap: 200, MinLen: 150})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := blastdb.Format(set.Genomes, bio.DNA, t.TempDir(), "db",
+		blastdb.FormatOptions{TargetResidues: 2500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := blast.DefaultNucleotideParams()
+	params.EValueCutoff = 1e-5
+	w := &workload{blocks: bio.SplitFasta(frags, 8), queries: frags, manifest: m, params: params}
+
+	withSelf, _ := runParallel(t, w, 3, nil)
+	without, _ := runParallel(t, w, 3, func(c *Config) { c.ExcludeSelfHits = true })
+	if len(withSelf) <= len(without) {
+		t.Fatalf("exclusion removed nothing: %d vs %d", len(withSelf), len(without))
+	}
+	for _, h := range without {
+		if bio.FragmentParent(h.QueryID) == h.SubjectID {
+			t.Fatalf("self hit survived: %s vs %s", h.QueryID, h.SubjectID)
+		}
+	}
+}
+
+func TestOutputPartitionedByQuery(t *testing.T) {
+	// The paper: hits for each query are located in only one file,
+	// maintaining the original order of the queries within each file.
+	w := makeWorkload(t, 7, 4)
+	_, results := runParallel(t, w, 4, nil)
+
+	queryOrder := map[string]int{}
+	for i, q := range w.queries {
+		queryOrder[q.ID] = i
+	}
+	fileOfQuery := map[string]int{}
+	for rank, res := range results {
+		hits, err := ReadHitsFile(res.OutFile)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lastIdx := -1
+		seenHere := map[string]bool{}
+		for _, h := range hits {
+			if prev, ok := fileOfQuery[h.QueryID]; ok && prev != rank {
+				t.Fatalf("query %s appears in files of ranks %d and %d", h.QueryID, prev, rank)
+			}
+			fileOfQuery[h.QueryID] = rank
+			idx := queryOrder[h.QueryID]
+			if !seenHere[h.QueryID] {
+				if idx < lastIdx {
+					t.Fatalf("rank %d file breaks original query order at %s", rank, h.QueryID)
+				}
+				lastIdx = idx
+				seenHere[h.QueryID] = true
+			}
+		}
+	}
+	if len(fileOfQuery) == 0 {
+		t.Fatal("no hits written")
+	}
+}
+
+func TestHitsSortedByEvalueWithinQuery(t *testing.T) {
+	w := makeWorkload(t, 9, 3)
+	_, results := runParallel(t, w, 3, nil)
+	for _, res := range results {
+		hits, err := ReadHitsFile(res.OutFile)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 1; i < len(hits); i++ {
+			if hits[i].QueryID == hits[i-1].QueryID && hits[i].EValue < hits[i-1].EValue {
+				t.Fatalf("hits of %s not sorted by E-value", hits[i].QueryID)
+			}
+		}
+	}
+}
+
+func TestCacheBehavior(t *testing.T) {
+	w := makeWorkload(t, 6, 4)
+	nparts := w.manifest.NumPartitions()
+
+	// Capacity 1 (paper's config): misses whenever the partition changes.
+	_, res1 := runParallel(t, w, 3, nil)
+	var missesCap1 int64
+	for _, r := range res1 {
+		missesCap1 += r.CacheStats.Misses
+	}
+	// Capacity >= nparts: each rank loads each partition at most once.
+	_, resN := runParallel(t, w, 3, func(c *Config) { c.CacheCapacity = nparts })
+	var missesCapN int64
+	for rank, r := range resN {
+		missesCapN += r.CacheStats.Misses
+		if rank != 0 && r.CacheStats.Misses > int64(nparts) {
+			t.Errorf("rank %d missed %d times with full cache", rank, r.CacheStats.Misses)
+		}
+	}
+	if missesCapN > missesCap1 {
+		t.Errorf("bigger cache missed more: %d vs %d", missesCapN, missesCap1)
+	}
+}
+
+func TestMasterDoesNoWork(t *testing.T) {
+	w := makeWorkload(t, 6, 3)
+	_, results := runParallel(t, w, 4, nil)
+	if results[0].WorkItems != 0 {
+		t.Errorf("master executed %d work items", results[0].WorkItems)
+	}
+	total := 0
+	for _, r := range results {
+		total += r.WorkItems
+	}
+	want := len(w.blocks) * w.manifest.NumPartitions()
+	if total != want {
+		t.Errorf("work items = %d, want %d", total, want)
+	}
+}
+
+func TestMultiIterationCounts(t *testing.T) {
+	w := makeWorkload(t, 5, 3)
+	_, results := runParallel(t, w, 3, func(c *Config) { c.BlocksPerIteration = 2 })
+	wantIters := (len(w.blocks) + 1) / 2
+	for rank, r := range results {
+		if r.Iterations != wantIters {
+			t.Errorf("rank %d iterations = %d, want %d", rank, r.Iterations, wantIters)
+		}
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	w := makeWorkload(t, 8, 2)
+	err := mpi.Run(1, func(c *mpi.Comm) error {
+		if _, err := Run(c, Config{Params: w.params, Manifest: w.manifest}); err == nil {
+			t.Error("empty query blocks accepted")
+		}
+		if _, err := Run(c, Config{Params: w.params, QueryBlocks: w.blocks}); err == nil {
+			t.Error("nil manifest accepted")
+		}
+		badParams := blast.DefaultProteinParams()
+		if _, err := Run(c, Config{Params: badParams, QueryBlocks: w.blocks, Manifest: w.manifest}); err == nil {
+			t.Error("alphabet mismatch accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProteinParallelMatchesSerial(t *testing.T) {
+	g := bio.NewGenerator(bio.SynthParams{Seed: 300})
+	// Database: 12 random proteins; queries: mutated copies of some.
+	var db []*bio.Sequence
+	for i := 0; i < 12; i++ {
+		db = append(db, g.RandomProtein(fmt.Sprintf("prot%02d", i), 150+i*20))
+	}
+	var queries []*bio.Sequence
+	for i := 0; i < 6; i++ {
+		q := g.Mutate(db[i*2], fmt.Sprintf("query%02d", i), 0.25, 0, bio.Protein)
+		queries = append(queries, q)
+	}
+	m, err := blastdb.Format(db, bio.Protein, t.TempDir(), "protdb",
+		blastdb.FormatOptions{TargetResidues: 600})
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := blast.DefaultProteinParams()
+	params.EValueCutoff = 1e-4
+
+	serial, err := SerialSearch(queries, m, params, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) == 0 {
+		t.Fatal("no protein hits in baseline")
+	}
+	w := &workload{blocks: bio.SplitFasta(queries, 2), queries: queries, manifest: m, params: params}
+	hits, _ := runParallel(t, w, 3, nil)
+	if len(hits) != len(serial) {
+		t.Fatalf("protein parallel %d hits != serial %d", len(hits), len(serial))
+	}
+}
+
+func TestReadHitsFileRejectsGarbage(t *testing.T) {
+	path := t.TempDir() + "/bad.tsv"
+	if err := os.WriteFile(path, []byte("not\ta\tvalid\tline\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadHitsFile(path); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := ReadHitsFile(t.TempDir() + "/missing.tsv"); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestLocalityAwareMatchesSerialAndReducesMisses(t *testing.T) {
+	w := makeWorkload(t, 4, 4) // small blocks -> many units per partition
+	serial, err := SerialSearch(w.queries, w.manifest, w.params, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fingerprintsFromFiles(serial)
+
+	hitsMW, resMW := runParallel(t, w, 4, nil)
+	hitsLA, resLA := runParallel(t, w, 4, func(c *Config) { c.LocalityAware = true })
+
+	for _, got := range [][]string{fingerprintsFromFiles(hitsMW), fingerprintsFromFiles(hitsLA)} {
+		if len(got) != len(want) {
+			t.Fatalf("hit count %d != serial %d", len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("hit %d differs", i)
+			}
+		}
+	}
+	var missMW, missLA int64
+	for _, r := range resMW {
+		missMW += r.CacheStats.Misses
+	}
+	for _, r := range resLA {
+		missLA += r.CacheStats.Misses
+	}
+	if missLA > missMW {
+		t.Errorf("locality-aware misses %d > master-worker %d", missLA, missMW)
+	}
+}
+
+func TestJSONLOutput(t *testing.T) {
+	w := makeWorkload(t, 9, 3)
+	outDir := t.TempDir()
+	var results []*Result
+	var mu sync.Mutex
+	err := mpi.Run(3, func(c *mpi.Comm) error {
+		res, err := Run(c, Config{
+			Params:      w.params,
+			QueryBlocks: w.blocks,
+			Manifest:    w.manifest,
+			MapStyle:    mrmpi.MapStyleMaster,
+			OutDir:      outDir,
+			OutFormat:   "jsonl",
+		})
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		results = append(results, res)
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parsed := 0
+	for _, res := range results {
+		data, err := os.ReadFile(res.OutFile)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, line := range strings.Split(strings.TrimSpace(string(data)), "\n") {
+			if line == "" {
+				continue
+			}
+			var h blast.HSP
+			if err := json.Unmarshal([]byte(line), &h); err != nil {
+				t.Fatalf("bad JSON line: %v\n%s", err, line)
+			}
+			if h.QueryID == "" || h.SubjectID == "" || h.EValue < 0 {
+				t.Fatalf("JSON hit malformed: %+v", h)
+			}
+			parsed++
+		}
+	}
+	if int64(parsed) != results[0].TotalHits {
+		t.Errorf("parsed %d JSON hits, TotalHits %d", parsed, results[0].TotalHits)
+	}
+}
+
+func TestRunRejectsUnknownFormat(t *testing.T) {
+	w := makeWorkload(t, 9, 2)
+	err := mpi.Run(1, func(c *mpi.Comm) error {
+		_, err := Run(c, Config{
+			Params: w.params, QueryBlocks: w.blocks, Manifest: w.manifest,
+			OutFormat: "xml",
+		})
+		return err
+	})
+	if err == nil {
+		t.Fatal("unknown format accepted")
+	}
+}
+
+func TestCorruptVolumeFailsCleanly(t *testing.T) {
+	// A corrupted partition must abort the whole job with a clear error —
+	// the MPI failure semantics the paper describes — not hang or emit
+	// partial garbage.
+	w := makeWorkload(t, 8, 3)
+	volPath := w.manifest.VolumePath(1)
+	data, err := os.ReadFile(volPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupt := append([]byte(nil), data...)
+	corrupt[len(corrupt)-8] ^= 0xFF
+	if err := os.WriteFile(volPath, corrupt, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err = mpi.Run(3, func(c *mpi.Comm) error {
+		_, err := Run(c, Config{
+			Params:      w.params,
+			QueryBlocks: w.blocks,
+			Manifest:    w.manifest,
+			MapStyle:    mrmpi.MapStyleMaster,
+		})
+		return err
+	})
+	if err == nil {
+		t.Fatal("corrupt partition not detected")
+	}
+	if !strings.Contains(err.Error(), "checksum") {
+		t.Errorf("error lacks checksum diagnosis: %v", err)
+	}
+}
+
+func TestCancellation(t *testing.T) {
+	w := makeWorkload(t, 4, 4)
+	cancel := make(chan struct{})
+	close(cancel) // cancel before the first work item
+	err := mpi.Run(3, func(c *mpi.Comm) error {
+		_, err := Run(c, Config{
+			Params:      w.params,
+			QueryBlocks: w.blocks,
+			Manifest:    w.manifest,
+			MapStyle:    mrmpi.MapStyleMaster,
+			Cancel:      cancel,
+		})
+		return err
+	})
+	if err == nil || !strings.Contains(err.Error(), "canceled") {
+		t.Fatalf("cancellation not reported: %v", err)
+	}
+}
+
+func TestUtilizationMetric(t *testing.T) {
+	w := makeWorkload(t, 9, 3)
+	_, results := runParallel(t, w, 3, nil)
+	var rs []*Result
+	for _, r := range results {
+		rs = append(rs, r)
+		if r.WallTime <= 0 {
+			t.Errorf("rank wall time %v", r.WallTime)
+		}
+	}
+	u := Utilization(rs)
+	if u <= 0 || u > 1 {
+		t.Errorf("utilization = %f, want (0,1]", u)
+	}
+	if Utilization(nil) != 0 {
+		t.Error("empty results should give 0")
+	}
+}

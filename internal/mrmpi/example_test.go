@@ -1,0 +1,59 @@
+package mrmpi_test
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/mpi"
+	"repro/internal/mrmpi"
+)
+
+// The canonical MapReduce word count on 3 ranks with the master-worker map
+// style the paper uses.
+func Example() {
+	docs := []string{
+		"the quick brown fox",
+		"the lazy dog",
+		"fox and dog",
+	}
+	var mu sync.Mutex
+	counts := map[string]int{}
+	err := mpi.Run(3, func(c *mpi.Comm) error {
+		mr := mrmpi.NewWith(c, mrmpi.Options{MapStyle: mrmpi.MapStyleMaster})
+		defer mr.Close()
+		if _, err := mr.Map(len(docs), func(itask int, kv *mrmpi.KeyValue) error {
+			for _, w := range strings.Fields(docs[itask]) {
+				kv.AddString(w, []byte{1})
+			}
+			return nil
+		}); err != nil {
+			return err
+		}
+		if _, err := mr.Collate(nil); err != nil {
+			return err
+		}
+		_, err := mr.Reduce(func(key []byte, values [][]byte, out *mrmpi.KeyValue) error {
+			mu.Lock()
+			counts[string(key)] += len(values)
+			mu.Unlock()
+			return nil
+		})
+		return err
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	var words []string
+	for w := range counts {
+		words = append(words, w)
+	}
+	sort.Strings(words)
+	for _, w := range words {
+		fmt.Printf("%s=%d ", w, counts[w])
+	}
+	fmt.Println()
+	// Output: and=1 brown=1 dog=2 fox=2 lazy=1 quick=1 the=2
+}

@@ -1,0 +1,254 @@
+package mrmpi
+
+import (
+	"bufio"
+	"bytes"
+	"container/heap"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// External (sort-based) convert: when the in-memory grouping index of
+// Convert would blow the memory budget, the KV pairs are sorted into
+// on-disk runs and merge-grouped instead — true out-of-core operation for
+// the grouping step, complementing the paged KV/KMV stores. Keys emerge in
+// lexicographic order (the in-memory path preserves first-appearance
+// order); values within a key keep their insertion order.
+
+// kvEntry is one pair staged for sorting, with its global sequence number
+// to keep the per-key value order stable.
+type kvEntry struct {
+	key, value []byte
+	seq        int64
+}
+
+// convertExternal implements MapReduce.Convert via external sort-group.
+func (mr *MapReduce) convertExternal() error {
+	memLimit := mr.opt.MemSize
+	if memLimit <= 0 {
+		memLimit = DefaultMemSize
+	}
+
+	var runs []string
+	defer func() {
+		for _, r := range runs {
+			os.Remove(r)
+		}
+	}()
+
+	var batch []kvEntry
+	var batchBytes int64
+	var seq int64
+	flush := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		sort.SliceStable(batch, func(i, j int) bool {
+			c := bytes.Compare(batch[i].key, batch[j].key)
+			if c != 0 {
+				return c < 0
+			}
+			return batch[i].seq < batch[j].seq
+		})
+		path, err := writeRun(mr.opt.SpillDir, batch)
+		if err != nil {
+			return err
+		}
+		runs = append(runs, path)
+		batch = batch[:0]
+		batchBytes = 0
+		return nil
+	}
+
+	err := mr.kv.Each(func(key, value []byte) error {
+		e := kvEntry{
+			key:   append([]byte(nil), key...),
+			value: append([]byte(nil), value...),
+			seq:   seq,
+		}
+		seq++
+		batch = append(batch, e)
+		batchBytes += int64(len(key) + len(value) + 32)
+		if batchBytes >= memLimit {
+			return flush()
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if err := flush(); err != nil {
+		return err
+	}
+
+	mr.kv.reset()
+	mr.kmv.reset()
+	return mergeRuns(runs, func(key []byte, values [][]byte) {
+		mr.kmv.Add(key, values)
+	})
+}
+
+// Run file framing: uvarint klen, key, uvarint seq, uvarint vlen, value.
+func writeRun(dir string, entries []kvEntry) (string, error) {
+	if dir == "" {
+		dir = os.TempDir()
+	}
+	f, err := os.CreateTemp(dir, "mrmpi-run-*.kv")
+	if err != nil {
+		return "", err
+	}
+	bw := bufio.NewWriterSize(f, 1<<16)
+	var tmp [binary.MaxVarintLen64]byte
+	put := func(v uint64) error {
+		n := binary.PutUvarint(tmp[:], v)
+		_, err := bw.Write(tmp[:n])
+		return err
+	}
+	for _, e := range entries {
+		if err := put(uint64(len(e.key))); err != nil {
+			return "", fail(f, err)
+		}
+		if _, err := bw.Write(e.key); err != nil {
+			return "", fail(f, err)
+		}
+		if err := put(uint64(e.seq)); err != nil {
+			return "", fail(f, err)
+		}
+		if err := put(uint64(len(e.value))); err != nil {
+			return "", fail(f, err)
+		}
+		if _, err := bw.Write(e.value); err != nil {
+			return "", fail(f, err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return "", fail(f, err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(f.Name())
+		return "", err
+	}
+	return f.Name(), nil
+}
+
+func fail(f *os.File, err error) error {
+	f.Close()
+	os.Remove(f.Name())
+	return err
+}
+
+// runReader streams one sorted run.
+type runReader struct {
+	br   *bufio.Reader
+	f    *os.File
+	cur  kvEntry
+	done bool
+}
+
+func openRun(path string) (*runReader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	r := &runReader{br: bufio.NewReaderSize(f, 1<<16), f: f}
+	if err := r.next(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return r, nil
+}
+
+func (r *runReader) next() error {
+	klen, err := binary.ReadUvarint(r.br)
+	if err != nil {
+		r.done = true
+		r.f.Close()
+		return nil
+	}
+	key := make([]byte, klen)
+	if _, err := io.ReadFull(r.br, key); err != nil {
+		return fmt.Errorf("mrmpi: corrupt run file: %w", err)
+	}
+	seqv, err := binary.ReadUvarint(r.br)
+	if err != nil {
+		return fmt.Errorf("mrmpi: corrupt run file: %w", err)
+	}
+	vlen, err := binary.ReadUvarint(r.br)
+	if err != nil {
+		return fmt.Errorf("mrmpi: corrupt run file: %w", err)
+	}
+	value := make([]byte, vlen)
+	if _, err := io.ReadFull(r.br, value); err != nil {
+		return fmt.Errorf("mrmpi: corrupt run file: %w", err)
+	}
+	r.cur = kvEntry{key: key, value: value, seq: int64(seqv)}
+	return nil
+}
+
+// runHeap merges runs by (key, seq).
+type runHeap []*runReader
+
+func (h runHeap) Len() int { return len(h) }
+func (h runHeap) Less(i, j int) bool {
+	c := bytes.Compare(h[i].cur.key, h[j].cur.key)
+	if c != 0 {
+		return c < 0
+	}
+	return h[i].cur.seq < h[j].cur.seq
+}
+func (h runHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *runHeap) Push(x any)   { *h = append(*h, x.(*runReader)) }
+func (h *runHeap) Pop() any {
+	old := *h
+	x := old[len(old)-1]
+	*h = old[:len(old)-1]
+	return x
+}
+
+// mergeRuns streams the sorted union of all runs, emitting one grouped
+// call per unique key.
+func mergeRuns(paths []string, emit func(key []byte, values [][]byte)) error {
+	h := make(runHeap, 0, len(paths))
+	for _, p := range paths {
+		r, err := openRun(p)
+		if err != nil {
+			return err
+		}
+		if !r.done {
+			h = append(h, r)
+		}
+	}
+	heap.Init(&h)
+
+	var curKey []byte
+	var curVals [][]byte
+	flush := func() {
+		if curKey != nil {
+			emit(curKey, curVals)
+			curKey = nil
+			curVals = nil
+		}
+	}
+	for h.Len() > 0 {
+		r := h[0]
+		e := r.cur
+		if curKey == nil || !bytes.Equal(curKey, e.key) {
+			flush()
+			curKey = e.key
+		}
+		curVals = append(curVals, e.value)
+		if err := r.next(); err != nil {
+			return err
+		}
+		if r.done {
+			heap.Pop(&h)
+		} else {
+			heap.Fix(&h, 0)
+		}
+	}
+	flush()
+	return nil
+}

@@ -1,0 +1,128 @@
+package mrmpi
+
+// KeyValue stores key-value pairs in paged, spillable storage. Keys and
+// values are arbitrary byte strings. Frames on a page are:
+//
+//	uvarint(len(key)) key uvarint(len(value)) value
+type KeyValue struct {
+	store *pagedStore
+}
+
+// newKeyValue creates an empty KV with the given paging configuration.
+func newKeyValue(spillDir string, pageSize int, memLimit int64) *KeyValue {
+	return &KeyValue{store: newPagedStore("kv", spillDir, pageSize, memLimit)}
+}
+
+// Add appends one pair; key and value are copied.
+func (kv *KeyValue) Add(key, value []byte) {
+	rec := make([]byte, 0, len(key)+len(value)+8)
+	rec = putUvarint(rec, uint64(len(key)))
+	rec = append(rec, key...)
+	rec = putUvarint(rec, uint64(len(value)))
+	rec = append(rec, value...)
+	if err := kv.store.appendRecord(rec); err != nil {
+		panic(err) // spill failure: environment problem, not user error
+	}
+}
+
+// AddString appends one pair with a string key.
+func (kv *KeyValue) AddString(key string, value []byte) {
+	kv.Add([]byte(key), value)
+}
+
+// N reports the local number of pairs.
+func (kv *KeyValue) N() int { return kv.store.nrec }
+
+// Bytes reports the local payload size in bytes.
+func (kv *KeyValue) Bytes() int64 { return kv.store.bytesTotal() }
+
+// Spills reports how many pages have been written to disk (out-of-core
+// activity).
+func (kv *KeyValue) Spills() int { return kv.store.nspill }
+
+// Each streams every pair in insertion order. The key and value slices are
+// only valid during the callback; copy them to retain.
+func (kv *KeyValue) Each(fn func(key, value []byte) error) error {
+	return kv.store.eachPage(func(data []byte) error {
+		for len(data) > 0 {
+			klen, n := getUvarint(data)
+			data = data[n:]
+			key := data[:klen]
+			data = data[klen:]
+			vlen, n := getUvarint(data)
+			data = data[n:]
+			value := data[:vlen]
+			data = data[vlen:]
+			if err := fn(key, value); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// reset drops all pairs and spill files.
+func (kv *KeyValue) reset() { kv.store.reset() }
+
+// KeyMultiValue stores grouped pairs: each unique key with all its values.
+// Frames on a page are:
+//
+//	uvarint(len(key)) key uvarint(nvalues) { uvarint(len(v)) v }*
+type KeyMultiValue struct {
+	store *pagedStore
+}
+
+func newKeyMultiValue(spillDir string, pageSize int, memLimit int64) *KeyMultiValue {
+	return &KeyMultiValue{store: newPagedStore("kmv", spillDir, pageSize, memLimit)}
+}
+
+// Add appends one grouped entry; all slices are copied.
+func (kmv *KeyMultiValue) Add(key []byte, values [][]byte) {
+	size := len(key) + 16
+	for _, v := range values {
+		size += len(v) + 8
+	}
+	rec := make([]byte, 0, size)
+	rec = putUvarint(rec, uint64(len(key)))
+	rec = append(rec, key...)
+	rec = putUvarint(rec, uint64(len(values)))
+	for _, v := range values {
+		rec = putUvarint(rec, uint64(len(v)))
+		rec = append(rec, v...)
+	}
+	if err := kmv.store.appendRecord(rec); err != nil {
+		panic(err)
+	}
+}
+
+// N reports the local number of unique keys.
+func (kmv *KeyMultiValue) N() int { return kmv.store.nrec }
+
+// Each streams every grouped entry. The slices are only valid during the
+// callback.
+func (kmv *KeyMultiValue) Each(fn func(key []byte, values [][]byte) error) error {
+	var vals [][]byte
+	return kmv.store.eachPage(func(data []byte) error {
+		for len(data) > 0 {
+			klen, n := getUvarint(data)
+			data = data[n:]
+			key := data[:klen]
+			data = data[klen:]
+			nvals, n := getUvarint(data)
+			data = data[n:]
+			vals = vals[:0]
+			for i := uint64(0); i < nvals; i++ {
+				vlen, n := getUvarint(data)
+				data = data[n:]
+				vals = append(vals, data[:vlen])
+				data = data[vlen:]
+			}
+			if err := fn(key, vals); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+func (kmv *KeyMultiValue) reset() { kmv.store.reset() }

@@ -1,0 +1,572 @@
+package mrmpi
+
+import (
+	"bytes"
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"repro/internal/mpi"
+)
+
+// MapStyle selects how Map distributes tasks across ranks, mirroring
+// MapReduce-MPI's mapstyle setting.
+type MapStyle int
+
+const (
+	// MapStyleChunk assigns contiguous task ranges to ranks (mapstyle 0).
+	MapStyleChunk MapStyle = iota
+	// MapStyleStride assigns tasks round-robin (mapstyle 1).
+	MapStyleStride
+	// MapStyleMaster dedicates rank 0 as a master that hands tasks to
+	// workers on demand (mapstyle 2, "master/slave" in Sandia's docs). This
+	// is the mode the paper uses for BLAST, whose work units have highly
+	// non-uniform and unpredictable execution times. With a single rank it
+	// degrades to MapStyleChunk.
+	MapStyleMaster
+	// MapStyleMasterAffinity is the paper's proposed location-aware
+	// scheduler (its "future work" §): a master–worker mode where the
+	// master prefers to hand a worker a task whose resource (set by
+	// Options.Affinity, e.g. the DB partition of a BLAST work unit) the
+	// worker processed before, scanning at most AffinityLookahead pending
+	// tasks. Improving partition locality lets smaller query blocks be
+	// used without paying extra partition reloads.
+	MapStyleMasterAffinity
+)
+
+// AffinityLookahead bounds how far into the pending queue the
+// locality-aware master searches for a resource match, so head-of-queue
+// tasks cannot starve.
+const AffinityLookahead = 64
+
+func (s MapStyle) String() string {
+	switch s {
+	case MapStyleChunk:
+		return "chunk"
+	case MapStyleStride:
+		return "stride"
+	case MapStyleMaster:
+		return "master"
+	case MapStyleMasterAffinity:
+		return "master-affinity"
+	default:
+		return fmt.Sprintf("MapStyle(%d)", int(s))
+	}
+}
+
+// Reserved point-to-point tags used by the master–worker protocol and
+// Gather. User programs sharing the communicator must avoid this range.
+const (
+	// TagReservedBase is the first tag reserved by mrmpi.
+	TagReservedBase = 1 << 20
+
+	tagWorkerReady = TagReservedBase + iota
+	tagTaskAssign
+	tagGatherData
+)
+
+// Options configures a MapReduce instance (Sandia's settable parameters).
+type Options struct {
+	// MapStyle is the task-distribution policy for Map.
+	MapStyle MapStyle
+	// PageSize is the size of one in-memory KV/KMV page.
+	PageSize int
+	// MemSize is the per-object in-memory budget before pages spill to disk
+	// (out-of-core processing).
+	MemSize int64
+	// SpillDir is where out-of-core pages are written (default: os.TempDir).
+	SpillDir string
+	// Affinity maps a task index to a resource identifier (e.g. a DB
+	// partition) for MapStyleMasterAffinity. Required for that style.
+	Affinity func(itask int) int
+}
+
+// Stats counts activity on a MapReduce instance since creation.
+type Stats struct {
+	// MapTasks is the number of map tasks executed locally.
+	MapTasks int
+	// KVEmitted is the number of pairs emitted locally by map and reduce.
+	KVEmitted int
+	// ExchangedBytes is the number of bytes this rank sent during Aggregate.
+	ExchangedBytes int64
+	// Spills is the number of pages spilled to disk across KV and KMV.
+	Spills int
+}
+
+// MapReduce orchestrates map/collate/reduce phases over an MPI communicator.
+// All exported methods are collective unless documented otherwise: every
+// rank must call them in the same order.
+type MapReduce struct {
+	comm  *mpi.Comm
+	opt   Options
+	kv    *KeyValue
+	kmv   *KeyMultiValue
+	stats Stats
+}
+
+// New creates a MapReduce instance over comm with default options.
+func New(comm *mpi.Comm) *MapReduce {
+	return NewWith(comm, Options{})
+}
+
+// NewWith creates a MapReduce instance with explicit options.
+func NewWith(comm *mpi.Comm, opt Options) *MapReduce {
+	if err := spillDirOK(opt.SpillDir); err != nil {
+		panic(fmt.Sprintf("mrmpi: spill dir: %v", err))
+	}
+	mr := &MapReduce{comm: comm, opt: opt}
+	mr.kv = newKeyValue(opt.SpillDir, opt.PageSize, opt.MemSize)
+	mr.kmv = newKeyMultiValue(opt.SpillDir, opt.PageSize, opt.MemSize)
+	return mr
+}
+
+// Comm returns the underlying communicator (for direct MPI calls, which the
+// paper mixes with MapReduce calls in the SOM implementation).
+func (mr *MapReduce) Comm() *mpi.Comm { return mr.comm }
+
+// KV gives access to the local key-value object (non-collective).
+func (mr *MapReduce) KV() *KeyValue { return mr.kv }
+
+// KMV gives access to the local key-multivalue object (non-collective).
+func (mr *MapReduce) KMV() *KeyMultiValue { return mr.kmv }
+
+// Stats returns a snapshot of local activity counters (non-collective).
+func (mr *MapReduce) Stats() Stats {
+	s := mr.stats
+	s.Spills = mr.kv.Spills() + mr.kmv.store.nspill
+	return s
+}
+
+// Close releases spill files. Non-collective but should be called on every
+// rank.
+func (mr *MapReduce) Close() {
+	mr.kv.reset()
+	mr.kmv.reset()
+}
+
+// MapFunc processes one abstract task, emitting pairs into kv.
+type MapFunc func(itask int, kv *KeyValue) error
+
+// Map executes fn over nmap abstract tasks distributed per the configured
+// MapStyle, appending emitted pairs to each rank's local KV. It returns the
+// global number of KV pairs after the map.
+func (mr *MapReduce) Map(nmap int, fn MapFunc) (int64, error) {
+	if nmap < 0 {
+		return 0, fmt.Errorf("mrmpi: Map nmap must be non-negative, got %d", nmap)
+	}
+	before := mr.kv.N()
+	var err error
+	style := mr.opt.MapStyle
+	if (style == MapStyleMaster || style == MapStyleMasterAffinity) && mr.comm.Size() == 1 {
+		style = MapStyleChunk
+	}
+	switch style {
+	case MapStyleChunk:
+		err = mr.mapChunk(nmap, fn)
+	case MapStyleStride:
+		err = mr.mapStride(nmap, fn)
+	case MapStyleMaster:
+		err = mr.mapMaster(nmap, fn)
+	case MapStyleMasterAffinity:
+		if mr.opt.Affinity == nil {
+			err = fmt.Errorf("mrmpi: MapStyleMasterAffinity requires Options.Affinity")
+		} else {
+			err = mr.mapMasterAffinity(nmap, fn)
+		}
+	default:
+		err = fmt.Errorf("mrmpi: unknown map style %v", style)
+	}
+	mr.stats.KVEmitted += mr.kv.N() - before
+	if err != nil {
+		return 0, err
+	}
+	// Collective completion: every rank reaches here before totals are
+	// computed, like the collective map() of MR-MPI.
+	total := mpi.AllreduceSumInt64(mr.comm, int64(mr.kv.N()))
+	return total, nil
+}
+
+func (mr *MapReduce) mapChunk(nmap int, fn MapFunc) error {
+	size, rank := mr.comm.Size(), mr.comm.Rank()
+	lo := rank * nmap / size
+	hi := (rank + 1) * nmap / size
+	for itask := lo; itask < hi; itask++ {
+		mr.stats.MapTasks++
+		if err := fn(itask, mr.kv); err != nil {
+			return fmt.Errorf("mrmpi: map task %d: %w", itask, err)
+		}
+	}
+	return nil
+}
+
+func (mr *MapReduce) mapStride(nmap int, fn MapFunc) error {
+	size, rank := mr.comm.Size(), mr.comm.Rank()
+	for itask := rank; itask < nmap; itask += size {
+		mr.stats.MapTasks++
+		if err := fn(itask, mr.kv); err != nil {
+			return fmt.Errorf("mrmpi: map task %d: %w", itask, err)
+		}
+	}
+	return nil
+}
+
+// mapMaster implements the load-balancing master–worker protocol: rank 0
+// hands the next task to whichever worker asks first and performs no map
+// work itself, keeping every worker busy while tasks remain.
+func (mr *MapReduce) mapMaster(nmap int, fn MapFunc) error {
+	if mr.comm.Rank() == 0 {
+		next := 0
+		stopped := 0
+		for stopped < mr.comm.Size()-1 {
+			_, st := mr.comm.Recv(mpi.AnySource, tagWorkerReady)
+			if next < nmap {
+				mr.comm.Send(st.Source, tagTaskAssign, next)
+				next++
+			} else {
+				mr.comm.Send(st.Source, tagTaskAssign, -1)
+				stopped++
+			}
+		}
+		return nil
+	}
+	for {
+		mr.comm.Send(0, tagWorkerReady, nil)
+		data, _ := mr.comm.Recv(0, tagTaskAssign)
+		itask := data.(int)
+		if itask < 0 {
+			return nil
+		}
+		mr.stats.MapTasks++
+		if err := fn(itask, mr.kv); err != nil {
+			return fmt.Errorf("mrmpi: map task %d: %w", itask, err)
+		}
+	}
+}
+
+// mapMasterAffinity is mapMaster with the paper's proposed location-aware
+// dispatch: the master remembers each worker's last resource and scans up
+// to AffinityLookahead pending tasks for a match before defaulting to the
+// queue head.
+func (mr *MapReduce) mapMasterAffinity(nmap int, fn MapFunc) error {
+	if mr.comm.Rank() == 0 {
+		pending := make([]int, nmap)
+		for i := range pending {
+			pending[i] = i
+		}
+		lastResource := make(map[int]int) // worker rank -> resource
+		stopped := 0
+		for stopped < mr.comm.Size()-1 {
+			_, st := mr.comm.Recv(mpi.AnySource, tagWorkerReady)
+			if len(pending) == 0 {
+				mr.comm.Send(st.Source, tagTaskAssign, -1)
+				stopped++
+				continue
+			}
+			pick := 0
+			if res, ok := lastResource[st.Source]; ok {
+				limit := min(AffinityLookahead, len(pending))
+				for i := 0; i < limit; i++ {
+					if mr.opt.Affinity(pending[i]) == res {
+						pick = i
+						break
+					}
+				}
+			}
+			itask := pending[pick]
+			pending = append(pending[:pick], pending[pick+1:]...)
+			lastResource[st.Source] = mr.opt.Affinity(itask)
+			mr.comm.Send(st.Source, tagTaskAssign, itask)
+		}
+		return nil
+	}
+	for {
+		mr.comm.Send(0, tagWorkerReady, nil)
+		data, _ := mr.comm.Recv(0, tagTaskAssign)
+		itask := data.(int)
+		if itask < 0 {
+			return nil
+		}
+		mr.stats.MapTasks++
+		if err := fn(itask, mr.kv); err != nil {
+			return fmt.Errorf("mrmpi: map task %d: %w", itask, err)
+		}
+	}
+}
+
+// HashFunc maps a key to a destination rank in [0, nprocs).
+type HashFunc func(key []byte, nprocs int) int
+
+// DefaultHash is FNV-1a modulo the rank count, MR-MPI's default key
+// assignment.
+func DefaultHash(key []byte, nprocs int) int {
+	h := fnv.New32a()
+	h.Write(key)
+	return int(h.Sum32() % uint32(nprocs))
+}
+
+// Aggregate redistributes KV pairs so that all pairs with equal keys land on
+// the same rank, chosen by hash. A nil hash uses DefaultHash. Pairs arrive
+// grouped by sending rank in rank order, preserving per-rank insertion
+// order, which makes the result deterministic.
+func (mr *MapReduce) Aggregate(hash HashFunc) error {
+	if hash == nil {
+		hash = DefaultHash
+	}
+	size := mr.comm.Size()
+	buckets := make([][]byte, size)
+	err := mr.kv.Each(func(key, value []byte) error {
+		dst := hash(key, size)
+		if dst < 0 || dst >= size {
+			return fmt.Errorf("mrmpi: hash returned invalid rank %d", dst)
+		}
+		b := buckets[dst]
+		b = putUvarint(b, uint64(len(key)))
+		b = append(b, key...)
+		b = putUvarint(b, uint64(len(value)))
+		b = append(b, value...)
+		buckets[dst] = b
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	for r, b := range buckets {
+		if r != mr.comm.Rank() {
+			mr.stats.ExchangedBytes += int64(len(b))
+		}
+	}
+	recv := mpi.Alltoall(mr.comm, buckets)
+	mr.kv.reset()
+	for _, buf := range recv {
+		for len(buf) > 0 {
+			klen, n := getUvarint(buf)
+			buf = buf[n:]
+			key := buf[:klen]
+			buf = buf[klen:]
+			vlen, n := getUvarint(buf)
+			buf = buf[n:]
+			value := buf[:vlen]
+			buf = buf[vlen:]
+			mr.kv.Add(key, value)
+		}
+	}
+	return nil
+}
+
+// Convert groups the local KV into the local KMV: one entry per unique key,
+// holding all its values in insertion order. The KV is emptied.
+//
+// When the local KV fits the memory budget, grouping is done with an
+// in-memory index and keys appear in first-appearance order; otherwise an
+// external sort-group runs (sorted runs on disk, k-way merge) and keys
+// emerge in lexicographic order. Value order within a key is preserved in
+// both paths.
+func (mr *MapReduce) Convert() error {
+	memLimit := mr.opt.MemSize
+	if memLimit <= 0 {
+		memLimit = DefaultMemSize
+	}
+	if mr.kv.Bytes() > memLimit {
+		return mr.convertExternal()
+	}
+	type group struct {
+		key  []byte
+		vals [][]byte
+	}
+	index := make(map[string]int)
+	var groups []group
+	err := mr.kv.Each(func(key, value []byte) error {
+		k := string(key)
+		i, ok := index[k]
+		if !ok {
+			i = len(groups)
+			index[k] = i
+			groups = append(groups, group{key: []byte(k)})
+		}
+		v := make([]byte, len(value))
+		copy(v, value)
+		groups[i].vals = append(groups[i].vals, v)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	mr.kv.reset()
+	mr.kmv.reset()
+	for _, g := range groups {
+		mr.kmv.Add(g.key, g.vals)
+	}
+	return nil
+}
+
+// Collate is Aggregate followed by Convert — MR-MPI's collate(). It returns
+// the global number of unique keys.
+func (mr *MapReduce) Collate(hash HashFunc) (int64, error) {
+	if err := mr.Aggregate(hash); err != nil {
+		return 0, err
+	}
+	if err := mr.Convert(); err != nil {
+		return 0, err
+	}
+	return mpi.AllreduceSumInt64(mr.comm, int64(mr.kmv.N())), nil
+}
+
+// SortKeys reorders the local KMV by key using cmp (bytes.Compare when nil).
+// Call it between Collate and Reduce when reduce-order matters, e.g. to keep
+// query outputs in their original order as the paper's BLAST driver does.
+// Non-collective in effect but conventionally called on all ranks.
+func (mr *MapReduce) SortKeys(cmp func(a, b []byte) int) error {
+	if cmp == nil {
+		cmp = bytes.Compare
+	}
+	type entry struct {
+		key  []byte
+		vals [][]byte
+	}
+	var entries []entry
+	err := mr.kmv.Each(func(key []byte, values [][]byte) error {
+		e := entry{key: append([]byte(nil), key...)}
+		for _, v := range values {
+			e.vals = append(e.vals, append([]byte(nil), v...))
+		}
+		entries = append(entries, e)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	sort.SliceStable(entries, func(i, j int) bool {
+		return cmp(entries[i].key, entries[j].key) < 0
+	})
+	mr.kmv.reset()
+	for _, e := range entries {
+		mr.kmv.Add(e.key, e.vals)
+	}
+	return nil
+}
+
+// ReduceFunc processes one key group, optionally emitting new pairs.
+type ReduceFunc func(key []byte, values [][]byte, out *KeyValue) error
+
+// Reduce applies fn to every local key group in KMV order. Emitted pairs
+// become the new local KV; the KMV is emptied. It returns the global number
+// of emitted pairs.
+func (mr *MapReduce) Reduce(fn ReduceFunc) (int64, error) {
+	out := newKeyValue(mr.opt.SpillDir, mr.opt.PageSize, mr.opt.MemSize)
+	err := mr.kmv.Each(func(key []byte, values [][]byte) error {
+		return fn(key, values, out)
+	})
+	if err != nil {
+		return 0, err
+	}
+	mr.kmv.reset()
+	mr.kv.reset()
+	mr.kv = out
+	mr.stats.KVEmitted += out.N()
+	return mpi.AllreduceSumInt64(mr.comm, int64(mr.kv.N())), nil
+}
+
+// Gather moves all KV pairs onto the lowest nranks ranks (rank r's pairs go
+// to rank r mod nranks). It returns the global pair count.
+func (mr *MapReduce) Gather(nranks int) (int64, error) {
+	size, rank := mr.comm.Size(), mr.comm.Rank()
+	if nranks <= 0 || nranks > size {
+		return 0, fmt.Errorf("mrmpi: Gather nranks must be in 1..%d, got %d", size, nranks)
+	}
+	if rank >= nranks {
+		var buf []byte
+		err := mr.kv.Each(func(key, value []byte) error {
+			buf = putUvarint(buf, uint64(len(key)))
+			buf = append(buf, key...)
+			buf = putUvarint(buf, uint64(len(value)))
+			buf = append(buf, value...)
+			return nil
+		})
+		if err != nil {
+			return 0, err
+		}
+		mr.comm.Send(rank%nranks, tagGatherData, buf)
+		mr.kv.reset()
+	} else {
+		for src := rank + nranks; src < size; src += nranks {
+			data, _ := mr.comm.Recv(src, tagGatherData)
+			buf := data.([]byte)
+			for len(buf) > 0 {
+				klen, n := getUvarint(buf)
+				buf = buf[n:]
+				key := buf[:klen]
+				buf = buf[klen:]
+				vlen, n := getUvarint(buf)
+				buf = buf[n:]
+				value := buf[:vlen]
+				buf = buf[vlen:]
+				mr.kv.Add(key, value)
+			}
+		}
+	}
+	return mpi.AllreduceSumInt64(mr.comm, int64(mr.kv.N())), nil
+}
+
+// MapKV applies fn to every existing local KV pair, replacing the KV with
+// the pairs fn emits — MR-MPI's map() variant over an existing KV object.
+// Non-collective in effect, but conventionally called on all ranks; returns
+// the global pair count afterward.
+func (mr *MapReduce) MapKV(fn func(key, value []byte, out *KeyValue) error) (int64, error) {
+	out := newKeyValue(mr.opt.SpillDir, mr.opt.PageSize, mr.opt.MemSize)
+	err := mr.kv.Each(func(key, value []byte) error {
+		return fn(key, value, out)
+	})
+	if err != nil {
+		return 0, err
+	}
+	mr.kv.reset()
+	mr.kv = out
+	mr.stats.KVEmitted += out.N()
+	return mpi.AllreduceSumInt64(mr.comm, int64(mr.kv.N())), nil
+}
+
+// Scrunch converts the local KMV back into a KV with one pair per unique
+// key, concatenating the grouped values in order with uvarint length
+// prefixes — MR-MPI's scrunch-style collapse, useful for chaining
+// MapReduce cycles. Returns the global pair count.
+func (mr *MapReduce) Scrunch() (int64, error) {
+	out := newKeyValue(mr.opt.SpillDir, mr.opt.PageSize, mr.opt.MemSize)
+	err := mr.kmv.Each(func(key []byte, values [][]byte) error {
+		var buf []byte
+		for _, v := range values {
+			buf = putUvarint(buf, uint64(len(v)))
+			buf = append(buf, v...)
+		}
+		out.Add(key, buf)
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	mr.kmv.reset()
+	mr.kv.reset()
+	mr.kv = out
+	return mpi.AllreduceSumInt64(mr.comm, int64(mr.kv.N())), nil
+}
+
+// UnpackScrunched splits a value produced by Scrunch back into the
+// original value list.
+func UnpackScrunched(buf []byte) [][]byte {
+	var out [][]byte
+	for len(buf) > 0 {
+		n, w := getUvarint(buf)
+		buf = buf[w:]
+		out = append(out, buf[:n])
+		buf = buf[n:]
+	}
+	return out
+}
+
+// MapFiles is Map with one task per file path — the common MR-MPI pattern
+// of mapping over a file list (e.g. FASTA query blocks on a shared file
+// system).
+func (mr *MapReduce) MapFiles(paths []string, fn func(path string, kv *KeyValue) error) (int64, error) {
+	return mr.Map(len(paths), func(itask int, kv *KeyValue) error {
+		return fn(paths[itask], kv)
+	})
+}

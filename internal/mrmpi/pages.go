@@ -1,0 +1,217 @@
+// Package mrmpi is a Go port of Sandia's MapReduce-MPI library (Plimpton &
+// Devine), the framework the paper uses to parallelize BLAST and SOM. It
+// implements the same processing model on top of the in-process MPI runtime
+// (internal/mpi):
+//
+//   - KeyValue / KeyMultiValue objects backed by fixed-size pages that spill
+//     to disk when a memory budget is exceeded ("out-of-core processing"),
+//   - Map over N abstract tasks with selectable task-distribution styles,
+//     including the master–worker mode the paper uses for BLAST's highly
+//     irregular work units,
+//   - Aggregate (hash-of-key redistribution across ranks), Convert (local
+//     grouping into key-multivalue pairs), Collate = Aggregate + Convert,
+//   - Reduce, Gather, and key sorting.
+//
+// All MapReduce methods are collective: every rank of the communicator must
+// call them in the same order.
+package mrmpi
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// DefaultPageSize is the size of one in-memory page of key-value data.
+// Sandia's default pagesize is 64 MB; ours is smaller because laptop-scale
+// test workloads should still exercise multi-page code paths.
+const DefaultPageSize = 1 << 20
+
+// DefaultMemSize is the default in-memory budget per KV/KMV object before
+// pages spill to disk.
+const DefaultMemSize = 64 << 20
+
+// page is one chunk of framed records, resident in memory or spilled to a
+// file.
+type page struct {
+	buf  []byte // nil when spilled
+	path string // spill file, "" when resident
+	size int    // payload bytes
+}
+
+// pagedStore holds framed records in a sequence of pages with an in-memory
+// budget. Records never span pages, so each page can be parsed standalone.
+type pagedStore struct {
+	pageSize int
+	memLimit int64
+	spillDir string
+	label    string // for spill file names and errors
+
+	pages    []page
+	cur      []byte // page under construction
+	memBytes int64
+	nspill   int
+	nrec     int
+	spillErr error // first spill failure, surfaced on the next operation
+}
+
+func newPagedStore(label, spillDir string, pageSize int, memLimit int64) *pagedStore {
+	if pageSize <= 0 {
+		pageSize = DefaultPageSize
+	}
+	if memLimit <= 0 {
+		memLimit = DefaultMemSize
+	}
+	if spillDir == "" {
+		spillDir = os.TempDir()
+	}
+	return &pagedStore{
+		pageSize: pageSize,
+		memLimit: memLimit,
+		spillDir: spillDir,
+		label:    label,
+	}
+}
+
+// appendRecord adds one framed record, sealing and possibly spilling pages
+// as needed. rec is copied.
+func (s *pagedStore) appendRecord(rec []byte) error {
+	if len(s.cur)+len(rec) > s.pageSize && len(s.cur) > 0 {
+		if err := s.sealCurrent(); err != nil {
+			return err
+		}
+	}
+	if s.cur == nil {
+		s.cur = make([]byte, 0, max(s.pageSize, len(rec)))
+	}
+	s.cur = append(s.cur, rec...)
+	s.nrec++
+	return nil
+}
+
+// sealCurrent closes the page under construction and enforces the memory
+// budget by spilling the oldest resident pages.
+func (s *pagedStore) sealCurrent() error {
+	if len(s.cur) == 0 {
+		return nil
+	}
+	s.pages = append(s.pages, page{buf: s.cur, size: len(s.cur)})
+	s.memBytes += int64(len(s.cur))
+	s.cur = nil
+	for s.memBytes > s.memLimit {
+		if !s.spillOldest() {
+			break
+		}
+	}
+	return s.spillErr
+}
+
+func (s *pagedStore) spillOldest() bool {
+	for i := range s.pages {
+		p := &s.pages[i]
+		if p.buf == nil {
+			continue
+		}
+		f, err := os.CreateTemp(s.spillDir, "mrmpi-"+s.label+"-*.page")
+		if err != nil {
+			s.spillErr = fmt.Errorf("mrmpi: spill %s: %w", s.label, err)
+			return false
+		}
+		if _, err := f.Write(p.buf); err != nil {
+			f.Close()
+			os.Remove(f.Name())
+			s.spillErr = fmt.Errorf("mrmpi: spill %s: %w", s.label, err)
+			return false
+		}
+		if err := f.Close(); err != nil {
+			os.Remove(f.Name())
+			s.spillErr = fmt.Errorf("mrmpi: spill %s: %w", s.label, err)
+			return false
+		}
+		s.memBytes -= int64(len(p.buf))
+		p.path = f.Name()
+		p.buf = nil
+		s.nspill++
+		return true
+	}
+	return false
+}
+
+// eachPage streams every page's payload in append order, loading spilled
+// pages from disk one at a time.
+func (s *pagedStore) eachPage(fn func(data []byte) error) error {
+	if err := s.spillErr; err != nil {
+		return err
+	}
+	for i := range s.pages {
+		p := &s.pages[i]
+		data := p.buf
+		if data == nil {
+			loaded, err := os.ReadFile(p.path)
+			if err != nil {
+				return fmt.Errorf("mrmpi: reload %s page: %w", s.label, err)
+			}
+			data = loaded
+		}
+		if err := fn(data); err != nil {
+			return err
+		}
+	}
+	if len(s.cur) > 0 {
+		return fn(s.cur)
+	}
+	return nil
+}
+
+// reset drops all data, removing spill files.
+func (s *pagedStore) reset() {
+	for i := range s.pages {
+		if s.pages[i].path != "" {
+			os.Remove(s.pages[i].path)
+		}
+	}
+	s.pages = nil
+	s.cur = nil
+	s.memBytes = 0
+	s.nrec = 0
+	s.spillErr = nil
+}
+
+// bytesTotal reports the payload bytes across all pages.
+func (s *pagedStore) bytesTotal() int64 {
+	total := int64(0)
+	for i := range s.pages {
+		total += int64(s.pages[i].size)
+	}
+	return total + int64(len(s.cur))
+}
+
+// spillDirOK validates that the spill directory exists (creating it if
+// necessary).
+func spillDirOK(dir string) error {
+	if dir == "" {
+		return nil
+	}
+	return os.MkdirAll(filepath.Clean(dir), 0o755)
+}
+
+// frame encoding helpers
+
+// putUvarint appends a uvarint to dst.
+func putUvarint(dst []byte, v uint64) []byte {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], v)
+	return append(dst, tmp[:n]...)
+}
+
+// getUvarint reads a uvarint from data, returning the value and bytes
+// consumed. It panics on malformed frames, which indicate internal
+// corruption rather than user error.
+func getUvarint(data []byte) (uint64, int) {
+	v, n := binary.Uvarint(data)
+	if n <= 0 {
+		panic("mrmpi: corrupt record frame")
+	}
+	return v, n
+}

@@ -1,0 +1,363 @@
+package mrsom
+
+import (
+	"math"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/bio"
+	"repro/internal/mpi"
+	"repro/internal/mrmpi"
+	"repro/internal/som"
+)
+
+func writeVectors(t *testing.T, seed int64, n, dim int) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "vecs.bin")
+	data := bio.RandomVectors(seed, n, dim)
+	if err := som.WriteVectorFile(path, data, n, dim); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestParallelMatchesSerialBatch(t *testing.T) {
+	// The decisive invariant: the MR-MPI batch SOM must produce the same
+	// map as the serial batch trainer (up to floating-point summation
+	// order), for any rank count, block size, and map style.
+	const n, dim = 200, 6
+	data := bio.RandomVectors(21, n, dim)
+	path := filepath.Join(t.TempDir(), "v.bin")
+	if err := som.WriteVectorFile(path, data, n, dim); err != nil {
+		t.Fatal(err)
+	}
+	grid, _ := som.NewGrid(7, 5)
+
+	serial, _ := som.NewCodebook(grid, dim)
+	serial.InitRandom(3)
+	if err := som.TrainBatch(serial, data, n, som.TrainParams{Epochs: 8}); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, tc := range []struct {
+		ranks, block int
+		style        mrmpi.MapStyle
+	}{
+		{1, 40, mrmpi.MapStyleChunk},
+		{2, 17, mrmpi.MapStyleChunk},
+		{4, 40, mrmpi.MapStyleMaster},
+		{3, 80, mrmpi.MapStyleStride},
+		{5, 7, mrmpi.MapStyleMaster},
+	} {
+		var mu sync.Mutex
+		var got *som.Codebook
+		err := mpi.Run(tc.ranks, func(c *mpi.Comm) error {
+			res, err := Train(c, path, Config{
+				Grid:      grid,
+				Epochs:    8,
+				BlockSize: tc.block,
+				MapStyle:  tc.style,
+				Seed:      3,
+			})
+			if err != nil {
+				return err
+			}
+			if c.Rank() == 0 {
+				mu.Lock()
+				got = res.Codebook
+				mu.Unlock()
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("ranks=%d block=%d style=%v: %v", tc.ranks, tc.block, tc.style, err)
+		}
+		maxDiff := 0.0
+		for i := range serial.Weights {
+			maxDiff = math.Max(maxDiff, math.Abs(serial.Weights[i]-got.Weights[i]))
+		}
+		if maxDiff > 1e-9 {
+			t.Errorf("ranks=%d block=%d style=%v: max weight diff %g",
+				tc.ranks, tc.block, tc.style, maxDiff)
+		}
+	}
+}
+
+func TestAllRanksGetFinalCodebook(t *testing.T) {
+	path := writeVectors(t, 22, 100, 4)
+	grid, _ := som.NewGrid(5, 5)
+	var mu sync.Mutex
+	books := map[int][]float64{}
+	err := mpi.Run(3, func(c *mpi.Comm) error {
+		res, err := Train(c, path, Config{Grid: grid, Epochs: 3, Seed: 1})
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		books[c.Rank()] = res.Codebook.Weights
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 1; r < 3; r++ {
+		for i := range books[0] {
+			if books[0][i] != books[r][i] {
+				t.Fatalf("rank %d codebook differs at %d", r, i)
+			}
+		}
+	}
+}
+
+func TestMasterDoesNoMapWork(t *testing.T) {
+	path := writeVectors(t, 23, 120, 4)
+	grid, _ := som.NewGrid(4, 4)
+	var mu sync.Mutex
+	blocks := map[int]int{}
+	err := mpi.Run(4, func(c *mpi.Comm) error {
+		res, err := Train(c, path, Config{
+			Grid: grid, Epochs: 2, BlockSize: 10,
+			MapStyle: mrmpi.MapStyleMaster, Seed: 1,
+		})
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		blocks[c.Rank()] = res.BlocksProcessed
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if blocks[0] != 0 {
+		t.Errorf("master processed %d blocks", blocks[0])
+	}
+	total := 0
+	for _, b := range blocks {
+		total += b
+	}
+	// 12 blocks per epoch × 2 epochs.
+	if total != 24 {
+		t.Errorf("total blocks = %d, want 24", total)
+	}
+}
+
+func TestVectorAccountingExact(t *testing.T) {
+	const n = 103 // deliberately not a multiple of the block size
+	path := writeVectors(t, 24, n, 3)
+	grid, _ := som.NewGrid(4, 4)
+	var mu sync.Mutex
+	totalVecs := 0
+	err := mpi.Run(3, func(c *mpi.Comm) error {
+		res, err := Train(c, path, Config{Grid: grid, Epochs: 1, BlockSize: 10, Seed: 1})
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		totalVecs += res.VectorsProcessed
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if totalVecs != n {
+		t.Errorf("vectors processed = %d, want %d", totalVecs, n)
+	}
+}
+
+func TestTrainValidation(t *testing.T) {
+	path := writeVectors(t, 25, 10, 3)
+	grid, _ := som.NewGrid(3, 3)
+	err := mpi.Run(1, func(c *mpi.Comm) error {
+		if _, err := Train(c, path, Config{Grid: grid, Epochs: 0}); err == nil {
+			t.Error("zero epochs accepted")
+		}
+		if _, err := Train(c, "/nonexistent/file", Config{Grid: grid, Epochs: 1}); err == nil {
+			t.Error("missing file accepted")
+		}
+		wrongDim, _ := som.NewCodebook(grid, 99)
+		if _, err := Train(c, path, Config{Grid: grid, Epochs: 1, InitialCodebook: wrongDim}); err == nil {
+			t.Error("mismatched initial codebook accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInitialCodebookRespected(t *testing.T) {
+	const n, dim = 60, 3
+	data := bio.RandomVectors(26, n, dim)
+	path := filepath.Join(t.TempDir(), "v.bin")
+	if err := som.WriteVectorFile(path, data, n, dim); err != nil {
+		t.Fatal(err)
+	}
+	grid, _ := som.NewGrid(4, 4)
+	init, _ := som.NewCodebook(grid, dim)
+	if err := init.InitLinear(data, n); err != nil {
+		t.Fatal(err)
+	}
+
+	serial := init.Clone()
+	if err := som.TrainBatch(serial, data, n, som.TrainParams{Epochs: 5}); err != nil {
+		t.Fatal(err)
+	}
+	var got *som.Codebook
+	var mu sync.Mutex
+	err := mpi.Run(2, func(c *mpi.Comm) error {
+		res, err := Train(c, path, Config{
+			Grid: grid, Epochs: 5, InitialCodebook: init,
+		})
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			mu.Lock()
+			got = res.Codebook
+			mu.Unlock()
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range serial.Weights {
+		if math.Abs(serial.Weights[i]-got.Weights[i]) > 1e-9 {
+			t.Fatalf("weight %d differs", i)
+		}
+	}
+}
+
+func TestParallelTrainingConverges(t *testing.T) {
+	// Functional check on clustered data: the trained map must organize.
+	const n, dim = 300, 5
+	data, _ := bio.ClusteredVectors(27, n, dim, 4, 0.02)
+	path := filepath.Join(t.TempDir(), "v.bin")
+	if err := som.WriteVectorFile(path, data, n, dim); err != nil {
+		t.Fatal(err)
+	}
+	grid, _ := som.NewGrid(6, 6)
+	err := mpi.Run(4, func(c *mpi.Comm) error {
+		res, err := Train(c, path, Config{
+			Grid: grid, Epochs: 15, BlockSize: 20,
+			MapStyle: mrmpi.MapStyleMaster, Seed: 5,
+		})
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			qe := som.QuantizationError(res.Codebook, data, n)
+			if qe > 0.15 {
+				t.Errorf("quantization error %f too high after training", qe)
+			}
+			if len(res.EpochTimes) != 15 {
+				t.Errorf("epoch times = %d", len(res.EpochTimes))
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckpointAndResume(t *testing.T) {
+	const n, dim = 150, 5
+	data := bio.RandomVectors(40, n, dim)
+	path := filepath.Join(t.TempDir(), "v.bin")
+	if err := som.WriteVectorFile(path, data, n, dim); err != nil {
+		t.Fatal(err)
+	}
+	grid, _ := som.NewGrid(5, 5)
+	ckpt := filepath.Join(t.TempDir(), "cb.somc")
+
+	// Reference: uninterrupted 10-epoch training.
+	var ref *som.Codebook
+	var mu sync.Mutex
+	err := mpi.Run(2, func(c *mpi.Comm) error {
+		res, err := Train(c, path, Config{Grid: grid, Epochs: 10, Seed: 9})
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			mu.Lock()
+			ref = res.Codebook
+			mu.Unlock()
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Interrupted: run the 10-epoch schedule but stop after 5, then resume.
+	err = mpi.Run(2, func(c *mpi.Comm) error {
+		_, err := Train(c, path, Config{
+			Grid: grid, Epochs: 10, Seed: 9,
+			CheckpointPath: ckpt, CheckpointEvery: 100, StopAfterEpochs: 5,
+		})
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var resumed *som.Codebook
+	var startEpoch int
+	err = mpi.Run(2, func(c *mpi.Comm) error {
+		res, err := Train(c, path, Config{
+			Grid: grid, Epochs: 10, Seed: 9,
+			CheckpointPath: ckpt, Resume: true,
+		})
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			mu.Lock()
+			resumed = res.Codebook
+			startEpoch = res.StartEpoch
+			mu.Unlock()
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if startEpoch != 5 {
+		t.Errorf("resume started at epoch %d, want 5", startEpoch)
+	}
+	for i := range ref.Weights {
+		if math.Abs(ref.Weights[i]-resumed.Weights[i]) > 1e-9 {
+			t.Fatalf("resumed training diverges from uninterrupted at weight %d", i)
+		}
+	}
+	// The final checkpoint records completion.
+	_, epoch, err := som.ReadCodebook(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epoch != 10 {
+		t.Errorf("final checkpoint epoch = %d, want 10", epoch)
+	}
+}
+
+func TestCancellation(t *testing.T) {
+	path := writeVectors(t, 60, 100, 4)
+	grid, _ := som.NewGrid(4, 4)
+	cancel := make(chan struct{})
+	close(cancel)
+	err := mpi.Run(2, func(c *mpi.Comm) error {
+		_, err := Train(c, path, Config{
+			Grid: grid, Epochs: 50, Seed: 1, Cancel: cancel,
+		})
+		return err
+	})
+	if err == nil || !strings.Contains(err.Error(), "canceled") {
+		t.Fatalf("cancellation not reported: %v", err)
+	}
+}

@@ -1,0 +1,124 @@
+package som
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+	"path/filepath"
+)
+
+// Codebook file format ("SOMC"): a checkpoint of a trained or in-training
+// map. Layout (little-endian):
+//
+//	magic[4] version u8 topo u8 W u32 H u32 dim u32 epoch u32
+//	weights float64[W*H*dim] crc32(payload) u32
+//
+// The CRC covers the weight bytes, so a torn checkpoint (e.g. a crash
+// mid-write) is detected on load.
+
+var cbMagic = [4]byte{'S', 'O', 'M', 'C'}
+
+const cbVersion = 1
+
+// WriteCodebook saves a codebook checkpoint. epoch records training
+// progress for resume. The write goes through a temp file + rename so a
+// concurrent crash cannot leave a half-written checkpoint at path.
+func WriteCodebook(path string, cb *Codebook, epoch int) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".somc-*")
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriterSize(tmp, 1<<16)
+	bw.Write(cbMagic[:])
+	bw.WriteByte(cbVersion)
+	bw.WriteByte(byte(cb.Grid.Topo))
+	var u4 [4]byte
+	writeU32 := func(v uint32) {
+		binary.LittleEndian.PutUint32(u4[:], v)
+		bw.Write(u4[:])
+	}
+	writeU32(uint32(cb.Grid.W))
+	writeU32(uint32(cb.Grid.H))
+	writeU32(uint32(cb.Dim))
+	writeU32(uint32(epoch))
+	crc := crc32.NewIEEE()
+	var u8 [8]byte
+	for _, w := range cb.Weights {
+		binary.LittleEndian.PutUint64(u8[:], math.Float64bits(w))
+		bw.Write(u8[:])
+		crc.Write(u8[:])
+	}
+	writeU32(crc.Sum32())
+	if err := bw.Flush(); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// ReadCodebook loads a checkpoint written by WriteCodebook, returning the
+// codebook and the epoch it was taken at.
+func ReadCodebook(path string) (*Codebook, int, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	if len(data) < 26 || string(data[:4]) != string(cbMagic[:]) {
+		return nil, 0, fmt.Errorf("som: %s is not a codebook file", path)
+	}
+	if data[4] != cbVersion {
+		return nil, 0, fmt.Errorf("som: %s has unsupported version %d", path, data[4])
+	}
+	topo := Topology(data[5])
+	w := int(binary.LittleEndian.Uint32(data[6:10]))
+	h := int(binary.LittleEndian.Uint32(data[10:14]))
+	dim := int(binary.LittleEndian.Uint32(data[14:18]))
+	epoch := int(binary.LittleEndian.Uint32(data[18:22]))
+	grid, err := NewGridTopo(w, h, topo)
+	if err != nil {
+		return nil, 0, fmt.Errorf("som: %s: %w", path, err)
+	}
+	cb, err := NewCodebook(grid, dim)
+	if err != nil {
+		return nil, 0, fmt.Errorf("som: %s: %w", path, err)
+	}
+	payload := data[22:]
+	want := len(cb.Weights)*8 + 4
+	if len(payload) != want {
+		return nil, 0, fmt.Errorf("som: %s truncated: %d payload bytes, want %d", path, len(payload), want)
+	}
+	crc := crc32.NewIEEE()
+	crc.Write(payload[:len(payload)-4])
+	if crc.Sum32() != binary.LittleEndian.Uint32(payload[len(payload)-4:]) {
+		return nil, 0, fmt.Errorf("som: %s checksum mismatch (torn checkpoint?)", path)
+	}
+	for i := range cb.Weights {
+		cb.Weights[i] = math.Float64frombits(binary.LittleEndian.Uint64(payload[i*8:]))
+	}
+	return cb, epoch, nil
+}
+
+// HitMap counts the BMU hits of every input vector per neuron, in grid
+// layout — the standard companion view to the U-matrix showing where the
+// data lands on the map.
+func HitMap(cb *Codebook, data []float64, n int) [][]float64 {
+	g := cb.Grid
+	out := make([][]float64, g.H)
+	for y := range out {
+		out[y] = make([]float64, g.W)
+	}
+	for v := 0; v < n; v++ {
+		bmu, _ := cb.BMU(data[v*cb.Dim : (v+1)*cb.Dim])
+		x, y := g.Coords(bmu)
+		out[y][x]++
+	}
+	return out
+}

@@ -1,0 +1,112 @@
+package som
+
+import "fmt"
+
+// Classifier is a labeled SOM: the paper's intro names "semi-supervised
+// classification of metagenomic sequences" as a primary SOM application.
+// After unsupervised training, labeled examples vote on their BMUs; unknown
+// vectors take the label of the nearest labeled neuron.
+type Classifier struct {
+	// CB is the trained map.
+	CB *Codebook
+	// NeuronLabel[k] is the majority label of neuron k, or -1 when no
+	// labeled example landed on or near it.
+	NeuronLabel []int
+	// Votes[k] is the number of labeled examples whose BMU was neuron k.
+	Votes []int
+}
+
+// NewClassifier labels a trained codebook from labeled examples: data is a
+// flat n×Dim matrix, labels[i] ∈ [0, nclasses). Each example votes for its
+// BMU; a neuron takes its majority label.
+func NewClassifier(cb *Codebook, data []float64, labels []int, n int) (*Classifier, error) {
+	if n <= 0 || len(labels) != n || len(data) != n*cb.Dim {
+		return nil, fmt.Errorf("som: classifier inputs inconsistent (n=%d, labels=%d, data=%d)",
+			n, len(labels), len(data))
+	}
+	nclasses := 0
+	for _, l := range labels {
+		if l < 0 {
+			return nil, fmt.Errorf("som: negative label %d", l)
+		}
+		if l+1 > nclasses {
+			nclasses = l + 1
+		}
+	}
+	cells := cb.Grid.Cells()
+	counts := make([][]int, cells)
+	cl := &Classifier{
+		CB:          cb,
+		NeuronLabel: make([]int, cells),
+		Votes:       make([]int, cells),
+	}
+	for v := 0; v < n; v++ {
+		bmu, _ := cb.BMU(data[v*cb.Dim : (v+1)*cb.Dim])
+		if counts[bmu] == nil {
+			counts[bmu] = make([]int, nclasses)
+		}
+		counts[bmu][labels[v]]++
+		cl.Votes[bmu]++
+	}
+	for k := 0; k < cells; k++ {
+		cl.NeuronLabel[k] = -1
+		if counts[k] == nil {
+			continue
+		}
+		best, bestN := -1, 0
+		for label, c := range counts[k] {
+			if c > bestN {
+				best, bestN = label, c
+			}
+		}
+		cl.NeuronLabel[k] = best
+	}
+	return cl, nil
+}
+
+// Predict classifies one vector: the label of its BMU, or, when the BMU is
+// unlabeled, of the nearest labeled neuron in map space. Returns -1 only
+// when no neuron is labeled at all.
+func (cl *Classifier) Predict(x []float64) int {
+	bmu, _ := cl.CB.BMU(x)
+	if l := cl.NeuronLabel[bmu]; l >= 0 {
+		return l
+	}
+	best, bestD := -1, 0.0
+	for k := 0; k < cl.CB.Grid.Cells(); k++ {
+		if cl.NeuronLabel[k] < 0 {
+			continue
+		}
+		d := cl.CB.Grid.Dist2(bmu, k)
+		if best < 0 || d < bestD {
+			best, bestD = k, d
+		}
+	}
+	if best < 0 {
+		return -1
+	}
+	return cl.NeuronLabel[best]
+}
+
+// PredictAll classifies a flat n×Dim matrix.
+func (cl *Classifier) PredictAll(data []float64, n int) []int {
+	out := make([]int, n)
+	for v := 0; v < n; v++ {
+		out[v] = cl.Predict(data[v*cl.CB.Dim : (v+1)*cl.CB.Dim])
+	}
+	return out
+}
+
+// Accuracy scores predictions against truth.
+func Accuracy(pred, truth []int) float64 {
+	if len(pred) == 0 || len(pred) != len(truth) {
+		return 0
+	}
+	ok := 0
+	for i := range pred {
+		if pred[i] == truth[i] {
+			ok++
+		}
+	}
+	return float64(ok) / float64(len(pred))
+}

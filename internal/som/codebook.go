@@ -1,0 +1,137 @@
+package som
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+func sqrt(x float64) float64 { return math.Sqrt(x) }
+
+// Codebook is the complete description of a SOM: the grid plus one
+// Dim-dimensional weight vector ("code vector") per neuron, stored
+// row-major in a single flat slice.
+type Codebook struct {
+	Grid Grid
+	Dim  int
+	// Weights holds Grid.Cells()×Dim values; neuron k's vector is
+	// Weights[k*Dim : (k+1)*Dim].
+	Weights []float64
+}
+
+// NewCodebook allocates a zeroed codebook.
+func NewCodebook(g Grid, dim int) (*Codebook, error) {
+	if dim <= 0 {
+		return nil, fmt.Errorf("som: dimension must be positive, got %d", dim)
+	}
+	return &Codebook{Grid: g, Dim: dim, Weights: make([]float64, g.Cells()*dim)}, nil
+}
+
+// Vector returns neuron k's weight vector (shared storage).
+func (cb *Codebook) Vector(k int) []float64 {
+	return cb.Weights[k*cb.Dim : (k+1)*cb.Dim]
+}
+
+// Clone deep-copies the codebook.
+func (cb *Codebook) Clone() *Codebook {
+	w := make([]float64, len(cb.Weights))
+	copy(w, cb.Weights)
+	return &Codebook{Grid: cb.Grid, Dim: cb.Dim, Weights: w}
+}
+
+// InitRandom fills the codebook with uniform random values in [0,1),
+// deterministically from seed (the paper's "assigned random values"
+// initialization).
+func (cb *Codebook) InitRandom(seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	for i := range cb.Weights {
+		cb.Weights[i] = rng.Float64()
+	}
+}
+
+// InitLinear initializes the codebook on the plane spanned by the first two
+// principal components of the data, the paper's alternative "linearly
+// generated from the first two PCA eigen-vectors" initialization. data is a
+// flat n×Dim matrix.
+func (cb *Codebook) InitLinear(data []float64, n int) error {
+	if n*cb.Dim != len(data) {
+		return fmt.Errorf("som: data shape %d doesn't match n=%d dim=%d", len(data), n, cb.Dim)
+	}
+	if n < 2 {
+		return fmt.Errorf("som: linear init needs at least 2 vectors, got %d", n)
+	}
+	mean, pc1, pc2, s1, s2 := pca2(data, n, cb.Dim)
+	for k := 0; k < cb.Grid.Cells(); k++ {
+		x, y := cb.Grid.Coords(k)
+		// Map grid coordinates to [-1, 1] along each component.
+		var cx, cy float64
+		if cb.Grid.W > 1 {
+			cx = 2*float64(x)/float64(cb.Grid.W-1) - 1
+		}
+		if cb.Grid.H > 1 {
+			cy = 2*float64(y)/float64(cb.Grid.H-1) - 1
+		}
+		w := cb.Vector(k)
+		for d := 0; d < cb.Dim; d++ {
+			w[d] = mean[d] + cx*s1*pc1[d] + cy*s2*pc2[d]
+		}
+	}
+	return nil
+}
+
+// BMU returns the Best Matching Unit for vector x: the neuron whose weight
+// vector is nearest in Euclidean distance (the paper's Eq. 1–2), together
+// with the squared distance. Ties break toward the lowest index, which
+// keeps serial and parallel training bit-identical.
+func (cb *Codebook) BMU(x []float64) (int, float64) {
+	best := 0
+	bestD := distSq(cb.Vector(0), x)
+	for k := 1; k < cb.Grid.Cells(); k++ {
+		if d := distSqBounded(cb.Vector(k), x, bestD); d < bestD {
+			best, bestD = k, d
+		}
+	}
+	return best, bestD
+}
+
+// SecondBMU returns the indexes of the two nearest neurons (for the
+// topographic error metric).
+func (cb *Codebook) SecondBMU(x []float64) (int, int) {
+	b1, b2 := -1, -1
+	d1, d2 := math.Inf(1), math.Inf(1)
+	for k := 0; k < cb.Grid.Cells(); k++ {
+		d := distSq(cb.Vector(k), x)
+		switch {
+		case d < d1:
+			b2, d2 = b1, d1
+			b1, d1 = k, d
+		case d < d2:
+			b2, d2 = k, d
+		}
+	}
+	return b1, b2
+}
+
+func distSq(a, b []float64) float64 {
+	s := 0.0
+	for i, x := range a {
+		d := x - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// distSqBounded is distSq with early termination once the partial sum
+// exceeds bound — the standard BMU-search optimization the paper alludes to
+// ("stopping the distance comparisons earlier").
+func distSqBounded(a, b []float64, bound float64) float64 {
+	s := 0.0
+	for i, x := range a {
+		d := x - b[i]
+		s += d * d
+		if s >= bound {
+			return s
+		}
+	}
+	return s
+}

@@ -1,0 +1,35 @@
+package som_test
+
+import (
+	"fmt"
+
+	"repro/internal/bio"
+	"repro/internal/som"
+)
+
+// Train a batch SOM on clustered data and measure its fit.
+func ExampleTrainBatch() {
+	data, _ := bio.ClusteredVectors(1, 200, 4, 3, 0.02)
+	grid, _ := som.NewGrid(6, 6)
+	cb, _ := som.NewCodebook(grid, 4)
+	cb.InitRandom(1)
+	if err := som.TrainBatch(cb, data, 200, som.TrainParams{Epochs: 15}); err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	qe := som.QuantizationError(cb, data, 200)
+	fmt.Printf("organized: %v\n", qe < 0.1)
+	// Output: organized: true
+}
+
+// The U-matrix of a trained map traces cluster boundaries.
+func ExampleUMatrix() {
+	data, _ := bio.ClusteredVectors(2, 150, 3, 2, 0.01)
+	grid, _ := som.NewGrid(5, 5)
+	cb, _ := som.NewCodebook(grid, 3)
+	cb.InitLinear(data, 150)
+	som.TrainBatch(cb, data, 150, som.TrainParams{Epochs: 12})
+	um := som.UMatrix(cb)
+	fmt.Printf("%dx%d\n", len(um), len(um[0]))
+	// Output: 5x5
+}

@@ -1,0 +1,79 @@
+package som
+
+import (
+	"bufio"
+	"fmt"
+	"math"
+	"os"
+)
+
+// WritePGM renders a matrix (e.g. a U-matrix) as a binary PGM grayscale
+// image, min-max normalized so the largest value is white.
+func WritePGM(path string, m [][]float64) error {
+	if len(m) == 0 || len(m[0]) == 0 {
+		return fmt.Errorf("som: empty matrix")
+	}
+	h, w := len(m), len(m[0])
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, row := range m {
+		for _, v := range row {
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+	}
+	span := hi - lo
+	if span == 0 {
+		span = 1
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(f)
+	fmt.Fprintf(bw, "P5\n%d %d\n255\n", w, h)
+	for _, row := range m {
+		for _, v := range row {
+			bw.WriteByte(byte(255 * (v - lo) / span))
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// WriteCodebookPPM renders the first three dimensions of a codebook as an
+// RGB image — the view of the paper's Fig. 7 where input vectors are
+// colors. Weight components are clamped to [0,1].
+func WriteCodebookPPM(path string, cb *Codebook) error {
+	if cb.Dim < 3 {
+		return fmt.Errorf("som: codebook dimension %d < 3, cannot render RGB", cb.Dim)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(f)
+	fmt.Fprintf(bw, "P6\n%d %d\n255\n", cb.Grid.W, cb.Grid.H)
+	for y := 0; y < cb.Grid.H; y++ {
+		for x := 0; x < cb.Grid.W; x++ {
+			w := cb.Vector(cb.Grid.Index(x, y))
+			for d := 0; d < 3; d++ {
+				v := w[d]
+				if v < 0 {
+					v = 0
+				}
+				if v > 1 {
+					v = 1
+				}
+				bw.WriteByte(byte(255 * v))
+			}
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

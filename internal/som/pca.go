@@ -1,0 +1,98 @@
+package som
+
+import (
+	"math"
+	"math/rand"
+)
+
+// pca2 computes the data mean and the first two principal components (unit
+// vectors) with their standard deviations, via power iteration with
+// deflation on the covariance operator. The covariance matrix is never
+// materialized: each iteration streams the data, so memory is O(dim).
+func pca2(data []float64, n, dim int) (mean, pc1, pc2 []float64, s1, s2 float64) {
+	mean = make([]float64, dim)
+	for v := 0; v < n; v++ {
+		row := data[v*dim : (v+1)*dim]
+		for d, x := range row {
+			mean[d] += x
+		}
+	}
+	for d := range mean {
+		mean[d] /= float64(n)
+	}
+
+	power := func(deflate []float64) ([]float64, float64) {
+		rng := rand.New(rand.NewSource(1))
+		vec := make([]float64, dim)
+		for d := range vec {
+			vec[d] = rng.Float64() - 0.5
+		}
+		normalize(vec)
+		tmp := make([]float64, dim)
+		lambda := 0.0
+		for iter := 0; iter < 100; iter++ {
+			// tmp = Cov · vec, computed as (1/n) Σ (x−μ)·((x−μ)·vec).
+			for d := range tmp {
+				tmp[d] = 0
+			}
+			for v := 0; v < n; v++ {
+				row := data[v*dim : (v+1)*dim]
+				dot := 0.0
+				for d, x := range row {
+					dot += (x - mean[d]) * vec[d]
+				}
+				for d, x := range row {
+					tmp[d] += (x - mean[d]) * dot
+				}
+			}
+			for d := range tmp {
+				tmp[d] /= float64(n)
+			}
+			if deflate != nil {
+				dot := 0.0
+				for d := range tmp {
+					dot += tmp[d] * deflate[d]
+				}
+				for d := range tmp {
+					tmp[d] -= dot * deflate[d]
+				}
+			}
+			newLambda := norm(tmp)
+			if newLambda == 0 {
+				break
+			}
+			for d := range vec {
+				vec[d] = tmp[d] / newLambda
+			}
+			if math.Abs(newLambda-lambda) < 1e-12*(1+newLambda) {
+				lambda = newLambda
+				break
+			}
+			lambda = newLambda
+		}
+		return vec, lambda
+	}
+
+	pc1, l1 := power(nil)
+	pc2, l2 := power(pc1)
+	return mean, pc1, pc2, math.Sqrt(l1), math.Sqrt(l2)
+}
+
+func norm(v []float64) float64 {
+	s := 0.0
+	for _, x := range v {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}
+
+func normalize(v []float64) {
+	n := norm(v)
+	if n == 0 {
+		v[0] = 1
+		return
+	}
+	for i := range v {
+		v[i] /= n
+	}
+}

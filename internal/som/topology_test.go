@@ -1,0 +1,181 @@
+package som
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/bio"
+)
+
+func TestHexGridPositions(t *testing.T) {
+	g, err := NewGridTopo(4, 4, Hex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Even row: integer x. Odd row: offset by 0.5, y compressed.
+	x, y := g.Position(g.Index(1, 0))
+	if x != 1 || y != 0 {
+		t.Errorf("(1,0) position = %f,%f", x, y)
+	}
+	x, y = g.Position(g.Index(1, 1))
+	if x != 1.5 || math.Abs(y-hexRowSpacing) > 1e-12 {
+		t.Errorf("(1,1) position = %f,%f", x, y)
+	}
+}
+
+func TestHexNeighborsCount(t *testing.T) {
+	g, _ := NewGridTopo(5, 5, Hex)
+	center := g.Index(2, 2)
+	nbs := g.Neighbors(center)
+	if len(nbs) != 6 {
+		t.Fatalf("hex interior neighbors = %d, want 6", len(nbs))
+	}
+	// All hex neighbors are at unit map-space distance.
+	for _, nb := range nbs {
+		if d := g.Dist2(center, nb); math.Abs(d-1) > 1e-9 {
+			t.Errorf("neighbor %d at distance² %f, want 1", nb, d)
+		}
+	}
+	corner := g.Index(0, 0)
+	if n := len(g.Neighbors(corner)); n != 2 {
+		t.Errorf("hex corner (0,0) neighbors = %d, want 2", n)
+	}
+}
+
+func TestRectNeighborsUnchanged(t *testing.T) {
+	g, _ := NewGrid(5, 5)
+	if len(g.Neighbors(g.Index(2, 2))) != 4 {
+		t.Error("rect interior should have 4 neighbors")
+	}
+	if g.Topo != Rect {
+		t.Error("NewGrid should default to Rect")
+	}
+}
+
+func TestHexAdjacency(t *testing.T) {
+	g, _ := NewGridTopo(5, 5, Hex)
+	center := g.Index(2, 2)
+	for _, nb := range g.Neighbors(center) {
+		if !g.Adjacent(center, nb) {
+			t.Errorf("hex neighbor %d not adjacent", nb)
+		}
+	}
+	// Distance-2 cell on the same row is not adjacent.
+	if g.Adjacent(center, g.Index(4, 2)) {
+		t.Error("distance-2 should not be adjacent")
+	}
+	if g.Adjacent(center, center) {
+		t.Error("self-adjacent")
+	}
+}
+
+func TestNewGridTopoValidation(t *testing.T) {
+	if _, err := NewGridTopo(3, 3, Topology(9)); err == nil {
+		t.Error("bad topology accepted")
+	}
+	if Rect.String() != "rect" || Hex.String() != "hex" {
+		t.Error("topology names wrong")
+	}
+}
+
+func TestHexTrainingConverges(t *testing.T) {
+	data, _ := bio.ClusteredVectors(31, 200, 6, 4, 0.05)
+	g, _ := NewGridTopo(6, 6, Hex)
+	cb, _ := NewCodebook(g, 6)
+	cb.InitRandom(1)
+	before := QuantizationError(cb, data, 200)
+	if err := TrainBatch(cb, data, 200, TrainParams{Epochs: 12}); err != nil {
+		t.Fatal(err)
+	}
+	after := QuantizationError(cb, data, 200)
+	if after >= before/2 {
+		t.Errorf("hex SOM did not converge: %f -> %f", before, after)
+	}
+	um := UMatrix(cb)
+	if len(um) != 6 || len(um[0]) != 6 {
+		t.Errorf("hex U-matrix shape wrong")
+	}
+}
+
+func TestBubbleKernel(t *testing.T) {
+	if Bubble.Eval(3.9, 2) != 1 {
+		t.Error("inside bubble should be 1")
+	}
+	if Bubble.Eval(4.1, 2) != 0 {
+		t.Error("outside bubble should be 0")
+	}
+	if Gaussian.Eval(0, 2) != 1 {
+		t.Error("gaussian at 0 should be 1")
+	}
+	if Gaussian.String() != "gaussian" || Bubble.String() != "bubble" {
+		t.Error("kernel names wrong")
+	}
+}
+
+func TestBubbleTrainingConverges(t *testing.T) {
+	data, _ := bio.ClusteredVectors(32, 200, 6, 4, 0.05)
+	g, _ := NewGrid(6, 6)
+	cb, _ := NewCodebook(g, 6)
+	cb.InitRandom(1)
+	before := QuantizationError(cb, data, 200)
+	if err := TrainBatch(cb, data, 200, TrainParams{Epochs: 12, Kern: Bubble}); err != nil {
+		t.Fatal(err)
+	}
+	after := QuantizationError(cb, data, 200)
+	if after >= before/2 {
+		t.Errorf("bubble SOM did not converge: %f -> %f", before, after)
+	}
+}
+
+func TestKernelsDiffer(t *testing.T) {
+	// Gaussian and bubble training must produce different maps.
+	data := bio.RandomVectors(33, 100, 4)
+	g, _ := NewGrid(5, 5)
+	a, _ := NewCodebook(g, 4)
+	a.InitRandom(2)
+	b := a.Clone()
+	if err := TrainBatch(a, data, 100, TrainParams{Epochs: 5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := TrainBatch(b, data, 100, TrainParams{Epochs: 5, Kern: Bubble}); err != nil {
+		t.Fatal(err)
+	}
+	diff := 0.0
+	for i := range a.Weights {
+		diff += math.Abs(a.Weights[i] - b.Weights[i])
+	}
+	if diff == 0 {
+		t.Error("kernels produced identical maps")
+	}
+}
+
+func TestBatchAccumulateKernelAdditivity(t *testing.T) {
+	// The MapReduce-splittability property must hold for every kernel and
+	// topology combination.
+	for _, topo := range []Topology{Rect, Hex} {
+		for _, kern := range []Kernel{Gaussian, Bubble} {
+			n, dim := 80, 4
+			data := bio.RandomVectors(34, n, dim)
+			g, _ := NewGridTopo(4, 4, topo)
+			cb, _ := NewCodebook(g, dim)
+			cb.InitRandom(2)
+			cells := g.Cells()
+
+			numAll := make([]float64, cells*dim)
+			denAll := make([]float64, cells)
+			BatchAccumulateKernel(cb, data, n, 2.0, kern, numAll, denAll)
+
+			numSplit := make([]float64, cells*dim)
+			denSplit := make([]float64, cells)
+			half := n / 2
+			BatchAccumulateKernel(cb, data[:half*dim], half, 2.0, kern, numSplit, denSplit)
+			BatchAccumulateKernel(cb, data[half*dim:], n-half, 2.0, kern, numSplit, denSplit)
+
+			for i := range numAll {
+				if math.Abs(numAll[i]-numSplit[i]) > 1e-9 {
+					t.Fatalf("%v/%v: numerator differs at %d", topo, kern, i)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,249 @@
+package som
+
+import (
+	"fmt"
+	"math"
+)
+
+// Kernel selects the neighborhood function h(d², σ).
+type Kernel int
+
+const (
+	// Gaussian is the paper's Eq. 4 kernel: exp(−d²/σ²).
+	Gaussian Kernel = iota
+	// Bubble is the classic cut-off kernel: 1 within radius σ, 0 outside.
+	Bubble
+)
+
+func (k Kernel) String() string {
+	switch k {
+	case Gaussian:
+		return "gaussian"
+	case Bubble:
+		return "bubble"
+	default:
+		return fmt.Sprintf("Kernel(%d)", int(k))
+	}
+}
+
+// Eval computes h(d², σ).
+func (k Kernel) Eval(dist2, sigma float64) float64 {
+	switch k {
+	case Bubble:
+		if dist2 <= sigma*sigma {
+			return 1
+		}
+		return 0
+	default:
+		return gaussian(dist2, sigma)
+	}
+}
+
+// TrainParams controls SOM training.
+type TrainParams struct {
+	// Epochs is the number of passes over the data (the paper's L).
+	Epochs int
+	// Radius0 is the initial neighborhood width σ(0); 0 means half the grid
+	// diagonal (the paper's prescription).
+	Radius0 float64
+	// RadiusEnd is the final width; 0 means 1 (the width of a single cell).
+	RadiusEnd float64
+	// LearnRate0 is the initial online learning rate α(0) (online training
+	// only); 0 means 0.5.
+	LearnRate0 float64
+	// Kern is the neighborhood function (default Gaussian, the paper's
+	// choice).
+	Kern Kernel
+}
+
+// withDefaults fills zero fields from the paper's prescriptions.
+func (p TrainParams) withDefaults(g Grid) (TrainParams, error) {
+	if p.Epochs <= 0 {
+		return p, fmt.Errorf("som: Epochs must be positive, got %d", p.Epochs)
+	}
+	if p.Radius0 == 0 {
+		p.Radius0 = g.Diagonal() / 2
+	}
+	if p.Radius0 < 1 {
+		p.Radius0 = 1
+	}
+	if p.RadiusEnd == 0 {
+		p.RadiusEnd = 1
+	}
+	if p.RadiusEnd > p.Radius0 {
+		return p, fmt.Errorf("som: RadiusEnd %g exceeds Radius0 %g", p.RadiusEnd, p.Radius0)
+	}
+	if p.LearnRate0 == 0 {
+		p.LearnRate0 = 0.5
+	}
+	return p, nil
+}
+
+// Radius returns σ(t) for epoch t of total epochs: linear decay from
+// Radius0 to RadiusEnd, matching the paper's monotonically decreasing
+// neighborhood width.
+func (p TrainParams) Radius(epoch, epochs int) float64 {
+	if epochs <= 1 {
+		return p.RadiusEnd
+	}
+	f := float64(epoch) / float64(epochs-1)
+	return p.Radius0 + (p.RadiusEnd-p.Radius0)*f
+}
+
+// neighborhoodCutoff bounds the grid distance beyond which the Gaussian
+// kernel is negligible and skipped (exp(-9) < 2e-4).
+func neighborhoodCutoff(sigma float64) float64 { return 3 * sigma }
+
+// kernelCutoff2 is the squared distance beyond which a kernel contributes
+// nothing worth accumulating.
+func kernelCutoff2(k Kernel, sigma float64) float64 {
+	if k == Bubble {
+		return sigma * sigma
+	}
+	c := neighborhoodCutoff(sigma)
+	return c * c
+}
+
+// gaussian is the paper's Eq. 4 kernel: exp(-d²/σ²).
+func gaussian(dist2, sigma float64) float64 {
+	return math.Exp(-dist2 / (sigma * sigma))
+}
+
+// TrainOnline runs the original sequential ("online") SOM: each input
+// vector immediately updates the BMU and its neighbors (the paper's
+// Eq. 1–4). data is a flat n×Dim matrix. This is the serial baseline the
+// batch formulation is validated against.
+func TrainOnline(cb *Codebook, data []float64, n int, p TrainParams) error {
+	p, err := p.withDefaults(cb.Grid)
+	if err != nil {
+		return err
+	}
+	if err := checkData(cb, data, n); err != nil {
+		return err
+	}
+	steps := p.Epochs * n
+	step := 0
+	for epoch := 0; epoch < p.Epochs; epoch++ {
+		for v := 0; v < n; v++ {
+			x := data[v*cb.Dim : (v+1)*cb.Dim]
+			// Time-decaying rate and radius per presentation.
+			f := float64(step) / float64(steps)
+			alpha := p.LearnRate0 * (1 - f)
+			sigma := p.Radius0 + (p.RadiusEnd-p.Radius0)*f
+			if sigma < p.RadiusEnd {
+				sigma = p.RadiusEnd
+			}
+			bmu, _ := cb.BMU(x)
+			cutoff2 := kernelCutoff2(p.Kern, sigma)
+			for k := 0; k < cb.Grid.Cells(); k++ {
+				d2 := cb.Grid.Dist2(bmu, k)
+				if d2 > cutoff2 {
+					continue
+				}
+				h := alpha * p.Kern.Eval(d2, sigma)
+				if h == 0 {
+					continue
+				}
+				w := cb.Vector(k)
+				for d := range w {
+					w[d] += h * (x[d] - w[d])
+				}
+			}
+			step++
+		}
+	}
+	return nil
+}
+
+// BatchAccumulate adds the contribution of a block of input vectors to the
+// running numerator and denominator of the batch update (the paper's
+// Eq. 5): num[k] += h_bk·x, den[k] += h_bk, with BMUs computed against the
+// epoch-start codebook cb. It is the map() kernel of the parallel SOM; the
+// serial batch trainer uses it too, which is what makes
+// serial-versus-parallel equality exact.
+//
+// num has Cells×Dim values, den has Cells values.
+func BatchAccumulate(cb *Codebook, data []float64, n int, sigma float64, num, den []float64) {
+	BatchAccumulateKernel(cb, data, n, sigma, Gaussian, num, den)
+}
+
+// BatchAccumulateKernel is BatchAccumulate with an explicit neighborhood
+// kernel.
+func BatchAccumulateKernel(cb *Codebook, data []float64, n int, sigma float64, kern Kernel, num, den []float64) {
+	cutoff2 := kernelCutoff2(kern, sigma)
+	for v := 0; v < n; v++ {
+		x := data[v*cb.Dim : (v+1)*cb.Dim]
+		bmu, _ := cb.BMU(x)
+		for k := 0; k < cb.Grid.Cells(); k++ {
+			d2 := cb.Grid.Dist2(bmu, k)
+			if d2 > cutoff2 {
+				continue
+			}
+			h := kern.Eval(d2, sigma)
+			if h == 0 {
+				continue
+			}
+			nk := num[k*cb.Dim : (k+1)*cb.Dim]
+			for d := range nk {
+				nk[d] += h * x[d]
+			}
+			den[k] += h
+		}
+	}
+}
+
+// BatchApply recomputes the codebook from accumulated numerators and
+// denominators; neurons that received no contribution keep their previous
+// weights.
+func BatchApply(cb *Codebook, num, den []float64) {
+	for k := 0; k < cb.Grid.Cells(); k++ {
+		if den[k] == 0 {
+			continue
+		}
+		w := cb.Vector(k)
+		nk := num[k*cb.Dim : (k+1)*cb.Dim]
+		inv := 1 / den[k]
+		for d := range w {
+			w[d] = nk[d] * inv
+		}
+	}
+}
+
+// TrainBatch runs the serial batch SOM: per epoch, all updates are
+// accumulated against the epoch-start codebook and applied at once (the
+// paper's Eq. 5). Unlike online training, the result is independent of the
+// order of the input vectors.
+func TrainBatch(cb *Codebook, data []float64, n int, p TrainParams) error {
+	p, err := p.withDefaults(cb.Grid)
+	if err != nil {
+		return err
+	}
+	if err := checkData(cb, data, n); err != nil {
+		return err
+	}
+	cells := cb.Grid.Cells()
+	num := make([]float64, cells*cb.Dim)
+	den := make([]float64, cells)
+	for epoch := 0; epoch < p.Epochs; epoch++ {
+		sigma := p.Radius(epoch, p.Epochs)
+		for i := range num {
+			num[i] = 0
+		}
+		for i := range den {
+			den[i] = 0
+		}
+		BatchAccumulateKernel(cb, data, n, sigma, p.Kern, num, den)
+		BatchApply(cb, num, den)
+	}
+	return nil
+}
+
+func checkData(cb *Codebook, data []float64, n int) error {
+	if n <= 0 {
+		return fmt.Errorf("som: need at least one input vector")
+	}
+	if len(data) != n*cb.Dim {
+		return fmt.Errorf("som: data length %d != n(%d)×dim(%d)", len(data), n, cb.Dim)
+	}
+	return nil
+}

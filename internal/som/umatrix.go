@@ -1,0 +1,73 @@
+package som
+
+import "math"
+
+// UMatrix computes the unified distance matrix of a trained map: cell k
+// holds the average Euclidean distance between neuron k's weight vector and
+// its 4-connected grid neighbors'. High values trace cluster boundaries —
+// the visualization of the paper's Figs. 7 and 8. The result is in grid
+// layout, indexed [y][x].
+func UMatrix(cb *Codebook) [][]float64 {
+	g := cb.Grid
+	out := make([][]float64, g.H)
+	for y := range out {
+		out[y] = make([]float64, g.W)
+	}
+	for k := 0; k < g.Cells(); k++ {
+		x, y := g.Coords(k)
+		sum, cnt := 0.0, 0
+		for _, nb := range g.Neighbors(k) {
+			sum += math.Sqrt(distSq(cb.Vector(k), cb.Vector(nb)))
+			cnt++
+		}
+		if cnt > 0 {
+			out[y][x] = sum / float64(cnt)
+		}
+	}
+	return out
+}
+
+// QuantizationError is the mean distance between the input vectors and
+// their BMUs — the standard SOM fit metric.
+func QuantizationError(cb *Codebook, data []float64, n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	sum := 0.0
+	for v := 0; v < n; v++ {
+		_, d2 := cb.BMU(data[v*cb.Dim : (v+1)*cb.Dim])
+		sum += math.Sqrt(d2)
+	}
+	return sum / float64(n)
+}
+
+// TopographicError is the fraction of input vectors whose first and second
+// BMUs are not adjacent on the grid — a measure of how well the map
+// preserves topology.
+func TopographicError(cb *Codebook, data []float64, n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	bad := 0
+	for v := 0; v < n; v++ {
+		b1, b2 := cb.SecondBMU(data[v*cb.Dim : (v+1)*cb.Dim])
+		if b2 < 0 || !cb.Grid.Adjacent(b1, b2) {
+			bad++
+		}
+	}
+	return float64(bad) / float64(n)
+}
+
+// ComponentPlane extracts dimension d of every neuron in grid layout —
+// together with the U-matrix this reproduces the paper's Fig. 7 views.
+func ComponentPlane(cb *Codebook, d int) [][]float64 {
+	g := cb.Grid
+	out := make([][]float64, g.H)
+	for y := range out {
+		out[y] = make([]float64, g.W)
+		for x := range out[y] {
+			out[y][x] = cb.Vector(g.Index(x, y))[d]
+		}
+	}
+	return out
+}

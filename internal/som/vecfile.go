@@ -1,0 +1,97 @@
+package som
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"os"
+)
+
+// The paper's parallel SOM reads its input as a dense matrix "saved on disk
+// in the platform floating point representation" accessed through memory
+// mapped files, with each work unit described by a pair of offsets. This
+// file implements that format: a small header plus float64
+// little-endian data, read by offset with ReadAt so datasets larger than
+// RAM stream from disk.
+
+var vecMagic = [4]byte{'S', 'O', 'M', 'V'}
+
+// WriteVectorFile saves a flat n×dim matrix to path.
+func WriteVectorFile(path string, data []float64, n, dim int) error {
+	if n*dim != len(data) {
+		return fmt.Errorf("som: data length %d != %d×%d", len(data), n, dim)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriterSize(f, 1<<16)
+	bw.Write(vecMagic[:])
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(n))
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(dim))
+	bw.Write(hdr[:])
+	var b8 [8]byte
+	for _, v := range data {
+		binary.LittleEndian.PutUint64(b8[:], math.Float64bits(v))
+		bw.Write(b8[:])
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// VectorFile is an open dense-matrix file supporting random block reads.
+type VectorFile struct {
+	// N and Dim are the matrix dimensions.
+	N, Dim int
+
+	f *os.File
+}
+
+// OpenVectorFile opens a file written by WriteVectorFile.
+func OpenVectorFile(path string) (*VectorFile, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	var hdr [12]byte
+	if _, err := f.ReadAt(hdr[:], 0); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("som: %s: short header: %w", path, err)
+	}
+	if string(hdr[:4]) != string(vecMagic[:]) {
+		f.Close()
+		return nil, fmt.Errorf("som: %s is not a vector file", path)
+	}
+	vf := &VectorFile{
+		N:   int(binary.LittleEndian.Uint32(hdr[4:8])),
+		Dim: int(binary.LittleEndian.Uint32(hdr[8:12])),
+		f:   f,
+	}
+	return vf, nil
+}
+
+// ReadBlock reads vectors [start, end) into a fresh slice.
+func (vf *VectorFile) ReadBlock(start, end int) ([]float64, error) {
+	if start < 0 || end > vf.N || start > end {
+		return nil, fmt.Errorf("som: block [%d,%d) out of range (n=%d)", start, end, vf.N)
+	}
+	nvals := (end - start) * vf.Dim
+	raw := make([]byte, nvals*8)
+	off := int64(12) + int64(start)*int64(vf.Dim)*8
+	if _, err := vf.f.ReadAt(raw, off); err != nil {
+		return nil, fmt.Errorf("som: reading block [%d,%d): %w", start, end, err)
+	}
+	out := make([]float64, nvals)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[i*8:]))
+	}
+	return out, nil
+}
+
+// Close releases the underlying file.
+func (vf *VectorFile) Close() error { return vf.f.Close() }
