@@ -3,7 +3,7 @@
 GO ?= go
 BIN ?= bin
 
-.PHONY: all build test race bench figures examples clean
+.PHONY: all build test race lint debug bench figures examples clean
 
 all: build test
 
@@ -11,9 +11,24 @@ build:
 	$(GO) build ./...
 	$(GO) build -o $(BIN)/ ./cmd/...
 
-test:
+# Static analysis: go vet plus mpilint, the repo's own MPI analyzer suite
+# (rank-divergent collectives, aliased broadcasts, tag hygiene, unchecked
+# roots — see README "Correctness tooling").
+lint:
 	$(GO) vet ./...
+	$(GO) run ./cmd/mpilint ./...
+
+# Runtime invariant checker: the mpi test suite with the mpidebug
+# collective-fingerprint watchdog compiled in.
+debug:
+	$(GO) test -tags mpidebug ./internal/mpi
+
+# The default gate: static analysis, the full test suite, the race detector
+# on the concurrency-heavy packages, and the mpidebug watchdog tests.
+test: lint
 	$(GO) test ./...
+	$(GO) test -race ./internal/mpi ./internal/mrmpi
+	$(GO) test -tags mpidebug ./internal/mpi
 
 race:
 	$(GO) test -race ./...

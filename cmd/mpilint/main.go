@@ -1,0 +1,114 @@
+// Command mpilint runs the repository's MPI static-analysis suite
+// (internal/lint) over a set of package directories and reports misuse of
+// the in-process MPI layer with file:line:col findings.
+//
+// Usage:
+//
+//	mpilint [flags] [packages]
+//
+// Packages follow go-tool conventions: a directory path, or a path ending
+// in /... to walk recursively. With no arguments, ./... is assumed.
+//
+// Exit status is 0 when no findings are reported, 1 when findings exist,
+// and 2 on usage or load errors — so `make lint` and CI can gate on it the
+// same way they gate on go vet.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/token"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("mpilint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	tests := fs.Bool("tests", false, "also analyze _test.go files")
+	list := fs.Bool("list", false, "list the analyzers and exit")
+	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: mpilint [flags] [packages]\n\n"+
+			"Analyzes Go packages for misuse of the internal/mpi layer.\n"+
+			"Packages are directories; a trailing /... walks recursively.\n\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *list {
+		for _, a := range lint.Analyzers() {
+			fmt.Fprintf(stdout, "%-14s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	enabled, err := selectAnalyzers(*only)
+	if err != nil {
+		fmt.Fprintln(stderr, "mpilint:", err)
+		return 2
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	dirs, err := lint.ExpandPatterns(patterns)
+	if err != nil {
+		fmt.Fprintln(stderr, "mpilint:", err)
+		return 2
+	}
+
+	fset := token.NewFileSet()
+	var findings []lint.Finding
+	for _, dir := range dirs {
+		pkgs, err := lint.LoadDir(fset, dir, lint.LoadOptions{Tests: *tests})
+		if err != nil {
+			fmt.Fprintln(stderr, "mpilint:", err)
+			return 2
+		}
+		for _, pkg := range pkgs {
+			findings = append(findings, lint.CheckWith(pkg, enabled)...)
+		}
+	}
+	lint.Sort(findings)
+	for _, f := range findings {
+		fmt.Fprintln(stdout, f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(stderr, "mpilint: %d finding(s)\n", len(findings))
+		return 1
+	}
+	return 0
+}
+
+// selectAnalyzers resolves the -only flag to a subset of the suite.
+func selectAnalyzers(only string) ([]*lint.Analyzer, error) {
+	all := lint.Analyzers()
+	if only == "" {
+		return all, nil
+	}
+	byName := map[string]*lint.Analyzer{}
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	var out []*lint.Analyzer
+	for _, name := range strings.Split(only, ",") {
+		name = strings.TrimSpace(name)
+		a, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q (use -list to see the suite)", name)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}

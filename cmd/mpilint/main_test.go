@@ -1,0 +1,95 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeTree lays out a throwaway module with one buggy and one clean file.
+func writeTree(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, src := range files {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func TestMpilintEndToEnd(t *testing.T) {
+	dir := writeTree(t, map[string]string{
+		"bad/bad.go": `package bad
+
+import "repro/internal/mpi"
+
+func f(c *mpi.Comm) {
+	if c.Rank() == 0 {
+		c.Barrier()
+	}
+	c.Send(1, -9, nil)
+}
+`,
+		"good/good.go": `package good
+
+import "repro/internal/mpi"
+
+func f(c *mpi.Comm) int {
+	c.Barrier()
+	return mpi.Bcast(c, 0, 1)
+}
+`,
+	})
+
+	var stdout, stderr strings.Builder
+	code := run([]string{dir + "/..."}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{
+		"bad.go:7:3: [divergence]",
+		"bad.go:9:12: [tags]",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "good.go") {
+		t.Errorf("clean file was flagged:\n%s", out)
+	}
+
+	// The clean package alone exits 0 with no output.
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{filepath.Join(dir, "good")}, &stdout, &stderr); code != 0 {
+		t.Fatalf("clean package: exit %d\n%s%s", code, stdout.String(), stderr.String())
+	}
+	if stdout.Len() != 0 {
+		t.Errorf("clean package produced output: %s", stdout.String())
+	}
+}
+
+func TestMpilintFlags(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-list: exit %d", code)
+	}
+	for _, name := range []string{"divergence", "aliasedbcast", "tags", "root"} {
+		if !strings.Contains(stdout.String(), name) {
+			t.Errorf("-list missing %q", name)
+		}
+	}
+	if code := run([]string{"-only", "nonsense", "."}, &stdout, &stderr); code != 2 {
+		t.Errorf("-only nonsense: exit %d, want 2", code)
+	}
+	if code := run([]string{"/definitely/not/a/dir"}, &stdout, &stderr); code != 2 {
+		t.Errorf("bad dir: exit %d, want 2", code)
+	}
+}

@@ -1,0 +1,174 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// checkAliasedBcast flags writes through values received from the sharing
+// collectives (generic Bcast and Allgather). Those collectives hand every
+// rank the same backing value: a slice, map, or pointer result is aliased
+// across all ranks, so an element write on one rank races with reads on
+// every other. The fix is to copy before mutating, or to use a copying
+// broadcast such as BcastFloat64s.
+//
+// The analysis is per function and flow-insensitive in the small: an
+// identifier bound from a sharing collective is tainted; index/field/pointer
+// assignments through it, copy(x, …) into it, and append(x, …) growing it in
+// place are findings. Rebinding the identifier wholesale clears the taint.
+func checkAliasedBcast(pkg *Package) []Finding {
+	var out []Finding
+	inMPI := pkg.Name == "mpi"
+	for _, f := range pkg.Files {
+		alias := mpiAlias(f)
+		if alias == "" && !inMPI {
+			continue
+		}
+		for _, d := range f.Decls {
+			fn, ok := d.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			out = append(out, aliasedWritesIn(pkg, fn, alias, inMPI)...)
+		}
+	}
+	return out
+}
+
+func aliasedWritesIn(pkg *Package, fn *ast.FuncDecl, alias string, inMPI bool) []Finding {
+	var out []Finding
+	tainted := map[string]string{} // identifier -> collective that produced it
+	report := func(n ast.Node, id *ast.Ident, how string) {
+		src := tainted[id.Name]
+		out = append(out, Finding{
+			Pos:      pkg.position(n),
+			Analyzer: "aliasedbcast",
+			Message: id.Name + " aliases the value shared across ranks by " + src + "; " + how +
+				" mutates every rank's copy — copy it first (or use a copying variant like BcastFloat64s)",
+		})
+	}
+	// checkGrowWrite flags copy()-into and append()-of a tainted slice; both
+	// mutate (or may mutate, for append with spare capacity) the shared
+	// backing array. Returns true when a finding was reported so callers can
+	// avoid double-reporting the same call node.
+	checkGrowWrite := func(call *ast.CallExpr) bool {
+		_, name := callTarget(call)
+		switch name {
+		case "copy":
+			if len(call.Args) == 2 {
+				if id := baseIdent(call.Args[0]); id != nil && tainted[id.Name] != "" {
+					report(call, id, "copy() into it")
+					return true
+				}
+			}
+		case "append":
+			if len(call.Args) >= 1 {
+				if id := baseIdent(call.Args[0]); id != nil && tainted[id.Name] != "" {
+					report(call, id, "append (which reuses the shared backing array when capacity allows)")
+					return true
+				}
+			}
+		}
+		return false
+	}
+	handled := map[ast.Node]bool{}
+	// ast.Inspect visits statements in source order, which is the evaluation
+	// order that matters for taint here (single-pass, loops ignored: a write
+	// before a later taint in the same loop body is the rare case this
+	// syntactic pass accepts missing).
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch stmt := n.(type) {
+		case *ast.AssignStmt:
+			// Writes through tainted identifiers on the left.
+			for _, lhs := range stmt.Lhs {
+				switch l := lhs.(type) {
+				case *ast.IndexExpr:
+					if id := baseIdent(l.X); id != nil && tainted[id.Name] != "" {
+						report(stmt, id, "the element assignment")
+					}
+				case *ast.StarExpr:
+					if id := baseIdent(l.X); id != nil && tainted[id.Name] != "" {
+						report(stmt, id, "the pointer write")
+					}
+				case *ast.SelectorExpr:
+					if id := baseIdent(l.X); id != nil && tainted[id.Name] != "" {
+						report(stmt, id, "the field write")
+					}
+				}
+			}
+			// Growing writes on the right must be judged against the taint
+			// state BEFORE any rebinding below (v = append(v, …) both writes
+			// through v and rebinds it).
+			for _, rhs := range stmt.Rhs {
+				if call, ok := rhs.(*ast.CallExpr); ok {
+					if checkGrowWrite(call) {
+						handled[call] = true
+					}
+					handled[call] = true // judged now either way; skip revisit
+				}
+			}
+			// Taint / untaint plain identifier bindings.
+			if len(stmt.Rhs) == 1 && len(stmt.Lhs) >= 1 {
+				if src := sharingCall(stmt.Rhs[0], alias, inMPI); src != "" {
+					if id, ok := stmt.Lhs[0].(*ast.Ident); ok && id.Name != "_" {
+						tainted[id.Name] = src
+					}
+				} else {
+					for _, lhs := range stmt.Lhs {
+						if id, ok := lhs.(*ast.Ident); ok && tainted[id.Name] != "" {
+							delete(tainted, id.Name)
+						}
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if !handled[stmt] {
+				checkGrowWrite(stmt)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// sharingCall reports the collective name when expr is a call to a sharing
+// collective (Bcast/Allgather), else "".
+func sharingCall(expr ast.Expr, alias string, inMPI bool) string {
+	call, ok := expr.(*ast.CallExpr)
+	if !ok {
+		return ""
+	}
+	qual, name := callTarget(call)
+	if !sharingFuncs[name] {
+		return ""
+	}
+	if qual == alias && alias != "" {
+		return name
+	}
+	if qual == "" && inMPI {
+		return name
+	}
+	return ""
+}
+
+// baseIdent peels index/selector/paren/star layers to the root identifier of
+// an lvalue-ish expression, or nil when there is none.
+func baseIdent(expr ast.Expr) *ast.Ident {
+	for {
+		switch e := expr.(type) {
+		case *ast.Ident:
+			return e
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.ParenExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		case *ast.SelectorExpr:
+			expr = e.X
+		case *ast.SliceExpr:
+			expr = e.X
+		default:
+			return nil
+		}
+	}
+}

@@ -1,0 +1,188 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// mpiPkgName is the package whose call sites the analyzers recognize. Files
+// that import "repro/internal/mpi" under an alias are handled by reading the
+// import spec; bare (dot-import or same-package) calls are recognized when
+// the analyzed package is mpi itself.
+const mpiImportPath = "repro/internal/mpi"
+
+// collectiveFuncs are the package-level mpi functions that are collective:
+// every rank of the communicator must call them in the same order.
+var collectiveFuncs = map[string]bool{
+	"Bcast":                true,
+	"BcastFloat64s":        true,
+	"Reduce":               true,
+	"ReduceSumFloat64s":    true,
+	"ReduceSumInt64":       true,
+	"Allreduce":            true,
+	"AllreduceSumFloat64s": true,
+	"AllreduceSumInt64":    true,
+	"AllreduceMaxFloat64":  true,
+	"Gather":               true,
+	"Allgather":            true,
+	"Scatter":              true,
+	"Alltoall":             true,
+}
+
+// collectiveMethods are method names that are collective calls. Barrier is
+// mpi's only collective Comm method; the mrmpi names are the MapReduce phase
+// methods that are documented collective and uncommon enough that a
+// same-named method on an unrelated type is unlikely (Map/Reduce/Gather are
+// deliberately excluded: those names are too generic for a purely syntactic
+// match).
+var collectiveMethods = map[string]bool{
+	"Barrier":   true,
+	"Aggregate": true,
+	"Collate":   true,
+	"Convert":   true,
+	"SortKeys":  true,
+	"Scrunch":   true,
+}
+
+// sharingFuncs are the mpi collectives whose reference results are shared
+// between ranks rather than copied: generic Bcast hands every rank the same
+// backing value, and Allgather is Gather+Bcast of the gathered slice.
+var sharingFuncs = map[string]bool{
+	"Bcast":     true,
+	"Allgather": true,
+}
+
+// rootedFuncs maps mpi collectives that take a root rank to the argument
+// index of that root (after the leading *Comm argument).
+var rootedFuncs = map[string]int{
+	"Bcast":             1,
+	"BcastFloat64s":     1,
+	"Reduce":            1,
+	"ReduceSumFloat64s": 1,
+	"ReduceSumInt64":    1,
+	"Gather":            1,
+	"Scatter":           1,
+}
+
+// mpiAlias returns the local name the file imports internal/mpi under, or ""
+// if the file does not import it.
+func mpiAlias(f *ast.File) string {
+	for _, imp := range f.Imports {
+		if imp.Path == nil {
+			continue
+		}
+		path := imp.Path.Value // quoted
+		if path != `"`+mpiImportPath+`"` {
+			continue
+		}
+		if imp.Name != nil {
+			return imp.Name.Name
+		}
+		return "mpi"
+	}
+	return ""
+}
+
+// callTarget reduces a call expression to the function name it invokes,
+// stripping generic instantiation (mpi.Bcast[int](…) parses as an IndexExpr
+// around the selector). It reports the bare name and whether the call is
+// package-qualified with qual (e.g. "mpi").
+func callTarget(call *ast.CallExpr) (qual, name string) {
+	fun := call.Fun
+	for {
+		switch fn := fun.(type) {
+		case *ast.IndexExpr:
+			fun = fn.X
+			continue
+		case *ast.IndexListExpr:
+			fun = fn.X
+			continue
+		case *ast.ParenExpr:
+			fun = fn.X
+			continue
+		case *ast.SelectorExpr:
+			if id, ok := fn.X.(*ast.Ident); ok {
+				return id.Name, fn.Sel.Name
+			}
+			return "", fn.Sel.Name
+		case *ast.Ident:
+			return "", fn.Name
+		default:
+			return "", ""
+		}
+	}
+}
+
+// collectiveName classifies a call expression within a file: it returns the
+// collective's name ("Bcast", "Barrier", …) or "" when the call is not a
+// recognized collective. alias is the file's mpi import name ("" when the
+// file does not import mpi); inMPI marks files of package mpi itself, where
+// collectives are called unqualified.
+func collectiveName(call *ast.CallExpr, alias string, inMPI bool) string {
+	qual, name := callTarget(call)
+	switch {
+	case qual != "" && qual == alias && collectiveFuncs[name]:
+		return name
+	case qual == "" && inMPI && collectiveFuncs[name]:
+		return name
+	case qual != "" && collectiveMethods[name] && qual != alias:
+		// Method call like c.Barrier() or mr.Aggregate(…). Requiring a bare
+		// identifier receiver (qual) keeps this from matching arbitrary
+		// chained expressions.
+		return name
+	}
+	return ""
+}
+
+// isRankExpr reports whether expr mentions the caller's rank: a call to a
+// method named Rank, a selector of a field named rank, or one of the
+// identifiers in rankVars.
+func isRankExpr(expr ast.Expr, rankVars map[string]bool) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			if _, name := callTarget(x); name == "Rank" {
+				found = true
+				return false
+			}
+		case *ast.SelectorExpr:
+			if x.Sel.Name == "rank" {
+				found = true
+				return false
+			}
+		case *ast.Ident:
+			if rankVars[x.Name] {
+				found = true
+				return false
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// rankVarsOf scans a function for identifiers bound from a Rank() call
+// (e.g. `rank := c.Rank()` or `size, rank := c.Size(), c.Rank()`).
+func rankVarsOf(fn *ast.FuncDecl) map[string]bool {
+	vars := map[string]bool{}
+	ast.Inspect(fn, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			call, ok := rhs.(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			if _, name := callTarget(call); name != "Rank" {
+				continue
+			}
+			if id, ok := as.Lhs[i].(*ast.Ident); ok && id.Name != "_" {
+				vars[id.Name] = true
+			}
+		}
+		return true
+	})
+	return vars
+}

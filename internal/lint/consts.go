@@ -1,0 +1,191 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strconv"
+)
+
+// constEnv carries the integer constants visible to an expression: the
+// package-level table plus, inside a const block, the current iota.
+type constEnv struct {
+	consts  map[string]int64
+	iota    int64
+	hasIota bool
+}
+
+// evalConst evaluates the subset of constant integer expressions the tag and
+// root analyzers care about: integer literals, identifiers bound in env,
+// iota, unary +/-/^, parentheses, and the usual binary arithmetic. It
+// reports ok=false for anything outside that subset (calls, floats, shadowed
+// names, …), in which case callers must treat the value as unknown.
+func evalConst(expr ast.Expr, env constEnv) (int64, bool) {
+	switch e := expr.(type) {
+	case *ast.BasicLit:
+		if e.Kind != token.INT {
+			return 0, false
+		}
+		v, err := strconv.ParseInt(e.Value, 0, 64)
+		if err != nil {
+			return 0, false
+		}
+		return v, true
+	case *ast.Ident:
+		if e.Name == "iota" {
+			if !env.hasIota {
+				return 0, false
+			}
+			return env.iota, true
+		}
+		v, ok := env.consts[e.Name]
+		return v, ok
+	case *ast.ParenExpr:
+		return evalConst(e.X, env)
+	case *ast.UnaryExpr:
+		v, ok := evalConst(e.X, env)
+		if !ok {
+			return 0, false
+		}
+		switch e.Op {
+		case token.SUB:
+			return -v, true
+		case token.ADD:
+			return v, true
+		case token.XOR:
+			return ^v, true
+		}
+		return 0, false
+	case *ast.BinaryExpr:
+		a, ok := evalConst(e.X, env)
+		if !ok {
+			return 0, false
+		}
+		b, ok := evalConst(e.Y, env)
+		if !ok {
+			return 0, false
+		}
+		switch e.Op {
+		case token.ADD:
+			return a + b, true
+		case token.SUB:
+			return a - b, true
+		case token.MUL:
+			return a * b, true
+		case token.QUO:
+			if b == 0 {
+				return 0, false
+			}
+			return a / b, true
+		case token.REM:
+			if b == 0 {
+				return 0, false
+			}
+			return a % b, true
+		case token.SHL:
+			if b < 0 || b > 63 {
+				return 0, false
+			}
+			return a << uint(b), true
+		case token.SHR:
+			if b < 0 || b > 63 {
+				return 0, false
+			}
+			return a >> uint(b), true
+		case token.AND:
+			return a & b, true
+		case token.OR:
+			return a | b, true
+		case token.XOR:
+			return a ^ b, true
+		}
+	}
+	return 0, false
+}
+
+// packageConsts builds the package-level integer constant table, evaluating
+// const blocks in declaration order so iota sequences (like the reserved tag
+// blocks in mpi and mrmpi) resolve to concrete values.
+func packageConsts(files []*ast.File) map[string]int64 {
+	consts := map[string]int64{}
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.CONST {
+				continue
+			}
+			// Within one const block, a spec without values repeats the last
+			// expression list with the next iota.
+			var carried []ast.Expr
+			for i, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				exprs := vs.Values
+				if len(exprs) == 0 {
+					exprs = carried
+				} else {
+					carried = exprs
+				}
+				env := constEnv{consts: consts, iota: int64(i), hasIota: true}
+				for j, name := range vs.Names {
+					if name.Name == "_" || j >= len(exprs) {
+						continue
+					}
+					if v, ok := evalConst(exprs[j], env); ok {
+						consts[name.Name] = v
+					}
+				}
+			}
+		}
+	}
+	return consts
+}
+
+// localConsts extends the package constant table with function-local const
+// declarations, returning a merged copy.
+func localConsts(fn *ast.FuncDecl, pkgConsts map[string]int64) map[string]int64 {
+	merged := pkgConsts
+	copied := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		ds, ok := n.(*ast.DeclStmt)
+		if !ok {
+			return true
+		}
+		gd, ok := ds.Decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.CONST {
+			return true
+		}
+		if !copied {
+			merged = make(map[string]int64, len(pkgConsts)+4)
+			for k, v := range pkgConsts {
+				merged[k] = v
+			}
+			copied = true
+		}
+		var carried []ast.Expr
+		for i, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			exprs := vs.Values
+			if len(exprs) == 0 {
+				exprs = carried
+			} else {
+				carried = exprs
+			}
+			env := constEnv{consts: merged, iota: int64(i), hasIota: true}
+			for j, name := range vs.Names {
+				if name.Name == "_" || j >= len(exprs) {
+					continue
+				}
+				if v, ok := evalConst(exprs[j], env); ok {
+					merged[name.Name] = v
+				}
+			}
+		}
+		return true
+	})
+	return merged
+}

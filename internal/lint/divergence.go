@@ -1,0 +1,186 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// checkDivergence flags collective calls that appear on one arm of a
+// rank-dependent branch without a matching call on every other arm. SPMD
+// discipline requires all ranks to execute the same collective sequence; a
+// collective reachable only when Rank() == k deadlocks the other ranks (or,
+// worse, pairs their next collective with the wrong traffic).
+//
+// A branch is rank-dependent when its condition mentions Rank(), a .rank
+// field, or a local bound from Rank(). If/else-if chains and switches over
+// rank are treated as one multi-arm branch; a chain with no final else has
+// an implicit empty arm, so any collective inside it is divergent.
+func checkDivergence(pkg *Package) []Finding {
+	var out []Finding
+	inMPI := pkg.Name == "mpi"
+	for _, f := range pkg.Files {
+		alias := mpiAlias(f)
+		if alias == "" && !inMPI {
+			// Methods like Barrier/Aggregate can still appear via mrmpi et
+			// al. even without a direct mpi import.
+			alias = "mpi"
+		}
+		for _, d := range f.Decls {
+			fn, ok := d.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			rankVars := rankVarsOf(fn)
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				switch stmt := n.(type) {
+				case *ast.IfStmt:
+					// Only handle the head of a chain; else-if links are
+					// visited through collectArms.
+					if isElseIf(fn.Body, stmt) {
+						return true
+					}
+					if !ifChainOnRank(stmt, rankVars) {
+						return true
+					}
+					arms := collectArms(stmt)
+					out = append(out, divergentCalls(pkg, arms, alias, inMPI)...)
+				case *ast.SwitchStmt:
+					if !switchOnRank(stmt, rankVars) {
+						return true
+					}
+					var arms []ast.Node
+					hasDefault := false
+					for _, c := range stmt.Body.List {
+						cc := c.(*ast.CaseClause)
+						if cc.List == nil {
+							hasDefault = true
+						}
+						arms = append(arms, &ast.BlockStmt{List: cc.Body})
+					}
+					if !hasDefault {
+						arms = append(arms, nil) // implicit empty arm
+					}
+					out = append(out, divergentCalls(pkg, arms, alias, inMPI)...)
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// ifChainOnRank reports whether any condition along an if/else-if chain is
+// rank-dependent.
+func ifChainOnRank(s *ast.IfStmt, rankVars map[string]bool) bool {
+	for s != nil {
+		if isRankExpr(s.Cond, rankVars) {
+			return true
+		}
+		next, ok := s.Else.(*ast.IfStmt)
+		if !ok {
+			return false
+		}
+		s = next
+	}
+	return false
+}
+
+// switchOnRank reports whether a switch dispatches on rank, either through
+// its tag or (for a tagless switch) through any case expression.
+func switchOnRank(s *ast.SwitchStmt, rankVars map[string]bool) bool {
+	if s.Tag != nil {
+		return isRankExpr(s.Tag, rankVars)
+	}
+	for _, c := range s.Body.List {
+		for _, e := range c.(*ast.CaseClause).List {
+			if isRankExpr(e, rankVars) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// collectArms flattens an if/else-if chain into its arms. A chain without a
+// final else contributes a nil arm: the fall-through path executes no
+// collectives.
+func collectArms(s *ast.IfStmt) []ast.Node {
+	var arms []ast.Node
+	for {
+		arms = append(arms, s.Body)
+		switch e := s.Else.(type) {
+		case *ast.IfStmt:
+			s = e
+		case *ast.BlockStmt:
+			return append(arms, e)
+		default:
+			return append(arms, nil)
+		}
+	}
+}
+
+// isElseIf reports whether target appears as the Else of another IfStmt
+// inside body, so chains are processed once from their head.
+func isElseIf(body *ast.BlockStmt, target *ast.IfStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if s, ok := n.(*ast.IfStmt); ok && s.Else == target {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// collectiveCall records one collective call site within an arm.
+type collectiveCall struct {
+	name string
+	pos  token.Pos
+}
+
+// divergentCalls compares the collective sets of the arms and reports every
+// call whose collective is missing from at least one other arm.
+func divergentCalls(pkg *Package, arms []ast.Node, alias string, inMPI bool) []Finding {
+	calls := make([][]collectiveCall, len(arms))
+	sets := make([]map[string]bool, len(arms))
+	for i, arm := range arms {
+		sets[i] = map[string]bool{}
+		if arm == nil {
+			continue
+		}
+		ast.Inspect(arm, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if name := collectiveName(call, alias, inMPI); name != "" {
+				calls[i] = append(calls[i], collectiveCall{name: name, pos: call.Pos()})
+				sets[i][name] = true
+			}
+			return true
+		})
+	}
+	var out []Finding
+	for i, armCalls := range calls {
+		reported := map[string]bool{}
+		for _, c := range armCalls {
+			if reported[c.name] {
+				continue
+			}
+			for j := range arms {
+				if j == i || sets[j][c.name] {
+					continue
+				}
+				reported[c.name] = true
+				out = append(out, Finding{
+					Pos:      pkg.Fset.Position(c.pos),
+					Analyzer: "divergence",
+					Message: "collective " + c.name + " inside a rank-dependent branch has no matching " +
+						c.name + " on every other arm; all ranks must execute the same collective sequence",
+				})
+				break
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,180 @@
+// Package lint implements mpilint, a domain-specific static-analysis suite
+// for this repository's in-process MPI layer (internal/mpi) and the
+// MapReduce-MPI port built on it (internal/mrmpi).
+//
+// The analyzers enforce SPMD discipline — invariants that generic `go vet`
+// cannot see and that `-race` only catches when a schedule happens to expose
+// them:
+//
+//   - divergence: a collective call appearing on one arm of a
+//     rank-dependent branch without a matching call on every other arm.
+//     Every rank must execute the same collective sequence; a divergent
+//     branch is a deadlock (or a silent data mix-up) waiting for the right
+//     input.
+//   - aliasedbcast: writing through a reference value (slice, map, pointer)
+//     received from the generic Bcast/Allgather, which share memory between
+//     ranks. Receivers must copy before mutating (or use a copying variant
+//     such as BcastFloat64s).
+//   - tags: negative user tags (reserved for internal collective traffic)
+//     and Send tags with no syntactically reachable matching Recv.
+//   - root: collective root arguments that are non-constant and never
+//     validated against Size(), or constant and negative.
+//
+// Everything is built from the standard library only (go/ast, go/parser,
+// go/token) and works purely syntactically, so it runs on any subset of the
+// tree without type-checking the full import graph. The price is
+// approximation: the analyzers are tuned to have no false positives on this
+// repository and to catch the misuse classes above in their common
+// syntactic forms, not to be sound or complete program analyses.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Finding is one diagnostic produced by an analyzer.
+type Finding struct {
+	// Pos locates the offending syntax.
+	Pos token.Position
+	// Analyzer names the check that fired (e.g. "divergence").
+	Analyzer string
+	// Message is the human-readable diagnostic.
+	Message string
+}
+
+// String formats a finding as file:line:col: [analyzer] message, the format
+// cmd/mpilint prints and CI greps.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
+}
+
+// Package is one parsed package: the unit every analyzer runs over.
+type Package struct {
+	// Name is the package name from the package clauses.
+	Name string
+	// Fset resolves token positions for all Files.
+	Fset *token.FileSet
+	// Files are the parsed source files.
+	Files []*ast.File
+	// Consts maps package-level integer constant names to their values, for
+	// the subset of constant expressions evalConst understands (enough for
+	// tag blocks built with iota).
+	Consts map[string]int64
+	// ignores maps filename -> lines suppressed by a "mpilint:ignore"
+	// comment (the comment's own line and the line below it).
+	ignores map[string]map[int]bool
+}
+
+// buildIgnores records the lines covered by mpilint:ignore comments, so a
+// deliberate misuse (e.g. a test provoking the runtime's negative-tag panic)
+// can be annotated instead of fixed.
+func (pkg *Package) buildIgnores() {
+	pkg.ignores = map[string]map[int]bool{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.Contains(c.Text, "mpilint:ignore") {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				lines := pkg.ignores[pos.Filename]
+				if lines == nil {
+					lines = map[int]bool{}
+					pkg.ignores[pos.Filename] = lines
+				}
+				lines[pos.Line] = true
+				lines[pos.Line+1] = true
+			}
+		}
+	}
+}
+
+// suppressed filters out findings on lines covered by mpilint:ignore.
+func (pkg *Package) suppressed(fs []Finding) []Finding {
+	if len(pkg.ignores) == 0 {
+		return fs
+	}
+	out := fs[:0]
+	for _, f := range fs {
+		if pkg.ignores[f.Pos.Filename][f.Pos.Line] {
+			continue
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+// An Analyzer inspects one package and reports findings.
+type Analyzer struct {
+	// Name tags findings and selects analyzers on the command line.
+	Name string
+	// Doc is a one-line description.
+	Doc string
+	// Run produces the findings for one package.
+	Run func(pkg *Package) []Finding
+}
+
+// Analyzers is the full suite in reporting order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		{Name: "divergence", Doc: "collective calls that differ between rank-dependent branches", Run: checkDivergence},
+		{Name: "aliasedbcast", Doc: "writes through reference values shared by Bcast/Allgather", Run: checkAliasedBcast},
+		{Name: "tags", Doc: "negative user tags and Send tags with no matching Recv", Run: checkTags},
+		{Name: "root", Doc: "collective root arguments that are unvalidated or out of range", Run: checkRoot},
+	}
+}
+
+// Check runs every analyzer over pkg and returns the findings sorted by
+// position, with mpilint:ignore suppressions applied.
+func Check(pkg *Package) []Finding {
+	return CheckWith(pkg, Analyzers())
+}
+
+// CheckWith runs a chosen subset of analyzers over pkg.
+func CheckWith(pkg *Package, analyzers []*Analyzer) []Finding {
+	if pkg.ignores == nil {
+		pkg.buildIgnores()
+	}
+	var out []Finding
+	for _, a := range analyzers {
+		out = append(out, pkg.suppressed(a.Run(pkg))...)
+	}
+	Sort(out)
+	return out
+}
+
+// Sort orders findings by file, line, and column for stable reporting.
+func Sort(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i].Pos, fs[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+}
+
+// position resolves a node's position against the package file set.
+func (pkg *Package) position(n ast.Node) token.Position {
+	return pkg.Fset.Position(n.Pos())
+}
+
+// funcDecls yields every function declaration with a body in the package.
+func (pkg *Package) funcDecls() []*ast.FuncDecl {
+	var out []*ast.FuncDecl
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				out = append(out, fd)
+			}
+		}
+	}
+	return out
+}

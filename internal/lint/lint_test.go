@@ -1,0 +1,531 @@
+package lint
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// parseFixture builds a Package from in-memory source, the golden-test
+// harness for every analyzer. Each src is one file; the mpi import path is
+// the real one so alias resolution runs exactly as it does on the repo.
+func parseFixture(t *testing.T, srcs ...string) *Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	pkg := &Package{Fset: fset}
+	for i, src := range srcs {
+		f, err := parser.ParseFile(fset, fmt.Sprintf("fixture%d.go", i), src, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parse fixture: %v", err)
+		}
+		if pkg.Name == "" {
+			pkg.Name = f.Name.Name
+		}
+		pkg.Files = append(pkg.Files, f)
+	}
+	pkg.Consts = packageConsts(pkg.Files)
+	return pkg
+}
+
+// checkFixture runs one analyzer over a single-file fixture and compares
+// the findings against `// want <analyzer>` markers on the offending lines
+// (one marker word per expected finding on that line).
+func checkFixture(t *testing.T, analyzer, src string) {
+	t.Helper()
+	pkg := parseFixture(t, src)
+	var selected []*Analyzer
+	for _, a := range Analyzers() {
+		if a.Name == analyzer {
+			selected = append(selected, a)
+		}
+	}
+	if len(selected) == 0 {
+		t.Fatalf("no analyzer named %q", analyzer)
+	}
+	var got []string
+	for _, f := range CheckWith(pkg, selected) {
+		got = append(got, fmt.Sprintf("%d:%s", f.Pos.Line, f.Analyzer))
+	}
+	var want []string
+	for i, line := range strings.Split(src, "\n") {
+		idx := strings.Index(line, "// want ")
+		if idx < 0 {
+			continue
+		}
+		for _, name := range strings.Fields(line[idx+len("// want "):]) {
+			if name == analyzer {
+				want = append(want, fmt.Sprintf("%d:%s", i+1, name))
+			}
+		}
+	}
+	if strings.Join(got, " ") != strings.Join(want, " ") {
+		t.Errorf("findings = %v, want %v\nfixture:\n%s", got, want, src)
+	}
+}
+
+const header = `package fix
+
+import "repro/internal/mpi"
+`
+
+func TestDivergence(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{
+			name: "collective only on master arm",
+			src: header + `
+func f(c *mpi.Comm) {
+	if c.Rank() == 0 {
+		mpi.Bcast(c, 0, 1) // want divergence
+	}
+}`,
+		},
+		{
+			name: "matching collectives on both arms are fine",
+			src: header + `
+func f(c *mpi.Comm) {
+	if c.Rank() == 0 {
+		mpi.Bcast(c, 0, 1)
+	} else {
+		mpi.Bcast(c, 0, 0)
+	}
+}`,
+		},
+		{
+			name: "collective outside the branch is fine",
+			src: header + `
+func f(c *mpi.Comm) {
+	if c.Rank() == 0 {
+		println("master")
+	}
+	c.Barrier()
+}`,
+		},
+		{
+			name: "rank held in a variable",
+			src: header + `
+func f(c *mpi.Comm) {
+	rank := c.Rank()
+	if rank != 0 {
+		c.Barrier() // want divergence
+	}
+}`,
+		},
+		{
+			name: "else-if chain missing a collective on one arm",
+			src: header + `
+func f(c *mpi.Comm) {
+	if c.Rank() == 0 {
+		mpi.Gather(c, 0, 1)
+		c.Barrier() // want divergence
+	} else if c.Rank() == 1 {
+		mpi.Gather(c, 0, 2)
+	} else {
+		mpi.Gather(c, 0, 3)
+		c.Barrier() // want divergence
+	}
+}`,
+		},
+		{
+			name: "switch on rank with implicit empty arm",
+			src: header + `
+func f(c *mpi.Comm) {
+	switch c.Rank() {
+	case 0:
+		c.Barrier() // want divergence
+	}
+}`,
+		},
+		{
+			name: "switch on rank with matching arms",
+			src: header + `
+func f(c *mpi.Comm) {
+	switch c.Rank() {
+	case 0:
+		c.Barrier()
+	default:
+		c.Barrier()
+	}
+}`,
+		},
+		{
+			name: "p2p inside rank branch is fine",
+			src: header + `
+func f(c *mpi.Comm) {
+	if c.Rank() == 0 {
+		c.Send(1, 3, "x")
+	} else {
+		c.Recv(0, 3)
+	}
+}`,
+		},
+		{
+			name: "non-rank branch is fine",
+			src: header + `
+func f(c *mpi.Comm, verbose bool) {
+	if verbose {
+		c.Barrier()
+	}
+}`,
+		},
+		{
+			name: "mrmpi phase method on a rank-dependent arm",
+			src: header + `
+func f(c *mpi.Comm, m interface{ Collate(x any) error }) {
+	if c.Rank() == 0 {
+		m.Collate(nil) // want divergence
+	}
+}`,
+		},
+		{
+			name: "plain parameter named rank is not rank-dependent",
+			src: header + `
+func f(c *mpi.Comm, rung int) {
+	if rung == 0 {
+		c.Barrier()
+	}
+}`,
+		},
+		{
+			name: "ignore directive suppresses",
+			src: header + `
+func f(c *mpi.Comm) {
+	if c.Rank() == 0 {
+		c.Barrier() // mpilint:ignore — deliberate
+	}
+}`,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) { checkFixture(t, "divergence", tc.src) })
+	}
+}
+
+func TestAliasedBcast(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{
+			name: "element write into Bcast result",
+			src: header + `
+func f(c *mpi.Comm, w []float64) {
+	v := mpi.Bcast(c, 0, w)
+	v[0] = 1 // want aliasedbcast
+}`,
+		},
+		{
+			name: "copy into Bcast result",
+			src: header + `
+func f(c *mpi.Comm, w []float64) {
+	v := mpi.Bcast(c, 0, w)
+	copy(v, w) // want aliasedbcast
+}`,
+		},
+		{
+			name: "append to Bcast result",
+			src: header + `
+func f(c *mpi.Comm, w []float64) {
+	v := mpi.Bcast(c, 0, w)
+	v = append(v, 1) // want aliasedbcast
+}`,
+		},
+		{
+			name: "field write through Bcast pointer",
+			src: header + `
+type cfg struct{ n int }
+
+func f(c *mpi.Comm, p *cfg) {
+	q := mpi.Bcast(c, 0, p)
+	q.n = 2 // want aliasedbcast
+}`,
+		},
+		{
+			name: "map write through Bcast result",
+			src: header + `
+func f(c *mpi.Comm, m map[string]int) {
+	shared := mpi.Bcast(c, 0, m)
+	shared["k"] = 1 // want aliasedbcast
+}`,
+		},
+		{
+			name: "Allgather result written",
+			src: header + `
+func f(c *mpi.Comm) {
+	all := mpi.Allgather(c, 1)
+	all[0] = 9 // want aliasedbcast
+}`,
+		},
+		{
+			name: "read-only use is fine",
+			src: header + `
+func f(c *mpi.Comm, w []float64) float64 {
+	v := mpi.Bcast(c, 0, w)
+	return v[0]
+}`,
+		},
+		{
+			name: "copying broadcast is fine",
+			src: header + `
+func f(c *mpi.Comm, w []float64) {
+	v := mpi.BcastFloat64s(c, 0, w)
+	v[0] = 1
+}`,
+		},
+		{
+			name: "explicit copy clears the taint",
+			src: header + `
+func f(c *mpi.Comm, w []float64) {
+	v := mpi.Bcast(c, 0, w)
+	v = append([]float64(nil), v...)
+	v[0] = 1
+}`,
+		},
+		{
+			name: "copy with tainted source is fine",
+			src: header + `
+func f(c *mpi.Comm, w []float64) {
+	v := mpi.Bcast(c, 0, w)
+	local := make([]float64, len(v))
+	copy(local, v)
+	local[0] = 1
+}`,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) { checkFixture(t, "aliasedbcast", tc.src) })
+	}
+}
+
+func TestTags(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{
+			name: "negative literal tags",
+			src: header + `
+func f(c *mpi.Comm) {
+	c.Send(1, -3, "x") // want tags
+	c.Recv(0, -3)      // want tags
+}`,
+		},
+		{
+			name: "negative tag through a const",
+			src: header + `
+const evil = -2 - 1
+
+func f(c *mpi.Comm) {
+	c.Send(1, evil, "x") // want tags
+}`,
+		},
+		{
+			name: "matched send and recv",
+			src: header + `
+const tagWork = 7
+
+func f(c *mpi.Comm) {
+	c.Send(1, tagWork, "x")
+	c.Recv(0, tagWork)
+}`,
+		},
+		{
+			name: "iota tag block matched across functions",
+			src: header + `
+const (
+	tagBase = 1 << 10
+
+	tagReady = tagBase + iota
+	tagAssign
+)
+
+func master(c *mpi.Comm) {
+	c.Recv(mpi.AnySource, tagReady)
+	c.Send(1, tagAssign, 5)
+}
+
+func worker(c *mpi.Comm) {
+	c.Send(0, tagReady, nil)
+	c.Recv(0, tagAssign)
+}`,
+		},
+		{
+			name: "send with no matching recv",
+			src: header + `
+func f(c *mpi.Comm) {
+	c.Send(1, 42, "x") // want tags
+	c.Recv(0, 41)
+}`,
+		},
+		{
+			name: "AnyTag recv matches everything",
+			src: header + `
+func f(c *mpi.Comm) {
+	c.Send(1, 42, "x")
+	c.Recv(0, mpi.AnyTag)
+}`,
+		},
+		{
+			name: "dynamic recv tag silences matching",
+			src: header + `
+func f(c *mpi.Comm, tag int) {
+	c.Send(1, 42, "x")
+	c.Recv(0, tag)
+}`,
+		},
+		{
+			name: "sendrecv negative send side",
+			src: header + `
+func f(c *mpi.Comm) {
+	c.Sendrecv(1, -5, "x", 0, 3) // want tags
+	c.Send(1, 3, "y")
+}`,
+		},
+		{
+			name: "probe counts as a receive",
+			src: header + `
+func f(c *mpi.Comm) {
+	c.Send(1, 9, "x")
+	c.Probe(0, 9)
+}`,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) { checkFixture(t, "tags", tc.src) })
+	}
+}
+
+func TestRoot(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{
+			name: "constant root is fine",
+			src: header + `
+func f(c *mpi.Comm) {
+	mpi.Bcast(c, 0, 1)
+}`,
+		},
+		{
+			name: "negative constant root",
+			src: header + `
+func f(c *mpi.Comm) {
+	mpi.Bcast(c, -1, 1) // want root
+}`,
+		},
+		{
+			name: "unvalidated variable root",
+			src: header + `
+func f(c *mpi.Comm, root int) {
+	mpi.Bcast(c, root, 1) // want root
+}`,
+		},
+		{
+			name: "root compared against Size",
+			src: header + `
+import "fmt"
+
+func f(c *mpi.Comm, root int) error {
+	if root < 0 || root >= c.Size() {
+		return fmt.Errorf("bad root")
+	}
+	mpi.Bcast(c, root, 1)
+	return nil
+}`,
+		},
+		{
+			name: "root derived by modulo of Size",
+			src: header + `
+func f(c *mpi.Comm, epoch int) {
+	root := epoch % c.Size()
+	mpi.Bcast(c, root, 1)
+}`,
+		},
+		{
+			name: "inline modulo root",
+			src: header + `
+func f(c *mpi.Comm, epoch int) {
+	mpi.Bcast(c, epoch%c.Size(), 1)
+}`,
+		},
+		{
+			name: "rooted reduce variants",
+			src: header + `
+func f(c *mpi.Comm, root int, v []float64) {
+	mpi.ReduceSumFloat64s(c, root, v) // want root
+	mpi.Scatter(c, root, []int{1})    // want root
+}`,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) { checkFixture(t, "root", tc.src) })
+	}
+}
+
+// TestRepoLintsClean is the acceptance gate: the full analyzer suite over
+// the repository's own source (the same pass `make lint` runs, plus test
+// files) must report nothing.
+func TestRepoLintsClean(t *testing.T) {
+	dirs, err := ExpandPatterns([]string{"../...", "../../cmd/...", "../../examples/..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	for _, dir := range dirs {
+		pkgs, err := LoadDir(fset, dir, LoadOptions{Tests: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, pkg := range pkgs {
+			for _, f := range Check(pkg) {
+				t.Errorf("unexpected finding: %s", f)
+			}
+		}
+	}
+}
+
+func TestExpandPatterns(t *testing.T) {
+	dirs, err := ExpandPatterns([]string{"."})
+	if err != nil || len(dirs) != 1 {
+		t.Fatalf("ExpandPatterns(.) = %v, %v", dirs, err)
+	}
+	rec, err := ExpandPatterns([]string{"../..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec) < 2 {
+		t.Errorf("recursive walk found %d dirs, want several: %v", len(rec), rec)
+	}
+}
+
+func TestConstEval(t *testing.T) {
+	src := `package fix
+
+const (
+	base = 1 << 20
+
+	a = base + iota
+	b
+	c
+)
+
+const neg = -2 - 1
+`
+	pkg := parseFixture(t, src)
+	for name, want := range map[string]int64{
+		"base": 1 << 20,
+		"a":    1<<20 + 1,
+		"b":    1<<20 + 2,
+		"c":    1<<20 + 3,
+		"neg":  -3,
+	} {
+		if got, ok := pkg.Consts[name]; !ok || got != want {
+			t.Errorf("const %s = %d (ok=%v), want %d", name, got, ok, want)
+		}
+	}
+}

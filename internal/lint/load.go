@@ -1,0 +1,124 @@
+package lint
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// LoadOptions configures directory loading.
+type LoadOptions struct {
+	// Tests includes _test.go files in the analysis.
+	Tests bool
+}
+
+// LoadDir parses every buildable Go file in one directory (non-recursive)
+// into Packages, grouped by package name so a directory holding a package
+// and its external test package yields two entries. Build tags in files are
+// ignored: a file gated on a tag (e.g. mpidebug) is still analyzed, which is
+// what a lint pass wants.
+func LoadDir(fset *token.FileSet, dir string, opts LoadOptions) ([]*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	byName := map[string]*Package{}
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		if !opts.Tests && strings.HasSuffix(e.Name(), "_test.go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("parse %s: %w", path, err)
+		}
+		name := f.Name.Name
+		pkg := byName[name]
+		if pkg == nil {
+			pkg = &Package{Name: name, Fset: fset}
+			byName[name] = pkg
+			names = append(names, name)
+		}
+		pkg.Files = append(pkg.Files, f)
+	}
+	sort.Strings(names)
+	out := make([]*Package, 0, len(byName))
+	for _, name := range names {
+		pkg := byName[name]
+		pkg.Consts = packageConsts(pkg.Files)
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// ExpandPatterns resolves command-line package patterns to directories. A
+// pattern ending in "/..." walks the tree below it; anything else names a
+// single directory. Hidden directories, testdata, vendor, and bin are
+// skipped during walks, matching the go tool's matching rules closely enough
+// for this repository.
+func ExpandPatterns(patterns []string) ([]string, error) {
+	seen := map[string]bool{}
+	var dirs []string
+	add := func(dir string) {
+		dir = filepath.Clean(dir)
+		if !seen[dir] {
+			seen[dir] = true
+			dirs = append(dirs, dir)
+		}
+	}
+	for _, pat := range patterns {
+		root, recursive := strings.CutSuffix(pat, "/...")
+		if pat == "..." {
+			root, recursive = ".", true
+		}
+		if root == "" {
+			root = "."
+		}
+		if !recursive {
+			add(root)
+			continue
+		}
+		err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			base := filepath.Base(path)
+			if path != root && (strings.HasPrefix(base, ".") || strings.HasPrefix(base, "_") ||
+				base == "testdata" || base == "vendor" || base == "bin") {
+				return filepath.SkipDir
+			}
+			if hasGoFiles(path) {
+				add(path)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return dirs, nil
+}
+
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,157 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// checkRoot inspects the root argument of rooted collectives (Bcast, Reduce,
+// Gather, Scatter, …). Two classes of finding:
+//
+//   - a constant root that is negative (always panics at runtime, so it is
+//     certainly a bug worth reporting before any rank runs);
+//   - a non-constant root expression that is never validated against
+//     Size() anywhere in the enclosing function. An out-of-range root
+//     panics on every rank that checks it and — worse, when only some ranks
+//     compute the same wrong value — desynchronizes the collective
+//     sequence. Validation is recognized syntactically: a comparison of the
+//     same expression against Size()/a size variable, or deriving the root
+//     with a modulo whose divisor mentions Size().
+func checkRoot(pkg *Package) []Finding {
+	var out []Finding
+	inMPI := pkg.Name == "mpi"
+	for _, f := range pkg.Files {
+		alias := mpiAlias(f)
+		if alias == "" && !inMPI {
+			continue
+		}
+		for _, d := range f.Decls {
+			fn, ok := d.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			env := constEnv{consts: localConsts(fn, pkg.Consts)}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				qual, name := callTarget(call)
+				argIdx, rooted := rootedFuncs[name]
+				if !rooted {
+					return true
+				}
+				if !(qual != "" && qual == alias) && !(qual == "" && inMPI) {
+					return true
+				}
+				if len(call.Args) <= argIdx {
+					return true
+				}
+				root := call.Args[argIdx]
+				if v, ok := evalConst(root, env); ok {
+					if v < 0 {
+						out = append(out, Finding{
+							Pos:      pkg.position(root),
+							Analyzer: "root",
+							Message:  fmt.Sprintf("%s root %d is negative; roots must be in [0, Size())", name, v),
+						})
+					}
+					// A constant >= 0 can still exceed Size() at runtime,
+					// but world size is a runtime quantity; checkRoot stays
+					// silent rather than guessing.
+					return true
+				}
+				if !rootValidated(fn, root) {
+					out = append(out, Finding{
+						Pos:      pkg.position(root),
+						Analyzer: "root",
+						Message: fmt.Sprintf("%s root %q is not constant and is never validated against Size(); an out-of-range root panics mid-collective",
+							name, types.ExprString(root)),
+					})
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// rootValidated reports whether fn contains syntax that bounds root: a
+// comparison of the same expression against something mentioning
+// Size()/size, or a modulo derivation ("x % c.Size()") producing it.
+func rootValidated(fn *ast.FuncDecl, root ast.Expr) bool {
+	rootStr := types.ExprString(root)
+	// A root derived inline via modulo over the world size is in range by
+	// construction.
+	if modBySize(root) {
+		return true
+	}
+	validated := false
+	ast.Inspect(fn, func(n ast.Node) bool {
+		if validated {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			// mpi's own validation helper: c.checkRoot(root).
+			if _, name := callTarget(x); name == "checkRoot" {
+				for _, arg := range x.Args {
+					if types.ExprString(arg) == rootStr {
+						validated = true
+					}
+				}
+			}
+		case *ast.BinaryExpr:
+			switch x.Op {
+			case token.EQL, token.NEQ, token.LSS, token.GTR, token.LEQ, token.GEQ:
+				xs, ys := types.ExprString(x.X), types.ExprString(x.Y)
+				if (xs == rootStr && mentionsSize(ys)) || (ys == rootStr && mentionsSize(xs)) {
+					validated = true
+				}
+			}
+		case *ast.AssignStmt:
+			// root ← expr % size-ish, in any assignment to the root
+			// expression.
+			for i, lhs := range x.Lhs {
+				if types.ExprString(lhs) != rootStr || i >= len(x.Rhs) {
+					continue
+				}
+				if modBySize(x.Rhs[i]) {
+					validated = true
+				}
+			}
+		}
+		return !validated
+	})
+	return validated
+}
+
+// modBySize reports whether expr is (or is parenthesized around) a modulo
+// whose divisor mentions Size().
+func modBySize(expr ast.Expr) bool {
+	switch e := expr.(type) {
+	case *ast.ParenExpr:
+		return modBySize(e.X)
+	case *ast.BinaryExpr:
+		return e.Op == token.REM && mentionsSize(types.ExprString(e.Y))
+	}
+	return false
+}
+
+// mentionsSize reports whether the printed expression references the world
+// size: a Size() call or an identifier conventionally named size/nprocs/
+// nranks.
+func mentionsSize(s string) bool {
+	if strings.Contains(s, "Size()") {
+		return true
+	}
+	for _, name := range []string{"size", "nprocs", "nranks", "Size"} {
+		if s == name {
+			return true
+		}
+	}
+	return false
+}

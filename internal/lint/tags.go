@@ -1,0 +1,148 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"strconv"
+)
+
+// checkTags enforces tag hygiene on the point-to-point layer:
+//
+//  1. A constant-evaluable tag passed to Send (or the send side of
+//     Sendrecv) must be non-negative: negative tags are reserved for
+//     internal collective traffic (tagBcast, tagReduce, …), and the runtime
+//     panics on them. Receive-side tags below AnyTag (-1) are equally
+//     reserved and flagged.
+//  2. Every constant Send tag should have a syntactically reachable
+//     matching Recv: a Recv (or Probe/Sendrecv receive side) somewhere in
+//     the same package with the same constant tag. A send with no possible
+//     receiver is a message that sits in a mailbox forever — mpidebug
+//     builds report it at world exit; this check catches it before running.
+//
+// The matching check is package-scoped and conservative: a package with any
+// AnyTag or non-constant receive tag is treated as able to receive
+// everything, and cross-package protocols are out of scope.
+func checkTags(pkg *Package) []Finding {
+	var out []Finding
+
+	type sendSite struct {
+		tag int64
+		pos ast.Node
+	}
+	var sends []sendSite
+	recvTags := map[int64]bool{}
+	dynamicRecv := false
+
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			fn, ok := d.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			env := constEnv{consts: localConsts(fn, pkg.Consts)}
+
+			sendTag := func(tagExpr ast.Expr, role string) {
+				v, ok := evalConst(tagExpr, env)
+				if !ok {
+					return // dynamic send tag: nothing provable
+				}
+				if v < 0 {
+					out = append(out, Finding{
+						Pos:      pkg.position(tagExpr),
+						Analyzer: "tags",
+						Message: fmt.Sprintf("%s uses negative tag %d; negative tags are reserved for internal collective traffic — use a tag >= 0",
+							role, v),
+					})
+					return
+				}
+				sends = append(sends, sendSite{tag: v, pos: tagExpr})
+			}
+			recvTag := func(tagExpr ast.Expr, role string) {
+				if isAnyTag(tagExpr) {
+					dynamicRecv = true
+					return
+				}
+				v, ok := evalConst(tagExpr, env)
+				if !ok {
+					dynamicRecv = true
+					return
+				}
+				switch {
+				case v == -1: // AnyTag by value
+					dynamicRecv = true
+				case v < 0:
+					out = append(out, Finding{
+						Pos:      pkg.position(tagExpr),
+						Analyzer: "tags",
+						Message: fmt.Sprintf("%s uses reserved tag %d; tags below AnyTag (-1) belong to internal collective traffic",
+							role, v),
+					})
+				default:
+					recvTags[v] = true
+				}
+			}
+
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				qual, name := callTarget(call)
+				if qual == "" {
+					// Plain (unqualified) calls are out of scope; package
+					// mpi's own lowercase send/recv use internal tags by
+					// design and spell them differently anyway.
+					return true
+				}
+				switch name {
+				case "Send":
+					if len(call.Args) == 3 {
+						sendTag(call.Args[1], "Send")
+					}
+				case "Recv":
+					if len(call.Args) == 2 {
+						recvTag(call.Args[1], "Recv")
+					}
+				case "Probe":
+					if len(call.Args) == 2 {
+						recvTag(call.Args[1], "Probe")
+					}
+				case "Sendrecv":
+					if len(call.Args) == 5 {
+						sendTag(call.Args[1], "Sendrecv (send side)")
+						recvTag(call.Args[4], "Sendrecv (receive side)")
+					}
+				}
+				return true
+			})
+		}
+	}
+
+	if !dynamicRecv {
+		for _, s := range sends {
+			if !recvTags[s.tag] {
+				out = append(out, Finding{
+					Pos:      pkg.position(s.pos),
+					Analyzer: "tags",
+					Message: "Send with tag " + strconv.FormatInt(s.tag, 10) +
+						" has no matching Recv in this package; the message can never be received",
+				})
+			}
+		}
+	}
+	return out
+}
+
+// isAnyTag reports whether expr is syntactically the AnyTag constant
+// (mpi.AnyTag or a local alias named AnyTag).
+func isAnyTag(expr ast.Expr) bool {
+	switch e := expr.(type) {
+	case *ast.Ident:
+		return e.Name == "AnyTag"
+	case *ast.SelectorExpr:
+		return e.Sel.Name == "AnyTag"
+	case *ast.ParenExpr:
+		return isAnyTag(e.X)
+	}
+	return false
+}

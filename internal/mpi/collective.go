@@ -17,6 +17,7 @@ const (
 
 // Barrier blocks until every rank in the world has entered it.
 func (c *Comm) Barrier() {
+	c.debugCollective("Barrier")
 	c.world.barrier.wait(c.world.timeout)
 }
 
@@ -25,6 +26,7 @@ func (c *Comm) Barrier() {
 // after Bcast; receivers must treat them as read-only or copy. Use
 // BcastFloat64s for a copying broadcast of numeric buffers.
 func Bcast[T any](c *Comm, root int, v T) T {
+	c.debugCollective("Bcast")
 	c.checkRoot(root)
 	if c.rank == root {
 		for r := 0; r < c.Size(); r++ {
@@ -41,6 +43,7 @@ func Bcast[T any](c *Comm, root int, v T) T {
 // BcastFloat64s broadcasts a float64 buffer from root, giving each non-root
 // rank its own copy. Root's own slice is returned unchanged at root.
 func BcastFloat64s(c *Comm, root int, v []float64) []float64 {
+	c.debugCollective("BcastFloat64s")
 	c.checkRoot(root)
 	if c.rank == root {
 		for r := 0; r < c.Size(); r++ {
@@ -61,6 +64,7 @@ func BcastFloat64s(c *Comm, root int, v []float64) []float64 {
 // deterministic. Root receives (result, true); other ranks get (zero,
 // false).
 func Reduce[T any](c *Comm, root int, v T, combine func(a, b T) T) (T, bool) {
+	c.debugCollective("Reduce")
 	c.checkRoot(root)
 	if c.rank != root {
 		c.send(root, tagReduce, v)
@@ -96,6 +100,7 @@ func Allreduce[T any](c *Comm, v T, combine func(a, b T) T) T {
 // allocated slice; other ranks receive nil. This is the MPI_Reduce(…,
 // MPI_SUM) call the paper's batch SOM uses to combine codebook updates.
 func ReduceSumFloat64s(c *Comm, root int, v []float64) []float64 {
+	c.debugCollective("ReduceSumFloat64s")
 	c.checkRoot(root)
 	if c.rank != root {
 		c.send(root, tagReduce, v)
@@ -129,6 +134,7 @@ func AllreduceSumFloat64s(c *Comm, v []float64) []float64 {
 
 // ReduceSumInt64 sums an int64 across ranks at root; other ranks get 0.
 func ReduceSumInt64(c *Comm, root int, v int64) int64 {
+	c.checkRoot(root)
 	res, ok := Reduce(c, root, v, func(a, b int64) int64 { return a + b })
 	if !ok {
 		return 0
@@ -154,6 +160,7 @@ func AllreduceMaxFloat64(c *Comm, v float64) float64 {
 // Gather collects one value from every rank at root, indexed by rank. Root
 // receives the full slice; other ranks receive nil.
 func Gather[T any](c *Comm, root int, v T) []T {
+	c.debugCollective("Gather")
 	c.checkRoot(root)
 	if c.rank != root {
 		c.send(root, tagGather, v)
@@ -180,6 +187,7 @@ func Allgather[T any](c *Comm, v T) []T {
 // Scatter distributes vals[r] from root to rank r; every rank returns its
 // element. Only root's vals is consulted; it must have length Size.
 func Scatter[T any](c *Comm, root int, vals []T) T {
+	c.debugCollective("Scatter")
 	c.checkRoot(root)
 	if c.rank == root {
 		if len(vals) != c.Size() {
@@ -200,6 +208,7 @@ func Scatter[T any](c *Comm, root int, vals []T) T {
 // recv[r] is the value this rank received from rank r. send must have length
 // Size. This is the exchange primitive under MapReduce-MPI's aggregate step.
 func Alltoall[T any](c *Comm, send []T) []T {
+	c.debugCollective("Alltoall")
 	if len(send) != c.Size() {
 		panic(fmt.Sprintf("mpi: Alltoall needs %d values, got %d", c.Size(), len(send)))
 	}

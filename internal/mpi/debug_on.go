@@ -1,0 +1,130 @@
+//go:build mpidebug
+
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+)
+
+// This file is the live half of the runtime invariant checker, enabled with
+// `-tags mpidebug`. It enforces the SPMD discipline that internal/lint
+// checks statically, but at runtime and therefore exactly:
+//
+//   - Collective fingerprints. Every collective entry records an
+//     (op, sequence-number, call-site) fingerprint per rank into a shared
+//     ledger. The first rank to reach sequence number s defines the
+//     expected op; any rank arriving at s with a different op panics
+//     immediately with a diagnostic naming both ranks, both ops, and both
+//     call sites — converting a silent deadlock (or a worse silent
+//     cross-match) into an actionable error the moment the divergence
+//     happens.
+//   - Timeout context. When a Recv times out, debugStatus appends each
+//     rank's fingerprint (how many collectives it completed and which one
+//     it entered last), naming the laggard rank in a deadlock.
+//   - Drained mailboxes. A world that finishes cleanly must not leave
+//     unreceived messages behind; leftovers are reported with source,
+//     destination, and tag.
+type debugState struct {
+	mu    sync.Mutex
+	seq   []int       // per-rank count of collectives entered
+	last  []debugStep // per-rank most recent collective
+	steps []debugStep // ledger: steps[s] is the expected op at sequence s
+}
+
+// debugStep is one collective fingerprint.
+type debugStep struct {
+	op   string
+	site string
+	rank int
+}
+
+func newDebugState(n int) *debugState {
+	return &debugState{seq: make([]int, n), last: make([]debugStep, n)}
+}
+
+// debugCollective checks this rank's next collective against the ledger.
+// Invariant: a rank that has entered s collectives can never be ahead of the
+// ledger by more than one step, because its previous call either appended
+// step s-1 or matched an existing entry — so s <= len(steps) always holds
+// and the append below keeps the ledger dense.
+func (c *Comm) debugCollective(op string) {
+	d := c.world.debug
+	if d == nil {
+		return
+	}
+	site := debugCallsite()
+	step := debugStep{op: op, site: site, rank: c.rank}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	s := d.seq[c.rank]
+	d.seq[c.rank]++
+	d.last[c.rank] = step
+	if s < len(d.steps) {
+		ref := d.steps[s]
+		if ref.op != op {
+			panic(fmt.Errorf("mpi(debug): collective mismatch at step %d: rank %d calls %s at %s, but rank %d called %s at %s: %w",
+				s, c.rank, op, site, ref.rank, ref.op, ref.site, ErrAborted))
+		}
+		return
+	}
+	d.steps = append(d.steps, step)
+}
+
+// debugStatus renders the per-rank collective fingerprints for timeout
+// diagnostics.
+func (c *Comm) debugStatus() string {
+	d := c.world.debug
+	if d == nil {
+		return ""
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var b strings.Builder
+	b.WriteString("\ncollective fingerprints:")
+	for rank, n := range d.seq {
+		fmt.Fprintf(&b, "\n  rank %d: %d collectives entered", rank, n)
+		if n > 0 {
+			fmt.Fprintf(&b, ", last %s at %s", d.last[rank].op, d.last[rank].site)
+		}
+	}
+	return b.String()
+}
+
+// debugCheckDrained reports messages still queued in any mailbox after a
+// clean world shutdown: each one is a Send whose matching Recv never ran.
+func debugCheckDrained(w *World) error {
+	var errs []error
+	for rank, b := range w.boxes {
+		b.mu.Lock()
+		for _, m := range b.queue {
+			errs = append(errs, fmt.Errorf(
+				"mpi(debug): message from rank %d to rank %d with tag %d was never received",
+				m.src, rank, m.tag))
+		}
+		b.mu.Unlock()
+	}
+	return errors.Join(errs...)
+}
+
+// debugCallsite walks up the stack to the first frame outside the mpi
+// package (test files of the package itself count as callers), giving the
+// user-level call site of the collective being fingerprinted.
+func debugCallsite() string {
+	pcs := make([]uintptr, 16)
+	n := runtime.Callers(3, pcs)
+	frames := runtime.CallersFrames(pcs[:n])
+	for {
+		fr, more := frames.Next()
+		if fr.File != "" &&
+			(!strings.Contains(fr.File, "internal/mpi") || strings.HasSuffix(fr.File, "_test.go")) {
+			return fmt.Sprintf("%s:%d", fr.File, fr.Line)
+		}
+		if !more {
+			return "(unknown)"
+		}
+	}
+}

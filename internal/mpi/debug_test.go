@@ -1,0 +1,111 @@
+//go:build mpidebug
+
+package mpi
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestDebugCollectiveMismatch provokes a deliberately rank-divergent
+// collective sequence — rank 0 broadcasts while rank 1 enters a barrier —
+// and asserts the runtime checker converts what would otherwise be a silent
+// deadlock into an immediate diagnostic naming both ranks, both ops, and
+// the call sites. (Without mpidebug this program would hang until the
+// 2-second watchdog timeout fired, with no indication of which rank
+// diverged.)
+func TestDebugCollectiveMismatch(t *testing.T) {
+	err := RunWith(2, RunOptions{Timeout: 2 * time.Second}, func(c *Comm) error {
+		if c.Rank() == 0 { // mpilint:ignore — deliberate divergence to exercise the checker
+			Bcast(c, 0, 42) // mpilint:ignore — deliberate divergence to exercise the checker
+		} else {
+			c.Barrier() // mpilint:ignore — deliberate divergence to exercise the checker
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("expected a collective mismatch diagnostic, got nil")
+	}
+	msg := err.Error()
+	// Whichever rank arrives second reports the mismatch, so the diagnostic
+	// always names both ops and both ranks.
+	for _, want := range []string{
+		"collective mismatch at step 0",
+		"Bcast", "Barrier",
+		"rank 0", "rank 1",
+		"debug_test.go",
+	} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("diagnostic missing %q:\n%s", want, msg)
+		}
+	}
+	if strings.Contains(msg, "timed out") {
+		t.Errorf("mismatch should be immediate, not a timeout:\n%s", msg)
+	}
+}
+
+// TestDebugMatchingCollectivesPass checks the ledger accepts a uniform
+// collective sequence, including composites that expand to several
+// primitive fingerprints.
+func TestDebugMatchingCollectivesPass(t *testing.T) {
+	err := Run(4, func(c *Comm) error {
+		c.Barrier()
+		v := Bcast(c, 0, 7)
+		if v != 7 {
+			t.Errorf("Bcast = %d", v)
+		}
+		sum := AllreduceSumInt64(c, 1)
+		if sum != 4 {
+			t.Errorf("AllreduceSumInt64 = %d", sum)
+		}
+		c.Barrier()
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("uniform sequence should pass the checker: %v", err)
+	}
+}
+
+// TestDebugUnreceivedMessage: a world that finishes while a message still
+// sits in a mailbox has a matching bug; mpidebug builds report it with
+// source, destination, and tag.
+func TestDebugUnreceivedMessage(t *testing.T) {
+	err := Run(2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			c.Send(1, 7, "orphan") // never received // mpilint:ignore — deliberate orphan send
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("expected an unreceived-message diagnostic, got nil")
+	}
+	msg := err.Error()
+	for _, want := range []string{"never received", "from rank 0 to rank 1", "tag 7"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("diagnostic missing %q:\n%s", want, msg)
+		}
+	}
+}
+
+// TestDebugTimeoutNamesLaggard: when a Recv deadlocks, the timeout
+// diagnostic includes per-rank collective fingerprints so the laggard is
+// identifiable.
+func TestDebugTimeoutNamesLaggard(t *testing.T) {
+	err := RunWith(2, RunOptions{Timeout: 100 * time.Millisecond}, func(c *Comm) error {
+		c.Barrier()
+		if c.Rank() == 0 {
+			c.Recv(1, 5) // rank 1 never sends
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("expected a timeout diagnostic, got nil")
+	}
+	msg := err.Error()
+	for _, want := range []string{"timed out", "collective fingerprints", "rank 0: 1 collectives entered", "last Barrier"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("diagnostic missing %q:\n%s", want, msg)
+		}
+	}
+}

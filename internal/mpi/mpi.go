@@ -60,6 +60,9 @@ type World struct {
 	barrier   *reusableBarrier
 	abortOnce sync.Once
 	timeout   time.Duration
+	// debug is the runtime invariant checker; nil unless built with the
+	// mpidebug tag (see debug_on.go / debug_off.go).
+	debug *debugState
 }
 
 // Comm is one rank's handle on the world; it is the receiver for all
@@ -82,6 +85,7 @@ func newWorld(n int, timeout time.Duration) *World {
 		boxes:   make([]*mailbox, n),
 		barrier: newReusableBarrier(n),
 		timeout: timeout,
+		debug:   newDebugState(n),
 	}
 	for i := range w.boxes {
 		b := &mailbox{}
@@ -175,7 +179,11 @@ func RunWith(n int, opts RunOptions, f func(c *Comm) error) error {
 	if len(rootCauses) > 0 {
 		return errors.Join(rootCauses...)
 	}
-	return errors.Join(collateral...)
+	if err := errors.Join(collateral...); err != nil {
+		return err
+	}
+	// mpidebug builds: a clean shutdown must leave no unreceived messages.
+	return debugCheckDrained(w)
 }
 
 // reusableBarrier is a generation-counted barrier usable any number of times.

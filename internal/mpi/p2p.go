@@ -89,8 +89,10 @@ func (c *Comm) recvMatch(match func(*message) bool) (any, Status) {
 			}
 		}
 		if timeout > 0 && time.Now().After(deadline) {
-			panic(fmt.Errorf("mpi: rank %d Recv timed out after %v (likely deadlock): %w",
-				c.rank, timeout, ErrAborted))
+			// debugStatus names each rank's collective fingerprint under
+			// mpidebug builds, pointing at the laggard; it is empty otherwise.
+			panic(fmt.Errorf("mpi: rank %d Recv timed out after %v (likely deadlock)%s: %w",
+				c.rank, timeout, c.debugStatus(), ErrAborted))
 		}
 		if timeout > 0 && watchdog == nil {
 			// Wake the cond at the deadline so the timeout check above
