@@ -3,7 +3,7 @@
 GO ?= go
 BIN ?= bin
 
-.PHONY: all build test race lint debug bench figures examples clean
+.PHONY: all build test race lint lint-json debug bench figures examples clean
 
 all: build test
 
@@ -11,12 +11,19 @@ build:
 	$(GO) build ./...
 	$(GO) build -o $(BIN)/ ./cmd/...
 
-# Static analysis: go vet plus mpilint, the repo's own MPI analyzer suite
-# (rank-divergent collectives, aliased broadcasts, tag hygiene, unchecked
-# roots — see README "Correctness tooling").
+# Static analysis: go vet plus mpilint, the repo's own analyzer suite. Both
+# families run: the MPI checks (rank-divergent collectives, aliased
+# broadcasts, tag hygiene, unchecked roots) and the MapReduce checks
+# (phase-protocol order, unsynchronized callback captures, retained page
+# buffers, escaped KeyValue handles) — see README "Correctness tooling".
 lint:
 	$(GO) vet ./...
-	$(GO) run ./cmd/mpilint ./...
+	$(GO) run ./cmd/mpilint -tests ./...
+
+# Same findings in the machine-readable CI format: one JSON object per line
+# (file, line, col, check, message).
+lint-json:
+	$(GO) run ./cmd/mpilint -tests -json ./...
 
 # Runtime invariant checker: the mpi test suite with the mpidebug
 # collective-fingerprint watchdog compiled in.

@@ -1,6 +1,8 @@
-// Command mpilint runs the repository's MPI static-analysis suite
+// Command mpilint runs the repository's static-analysis suite
 // (internal/lint) over a set of package directories and reports misuse of
-// the in-process MPI layer with file:line:col findings.
+// the in-process MPI layer and the MapReduce layer built on it with
+// file:line:col findings. Use -list to see the analyzers and -only to run a
+// subset (e.g. -only phase,capture for just the MapReduce checks).
 //
 // Usage:
 //
@@ -9,12 +11,18 @@
 // Packages follow go-tool conventions: a directory path, or a path ending
 // in /... to walk recursively. With no arguments, ./... is assumed.
 //
+// With -json, each finding is emitted as one JSON object per line
+// ({"file","line","col","check","message"}) for machine consumption; the
+// default text format matches the GitHub Actions problem matcher in
+// .github/mpilint-matcher.json so findings annotate PR diffs in CI.
+//
 // Exit status is 0 when no findings are reported, 1 when findings exist,
 // and 2 on usage or load errors — so `make lint` and CI can gate on it the
 // same way they gate on go vet.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"go/token"
@@ -35,6 +43,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	tests := fs.Bool("tests", false, "also analyze _test.go files")
 	list := fs.Bool("list", false, "list the analyzers and exit")
 	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
+	jsonOut := fs.Bool("json", false, "emit findings as JSON Lines (file, line, col, check, message)")
 	fs.Usage = func() {
 		fmt.Fprintf(stderr, "usage: mpilint [flags] [packages]\n\n"+
 			"Analyzes Go packages for misuse of the internal/mpi layer.\n"+
@@ -81,7 +90,23 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 	lint.Sort(findings)
+	enc := json.NewEncoder(stdout)
 	for _, f := range findings {
+		if *jsonOut {
+			// One object per line: the CI format consumed by tooling that
+			// does not want to parse the human text.
+			if err := enc.Encode(jsonFinding{
+				File:    f.Pos.Filename,
+				Line:    f.Pos.Line,
+				Col:     f.Pos.Column,
+				Check:   f.Analyzer,
+				Message: f.Message,
+			}); err != nil {
+				fmt.Fprintln(stderr, "mpilint:", err)
+				return 2
+			}
+			continue
+		}
 		fmt.Fprintln(stdout, f)
 	}
 	if len(findings) > 0 {
@@ -89,6 +114,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	return 0
+}
+
+// jsonFinding is the -json wire format, one object per line.
+type jsonFinding struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Check   string `json:"check"`
+	Message string `json:"message"`
 }
 
 // selectAnalyzers resolves the -only flag to a subset of the suite.

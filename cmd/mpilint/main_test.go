@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -76,12 +77,74 @@ func f(c *mpi.Comm) int {
 	}
 }
 
+func TestMpilintMRFamilyEndToEnd(t *testing.T) {
+	dir := writeTree(t, map[string]string{
+		"bad/bad.go": `package bad
+
+import "repro/internal/mrmpi"
+
+func f(mr *mrmpi.MapReduce, fn any) {
+	n := 0
+	mr.Map(4, func(itask int, kv *mrmpi.KeyValue) error {
+		n++
+		return nil
+	})
+	mr.Reduce(fn)
+	_ = n
+}
+`,
+	})
+
+	var stdout, stderr strings.Builder
+	code := run([]string{"-only", "phase,capture", dir + "/..."}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+	}
+	out := stdout.String()
+	// The callback counter write is a capture finding; the Map→Reduce with
+	// no Collate in between is a phase finding (the Map call pins the
+	// protocol state even on a parameter-received MapReduce).
+	for _, want := range []string{"bad.go:8:3: [capture]", "bad.go:11:2: [phase]"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+
+	// -json: same findings, one JSON object per line.
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-json", "-only", "capture", dir + "/..."}, &stdout, &stderr); code != 1 {
+		t.Fatalf("-json exit code = %d, want 1\n%s%s", code, stdout.String(), stderr.String())
+	}
+	var finding struct {
+		File    string `json:"file"`
+		Line    int    `json:"line"`
+		Col     int    `json:"col"`
+		Check   string `json:"check"`
+		Message string `json:"message"`
+	}
+	lines := strings.Split(strings.TrimSpace(stdout.String()), "\n")
+	if len(lines) != 1 {
+		t.Fatalf("-json produced %d lines, want 1: %q", len(lines), stdout.String())
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &finding); err != nil {
+		t.Fatalf("-json line does not parse: %v\n%s", err, lines[0])
+	}
+	if finding.Check != "capture" || finding.Line != 8 || finding.Col != 3 ||
+		!strings.HasSuffix(finding.File, "bad.go") || finding.Message == "" {
+		t.Errorf("unexpected -json finding: %+v", finding)
+	}
+}
+
 func TestMpilintFlags(t *testing.T) {
 	var stdout, stderr strings.Builder
 	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
 		t.Fatalf("-list: exit %d", code)
 	}
-	for _, name := range []string{"divergence", "aliasedbcast", "tags", "root"} {
+	for _, name := range []string{
+		"divergence", "aliasedbcast", "tags", "root",
+		"phase", "capture", "retain", "kvescape",
+	} {
 		if !strings.Contains(stdout.String(), name) {
 			t.Errorf("-list missing %q", name)
 		}

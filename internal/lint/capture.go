@@ -1,0 +1,118 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// checkCapture flags writes to captured outer variables inside Map/Reduce
+// callback literals that show no synchronization in the closure body. Map
+// tasks are scheduled dynamically under MapStyleMaster and the mapper is
+// free to invoke callbacks concurrently (the MR-MPI paper's task-stealing
+// master does exactly that), so an unguarded `count++` on a captured
+// counter is a data race that -race only catches when a schedule exposes
+// it. The whole closure is exempt when its body uses a mutex
+// (Lock/Unlock/RLock/RUnlock), an atomic.* call, or a channel operation —
+// the analyzer does not try to prove the guard actually covers the write.
+func checkCapture(pkg *Package) []Finding {
+	var out []Finding
+	inMR := pkg.Name == "mrmpi"
+	seen := map[token.Pos]bool{}
+	for _, f := range pkg.Files {
+		if mrmpiAlias(f) == "" && !inMR {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			kind, fl := mrCallback(call)
+			switch kind {
+			case cbMap, cbMapFiles, cbMapKV, cbReduce:
+			default:
+				return true
+			}
+			for _, fd := range capturedWrites(pkg, kind, fl) {
+				// A callback nested inside another callback is visited
+				// from both scopes; report each write once.
+				if pos := fd.node.Pos(); !seen[pos] {
+					seen[pos] = true
+					out = append(out, fd.finding)
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+type captureFinding struct {
+	node    ast.Node
+	finding Finding
+}
+
+func capturedWrites(pkg *Package, kind cbKind, fl *ast.FuncLit) []captureFinding {
+	if usesSync(fl.Body) {
+		return nil
+	}
+	locals := localIdents(fl)
+	var out []captureFinding
+	report := func(n ast.Node, name string) {
+		out = append(out, captureFinding{node: n, finding: Finding{
+			Pos:      pkg.position(n),
+			Analyzer: "capture",
+			Message: "write to captured variable " + name + " in a " + kind.String() +
+				" callback with no mutex/atomic/channel in the closure: callbacks may run concurrently under MapStyleMaster",
+		}})
+	}
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			if s.Tok == token.DEFINE {
+				return true
+			}
+			for _, lhs := range s.Lhs {
+				if id := baseIdent(lhs); id != nil && id.Name != "_" && !locals[id.Name] {
+					report(s, id.Name)
+				}
+			}
+		case *ast.IncDecStmt:
+			if id := baseIdent(s.X); id != nil && !locals[id.Name] {
+				report(s, id.Name)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// usesSync reports whether the body contains any evidence of
+// synchronization: a mutex Lock/Unlock pair member, an atomic.* call, a
+// channel send/receive, or a select.
+func usesSync(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			qual, name := callTarget(x)
+			switch name {
+			case "Lock", "Unlock", "RLock", "RUnlock":
+				found = true
+			}
+			if qual == "atomic" {
+				found = true
+			}
+		case *ast.SendStmt:
+			found = true
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				found = true
+			}
+		case *ast.SelectStmt:
+			found = true
+		}
+		return !found
+	})
+	return found
+}

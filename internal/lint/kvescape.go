@@ -1,0 +1,154 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// checkKVEscape flags the *mrmpi.KeyValue emitter handle escaping its
+// callback: stored into a captured variable or structure, sent on a
+// channel, or returned directly. The handle is only valid while the library
+// is inside the Map/Reduce phase that passed it — after the phase returns,
+// the KV is swapped or reset, so a retained handle writes into a store the
+// MapReduce object no longer owns. (Passing the handle DOWN into helper
+// calls is fine and not flagged; only outward escapes are.)
+func checkKVEscape(pkg *Package) []Finding {
+	var out []Finding
+	inMR := pkg.Name == "mrmpi"
+	seen := map[token.Pos]bool{}
+	for _, f := range pkg.Files {
+		if mrmpiAlias(f) == "" && !inMR {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			kind, fl := mrCallback(call)
+			switch kind {
+			case cbMap, cbMapFiles, cbMapKV, cbReduce:
+			default:
+				return true
+			}
+			for _, fd := range kvEscapes(pkg, fl) {
+				if pos := fd.node.Pos(); !seen[pos] {
+					seen[pos] = true
+					out = append(out, fd.finding)
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+type kvEscapeFinding struct {
+	node    ast.Node
+	finding Finding
+}
+
+func kvEscapes(pkg *Package, fl *ast.FuncLit) []kvEscapeFinding {
+	handles := map[string]bool{}
+	locals := localIdents(fl)
+	if fl.Type.Params != nil {
+		for _, field := range fl.Type.Params.List {
+			if !isKeyValuePtrType(field.Type) {
+				continue
+			}
+			for _, name := range field.Names {
+				handles[name.Name] = true
+			}
+		}
+	}
+	if len(handles) == 0 {
+		return nil
+	}
+
+	var out []kvEscapeFinding
+	report := func(n ast.Node, how string) {
+		out = append(out, kvEscapeFinding{node: n, finding: Finding{
+			Pos:      pkg.position(n),
+			Analyzer: "kvescape",
+			Message: "the *KeyValue handle " + how +
+				": it is only valid during this callback — emit through it here, never retain it",
+		}})
+	}
+
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			if s.Tok == token.DEFINE {
+				for i, lhs := range s.Lhs {
+					id, ok := lhs.(*ast.Ident)
+					if !ok || id.Name == "_" {
+						continue
+					}
+					if len(s.Rhs) == len(s.Lhs) && holdsKVHandle(s.Rhs[i], handles) {
+						handles[id.Name] = true
+					} else {
+						delete(handles, id.Name)
+					}
+				}
+				return true
+			}
+			for i, lhs := range s.Lhs {
+				var rhs ast.Expr
+				if len(s.Rhs) == len(s.Lhs) {
+					rhs = s.Rhs[i]
+				} else if len(s.Rhs) == 1 {
+					rhs = s.Rhs[0]
+				}
+				if rhs == nil || !holdsKVHandle(rhs, handles) {
+					if id, ok := lhs.(*ast.Ident); ok {
+						delete(handles, id.Name)
+					}
+					continue
+				}
+				if id, ok := lhs.(*ast.Ident); ok && locals[id.Name] {
+					handles[id.Name] = true
+					continue
+				}
+				report(s, "is stored outside the callback")
+			}
+		case *ast.SendStmt:
+			if holdsKVHandle(s.Value, handles) {
+				report(s, "is sent on a channel")
+			}
+		case *ast.ReturnStmt:
+			for _, r := range s.Results {
+				if holdsKVHandle(r, handles) {
+					report(s, "is returned from the callback")
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// holdsKVHandle reports whether the expression IS (or directly wraps) a
+// tracked handle. Call expressions are deliberately opaque: returning or
+// storing the RESULT of a call that merely received the handle as an
+// argument is not an escape of the handle itself.
+func holdsKVHandle(e ast.Expr, handles map[string]bool) bool {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return handles[x.Name]
+	case *ast.ParenExpr:
+		return holdsKVHandle(x.X, handles)
+	case *ast.UnaryExpr:
+		return x.Op == token.AND && holdsKVHandle(x.X, handles)
+	case *ast.CompositeLit:
+		for _, el := range x.Elts {
+			v := el
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				v = kv.Value
+			}
+			if holdsKVHandle(v, handles) {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -20,6 +20,24 @@
 //   - root: collective root arguments that are non-constant and never
 //     validated against Size(), or constant and negative.
 //
+// A second family (mrlint) checks the MapReduce layer's object protocol and
+// callback contracts — map() fills a KV, Collate/Convert builds a KMV,
+// Reduce consumes it, and callbacks receive pointers into page-backed
+// buffers the library recycles:
+//
+//   - phase: protocol-order violations on *mrmpi.MapReduce values — Reduce
+//     without a preceding Collate/Convert, Collate/Convert on an empty KV,
+//     double Collate, and locally created values not Closed on every
+//     return path.
+//   - capture: writes to captured outer variables inside Map/Reduce
+//     callback literals with no mutex/atomic/channel in the closure body;
+//     map tasks run concurrently under MapStyleMaster.
+//   - retain: the key/values slice parameters of MapKV/Reduce/Each
+//     callbacks (or sub-slices of them) escaping the callback without a
+//     copy; the paged KV/KMV stores recycle those buffers.
+//   - kvescape: the *KeyValue emitter handle escaping its callback
+//     (stored, returned, or sent on a channel).
+//
 // Everything is built from the standard library only (go/ast, go/parser,
 // go/token) and works purely syntactically, so it runs on any subset of the
 // tree without type-checking the full import graph. The price is
@@ -125,6 +143,10 @@ func Analyzers() []*Analyzer {
 		{Name: "aliasedbcast", Doc: "writes through reference values shared by Bcast/Allgather", Run: checkAliasedBcast},
 		{Name: "tags", Doc: "negative user tags and Send tags with no matching Recv", Run: checkTags},
 		{Name: "root", Doc: "collective root arguments that are unvalidated or out of range", Run: checkRoot},
+		{Name: "phase", Doc: "MapReduce phase-protocol violations (Reduce before Collate, double Collate, missing Close)", Run: checkPhase},
+		{Name: "capture", Doc: "unsynchronized writes to captured variables in Map/Reduce callbacks", Run: checkCapture},
+		{Name: "retain", Doc: "key/values page-buffer slices escaping a callback without a copy", Run: checkRetain},
+		{Name: "kvescape", Doc: "the *KeyValue emitter handle escaping its callback", Run: checkKVEscape},
 	}
 }
 

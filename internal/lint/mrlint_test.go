@@ -1,0 +1,494 @@
+package lint
+
+import (
+	"go/token"
+	"testing"
+)
+
+// Golden tests for the mrlint family (phase, capture, retain, kvescape),
+// using the same `// want <analyzer>` harness as the mpi-family tests.
+
+const mrHeader = `package fix
+
+import "repro/internal/mrmpi"
+`
+
+func TestPhase(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{
+			name: "reduce without collate",
+			src: mrHeader + `
+func f(work, fn any) {
+	mr := mrmpi.New(nil)
+	defer mr.Close()
+	mr.Map(4, work)
+	mr.Reduce(fn) // want phase
+}`,
+		},
+		{
+			name: "full protocol is clean",
+			src: mrHeader + `
+func f(work, fn any) {
+	mr := mrmpi.New(nil)
+	defer mr.Close()
+	mr.Map(4, work)
+	mr.Collate(nil)
+	mr.Reduce(fn)
+}`,
+		},
+		{
+			name: "collate before any map",
+			src: mrHeader + `
+func f() {
+	mr := mrmpi.New(nil)
+	defer mr.Close()
+	mr.Collate(nil) // want phase
+}`,
+		},
+		{
+			name: "double collate wipes the KMV",
+			src: mrHeader + `
+func f(work any) {
+	mr := mrmpi.New(nil)
+	defer mr.Close()
+	mr.Map(4, work)
+	mr.Collate(nil)
+	mr.Collate(nil) // want phase
+}`,
+		},
+		{
+			name: "map between collates is clean",
+			src: mrHeader + `
+func f(work any) {
+	mr := mrmpi.New(nil)
+	defer mr.Close()
+	mr.Map(4, work)
+	mr.Collate(nil)
+	mr.Map(4, work)
+	mr.Convert()
+}`,
+		},
+		{
+			name: "adds through a KV alias count as map input",
+			src: mrHeader + `
+func f() {
+	mr := mrmpi.New(nil)
+	defer mr.Close()
+	kv := mr.KV()
+	kv.AddString("a", nil)
+	mr.Collate(nil)
+}`,
+		},
+		{
+			name: "chained KV().Add counts as map input",
+			src: mrHeader + `
+func f() {
+	mr := mrmpi.New(nil)
+	defer mr.Close()
+	mr.KV().Add(nil, nil)
+	mr.Convert()
+}`,
+		},
+		{
+			name: "parameter state is unknown: helpers are not second-guessed",
+			src: mrHeader + `
+func g(mr *mrmpi.MapReduce, fn any) {
+	mr.Reduce(fn)
+}`,
+		},
+		{
+			name: "missing close on fall-through",
+			src: mrHeader + `
+func f(work any) {
+	mr := mrmpi.New(nil) // want phase
+	mr.Map(4, work)
+}`,
+		},
+		{
+			name: "missing close on an early return path",
+			src: mrHeader + `
+func f(work any) error {
+	mr := mrmpi.New(nil)
+	if _, err := mr.Map(4, work); err != nil {
+		return err // want phase
+	}
+	mr.Close()
+	return nil
+}`,
+		},
+		{
+			name: "close before each return is clean",
+			src: mrHeader + `
+func f(work any) error {
+	mr := mrmpi.NewWith(nil, mrmpi.Options{})
+	if _, err := mr.Map(4, work); err != nil {
+		mr.Close()
+		return err
+	}
+	mr.Close()
+	return nil
+}`,
+		},
+		{
+			name: "ignore comment suppresses",
+			src: mrHeader + `
+func f(fn any) {
+	mr := mrmpi.New(nil)
+	defer mr.Close()
+	mr.Reduce(fn) // mpilint:ignore — provoking the empty-KMV path on purpose
+}`,
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) { checkFixture(t, "phase", c.src) })
+	}
+}
+
+func TestCapture(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{
+			name: "unguarded captured counter in a map callback",
+			src: mrHeader + `
+func f(mr *mrmpi.MapReduce) {
+	n := 0
+	mr.Map(4, func(itask int, kv *mrmpi.KeyValue) error {
+		n++ // want capture
+		return nil
+	})
+}`,
+		},
+		{
+			name: "captured struct field write in a reduce callback",
+			src: mrHeader + `
+func f(mr *mrmpi.MapReduce) {
+	var res struct{ Hits int }
+	mr.Reduce(func(key []byte, values [][]byte, out *mrmpi.KeyValue) error {
+		res.Hits = len(values) // want capture
+		return nil
+	})
+}`,
+		},
+		{
+			name: "mutex in the closure exempts it",
+			src: mrHeader + `
+func f(mr *mrmpi.MapReduce, mu interface{ Lock(); Unlock() }) {
+	n := 0
+	mr.Map(4, func(itask int, kv *mrmpi.KeyValue) error {
+		mu.Lock()
+		n++
+		mu.Unlock()
+		return nil
+	})
+}`,
+		},
+		{
+			name: "atomic call exempts the closure",
+			src: mrHeader + `
+func f(mr *mrmpi.MapReduce, n *int64) {
+	total := int64(0)
+	mr.Map(4, func(itask int, kv *mrmpi.KeyValue) error {
+		total = atomic.AddInt64(n, 1)
+		return nil
+	})
+	_ = total
+}`,
+		},
+		{
+			name: "channel send exempts the closure",
+			src: mrHeader + `
+func f(mr *mrmpi.MapReduce, ch chan int) {
+	last := 0
+	mr.Map(4, func(itask int, kv *mrmpi.KeyValue) error {
+		last = itask
+		ch <- itask
+		return nil
+	})
+	_ = last
+}`,
+		},
+		{
+			name: "locals are fair game",
+			src: mrHeader + `
+func f(mr *mrmpi.MapReduce) {
+	mr.Map(4, func(itask int, kv *mrmpi.KeyValue) error {
+		sum := 0
+		for i := 0; i < itask; i++ {
+			sum += i
+		}
+		kv.Add(nil, nil)
+		return nil
+	})
+}`,
+		},
+		{
+			name: "Each callbacks are out of scope (sequential iteration)",
+			src: mrHeader + `
+func f(kmv *mrmpi.KeyMultiValue) {
+	n := 0
+	kmv.Each(func(key []byte, values [][]byte) error {
+		n++
+		return nil
+	})
+	_ = n
+}`,
+		},
+		{
+			name: "ignore comment suppresses",
+			src: mrHeader + `
+func f(mr *mrmpi.MapReduce) {
+	n := 0
+	mr.Map(4, func(itask int, kv *mrmpi.KeyValue) error {
+		n++ // mpilint:ignore — single-rank test fixture
+		return nil
+	})
+}`,
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) { checkFixture(t, "capture", c.src) })
+	}
+}
+
+func TestRetain(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{
+			name: "key appended into a captured slice",
+			src: mrHeader + `
+func f(mr *mrmpi.MapReduce) {
+	var keys [][]byte
+	mr.Reduce(func(key []byte, values [][]byte, out *mrmpi.KeyValue) error {
+		keys = append(keys, key) // want retain
+		return nil
+	})
+}`,
+		},
+		{
+			name: "copying before retaining is clean",
+			src: mrHeader + `
+func f(mr *mrmpi.MapReduce) {
+	var keys [][]byte
+	mr.Reduce(func(key []byte, values [][]byte, out *mrmpi.KeyValue) error {
+		keys = append(keys, append([]byte(nil), key...))
+		return nil
+	})
+}`,
+		},
+		{
+			name: "value slice stored into a captured map",
+			src: mrHeader + `
+func f(mr *mrmpi.MapReduce) {
+	best := map[string][]byte{}
+	mr.Reduce(func(key []byte, values [][]byte, out *mrmpi.KeyValue) error {
+		best[string(key)] = values[0] // want retain
+		return nil
+	})
+}`,
+		},
+		{
+			name: "string conversion is a copy",
+			src: mrHeader + `
+func f(mr *mrmpi.MapReduce) {
+	best := map[string]string{}
+	mr.Reduce(func(key []byte, values [][]byte, out *mrmpi.KeyValue) error {
+		best[string(key)] = string(values[0])
+		return nil
+	})
+}`,
+		},
+		{
+			name: "sub-slices stay tainted",
+			src: mrHeader + `
+func f(kv *mrmpi.KeyValue) {
+	var prefix []byte
+	kv.Each(func(key, value []byte) error {
+		prefix = key[:4] // want retain
+		return nil
+	})
+}`,
+		},
+		{
+			name: "taint flows through a local rebinding",
+			src: mrHeader + `
+func f(mr *mrmpi.MapReduce) {
+	var saved []byte
+	mr.MapKV(func(key, value []byte, kv *mrmpi.KeyValue) error {
+		v := value
+		saved = v // want retain
+		return nil
+	})
+}`,
+		},
+		{
+			name: "sent on a channel",
+			src: mrHeader + `
+func f(mr *mrmpi.MapReduce, ch chan []byte) {
+	mr.Reduce(func(key []byte, values [][]byte, out *mrmpi.KeyValue) error {
+		ch <- key // want retain
+		return nil
+	})
+}`,
+		},
+		{
+			name: "emitting through out.Add is clean (Add copies in this port)",
+			src: mrHeader + `
+func f(mr *mrmpi.MapReduce) {
+	mr.Reduce(func(key []byte, values [][]byte, out *mrmpi.KeyValue) error {
+		out.Add(key, values[0])
+		return nil
+	})
+}`,
+		},
+		{
+			name: "range element of values is tainted",
+			src: mrHeader + `
+func f(mr *mrmpi.MapReduce) {
+	var all [][]byte
+	mr.Reduce(func(key []byte, values [][]byte, out *mrmpi.KeyValue) error {
+		for _, v := range values {
+			all = append(all, v) // want retain
+		}
+		return nil
+	})
+}`,
+		},
+		{
+			name: "ignore comment suppresses",
+			src: mrHeader + `
+func f(mr *mrmpi.MapReduce) {
+	var keys [][]byte
+	mr.Reduce(func(key []byte, values [][]byte, out *mrmpi.KeyValue) error {
+		keys = append(keys, key) // mpilint:ignore — consumed before the callback returns
+		return nil
+	})
+}`,
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) { checkFixture(t, "retain", c.src) })
+	}
+}
+
+func TestKVEscape(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{
+			name: "handle stored in a captured variable",
+			src: mrHeader + `
+func f(mr *mrmpi.MapReduce) {
+	var leaked *mrmpi.KeyValue
+	mr.Map(4, func(itask int, kv *mrmpi.KeyValue) error {
+		leaked = kv // want kvescape
+		return nil
+	})
+	_ = leaked
+}`,
+		},
+		{
+			name: "handle escaping through a local alias",
+			src: mrHeader + `
+func f(mr *mrmpi.MapReduce) {
+	var leaked *mrmpi.KeyValue
+	mr.Map(4, func(itask int, kv *mrmpi.KeyValue) error {
+		h := kv
+		leaked = h // want kvescape
+		return nil
+	})
+	_ = leaked
+}`,
+		},
+		{
+			name: "handle sent on a channel",
+			src: mrHeader + `
+func f(mr *mrmpi.MapReduce, ch chan *mrmpi.KeyValue) {
+	mr.Map(4, func(itask int, kv *mrmpi.KeyValue) error {
+		ch <- kv // want kvescape
+		return nil
+	})
+}`,
+		},
+		{
+			name: "handle smuggled out inside a composite literal",
+			src: mrHeader + `
+type box struct{ kv *mrmpi.KeyValue }
+
+func f(mr *mrmpi.MapReduce) {
+	var sink box
+	mr.Map(4, func(itask int, kv *mrmpi.KeyValue) error {
+		sink = box{kv: kv} // want kvescape
+		return nil
+	})
+	_ = sink
+}`,
+		},
+		{
+			name: "passing the handle down into helpers is fine",
+			src: mrHeader + `
+func emit(kv *mrmpi.KeyValue) error { return nil }
+
+func f(mr *mrmpi.MapReduce) {
+	mr.Map(4, func(itask int, kv *mrmpi.KeyValue) error {
+		return emit(kv)
+	})
+}`,
+		},
+		{
+			name: "ignore comment suppresses",
+			src: mrHeader + `
+func f(mr *mrmpi.MapReduce) {
+	var leaked *mrmpi.KeyValue
+	mr.Map(4, func(itask int, kv *mrmpi.KeyValue) error {
+		leaked = kv // mpilint:ignore — test hook, never used after the phase
+		return nil
+	})
+	_ = leaked
+}`,
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) { checkFixture(t, "kvescape", c.src) })
+	}
+}
+
+// TestRepoLintsCleanMRFamily is the mrlint acceptance gate, the counterpart
+// of TestRepoLintsClean for the MapReduce-layer analyzers. It walks the
+// whole module from the repository root (which also covers the root-level
+// benchmark file the mpi-family gate does not reach).
+func TestRepoLintsCleanMRFamily(t *testing.T) {
+	dirs, err := ExpandPatterns([]string{"../../..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var family []*Analyzer
+	for _, a := range Analyzers() {
+		switch a.Name {
+		case "phase", "capture", "retain", "kvescape":
+			family = append(family, a)
+		}
+	}
+	if len(family) != 4 {
+		t.Fatalf("expected 4 mrlint analyzers, found %d", len(family))
+	}
+	fset := token.NewFileSet()
+	for _, dir := range dirs {
+		pkgs, err := LoadDir(fset, dir, LoadOptions{Tests: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, pkg := range pkgs {
+			for _, f := range CheckWith(pkg, family) {
+				t.Errorf("unexpected finding: %s", f)
+			}
+		}
+	}
+}

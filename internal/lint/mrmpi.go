@@ -1,0 +1,226 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// mrmpiImportPath is the MapReduce layer whose API the mrlint family of
+// analyzers (phase, capture, retain, kvescape) checks. As with the mpi
+// family, files importing it under an alias are handled via the import spec,
+// and unqualified calls are recognized when the analyzed package is mrmpi
+// itself.
+const mrmpiImportPath = "repro/internal/mrmpi"
+
+// mrmpiAlias returns the local name the file imports internal/mrmpi under,
+// or "" if the file does not import it.
+func mrmpiAlias(f *ast.File) string {
+	for _, imp := range f.Imports {
+		if imp.Path == nil {
+			continue
+		}
+		if imp.Path.Value != `"`+mrmpiImportPath+`"` {
+			continue
+		}
+		if imp.Name != nil {
+			return imp.Name.Name
+		}
+		return "mrmpi"
+	}
+	return ""
+}
+
+// cbKind classifies a function literal passed to one of the mrmpi methods
+// that invoke user callbacks. Classification is purely by method name plus
+// the literal's parameter shape, mirroring the signatures in
+// internal/mrmpi/mapreduce.go — no type checking involved.
+type cbKind int
+
+const (
+	cbNone     cbKind = iota
+	cbMap             // Map(nmap, func(itask int, kv *KeyValue) error)
+	cbMapFiles        // MapFiles(paths, func(path string, kv *KeyValue) error)
+	cbMapKV           // MapKV(func(key, value []byte, kv *KeyValue) error)
+	cbReduce          // Reduce(func(key []byte, values [][]byte, out *KeyValue) error)
+	cbEachKV          // kv.Each(func(key, value []byte) error)
+	cbEachKMV         // kmv.Each(func(key []byte, values [][]byte) error)
+)
+
+// String names the callback for diagnostics.
+func (k cbKind) String() string {
+	switch k {
+	case cbMap:
+		return "Map"
+	case cbMapFiles:
+		return "MapFiles"
+	case cbMapKV:
+		return "MapKV"
+	case cbReduce:
+		return "Reduce"
+	case cbEachKV, cbEachKMV:
+		return "Each"
+	}
+	return "?"
+}
+
+// mrCallback recognizes a method call whose last argument is a function
+// literal with the parameter shape of one of the mrmpi callbacks. The
+// receiver is not resolved (that would need types); the method-name +
+// signature-shape pair is specific enough that collisions with unrelated
+// APIs do not occur in practice, and the per-file mrmpi-import gate keeps
+// the check out of unrelated packages entirely.
+func mrCallback(call *ast.CallExpr) (cbKind, *ast.FuncLit) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || len(call.Args) == 0 {
+		return cbNone, nil
+	}
+	fl, ok := call.Args[len(call.Args)-1].(*ast.FuncLit)
+	if !ok {
+		return cbNone, nil
+	}
+	types := flatParamTypes(fl.Type)
+	switch sel.Sel.Name {
+	case "Map":
+		if len(types) == 2 && isIdentType(types[0], "int") && isKeyValuePtrType(types[1]) {
+			return cbMap, fl
+		}
+	case "MapFiles":
+		if len(types) == 2 && isIdentType(types[0], "string") && isKeyValuePtrType(types[1]) {
+			return cbMapFiles, fl
+		}
+	case "MapKV":
+		if len(types) == 3 && isByteSliceType(types[0]) && isByteSliceType(types[1]) && isKeyValuePtrType(types[2]) {
+			return cbMapKV, fl
+		}
+	case "Reduce":
+		if len(types) == 3 && isByteSliceType(types[0]) && isByteSliceSliceType(types[1]) && isKeyValuePtrType(types[2]) {
+			return cbReduce, fl
+		}
+	case "Each":
+		if len(types) == 2 && isByteSliceType(types[0]) {
+			if isByteSliceType(types[1]) {
+				return cbEachKV, fl
+			}
+			if isByteSliceSliceType(types[1]) {
+				return cbEachKMV, fl
+			}
+		}
+	}
+	return cbNone, nil
+}
+
+// flatParamTypes expands a parameter list to one type expression per
+// declared parameter (`key, value []byte` yields the []byte twice).
+func flatParamTypes(ft *ast.FuncType) []ast.Expr {
+	var out []ast.Expr
+	if ft.Params == nil {
+		return out
+	}
+	for _, field := range ft.Params.List {
+		n := len(field.Names)
+		if n == 0 {
+			n = 1
+		}
+		for i := 0; i < n; i++ {
+			out = append(out, field.Type)
+		}
+	}
+	return out
+}
+
+// isIdentType reports whether the type expression is the bare identifier
+// name (e.g. "int", "string").
+func isIdentType(e ast.Expr, name string) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == name
+}
+
+// isByteSliceType matches []byte.
+func isByteSliceType(e ast.Expr) bool {
+	arr, ok := e.(*ast.ArrayType)
+	return ok && arr.Len == nil && isIdentType(arr.Elt, "byte")
+}
+
+// isByteSliceSliceType matches [][]byte.
+func isByteSliceSliceType(e ast.Expr) bool {
+	arr, ok := e.(*ast.ArrayType)
+	return ok && arr.Len == nil && isByteSliceType(arr.Elt)
+}
+
+// isKeyValuePtrType matches *KeyValue and *<qual>.KeyValue for any
+// qualifier: the emitter handle type of every mrmpi callback.
+func isKeyValuePtrType(e ast.Expr) bool {
+	return isNamedPtrType(e, "KeyValue")
+}
+
+// isMapReducePtrType matches *MapReduce / *<qual>.MapReduce.
+func isMapReducePtrType(e ast.Expr) bool {
+	return isNamedPtrType(e, "MapReduce")
+}
+
+func isNamedPtrType(e ast.Expr, name string) bool {
+	star, ok := e.(*ast.StarExpr)
+	if !ok {
+		return false
+	}
+	switch t := star.X.(type) {
+	case *ast.Ident:
+		return t.Name == name
+	case *ast.SelectorExpr:
+		return t.Sel.Name == name
+	}
+	return false
+}
+
+// localIdents collects every identifier declared inside the function
+// literal: parameters, := bindings, var/const declarations, range and
+// type-switch bindings, and the parameters of nested literals. Anything a
+// callback writes that is NOT in this set is a captured outer variable.
+func localIdents(fl *ast.FuncLit) map[string]bool {
+	locals := map[string]bool{}
+	addFieldNames := func(fields *ast.FieldList) {
+		if fields == nil {
+			return
+		}
+		for _, field := range fields.List {
+			for _, name := range field.Names {
+				locals[name.Name] = true
+			}
+		}
+	}
+	addFieldNames(fl.Type.Params)
+	addFieldNames(fl.Type.Results)
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			if x.Tok.String() == ":=" {
+				for _, lhs := range x.Lhs {
+					if id, ok := lhs.(*ast.Ident); ok {
+						locals[id.Name] = true
+					}
+				}
+			}
+		case *ast.GenDecl:
+			for _, spec := range x.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, name := range vs.Names {
+						locals[name.Name] = true
+					}
+				}
+			}
+		case *ast.RangeStmt:
+			if x.Tok.String() == ":=" {
+				if id, ok := x.Key.(*ast.Ident); ok {
+					locals[id.Name] = true
+				}
+				if id, ok := x.Value.(*ast.Ident); ok {
+					locals[id.Name] = true
+				}
+			}
+		case *ast.FuncLit:
+			addFieldNames(x.Type.Params)
+			addFieldNames(x.Type.Results)
+		}
+		return true
+	})
+	return locals
+}

@@ -1,0 +1,414 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// checkPhase enforces the MapReduce object protocol as a per-function state
+// machine over *mrmpi.MapReduce values: map() fills a KV, Collate/Convert
+// turns it into a KMV, Reduce consumes the KMV back into a KV. Out-of-order
+// calls do not error at runtime — they silently operate on an empty store —
+// so the misuse classes here are silent wrong-answer bugs:
+//
+//   - Reduce (or Scrunch) with no preceding Collate/Convert: the KMV is
+//     empty, the callback never runs.
+//   - Collate/Convert/Aggregate before any Map or KV().Add: the KV is
+//     empty, the whole phase is a no-op.
+//   - double Collate/Convert with no intervening Map/Add: the second call
+//     converts an empty KV and wipes the KMV the first call built.
+//   - a locally created MapReduce (New/NewWith) not Closed on every return
+//     path: spill files and page memory leak.
+//
+// The state machine is per lexical scope (function declaration or literal)
+// and deliberately shallow: values received as parameters start in an
+// unknown state, from which ordering checks never fire, so helper functions
+// that operate on a caller's MapReduce are not second-guessed.
+func checkPhase(pkg *Package) []Finding {
+	var out []Finding
+	inMR := pkg.Name == "mrmpi"
+	for _, f := range pkg.Files {
+		alias := mrmpiAlias(f)
+		if alias == "" && !inMR {
+			continue
+		}
+		for _, d := range f.Decls {
+			fn, ok := d.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if inMR && fn.Recv != nil {
+				// Methods inside the library mutate the phase stores
+				// directly; the protocol applies to callers, not to the
+				// implementation.
+				continue
+			}
+			out = append(out, phaseScopes(pkg, alias, inMR, fn.Type.Params, fn.Body)...)
+		}
+	}
+	return out
+}
+
+// phaseScopes analyzes a function body and every function literal nested in
+// it, each as an independent scope.
+func phaseScopes(pkg *Package, alias string, inMR bool, params *ast.FieldList, body *ast.BlockStmt) []Finding {
+	out := phaseScope(pkg, alias, inMR, params, body)
+	ast.Inspect(body, func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok {
+			out = append(out, phaseScope(pkg, alias, inMR, fl.Type.Params, fl.Body)...)
+		}
+		return true
+	})
+	return out
+}
+
+// Phase states. stUnknown is the parameter state: ordering checks never
+// fire from it, only from states the scope itself established.
+const (
+	stUnknown = iota
+	stEmpty   // freshly created, no pairs added
+	stKV      // KV holds pairs (post-Map / post-Add / post-Reduce)
+	stKMV     // KV converted into a KMV (post-Collate/Convert)
+)
+
+// mrVar tracks one *MapReduce value visible in a scope.
+type mrVar struct {
+	state   int
+	created ast.Node // the New/NewWith assignment, nil for parameters
+}
+
+func phaseScope(pkg *Package, alias string, inMR bool, params *ast.FieldList, body *ast.BlockStmt) []Finding {
+	vars := map[string]*mrVar{}
+	kvOwner := map[string]string{} // kv := mr.KV() aliases -> mr name
+	if params != nil {
+		for _, field := range params.List {
+			if !isMRParamType(field.Type, alias, inMR) {
+				continue
+			}
+			for _, name := range field.Names {
+				vars[name.Name] = &mrVar{state: stUnknown}
+			}
+		}
+	}
+
+	var out []Finding
+	report := func(n ast.Node, msg string) {
+		out = append(out, Finding{Pos: pkg.position(n), Analyzer: "phase", Message: msg})
+	}
+
+	// Pass 1: the phase state machine, in source order, skipping nested
+	// function literals (they are scopes of their own).
+	scopeInspect(body, func(n ast.Node) {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			if len(x.Rhs) != 1 || len(x.Lhs) == 0 {
+				return
+			}
+			id, ok := x.Lhs[0].(*ast.Ident)
+			if !ok || id.Name == "_" {
+				return
+			}
+			if creationCall(x.Rhs[0], alias, inMR) {
+				vars[id.Name] = &mrVar{state: stEmpty, created: x}
+				return
+			}
+			if owner := kvHandleCall(x.Rhs[0], vars); owner != "" {
+				kvOwner[id.Name] = owner
+			}
+		case *ast.CallExpr:
+			name, method := mrMethodCall(x, vars, kvOwner)
+			if name == "" {
+				return
+			}
+			v := vars[name]
+			switch method {
+			case "Map", "MapFiles", "AddKV":
+				v.state = stKV
+			case "Aggregate":
+				if v.state == stEmpty {
+					report(x, "Aggregate on "+name+" before any Map or KV().Add: the KV is empty, so there is nothing to redistribute")
+				}
+			case "Convert", "Collate":
+				switch v.state {
+				case stEmpty:
+					report(x, method+" on "+name+" before any Map or KV().Add: converting an empty KV builds an empty KMV")
+				case stKMV:
+					report(x, "double "+method+" on "+name+": the KV was already converted with no intervening Map or Add, so this wipes the KMV")
+				}
+				v.state = stKMV
+			case "Reduce", "Scrunch":
+				if v.state == stKV || v.state == stEmpty {
+					report(x, method+" on "+name+" without a preceding Collate/Convert: the KMV is empty, so the callback never runs")
+				}
+				v.state = stKV
+			}
+		}
+	})
+
+	// Pass 2: Close on every return path, for values this scope created.
+	for name, v := range vars {
+		if v.created == nil {
+			continue
+		}
+		rest := stmtsAfter(body, v.created)
+		if rest == nil {
+			continue
+		}
+		closed, terminated := walkClose(rest, name, false, func(n ast.Node) {
+			report(n, name+" is not Closed on this return path: its spill files and page memory leak")
+		})
+		if !closed && !terminated {
+			report(v.created, name+" is created here but never Closed before the function falls off the end")
+		}
+	}
+	return out
+}
+
+// scopeInspect walks the statements of one scope in source order without
+// descending into nested function literals.
+func scopeInspect(body *ast.BlockStmt, visit func(ast.Node)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if n != nil {
+			visit(n)
+		}
+		return true
+	})
+}
+
+// isMRParamType matches the parameter type *mrmpi.MapReduce (under the
+// file's import alias), or bare *MapReduce inside package mrmpi.
+func isMRParamType(e ast.Expr, alias string, inMR bool) bool {
+	star, ok := e.(*ast.StarExpr)
+	if !ok {
+		return false
+	}
+	switch t := star.X.(type) {
+	case *ast.Ident:
+		return inMR && t.Name == "MapReduce"
+	case *ast.SelectorExpr:
+		if id, ok := t.X.(*ast.Ident); ok {
+			return id.Name == alias && t.Sel.Name == "MapReduce"
+		}
+	}
+	return false
+}
+
+// creationCall recognizes mrmpi.New(...) / mrmpi.NewWith(...) (or the bare
+// forms inside package mrmpi).
+func creationCall(e ast.Expr, alias string, inMR bool) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	qual, name := callTarget(call)
+	if name != "New" && name != "NewWith" {
+		return false
+	}
+	if qual != "" && qual == alias {
+		return true
+	}
+	return qual == "" && inMR
+}
+
+// kvHandleCall recognizes mr.KV() for a tracked mr and returns the owner's
+// name, so kv := mr.KV(); kv.Add(...) counts as an AddKV on mr.
+func kvHandleCall(e ast.Expr, vars map[string]*mrVar) string {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return ""
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "KV" {
+		return ""
+	}
+	if id, ok := sel.X.(*ast.Ident); ok && vars[id.Name] != nil {
+		return id.Name
+	}
+	return ""
+}
+
+// mrMethodCall resolves a call to a phase-relevant method on a tracked
+// MapReduce value. It recognizes direct calls (mr.Reduce(...)), adds
+// through a KV alias (kv.Add(...) after kv := mr.KV()), and chained adds
+// (mr.KV().AddString(...)) — the latter two normalize to "AddKV".
+func mrMethodCall(call *ast.CallExpr, vars map[string]*mrVar, kvOwner map[string]string) (name, method string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	m := sel.Sel.Name
+	switch x := sel.X.(type) {
+	case *ast.Ident:
+		if vars[x.Name] != nil {
+			return x.Name, m
+		}
+		if owner := kvOwner[x.Name]; owner != "" && isAddMethod(m) {
+			return owner, "AddKV"
+		}
+	case *ast.CallExpr:
+		if owner := kvHandleCall(x, vars); owner != "" && isAddMethod(m) {
+			return owner, "AddKV"
+		}
+	}
+	return "", ""
+}
+
+func isAddMethod(name string) bool {
+	return name == "Add" || name == "AddString"
+}
+
+// stmtsAfter finds the statement list containing target and returns the
+// statements strictly after it, or nil when target is not directly inside a
+// block in this scope.
+func stmtsAfter(body *ast.BlockStmt, target ast.Node) []ast.Stmt {
+	var rest []ast.Stmt
+	var scan func(list []ast.Stmt) bool
+	scan = func(list []ast.Stmt) bool {
+		for i, s := range list {
+			if s == target {
+				rest = list[i+1:]
+				return true
+			}
+		}
+		return false
+	}
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		switch b := n.(type) {
+		case *ast.BlockStmt:
+			found = scan(b.List)
+		case *ast.CaseClause:
+			found = scan(b.Body)
+		case *ast.CommClause:
+			found = scan(b.Body)
+		}
+		return !found
+	})
+	return rest
+}
+
+// walkClose walks a statement list tracking whether name has been Closed,
+// reporting any return reached while it is not. It returns (closed,
+// terminated): terminated means control cannot fall past the list (every
+// path returns or branches away). Loops and switch bodies are walked for
+// their inner returns but conservatively do not change the fall-through
+// close state.
+func walkClose(stmts []ast.Stmt, name string, closed bool, report func(ast.Node)) (bool, bool) {
+	for _, s := range stmts {
+		var term bool
+		closed, term = walkCloseStmt(s, name, closed, report)
+		if term {
+			return closed, true
+		}
+	}
+	return closed, false
+}
+
+func walkCloseStmt(s ast.Stmt, name string, closed bool, report func(ast.Node)) (bool, bool) {
+	switch x := s.(type) {
+	case *ast.DeferStmt:
+		if deferCloses(x.Call, name) {
+			return true, false
+		}
+	case *ast.ExprStmt:
+		if call, ok := x.X.(*ast.CallExpr); ok && isCloseCall(call, name) {
+			return true, false
+		}
+	case *ast.ReturnStmt:
+		if !closed {
+			report(x)
+		}
+		return closed, true
+	case *ast.BranchStmt:
+		// break/continue/goto leave the block; treat as terminating this
+		// list without judging the target.
+		return closed, true
+	case *ast.BlockStmt:
+		return walkClose(x.List, name, closed, report)
+	case *ast.LabeledStmt:
+		return walkCloseStmt(x.Stmt, name, closed, report)
+	case *ast.IfStmt:
+		bodyClosed, bodyTerm := walkClose(x.Body.List, name, closed, report)
+		if x.Else == nil {
+			if bodyTerm {
+				// Falling past the if means the body was not taken.
+				return closed, false
+			}
+			// The body may or may not run: only a pre-existing close is
+			// guaranteed afterwards.
+			return closed, false
+		}
+		elseClosed, elseTerm := walkCloseStmt(x.Else, name, closed, report)
+		switch {
+		case bodyTerm && elseTerm:
+			return closed, true
+		case bodyTerm:
+			return elseClosed, false
+		case elseTerm:
+			return bodyClosed, false
+		default:
+			return bodyClosed && elseClosed, false
+		}
+	case *ast.ForStmt:
+		walkClose(x.Body.List, name, closed, report)
+	case *ast.RangeStmt:
+		walkClose(x.Body.List, name, closed, report)
+	case *ast.SwitchStmt:
+		walkClauses(x.Body, name, closed, report)
+	case *ast.TypeSwitchStmt:
+		walkClauses(x.Body, name, closed, report)
+	case *ast.SelectStmt:
+		for _, c := range x.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				walkClose(cc.Body, name, closed, report)
+			}
+		}
+	}
+	return closed, false
+}
+
+func walkClauses(body *ast.BlockStmt, name string, closed bool, report func(ast.Node)) {
+	for _, c := range body.List {
+		if cc, ok := c.(*ast.CaseClause); ok {
+			walkClose(cc.Body, name, closed, report)
+		}
+	}
+}
+
+// isCloseCall matches name.Close().
+func isCloseCall(call *ast.CallExpr, name string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Close" {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	return ok && id.Name == name
+}
+
+// deferCloses matches `defer name.Close()` and `defer func() { ...
+// name.Close() ... }()`.
+func deferCloses(call *ast.CallExpr, name string) bool {
+	if isCloseCall(call, name) {
+		return true
+	}
+	fl, ok := call.Fun.(*ast.FuncLit)
+	if !ok {
+		return false
+	}
+	found := false
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		if c, ok := n.(*ast.CallExpr); ok && isCloseCall(c, name) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,278 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// Taint kinds for retain: a []byte aliasing a page buffer, or a [][]byte
+// whose elements alias page buffers.
+const (
+	taintNone = iota
+	taintBytes
+	taintHeaders
+)
+
+// checkRetain flags the `key []byte` / `values [][]byte` parameters of
+// MapKV/Reduce/Each callbacks (and sub-slices of them) escaping the
+// callback: stored into outer-scope structures, sent on a channel, or
+// returned. Those slices point into library-owned, page-backed KV/KMV
+// stores that are recycled out-of-core — after the callback returns the
+// bytes are rewritten by the next page, so a retained alias silently goes
+// stale. The fix is an explicit copy: append([]byte(nil), key...) or
+// string(key).
+//
+// Note one deliberate deviation from the C++ library's advice: emitting a
+// parameter via out.Add/AddString inside the callback is NOT flagged,
+// because this port's KeyValue.Add is documented to copy its inputs. Any
+// other call result is likewise treated as a fresh (clean) value.
+func checkRetain(pkg *Package) []Finding {
+	var out []Finding
+	inMR := pkg.Name == "mrmpi"
+	seen := map[token.Pos]bool{}
+	for _, f := range pkg.Files {
+		if mrmpiAlias(f) == "" && !inMR {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			kind, fl := mrCallback(call)
+			switch kind {
+			case cbMapKV, cbReduce, cbEachKV, cbEachKMV:
+			default:
+				return true
+			}
+			for _, fd := range retainedEscapes(pkg, fl) {
+				if pos := fd.node.Pos(); !seen[pos] {
+					seen[pos] = true
+					out = append(out, fd.finding)
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+type retainFinding struct {
+	node    ast.Node
+	finding Finding
+}
+
+// retainedEscapes runs the taint pass over one callback body. Parameters
+// typed []byte seed taintBytes and [][]byte seed taintHeaders; taint flows
+// through :=/= rebindings, sub-slicing, indexing (headers -> bytes), range,
+// append-with-aliasing, and composite literals, and is cleared by copying
+// idioms (string(x), append([]byte(nil), x...), any other call result).
+func retainedEscapes(pkg *Package, fl *ast.FuncLit) []retainFinding {
+	taint := map[string]int{}
+	locals := localIdents(fl)
+	if fl.Type.Params != nil {
+		for _, field := range fl.Type.Params.List {
+			k := taintNone
+			if isByteSliceType(field.Type) {
+				k = taintBytes
+			} else if isByteSliceSliceType(field.Type) {
+				k = taintHeaders
+			}
+			if k == taintNone {
+				continue
+			}
+			for _, name := range field.Names {
+				taint[name.Name] = k
+			}
+		}
+	}
+	if len(taint) == 0 {
+		return nil
+	}
+
+	var out []retainFinding
+	report := func(n ast.Node, what, how string) {
+		out = append(out, retainFinding{node: n, finding: Finding{
+			Pos:      pkg.position(n),
+			Analyzer: "retain",
+			Message: what + " aliases a recycled KV/KMV page buffer and " + how +
+				": copy it first (append([]byte(nil), x...) or string(x)) — the bytes are rewritten after the callback returns",
+		}})
+	}
+
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			if s.Tok == token.DEFINE {
+				for i, lhs := range s.Lhs {
+					id, ok := lhs.(*ast.Ident)
+					if !ok || id.Name == "_" {
+						continue
+					}
+					k := taintNone
+					if len(s.Rhs) == len(s.Lhs) {
+						k = exprTaint(s.Rhs[i], taint)
+					}
+					if k == taintNone {
+						delete(taint, id.Name)
+					} else {
+						taint[id.Name] = k
+					}
+				}
+				return true
+			}
+			for i, lhs := range s.Lhs {
+				var rhs ast.Expr
+				if len(s.Rhs) == len(s.Lhs) {
+					rhs = s.Rhs[i]
+				} else if len(s.Rhs) == 1 {
+					rhs = s.Rhs[0]
+				}
+				k := taintNone
+				if rhs != nil {
+					k = exprTaint(rhs, taint)
+				}
+				if k == taintNone {
+					// Rebinding with a clean value clears taint.
+					if id, ok := lhs.(*ast.Ident); ok {
+						delete(taint, id.Name)
+					}
+					continue
+				}
+				if id, ok := lhs.(*ast.Ident); ok {
+					if locals[id.Name] {
+						taint[id.Name] = k
+						continue
+					}
+					report(s, exprString(rhs), "is stored in captured variable "+id.Name)
+					continue
+				}
+				if id := baseIdent(lhs); id != nil {
+					if locals[id.Name] {
+						// A local container now holds the alias; if the
+						// container later escapes, it carries the taint.
+						taint[id.Name] = taintHeaders
+						continue
+					}
+					report(s, exprString(rhs), "is stored into captured "+id.Name)
+				}
+			}
+		case *ast.RangeStmt:
+			if s.Tok == token.DEFINE {
+				k := exprTaint(s.X, taint)
+				if id, ok := s.Value.(*ast.Ident); ok && id.Name != "_" {
+					if k == taintHeaders {
+						taint[id.Name] = taintBytes
+					} else {
+						delete(taint, id.Name)
+					}
+				}
+				if id, ok := s.Key.(*ast.Ident); ok && id.Name != "_" {
+					delete(taint, id.Name)
+				}
+			}
+		case *ast.SendStmt:
+			if exprTaint(s.Value, taint) != taintNone {
+				report(s, exprString(s.Value), "is sent on a channel")
+			}
+		case *ast.ReturnStmt:
+			for _, r := range s.Results {
+				if exprTaint(r, taint) != taintNone {
+					report(s, exprString(r), "is returned from the callback")
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// exprTaint classifies an expression against the current taint state.
+func exprTaint(e ast.Expr, taint map[string]int) int {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return taint[x.Name]
+	case *ast.ParenExpr:
+		return exprTaint(x.X, taint)
+	case *ast.SliceExpr:
+		// key[1:] aliases the same backing buffer.
+		return exprTaint(x.X, taint)
+	case *ast.IndexExpr:
+		// values[i] is a []byte into the page; key[i] is a plain byte.
+		if exprTaint(x.X, taint) == taintHeaders {
+			return taintBytes
+		}
+		return taintNone
+	case *ast.UnaryExpr:
+		if x.Op == token.AND {
+			return exprTaint(x.X, taint)
+		}
+	case *ast.CompositeLit:
+		for _, el := range x.Elts {
+			v := el
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				v = kv.Value
+			}
+			if exprTaint(v, taint) != taintNone {
+				return taintHeaders
+			}
+		}
+	case *ast.CallExpr:
+		return appendTaint(x, taint)
+	}
+	return taintNone
+}
+
+// appendTaint judges append() calls; every other call result is clean
+// (string(x), bytes.Clone-style helpers, out.Add which copies, ...).
+func appendTaint(call *ast.CallExpr, taint map[string]int) int {
+	if _, name := callTarget(call); name != "append" || len(call.Args) == 0 {
+		return taintNone
+	}
+	k := exprTaint(call.Args[0], taint)
+	for i, arg := range call.Args[1:] {
+		at := exprTaint(arg, taint)
+		if at == taintNone {
+			continue
+		}
+		if call.Ellipsis.IsValid() && i == len(call.Args)-2 {
+			// append(dst, key...) copies the CONTENT of a []byte — clean —
+			// but append(dst, values...) copies the HEADERS, which still
+			// point into the page.
+			if at == taintHeaders {
+				k = taintHeaders
+			}
+			continue
+		}
+		// A tainted element appended by value: the destination now holds
+		// an alias (append(list, key) stores the slice header).
+		k = taintHeaders
+	}
+	return k
+}
+
+// exprString renders a short source-ish form of an expression for
+// diagnostics.
+func exprString(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.ParenExpr:
+		return exprString(x.X)
+	case *ast.SliceExpr:
+		return exprString(x.X) + "[...]"
+	case *ast.IndexExpr:
+		return exprString(x.X) + "[...]"
+	case *ast.SelectorExpr:
+		return exprString(x.X) + "." + x.Sel.Name
+	case *ast.UnaryExpr:
+		return exprString(x.X)
+	case *ast.CallExpr:
+		if _, name := callTarget(x); name != "" {
+			return name + "(...)"
+		}
+	case *ast.CompositeLit:
+		return "composite literal"
+	}
+	return "value"
+}

@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sync"
 	"time"
 
 	"repro/internal/bio"
@@ -210,6 +211,10 @@ func Run(comm *mpi.Comm, cfg Config) (*Result, error) {
 	cache := blastdb.NewCache(cfg.CacheCapacity)
 	// Engine reuse: rebuilding the lookup table is wasted work when the
 	// master hands consecutive units of the same query block to a rank.
+	// The cache and the result counters are shared by every callback
+	// invocation on this rank; the mapper is free to run callbacks
+	// concurrently under the master styles, so all access is mutex-guarded.
+	var mu sync.Mutex
 	var cachedEngine *blast.Engine
 	cachedBlock := -1
 
@@ -241,11 +246,13 @@ func Run(comm *mpi.Comm, cfg Config) (*Result, error) {
 			}
 			bi := iterStart + itask/nparts
 			pi := itask % nparts
-			res.WorkItems++
 
+			mu.Lock()
+			res.WorkItems++
 			if cachedBlock != bi {
 				eng, err := blast.NewEngine(cfg.QueryBlocks[bi], cfg.Params)
 				if err != nil {
+					mu.Unlock()
 					return fmt.Errorf("block %d: %w", bi, err)
 				}
 				if cachedEngine != nil {
@@ -254,6 +261,7 @@ func Run(comm *mpi.Comm, cfg Config) (*Result, error) {
 				cachedEngine, cachedBlock = eng, bi
 			}
 			eng := cachedEngine
+			mu.Unlock()
 			eng.SetDatabaseDims(cfg.Manifest.TotalResidues, cfg.Manifest.NumSeqs)
 
 			vol, err := cache.Get(cfg.Manifest.VolumePath(pi))
@@ -275,7 +283,9 @@ func Run(comm *mpi.Comm, cfg Config) (*Result, error) {
 					kv.Add(queryKey(qi), h.Marshal())
 				}
 			}
+			mu.Lock()
 			res.EngineTime += time.Since(searchStart)
+			mu.Unlock()
 			return nil
 		})
 		if err != nil {
@@ -306,7 +316,9 @@ func Run(comm *mpi.Comm, cfg Config) (*Result, error) {
 			if cfg.TopK > 0 && len(hsps) > cfg.TopK {
 				hsps = hsps[:cfg.TopK]
 			}
+			mu.Lock()
 			localHits += int64(len(hsps))
+			mu.Unlock()
 			if out != nil {
 				for _, h := range hsps {
 					if cfg.OutFormat == "jsonl" {

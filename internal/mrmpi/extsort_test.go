@@ -1,0 +1,103 @@
+package mrmpi
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/mpi"
+)
+
+// TestConvertExternalMergeGroupsAndCleansUp forces the external sort-group
+// convert path with a tiny MemSize and checks the two properties the
+// in-memory comparison test cannot see: the k-way merge reassembles each
+// key's values in insertion order even though consecutive values of one key
+// land in different run files, and every mrmpi-run-*.kv file is removed by
+// convertExternal itself (not left for Close).
+func TestConvertExternalMergeGroupsAndCleansUp(t *testing.T) {
+	dir := t.TempDir()
+	const (
+		memSize = 256
+		nkeys   = 5
+		nvals   = 40
+	)
+	err := mpi.Run(1, func(c *mpi.Comm) error {
+		mr := NewWith(c, Options{MemSize: memSize, PageSize: 128, SpillDir: dir})
+		defer mr.Close()
+
+		// Interleave keys so each key's consecutive values are nkeys
+		// entries apart in sequence order: with ~45 bytes charged per
+		// entry against a 256-byte budget, a sorted run holds ~6 entries,
+		// so every key's value list spans nearly every run and the merge
+		// must reorder across all of them.
+		_, err := mr.Map(1, func(itask int, kv *KeyValue) error {
+			for v := 0; v < nvals; v++ {
+				for k := 0; k < nkeys; k++ {
+					kv.AddString(fmt.Sprintf("key%d", k), []byte(fmt.Sprintf("val-%d-%02d", k, v)))
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		if mr.KV().Bytes() <= memSize {
+			return fmt.Errorf("fixture holds only %d bytes; too small to trigger the external path", mr.KV().Bytes())
+		}
+		if err := mr.Convert(); err != nil {
+			return err
+		}
+
+		// The deferred cleanup in convertExternal removes the run files as
+		// soon as the merge finishes.
+		runs, err := filepath.Glob(filepath.Join(dir, "mrmpi-run-*.kv"))
+		if err != nil {
+			return err
+		}
+		if len(runs) != 0 {
+			return fmt.Errorf("run files left behind after Convert: %v", runs)
+		}
+
+		// External convert emits keys in lexicographic order with per-key
+		// values in global insertion order.
+		var gotKeys []string
+		if err := mr.KMV().Each(func(key []byte, values [][]byte) error {
+			k := string(key)
+			gotKeys = append(gotKeys, k)
+			if len(values) != nvals {
+				return fmt.Errorf("key %s: %d values, want %d", k, len(values), nvals)
+			}
+			for i, v := range values {
+				want := fmt.Sprintf("val-%c-%02d", k[len(k)-1], i)
+				if string(v) != want {
+					return fmt.Errorf("key %s value %d = %q, want %q", k, i, v, want)
+				}
+			}
+			return nil
+		}); err != nil {
+			return err
+		}
+		if len(gotKeys) != nkeys {
+			return fmt.Errorf("got %d keys: %v", len(gotKeys), gotKeys)
+		}
+		for i, k := range gotKeys {
+			if want := fmt.Sprintf("key%d", i); k != want {
+				return fmt.Errorf("key %d = %q, want %q (lexicographic merge order)", i, k, want)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Close ran via the defer above: the paged stores' spill files must be
+	// gone too, leaving the spill directory completely empty.
+	left, err := filepath.Glob(filepath.Join(dir, "mrmpi-*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(left) != 0 {
+		t.Fatalf("spill files left after Close: %v", left)
+	}
+}

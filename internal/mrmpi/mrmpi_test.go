@@ -250,16 +250,38 @@ func TestMapMasterCoversAllTasksOnce(t *testing.T) {
 }
 
 func TestMapMasterSingleRankFallsBack(t *testing.T) {
-	count := 0
 	runMR(t, 1, Options{MapStyle: MapStyleMaster}, func(mr *MapReduce) error {
-		_, err := mr.Map(5, func(itask int, kv *KeyValue) error {
-			count++
+		_, err := mr.Map(5, func(itask int, kv *KeyValue) error { return nil })
+		if err != nil {
+			return err
+		}
+		if got := mr.Stats().MapTasks; got != 5 {
+			return fmt.Errorf("executed %d tasks, want 5", got)
+		}
+		return nil
+	})
+}
+
+// TestUnsynchronizedCaptureSingleRank is the runtime twin of mpilint's
+// `capture` check: it runs the exact pattern the analyzer flags — a map
+// callback writing a captured variable with no synchronization — in the one
+// configuration where it is benign (a single rank, so a single goroutine
+// invokes the callbacks). CI runs this package under -race; if the map loop
+// ever starts invoking callbacks concurrently (e.g. a threaded
+// MapStyleMaster), the race detector turns this test into a failing
+// reproduction of the bug class the static check exists to prevent, instead
+// of letting it surface as a silent miscount in user code.
+func TestUnsynchronizedCaptureSingleRank(t *testing.T) {
+	sum := 0
+	runMR(t, 1, Options{MapStyle: MapStyleMaster}, func(mr *MapReduce) error {
+		_, err := mr.Map(50, func(itask int, kv *KeyValue) error {
+			sum += itask // mpilint:ignore — deliberately unsynchronized: the capture check's runtime twin
 			return nil
 		})
 		return err
 	})
-	if count != 5 {
-		t.Errorf("executed %d tasks, want 5", count)
+	if want := 50 * 49 / 2; sum != want {
+		t.Fatalf("sum = %d, want %d", sum, want)
 	}
 }
 
@@ -647,20 +669,19 @@ func TestMapMasterAffinityRequiresAffinity(t *testing.T) {
 }
 
 func TestMapMasterAffinitySingleRankFallsBack(t *testing.T) {
-	count := 0
 	runMR(t, 1, Options{
 		MapStyle: MapStyleMasterAffinity,
 		Affinity: func(itask int) int { return 0 },
 	}, func(mr *MapReduce) error {
-		_, err := mr.Map(5, func(itask int, kv *KeyValue) error {
-			count++
-			return nil
-		})
-		return err
+		_, err := mr.Map(5, func(itask int, kv *KeyValue) error { return nil })
+		if err != nil {
+			return err
+		}
+		if got := mr.Stats().MapTasks; got != 5 {
+			return fmt.Errorf("executed %d tasks, want 5", got)
+		}
+		return nil
 	})
-	if count != 5 {
-		t.Errorf("executed %d tasks, want 5", count)
-	}
 }
 
 func TestMapKV(t *testing.T) {

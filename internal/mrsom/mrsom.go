@@ -19,6 +19,7 @@ package mrsom
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/mpi"
@@ -166,6 +167,7 @@ func TrainFile(comm *mpi.Comm, vf *som.VectorFile, cfg Config) (*Result, error) 
 	den := make([]float64, cells)
 
 	res := &Result{}
+	var mu sync.Mutex
 	mr := mrmpi.NewWith(comm, mrmpi.Options{MapStyle: cfg.MapStyle})
 	defer mr.Close()
 
@@ -205,9 +207,15 @@ func TrainFile(comm *mpi.Comm, vf *som.VectorFile, cfg Config) (*Result, error) 
 			if err != nil {
 				return err
 			}
+			// num/den and the result counters are shared across callback
+			// invocations on this rank, and the mapper may run callbacks
+			// concurrently under the master styles — serialize the
+			// accumulation.
+			mu.Lock()
 			som.BatchAccumulateKernel(cb, block, hi-lo, sigma, cfg.Kernel, num, den)
 			res.BlocksProcessed++
 			res.VectorsProcessed += hi - lo
+			mu.Unlock()
 			return nil
 		})
 		if err != nil {
