@@ -3,7 +3,7 @@
 GO ?= go
 BIN ?= bin
 
-.PHONY: all build test race lint lint-json debug bench figures examples clean
+.PHONY: all build test race lint lint-json debug bench figures examples trace-demo clean
 
 all: build test
 
@@ -34,7 +34,7 @@ debug:
 # on the concurrency-heavy packages, and the mpidebug watchdog tests.
 test: lint
 	$(GO) test ./...
-	$(GO) test -race ./internal/mpi ./internal/mrmpi
+	$(GO) test -race ./internal/mpi ./internal/mrmpi ./internal/obs
 	$(GO) test -tags mpidebug ./internal/mpi
 
 race:
@@ -46,6 +46,19 @@ bench:
 # Regenerate every figure/table of the paper's evaluation.
 figures: build
 	$(BIN)/benchfig -fig all -out results -csv results/csv
+
+# Observability demo and self-check: train a small SOM on 4 ranks with
+# tracing and metrics on, then structurally validate the exported Chrome
+# trace with traceview -check (spans nest, begins have ends, clocks are
+# monotonic) and print the per-rank per-phase summary. Load
+# results/trace-demo.json into https://ui.perfetto.dev to browse it.
+trace-demo: build
+	mkdir -p results
+	$(BIN)/genseq -mode vectors -n 4000 -dim 16 -out results/trace-demo-vectors.bin
+	$(BIN)/mrsom -data results/trace-demo-vectors.bin -ranks 4 -w 12 -h 12 \
+		-epochs 4 -trace results/trace-demo.json -metrics
+	$(BIN)/traceview -check results/trace-demo.json
+	$(BIN)/traceview -top 5 results/trace-demo.json
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -36,12 +37,23 @@ func main() {
 	locality := flag.Bool("locality", false, "locality-aware master: prefer giving workers partitions they already hold")
 	dynamic := flag.Bool("dynamic-blocks", false, "taper query blocks toward the end of the set")
 	format := flag.String("format", "tsv", "output format: tsv | jsonl")
+	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON of the run (view in Perfetto or cmd/traceview)")
+	metrics := flag.Bool("metrics", false, "print the run's metrics registry on completion")
 	flag.Parse()
 	if *query == "" || *db == "" {
 		fail(fmt.Errorf("-query and -db are required"))
 	}
 	if *ranks < 1 {
 		fail(fmt.Errorf("need at least 1 rank, got %d", *ranks))
+	}
+
+	var tracer *obs.Tracer
+	if *tracePath != "" {
+		tracer = obs.NewTracer()
+	}
+	var reg *obs.Registry
+	if *metrics {
+		reg = obs.NewRegistry()
 	}
 
 	start := time.Now()
@@ -62,12 +74,33 @@ func main() {
 		LocalityAware:      *locality,
 		DynamicBlocks:      *dynamic,
 		OutFormat:          *format,
+		Trace:              tracer,
+		Metrics:            reg,
 	})
 	fail(err)
 	fmt.Printf("mrblast: %d queries in %d blocks x %d partitions = %d work units on %d ranks\n",
 		sum.Queries, sum.Blocks, sum.Partitions, sum.WorkItems, *ranks)
 	fmt.Printf("mrblast: %d hits in %v; useful CPU utilization %.2f; outputs under %s\n",
 		sum.TotalHits, time.Since(start).Round(time.Millisecond), sum.Utilization, *out)
+	if tracer != nil {
+		fail(writeTrace(*tracePath, tracer))
+		fmt.Printf("mrblast: wrote trace to %s\n", *tracePath)
+	}
+	if reg != nil {
+		fail(reg.Snapshot().WriteTable(os.Stdout))
+	}
+}
+
+func writeTrace(path string, tracer *obs.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tracer.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func fail(err error) {

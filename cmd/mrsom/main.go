@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/som"
 )
 
@@ -33,12 +34,23 @@ func main() {
 	bubble := flag.Bool("bubble", false, "bubble neighborhood kernel (default Gaussian)")
 	checkpoint := flag.String("checkpoint", "", "checkpoint file: written every -checkpoint-every epochs; resumed from when it exists")
 	checkpointEvery := flag.Int("checkpoint-every", 5, "epochs between checkpoints")
+	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON of the run (view in Perfetto or cmd/traceview)")
+	metrics := flag.Bool("metrics", false, "print the run's metrics registry on completion")
 	flag.Parse()
 	if *data == "" {
 		fail(fmt.Errorf("-data is required"))
 	}
 	if *ranks < 1 {
 		fail(fmt.Errorf("need at least 1 rank, got %d", *ranks))
+	}
+
+	var tracer *obs.Tracer
+	if *tracePath != "" {
+		tracer = obs.NewTracer()
+	}
+	var reg *obs.Registry
+	if *metrics {
+		reg = obs.NewRegistry()
 	}
 
 	start := time.Now()
@@ -55,8 +67,17 @@ func main() {
 			Path:  *checkpoint,
 			Every: *checkpointEvery,
 		},
+		Trace:   tracer,
+		Metrics: reg,
 	})
 	fail(err)
+	if tracer != nil {
+		fail(writeTrace(*tracePath, tracer))
+		fmt.Printf("mrsom: wrote trace to %s\n", *tracePath)
+	}
+	if reg != nil {
+		fail(reg.Snapshot().WriteTable(os.Stdout))
+	}
 	fmt.Printf("mrsom: trained %dx%d map on %d x %d-d vectors, %d epochs, %d ranks in %v\n",
 		*w, *h, sum.Vectors, sum.Dim, *epochs, *ranks, time.Since(start).Round(time.Millisecond))
 	fmt.Printf("mrsom: quantization error %.5f, topographic error %.5f\n",
@@ -69,6 +90,18 @@ func main() {
 		fail(som.WriteCodebookPPM(*codebook, sum.Codebook))
 		fmt.Printf("mrsom: wrote codebook image to %s\n", *codebook)
 	}
+}
+
+func writeTrace(path string, tracer *obs.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tracer.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func fail(err error) {

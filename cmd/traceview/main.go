@@ -1,0 +1,70 @@
+// Command traceview inspects Chrome trace_event JSON files written by the
+// -trace flag of cmd/mrblast and cmd/mrsom (or any obs.WriteChromeTrace
+// output). By default it prints a per-rank per-phase summary and the slowest
+// spans; with -check it validates the trace's structure (JSON parses, spans
+// nest, begins have ends, per-rank clocks are monotonic) and exits non-zero
+// on a malformed trace.
+//
+// Usage:
+//
+//	traceview trace.json
+//	traceview -top 20 trace.json
+//	traceview -check trace.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/obs"
+)
+
+func main() {
+	check := flag.Bool("check", false, "validate the trace structure and exit (non-zero on failure)")
+	top := flag.Int("top", 10, "number of slowest spans to show")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: traceview [-check] [-top N] trace.json")
+		os.Exit(2)
+	}
+	path := flag.Arg(0)
+
+	f, err := os.Open(path)
+	fail(err)
+	events, err := obs.ReadTrace(f)
+	f.Close()
+	fail(err)
+
+	if *check {
+		if err := obs.Validate(events); err != nil {
+			fmt.Fprintf(os.Stderr, "traceview: %s: INVALID: %v\n", path, err)
+			os.Exit(1)
+		}
+		ranks := map[int]bool{}
+		for _, ev := range events {
+			ranks[ev.Rank] = true
+		}
+		fmt.Printf("traceview: %s: OK (%d events, %d ranks)\n", path, len(events), len(ranks))
+		return
+	}
+
+	stats := obs.Summarize(events)
+	if len(stats) == 0 {
+		fmt.Printf("traceview: %s: no spans\n", path)
+		return
+	}
+	fmt.Printf("per-phase summary (%d events):\n", len(events))
+	fail(obs.WriteSummaryTable(os.Stdout, stats))
+	if *top > 0 {
+		fmt.Printf("\ntop %d slowest spans:\n", *top)
+		fail(obs.WriteTopSpans(os.Stdout, obs.TopSlowest(events, *top)))
+	}
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "traceview:", err)
+		os.Exit(1)
+	}
+}

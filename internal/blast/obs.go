@@ -1,0 +1,19 @@
+package blast
+
+import "repro/internal/obs"
+
+// Publish adds this stats snapshot into the run's metrics registry under
+// "blast.*" counter names. Ranks call it once at the end of a run (additive
+// across ranks), which supersedes hand-rolled EngineStats aggregation for
+// cross-layer reporting. A nil registry is a no-op.
+func (s EngineStats) Publish(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.Counter("blast.subjects").Add(s.Subjects)
+	reg.Counter("blast.word.hits").Add(s.WordHits)
+	reg.Counter("blast.exts.ungapped").Add(s.UngappedExts)
+	reg.Counter("blast.exts.gapped").Add(s.GappedExts)
+	reg.Counter("blast.hsps.reported").Add(s.HSPsReported)
+	reg.Counter("blast.residues.scanned").Add(s.ResiduesScanned)
+}

@@ -1,0 +1,17 @@
+package blastdb
+
+import "repro/internal/obs"
+
+// Publish adds this cache stats snapshot into the run's metrics registry
+// under "blastdb.cache.*" counter names (additive across ranks), which
+// supersedes collecting CacheStats by hand for cross-layer reporting. A nil
+// registry is a no-op.
+func (s CacheStats) Publish(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.Counter("blastdb.cache.hits").Add(s.Hits)
+	reg.Counter("blastdb.cache.misses").Add(s.Misses)
+	reg.Counter("blastdb.cache.evictions").Add(s.Evictions)
+	reg.Counter("blastdb.cache.bytes.loaded").Add(s.BytesLoaded)
+}

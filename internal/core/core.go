@@ -16,6 +16,7 @@ import (
 	"repro/internal/mrblast"
 	"repro/internal/mrmpi"
 	"repro/internal/mrsom"
+	"repro/internal/obs"
 	"repro/internal/som"
 )
 
@@ -62,6 +63,11 @@ type BlastJob struct {
 	UngappedOnly bool
 	// OutFormat selects the hits encoding: "tsv" (default) or "jsonl".
 	OutFormat string
+	// Trace, when non-nil, records per-rank span events across all layers
+	// of the run (mpi, mrmpi, mrblast); export with WriteChromeTrace.
+	Trace *obs.Tracer
+	// Metrics, when non-nil, collects run-wide counters from all layers.
+	Metrics *obs.Registry
 }
 
 // BlastSummary aggregates a parallel BLAST run.
@@ -130,7 +136,8 @@ func RunBlast(nranks int, job BlastJob) (*BlastSummary, error) {
 	workItems := make([]int, nranks)
 	hits := make([]int64, nranks)
 	rankResults := make([]*mrblast.Result, nranks)
-	err = mpi.Run(nranks, func(c *mpi.Comm) error {
+	opts := mpi.RunOptions{Trace: job.Trace, Metrics: job.Metrics}
+	err = mpi.RunWith(nranks, opts, func(c *mpi.Comm) error {
 		res, err := mrblast.Run(c, mrblast.Config{
 			Params:             params,
 			QueryBlocks:        blocks,
@@ -187,6 +194,11 @@ type SOMJob struct {
 	Bubble bool
 	// Checkpoint configures optional checkpoint/resume.
 	Checkpoint SOMCheckpoint
+	// Trace, when non-nil, records per-rank span events across all layers
+	// of the run (mpi, mrmpi, mrsom); export with WriteChromeTrace.
+	Trace *obs.Tracer
+	// Metrics, when non-nil, collects run-wide counters from all layers.
+	Metrics *obs.Registry
 }
 
 // SOMCheckpoint configures checkpointing for RunSOM: when Path is set, the
@@ -231,7 +243,8 @@ func RunSOM(nranks int, job SOMJob) (*SOMSummary, error) {
 	vf.Close()
 
 	var cb *som.Codebook
-	err = mpi.Run(nranks, func(c *mpi.Comm) error {
+	opts := mpi.RunOptions{Trace: job.Trace, Metrics: job.Metrics}
+	err = mpi.RunWith(nranks, opts, func(c *mpi.Comm) error {
 		res, err := mrsom.Train(c, job.DataPath, mrsom.Config{
 			Grid:            grid,
 			Epochs:          job.Epochs,

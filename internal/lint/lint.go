@@ -147,6 +147,7 @@ func Analyzers() []*Analyzer {
 		{Name: "capture", Doc: "unsynchronized writes to captured variables in Map/Reduce callbacks", Run: checkCapture},
 		{Name: "retain", Doc: "key/values page-buffer slices escaping a callback without a copy", Run: checkRetain},
 		{Name: "kvescape", Doc: "the *KeyValue emitter handle escaping its callback", Run: checkKVEscape},
+		{Name: "obslint", Doc: "trace spans opened with Begin but never ended in the same function", Run: checkObsSpans},
 	}
 }
 

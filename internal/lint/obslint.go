@@ -1,0 +1,164 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// checkObsSpans flags trace spans that are opened but never closed: a
+// tracer `Begin(cat, name, ...)` call whose Span has no matching `End` in
+// the same function. An unclosed span corrupts the trace (Validate rejects
+// it) and poisons the watchdog's in-flight report, so the discipline is:
+// every Begin is either
+//
+//   - assigned to a variable that is End-ed in the same function (a plain
+//     `sp.End()` statement or a `defer sp.End()`), or
+//   - chained immediately: `defer tr.Begin(...).End()`, or
+//   - returned to the caller (span-constructor helpers like traceCollective
+//     or MapReduce.phase, whose callers own the End).
+//
+// Discarding the Span (`tr.Begin(...)` as a statement, or assigning it to
+// `_`) is always flagged: that span can never be ended.
+func checkObsSpans(pkg *Package) []Finding {
+	var out []Finding
+	for _, f := range pkg.Files {
+		for _, scope := range funcScopes(f) {
+			out = append(out, obsScanScope(pkg, scope)...)
+		}
+	}
+	return out
+}
+
+// funcScopes yields every function body in the file: declarations and
+// literals, each analyzed independently (a span must be closed in the
+// function that opened it — closing it from a different function is how
+// traces end up torn).
+func funcScopes(f *ast.File) []*ast.BlockStmt {
+	var out []*ast.BlockStmt
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			if fn.Body != nil {
+				out = append(out, fn.Body)
+			}
+		case *ast.FuncLit:
+			out = append(out, fn.Body)
+		}
+		return true
+	})
+	return out
+}
+
+// isBeginCall matches a span-opening call: any `x.Begin(cat, name, ...)`
+// with at least the two string arguments of the tracing API (which keeps
+// unrelated Begin methods out).
+func isBeginCall(e ast.Expr) (*ast.CallExpr, bool) {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return nil, false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Begin" || len(call.Args) < 2 {
+		return nil, false
+	}
+	return call, true
+}
+
+// obsScanScope checks one function body. Nested function literals are
+// skipped here (each is its own scope), except when collecting End calls:
+// a deferred closure that ends the span still counts.
+func obsScanScope(pkg *Package, body *ast.BlockStmt) []Finding {
+	// Every `name.End(...)` reachable from this scope, including inside
+	// nested literals.
+	ended := map[string]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "End" {
+			if id, ok := sel.X.(*ast.Ident); ok {
+				ended[id.Name] = true
+			}
+		}
+		return true
+	})
+
+	type open struct {
+		name string
+		node ast.Node
+	}
+	var opens []open
+	var out []Finding
+	report := func(n ast.Node, msg string) {
+		out = append(out, Finding{Pos: pkg.position(n), Analyzer: "obslint", Message: msg})
+	}
+
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.FuncLit:
+			return false // nested literal: its own scope
+		case *ast.ReturnStmt:
+			// Span-constructor helpers hand the Begin result to the caller.
+			return false
+		case *ast.DeferStmt:
+			// defer x.Begin(...).End() closes the span at function exit.
+			if sel, ok := s.Call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "End" {
+				if _, ok := isBeginCall(sel.X); ok {
+					return false
+				}
+			}
+			return true
+		case *ast.ExprStmt:
+			if call, ok := isBeginCall(s.X); ok {
+				report(call, "trace span result discarded: assign the Span and End it (or defer tr.Begin(...).End())")
+				return false
+			}
+			return true
+		case *ast.AssignStmt:
+			if len(s.Lhs) != len(s.Rhs) {
+				return true
+			}
+			for i, rhs := range s.Rhs {
+				call, ok := isBeginCall(rhs)
+				if !ok {
+					continue
+				}
+				id, ok := s.Lhs[i].(*ast.Ident)
+				if !ok {
+					continue // field/index destination: out of syntactic reach
+				}
+				if id.Name == "_" {
+					report(call, "trace span assigned to _: that span can never be ended")
+					continue
+				}
+				opens = append(opens, open{name: id.Name, node: call})
+			}
+			return true
+		case *ast.ValueSpec:
+			for i, v := range s.Values {
+				call, ok := isBeginCall(v)
+				if !ok || i >= len(s.Names) {
+					continue
+				}
+				if s.Names[i].Name == "_" {
+					report(call, "trace span assigned to _: that span can never be ended")
+					continue
+				}
+				opens = append(opens, open{name: s.Names[i].Name, node: call})
+			}
+			return true
+		}
+		return true
+	}
+	ast.Inspect(body, walk)
+
+	for _, o := range opens {
+		if !ended[o.name] {
+			report(o.node, "span "+o.name+
+				" is opened with Begin but never ended in this function: add `defer "+o.name+".End()`")
+		}
+	}
+	Sort(out)
+	return out
+}

@@ -1,0 +1,126 @@
+package lint
+
+import "testing"
+
+const obsHeader = `package fix
+
+import "repro/internal/obs"
+`
+
+func TestObsLint(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{
+			name: "begin with deferred end is fine",
+			src: obsHeader + `
+func f(tr *obs.RankTracer) {
+	sp := tr.Begin("mpi", "Recv")
+	defer sp.End()
+}`,
+		},
+		{
+			name: "begin with explicit end is fine",
+			src: obsHeader + `
+func f(tr *obs.RankTracer) {
+	sp := tr.Begin("mrmpi", "convert.spill.run")
+	work()
+	sp.End()
+}`,
+		},
+		{
+			name: "chained defer begin end is fine",
+			src: obsHeader + `
+func f(tr *obs.RankTracer) {
+	defer tr.Begin("mpi", "Barrier").End()
+}`,
+		},
+		{
+			name: "guarded assignment with deferred end is fine",
+			src: obsHeader + `
+func f(tr *obs.RankTracer) {
+	var sp obs.Span
+	if tr != nil {
+		sp = tr.Begin("mpi", "Recv")
+	}
+	defer sp.End()
+}`,
+		},
+		{
+			name: "returned span is the caller's to end",
+			src: obsHeader + `
+func phase(tr *obs.RankTracer, name string) obs.Span {
+	if tr != nil {
+		return tr.Begin("mrmpi", name)
+	}
+	return obs.Span{}
+}`,
+		},
+		{
+			name: "begin without end is flagged",
+			src: obsHeader + `
+func f(tr *obs.RankTracer) {
+	sp := tr.Begin("mpi", "Recv") // want obslint
+	work()
+}`,
+		},
+		{
+			name: "discarded begin result is flagged",
+			src: obsHeader + `
+func f(tr *obs.RankTracer) {
+	tr.Begin("mpi", "Recv") // want obslint
+}`,
+		},
+		{
+			name: "span assigned to blank is flagged",
+			src: obsHeader + `
+func f(tr *obs.RankTracer) {
+	_ = tr.Begin("mpi", "Recv") // want obslint
+}`,
+		},
+		{
+			name: "end inside a nested closure counts",
+			src: obsHeader + `
+func f(tr *obs.RankTracer) {
+	sp := tr.Begin("mpi", "Recv")
+	defer func() { sp.End() }()
+}`,
+		},
+		{
+			name: "end in a different function does not count",
+			src: obsHeader + `
+func f(tr *obs.RankTracer) {
+	sp := tr.Begin("mpi", "Recv") // want obslint
+	use(func() {})
+	_ = sp
+}
+
+func g(sp obs.Span) {
+	sp.End()
+}`,
+		},
+		{
+			name: "begin inside a callback literal must end in that callback",
+			src: obsHeader + `
+func f(tr *obs.RankTracer) {
+	run(func() {
+		sp := tr.Begin("mrblast", "unit") // want obslint
+		work()
+	})
+}`,
+		},
+		{
+			name: "two-argument Begin on an unrelated type is ignored",
+			src: obsHeader + `
+func f(tx Txn) {
+	tx.Begin() // zero-arg Begin: not the tracing API
+}`,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			checkFixture(t, "obslint", tc.src)
+		})
+	}
+}

@@ -1,6 +1,10 @@
 package mpi
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/obs"
+)
 
 // Internal tags for collective traffic. User tags are non-negative, so these
 // can never collide with point-to-point messages. Successive collectives of
@@ -15,10 +19,24 @@ const (
 	tagAllgather
 )
 
+// traceCollective counts one collective entry and opens its trace span on
+// this rank. The zero Span returned when tracing is off is a no-op to End.
+func (c *Comm) traceCollective(op string) obs.Span {
+	c.world.mCollectives.Inc()
+	if tr := c.Tracer(); tr != nil {
+		return tr.Begin("mpi", op)
+	}
+	return obs.Span{}
+}
+
 // Barrier blocks until every rank in the world has entered it.
 func (c *Comm) Barrier() {
 	c.debugCollective("Barrier")
-	c.world.barrier.wait(c.world.timeout)
+	sp := c.traceCollective("Barrier")
+	defer sp.End()
+	c.world.barrier.wait(c.world.timeout, func() string {
+		return c.debugStatus() + c.world.traceStatus()
+	})
 }
 
 // Bcast broadcasts v from root to all ranks: every rank returns root's
@@ -27,6 +45,8 @@ func (c *Comm) Barrier() {
 // BcastFloat64s for a copying broadcast of numeric buffers.
 func Bcast[T any](c *Comm, root int, v T) T {
 	c.debugCollective("Bcast")
+	sp := c.traceCollective("Bcast")
+	defer sp.End()
 	c.checkRoot(root)
 	if c.rank == root {
 		for r := 0; r < c.Size(); r++ {
@@ -44,6 +64,8 @@ func Bcast[T any](c *Comm, root int, v T) T {
 // rank its own copy. Root's own slice is returned unchanged at root.
 func BcastFloat64s(c *Comm, root int, v []float64) []float64 {
 	c.debugCollective("BcastFloat64s")
+	sp := c.traceCollective("BcastFloat64s")
+	defer sp.End()
 	c.checkRoot(root)
 	if c.rank == root {
 		for r := 0; r < c.Size(); r++ {
@@ -65,6 +87,8 @@ func BcastFloat64s(c *Comm, root int, v []float64) []float64 {
 // false).
 func Reduce[T any](c *Comm, root int, v T, combine func(a, b T) T) (T, bool) {
 	c.debugCollective("Reduce")
+	sp := c.traceCollective("Reduce")
+	defer sp.End()
 	c.checkRoot(root)
 	if c.rank != root {
 		c.send(root, tagReduce, v)
@@ -101,6 +125,8 @@ func Allreduce[T any](c *Comm, v T, combine func(a, b T) T) T {
 // MPI_SUM) call the paper's batch SOM uses to combine codebook updates.
 func ReduceSumFloat64s(c *Comm, root int, v []float64) []float64 {
 	c.debugCollective("ReduceSumFloat64s")
+	sp := c.traceCollective("ReduceSumFloat64s")
+	defer sp.End()
 	c.checkRoot(root)
 	if c.rank != root {
 		c.send(root, tagReduce, v)
@@ -161,6 +187,8 @@ func AllreduceMaxFloat64(c *Comm, v float64) float64 {
 // receives the full slice; other ranks receive nil.
 func Gather[T any](c *Comm, root int, v T) []T {
 	c.debugCollective("Gather")
+	sp := c.traceCollective("Gather")
+	defer sp.End()
 	c.checkRoot(root)
 	if c.rank != root {
 		c.send(root, tagGather, v)
@@ -188,6 +216,8 @@ func Allgather[T any](c *Comm, v T) []T {
 // element. Only root's vals is consulted; it must have length Size.
 func Scatter[T any](c *Comm, root int, vals []T) T {
 	c.debugCollective("Scatter")
+	sp := c.traceCollective("Scatter")
+	defer sp.End()
 	c.checkRoot(root)
 	if c.rank == root {
 		if len(vals) != c.Size() {
@@ -209,6 +239,8 @@ func Scatter[T any](c *Comm, root int, vals []T) T {
 // Size. This is the exchange primitive under MapReduce-MPI's aggregate step.
 func Alltoall[T any](c *Comm, send []T) []T {
 	c.debugCollective("Alltoall")
+	sp := c.traceCollective("Alltoall")
+	defer sp.End()
 	if len(send) != c.Size() {
 		panic(fmt.Sprintf("mpi: Alltoall needs %d values, got %d", c.Size(), len(send)))
 	}

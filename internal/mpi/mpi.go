@@ -20,8 +20,11 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"strings"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // AnySource matches messages from any sending rank in Recv.
@@ -63,6 +66,15 @@ type World struct {
 	// debug is the runtime invariant checker; nil unless built with the
 	// mpidebug tag (see debug_on.go / debug_off.go).
 	debug *debugState
+	// tracers holds one obs rank handle per rank; nil when the world was
+	// launched without RunOptions.Trace. Every rank writes only its own
+	// handle, so tracing adds no cross-rank contention.
+	tracers []*obs.RankTracer
+	// metrics is the run's registry; nil when disabled.
+	metrics *obs.Registry
+	// Pre-resolved instruments so hot paths skip the registry lookup; all
+	// nil when metrics is nil (obs instruments no-op on nil).
+	mSends, mSendBytes, mRecvs, mCollectives *obs.Counter
 }
 
 // Comm is one rank's handle on the world; it is the receiver for all
@@ -78,21 +90,64 @@ func (c *Comm) Rank() int { return c.rank }
 // Size reports the number of ranks in the world.
 func (c *Comm) Size() int { return c.world.size }
 
+// Tracer returns this rank's trace buffer handle, or nil when the world
+// was launched without tracing. The nil result is safe to call methods on;
+// layers built over mpi (mrmpi, mrblast, mrsom) use this to emit their own
+// spans into the same per-rank buffers.
+func (c *Comm) Tracer() *obs.RankTracer {
+	if c.world.tracers == nil {
+		return nil
+	}
+	return c.world.tracers[c.rank]
+}
+
+// Metrics returns the run's metrics registry, or nil when disabled. The
+// nil result hands out no-op instruments.
+func (c *Comm) Metrics() *obs.Registry { return c.world.metrics }
+
 // newWorld creates a world of n ranks.
-func newWorld(n int, timeout time.Duration) *World {
+func newWorld(n int, timeout time.Duration, opts RunOptions) *World {
 	w := &World{
 		size:    n,
 		boxes:   make([]*mailbox, n),
 		barrier: newReusableBarrier(n),
 		timeout: timeout,
 		debug:   newDebugState(n),
+		metrics: opts.Metrics,
 	}
 	for i := range w.boxes {
 		b := &mailbox{}
 		b.cond = sync.NewCond(&b.mu)
 		w.boxes[i] = b
 	}
+	if opts.Trace != nil {
+		w.tracers = make([]*obs.RankTracer, n)
+		for i := range w.tracers {
+			w.tracers[i] = opts.Trace.Rank(i)
+		}
+	}
+	if w.metrics != nil {
+		w.mSends = w.metrics.Counter("mpi.sends")
+		w.mSendBytes = w.metrics.Counter("mpi.send.bytes")
+		w.mRecvs = w.metrics.Counter("mpi.recvs")
+		w.mCollectives = w.metrics.Counter("mpi.collectives")
+	}
 	return w
+}
+
+// traceStatus renders each rank's in-flight span for timeout diagnostics,
+// naming what every rank was blocked inside when a deadlock watchdog fires.
+// Empty when tracing is disabled.
+func (w *World) traceStatus() string {
+	if w.tracers == nil {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteString("\nin-flight spans:")
+	for rank, rt := range w.tracers {
+		fmt.Fprintf(&b, "\n  rank %d: %s", rank, rt.InFlight())
+	}
+	return b.String()
 }
 
 // abort wakes every blocked rank; they will panic with ErrAborted, which Run
@@ -113,6 +168,15 @@ func (w *World) abort() {
 type RunOptions struct {
 	// Timeout overrides DefaultRecvTimeout for blocking operations.
 	Timeout time.Duration
+	// Trace, when non-nil, records per-rank span events for every MPI
+	// operation (and everything the layers above emit through Comm.Tracer)
+	// into the tracer's per-rank buffers. Nil disables tracing at no cost
+	// to the hot paths.
+	Trace *obs.Tracer
+	// Metrics, when non-nil, receives run-wide counters (sends, receive
+	// counts, bytes, collectives) and is reachable from every layer via
+	// Comm.Metrics. Nil disables metrics.
+	Metrics *obs.Registry
 }
 
 // Run executes f as an SPMD program on n ranks (goroutines) and blocks until
@@ -132,7 +196,7 @@ func RunWith(n int, opts RunOptions, f func(c *Comm) error) error {
 	if timeout == 0 {
 		timeout = DefaultRecvTimeout
 	}
-	w := newWorld(n, timeout)
+	w := newWorld(n, timeout, opts)
 	errs := make([]error, n)
 	var wg sync.WaitGroup
 	wg.Add(n)
@@ -202,7 +266,10 @@ func newReusableBarrier(n int) *reusableBarrier {
 	return b
 }
 
-func (b *reusableBarrier) wait(timeout time.Duration) {
+// wait blocks until all n ranks arrive. diag, when non-nil, contributes
+// per-rank context (collective fingerprints, in-flight spans) to the
+// timeout panic message.
+func (b *reusableBarrier) wait(timeout time.Duration, diag func() string) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if b.aborted {
@@ -233,7 +300,11 @@ func (b *reusableBarrier) wait(timeout time.Duration) {
 		}
 		b.cond.Wait()
 		if timeout > 0 && b.gen == gen && !b.aborted && time.Now().After(deadline) {
-			panic(fmt.Errorf("mpi: barrier timed out after %v (likely deadlock): %w", timeout, ErrAborted))
+			extra := ""
+			if diag != nil {
+				extra = diag()
+			}
+			panic(fmt.Errorf("mpi: barrier timed out after %v (likely deadlock)%s: %w", timeout, extra, ErrAborted))
 		}
 	}
 	if b.aborted {

@@ -3,6 +3,8 @@ package mpi
 import (
 	"fmt"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Status describes a received message.
@@ -27,6 +29,15 @@ func (c *Comm) send(dst, tag int, data any) {
 	if dst < 0 || dst >= c.world.size {
 		panic(fmt.Sprintf("mpi: Send to invalid rank %d (size %d)", dst, c.world.size))
 	}
+	if tr := c.Tracer(); tr != nil {
+		tr.Instant("mpi", "Send",
+			obs.Arg{Key: "dst", Val: dst}, obs.Arg{Key: "tag", Val: tag},
+			obs.Arg{Key: "bytes", Val: payloadBytes(data)})
+	}
+	if w := c.world; w.mSends != nil {
+		w.mSends.Inc()
+		w.mSendBytes.Add(payloadBytes(data))
+	}
 	b := c.world.boxes[dst]
 	b.mu.Lock()
 	if b.aborted {
@@ -46,23 +57,32 @@ func (c *Comm) send(dst, tag int, data any) {
 func (c *Comm) Recv(src, tag int) (any, Status) {
 	if tag == AnyTag {
 		// AnyTag must not match internal collective traffic.
-		return c.recvMatch(func(m *message) bool {
+		return c.recvMatch(src, tag, func(m *message) bool {
 			return (src == AnySource || m.src == src) && m.tag >= 0
 		})
 	}
-	return c.recvMatch(func(m *message) bool {
+	return c.recvMatch(src, tag, func(m *message) bool {
 		return (src == AnySource || m.src == src) && m.tag == tag
 	})
 }
 
 // recv matches an exact (src, tag) pair, including internal negative tags.
 func (c *Comm) recv(src, tag int) (any, Status) {
-	return c.recvMatch(func(m *message) bool {
+	return c.recvMatch(src, tag, func(m *message) bool {
 		return m.src == src && m.tag == tag
 	})
 }
 
-func (c *Comm) recvMatch(match func(*message) bool) (any, Status) {
+// recvMatch is the blocking receive core. src and tag are diagnostic only
+// (they label the trace span); match decides delivery.
+func (c *Comm) recvMatch(src, tag int, match func(*message) bool) (any, Status) {
+	var sp obs.Span
+	if tr := c.Tracer(); tr != nil {
+		sp = tr.Begin("mpi", "Recv",
+			obs.Arg{Key: "src", Val: src}, obs.Arg{Key: "tag", Val: tag})
+	}
+	defer sp.End()
+	c.world.mRecvs.Inc()
 	b := c.world.boxes[c.rank]
 	timeout := c.world.timeout
 	var deadline time.Time
@@ -90,9 +110,11 @@ func (c *Comm) recvMatch(match func(*message) bool) (any, Status) {
 		}
 		if timeout > 0 && time.Now().After(deadline) {
 			// debugStatus names each rank's collective fingerprint under
-			// mpidebug builds, pointing at the laggard; it is empty otherwise.
-			panic(fmt.Errorf("mpi: rank %d Recv timed out after %v (likely deadlock)%s: %w",
-				c.rank, timeout, c.debugStatus(), ErrAborted))
+			// mpidebug builds; traceStatus names each rank's in-flight span
+			// when tracing is enabled. Either (or both) points at the
+			// laggard rank.
+			panic(fmt.Errorf("mpi: rank %d Recv timed out after %v (likely deadlock)%s%s: %w",
+				c.rank, timeout, c.debugStatus(), c.world.traceStatus(), ErrAborted))
 		}
 		if timeout > 0 && watchdog == nil {
 			// Wake the cond at the deadline so the timeout check above
@@ -129,4 +151,34 @@ func (c *Comm) Probe(src, tag int) (bool, Status) {
 func (c *Comm) Sendrecv(dst, sendTag int, data any, src, recvTag int) (any, Status) {
 	c.Send(dst, sendTag, data)
 	return c.Recv(src, recvTag)
+}
+
+// payloadBytes estimates the wire size of a message payload for trace args
+// and byte counters. It covers the types the runtime actually moves in
+// bulk; exotic payloads report 0 rather than paying for reflection.
+func payloadBytes(data any) int64 {
+	switch v := data.(type) {
+	case nil:
+		return 0
+	case []byte:
+		return int64(len(v))
+	case string:
+		return int64(len(v))
+	case []float64:
+		return int64(8 * len(v))
+	case []int64:
+		return int64(8 * len(v))
+	case []int:
+		return int64(8 * len(v))
+	case [][]byte:
+		var n int64
+		for _, b := range v {
+			n += int64(len(b))
+		}
+		return n
+	case int, int64, uint64, float64, bool:
+		return 8
+	default:
+		return 0
+	}
 }

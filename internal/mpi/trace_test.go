@@ -1,0 +1,102 @@
+package mpi
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// TestTracedRunValidates drives every collective with tracing and metrics
+// enabled and checks the merged event stream passes structural validation.
+func TestTracedRunValidates(t *testing.T) {
+	tracer := obs.NewTracer()
+	reg := obs.NewRegistry()
+	err := RunWith(4, RunOptions{Trace: tracer, Metrics: reg}, func(c *Comm) error {
+		c.Barrier()
+		v := Bcast(c, 0, c.Rank()*10)
+		if v != 0 {
+			t.Errorf("rank %d: Bcast = %d, want 0", c.Rank(), v)
+		}
+		send := make([][]byte, c.Size())
+		for r := range send {
+			send[r] = []byte{byte(c.Rank()), byte(r)}
+		}
+		Alltoall(c, send)
+		if c.Rank() == 1 {
+			c.Send(2, 7, []byte("hello"))
+		}
+		if c.Rank() == 2 {
+			c.Recv(1, 7)
+		}
+		AllreduceSumInt64(c, 1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := tracer.Events()
+	if err := obs.Validate(events); err != nil {
+		t.Fatalf("trace invalid: %v", err)
+	}
+	// Every rank must have produced events, and the Chrome export must
+	// survive a round trip.
+	ranks := map[int]bool{}
+	for _, ev := range events {
+		ranks[ev.Rank] = true
+	}
+	if len(ranks) != 4 {
+		t.Fatalf("events from %d ranks, want 4", len(ranks))
+	}
+	var buf bytes.Buffer
+	if err := tracer.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := obs.ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.Validate(back); err != nil {
+		t.Fatalf("round-tripped trace invalid: %v", err)
+	}
+
+	s := reg.Snapshot()
+	byName := map[string]int64{}
+	for _, c := range s.Counters {
+		byName[c.Name] = c.Value
+	}
+	if byName["mpi.sends"] == 0 || byName["mpi.recvs"] == 0 || byName["mpi.collectives"] == 0 {
+		t.Fatalf("metrics not populated: %+v", byName)
+	}
+	if byName["mpi.send.bytes"] == 0 {
+		t.Fatalf("send bytes not counted: %+v", byName)
+	}
+}
+
+// TestTimeoutNamesInFlightSpans provokes the deadlock watchdog with tracing
+// enabled: the timeout error must carry each rank's in-flight span, naming
+// what every rank was blocked inside.
+func TestTimeoutNamesInFlightSpans(t *testing.T) {
+	tracer := obs.NewTracer()
+	err := RunWith(2, RunOptions{Timeout: 50 * time.Millisecond, Trace: tracer}, func(c *Comm) error {
+		if c.Rank() == 0 {
+			c.Recv(1, 99) // never sent: the watchdog must fire
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("expected a timeout error")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "in-flight spans:") {
+		t.Fatalf("timeout error lacks in-flight span report:\n%s", msg)
+	}
+	if !strings.Contains(msg, "mpi:Recv") {
+		t.Fatalf("timeout error does not name the blocked Recv:\n%s", msg)
+	}
+	if !strings.Contains(msg, "rank 1: idle") {
+		t.Fatalf("timeout error does not show the idle peer:\n%s", msg)
+	}
+}

@@ -31,6 +31,7 @@ import (
 	"repro/internal/blastdb"
 	"repro/internal/mpi"
 	"repro/internal/mrmpi"
+	"repro/internal/obs"
 )
 
 // Config controls a parallel BLAST run.
@@ -208,6 +209,7 @@ func Run(comm *mpi.Comm, cfg Config) (*Result, error) {
 		defer outFile.Close()
 	}
 
+	tr := comm.Tracer()
 	cache := blastdb.NewCache(cfg.CacheCapacity)
 	// Engine reuse: rebuilding the lookup table is wasted work when the
 	// master hands consecutive units of the same query block to a rank.
@@ -246,11 +248,22 @@ func Run(comm *mpi.Comm, cfg Config) (*Result, error) {
 			}
 			bi := iterStart + itask/nparts
 			pi := itask % nparts
+			var usp obs.Span
+			if tr != nil {
+				usp = tr.Begin("mrblast", "unit",
+					obs.Arg{Key: "block", Val: bi}, obs.Arg{Key: "partition", Val: pi})
+			}
+			defer usp.End()
 
 			mu.Lock()
 			res.WorkItems++
 			if cachedBlock != bi {
+				var bsp obs.Span
+				if tr != nil {
+					bsp = tr.Begin("mrblast", "engine.build", obs.Arg{Key: "block", Val: bi})
+				}
 				eng, err := blast.NewEngine(cfg.QueryBlocks[bi], cfg.Params)
+				bsp.End()
 				if err != nil {
 					mu.Unlock()
 					return fmt.Errorf("block %d: %w", bi, err)
@@ -268,6 +281,12 @@ func Run(comm *mpi.Comm, cfg Config) (*Result, error) {
 			if err != nil {
 				return fmt.Errorf("partition %d: %w", pi, err)
 			}
+			var ssp obs.Span
+			if tr != nil {
+				ssp = tr.Begin("mrblast", "engine.search",
+					obs.Arg{Key: "partition", Val: pi}, obs.Arg{Key: "subjects", Val: vol.NumSeqs()})
+			}
+			defer ssp.End()
 			searchStart := time.Now()
 			for si := 0; si < vol.NumSeqs(); si++ {
 				subj := vol.Subject(si)
@@ -347,6 +366,15 @@ func Run(comm *mpi.Comm, cfg Config) (*Result, error) {
 		res.EngineStats = addStats(res.EngineStats, cachedEngine.Stats)
 	}
 	res.CacheStats = cache.Stats()
+	// Publish this rank's engine and cache counters into the run's registry
+	// (additive across ranks; no-op when metrics are disabled).
+	if reg := comm.Metrics(); reg != nil {
+		res.EngineStats.Publish(reg)
+		res.CacheStats.Publish(reg)
+		reg.Counter("mrblast.work.items").Add(int64(res.WorkItems))
+		reg.Counter("mrblast.hits").Add(localHits)
+		reg.Counter("mrblast.engine.time.ns").Add(int64(res.EngineTime))
+	}
 	if out != nil {
 		if err := out.Flush(); err != nil {
 			return nil, err

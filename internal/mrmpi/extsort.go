@@ -9,6 +9,8 @@ import (
 	"io"
 	"os"
 	"sort"
+
+	"repro/internal/obs"
 )
 
 // External (sort-based) convert: when the in-memory grouping index of
@@ -46,6 +48,11 @@ func (mr *MapReduce) convertExternal() error {
 		if len(batch) == 0 {
 			return nil
 		}
+		var sp obs.Span
+		if mr.tr != nil {
+			sp = mr.tr.Begin("mrmpi", "convert.spill.run",
+				obs.Arg{Key: "entries", Val: len(batch)})
+		}
 		sort.SliceStable(batch, func(i, j int) bool {
 			c := bytes.Compare(batch[i].key, batch[j].key)
 			if c != 0 {
@@ -53,10 +60,13 @@ func (mr *MapReduce) convertExternal() error {
 			}
 			return batch[i].seq < batch[j].seq
 		})
-		path, err := writeRun(mr.opt.SpillDir, batch)
+		path, nbytes, err := writeRun(mr.opt.SpillDir, batch)
+		sp.End(obs.Arg{Key: "bytes", Val: nbytes})
 		if err != nil {
 			return err
 		}
+		mr.stats.SpillBytes += nbytes
+		mr.mSpillBytes.Add(nbytes)
 		runs = append(runs, path)
 		batch = batch[:0]
 		batchBytes = 0
@@ -86,52 +96,62 @@ func (mr *MapReduce) convertExternal() error {
 
 	mr.kv.reset()
 	mr.kmv.reset()
+	var sp obs.Span
+	if mr.tr != nil {
+		sp = mr.tr.Begin("mrmpi", "convert.merge",
+			obs.Arg{Key: "runs", Val: len(runs)})
+	}
+	defer sp.End()
 	return mergeRuns(runs, func(key []byte, values [][]byte) {
 		mr.kmv.Add(key, values)
 	})
 }
 
 // Run file framing: uvarint klen, key, uvarint seq, uvarint vlen, value.
-func writeRun(dir string, entries []kvEntry) (string, error) {
+// Returns the run path and the number of bytes written.
+func writeRun(dir string, entries []kvEntry) (string, int64, error) {
 	if dir == "" {
 		dir = os.TempDir()
 	}
 	f, err := os.CreateTemp(dir, "mrmpi-run-*.kv")
 	if err != nil {
-		return "", err
+		return "", 0, err
 	}
 	bw := bufio.NewWriterSize(f, 1<<16)
+	var written int64
 	var tmp [binary.MaxVarintLen64]byte
 	put := func(v uint64) error {
 		n := binary.PutUvarint(tmp[:], v)
+		written += int64(n)
 		_, err := bw.Write(tmp[:n])
 		return err
 	}
 	for _, e := range entries {
 		if err := put(uint64(len(e.key))); err != nil {
-			return "", fail(f, err)
+			return "", 0, fail(f, err)
 		}
 		if _, err := bw.Write(e.key); err != nil {
-			return "", fail(f, err)
+			return "", 0, fail(f, err)
 		}
 		if err := put(uint64(e.seq)); err != nil {
-			return "", fail(f, err)
+			return "", 0, fail(f, err)
 		}
 		if err := put(uint64(len(e.value))); err != nil {
-			return "", fail(f, err)
+			return "", 0, fail(f, err)
 		}
 		if _, err := bw.Write(e.value); err != nil {
-			return "", fail(f, err)
+			return "", 0, fail(f, err)
 		}
+		written += int64(len(e.key) + len(e.value))
 	}
 	if err := bw.Flush(); err != nil {
-		return "", fail(f, err)
+		return "", 0, fail(f, err)
 	}
 	if err := f.Close(); err != nil {
 		os.Remove(f.Name())
-		return "", err
+		return "", 0, err
 	}
-	return f.Name(), nil
+	return f.Name(), written, nil
 }
 
 func fail(f *os.File, err error) error {

@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"repro/internal/mpi"
+	"repro/internal/obs"
 )
 
 // MapStyle selects how Map distributes tasks across ranks, mirroring
@@ -81,16 +82,33 @@ type Options struct {
 	Affinity func(itask int) int
 }
 
-// Stats counts activity on a MapReduce instance since creation.
+// Stats counts activity on a MapReduce instance since creation. All fields
+// are local to this rank; sum or reduce across ranks for global totals.
+//
+// When the instance was created over a communicator with metrics enabled
+// (mpi.RunOptions.Metrics), the same quantities are also published to the
+// run's obs.Registry under "mrmpi.*" counter names, which supersedes this
+// struct for cross-layer reporting.
 type Stats struct {
 	// MapTasks is the number of map tasks executed locally.
 	MapTasks int
 	// KVEmitted is the number of pairs emitted locally by map and reduce.
 	KVEmitted int
-	// ExchangedBytes is the number of bytes this rank sent during Aggregate.
+	// ExchangedBytes is the number of encoded KV bytes this rank SENT to
+	// other ranks during Aggregate. Pairs that hash back to this rank are
+	// excluded (they never cross the wire).
 	ExchangedBytes int64
-	// Spills is the number of pages spilled to disk across KV and KMV.
+	// ExchangedBytesRecv is the number of encoded KV bytes this rank
+	// RECEIVED from other ranks during Aggregate, self excluded. Across all
+	// ranks, sum(ExchangedBytesRecv) == sum(ExchangedBytes).
+	ExchangedBytesRecv int64
+	// Spills is the number of pages spilled to disk across KV and KMV,
+	// including stores retired by Reduce/MapKV/Scrunch replacing the KV.
 	Spills int
+	// SpillBytes is the total bytes written to disk by out-of-core activity:
+	// page spills of the KV/KMV stores plus external-sort run files written
+	// by Convert when the KV exceeds the memory budget.
+	SpillBytes int64
 }
 
 // MapReduce orchestrates map/collate/reduce phases over an MPI communicator.
@@ -102,6 +120,15 @@ type MapReduce struct {
 	kv    *KeyValue
 	kmv   *KeyMultiValue
 	stats Stats
+
+	// tr is this rank's trace buffer (nil when the world runs untraced);
+	// phase and per-task spans are emitted through it.
+	tr *obs.RankTracer
+	// Pre-resolved metrics instruments, all nil (no-op) when the world runs
+	// without a registry.
+	mTasks, mEmitted         *obs.Counter
+	mExchSent, mExchRecv     *obs.Counter
+	mSpillPages, mSpillBytes *obs.Counter
 }
 
 // New creates a MapReduce instance over comm with default options.
@@ -115,9 +142,45 @@ func NewWith(comm *mpi.Comm, opt Options) *MapReduce {
 		panic(fmt.Sprintf("mrmpi: spill dir: %v", err))
 	}
 	mr := &MapReduce{comm: comm, opt: opt}
-	mr.kv = newKeyValue(opt.SpillDir, opt.PageSize, opt.MemSize)
+	mr.tr = comm.Tracer()
+	reg := comm.Metrics()
+	mr.mTasks = reg.Counter("mrmpi.map.tasks")
+	mr.mEmitted = reg.Counter("mrmpi.kv.emitted")
+	mr.mExchSent = reg.Counter("mrmpi.exchange.sent.bytes")
+	mr.mExchRecv = reg.Counter("mrmpi.exchange.recv.bytes")
+	mr.mSpillPages = reg.Counter("mrmpi.spill.pages")
+	mr.mSpillBytes = reg.Counter("mrmpi.spill.bytes")
+	mr.kv = mr.newLocalKV()
 	mr.kmv = newKeyMultiValue(opt.SpillDir, opt.PageSize, opt.MemSize)
+	mr.kmv.store.cSpills = mr.mSpillPages
+	mr.kmv.store.cSpillBytes = mr.mSpillBytes
 	return mr
+}
+
+// newLocalKV builds a KV wired to this instance's spill instruments; used
+// for the primary KV and for the output KVs of Reduce/MapKV/Scrunch.
+func (mr *MapReduce) newLocalKV() *KeyValue {
+	kv := newKeyValue(mr.opt.SpillDir, mr.opt.PageSize, mr.opt.MemSize)
+	kv.store.cSpills = mr.mSpillPages
+	kv.store.cSpillBytes = mr.mSpillBytes
+	return kv
+}
+
+// phase opens one trace span for a collective MapReduce phase on this rank.
+// The zero Span returned when tracing is off is a no-op to End.
+func (mr *MapReduce) phase(name string) obs.Span {
+	if mr.tr != nil {
+		return mr.tr.Begin("mrmpi", name)
+	}
+	return obs.Span{}
+}
+
+// retireKV folds a store's spill counters into the cumulative stats before
+// the store is dropped, so Stats stays "since creation" across Reduce/MapKV/
+// Scrunch replacing the KV object.
+func (mr *MapReduce) retireKV(kv *KeyValue) {
+	mr.stats.Spills += kv.store.nspill
+	mr.stats.SpillBytes += kv.store.spillBytes
 }
 
 // Comm returns the underlying communicator (for direct MPI calls, which the
@@ -133,7 +196,8 @@ func (mr *MapReduce) KMV() *KeyMultiValue { return mr.kmv }
 // Stats returns a snapshot of local activity counters (non-collective).
 func (mr *MapReduce) Stats() Stats {
 	s := mr.stats
-	s.Spills = mr.kv.Spills() + mr.kmv.store.nspill
+	s.Spills += mr.kv.Spills() + mr.kmv.store.nspill
+	s.SpillBytes += mr.kv.store.spillBytes + mr.kmv.store.spillBytes
 	return s
 }
 
@@ -154,7 +218,20 @@ func (mr *MapReduce) Map(nmap int, fn MapFunc) (int64, error) {
 	if nmap < 0 {
 		return 0, fmt.Errorf("mrmpi: Map nmap must be non-negative, got %d", nmap)
 	}
+	sp := mr.phase("map")
+	defer sp.End()
+	if mr.tr != nil {
+		// Wrap the user function once so every dispatch style gets a
+		// per-work-unit span without per-style instrumentation.
+		inner := fn
+		fn = func(itask int, kv *KeyValue) error {
+			tsp := mr.tr.Begin("mrmpi", "map.task", obs.Arg{Key: "task", Val: itask})
+			defer tsp.End()
+			return inner(itask, kv)
+		}
+	}
 	before := mr.kv.N()
+	tasksBefore := mr.stats.MapTasks
 	var err error
 	style := mr.opt.MapStyle
 	if (style == MapStyleMaster || style == MapStyleMasterAffinity) && mr.comm.Size() == 1 {
@@ -177,6 +254,8 @@ func (mr *MapReduce) Map(nmap int, fn MapFunc) (int64, error) {
 		err = fmt.Errorf("mrmpi: unknown map style %v", style)
 	}
 	mr.stats.KVEmitted += mr.kv.N() - before
+	mr.mTasks.Add(int64(mr.stats.MapTasks - tasksBefore))
+	mr.mEmitted.Add(int64(mr.kv.N() - before))
 	if err != nil {
 		return 0, err
 	}
@@ -309,6 +388,8 @@ func DefaultHash(key []byte, nprocs int) int {
 // grouped by sending rank in rank order, preserving per-rank insertion
 // order, which makes the result deterministic.
 func (mr *MapReduce) Aggregate(hash HashFunc) error {
+	sp := mr.phase("aggregate")
+	defer sp.End()
 	if hash == nil {
 		hash = DefaultHash
 	}
@@ -330,12 +411,27 @@ func (mr *MapReduce) Aggregate(hash HashFunc) error {
 	if err != nil {
 		return err
 	}
+	var sentBytes int64
 	for r, b := range buckets {
 		if r != mr.comm.Rank() {
-			mr.stats.ExchangedBytes += int64(len(b))
+			sentBytes += int64(len(b))
 		}
 	}
+	mr.stats.ExchangedBytes += sentBytes
+	mr.mExchSent.Add(sentBytes)
 	recv := mpi.Alltoall(mr.comm, buckets)
+	var recvBytes int64
+	for r, b := range recv {
+		if r != mr.comm.Rank() {
+			recvBytes += int64(len(b))
+		}
+	}
+	mr.stats.ExchangedBytesRecv += recvBytes
+	mr.mExchRecv.Add(recvBytes)
+	if mr.tr != nil {
+		mr.tr.Instant("mrmpi", "exchange",
+			obs.Arg{Key: "sent", Val: sentBytes}, obs.Arg{Key: "recv", Val: recvBytes})
+	}
 	mr.kv.reset()
 	for _, buf := range recv {
 		for len(buf) > 0 {
@@ -362,6 +458,8 @@ func (mr *MapReduce) Aggregate(hash HashFunc) error {
 // emerge in lexicographic order. Value order within a key is preserved in
 // both paths.
 func (mr *MapReduce) Convert() error {
+	sp := mr.phase("convert")
+	defer sp.End()
 	memLimit := mr.opt.MemSize
 	if memLimit <= 0 {
 		memLimit = DefaultMemSize
@@ -402,6 +500,8 @@ func (mr *MapReduce) Convert() error {
 // Collate is Aggregate followed by Convert — MR-MPI's collate(). It returns
 // the global number of unique keys.
 func (mr *MapReduce) Collate(hash HashFunc) (int64, error) {
+	sp := mr.phase("collate")
+	defer sp.End()
 	if err := mr.Aggregate(hash); err != nil {
 		return 0, err
 	}
@@ -416,6 +516,8 @@ func (mr *MapReduce) Collate(hash HashFunc) (int64, error) {
 // query outputs in their original order as the paper's BLAST driver does.
 // Non-collective in effect but conventionally called on all ranks.
 func (mr *MapReduce) SortKeys(cmp func(a, b []byte) int) error {
+	sp := mr.phase("sort")
+	defer sp.End()
 	if cmp == nil {
 		cmp = bytes.Compare
 	}
@@ -452,7 +554,9 @@ type ReduceFunc func(key []byte, values [][]byte, out *KeyValue) error
 // become the new local KV; the KMV is emptied. It returns the global number
 // of emitted pairs.
 func (mr *MapReduce) Reduce(fn ReduceFunc) (int64, error) {
-	out := newKeyValue(mr.opt.SpillDir, mr.opt.PageSize, mr.opt.MemSize)
+	sp := mr.phase("reduce")
+	defer sp.End()
+	out := mr.newLocalKV()
 	err := mr.kmv.Each(func(key []byte, values [][]byte) error {
 		return fn(key, values, out)
 	})
@@ -461,14 +565,18 @@ func (mr *MapReduce) Reduce(fn ReduceFunc) (int64, error) {
 	}
 	mr.kmv.reset()
 	mr.kv.reset()
+	mr.retireKV(mr.kv)
 	mr.kv = out
 	mr.stats.KVEmitted += out.N()
+	mr.mEmitted.Add(int64(out.N()))
 	return mpi.AllreduceSumInt64(mr.comm, int64(mr.kv.N())), nil
 }
 
 // Gather moves all KV pairs onto the lowest nranks ranks (rank r's pairs go
 // to rank r mod nranks). It returns the global pair count.
 func (mr *MapReduce) Gather(nranks int) (int64, error) {
+	sp := mr.phase("gather")
+	defer sp.End()
 	size, rank := mr.comm.Size(), mr.comm.Rank()
 	if nranks <= 0 || nranks > size {
 		return 0, fmt.Errorf("mrmpi: Gather nranks must be in 1..%d, got %d", size, nranks)
@@ -512,7 +620,9 @@ func (mr *MapReduce) Gather(nranks int) (int64, error) {
 // Non-collective in effect, but conventionally called on all ranks; returns
 // the global pair count afterward.
 func (mr *MapReduce) MapKV(fn func(key, value []byte, out *KeyValue) error) (int64, error) {
-	out := newKeyValue(mr.opt.SpillDir, mr.opt.PageSize, mr.opt.MemSize)
+	sp := mr.phase("map.kv")
+	defer sp.End()
+	out := mr.newLocalKV()
 	err := mr.kv.Each(func(key, value []byte) error {
 		return fn(key, value, out)
 	})
@@ -520,8 +630,10 @@ func (mr *MapReduce) MapKV(fn func(key, value []byte, out *KeyValue) error) (int
 		return 0, err
 	}
 	mr.kv.reset()
+	mr.retireKV(mr.kv)
 	mr.kv = out
 	mr.stats.KVEmitted += out.N()
+	mr.mEmitted.Add(int64(out.N()))
 	return mpi.AllreduceSumInt64(mr.comm, int64(mr.kv.N())), nil
 }
 
@@ -530,7 +642,9 @@ func (mr *MapReduce) MapKV(fn func(key, value []byte, out *KeyValue) error) (int
 // prefixes — MR-MPI's scrunch-style collapse, useful for chaining
 // MapReduce cycles. Returns the global pair count.
 func (mr *MapReduce) Scrunch() (int64, error) {
-	out := newKeyValue(mr.opt.SpillDir, mr.opt.PageSize, mr.opt.MemSize)
+	sp := mr.phase("scrunch")
+	defer sp.End()
+	out := mr.newLocalKV()
 	err := mr.kmv.Each(func(key []byte, values [][]byte) error {
 		var buf []byte
 		for _, v := range values {
@@ -545,6 +659,7 @@ func (mr *MapReduce) Scrunch() (int64, error) {
 	}
 	mr.kmv.reset()
 	mr.kv.reset()
+	mr.retireKV(mr.kv)
 	mr.kv = out
 	return mpi.AllreduceSumInt64(mr.comm, int64(mr.kv.N())), nil
 }

@@ -21,6 +21,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+
+	"repro/internal/obs"
 )
 
 // DefaultPageSize is the size of one in-memory page of key-value data.
@@ -48,12 +50,16 @@ type pagedStore struct {
 	spillDir string
 	label    string // for spill file names and errors
 
-	pages    []page
-	cur      []byte // page under construction
-	memBytes int64
-	nspill   int
-	nrec     int
-	spillErr error // first spill failure, surfaced on the next operation
+	pages      []page
+	cur        []byte // page under construction
+	memBytes   int64
+	nspill     int
+	spillBytes int64 // cumulative bytes written by page spills
+	nrec       int
+	spillErr   error // first spill failure, surfaced on the next operation
+
+	// Optional metrics instruments (nil-safe no-ops when metrics are off).
+	cSpills, cSpillBytes *obs.Counter
 }
 
 func newPagedStore(label, spillDir string, pageSize int, memLimit int64) *pagedStore {
@@ -130,6 +136,9 @@ func (s *pagedStore) spillOldest() bool {
 			return false
 		}
 		s.memBytes -= int64(len(p.buf))
+		s.spillBytes += int64(len(p.buf))
+		s.cSpills.Inc()
+		s.cSpillBytes.Add(int64(len(p.buf)))
 		p.path = f.Name()
 		p.buf = nil
 		s.nspill++

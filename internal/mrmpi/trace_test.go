@@ -1,0 +1,228 @@
+package mrmpi
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/mpi"
+	"repro/internal/obs"
+)
+
+// TestFourRankJobProducesValidChromeTrace runs a full map/collate/reduce/
+// gather job on 4 ranks with tracing and metrics enabled and checks the
+// exported Chrome trace end to end: the JSON parses, spans nest (every B has
+// a matching E), per-rank clocks are monotonic, and every phase shows up on
+// every rank.
+func TestFourRankJobProducesValidChromeTrace(t *testing.T) {
+	tracer := obs.NewTracer()
+	reg := obs.NewRegistry()
+	opts := mpi.RunOptions{Trace: tracer, Metrics: reg}
+	err := mpi.RunWith(4, opts, func(c *mpi.Comm) error {
+		mr := New(c)
+		defer mr.Close()
+		if _, err := mr.Map(16, func(itask int, kv *KeyValue) error {
+			for i := 0; i < 8; i++ {
+				kv.AddString(fmt.Sprintf("key%d", (itask+i)%10), []byte{byte(itask)})
+			}
+			return nil
+		}); err != nil {
+			return err
+		}
+		if _, err := mr.Collate(nil); err != nil {
+			return err
+		}
+		if err := mr.SortKeys(nil); err != nil {
+			return err
+		}
+		if _, err := mr.Reduce(func(key []byte, values [][]byte, out *KeyValue) error {
+			out.Add(key, []byte{byte(len(values))})
+			return nil
+		}); err != nil {
+			return err
+		}
+		if _, err := mr.Gather(1); err != nil {
+			return err
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Golden structural properties of the exported trace.
+	var buf bytes.Buffer
+	if err := tracer.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	var anyJSON struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &anyJSON); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if len(anyJSON.TraceEvents) == 0 {
+		t.Fatal("trace has no events")
+	}
+
+	events, err := obs.ReadTrace(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.Validate(events); err != nil {
+		t.Fatalf("trace fails validation: %v", err)
+	}
+
+	// Every collective phase must appear on every rank.
+	type rankPhase struct {
+		rank  int
+		phase string
+	}
+	seen := map[rankPhase]bool{}
+	for _, ev := range events {
+		if ev.Type == obs.BeginEvent && ev.Cat == "mrmpi" {
+			seen[rankPhase{ev.Rank, ev.Name}] = true
+		}
+	}
+	for rank := 0; rank < 4; rank++ {
+		for _, phase := range []string{"map", "collate", "aggregate", "convert", "sort", "reduce", "gather"} {
+			if !seen[rankPhase{rank, phase}] {
+				t.Errorf("rank %d: no %q span in trace", rank, phase)
+			}
+		}
+		if !seen[rankPhase{rank, "map.task"}] {
+			t.Errorf("rank %d: no per-task map spans", rank)
+		}
+	}
+
+	// Per-phase summary must produce stats for each rank.
+	stats := obs.Summarize(events)
+	if len(stats) == 0 {
+		t.Fatal("no span stats from a traced run")
+	}
+
+	s := reg.Snapshot()
+	vals := map[string]int64{}
+	for _, c := range s.Counters {
+		vals[c.Name] = c.Value
+	}
+	if vals["mrmpi.map.tasks"] != 16 {
+		t.Errorf("mrmpi.map.tasks = %d, want 16", vals["mrmpi.map.tasks"])
+	}
+	if vals["mrmpi.kv.emitted"] == 0 {
+		t.Error("mrmpi.kv.emitted not counted")
+	}
+	if vals["mrmpi.exchange.sent.bytes"] == 0 || vals["mrmpi.exchange.recv.bytes"] == 0 {
+		t.Errorf("exchange bytes not counted: sent=%d recv=%d",
+			vals["mrmpi.exchange.sent.bytes"], vals["mrmpi.exchange.recv.bytes"])
+	}
+	// Conservation: globally, bytes sent == bytes received.
+	if vals["mrmpi.exchange.sent.bytes"] != vals["mrmpi.exchange.recv.bytes"] {
+		t.Errorf("exchange bytes not conserved: sent=%d recv=%d",
+			vals["mrmpi.exchange.sent.bytes"], vals["mrmpi.exchange.recv.bytes"])
+	}
+}
+
+// TestExchangedBytesRecvAndConservation checks the Stats accounting fixed in
+// this change: received bytes are counted, self-traffic is excluded from
+// both directions, and send/recv totals balance across ranks.
+func TestExchangedBytesRecvAndConservation(t *testing.T) {
+	const ranks = 4
+	var mu sync.Mutex
+	perRank := make([]Stats, ranks)
+	err := mpi.Run(ranks, func(c *mpi.Comm) error {
+		mr := New(c)
+		defer mr.Close()
+		if _, err := mr.Map(ranks*4, func(itask int, kv *KeyValue) error {
+			kv.AddString(fmt.Sprintf("key%d", itask), []byte("v"))
+			return nil
+		}); err != nil {
+			return err
+		}
+		if err := mr.Aggregate(nil); err != nil {
+			return err
+		}
+		st := mr.Stats()
+		mu.Lock()
+		perRank[c.Rank()] = st
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sent, recvd int64
+	for r, st := range perRank {
+		sent += st.ExchangedBytes
+		recvd += st.ExchangedBytesRecv
+		t.Logf("rank %d: sent=%d recv=%d", r, st.ExchangedBytes, st.ExchangedBytesRecv)
+	}
+	if sent == 0 {
+		t.Fatal("no exchange traffic in a 4-rank aggregate")
+	}
+	if sent != recvd {
+		t.Fatalf("global sent (%d) != global received (%d)", sent, recvd)
+	}
+}
+
+// TestSpillBytesCountsRunsAndPages forces both out-of-core paths — page
+// spills in the KV store and external-sort runs in Convert — and checks
+// SpillBytes sees them.
+func TestSpillBytesCountsRunsAndPages(t *testing.T) {
+	err := mpi.Run(1, func(c *mpi.Comm) error {
+		mr := NewWith(c, Options{
+			PageSize: 256,
+			MemSize:  1024,
+			SpillDir: t.TempDir(),
+		})
+		defer mr.Close()
+		if _, err := mr.Map(1, func(itask int, kv *KeyValue) error {
+			for i := 0; i < 200; i++ {
+				kv.AddString(fmt.Sprintf("key%03d", i%17), bytes.Repeat([]byte{'x'}, 40))
+			}
+			return nil
+		}); err != nil {
+			return err
+		}
+		if err := mr.Convert(); err != nil {
+			return err
+		}
+		st := mr.Stats()
+		if st.Spills == 0 {
+			return fmt.Errorf("expected page spills with a 1KB budget, got 0")
+		}
+		if st.SpillBytes == 0 {
+			return fmt.Errorf("SpillBytes = 0 despite %d page spills", st.Spills)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentMapTasksTraceSafely exercises tracing from a master-worker
+// map where multiple worker goroutines write spans concurrently (each to its
+// own rank buffer); run under -race this is the data-race gate for the
+// tracing fast path.
+func TestConcurrentMapTasksTraceSafely(t *testing.T) {
+	tracer := obs.NewTracer()
+	err := mpi.RunWith(4, mpi.RunOptions{Trace: tracer}, func(c *mpi.Comm) error {
+		mr := NewWith(c, Options{MapStyle: MapStyleMaster})
+		defer mr.Close()
+		_, err := mr.Map(64, func(itask int, kv *KeyValue) error {
+			kv.AddString(fmt.Sprintf("k%d", itask), []byte("v"))
+			return nil
+		})
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.Validate(tracer.Events()); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -24,6 +24,7 @@ import (
 
 	"repro/internal/mpi"
 	"repro/internal/mrmpi"
+	"repro/internal/obs"
 	"repro/internal/som"
 )
 
@@ -168,6 +169,7 @@ func TrainFile(comm *mpi.Comm, vf *som.VectorFile, cfg Config) (*Result, error) 
 
 	res := &Result{}
 	var mu sync.Mutex
+	tr := comm.Tracer()
 	mr := mrmpi.NewWith(comm, mrmpi.Options{MapStyle: cfg.MapStyle})
 	defer mr.Close()
 
@@ -186,9 +188,20 @@ func TrainFile(comm *mpi.Comm, vf *som.VectorFile, cfg Config) (*Result, error) 
 		}
 		start := time.Now()
 		sigma := tpResolved.Radius(epoch, cfg.Epochs)
+		// Epoch span: ended explicitly at the bottom of the loop body (a
+		// deferred End would leak until Train returns).
+		var esp obs.Span
+		if tr != nil {
+			esp = tr.Begin("mrsom", "epoch", obs.Arg{Key: "epoch", Val: epoch})
+		}
 
 		// (1) Broadcast the epoch-start codebook.
+		var bsp obs.Span
+		if tr != nil {
+			bsp = tr.Begin("mrsom", "bcast.codebook")
+		}
 		weights := mpi.BcastFloat64s(comm, 0, cb.Weights)
+		bsp.End()
 		if comm.Rank() != 0 {
 			copy(cb.Weights, weights)
 		}
@@ -212,7 +225,13 @@ func TrainFile(comm *mpi.Comm, vf *som.VectorFile, cfg Config) (*Result, error) 
 			// concurrently under the master styles — serialize the
 			// accumulation.
 			mu.Lock()
+			var ksp obs.Span
+			if tr != nil {
+				ksp = tr.Begin("mrsom", "kernel",
+					obs.Arg{Key: "block", Val: itask}, obs.Arg{Key: "vectors", Val: hi - lo})
+			}
 			som.BatchAccumulateKernel(cb, block, hi-lo, sigma, cfg.Kernel, num, den)
+			ksp.End()
 			res.BlocksProcessed++
 			res.VectorsProcessed += hi - lo
 			mu.Unlock()
@@ -224,22 +243,39 @@ func TrainFile(comm *mpi.Comm, vf *som.VectorFile, cfg Config) (*Result, error) 
 
 		// (3) Direct MPI reduce of numerators and denominators; the master
 		// recomputes the codebook (Eq. 5).
+		var rsp obs.Span
+		if tr != nil {
+			rsp = tr.Begin("mrsom", "reduce.updates")
+		}
 		numSum := mpi.ReduceSumFloat64s(comm, 0, num)
 		denSum := mpi.ReduceSumFloat64s(comm, 0, den)
+		rsp.End()
 		stopping := cfg.StopAfterEpochs > 0 && epoch+1-startEpoch >= cfg.StopAfterEpochs
 		if comm.Rank() == 0 {
+			var asp obs.Span
+			if tr != nil {
+				asp = tr.Begin("mrsom", "apply")
+			}
 			som.BatchApply(cb, numSum, denSum)
+			asp.End()
 			res.EpochTimes = append(res.EpochTimes, time.Since(start))
 			if cfg.CheckpointPath != "" &&
 				((epoch+1)%cfg.CheckpointEvery == 0 || epoch == cfg.Epochs-1 || stopping) {
 				if err := som.WriteCodebook(cfg.CheckpointPath, cb, epoch+1); err != nil {
+					esp.End()
 					return nil, fmt.Errorf("mrsom: checkpoint at epoch %d: %w", epoch+1, err)
 				}
 			}
 		}
+		esp.End()
 		if stopping {
 			break
 		}
+	}
+	if reg := comm.Metrics(); reg != nil {
+		reg.Counter("mrsom.epochs").Add(int64(len(res.EpochTimes)))
+		reg.Counter("mrsom.blocks").Add(int64(res.BlocksProcessed))
+		reg.Counter("mrsom.vectors").Add(int64(res.VectorsProcessed))
 	}
 
 	// Leave every rank with the final map.

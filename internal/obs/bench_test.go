@@ -1,0 +1,64 @@
+package obs
+
+import "testing"
+
+// The disabled path is the price every instrumented hot path pays when
+// observability is off: a nil check and an immediate return. The CI gate
+// (TestDisabledPathOverhead) holds it under 5ns per Begin+End pair so
+// instrumentation can stay inline in Send/Recv/map-task code without a
+// build tag.
+
+var sinkSpan Span
+
+func BenchmarkDisabledSpan(b *testing.B) {
+	var rt *RankTracer
+	for i := 0; i < b.N; i++ {
+		sp := rt.Begin("cat", "name")
+		sp.End()
+		sinkSpan = sp
+	}
+}
+
+func BenchmarkDisabledCounter(b *testing.B) {
+	var c *Counter
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+	}
+}
+
+func BenchmarkEnabledSpan(b *testing.B) {
+	tr := NewTracer()
+	rt := tr.Rank(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sp := rt.Begin("cat", "name")
+		sp.End()
+	}
+}
+
+func BenchmarkEnabledCounter(b *testing.B) {
+	c := NewRegistry().Counter("x")
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+	}
+}
+
+// TestDisabledPathOverhead is the no-op-cheap acceptance gate: a disabled
+// Begin+End pair must cost at most 5ns. Skipped under the race detector,
+// whose instrumentation skews absolute nanosecond numbers.
+func TestDisabledPathOverhead(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation skews ns/op; the gate runs in the non-race CI step")
+	}
+	if testing.Short() {
+		t.Skip("timing gate skipped in -short mode")
+	}
+	res := testing.Benchmark(BenchmarkDisabledSpan)
+	if ns := res.NsPerOp(); ns > 5 {
+		t.Errorf("disabled Begin+End costs %dns/op, want <= 5ns/op", ns)
+	}
+	res = testing.Benchmark(BenchmarkDisabledCounter)
+	if ns := res.NsPerOp(); ns > 5 {
+		t.Errorf("disabled Counter.Add costs %dns/op, want <= 5ns/op", ns)
+	}
+}

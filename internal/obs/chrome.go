@@ -1,0 +1,158 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Chrome trace_event JSON: the interchange format of Perfetto and
+// chrome://tracing. Each rank is one "thread" (tid) of a single process, so
+// the UI shows one track per rank with nested spans. Only the subset this
+// package emits — B/E/I duration events plus M metadata naming the tracks —
+// is read back by ReadTrace.
+
+// chromeEvent is the wire form of one trace_event record. TS is in
+// microseconds per the format spec.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeFile is the outer JSON object.
+type chromeFile struct {
+	TraceEvents []chromeEvent `json:"traceEvents"`
+}
+
+// WriteChromeTrace writes the merged event stream as Chrome trace JSON.
+// Open the file in https://ui.perfetto.dev or chrome://tracing, or feed it
+// to cmd/traceview.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	events := t.Events()
+	file := chromeFile{TraceEvents: make([]chromeEvent, 0, len(events)+1+t.NumRanks())}
+	file.TraceEvents = append(file.TraceEvents, chromeEvent{
+		Name: "process_name", Ph: "M", Args: map[string]any{"name": "mrbio"},
+	})
+	for r := 0; r < t.NumRanks(); r++ {
+		file.TraceEvents = append(file.TraceEvents, chromeEvent{
+			Name: "thread_name", Ph: "M", TID: r,
+			Args: map[string]any{"name": fmt.Sprintf("rank %d", r)},
+		})
+	}
+	for _, ev := range events {
+		ce := chromeEvent{
+			Name: ev.Name,
+			Cat:  ev.Cat,
+			Ph:   string(ev.Type),
+			TS:   float64(ev.TS) / 1e3,
+			TID:  ev.Rank,
+		}
+		if len(ev.Args) > 0 {
+			ce.Args = make(map[string]any, len(ev.Args))
+			for _, a := range ev.Args {
+				ce.Args[a.Key] = a.Val
+			}
+		}
+		file.TraceEvents = append(file.TraceEvents, ce)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(file)
+}
+
+// ReadTrace parses Chrome trace JSON back into the typed event stream,
+// dropping metadata records. Event order follows the file; args become
+// key-sorted Arg lists.
+func ReadTrace(r io.Reader) ([]Event, error) {
+	var file chromeFile
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&file); err != nil {
+		return nil, fmt.Errorf("obs: trace is not valid JSON: %w", err)
+	}
+	var events []Event
+	for i, ce := range file.TraceEvents {
+		switch ce.Ph {
+		case "M":
+			continue
+		case "B", "E", "I":
+		default:
+			return nil, fmt.Errorf("obs: event %d has unsupported phase %q", i, ce.Ph)
+		}
+		ev := Event{
+			Type: EventType(ce.Ph[0]),
+			Rank: ce.TID,
+			Cat:  ce.Cat,
+			Name: ce.Name,
+			TS:   int64(ce.TS * 1e3),
+		}
+		if len(ce.Args) > 0 {
+			keys := make([]string, 0, len(ce.Args))
+			for k := range ce.Args {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				ev.Args = append(ev.Args, Arg{Key: k, Val: ce.Args[k]})
+			}
+		}
+		events = append(events, ev)
+	}
+	return events, nil
+}
+
+// Validate checks the structural invariants of a trace event stream:
+// every End matches the innermost open Begin of its rank (same category and
+// name), no End arrives with no span open, every Begin is eventually Ended,
+// and each rank's timestamps are monotonically non-decreasing. cmd/traceview
+// -check runs this against a trace file; the golden-file test runs it
+// against a live 4-rank job.
+func Validate(events []Event) error {
+	stacks := map[int][]Event{}
+	lastTS := map[int]int64{}
+	seen := map[int]bool{}
+	for i, ev := range events {
+		if seen[ev.Rank] && ev.TS < lastTS[ev.Rank] {
+			return fmt.Errorf("obs: event %d (%s:%s): rank %d clock went backwards (%dns after %dns)",
+				i, ev.Cat, ev.Name, ev.Rank, ev.TS, lastTS[ev.Rank])
+		}
+		seen[ev.Rank] = true
+		lastTS[ev.Rank] = ev.TS
+		switch ev.Type {
+		case BeginEvent:
+			stacks[ev.Rank] = append(stacks[ev.Rank], ev)
+		case EndEvent:
+			st := stacks[ev.Rank]
+			if len(st) == 0 {
+				return fmt.Errorf("obs: event %d: rank %d ends %s:%s with no span open",
+					i, ev.Rank, ev.Cat, ev.Name)
+			}
+			top := st[len(st)-1]
+			if top.Cat != ev.Cat || top.Name != ev.Name {
+				return fmt.Errorf("obs: event %d: rank %d ends %s:%s but innermost open span is %s:%s",
+					i, ev.Rank, ev.Cat, ev.Name, top.Cat, top.Name)
+			}
+			stacks[ev.Rank] = st[:len(st)-1]
+		case InstantEvent:
+		default:
+			return fmt.Errorf("obs: event %d: unknown event type %q", i, ev.Type)
+		}
+	}
+	ranks := make([]int, 0, len(stacks))
+	for r := range stacks {
+		ranks = append(ranks, r)
+	}
+	sort.Ints(ranks)
+	for _, r := range ranks {
+		if st := stacks[r]; len(st) > 0 {
+			top := st[len(st)-1]
+			return fmt.Errorf("obs: rank %d has %d span(s) begun but never ended (innermost %s:%s)",
+				r, len(st), top.Cat, top.Name)
+		}
+	}
+	return nil
+}

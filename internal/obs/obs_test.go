@@ -1,0 +1,267 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSpanLifecycleAndMerge(t *testing.T) {
+	tr := NewTracer()
+	r0 := tr.Rank(0)
+	r1 := tr.Rank(1)
+
+	sp := r0.Begin("mrmpi", "map", Arg{Key: "tasks", Val: 4})
+	inner := r0.Begin("mrmpi", "map.task")
+	inner.End()
+	sp.End()
+	r1.Instant("mpi", "Send", Arg{Key: "dst", Val: 0})
+
+	events := tr.Events()
+	if len(events) != 5 {
+		t.Fatalf("got %d events, want 5", len(events))
+	}
+	if err := Validate(events); err != nil {
+		t.Fatalf("valid stream rejected: %v", err)
+	}
+	// Per-rank timestamps must be non-decreasing after the merge.
+	last := map[int]int64{}
+	for _, ev := range events {
+		if ev.TS < last[ev.Rank] {
+			t.Fatalf("rank %d timestamps went backwards", ev.Rank)
+		}
+		last[ev.Rank] = ev.TS
+	}
+}
+
+func TestDoubleEndIsNoop(t *testing.T) {
+	tr := NewTracer()
+	rt := tr.Rank(0)
+	sp := rt.Begin("c", "n")
+	sp.End()
+	sp.End() // deferred End after explicit End must not emit a second E
+	events := tr.Events()
+	if len(events) != 2 {
+		t.Fatalf("got %d events, want 2 (double End must be a no-op)", len(events))
+	}
+	if err := Validate(events); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNilTracerIsNoop(t *testing.T) {
+	var tr *Tracer
+	rt := tr.Rank(3)
+	if rt != nil {
+		t.Fatal("nil tracer must hand out nil rank handles")
+	}
+	sp := rt.Begin("c", "n")
+	sp.End()
+	rt.Instant("c", "n")
+	if rt.InFlight() != "" {
+		t.Fatal("nil rank tracer must report empty in-flight")
+	}
+	if got := tr.Events(); got != nil {
+		t.Fatalf("nil tracer produced events: %v", got)
+	}
+}
+
+func TestChromeRoundTrip(t *testing.T) {
+	tr := NewTracer()
+	rt := tr.Rank(2)
+	sp := rt.Begin("mrmpi", "aggregate", Arg{Key: "sent", Val: 123})
+	time.Sleep(time.Millisecond)
+	sp.End()
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// The file must be plain JSON with a traceEvents array.
+	var raw map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &raw); err != nil {
+		t.Fatalf("not valid JSON: %v", err)
+	}
+	if _, ok := raw["traceEvents"].([]any); !ok {
+		t.Fatal("missing traceEvents array")
+	}
+
+	events, err := ReadTrace(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(events); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 2 {
+		t.Fatalf("round trip kept %d events, want 2", len(events))
+	}
+	b := events[0]
+	if b.Type != BeginEvent || b.Rank != 2 || b.Cat != "mrmpi" || b.Name != "aggregate" {
+		t.Fatalf("bad begin event after round trip: %+v", b)
+	}
+	if len(b.Args) != 1 || b.Args[0].Key != "sent" {
+		t.Fatalf("args lost in round trip: %+v", b.Args)
+	}
+}
+
+func TestValidateCatchesMisuse(t *testing.T) {
+	base := func() (*Tracer, *RankTracer) {
+		tr := NewTracer()
+		return tr, tr.Rank(0)
+	}
+
+	tr, rt := base()
+	// mpilint:ignore — deliberately unclosed span to provoke Validate.
+	rt.Begin("c", "unclosed")
+	if err := Validate(tr.Events()); err == nil || !strings.Contains(err.Error(), "never ended") {
+		t.Fatalf("unclosed span not caught: %v", err)
+	}
+
+	// An E with no open span.
+	bad := []Event{{Type: EndEvent, Rank: 0, Cat: "c", Name: "n", TS: 1}}
+	if err := Validate(bad); err == nil || !strings.Contains(err.Error(), "no span open") {
+		t.Fatalf("stray end not caught: %v", err)
+	}
+
+	// Mismatched nesting.
+	bad = []Event{
+		{Type: BeginEvent, Rank: 0, Cat: "c", Name: "outer", TS: 1},
+		{Type: BeginEvent, Rank: 0, Cat: "c", Name: "inner", TS: 2},
+		{Type: EndEvent, Rank: 0, Cat: "c", Name: "outer", TS: 3},
+	}
+	if err := Validate(bad); err == nil || !strings.Contains(err.Error(), "innermost") {
+		t.Fatalf("misnesting not caught: %v", err)
+	}
+
+	// A clock running backwards.
+	bad = []Event{
+		{Type: InstantEvent, Rank: 0, Cat: "c", Name: "a", TS: 5},
+		{Type: InstantEvent, Rank: 0, Cat: "c", Name: "b", TS: 4},
+	}
+	if err := Validate(bad); err == nil || !strings.Contains(err.Error(), "backwards") {
+		t.Fatalf("clock regression not caught: %v", err)
+	}
+}
+
+func TestSummarizeAndTopSlowest(t *testing.T) {
+	events := []Event{
+		{Type: BeginEvent, Rank: 0, Cat: "mrmpi", Name: "map", TS: 0},
+		{Type: EndEvent, Rank: 0, Cat: "mrmpi", Name: "map", TS: 100},
+		{Type: BeginEvent, Rank: 0, Cat: "mrmpi", Name: "map", TS: 200},
+		{Type: EndEvent, Rank: 0, Cat: "mrmpi", Name: "map", TS: 500},
+		{Type: BeginEvent, Rank: 1, Cat: "mrmpi", Name: "reduce", TS: 0},
+		{Type: EndEvent, Rank: 1, Cat: "mrmpi", Name: "reduce", TS: 50},
+	}
+	stats := Summarize(events)
+	if len(stats) != 2 {
+		t.Fatalf("got %d stat rows, want 2", len(stats))
+	}
+	m := stats[0]
+	if m.Rank != 0 || m.Name != "map" || m.Count != 2 || m.Total != 400 || m.Max != 300 || m.Mean() != 200 {
+		t.Fatalf("bad map stats: %+v", m)
+	}
+	top := TopSlowest(events, 2)
+	if len(top) != 2 || top[0].Dur != 300 || top[0].Name != "map" {
+		t.Fatalf("bad top spans: %+v", top)
+	}
+
+	var buf bytes.Buffer
+	if err := WriteSummaryTable(&buf, stats); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "mrmpi:map") || !strings.Contains(buf.String(), "mrmpi:reduce") {
+		t.Fatalf("summary table missing rows:\n%s", buf.String())
+	}
+}
+
+// TestConcurrentSameRankBuffer drives one rank buffer from many goroutines
+// at once — the shape of concurrent map tasks tracing on a shared rank —
+// and is run under -race by `make test` and CI.
+func TestConcurrentSameRankBuffer(t *testing.T) {
+	tr := NewTracer()
+	rt := tr.Rank(0)
+	const workers, iters = 8, 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				sp := rt.Begin("test", "task")
+				rt.Instant("test", "tick")
+				sp.End()
+				_ = rt.InFlight()
+			}
+		}()
+	}
+	wg.Wait()
+	if got, want := len(tr.Events()), workers*iters*3; got != want {
+		t.Fatalf("got %d events, want %d", got, want)
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a.count").Add(3)
+	r.Counter("a.count").Inc()
+	r.Gauge("b.level").Set(7)
+	r.Histogram("c.dur").Observe(2)
+	r.Histogram("c.dur").Observe(4)
+
+	s := r.Snapshot()
+	if len(s.Counters) != 1 || s.Counters[0].Value != 4 {
+		t.Fatalf("bad counters: %+v", s.Counters)
+	}
+	if len(s.Gauges) != 1 || s.Gauges[0].Value != 7 {
+		t.Fatalf("bad gauges: %+v", s.Gauges)
+	}
+	h := s.Histograms[0]
+	if h.Count != 2 || h.Sum != 6 || h.Min != 2 || h.Max != 4 || h.Mean() != 3 {
+		t.Fatalf("bad histogram: %+v", h)
+	}
+
+	var buf bytes.Buffer
+	if err := s.WriteTable(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "a.count") {
+		t.Fatalf("metrics table missing counter:\n%s", buf.String())
+	}
+}
+
+func TestNilRegistryIsNoop(t *testing.T) {
+	var r *Registry
+	r.Counter("x").Add(1)
+	r.Gauge("y").Set(2)
+	r.Histogram("z").Observe(3)
+	if r.Counter("x").Value() != 0 || r.Gauge("y").Value() != 0 {
+		t.Fatal("nil instruments must read zero")
+	}
+	s := r.Snapshot()
+	if len(s.Counters)+len(s.Gauges)+len(s.Histograms) != 0 {
+		t.Fatal("nil registry snapshot must be empty")
+	}
+}
+
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				r.Counter("shared").Inc()
+				r.Histogram("h").Observe(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("shared").Value(); got != 4000 {
+		t.Fatalf("counter = %d, want 4000", got)
+	}
+}

@@ -1,0 +1,152 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"text/tabwriter"
+	"time"
+)
+
+// SpanStat aggregates every completed span of one (rank, category, name):
+// the count/total/mean/max rows of the per-phase summary table.
+type SpanStat struct {
+	Rank  int
+	Cat   string
+	Name  string
+	Count int
+	Total time.Duration
+	Max   time.Duration
+}
+
+// Mean is Total/Count (0 when empty).
+func (s SpanStat) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Total / time.Duration(s.Count)
+}
+
+// SpanInstance is one completed span, used for slowest-span reports.
+type SpanInstance struct {
+	Rank  int
+	Cat   string
+	Name  string
+	Start int64 // ns since trace start
+	Dur   time.Duration
+	Args  []Arg
+}
+
+// pairSpans walks the stream pairing Begin/End per rank (innermost-first,
+// the same discipline Validate enforces) and yields each completed span.
+// Unbalanced events are skipped rather than rejected, so summaries still
+// work on truncated traces.
+func pairSpans(events []Event, yield func(SpanInstance)) {
+	stacks := map[int][]Event{}
+	for _, ev := range events {
+		switch ev.Type {
+		case BeginEvent:
+			stacks[ev.Rank] = append(stacks[ev.Rank], ev)
+		case EndEvent:
+			st := stacks[ev.Rank]
+			for i := len(st) - 1; i >= 0; i-- {
+				if st[i].Cat == ev.Cat && st[i].Name == ev.Name {
+					b := st[i]
+					stacks[ev.Rank] = append(st[:i], st[i+1:]...)
+					yield(SpanInstance{
+						Rank:  ev.Rank,
+						Cat:   b.Cat,
+						Name:  b.Name,
+						Start: b.TS,
+						Dur:   time.Duration(ev.TS - b.TS),
+						Args:  b.Args,
+					})
+					break
+				}
+			}
+		}
+	}
+}
+
+// Summarize aggregates completed spans by (rank, category, name), sorted by
+// rank then category then name.
+func Summarize(events []Event) []SpanStat {
+	type key struct {
+		rank      int
+		cat, name string
+	}
+	agg := map[key]*SpanStat{}
+	pairSpans(events, func(sp SpanInstance) {
+		k := key{sp.Rank, sp.Cat, sp.Name}
+		st := agg[k]
+		if st == nil {
+			st = &SpanStat{Rank: sp.Rank, Cat: sp.Cat, Name: sp.Name}
+			agg[k] = st
+		}
+		st.Count++
+		st.Total += sp.Dur
+		if sp.Dur > st.Max {
+			st.Max = sp.Dur
+		}
+	})
+	out := make([]SpanStat, 0, len(agg))
+	for _, st := range agg {
+		out = append(out, *st)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Rank != out[j].Rank {
+			return out[i].Rank < out[j].Rank
+		}
+		if out[i].Cat != out[j].Cat {
+			return out[i].Cat < out[j].Cat
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// TopSlowest returns the n longest completed spans, longest first.
+func TopSlowest(events []Event, n int) []SpanInstance {
+	var all []SpanInstance
+	pairSpans(events, func(sp SpanInstance) { all = append(all, sp) })
+	sort.Slice(all, func(i, j int) bool { return all[i].Dur > all[j].Dur })
+	if n > 0 && len(all) > n {
+		all = all[:n]
+	}
+	return all
+}
+
+// WriteSummaryTable renders the per-phase summary: one row per (rank,
+// category:name) with count, total, mean, and max durations.
+func WriteSummaryTable(w io.Writer, stats []SpanStat) error {
+	tw := tabwriter.NewWriter(w, 2, 8, 2, ' ', 0)
+	fmt.Fprintln(tw, "rank\tphase\tcount\ttotal\tmean\tmax")
+	for _, st := range stats {
+		fmt.Fprintf(tw, "%d\t%s:%s\t%d\t%v\t%v\t%v\n",
+			st.Rank, st.Cat, st.Name, st.Count,
+			st.Total.Round(time.Microsecond),
+			st.Mean().Round(time.Microsecond),
+			st.Max.Round(time.Microsecond))
+	}
+	return tw.Flush()
+}
+
+// WriteTopSpans renders the slowest-span report.
+func WriteTopSpans(w io.Writer, spans []SpanInstance) error {
+	tw := tabwriter.NewWriter(w, 2, 8, 2, ' ', 0)
+	fmt.Fprintln(tw, "rank\tspan\tdur\tstart\targs")
+	for _, sp := range spans {
+		args := ""
+		for i, a := range sp.Args {
+			if i > 0 {
+				args += " "
+			}
+			args += fmt.Sprintf("%s=%v", a.Key, a.Val)
+		}
+		fmt.Fprintf(tw, "%d\t%s:%s\t%v\t%v\t%s\n",
+			sp.Rank, sp.Cat, sp.Name,
+			sp.Dur.Round(time.Microsecond),
+			time.Duration(sp.Start).Round(time.Microsecond), args)
+	}
+	return tw.Flush()
+}
