@@ -3,7 +3,7 @@
 GO ?= go
 BIN ?= bin
 
-.PHONY: all build test race lint lint-json debug bench figures examples trace-demo clean
+.PHONY: all build test race lint lint-json debug bench perf perf-check figures examples trace-demo clean
 
 all: build test
 
@@ -42,6 +42,19 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Perf-regression harness: run the pinned suite and write the next free
+# BENCH_<n>.json (timings, registry metrics, analyzer stats). Compare two
+# files with `bin/mrperf compare old.json new.json`.
+perf: build
+	$(BIN)/mrperf
+
+# CI smoke mode: a quick suite run compared against the committed baseline;
+# fails on a >25% calibration-normalized wall-clock regression.
+perf-check: build
+	mkdir -p results
+	$(BIN)/mrperf -quick -out results/BENCH_ci.json
+	$(BIN)/mrperf compare BENCH_0.json results/BENCH_ci.json
 
 # Regenerate every figure/table of the paper's evaluation.
 figures: build

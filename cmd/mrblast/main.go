@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/obs/live"
 )
 
 func main() {
@@ -39,6 +40,7 @@ func main() {
 	format := flag.String("format", "tsv", "output format: tsv | jsonl")
 	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON of the run (view in Perfetto or cmd/traceview)")
 	metrics := flag.Bool("metrics", false, "print the run's metrics registry on completion")
+	status := flag.String("status", "", "serve live per-rank status over HTTP on this address (e.g. :8080); watch with curl addr/status.txt")
 	flag.Parse()
 	if *query == "" || *db == "" {
 		fail(fmt.Errorf("-query and -db are required"))
@@ -52,8 +54,16 @@ func main() {
 		tracer = obs.NewTracer()
 	}
 	var reg *obs.Registry
-	if *metrics {
+	if *metrics || *status != "" {
 		reg = obs.NewRegistry()
+	}
+	var board *obs.Board
+	if *status != "" {
+		board = obs.NewBoard()
+		srv := live.New(board, tracer, reg)
+		fail(srv.Start(*status))
+		defer srv.Close()
+		fmt.Printf("mrblast: live status at http://%s/status (text: /status.txt)\n", srv.Addr())
 	}
 
 	start := time.Now()
@@ -76,6 +86,7 @@ func main() {
 		OutFormat:          *format,
 		Trace:              tracer,
 		Metrics:            reg,
+		Board:              board,
 	})
 	fail(err)
 	fmt.Printf("mrblast: %d queries in %d blocks x %d partitions = %d work units on %d ranks\n",

@@ -1,0 +1,117 @@
+// Command mrperf is the perf-regression harness. With no subcommand it runs
+// the pinned suite of small deterministic mrblast/mrsom/mrmpi jobs and writes
+// a schema-versioned BENCH_<n>.json (timings, registry metrics, analyzer
+// stats); `mrperf compare old.json new.json` flags statistically meaningful
+// regressions and exits non-zero naming each regressed entry.
+//
+// Usage:
+//
+//	mrperf                    run the suite (5 repeats), write BENCH_<n>.json
+//	mrperf -quick             3 repeats, for CI smoke runs
+//	mrperf -repeats 9 -out my.json
+//	mrperf compare [-threshold 0.25] old.json new.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/perf"
+)
+
+func main() {
+	if len(os.Args) > 1 && os.Args[1] == "compare" {
+		runCompare(os.Args[2:])
+		return
+	}
+
+	quick := flag.Bool("quick", false, "3 repeats instead of 5 (CI smoke mode)")
+	repeats := flag.Int("repeats", 5, "timed repeats per workload")
+	out := flag.String("out", "", "output path (default: next free BENCH_<n>.json)")
+	flag.Parse()
+	if flag.NArg() != 0 {
+		usage()
+	}
+	n := *repeats
+	if *quick {
+		n = 3
+	}
+
+	dir, err := os.MkdirTemp("", "mrperf")
+	fail(err)
+	defer os.RemoveAll(dir)
+
+	file, err := perf.Run(dir, n, func(line string) {
+		fmt.Println("mrperf:", line)
+	})
+	fail(err)
+
+	path := *out
+	if path == "" {
+		path = nextBenchPath(".")
+	}
+	fail(perf.WriteFile(path, file))
+	fmt.Printf("mrperf: wrote %s (%d entries, calibration %.2fms, %s)\n",
+		path, len(file.Entries), file.CalibrationMS, file.GoVersion)
+}
+
+func runCompare(args []string) {
+	fs := flag.NewFlagSet("compare", flag.ExitOnError)
+	threshold := fs.Float64("threshold", 0.25, "regression threshold (0.25 = 25% slower)")
+	fs.Parse(args)
+	if fs.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: mrperf compare [-threshold F] old.json new.json")
+		os.Exit(2)
+	}
+	old, err := perf.ReadFile(fs.Arg(0))
+	fail(err)
+	cur, err := perf.ReadFile(fs.Arg(1))
+	fail(err)
+	d, err := perf.Compare(old, cur, *threshold)
+	fail(err)
+
+	if d.Scale != 1 {
+		fmt.Printf("mrperf: calibration scale %.3f (baseline %.2fms, new %.2fms)\n",
+			d.Scale, old.CalibrationMS, cur.CalibrationMS)
+	}
+	for _, name := range d.OnlyOld {
+		fmt.Printf("mrperf: note: %s present only in baseline\n", name)
+	}
+	for _, name := range d.OnlyNew {
+		fmt.Printf("mrperf: note: %s present only in new file\n", name)
+	}
+	if len(d.Regressions) == 0 {
+		fmt.Printf("mrperf: OK — no regressions past %.0f%% across %d entries\n",
+			*threshold*100, len(cur.Entries))
+		return
+	}
+	for _, r := range d.Regressions {
+		fmt.Fprintf(os.Stderr, "mrperf: REGRESSION: %s: median %.1fms -> %.1fms (%.2fx)\n",
+			r.Name, r.OldMedianMS, r.NewMedianMS, r.Ratio)
+	}
+	os.Exit(1)
+}
+
+// nextBenchPath returns the first unused BENCH_<n>.json in dir.
+func nextBenchPath(dir string) string {
+	for n := 0; ; n++ {
+		p := filepath.Join(dir, fmt.Sprintf("BENCH_%d.json", n))
+		if _, err := os.Stat(p); os.IsNotExist(err) {
+			return p
+		}
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: mrperf [-quick] [-repeats N] [-out FILE]\n       mrperf compare [-threshold F] old.json new.json")
+	os.Exit(2)
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mrperf:", err)
+		os.Exit(1)
+	}
+}

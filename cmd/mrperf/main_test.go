@@ -1,0 +1,99 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+
+	"repro/internal/perf"
+)
+
+// TestHelperProcess re-executes this test binary as the mrperf CLI; it is
+// driven only by runCompareCLI below.
+func TestHelperProcess(t *testing.T) {
+	if os.Getenv("MRPERF_CLI_HELPER") != "1" {
+		return
+	}
+	os.Args = append([]string{"mrperf"}, strings.Split(os.Getenv("MRPERF_CLI_ARGS"), "\x1f")...)
+	main()
+	os.Exit(0)
+}
+
+func runCompareCLI(t *testing.T, args ...string) (string, int) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], "-test.run=TestHelperProcess")
+	cmd.Env = append(os.Environ(),
+		"MRPERF_CLI_HELPER=1",
+		"MRPERF_CLI_ARGS="+strings.Join(args, "\x1f"))
+	out, err := cmd.CombinedOutput()
+	code := 0
+	if ee, ok := err.(*exec.ExitError); ok {
+		code = ee.ExitCode()
+	} else if err != nil {
+		t.Fatal(err)
+	}
+	return string(out), code
+}
+
+func benchFixture(scale float64) *perf.File {
+	f := &perf.File{
+		SchemaVersion: perf.SchemaVersion,
+		CreatedAt:     "2026-08-06T00:00:00Z",
+		CalibrationMS: 10,
+		Entries: []perf.Entry{
+			{Name: "blast-master", Repeats: 3, TimesMS: []float64{100, 110, 120}, MedianMS: 110, MinMS: 100, MaxMS: 120},
+			{Name: "som-batch", Repeats: 3, TimesMS: []float64{50, 52, 54}, MedianMS: 52, MinMS: 50, MaxMS: 54},
+		},
+	}
+	for i := range f.Entries {
+		if f.Entries[i].Name == "som-batch" {
+			e := &f.Entries[i]
+			for j := range e.TimesMS {
+				e.TimesMS[j] *= scale
+			}
+			e.MedianMS *= scale
+			e.MinMS *= scale
+			e.MaxMS *= scale
+		}
+	}
+	return f
+}
+
+// TestCompareCLIGolden is the end-to-end acceptance case: `mrperf compare`
+// must exit non-zero and name the entry when one workload is 2× slower, and
+// exit zero on identical inputs.
+func TestCompareCLIGolden(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := dir + "/BENCH_old.json"
+	samePath := dir + "/BENCH_same.json"
+	slowPath := dir + "/BENCH_slow.json"
+	if err := perf.WriteFile(oldPath, benchFixture(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := perf.WriteFile(samePath, benchFixture(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := perf.WriteFile(slowPath, benchFixture(2)); err != nil {
+		t.Fatal(err)
+	}
+
+	out, code := runCompareCLI(t, "compare", oldPath, samePath)
+	if code != 0 {
+		t.Errorf("identical inputs: exit %d, output:\n%s", code, out)
+	}
+	if !strings.Contains(out, "no regressions") {
+		t.Errorf("identical inputs: output missing OK line:\n%s", out)
+	}
+
+	out, code = runCompareCLI(t, "compare", oldPath, slowPath)
+	if code == 0 {
+		t.Errorf("2x slowdown: exit 0, want non-zero; output:\n%s", out)
+	}
+	if !strings.Contains(out, "REGRESSION") || !strings.Contains(out, "som-batch") {
+		t.Errorf("2x slowdown: output does not name som-batch:\n%s", out)
+	}
+	if strings.Contains(out, "REGRESSION: blast-master") {
+		t.Errorf("unchanged entry flagged:\n%s", out)
+	}
+}

@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/obs/live"
 	"repro/internal/som"
 )
 
@@ -36,6 +37,7 @@ func main() {
 	checkpointEvery := flag.Int("checkpoint-every", 5, "epochs between checkpoints")
 	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON of the run (view in Perfetto or cmd/traceview)")
 	metrics := flag.Bool("metrics", false, "print the run's metrics registry on completion")
+	status := flag.String("status", "", "serve live per-rank status over HTTP on this address (e.g. :8080); watch with curl addr/status.txt")
 	flag.Parse()
 	if *data == "" {
 		fail(fmt.Errorf("-data is required"))
@@ -49,8 +51,16 @@ func main() {
 		tracer = obs.NewTracer()
 	}
 	var reg *obs.Registry
-	if *metrics {
+	if *metrics || *status != "" {
 		reg = obs.NewRegistry()
+	}
+	var board *obs.Board
+	if *status != "" {
+		board = obs.NewBoard()
+		srv := live.New(board, tracer, reg)
+		fail(srv.Start(*status))
+		defer srv.Close()
+		fmt.Printf("mrsom: live status at http://%s/status (text: /status.txt)\n", srv.Addr())
 	}
 
 	start := time.Now()
@@ -69,6 +79,7 @@ func main() {
 		},
 		Trace:   tracer,
 		Metrics: reg,
+		Board:   board,
 	})
 	fail(err)
 	if tracer != nil {

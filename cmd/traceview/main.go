@@ -2,14 +2,18 @@
 // -trace flag of cmd/mrblast and cmd/mrsom (or any obs.WriteChromeTrace
 // output). By default it prints a per-rank per-phase summary and the slowest
 // spans; with -check it validates the trace's structure (JSON parses, spans
-// nest, begins have ends, per-rank clocks are monotonic) and exits non-zero
-// on a malformed trace.
+// nest, begins have ends, per-rank clocks are monotonic, instant events
+// carry in-range ranks and timestamps) and exits non-zero on a malformed
+// trace; with -analyze it runs the performance analyzer (per-rank
+// busy/comm/idle time, per-phase load imbalance, master dispatch latency,
+// straggler ranking, critical path).
 //
 // Usage:
 //
 //	traceview trace.json
 //	traceview -top 20 trace.json
 //	traceview -check trace.json
+//	traceview -analyze trace.json
 package main
 
 import (
@@ -18,21 +22,23 @@ import (
 	"os"
 
 	"repro/internal/obs"
+	"repro/internal/obs/analyze"
 )
 
 func main() {
 	check := flag.Bool("check", false, "validate the trace structure and exit (non-zero on failure)")
+	analyzeFlag := flag.Bool("analyze", false, "run trace analytics: busy/comm/idle, load imbalance, dispatch latency, stragglers, critical path")
 	top := flag.Int("top", 10, "number of slowest spans to show")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: traceview [-check] [-top N] trace.json")
+		fmt.Fprintln(os.Stderr, "usage: traceview [-check] [-analyze] [-top N] trace.json")
 		os.Exit(2)
 	}
 	path := flag.Arg(0)
 
 	f, err := os.Open(path)
 	fail(err)
-	events, err := obs.ReadTrace(f)
+	events, meta, err := obs.ReadTraceMeta(f)
 	f.Close()
 	fail(err)
 
@@ -41,11 +47,20 @@ func main() {
 			fmt.Fprintf(os.Stderr, "traceview: %s: INVALID: %v\n", path, err)
 			os.Exit(1)
 		}
+		if err := obs.ValidateInstants(events, meta.NumRanks); err != nil {
+			fmt.Fprintf(os.Stderr, "traceview: %s: INVALID: %v\n", path, err)
+			os.Exit(1)
+		}
 		ranks := map[int]bool{}
 		for _, ev := range events {
 			ranks[ev.Rank] = true
 		}
 		fmt.Printf("traceview: %s: OK (%d events, %d ranks)\n", path, len(events), len(ranks))
+		return
+	}
+
+	if *analyzeFlag {
+		fail(analyze.WriteReport(os.Stdout, analyze.Analyze(events)))
 		return
 	}
 

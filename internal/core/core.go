@@ -68,6 +68,9 @@ type BlastJob struct {
 	Trace *obs.Tracer
 	// Metrics, when non-nil, collects run-wide counters from all layers.
 	Metrics *obs.Registry
+	// Board, when non-nil, is the live per-rank status board sampled by the
+	// status server and the deadlock watchdog.
+	Board *obs.Board
 }
 
 // BlastSummary aggregates a parallel BLAST run.
@@ -136,7 +139,7 @@ func RunBlast(nranks int, job BlastJob) (*BlastSummary, error) {
 	workItems := make([]int, nranks)
 	hits := make([]int64, nranks)
 	rankResults := make([]*mrblast.Result, nranks)
-	opts := mpi.RunOptions{Trace: job.Trace, Metrics: job.Metrics}
+	opts := mpi.RunOptions{Trace: job.Trace, Metrics: job.Metrics, Board: job.Board}
 	err = mpi.RunWith(nranks, opts, func(c *mpi.Comm) error {
 		res, err := mrblast.Run(c, mrblast.Config{
 			Params:             params,
@@ -199,6 +202,9 @@ type SOMJob struct {
 	Trace *obs.Tracer
 	// Metrics, when non-nil, collects run-wide counters from all layers.
 	Metrics *obs.Registry
+	// Board, when non-nil, is the live per-rank status board sampled by the
+	// status server and the deadlock watchdog.
+	Board *obs.Board
 }
 
 // SOMCheckpoint configures checkpointing for RunSOM: when Path is set, the
@@ -243,7 +249,7 @@ func RunSOM(nranks int, job SOMJob) (*SOMSummary, error) {
 	vf.Close()
 
 	var cb *som.Codebook
-	opts := mpi.RunOptions{Trace: job.Trace, Metrics: job.Metrics}
+	opts := mpi.RunOptions{Trace: job.Trace, Metrics: job.Metrics, Board: job.Board}
 	err = mpi.RunWith(nranks, opts, func(c *mpi.Comm) error {
 		res, err := mrsom.Train(c, job.DataPath, mrsom.Config{
 			Grid:            grid,

@@ -13,6 +13,9 @@ import (
 //   - assigned to a variable that is End-ed in the same function (a plain
 //     `sp.End()` statement or a `defer sp.End()`), or
 //   - chained immediately: `defer tr.Begin(...).End()`, or
+//   - handed to a deferred call that owns the close — `defer finish(sp)` or
+//     `defer func(s obs.Span) { s.End() }(sp)` — since a deferred callee
+//     runs unconditionally at function exit, or
 //   - returned to the caller (span-constructor helpers like traceCollective
 //     or MapReduce.phase, whose callers own the End).
 //
@@ -68,16 +71,23 @@ func isBeginCall(e ast.Expr) (*ast.CallExpr, bool) {
 // a deferred closure that ends the span still counts.
 func obsScanScope(pkg *Package, body *ast.BlockStmt) []Finding {
 	// Every `name.End(...)` reachable from this scope, including inside
-	// nested literals.
+	// nested literals. A span passed as an argument to a deferred call also
+	// counts as ended: the deferred callee (helper or closure parameter)
+	// owns the close and runs unconditionally at function exit.
 	ended := map[string]bool{}
 	ast.Inspect(body, func(n ast.Node) bool {
-		call, ok := n.(*ast.CallExpr)
-		if !ok {
-			return true
-		}
-		if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "End" {
-			if id, ok := sel.X.(*ast.Ident); ok {
-				ended[id.Name] = true
+		switch s := n.(type) {
+		case *ast.DeferStmt:
+			for _, arg := range s.Call.Args {
+				if id, ok := arg.(*ast.Ident); ok {
+					ended[id.Name] = true
+				}
+			}
+		case *ast.CallExpr:
+			if sel, ok := s.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "End" {
+				if id, ok := sel.X.(*ast.Ident); ok {
+					ended[id.Name] = true
+				}
 			}
 		}
 		return true

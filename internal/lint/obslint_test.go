@@ -88,6 +88,40 @@ func f(tr *obs.RankTracer) {
 }`,
 		},
 		{
+			name: "span handed to a deferred helper is fine",
+			src: obsHeader + `
+func f(tr *obs.RankTracer) {
+	sp := tr.Begin("mpi", "Recv")
+	defer finish(sp)
+}
+
+func finish(sp obs.Span) {
+	sp.End()
+}`,
+		},
+		{
+			name: "span passed to a deferred closure parameter is fine",
+			src: obsHeader + `
+func f(tr *obs.RankTracer) {
+	sp := tr.Begin("mrmpi", "map.task")
+	defer func(s obs.Span) {
+		s.End(obs.Arg{Key: "ok", Val: 1})
+	}(sp)
+}`,
+		},
+		{
+			name: "non-deferred helper call does not count as an end",
+			src: obsHeader + `
+func f(tr *obs.RankTracer) {
+	sp := tr.Begin("mpi", "Recv") // want obslint
+	finish(sp)
+}
+
+func finish(sp obs.Span) {
+	sp.End()
+}`,
+		},
+		{
 			name: "end in a different function does not count",
 			src: obsHeader + `
 func f(tr *obs.RankTracer) {

@@ -35,7 +35,7 @@ func (c *Comm) Barrier() {
 	sp := c.traceCollective("Barrier")
 	defer sp.End()
 	c.world.barrier.wait(c.world.timeout, func() string {
-		return c.debugStatus() + c.world.traceStatus()
+		return c.debugStatus() + c.world.traceStatus() + c.world.boardStatus()
 	})
 }
 

@@ -72,6 +72,11 @@ type World struct {
 	tracers []*obs.RankTracer
 	// metrics is the run's registry; nil when disabled.
 	metrics *obs.Registry
+	// board is the live status board; nil when disabled. boards holds the
+	// per-rank slots (like tracers, resolved once so hot paths skip the
+	// board's lock).
+	board  *obs.Board
+	boards []*obs.RankBoard
 	// Pre-resolved instruments so hot paths skip the registry lookup; all
 	// nil when metrics is nil (obs instruments no-op on nil).
 	mSends, mSendBytes, mRecvs, mCollectives *obs.Counter
@@ -105,6 +110,16 @@ func (c *Comm) Tracer() *obs.RankTracer {
 // nil result hands out no-op instruments.
 func (c *Comm) Metrics() *obs.Registry { return c.world.metrics }
 
+// Board returns this rank's live status slot, or nil when the world was
+// launched without RunOptions.Board. The nil result is a valid no-op, so
+// layers update it unconditionally.
+func (c *Comm) Board() *obs.RankBoard {
+	if c.world.boards == nil {
+		return nil
+	}
+	return c.world.boards[c.rank]
+}
+
 // newWorld creates a world of n ranks.
 func newWorld(n int, timeout time.Duration, opts RunOptions) *World {
 	w := &World{
@@ -114,6 +129,7 @@ func newWorld(n int, timeout time.Duration, opts RunOptions) *World {
 		timeout: timeout,
 		debug:   newDebugState(n),
 		metrics: opts.Metrics,
+		board:   opts.Board,
 	}
 	for i := range w.boxes {
 		b := &mailbox{}
@@ -124,6 +140,12 @@ func newWorld(n int, timeout time.Duration, opts RunOptions) *World {
 		w.tracers = make([]*obs.RankTracer, n)
 		for i := range w.tracers {
 			w.tracers[i] = opts.Trace.Rank(i)
+		}
+	}
+	if w.board != nil {
+		w.boards = make([]*obs.RankBoard, n)
+		for i := range w.boards {
+			w.boards[i] = w.board.Rank(i)
 		}
 	}
 	if w.metrics != nil {
@@ -146,6 +168,21 @@ func (w *World) traceStatus() string {
 	b.WriteString("\nin-flight spans:")
 	for rank, rt := range w.tracers {
 		fmt.Fprintf(&b, "\n  rank %d: %s", rank, rt.InFlight())
+	}
+	return b.String()
+}
+
+// boardStatus renders each rank's live status-board line for timeout
+// diagnostics — the same snapshot the live status server publishes. Empty
+// when the board is disabled.
+func (w *World) boardStatus() string {
+	if w.board == nil {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteString("\nstatus board:")
+	for rank, st := range w.board.Snapshot(nil) {
+		fmt.Fprintf(&b, "\n  rank %d: %s", rank, st)
 	}
 	return b.String()
 }
@@ -177,6 +214,10 @@ type RunOptions struct {
 	// counts, bytes, collectives) and is reachable from every layer via
 	// Comm.Metrics. Nil disables metrics.
 	Metrics *obs.Registry
+	// Board, when non-nil, is the live per-rank status board that layers
+	// update via Comm.Board and that the status server and the deadlock
+	// watchdog snapshot. Nil disables it.
+	Board *obs.Board
 }
 
 // Run executes f as an SPMD program on n ranks (goroutines) and blocks until

@@ -105,16 +105,25 @@ func (c *Comm) recvMatch(src, tag int, match func(*message) bool) (any, Status) 
 			if match(&b.queue[i]) {
 				m := b.queue[i]
 				b.queue = append(b.queue[:i], b.queue[i+1:]...)
+				if sp.Active() {
+					// The End args carry the matched source, which the
+					// trace analyzer pairs with Send instants to build
+					// communication edges; the deferred End below becomes a
+					// no-op.
+					sp.End(obs.Arg{Key: "from", Val: m.src},
+						obs.Arg{Key: "tag", Val: m.tag},
+						obs.Arg{Key: "bytes", Val: payloadBytes(m.data)})
+				}
 				return m.data, Status{Source: m.src, Tag: m.tag}
 			}
 		}
 		if timeout > 0 && time.Now().After(deadline) {
 			// debugStatus names each rank's collective fingerprint under
 			// mpidebug builds; traceStatus names each rank's in-flight span
-			// when tracing is enabled. Either (or both) points at the
-			// laggard rank.
-			panic(fmt.Errorf("mpi: rank %d Recv timed out after %v (likely deadlock)%s%s: %w",
-				c.rank, timeout, c.debugStatus(), c.world.traceStatus(), ErrAborted))
+			// when tracing is enabled; boardStatus shows each rank's live
+			// progress. Any of them points at the laggard rank.
+			panic(fmt.Errorf("mpi: rank %d Recv timed out after %v (likely deadlock)%s%s%s: %w",
+				c.rank, timeout, c.debugStatus(), c.world.traceStatus(), c.world.boardStatus(), ErrAborted))
 		}
 		if timeout > 0 && watchdog == nil {
 			// Wake the cond at the deadline so the timeout check above

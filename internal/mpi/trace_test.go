@@ -100,3 +100,40 @@ func TestTimeoutNamesInFlightSpans(t *testing.T) {
 		t.Fatalf("timeout error does not show the idle peer:\n%s", msg)
 	}
 }
+
+// TestDeadlockBothRanksNamed deadlocks both ranks of a traced 2-rank run
+// (each waits for a tag the other never sends) with the status board on: the
+// watchdog diagnostic must name each rank's in-flight span and carry the
+// board's per-rank status lines.
+func TestDeadlockBothRanksNamed(t *testing.T) {
+	tracer := obs.NewTracer()
+	board := obs.NewBoard()
+	err := RunWith(2, RunOptions{Timeout: 50 * time.Millisecond, Trace: tracer, Board: board}, func(c *Comm) error {
+		c.Board().SetPhase("map")
+		// Mismatched tags: rank 0 waits for tag 1, rank 1 for tag 2, and
+		// each sends the tag the other is not waiting on — a classic
+		// crossed-wires deadlock.
+		peer := 1 - c.Rank()
+		c.Send(peer, 10+c.Rank(), []byte("x"))
+		c.Recv(peer, 99+c.Rank())
+		return nil
+	})
+	if err == nil {
+		t.Fatal("expected a timeout error")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "in-flight spans:") {
+		t.Fatalf("timeout error lacks in-flight span report:\n%s", msg)
+	}
+	for _, want := range []string{"rank 0: in mpi:Recv", "rank 1: in mpi:Recv"} {
+		if !strings.Contains(msg, want) {
+			t.Fatalf("timeout error missing %q:\n%s", want, msg)
+		}
+	}
+	if !strings.Contains(msg, "status board:") {
+		t.Fatalf("timeout error lacks the status board snapshot:\n%s", msg)
+	}
+	if !strings.Contains(msg, "phase=map") {
+		t.Fatalf("status board snapshot missing the phase:\n%s", msg)
+	}
+}

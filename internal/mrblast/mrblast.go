@@ -210,6 +210,7 @@ func Run(comm *mpi.Comm, cfg Config) (*Result, error) {
 	}
 
 	tr := comm.Tracer()
+	board := comm.Board()
 	cache := blastdb.NewCache(cfg.CacheCapacity)
 	// Engine reuse: rebuilding the lookup table is wasted work when the
 	// master hands consecutive units of the same query block to a rank.
@@ -360,6 +361,7 @@ func Run(comm *mpi.Comm, cfg Config) (*Result, error) {
 			return nil, err
 		}
 		res.Iterations++
+		board.SetEpoch(int64(res.Iterations))
 	}
 
 	if cachedEngine != nil {

@@ -57,13 +57,17 @@ func (s MapStyle) String() string {
 
 // Reserved point-to-point tags used by the master–worker protocol and
 // Gather. User programs sharing the communicator must avoid this range.
+// The tags are exported so the trace analyzer (internal/obs/analyze) can
+// recognize master-protocol traffic when measuring dispatch latency.
 const (
 	// TagReservedBase is the first tag reserved by mrmpi.
 	TagReservedBase = 1 << 20
-
-	tagWorkerReady = TagReservedBase + iota
-	tagTaskAssign
-	tagGatherData
+	// TagWorkerReady is a worker's "give me a task" request to the master.
+	TagWorkerReady = TagReservedBase + 1
+	// TagTaskAssign is the master's task assignment (or -1 stop) reply.
+	TagTaskAssign = TagReservedBase + 2
+	// TagGatherData carries serialized KV pages during Gather.
+	TagGatherData = TagReservedBase + 3
 )
 
 // Options configures a MapReduce instance (Sandia's settable parameters).
@@ -124,6 +128,10 @@ type MapReduce struct {
 	// tr is this rank's trace buffer (nil when the world runs untraced);
 	// phase and per-task spans are emitted through it.
 	tr *obs.RankTracer
+	// board is this rank's live status slot (nil when the world runs
+	// without a board); phase transitions, task progress, and byte totals
+	// are published through it.
+	board *obs.RankBoard
 	// Pre-resolved metrics instruments, all nil (no-op) when the world runs
 	// without a registry.
 	mTasks, mEmitted         *obs.Counter
@@ -143,6 +151,7 @@ func NewWith(comm *mpi.Comm, opt Options) *MapReduce {
 	}
 	mr := &MapReduce{comm: comm, opt: opt}
 	mr.tr = comm.Tracer()
+	mr.board = comm.Board()
 	reg := comm.Metrics()
 	mr.mTasks = reg.Counter("mrmpi.map.tasks")
 	mr.mEmitted = reg.Counter("mrmpi.kv.emitted")
@@ -166,9 +175,16 @@ func (mr *MapReduce) newLocalKV() *KeyValue {
 	return kv
 }
 
-// phase opens one trace span for a collective MapReduce phase on this rank.
-// The zero Span returned when tracing is off is a no-op to End.
+// phase opens one trace span for a collective MapReduce phase on this rank
+// and publishes the transition (plus current KV/spill byte totals) to the
+// live status board. The zero Span returned when tracing is off is a no-op
+// to End.
 func (mr *MapReduce) phase(name string) obs.Span {
+	if mr.board != nil {
+		mr.board.SetPhase(name)
+		mr.board.SetKVBytes(mr.kv.Bytes())
+		mr.board.SetSpillBytes(mr.Stats().SpillBytes)
+	}
 	if mr.tr != nil {
 		return mr.tr.Begin("mrmpi", name)
 	}
@@ -220,14 +236,19 @@ func (mr *MapReduce) Map(nmap int, fn MapFunc) (int64, error) {
 	}
 	sp := mr.phase("map")
 	defer sp.End()
-	if mr.tr != nil {
+	mr.board.BeginTasks(int64(nmap))
+	if mr.tr != nil || mr.board != nil {
 		// Wrap the user function once so every dispatch style gets a
-		// per-work-unit span without per-style instrumentation.
+		// per-work-unit span and a board progress tick without per-style
+		// instrumentation. (Begin on a nil tracer is a no-op Span.)
 		inner := fn
 		fn = func(itask int, kv *KeyValue) error {
 			tsp := mr.tr.Begin("mrmpi", "map.task", obs.Arg{Key: "task", Val: itask})
 			defer tsp.End()
-			return inner(itask, kv)
+			err := inner(itask, kv)
+			mr.board.TaskDone()
+			mr.board.SetKVBytes(kv.Bytes())
+			return err
 		}
 	}
 	before := mr.kv.N()
@@ -297,20 +318,20 @@ func (mr *MapReduce) mapMaster(nmap int, fn MapFunc) error {
 		next := 0
 		stopped := 0
 		for stopped < mr.comm.Size()-1 {
-			_, st := mr.comm.Recv(mpi.AnySource, tagWorkerReady)
+			_, st := mr.comm.Recv(mpi.AnySource, TagWorkerReady)
 			if next < nmap {
-				mr.comm.Send(st.Source, tagTaskAssign, next)
+				mr.comm.Send(st.Source, TagTaskAssign, next)
 				next++
 			} else {
-				mr.comm.Send(st.Source, tagTaskAssign, -1)
+				mr.comm.Send(st.Source, TagTaskAssign, -1)
 				stopped++
 			}
 		}
 		return nil
 	}
 	for {
-		mr.comm.Send(0, tagWorkerReady, nil)
-		data, _ := mr.comm.Recv(0, tagTaskAssign)
+		mr.comm.Send(0, TagWorkerReady, nil)
+		data, _ := mr.comm.Recv(0, TagTaskAssign)
 		itask := data.(int)
 		if itask < 0 {
 			return nil
@@ -335,9 +356,9 @@ func (mr *MapReduce) mapMasterAffinity(nmap int, fn MapFunc) error {
 		lastResource := make(map[int]int) // worker rank -> resource
 		stopped := 0
 		for stopped < mr.comm.Size()-1 {
-			_, st := mr.comm.Recv(mpi.AnySource, tagWorkerReady)
+			_, st := mr.comm.Recv(mpi.AnySource, TagWorkerReady)
 			if len(pending) == 0 {
-				mr.comm.Send(st.Source, tagTaskAssign, -1)
+				mr.comm.Send(st.Source, TagTaskAssign, -1)
 				stopped++
 				continue
 			}
@@ -354,13 +375,13 @@ func (mr *MapReduce) mapMasterAffinity(nmap int, fn MapFunc) error {
 			itask := pending[pick]
 			pending = append(pending[:pick], pending[pick+1:]...)
 			lastResource[st.Source] = mr.opt.Affinity(itask)
-			mr.comm.Send(st.Source, tagTaskAssign, itask)
+			mr.comm.Send(st.Source, TagTaskAssign, itask)
 		}
 		return nil
 	}
 	for {
-		mr.comm.Send(0, tagWorkerReady, nil)
-		data, _ := mr.comm.Recv(0, tagTaskAssign)
+		mr.comm.Send(0, TagWorkerReady, nil)
+		data, _ := mr.comm.Recv(0, TagTaskAssign)
 		itask := data.(int)
 		if itask < 0 {
 			return nil
@@ -428,6 +449,7 @@ func (mr *MapReduce) Aggregate(hash HashFunc) error {
 	}
 	mr.stats.ExchangedBytesRecv += recvBytes
 	mr.mExchRecv.Add(recvBytes)
+	mr.board.AddExchange(sentBytes, recvBytes)
 	if mr.tr != nil {
 		mr.tr.Instant("mrmpi", "exchange",
 			obs.Arg{Key: "sent", Val: sentBytes}, obs.Arg{Key: "recv", Val: recvBytes})
@@ -593,11 +615,11 @@ func (mr *MapReduce) Gather(nranks int) (int64, error) {
 		if err != nil {
 			return 0, err
 		}
-		mr.comm.Send(rank%nranks, tagGatherData, buf)
+		mr.comm.Send(rank%nranks, TagGatherData, buf)
 		mr.kv.reset()
 	} else {
 		for src := rank + nranks; src < size; src += nranks {
-			data, _ := mr.comm.Recv(src, tagGatherData)
+			data, _ := mr.comm.Recv(src, TagGatherData)
 			buf := data.([]byte)
 			for len(buf) > 0 {
 				klen, n := getUvarint(buf)

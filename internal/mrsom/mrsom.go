@@ -178,7 +178,9 @@ func TrainFile(comm *mpi.Comm, vf *som.VectorFile, cfg Config) (*Result, error) 
 	startEpoch = mpi.Bcast(comm, 0, startEpoch)
 	res.StartEpoch = startEpoch
 
+	board := comm.Board()
 	for epoch := startEpoch; epoch < cfg.Epochs; epoch++ {
+		board.SetEpoch(int64(epoch))
 		if cfg.Cancel != nil {
 			select {
 			case <-cfg.Cancel:

@@ -1,0 +1,259 @@
+package analyze
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/mpi"
+	"repro/internal/mrmpi"
+	"repro/internal/obs"
+)
+
+// The analyzer recognizes master-protocol traffic by tag value without
+// importing mrmpi; pin the literals to the real constants.
+func TestMasterTagsMatchMrmpi(t *testing.T) {
+	if WorkerReadyTag != mrmpi.TagWorkerReady {
+		t.Errorf("WorkerReadyTag = %d, mrmpi.TagWorkerReady = %d", WorkerReadyTag, mrmpi.TagWorkerReady)
+	}
+	if TaskAssignTag != mrmpi.TagTaskAssign {
+		t.Errorf("TaskAssignTag = %d, mrmpi.TagTaskAssign = %d", TaskAssignTag, mrmpi.TagTaskAssign)
+	}
+}
+
+// ev builders for synthetic traces.
+func begin(rank int, cat, name string, ts int64, args ...obs.Arg) obs.Event {
+	return obs.Event{Type: obs.BeginEvent, Rank: rank, Cat: cat, Name: name, TS: ts, Args: args}
+}
+func end(rank int, cat, name string, ts int64, args ...obs.Arg) obs.Event {
+	return obs.Event{Type: obs.EndEvent, Rank: rank, Cat: cat, Name: name, TS: ts, Args: args}
+}
+func instant(rank int, cat, name string, ts int64, args ...obs.Arg) obs.Event {
+	return obs.Event{Type: obs.InstantEvent, Rank: rank, Cat: cat, Name: name, TS: ts, Args: args}
+}
+
+// TestCriticalPathHandoff: rank 0 works 0→100, sends; rank 1 waits from 10,
+// receives at 105, works to 200. The path must hop from rank 1 back to rank
+// 0 at the send time and total exactly the wall clock.
+func TestCriticalPathHandoff(t *testing.T) {
+	events := []obs.Event{
+		begin(0, "app", "work", 0),
+		begin(1, "mpi", "Recv", 10, obs.Arg{Key: "src", Val: 0}, obs.Arg{Key: "tag", Val: 5}),
+		instant(0, "mpi", "Send", 100, obs.Arg{Key: "dst", Val: 1}, obs.Arg{Key: "tag", Val: 5}, obs.Arg{Key: "bytes", Val: 8}),
+		end(0, "app", "work", 100),
+		end(1, "mpi", "Recv", 105, obs.Arg{Key: "from", Val: 0}, obs.Arg{Key: "tag", Val: 5}, obs.Arg{Key: "bytes", Val: 8}),
+		begin(1, "app", "work", 105),
+		end(1, "app", "work", 200),
+	}
+	rep := Analyze(events)
+	cp := rep.CriticalPath
+	if cp.Total != rep.WallClock {
+		t.Fatalf("critical path total %v != wall clock %v", cp.Total, rep.WallClock)
+	}
+	if len(cp.Segments) != 2 {
+		t.Fatalf("segments = %+v, want 2", cp.Segments)
+	}
+	if cp.Segments[0].Rank != 0 || cp.Segments[0].Start != 0 || cp.Segments[0].End != 100 {
+		t.Errorf("segment 0 = %+v, want rank 0 [0,100]", cp.Segments[0])
+	}
+	if cp.Segments[1].Rank != 1 || cp.Segments[1].Start != 100 || cp.Segments[1].End != 200 {
+		t.Errorf("segment 1 = %+v, want rank 1 [100,200]", cp.Segments[1])
+	}
+}
+
+// TestCriticalPathSkipsNonBlockingRecv: when the message was already
+// waiting (send before the recv began), the receiving rank never stalled,
+// so the path must stay on it.
+func TestCriticalPathSkipsNonBlockingRecv(t *testing.T) {
+	events := []obs.Event{
+		instant(0, "mpi", "Send", 5, obs.Arg{Key: "dst", Val: 1}, obs.Arg{Key: "tag", Val: 7}),
+		begin(1, "app", "work", 0),
+		end(1, "app", "work", 40),
+		begin(1, "mpi", "Recv", 40, obs.Arg{Key: "src", Val: 0}, obs.Arg{Key: "tag", Val: 7}),
+		end(1, "mpi", "Recv", 45, obs.Arg{Key: "from", Val: 0}, obs.Arg{Key: "tag", Val: 7}),
+		begin(1, "app", "work2", 45),
+		end(1, "app", "work2", 150),
+	}
+	rep := Analyze(events)
+	cp := rep.CriticalPath
+	if cp.Total != rep.WallClock {
+		t.Fatalf("critical path total %v != wall clock %v", cp.Total, rep.WallClock)
+	}
+	for _, seg := range cp.Segments {
+		if seg.Rank != 1 {
+			t.Errorf("segment %+v jumped off rank 1 for a non-blocking recv", seg)
+		}
+	}
+}
+
+// TestDispatchStats pairs ready requests with assignment receipts in order.
+func TestDispatchStats(t *testing.T) {
+	var events []obs.Event
+	// Worker rank 1 asks 3 times; latencies 10, 20, 30.
+	base := int64(0)
+	for i, lat := range []int64{10, 20, 30} {
+		s := base + int64(i)*100
+		events = append(events,
+			instant(1, "mpi", "Send", s, obs.Arg{Key: "dst", Val: 0}, obs.Arg{Key: "tag", Val: WorkerReadyTag}),
+			begin(1, "mpi", "Recv", s+1, obs.Arg{Key: "src", Val: 0}, obs.Arg{Key: "tag", Val: TaskAssignTag}),
+			end(1, "mpi", "Recv", s+lat, obs.Arg{Key: "from", Val: 0}, obs.Arg{Key: "tag", Val: TaskAssignTag}),
+		)
+	}
+	rep := Analyze(events)
+	d := rep.Dispatch
+	if d == nil {
+		t.Fatal("no dispatch stats")
+	}
+	if d.Count != 3 {
+		t.Errorf("count = %d, want 3", d.Count)
+	}
+	if d.Mean != 20 {
+		t.Errorf("mean = %d, want 20", d.Mean)
+	}
+	if d.Max != 30 {
+		t.Errorf("max = %d, want 30", d.Max)
+	}
+	if d.P50 != 20 {
+		t.Errorf("p50 = %d, want 20", d.P50)
+	}
+}
+
+// TestPhaseImbalanceUsesBusyTime: two ranks in a "map" phase of equal span
+// length (the trailing collective equalizes spans), but rank 1's phase is
+// mostly an mpi wait. Raw durations would report imbalance 1.0; busy time
+// must expose the 2× skew.
+func TestPhaseImbalanceUsesBusyTime(t *testing.T) {
+	events := []obs.Event{
+		begin(0, "mrmpi", "map", 0),
+		begin(1, "mrmpi", "map", 0),
+		// rank 0: all 100 busy. rank 1: 50 busy, 50 blocked in Recv.
+		begin(1, "mpi", "Recv", 50, obs.Arg{Key: "src", Val: 0}, obs.Arg{Key: "tag", Val: 3}),
+		end(1, "mpi", "Recv", 100, obs.Arg{Key: "from", Val: 0}, obs.Arg{Key: "tag", Val: 3}),
+		end(0, "mrmpi", "map", 100),
+		end(1, "mrmpi", "map", 100),
+	}
+	rep := Analyze(events)
+	if len(rep.Phases) != 1 || rep.Phases[0].Name != "map" {
+		t.Fatalf("phases = %+v", rep.Phases)
+	}
+	ps := rep.Phases[0]
+	if ps.BusyByRank[0] != 100 || ps.BusyByRank[1] != 50 {
+		t.Errorf("busy by rank = %v, want [100 50]", ps.BusyByRank)
+	}
+	if ps.MaxRank != 0 {
+		t.Errorf("max rank = %d, want 0", ps.MaxRank)
+	}
+	want := float64(100) / float64(75)
+	if ps.Imbalance < want-1e-9 || ps.Imbalance > want+1e-9 {
+		t.Errorf("imbalance = %g, want %g", ps.Imbalance, want)
+	}
+}
+
+// TestAnalyzeLiveTrace runs a real traced 4-rank MapReduce job through the
+// analyzer: the critical path must total the wall clock exactly, every rank
+// must appear, and the mrmpi phases must be reported.
+func TestAnalyzeLiveTrace(t *testing.T) {
+	tracer := obs.NewTracer()
+	err := mpi.RunWith(4, mpi.RunOptions{Trace: tracer}, func(c *mpi.Comm) error {
+		mr := mrmpi.New(c)
+		defer mr.Close()
+		if _, err := mr.Map(12, func(itask int, kv *mrmpi.KeyValue) error {
+			kv.Add([]byte(fmt.Sprintf("key%d", itask%5)), []byte("v"))
+			return nil
+		}); err != nil {
+			return err
+		}
+		if _, err := mr.Collate(nil); err != nil {
+			return err
+		}
+		_, err := mr.Reduce(func(key []byte, values [][]byte, out *mrmpi.KeyValue) error {
+			out.Add(key, []byte(fmt.Sprintf("%d", len(values))))
+			return nil
+		})
+		c.Barrier()
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := tracer.Events()
+	rep := Analyze(events)
+	if rep.NumRanks != 4 {
+		t.Fatalf("num ranks = %d, want 4", rep.NumRanks)
+	}
+	if rep.CriticalPath.Total != rep.WallClock {
+		t.Errorf("critical path total %v != wall clock %v", rep.CriticalPath.Total, rep.WallClock)
+	}
+	names := map[string]bool{}
+	for _, ps := range rep.Phases {
+		names[ps.Name] = true
+	}
+	for _, want := range []string{"map", "collate", "aggregate", "convert", "reduce"} {
+		if !names[want] {
+			t.Errorf("phase %q missing from report (have %v)", want, names)
+		}
+	}
+	if len(rep.Stragglers) != 4 {
+		t.Errorf("stragglers = %d entries, want 4", len(rep.Stragglers))
+	}
+
+	// The same trace must survive a Chrome JSON round trip (args become
+	// float64) and still analyze cleanly.
+	var buf bytes.Buffer
+	if err := tracer.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	parsed, meta, err := obs.ReadTraceMeta(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.NumRanks != 4 {
+		t.Errorf("meta ranks = %d, want 4", meta.NumRanks)
+	}
+	rep2 := Analyze(parsed)
+	if rep2.CriticalPath.Total != rep2.WallClock {
+		t.Errorf("round-tripped critical path total %v != wall clock %v", rep2.CriticalPath.Total, rep2.WallClock)
+	}
+
+	// And the text rendering includes every section.
+	var out strings.Builder
+	if err := WriteReport(&out, rep); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"per-rank time", "phase load balance", "critical path"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("report missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestAnalyzeEmpty: no events, no panic.
+func TestAnalyzeEmpty(t *testing.T) {
+	rep := Analyze(nil)
+	if rep.WallClock != 0 || rep.NumRanks != 0 || len(rep.Stragglers) != 0 {
+		t.Errorf("empty analysis = %+v", rep)
+	}
+	var out strings.Builder
+	if err := WriteReport(&out, rep); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMergeIntervals covers the coalescing helper.
+func TestMergeIntervals(t *testing.T) {
+	merged, total := mergeIntervals([]interval{{5, 10}, {0, 6}, {20, 30}})
+	if total != 20 {
+		t.Errorf("total = %d, want 20", total)
+	}
+	if len(merged) != 2 {
+		t.Errorf("merged = %+v, want 2 intervals", merged)
+	}
+	if got := overlap(merged, 8, 25); got != 7 {
+		t.Errorf("overlap = %d, want 7 (2 from [8,10) + 5 from [20,25))", got)
+	}
+	if d := time.Duration(total); d != 20 {
+		t.Errorf("duration conversion = %v", d)
+	}
+}

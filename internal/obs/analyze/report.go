@@ -1,0 +1,75 @@
+package analyze
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+	"time"
+)
+
+// WriteReport renders the analysis as plain text (cmd/traceview -analyze).
+func WriteReport(w io.Writer, rep Report) error {
+	fmt.Fprintf(w, "wall clock %v across %d rank(s)\n", rep.WallClock.Round(time.Microsecond), rep.NumRanks)
+
+	fmt.Fprintln(w, "\nper-rank time:")
+	tw := tabwriter.NewWriter(w, 2, 8, 2, ' ', 0)
+	fmt.Fprintln(tw, "rank\tbusy\tcomm\tidle")
+	for _, rt := range rep.Ranks {
+		fmt.Fprintf(tw, "%d\t%v\t%v\t%v\n", rt.Rank,
+			rt.Busy.Round(time.Microsecond), rt.Comm.Round(time.Microsecond), rt.Idle.Round(time.Microsecond))
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+
+	if len(rep.Phases) > 0 {
+		fmt.Fprintln(w, "\nphase load balance (busy time, max/mean):")
+		tw = tabwriter.NewWriter(w, 2, 8, 2, ' ', 0)
+		fmt.Fprintln(tw, "phase\tmax\tmean\timbalance\tslowest rank")
+		for _, ps := range rep.Phases {
+			fmt.Fprintf(tw, "%s\t%v\t%v\t%.2f\t%d\n", ps.Name,
+				ps.Max.Round(time.Microsecond), ps.Mean.Round(time.Microsecond), ps.Imbalance, ps.MaxRank)
+		}
+		if err := tw.Flush(); err != nil {
+			return err
+		}
+	}
+
+	if rep.Dispatch != nil {
+		d := rep.Dispatch
+		fmt.Fprintf(w, "\nmaster dispatch latency: n=%d mean=%v p50=%v p95=%v p99=%v max=%v\n",
+			d.Count, d.Mean.Round(time.Microsecond), d.P50.Round(time.Microsecond),
+			d.P95.Round(time.Microsecond), d.P99.Round(time.Microsecond), d.Max.Round(time.Microsecond))
+	}
+
+	if len(rep.Stragglers) > 0 {
+		fmt.Fprintln(w, "\nstragglers (by busy time):")
+		tw = tabwriter.NewWriter(w, 2, 8, 2, ' ', 0)
+		fmt.Fprintln(tw, "rank\tbusy\ttop spans (self time)")
+		for _, s := range rep.Stragglers {
+			tops := ""
+			for i, c := range s.TopSpans {
+				if i > 0 {
+					tops += ", "
+				}
+				tops += fmt.Sprintf("%s:%s ×%d %v", c.Cat, c.Name, c.Count, c.Self.Round(time.Microsecond))
+			}
+			fmt.Fprintf(tw, "%d\t%v\t%s\n", s.Rank, s.Busy.Round(time.Microsecond), tops)
+		}
+		if err := tw.Flush(); err != nil {
+			return err
+		}
+	}
+
+	fmt.Fprintf(w, "\ncritical path: %v over %d segment(s)\n",
+		rep.CriticalPath.Total.Round(time.Microsecond), len(rep.CriticalPath.Segments))
+	tw = tabwriter.NewWriter(w, 2, 8, 2, ' ', 0)
+	fmt.Fprintln(tw, "rank\tfrom\tto\tdur")
+	for _, s := range rep.CriticalPath.Segments {
+		fmt.Fprintf(tw, "%d\t%v\t%v\t%v\n", s.Rank,
+			time.Duration(s.Start).Round(time.Microsecond),
+			time.Duration(s.End).Round(time.Microsecond),
+			s.Dur().Round(time.Microsecond))
+	}
+	return tw.Flush()
+}

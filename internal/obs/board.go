@@ -1,0 +1,208 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Board is the live per-rank status board of one run: a handful of atomic
+// slots per rank — current phase, task progress, epoch/iteration number,
+// KV bytes buffered, spill and exchange bytes — that the layers update as
+// they work and that can be sampled at any moment without stopping the run.
+// The live status server (internal/obs/live) serves Snapshot over HTTP, and
+// the MPI deadlock watchdog appends the same snapshot to timeout
+// diagnostics, so a hung run is diagnosable before and after the timeout
+// fires.
+//
+// Like the tracer and the registry, a nil *Board (and the nil *RankBoard it
+// hands out) is the disabled state: every method is a no-op costing a few
+// nanoseconds, so instrumented paths pay nothing when the board is off.
+type Board struct {
+	mu    sync.Mutex
+	ranks []*RankBoard
+}
+
+// NewBoard creates an empty status board.
+func NewBoard() *Board {
+	return &Board{}
+}
+
+// Rank returns the status slot for rank r, creating it on first use. A nil
+// Board returns a nil slot whose methods are all no-ops.
+func (b *Board) Rank(r int) *RankBoard {
+	if b == nil || r < 0 {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for len(b.ranks) <= r {
+		b.ranks = append(b.ranks, &RankBoard{rank: len(b.ranks)})
+	}
+	return b.ranks[r]
+}
+
+// NumRanks reports how many rank slots exist.
+func (b *Board) NumRanks() int {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.ranks)
+}
+
+// Snapshot copies every rank's current state. When t is non-nil each rank's
+// in-flight span (innermost open trace span) is included, tying the board's
+// coarse phase view to the tracer's fine-grained one. Safe to call at any
+// time from any goroutine; reads are individually atomic (the snapshot is
+// not a consistent cut across ranks, which live sampling does not need).
+func (b *Board) Snapshot(t *Tracer) []RankState {
+	if b == nil {
+		return nil
+	}
+	b.mu.Lock()
+	ranks := append([]*RankBoard(nil), b.ranks...)
+	b.mu.Unlock()
+	out := make([]RankState, len(ranks))
+	for i, rb := range ranks {
+		out[i] = rb.state()
+		if t != nil {
+			out[i].InFlight = t.Rank(i).InFlight()
+		}
+	}
+	return out
+}
+
+// RankBoard is one rank's set of status slots. All methods are atomic and
+// no-ops on a nil receiver, so layers update it unconditionally.
+type RankBoard struct {
+	rank       int
+	phase      atomic.Pointer[string]
+	epoch      atomic.Int64
+	tasksDone  atomic.Int64
+	tasksTotal atomic.Int64
+	kvBytes    atomic.Int64
+	spillBytes atomic.Int64
+	exchSent   atomic.Int64
+	exchRecv   atomic.Int64
+}
+
+// SetPhase records the phase this rank is currently in (e.g. "map").
+func (rb *RankBoard) SetPhase(phase string) {
+	if rb == nil {
+		return
+	}
+	rb.phase.Store(&phase)
+}
+
+// Phase reads the current phase ("" before the first SetPhase).
+func (rb *RankBoard) Phase() string {
+	if rb == nil {
+		return ""
+	}
+	if p := rb.phase.Load(); p != nil {
+		return *p
+	}
+	return ""
+}
+
+// BeginTasks resets task progress for a new work distribution: zero done
+// out of total (the global task count, so summing done across ranks against
+// total tracks whole-run progress).
+func (rb *RankBoard) BeginTasks(total int64) {
+	if rb == nil {
+		return
+	}
+	rb.tasksDone.Store(0)
+	rb.tasksTotal.Store(total)
+}
+
+// TaskDone counts one completed task on this rank.
+func (rb *RankBoard) TaskDone() {
+	if rb == nil {
+		return
+	}
+	rb.tasksDone.Add(1)
+}
+
+// SetEpoch records the current epoch (SOM) or MapReduce iteration (BLAST).
+func (rb *RankBoard) SetEpoch(epoch int64) {
+	if rb == nil {
+		return
+	}
+	rb.epoch.Store(epoch)
+}
+
+// SetKVBytes records the bytes currently buffered in this rank's key-value
+// store.
+func (rb *RankBoard) SetKVBytes(n int64) {
+	if rb == nil {
+		return
+	}
+	rb.kvBytes.Store(n)
+}
+
+// SetSpillBytes records the cumulative bytes this rank has spilled to disk.
+func (rb *RankBoard) SetSpillBytes(n int64) {
+	if rb == nil {
+		return
+	}
+	rb.spillBytes.Store(n)
+}
+
+// AddExchange accumulates bytes sent to and received from other ranks
+// during an Aggregate exchange.
+func (rb *RankBoard) AddExchange(sent, recv int64) {
+	if rb == nil {
+		return
+	}
+	rb.exchSent.Add(sent)
+	rb.exchRecv.Add(recv)
+}
+
+// state reads every slot.
+func (rb *RankBoard) state() RankState {
+	return RankState{
+		Rank:              rb.rank,
+		Phase:             rb.Phase(),
+		Epoch:             rb.epoch.Load(),
+		TasksDone:         rb.tasksDone.Load(),
+		TasksTotal:        rb.tasksTotal.Load(),
+		KVBytes:           rb.kvBytes.Load(),
+		SpillBytes:        rb.spillBytes.Load(),
+		ExchangeSentBytes: rb.exchSent.Load(),
+		ExchangeRecvBytes: rb.exchRecv.Load(),
+	}
+}
+
+// RankState is one rank's point-in-time status, JSON-shaped for the live
+// status endpoint.
+type RankState struct {
+	Rank              int    `json:"rank"`
+	Phase             string `json:"phase"`
+	Epoch             int64  `json:"epoch"`
+	TasksDone         int64  `json:"tasks_done"`
+	TasksTotal        int64  `json:"tasks_total"`
+	KVBytes           int64  `json:"kv_bytes"`
+	SpillBytes        int64  `json:"spill_bytes"`
+	ExchangeSentBytes int64  `json:"exchange_sent_bytes"`
+	ExchangeRecvBytes int64  `json:"exchange_recv_bytes"`
+	InFlight          string `json:"in_flight,omitempty"`
+}
+
+// String renders the state as one compact line, shared by the live text
+// view and the watchdog's timeout diagnostics.
+func (s RankState) String() string {
+	phase := s.Phase
+	if phase == "" {
+		phase = "-"
+	}
+	line := fmt.Sprintf("phase=%s tasks=%d/%d epoch=%d kv=%dB spilled=%dB exch=%dB/%dB",
+		phase, s.TasksDone, s.TasksTotal, s.Epoch, s.KVBytes, s.SpillBytes,
+		s.ExchangeSentBytes, s.ExchangeRecvBytes)
+	if s.InFlight != "" {
+		line += " " + s.InFlight
+	}
+	return line
+}

@@ -65,23 +65,42 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 	return enc.Encode(file)
 }
 
+// TraceMeta is what the metadata ("M") records of a trace file declare:
+// currently just how many rank tracks were named. Zero when the file has no
+// thread_name records (e.g. a hand-built stream).
+type TraceMeta struct {
+	NumRanks int
+}
+
 // ReadTrace parses Chrome trace JSON back into the typed event stream,
 // dropping metadata records. Event order follows the file; args become
 // key-sorted Arg lists.
 func ReadTrace(r io.Reader) ([]Event, error) {
+	events, _, err := ReadTraceMeta(r)
+	return events, err
+}
+
+// ReadTraceMeta is ReadTrace plus the metadata records: it also reports how
+// many rank tracks the file's thread_name records declare, which
+// ValidateInstants uses to range-check instant ranks.
+func ReadTraceMeta(r io.Reader) ([]Event, TraceMeta, error) {
+	var meta TraceMeta
 	var file chromeFile
 	dec := json.NewDecoder(r)
 	if err := dec.Decode(&file); err != nil {
-		return nil, fmt.Errorf("obs: trace is not valid JSON: %w", err)
+		return nil, meta, fmt.Errorf("obs: trace is not valid JSON: %w", err)
 	}
 	var events []Event
 	for i, ce := range file.TraceEvents {
 		switch ce.Ph {
 		case "M":
+			if ce.Name == "thread_name" && ce.TID+1 > meta.NumRanks {
+				meta.NumRanks = ce.TID + 1
+			}
 			continue
 		case "B", "E", "I":
 		default:
-			return nil, fmt.Errorf("obs: event %d has unsupported phase %q", i, ce.Ph)
+			return nil, meta, fmt.Errorf("obs: event %d has unsupported phase %q", i, ce.Ph)
 		}
 		ev := Event{
 			Type: EventType(ce.Ph[0]),
@@ -102,7 +121,47 @@ func ReadTrace(r io.Reader) ([]Event, error) {
 		}
 		events = append(events, ev)
 	}
-	return events, nil
+	return events, meta, nil
+}
+
+// ValidateInstants checks instant ("I") events, which Validate's span
+// pairing skips: each instant's rank must be non-negative (and below
+// numRanks when numRanks > 0, e.g. from ReadTraceMeta), and its timestamp
+// must fall within the clock span of the trace's B/E events, when any
+// exist — an instant outside that window means merged streams disagree on
+// the clock origin.
+func ValidateInstants(events []Event, numRanks int) error {
+	var minTS, maxTS int64
+	haveSpan := false
+	for _, ev := range events {
+		if ev.Type != BeginEvent && ev.Type != EndEvent {
+			continue
+		}
+		if !haveSpan || ev.TS < minTS {
+			minTS = ev.TS
+		}
+		if !haveSpan || ev.TS > maxTS {
+			maxTS = ev.TS
+		}
+		haveSpan = true
+	}
+	for i, ev := range events {
+		if ev.Type != InstantEvent {
+			continue
+		}
+		if ev.Rank < 0 {
+			return fmt.Errorf("obs: instant %d (%s:%s) has negative rank %d", i, ev.Cat, ev.Name, ev.Rank)
+		}
+		if numRanks > 0 && ev.Rank >= numRanks {
+			return fmt.Errorf("obs: instant %d (%s:%s) names rank %d but the trace declares %d rank(s)",
+				i, ev.Cat, ev.Name, ev.Rank, numRanks)
+		}
+		if haveSpan && (ev.TS < minTS || ev.TS > maxTS) {
+			return fmt.Errorf("obs: instant %d (%s:%s) at %dns is outside the trace clock span [%dns, %dns]",
+				i, ev.Cat, ev.Name, ev.TS, minTS, maxTS)
+		}
+	}
+	return nil
 }
 
 // Validate checks the structural invariants of a trace event stream:

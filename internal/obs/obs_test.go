@@ -265,3 +265,198 @@ func TestRegistryConcurrent(t *testing.T) {
 		t.Fatalf("counter = %d, want 4000", got)
 	}
 }
+
+// TestHistogramQuantiles: with fewer observations than the sample cap the
+// buffer holds the full stream, so quantiles are exact order statistics.
+func TestHistogramQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat")
+	// 1..100 in a scrambled but deterministic order.
+	for i := 0; i < 100; i++ {
+		h.Observe(float64((i*37)%100 + 1))
+	}
+	hv := r.Snapshot().Histograms[0]
+	if hv.Count != 100 {
+		t.Fatalf("count = %d, want 100", hv.Count)
+	}
+	if hv.P50 != 50.5 {
+		t.Errorf("p50 = %g, want 50.5", hv.P50)
+	}
+	if hv.P95 < 95 || hv.P95 > 96 {
+		t.Errorf("p95 = %g, want in [95,96]", hv.P95)
+	}
+	if hv.P99 < 99 || hv.P99 > 100 {
+		t.Errorf("p99 = %g, want in [99,100]", hv.P99)
+	}
+	var buf bytes.Buffer
+	if err := r.Snapshot().WriteTable(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"p50=", "p95=", "p99="} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("metrics table missing %q:\n%s", want, buf.String())
+		}
+	}
+}
+
+// TestHistogramDecimation pushes far past the sample cap: count/sum stay
+// exact and quantile estimates stay close on a uniform stream.
+func TestHistogramDecimation(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("big")
+	const n = 40_000
+	for i := 0; i < n; i++ {
+		h.Observe(float64(i % 1000))
+	}
+	hv := r.Snapshot().Histograms[0]
+	if hv.Count != n {
+		t.Fatalf("count = %d, want %d", hv.Count, n)
+	}
+	if hv.Min != 0 || hv.Max != 999 {
+		t.Errorf("min/max = %g/%g, want 0/999", hv.Min, hv.Max)
+	}
+	if hv.P50 < 400 || hv.P50 > 600 {
+		t.Errorf("decimated p50 = %g, want ~500", hv.P50)
+	}
+	if hv.P99 < 950 {
+		t.Errorf("decimated p99 = %g, want >= 950", hv.P99)
+	}
+}
+
+// TestQuantileEdges covers the shared quantile helper directly.
+func TestQuantileEdges(t *testing.T) {
+	if got := Quantile(nil, 0.5); got != 0 {
+		t.Errorf("empty quantile = %g, want 0", got)
+	}
+	s := []float64{10}
+	if Quantile(s, 0) != 10 || Quantile(s, 0.5) != 10 || Quantile(s, 1) != 10 {
+		t.Error("single-sample quantiles must all be the sample")
+	}
+	s = []float64{0, 10}
+	if got := Quantile(s, 0.25); got != 2.5 {
+		t.Errorf("interpolated quantile = %g, want 2.5", got)
+	}
+}
+
+// TestBoardPublishes exercises the live status board: per-rank slots update
+// independently and render into both RankState and its text form.
+func TestBoardPublishes(t *testing.T) {
+	b := NewBoard()
+	r0 := b.Rank(0)
+	r1 := b.Rank(1)
+	r0.SetPhase("map")
+	r0.BeginTasks(8)
+	r0.TaskDone()
+	r0.TaskDone()
+	r0.SetKVBytes(512)
+	r1.SetPhase("aggregate")
+	r1.AddExchange(100, 200)
+	r1.SetEpoch(3)
+
+	states := b.Snapshot(nil)
+	if len(states) != 2 {
+		t.Fatalf("snapshot has %d ranks, want 2", len(states))
+	}
+	if states[0].Phase != "map" || states[0].TasksDone != 2 || states[0].TasksTotal != 8 {
+		t.Errorf("rank 0 state = %+v", states[0])
+	}
+	if states[0].KVBytes != 512 {
+		t.Errorf("rank 0 kv bytes = %d, want 512", states[0].KVBytes)
+	}
+	if states[1].Phase != "aggregate" || states[1].ExchangeSentBytes != 100 || states[1].ExchangeRecvBytes != 200 || states[1].Epoch != 3 {
+		t.Errorf("rank 1 state = %+v", states[1])
+	}
+	if s := states[0].String(); !strings.Contains(s, "phase=map") || !strings.Contains(s, "tasks=2/8") {
+		t.Errorf("rank 0 text = %q", s)
+	}
+}
+
+// TestBoardNilSafe: a nil board and nil rank-board are valid disabled
+// instruments.
+func TestBoardNilSafe(t *testing.T) {
+	var b *Board
+	if rb := b.Rank(0); rb != nil {
+		t.Fatal("nil board must hand out nil rank boards")
+	}
+	var rb *RankBoard
+	rb.SetPhase("x")
+	rb.BeginTasks(1)
+	rb.TaskDone()
+	rb.SetKVBytes(1)
+	rb.SetSpillBytes(1)
+	rb.AddExchange(1, 1)
+	rb.SetEpoch(1)
+	if got := b.Snapshot(nil); len(got) != 0 {
+		t.Fatalf("nil board snapshot = %+v, want empty", got)
+	}
+}
+
+// TestBoardInFlightFromTracer: Snapshot folds each rank's open span from the
+// tracer into the state, which is what the watchdog prints.
+func TestBoardInFlightFromTracer(t *testing.T) {
+	b := NewBoard()
+	b.Rank(0).SetPhase("map")
+	tr := NewTracer()
+	sp := tr.Rank(0).Begin("mpi", "Recv")
+	states := b.Snapshot(tr)
+	if len(states) != 1 || !strings.Contains(states[0].InFlight, "mpi:Recv") {
+		t.Fatalf("in-flight = %+v, want mpi:Recv", states)
+	}
+	sp.End()
+	states = b.Snapshot(tr)
+	if states[0].InFlight != "idle" {
+		t.Fatalf("in-flight after End = %q, want idle", states[0].InFlight)
+	}
+}
+
+// TestValidateInstants covers the -check validation of instant events.
+func TestValidateInstants(t *testing.T) {
+	span := []Event{
+		{Type: BeginEvent, Rank: 0, Cat: "app", Name: "w", TS: 100},
+		{Type: EndEvent, Rank: 0, Cat: "app", Name: "w", TS: 200},
+	}
+	ok := append(span, Event{Type: InstantEvent, Rank: 1, Cat: "mpi", Name: "Send", TS: 150})
+	if err := ValidateInstants(ok, 2); err != nil {
+		t.Errorf("valid instants rejected: %v", err)
+	}
+	neg := append(span, Event{Type: InstantEvent, Rank: -1, Cat: "mpi", Name: "Send", TS: 150})
+	if err := ValidateInstants(neg, 2); err == nil {
+		t.Error("negative rank accepted")
+	}
+	high := append(span, Event{Type: InstantEvent, Rank: 5, Cat: "mpi", Name: "Send", TS: 150})
+	if err := ValidateInstants(high, 2); err == nil {
+		t.Error("out-of-range rank accepted")
+	}
+	early := append(span, Event{Type: InstantEvent, Rank: 0, Cat: "mpi", Name: "Send", TS: 5})
+	if err := ValidateInstants(early, 2); err == nil {
+		t.Error("instant before the trace clock span accepted")
+	}
+	late := append(span, Event{Type: InstantEvent, Rank: 0, Cat: "mpi", Name: "Send", TS: 500})
+	if err := ValidateInstants(late, 2); err == nil {
+		t.Error("instant after the trace clock span accepted")
+	}
+}
+
+// TestReadTraceMeta: the Chrome export carries per-rank thread metadata that
+// ReadTraceMeta turns back into a rank count.
+func TestReadTraceMeta(t *testing.T) {
+	tr := NewTracer()
+	for r := 0; r < 3; r++ {
+		sp := tr.Rank(r).Begin("app", "w")
+		sp.End()
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	events, meta, err := ReadTraceMeta(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.NumRanks != 3 {
+		t.Errorf("meta ranks = %d, want 3", meta.NumRanks)
+	}
+	if len(events) != 6 {
+		t.Errorf("events = %d, want 6", len(events))
+	}
+}

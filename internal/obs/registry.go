@@ -124,12 +124,21 @@ func (g *Gauge) Value() int64 {
 	return g.v.Load()
 }
 
-// Histogram summarizes a stream of observations with count/sum/min/max.
+// histogramSampleCap bounds the per-histogram sample buffer used for
+// quantile estimates. When the buffer fills, every other retained sample is
+// dropped and the keep stride doubles — a deterministic decimation that
+// keeps an evenly spaced subsample of the whole stream in bounded memory.
+const histogramSampleCap = 2048
+
+// Histogram summarizes a stream of observations with count/sum/min/max plus
+// p50/p95/p99 quantile estimates from an evenly decimated sample buffer.
 type Histogram struct {
 	mu       sync.Mutex
 	count    int64
 	sum      float64
 	min, max float64
+	samples  []float64
+	stride   int64 // keep every stride-th observation in samples
 }
 
 // Observe records one sample.
@@ -138,6 +147,20 @@ func (h *Histogram) Observe(v float64) {
 		return
 	}
 	h.mu.Lock()
+	if h.stride == 0 {
+		h.stride = 1
+	}
+	if h.count%h.stride == 0 {
+		h.samples = append(h.samples, v)
+		if len(h.samples) >= histogramSampleCap {
+			kept := h.samples[:0]
+			for i := 0; i < len(h.samples); i += 2 {
+				kept = append(kept, h.samples[i])
+			}
+			h.samples = kept
+			h.stride *= 2
+		}
+	}
 	h.count++
 	h.sum += v
 	if v < h.min {
@@ -147,6 +170,29 @@ func (h *Histogram) Observe(v float64) {
 		h.max = v
 	}
 	h.mu.Unlock()
+}
+
+// Quantile returns the q-th quantile (q in [0,1]) of a sorted sample slice
+// using linear interpolation between order statistics; 0 when empty. Shared
+// by histogram snapshots and the trace analyzer's latency distributions.
+func Quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
 }
 
 // CounterValue is one counter in a snapshot.
@@ -161,11 +207,14 @@ type GaugeValue struct {
 	Value int64
 }
 
-// HistogramValue is one histogram in a snapshot.
+// HistogramValue is one histogram in a snapshot. P50/P95/P99 are quantile
+// estimates from the histogram's decimated sample buffer (exact while the
+// stream fits histogramSampleCap observations).
 type HistogramValue struct {
 	Name          string
 	Count         int64
 	Sum, Min, Max float64
+	P50, P95, P99 float64
 }
 
 // Mean is Sum/Count (0 when empty).
@@ -200,10 +249,15 @@ func (r *Registry) Snapshot() RegistrySnapshot {
 	for name, h := range r.hists {
 		h.mu.Lock()
 		hv := HistogramValue{Name: name, Count: h.count, Sum: h.sum, Min: h.min, Max: h.max}
+		samples := append([]float64(nil), h.samples...)
 		h.mu.Unlock()
 		if hv.Count == 0 {
 			hv.Min, hv.Max = 0, 0
 		}
+		sort.Float64s(samples)
+		hv.P50 = Quantile(samples, 0.50)
+		hv.P95 = Quantile(samples, 0.95)
+		hv.P99 = Quantile(samples, 0.99)
 		s.Histograms = append(s.Histograms, hv)
 	}
 	r.mu.Unlock()
@@ -223,8 +277,8 @@ func (s RegistrySnapshot) WriteTable(w io.Writer) error {
 		fmt.Fprintf(tw, "gauge\t%s\t%d\n", g.Name, g.Value)
 	}
 	for _, h := range s.Histograms {
-		fmt.Fprintf(tw, "histogram\t%s\tcount=%d sum=%g min=%g max=%g mean=%g\n",
-			h.Name, h.Count, h.Sum, h.Min, h.Max, h.Mean())
+		fmt.Fprintf(tw, "histogram\t%s\tcount=%d sum=%g min=%g max=%g mean=%g p50=%g p95=%g p99=%g\n",
+			h.Name, h.Count, h.Sum, h.Min, h.Max, h.Mean(), h.P50, h.P95, h.P99)
 	}
 	return tw.Flush()
 }

@@ -27,21 +27,27 @@ func (s SpanStat) Mean() time.Duration {
 	return s.Total / time.Duration(s.Count)
 }
 
-// SpanInstance is one completed span, used for slowest-span reports.
+// SpanInstance is one completed span, used for slowest-span reports and by
+// the trace analyzer. Args carries the Begin event's annotations; EndArgs
+// the End event's (e.g. the matched source of a Recv).
 type SpanInstance struct {
-	Rank  int
-	Cat   string
-	Name  string
-	Start int64 // ns since trace start
-	Dur   time.Duration
-	Args  []Arg
+	Rank    int
+	Cat     string
+	Name    string
+	Start   int64 // ns since trace start
+	Dur     time.Duration
+	Args    []Arg
+	EndArgs []Arg
 }
 
-// pairSpans walks the stream pairing Begin/End per rank (innermost-first,
-// the same discipline Validate enforces) and yields each completed span.
-// Unbalanced events are skipped rather than rejected, so summaries still
-// work on truncated traces.
-func pairSpans(events []Event, yield func(SpanInstance)) {
+// End is the span's completion timestamp in ns since trace start.
+func (s SpanInstance) End() int64 { return s.Start + int64(s.Dur) }
+
+// PairSpans walks the stream pairing Begin/End per rank (innermost-first,
+// the same discipline Validate enforces) and yields each completed span in
+// End order. Unbalanced events are skipped rather than rejected, so
+// summaries still work on truncated traces.
+func PairSpans(events []Event, yield func(SpanInstance)) {
 	stacks := map[int][]Event{}
 	for _, ev := range events {
 		switch ev.Type {
@@ -54,12 +60,13 @@ func pairSpans(events []Event, yield func(SpanInstance)) {
 					b := st[i]
 					stacks[ev.Rank] = append(st[:i], st[i+1:]...)
 					yield(SpanInstance{
-						Rank:  ev.Rank,
-						Cat:   b.Cat,
-						Name:  b.Name,
-						Start: b.TS,
-						Dur:   time.Duration(ev.TS - b.TS),
-						Args:  b.Args,
+						Rank:    ev.Rank,
+						Cat:     b.Cat,
+						Name:    b.Name,
+						Start:   b.TS,
+						Dur:     time.Duration(ev.TS - b.TS),
+						Args:    b.Args,
+						EndArgs: ev.Args,
 					})
 					break
 				}
@@ -76,7 +83,7 @@ func Summarize(events []Event) []SpanStat {
 		cat, name string
 	}
 	agg := map[key]*SpanStat{}
-	pairSpans(events, func(sp SpanInstance) {
+	PairSpans(events, func(sp SpanInstance) {
 		k := key{sp.Rank, sp.Cat, sp.Name}
 		st := agg[k]
 		if st == nil {
@@ -108,7 +115,7 @@ func Summarize(events []Event) []SpanStat {
 // TopSlowest returns the n longest completed spans, longest first.
 func TopSlowest(events []Event, n int) []SpanInstance {
 	var all []SpanInstance
-	pairSpans(events, func(sp SpanInstance) { all = append(all, sp) })
+	PairSpans(events, func(sp SpanInstance) { all = append(all, sp) })
 	sort.Slice(all, func(i, j int) bool { return all[i].Dur > all[j].Dur })
 	if n > 0 && len(all) > n {
 		all = all[:n]

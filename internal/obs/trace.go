@@ -165,6 +165,11 @@ func (rt *RankTracer) Begin(cat, name string, args ...Arg) Span {
 	return Span{rt: rt, id: id}
 }
 
+// Active reports whether the span records anywhere — false for the zero
+// Span and spans from a nil RankTracer. Hot paths check it before building
+// End args so the disabled path allocates nothing.
+func (s Span) Active() bool { return s.rt != nil }
+
 // End closes the span, emitting the matching EndEvent. Ending a span twice
 // (e.g. an explicit End shadowed by a deferred one) is a no-op the second
 // time.

@@ -1,0 +1,106 @@
+package perf
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// WriteFile writes f as indented JSON to path.
+func WriteFile(path string, f *File) error {
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadFile reads a BENCH file and checks its schema version.
+func ReadFile(path string) (*File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("perf: %s: %w", path, err)
+	}
+	if f.SchemaVersion != SchemaVersion {
+		return nil, fmt.Errorf("perf: %s: schema version %d, this tool speaks %d",
+			path, f.SchemaVersion, SchemaVersion)
+	}
+	return &f, nil
+}
+
+// Regression is one entry whose new timings are meaningfully worse than the
+// baseline's.
+type Regression struct {
+	Name string `json:"name"`
+	// OldMedianMS and NewMedianMS are calibration-normalized (expressed in
+	// the baseline machine's time scale).
+	OldMedianMS float64 `json:"old_median_ms"`
+	NewMedianMS float64 `json:"new_median_ms"`
+	Ratio       float64 `json:"ratio"`
+}
+
+// Delta is a Compare result: regressions plus informational entries that
+// appear on only one side.
+type Delta struct {
+	Regressions []Regression
+	OnlyOld     []string
+	OnlyNew     []string
+	// Scale is the calibration ratio applied to the new file's timings
+	// (old calibration / new calibration); 1 when either is unset.
+	Scale float64
+}
+
+// Compare flags entries of new whose timings regressed past threshold
+// (e.g. 0.25 = 25% slower) relative to old. To count, a regression must be
+// statistically meaningful, not just a noisy repeat: the normalized new
+// median must exceed old median × (1+threshold) AND the normalized new
+// minimum must exceed the old maximum, i.e. the fastest new run is still
+// slower than the slowest baseline run.
+func Compare(old, new *File, threshold float64) (*Delta, error) {
+	if old.SchemaVersion != new.SchemaVersion {
+		return nil, fmt.Errorf("perf: schema mismatch: baseline v%d vs new v%d",
+			old.SchemaVersion, new.SchemaVersion)
+	}
+	scale := 1.0
+	if old.CalibrationMS > 0 && new.CalibrationMS > 0 {
+		scale = old.CalibrationMS / new.CalibrationMS
+	}
+	d := &Delta{Scale: scale}
+	oldByName := map[string]Entry{}
+	for _, e := range old.Entries {
+		oldByName[e.Name] = e
+	}
+	seen := map[string]bool{}
+	for _, ne := range new.Entries {
+		seen[ne.Name] = true
+		oe, ok := oldByName[ne.Name]
+		if !ok {
+			d.OnlyNew = append(d.OnlyNew, ne.Name)
+			continue
+		}
+		normMedian := ne.MedianMS * scale
+		normMin := ne.MinMS * scale
+		if normMedian > oe.MedianMS*(1+threshold) && normMin > oe.MaxMS {
+			d.Regressions = append(d.Regressions, Regression{
+				Name:        ne.Name,
+				OldMedianMS: oe.MedianMS,
+				NewMedianMS: normMedian,
+				Ratio:       normMedian / oe.MedianMS,
+			})
+		}
+	}
+	for _, oe := range old.Entries {
+		if !seen[oe.Name] {
+			d.OnlyOld = append(d.OnlyOld, oe.Name)
+		}
+	}
+	sort.Slice(d.Regressions, func(i, j int) bool {
+		return d.Regressions[i].Ratio > d.Regressions[j].Ratio
+	})
+	return d, nil
+}

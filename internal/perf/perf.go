@@ -1,0 +1,285 @@
+// Package perf is the perf-regression harness: a pinned suite of small
+// deterministic mrblast/mrsom/mrmpi jobs whose timings, registry metrics,
+// and trace-analyzer summaries are folded into schema-versioned BENCH
+// files, seeding the repo's perf trajectory. cmd/mrperf runs the suite and
+// compares BENCH files, flagging statistically meaningful regressions.
+package perf
+
+import (
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"sort"
+	"time"
+
+	"repro/internal/bio"
+	"repro/internal/blast"
+	"repro/internal/blastdb"
+	"repro/internal/mpi"
+	"repro/internal/mrblast"
+	"repro/internal/mrmpi"
+	"repro/internal/mrsom"
+	"repro/internal/obs"
+	"repro/internal/obs/analyze"
+	"repro/internal/som"
+)
+
+// SchemaVersion is bumped whenever the BENCH file shape changes
+// incompatibly; Compare refuses to cross versions.
+const SchemaVersion = 1
+
+// File is one BENCH_<n>.json: the suite's results on one machine at one
+// commit.
+type File struct {
+	SchemaVersion int    `json:"schema_version"`
+	CreatedAt     string `json:"created_at"`
+	GoVersion     string `json:"go_version,omitempty"`
+	// CalibrationMS is the wall time of a fixed CPU-bound reference
+	// workload on this machine. Compare scales timings by the calibration
+	// ratio so baselines recorded on one machine remain usable on another.
+	CalibrationMS float64 `json:"calibration_ms"`
+	Entries       []Entry `json:"entries"`
+}
+
+// Entry is one suite workload's measurements.
+type Entry struct {
+	Name    string `json:"name"`
+	Repeats int    `json:"repeats"`
+	// TimesMS are per-repeat wall-clock times of the full job.
+	TimesMS  []float64 `json:"times_ms"`
+	MedianMS float64   `json:"median_ms"`
+	MinMS    float64   `json:"min_ms"`
+	MaxMS    float64   `json:"max_ms"`
+	// Metrics are registry counters from the final timed repeat.
+	Metrics map[string]int64 `json:"metrics,omitempty"`
+	// The analyzer's view of one extra traced (untimed) run.
+	MapImbalance   float64 `json:"map_imbalance,omitempty"`
+	CriticalPathMS float64 `json:"critical_path_ms,omitempty"`
+}
+
+// workload is one suite job: run executes it once over the given mpi
+// options (registry/tracer may be nil).
+type workload struct {
+	name string
+	run  func(opts mpi.RunOptions) error
+}
+
+// suite builds the pinned workloads. Construction is deterministic (fixed
+// seeds); it is separated from measurement so setup cost (synthesis, DB
+// formatting) stays out of the timings. dir holds generated inputs.
+func suite(dir string) ([]workload, error) {
+	blastRun, err := blastWorkload(dir)
+	if err != nil {
+		return nil, err
+	}
+	return []workload{
+		{name: "blast-master", run: blastRun(mrmpi.MapStyleMaster, false)},
+		{name: "blast-locality", run: blastRun(mrmpi.MapStyleMaster, true)},
+		{name: "som-batch", run: somWorkload(dir)},
+		{name: "mrmpi-shuffle", run: shuffleWorkload()},
+	}, nil
+}
+
+// blastWorkload synthesizes the shared BLAST inputs once and returns a
+// factory of run functions per scheduling mode.
+func blastWorkload(dir string) (func(style mrmpi.MapStyle, locality bool) func(mpi.RunOptions) error, error) {
+	g := bio.NewGenerator(bio.SynthParams{Seed: 7001})
+	set := g.GenerateGenomeSet(bio.GenomeSetParams{
+		NTaxa: 4, MinLen: 2000, MaxLen: 3500,
+		StrainsPerGenome: 1, StrainIdentity: 0.93,
+	})
+	var strains []*bio.Sequence
+	for _, ss := range set.Strains {
+		strains = append(strains, ss...)
+	}
+	frags, err := bio.ShredAll(strains, bio.ShredParams{FragLen: 400, Overlap: 200, MinLen: 150})
+	if err != nil {
+		return nil, err
+	}
+	if len(frags) > 24 {
+		frags = frags[:24]
+	}
+	m, err := blastdb.Format(set.Genomes, bio.DNA, dir, "perfdb",
+		blastdb.FormatOptions{TargetResidues: 3000})
+	if err != nil {
+		return nil, err
+	}
+	blocks := bio.SplitFasta(frags, 12)
+	params := blast.DefaultNucleotideParams()
+	params.EValueCutoff = 1e-5
+	return func(style mrmpi.MapStyle, locality bool) func(mpi.RunOptions) error {
+		return func(opts mpi.RunOptions) error {
+			return mpi.RunWith(4, opts, func(c *mpi.Comm) error {
+				_, err := mrblast.Run(c, mrblast.Config{
+					Params:        params,
+					QueryBlocks:   blocks,
+					Manifest:      m,
+					MapStyle:      style,
+					LocalityAware: locality,
+				})
+				return err
+			})
+		}
+	}, nil
+}
+
+// somWorkload trains a small batch SOM for a few epochs.
+func somWorkload(dir string) func(mpi.RunOptions) error {
+	const n, dim = 960, 8
+	data, _ := bio.ClusteredVectors(7002, n, dim, 4, 0.05)
+	path := dir + "/perf.vec"
+	if err := som.WriteVectorFile(path, data, n, dim); err != nil {
+		return func(mpi.RunOptions) error { return err }
+	}
+	return func(opts mpi.RunOptions) error {
+		vf, err := som.OpenVectorFile(path)
+		if err != nil {
+			return err
+		}
+		defer vf.Close()
+		grid, err := som.NewGrid(8, 8)
+		if err != nil {
+			return err
+		}
+		return mpi.RunWith(4, opts, func(c *mpi.Comm) error {
+			_, err := mrsom.TrainFile(c, vf, mrsom.Config{
+				Grid:      grid,
+				Epochs:    8,
+				BlockSize: 40,
+				Seed:      7003,
+			})
+			return err
+		})
+	}
+}
+
+// shuffleWorkload stresses the MapReduce shuffle: map emits skewed keys,
+// collate redistributes them, reduce counts.
+func shuffleWorkload() func(mpi.RunOptions) error {
+	return func(opts mpi.RunOptions) error {
+		return mpi.RunWith(4, opts, func(c *mpi.Comm) error {
+			mr := mrmpi.New(c)
+			defer mr.Close()
+			if _, err := mr.Map(96, func(itask int, kv *mrmpi.KeyValue) error {
+				for i := 0; i < 400; i++ {
+					kv.Add([]byte(fmt.Sprintf("key-%03d", (itask*31+i)%97)),
+						[]byte(fmt.Sprintf("val-%d-%d", itask, i)))
+				}
+				return nil
+			}); err != nil {
+				return err
+			}
+			if _, err := mr.Collate(nil); err != nil {
+				return err
+			}
+			_, err := mr.Reduce(func(key []byte, values [][]byte, out *mrmpi.KeyValue) error {
+				out.Add(key, []byte(fmt.Sprintf("%d", len(values))))
+				return nil
+			})
+			return err
+		})
+	}
+}
+
+// Run executes the suite: each workload is timed over `repeats` runs, the
+// final timed run also collects registry metrics, and one extra untimed
+// traced run feeds the analyzer. progress (may be nil) receives one line
+// per entry.
+func Run(dir string, repeats int, progress func(string)) (*File, error) {
+	if repeats < 1 {
+		repeats = 1
+	}
+	workloads, err := suite(dir)
+	if err != nil {
+		return nil, err
+	}
+	file := &File{
+		SchemaVersion: SchemaVersion,
+		CreatedAt:     time.Now().UTC().Format(time.RFC3339),
+		GoVersion:     runtime.Version(),
+		CalibrationMS: Calibrate(),
+	}
+	for _, w := range workloads {
+		e := Entry{Name: w.name, Repeats: repeats}
+		// One untimed warmup run sheds first-touch costs (page-in, map
+		// growth, file cache) that would otherwise skew the first repeat.
+		if err := w.run(mpi.RunOptions{}); err != nil {
+			return nil, fmt.Errorf("perf: %s (warmup): %w", w.name, err)
+		}
+		for i := 0; i < repeats; i++ {
+			opts := mpi.RunOptions{}
+			var reg *obs.Registry
+			if i == repeats-1 {
+				reg = obs.NewRegistry()
+				opts.Metrics = reg
+			}
+			start := time.Now()
+			if err := w.run(opts); err != nil {
+				return nil, fmt.Errorf("perf: %s: %w", w.name, err)
+			}
+			e.TimesMS = append(e.TimesMS, float64(time.Since(start))/1e6)
+			if reg != nil {
+				e.Metrics = map[string]int64{}
+				for _, c := range reg.Snapshot().Counters {
+					e.Metrics[c.Name] = c.Value
+				}
+			}
+		}
+		sorted := append([]float64(nil), e.TimesMS...)
+		sort.Float64s(sorted)
+		e.MinMS = sorted[0]
+		e.MaxMS = sorted[len(sorted)-1]
+		e.MedianMS = obs.Quantile(sorted, 0.5)
+
+		// One extra traced run (untimed — tracing has its own overhead)
+		// for the analyzer's load-balance and critical-path view.
+		tracer := obs.NewTracer()
+		if err := w.run(mpi.RunOptions{Trace: tracer}); err != nil {
+			return nil, fmt.Errorf("perf: %s (traced): %w", w.name, err)
+		}
+		rep := analyze.Analyze(tracer.Events())
+		e.CriticalPathMS = float64(rep.CriticalPath.Total) / 1e6
+		for _, ps := range rep.Phases {
+			if ps.Name == "map" {
+				e.MapImbalance = ps.Imbalance
+			}
+		}
+		file.Entries = append(file.Entries, e)
+		if progress != nil {
+			progress(fmt.Sprintf("%s: median %.1fms (min %.1f, max %.1f, %d repeats), map imbalance %.2f",
+				e.Name, e.MedianMS, e.MinMS, e.MaxMS, e.Repeats, e.MapImbalance))
+		}
+	}
+	return file, nil
+}
+
+// Calibrate times a fixed CPU-bound reference workload (FNV-1a over a
+// deterministic buffer), returning milliseconds. Compare divides timings by
+// the calibration ratio between two BENCH files so a baseline recorded on a
+// faster machine doesn't read as a regression on a slower one. Best of
+// three to shed scheduler noise.
+func Calibrate() float64 {
+	buf := make([]byte, 64<<10)
+	for i := range buf {
+		buf[i] = byte(i*31 + 7)
+	}
+	best := 0.0
+	var sink uint32
+	for try := 0; try < 3; try++ {
+		start := time.Now()
+		for i := 0; i < 150; i++ {
+			h := fnv.New32a()
+			h.Write(buf)
+			sink ^= h.Sum32()
+		}
+		ms := float64(time.Since(start)) / 1e6
+		if best == 0 || ms < best {
+			best = ms
+		}
+	}
+	if sink == 0xdeadbeef {
+		// Keep the work observable so it cannot be elided.
+		return best + 0
+	}
+	return best
+}

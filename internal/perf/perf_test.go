@@ -1,0 +1,214 @@
+package perf
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+func baselineFile() *File {
+	return &File{
+		SchemaVersion: SchemaVersion,
+		CalibrationMS: 10,
+		Entries: []Entry{
+			{Name: "blast-master", Repeats: 3, TimesMS: []float64{100, 110, 120}, MedianMS: 110, MinMS: 100, MaxMS: 120},
+			{Name: "som-batch", Repeats: 3, TimesMS: []float64{50, 52, 54}, MedianMS: 52, MinMS: 50, MaxMS: 54},
+			{Name: "mrmpi-shuffle", Repeats: 3, TimesMS: []float64{30, 31, 33}, MedianMS: 31, MinMS: 30, MaxMS: 33},
+		},
+	}
+}
+
+// TestCompareIdentical: a file compared against itself has no regressions.
+func TestCompareIdentical(t *testing.T) {
+	f := baselineFile()
+	d, err := Compare(f, f, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Regressions) != 0 {
+		t.Errorf("regressions on identical input: %+v", d.Regressions)
+	}
+	if len(d.OnlyOld) != 0 || len(d.OnlyNew) != 0 {
+		t.Errorf("missing entries on identical input: old-only %v, new-only %v", d.OnlyOld, d.OnlyNew)
+	}
+	if d.Scale != 1 {
+		t.Errorf("scale = %g, want 1", d.Scale)
+	}
+}
+
+// TestCompareDetectsSlowdown is the golden acceptance case: one entry is 2×
+// slower, the comparison must flag it by name and only it.
+func TestCompareDetectsSlowdown(t *testing.T) {
+	old := baselineFile()
+	slow := baselineFile()
+	for i := range slow.Entries {
+		if slow.Entries[i].Name == "som-batch" {
+			e := &slow.Entries[i]
+			for j := range e.TimesMS {
+				e.TimesMS[j] *= 2
+			}
+			e.MedianMS *= 2
+			e.MinMS *= 2
+			e.MaxMS *= 2
+		}
+	}
+	d, err := Compare(old, slow, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Regressions) != 1 {
+		t.Fatalf("regressions = %+v, want exactly the som-batch slowdown", d.Regressions)
+	}
+	r := d.Regressions[0]
+	if r.Name != "som-batch" {
+		t.Errorf("regressed entry = %q, want som-batch", r.Name)
+	}
+	if r.Ratio < 1.9 || r.Ratio > 2.1 {
+		t.Errorf("ratio = %g, want ~2", r.Ratio)
+	}
+}
+
+// TestCompareNoisyRunNotFlagged: a slow median whose fastest repeat still
+// overlaps the baseline range is noise, not a regression.
+func TestCompareNoisyRunNotFlagged(t *testing.T) {
+	old := baselineFile()
+	noisy := baselineFile()
+	for i := range noisy.Entries {
+		if noisy.Entries[i].Name == "blast-master" {
+			e := &noisy.Entries[i]
+			e.TimesMS = []float64{115, 160, 170}
+			e.MinMS, e.MedianMS, e.MaxMS = 115, 160, 170
+		}
+	}
+	d, err := Compare(old, noisy, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Regressions) != 0 {
+		t.Errorf("noisy run flagged as regression: %+v", d.Regressions)
+	}
+}
+
+// TestCompareCalibrationNormalizes: same workload timings but the new
+// machine is 2× slower (calibration 2×) — after normalization nothing
+// regressed.
+func TestCompareCalibrationNormalizes(t *testing.T) {
+	old := baselineFile()
+	slowMachine := baselineFile()
+	slowMachine.CalibrationMS = 20
+	for i := range slowMachine.Entries {
+		e := &slowMachine.Entries[i]
+		for j := range e.TimesMS {
+			e.TimesMS[j] *= 2
+		}
+		e.MedianMS *= 2
+		e.MinMS *= 2
+		e.MaxMS *= 2
+	}
+	d, err := Compare(old, slowMachine, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Scale != 0.5 {
+		t.Errorf("scale = %g, want 0.5", d.Scale)
+	}
+	if len(d.Regressions) != 0 {
+		t.Errorf("calibration-explained slowdown flagged: %+v", d.Regressions)
+	}
+}
+
+// TestCompareSchemaMismatch refuses cross-version comparison.
+func TestCompareSchemaMismatch(t *testing.T) {
+	old := baselineFile()
+	other := baselineFile()
+	other.SchemaVersion = SchemaVersion + 1
+	if _, err := Compare(old, other, 0.25); err == nil {
+		t.Fatal("cross-schema compare succeeded, want error")
+	}
+}
+
+// TestCompareMissingEntries reports entries present on only one side.
+func TestCompareMissingEntries(t *testing.T) {
+	old := baselineFile()
+	cur := baselineFile()
+	cur.Entries = cur.Entries[:2]
+	cur.Entries = append(cur.Entries, Entry{Name: "new-workload", MedianMS: 1})
+	d, err := Compare(old, cur, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.OnlyOld) != 1 || d.OnlyOld[0] != "mrmpi-shuffle" {
+		t.Errorf("only-old = %v, want [mrmpi-shuffle]", d.OnlyOld)
+	}
+	if len(d.OnlyNew) != 1 || d.OnlyNew[0] != "new-workload" {
+		t.Errorf("only-new = %v, want [new-workload]", d.OnlyNew)
+	}
+}
+
+// TestFileRoundTrip writes and re-reads a BENCH file.
+func TestFileRoundTrip(t *testing.T) {
+	path := t.TempDir() + "/BENCH_test.json"
+	f := baselineFile()
+	f.CreatedAt = "2026-08-06T00:00:00Z"
+	if err := WriteFile(path, f); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.CreatedAt != f.CreatedAt || len(got.Entries) != len(f.Entries) {
+		t.Errorf("round trip mismatch: %+v", got)
+	}
+	if got.Entries[0].MedianMS != 110 {
+		t.Errorf("entry median = %g, want 110", got.Entries[0].MedianMS)
+	}
+}
+
+// TestReadFileRejectsWrongSchema: a future-schema file is refused at read
+// time so stale tools fail loudly.
+func TestReadFileRejectsWrongSchema(t *testing.T) {
+	path := t.TempDir() + "/BENCH_future.json"
+	if err := os.WriteFile(path, []byte(`{"schema_version": 99, "entries": []}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFile(path); err == nil || !strings.Contains(err.Error(), "schema version") {
+		t.Fatalf("err = %v, want schema version error", err)
+	}
+}
+
+// TestSuiteRunsQuick executes the real suite once end to end: every pinned
+// workload must run, produce timings, and fold in analyzer stats.
+func TestSuiteRunsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("suite run is slow")
+	}
+	f, err := Run(t.TempDir(), 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.SchemaVersion != SchemaVersion {
+		t.Errorf("schema = %d, want %d", f.SchemaVersion, SchemaVersion)
+	}
+	if f.CalibrationMS <= 0 {
+		t.Errorf("calibration = %g, want > 0", f.CalibrationMS)
+	}
+	names := map[string]bool{}
+	for _, e := range f.Entries {
+		names[e.Name] = true
+		if len(e.TimesMS) != 1 || e.MedianMS <= 0 {
+			t.Errorf("%s: times %v median %g", e.Name, e.TimesMS, e.MedianMS)
+		}
+		if e.CriticalPathMS <= 0 {
+			t.Errorf("%s: no critical path measured", e.Name)
+		}
+		if len(e.Metrics) == 0 {
+			t.Errorf("%s: no registry metrics captured", e.Name)
+		}
+	}
+	for _, want := range []string{"blast-master", "blast-locality", "som-batch", "mrmpi-shuffle"} {
+		if !names[want] {
+			t.Errorf("workload %q missing from suite results", want)
+		}
+	}
+}
