@@ -43,17 +43,29 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
+# Shuffle hot-path microbenchmarks (KeyValue.Add, DefaultHash, Convert,
+# Aggregate), all with ReportAllocs. KeyValue.Add and DefaultHash must stay
+# at 0 allocs/op — a nonzero column is an allocation regression in the
+# zero-copy ingest path even if ns/op looks fine on a noisy box.
+bench-shuffle:
+	$(GO) test -bench=. -benchmem -run '^$$' ./internal/mrmpi
+
 # Perf-regression harness: run the pinned suite and write the next free
 # BENCH_<n>.json (timings, registry metrics, analyzer stats). Compare two
 # files with `bin/mrperf compare old.json new.json`.
 perf: build
 	$(BIN)/mrperf
 
-# CI smoke mode: a quick suite run compared against the committed baseline;
-# fails on a >25% calibration-normalized wall-clock regression.
+# CI smoke mode: a quick suite run compared against the newest committed
+# baseline (BENCH_1.json, the streaming-shuffle build); fails on a >25%
+# calibration-normalized wall-clock regression. The compare against
+# BENCH_0.json (pre-streaming shuffle) is informational: it should keep
+# reporting the mrmpi-shuffle improvement, so a silent loss of the win
+# shows up in CI logs even when it stays under the regression threshold.
 perf-check: build
 	mkdir -p results
 	$(BIN)/mrperf -quick -out results/BENCH_ci.json
+	$(BIN)/mrperf compare BENCH_1.json results/BENCH_ci.json
 	$(BIN)/mrperf compare BENCH_0.json results/BENCH_ci.json
 
 # Regenerate every figure/table of the paper's evaluation.

@@ -2,7 +2,9 @@
 // the pinned suite of small deterministic mrblast/mrsom/mrmpi jobs and writes
 // a schema-versioned BENCH_<n>.json (timings, registry metrics, analyzer
 // stats); `mrperf compare old.json new.json` flags statistically meaningful
-// regressions and exits non-zero naming each regressed entry.
+// regressions and exits non-zero naming each regressed entry. Entries whose
+// calibration-normalized median improved by >=10% are printed as
+// informational `improved:` lines so speedups stay on the record too.
 //
 // Usage:
 //
@@ -81,6 +83,10 @@ func runCompare(args []string) {
 	}
 	for _, name := range d.OnlyNew {
 		fmt.Printf("mrperf: note: %s present only in new file\n", name)
+	}
+	for _, im := range d.Improvements {
+		fmt.Printf("mrperf: improved: %s: median %.1fms -> %.1fms (%.2fx faster)\n",
+			im.Name, im.OldMedianMS, im.NewMedianMS, im.Speedup)
 	}
 	if len(d.Regressions) == 0 {
 		fmt.Printf("mrperf: OK — no regressions past %.0f%% across %d entries\n",

@@ -19,6 +19,9 @@
 //     and Send tags with no syntactically reachable matching Recv.
 //   - root: collective root arguments that are non-constant and never
 //     validated against Size(), or constant and negative.
+//   - requests: nonblocking Isend/Irecv calls whose *Request is discarded
+//     (bare statement, assigned to _) or assigned to a variable that is
+//     never completed with Wait or Test.
 //
 // A second family (mrlint) checks the MapReduce layer's object protocol and
 // callback contracts — map() fills a KV, Collate/Convert builds a KMV,
@@ -148,6 +151,7 @@ func Analyzers() []*Analyzer {
 		{Name: "retain", Doc: "key/values page-buffer slices escaping a callback without a copy", Run: checkRetain},
 		{Name: "kvescape", Doc: "the *KeyValue emitter handle escaping its callback", Run: checkKVEscape},
 		{Name: "obslint", Doc: "trace spans opened with Begin but never ended in the same function", Run: checkObsSpans},
+		{Name: "requests", Doc: "Isend/Irecv requests that are discarded or never completed with Wait/Test", Run: checkRequests},
 	}
 }
 

@@ -467,6 +467,124 @@ func f(c *mpi.Comm, root int, v []float64) {
 	}
 }
 
+func TestRequests(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{
+			name: "discarded Isend statement",
+			src: header + `
+func f(c *mpi.Comm) {
+	c.Isend(1, 7, "x") // want requests
+}`,
+		},
+		{
+			name: "discarded Irecv statement",
+			src: header + `
+func f(c *mpi.Comm) {
+	c.Irecv(0, 7) // want requests
+}`,
+		},
+		{
+			name: "chained Wait is fine",
+			src: header + `
+func f(c *mpi.Comm) {
+	c.Isend(1, 7, "x").Wait()
+	c.Irecv(0, 7).Wait()
+}`,
+		},
+		{
+			name: "assigned to blank",
+			src: header + `
+func f(c *mpi.Comm) {
+	_ = c.Isend(1, 7, "x") // want requests
+}`,
+		},
+		{
+			name: "assigned and waited is fine",
+			src: header + `
+func f(c *mpi.Comm) {
+	req := c.Irecv(0, 7)
+	req.Wait()
+}`,
+		},
+		{
+			name: "assigned and tested is fine",
+			src: header + `
+func f(c *mpi.Comm) bool {
+	req := c.Irecv(0, 7)
+	_, _, ok := req.Test()
+	return ok
+}`,
+		},
+		{
+			name: "assigned but never completed",
+			src: header + `
+func f(c *mpi.Comm) {
+	req := c.Irecv(0, 7) // want requests
+	c.Barrier()
+}`,
+		},
+		{
+			name: "appending to a Waitall slice is fine",
+			src: header + `
+func f(c *mpi.Comm) {
+	var reqs []*mpi.Request
+	for i := 0; i < 3; i++ {
+		reqs = append(reqs, c.Isend(1, 7, i))
+	}
+	mpi.Waitall(reqs)
+}`,
+		},
+		{
+			name: "returned request is the caller's problem",
+			src: header + `
+func f(c *mpi.Comm) *mpi.Request {
+	return c.Irecv(0, 7)
+}`,
+		},
+		{
+			name: "request stored in a field is out of reach",
+			src: header + `
+type stream struct{ req *mpi.Request }
+
+func f(c *mpi.Comm, s *stream) {
+	s.req = c.Irecv(0, 7)
+}`,
+		},
+		{
+			name: "reposting loop variable counts as completed",
+			src: header + `
+func f(c *mpi.Comm) {
+	req := c.Irecv(0, 7)
+	for i := 0; i < 3; i++ {
+		req.Wait()
+		req = c.Irecv(0, 7)
+	}
+	req.Wait()
+}`,
+		},
+		{
+			name: "unrelated two-arg methods are ignored",
+			src: header + `
+func f(c *mpi.Comm) {
+	c.Recv(0, 7)
+}`,
+		},
+		{
+			name: "ignore comment suppresses",
+			src: header + `
+func f(c *mpi.Comm) {
+	c.Isend(1, 7, "x") // mpilint:ignore — deliberate leak under test
+}`,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) { checkFixture(t, "requests", tc.src) })
+	}
+}
+
 // TestRepoLintsClean is the acceptance gate: the full analyzer suite over
 // the repository's own source (the same pass `make lint` runs, plus test
 // files) must report nothing.

@@ -1,0 +1,152 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// checkRequests flags nonblocking point-to-point calls whose *mpi.Request is
+// dropped. Every Isend/Irecv must be completed with Wait or Test (directly,
+// via Waitall, or by handing the request to other code): an uncompleted
+// Irecv is a receive that never happens, an uncompleted Isend leaves the
+// delivery unconfirmed, and mpidebug builds report both at world exit. The
+// flagged forms are the ones that make completion impossible:
+//
+//   - the call as a bare statement (`c.Isend(dst, tag, v)`) — the Request is
+//     gone before anything can Wait on it; chain `.Wait()` if blocking
+//     semantics were intended,
+//   - the result assigned to `_`,
+//   - the result assigned to a variable that is never mentioned again in the
+//     enclosing function.
+//
+// The check is conservative in the usual mpilint way: any later use of the
+// variable (a Wait/Test call, appending to a Waitall slice, passing it on,
+// returning it) counts as completion, and results stored into fields,
+// slices, or composite literals are out of syntactic reach and trusted.
+func checkRequests(pkg *Package) []Finding {
+	var out []Finding
+	for _, f := range pkg.Files {
+		for _, scope := range funcScopes(f) {
+			out = append(out, requestsScanScope(pkg, scope)...)
+		}
+	}
+	return out
+}
+
+// isRequestCall matches `x.Isend(dst, tag, data)` or `x.Irecv(src, tag)`.
+// The receiver is unconstrained (comms travel under many names) but the
+// method name plus arity keeps unrelated APIs out.
+func isRequestCall(e ast.Expr) (*ast.CallExpr, string, bool) {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return nil, "", false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil, "", false
+	}
+	switch sel.Sel.Name {
+	case "Isend":
+		if len(call.Args) == 3 {
+			return call, "Isend", true
+		}
+	case "Irecv":
+		if len(call.Args) == 2 {
+			return call, "Irecv", true
+		}
+	}
+	return nil, "", false
+}
+
+// requestsScanScope checks one function body. Like obslint, nested function
+// literals are separate scopes for opening requests, but uses inside them
+// still count as completion (a deferred closure draining a request slice is
+// idiomatic).
+func requestsScanScope(pkg *Package, body *ast.BlockStmt) []Finding {
+	type open struct {
+		ident *ast.Ident // LHS of the opening assignment
+		call  ast.Node
+		op    string
+	}
+	var opens []open
+	var out []Finding
+	report := func(n ast.Node, msg string) {
+		out = append(out, Finding{Pos: pkg.position(n), Analyzer: "requests", Message: msg})
+	}
+
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.FuncLit:
+			return false // its own scope
+		case *ast.ReturnStmt:
+			return false // the caller owns returned requests
+		case *ast.ExprStmt:
+			if call, op, ok := isRequestCall(s.X); ok {
+				report(call, op+" result discarded: the *Request must be completed — assign it and Wait/Test, or chain .Wait()")
+				return false
+			}
+			return true
+		case *ast.AssignStmt:
+			if len(s.Lhs) != len(s.Rhs) {
+				return true
+			}
+			for i, rhs := range s.Rhs {
+				call, op, ok := isRequestCall(rhs)
+				if !ok {
+					continue
+				}
+				id, ok := s.Lhs[i].(*ast.Ident)
+				if !ok {
+					continue // field/index destination: out of syntactic reach
+				}
+				if id.Name == "_" {
+					report(call, op+" result assigned to _: that request can never be completed with Wait or Test")
+					continue
+				}
+				opens = append(opens, open{ident: id, call: call, op: op})
+			}
+			return true
+		case *ast.ValueSpec:
+			for i, v := range s.Values {
+				call, op, ok := isRequestCall(v)
+				if !ok || i >= len(s.Names) {
+					continue
+				}
+				if s.Names[i].Name == "_" {
+					report(call, op+" result assigned to _: that request can never be completed with Wait or Test")
+					continue
+				}
+				opens = append(opens, open{ident: s.Names[i], call: call, op: op})
+			}
+			return true
+		}
+		return true
+	}
+	ast.Inspect(body, walk)
+
+	if len(opens) > 0 {
+		// Any mention of the variable besides its opening LHS counts as
+		// completion (Wait/Test, Waitall slices, passing it on, reassignment
+		// chains) — matched by node identity so shadowed names stay honest
+		// per occurrence.
+		opening := map[*ast.Ident]bool{}
+		for _, o := range opens {
+			opening[o.ident] = true
+		}
+		used := map[string]bool{}
+		ast.Inspect(body, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && !opening[id] {
+				used[id.Name] = true
+			}
+			return true
+		})
+		for _, o := range opens {
+			if !used[o.ident.Name] {
+				report(o.call, o.op+" request "+o.ident.Name+
+					" is never completed: call "+o.ident.Name+".Wait() or poll "+o.ident.Name+".Test()")
+			}
+		}
+	}
+	Sort(out)
+	return out
+}

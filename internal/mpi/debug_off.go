@@ -17,6 +17,12 @@ func newDebugState(n int) *debugState { return nil }
 // debugCollective is a no-op without mpidebug.
 func (c *Comm) debugCollective(op string) {}
 
+// debugRequestOpen is a no-op without mpidebug.
+func (c *Comm) debugRequestOpen(r *Request, op string) {}
+
+// debugRequestDone is a no-op without mpidebug.
+func (c *Comm) debugRequestDone(r *Request) {}
+
 // debugStatus contributes nothing to timeout diagnostics without mpidebug.
 func (c *Comm) debugStatus() string { return "" }
 

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sort"
 	"strings"
 	"sync"
 )
@@ -28,11 +29,15 @@ import (
 //   - Drained mailboxes. A world that finishes cleanly must not leave
 //     unreceived messages behind; leftovers are reported with source,
 //     destination, and tag.
+//   - Retired requests. Every nonblocking Request (Isend/Irecv) must be
+//     completed with Wait or a successful Test before the world exits;
+//     leaked requests are reported with their opening op and call site.
 type debugState struct {
 	mu    sync.Mutex
 	seq   []int       // per-rank count of collectives entered
 	last  []debugStep // per-rank most recent collective
 	steps []debugStep // ledger: steps[s] is the expected op at sequence s
+	reqs  map[*Request]string // outstanding nonblocking requests -> "op at site"
 }
 
 // debugStep is one collective fingerprint.
@@ -43,7 +48,37 @@ type debugStep struct {
 }
 
 func newDebugState(n int) *debugState {
-	return &debugState{seq: make([]int, n), last: make([]debugStep, n)}
+	return &debugState{
+		seq:  make([]int, n),
+		last: make([]debugStep, n),
+		reqs: map[*Request]string{},
+	}
+}
+
+// debugRequestOpen fingerprints a freshly posted nonblocking request: op
+// ("Isend" or "Irecv") plus the user-level call site, held in the ledger
+// until the request is retired by Wait or a successful Test.
+func (c *Comm) debugRequestOpen(r *Request, op string) {
+	d := c.world.debug
+	if d == nil {
+		return
+	}
+	desc := fmt.Sprintf("rank %d %s at %s", c.rank, op, debugCallsite())
+	d.mu.Lock()
+	d.reqs[r] = desc
+	d.mu.Unlock()
+}
+
+// debugRequestDone retires a request's fingerprint; idempotent, so cached
+// re-Waits are free to call it again.
+func (c *Comm) debugRequestDone(r *Request) {
+	d := c.world.debug
+	if d == nil {
+		return
+	}
+	d.mu.Lock()
+	delete(d.reqs, r)
+	d.mu.Unlock()
 }
 
 // debugCollective checks this rank's next collective against the ledger.
@@ -95,7 +130,9 @@ func (c *Comm) debugStatus() string {
 }
 
 // debugCheckDrained reports messages still queued in any mailbox after a
-// clean world shutdown: each one is a Send whose matching Recv never ran.
+// clean world shutdown — each one is a Send whose matching Recv never ran —
+// and nonblocking Requests that were posted but never completed with Wait
+// or Test.
 func debugCheckDrained(w *World) error {
 	var errs []error
 	for rank, b := range w.boxes {
@@ -106,6 +143,19 @@ func debugCheckDrained(w *World) error {
 				m.src, rank, m.tag))
 		}
 		b.mu.Unlock()
+	}
+	if d := w.debug; d != nil {
+		d.mu.Lock()
+		var leaked []string
+		for _, desc := range d.reqs {
+			leaked = append(leaked, desc)
+		}
+		d.mu.Unlock()
+		sort.Strings(leaked)
+		for _, desc := range leaked {
+			errs = append(errs, fmt.Errorf(
+				"mpi(debug): request opened by %s was never completed with Wait or Test", desc))
+		}
 	}
 	return errors.Join(errs...)
 }

@@ -109,3 +109,46 @@ func TestDebugTimeoutNamesLaggard(t *testing.T) {
 		}
 	}
 }
+
+// TestDebugUnwaitedRequest: a world that exits while a nonblocking Request
+// was never completed with Wait or Test has leaked the request; mpidebug
+// builds report it with the opening op and call site.
+func TestDebugUnwaitedRequest(t *testing.T) {
+	err := Run(2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			c.Isend(1, 9, "page").Wait()
+			c.Irecv(1, AnyTag) // mpilint:ignore — deliberately leaked request
+		} else {
+			c.Recv(0, 9)
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("expected an unwaited-request diagnostic, got nil")
+	}
+	msg := err.Error()
+	for _, want := range []string{"never completed with Wait or Test", "rank 0 Irecv", "debug_test.go"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("diagnostic missing %q:\n%s", want, msg)
+		}
+	}
+}
+
+// TestDebugTestRetiresRequest: a successful Test is as good as Wait for the
+// leak check.
+func TestDebugTestRetiresRequest(t *testing.T) {
+	err := Run(2, func(c *Comm) error {
+		peer := 1 - c.Rank()
+		c.Isend(peer, 4, peer).Wait()
+		req := c.Irecv(peer, 4)
+		for {
+			if _, _, ok := req.Test(); ok {
+				return nil
+			}
+			time.Sleep(time.Millisecond)
+		}
+	})
+	if err != nil {
+		t.Fatalf("Test-completed requests should not be reported as leaked: %v", err)
+	}
+}

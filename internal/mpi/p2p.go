@@ -26,11 +26,17 @@ func (c *Comm) Send(dst, tag int, data any) {
 }
 
 func (c *Comm) send(dst, tag int, data any) {
+	c.sendOp("Send", dst, tag, data)
+}
+
+// sendOp is the buffered delivery core shared by Send, the collectives, and
+// Isend; op labels the trace instant.
+func (c *Comm) sendOp(op string, dst, tag int, data any) {
 	if dst < 0 || dst >= c.world.size {
-		panic(fmt.Sprintf("mpi: Send to invalid rank %d (size %d)", dst, c.world.size))
+		panic(fmt.Sprintf("mpi: %s to invalid rank %d (size %d)", op, dst, c.world.size))
 	}
 	if tr := c.Tracer(); tr != nil {
-		tr.Instant("mpi", "Send",
+		tr.Instant("mpi", op,
 			obs.Arg{Key: "dst", Val: dst}, obs.Arg{Key: "tag", Val: tag},
 			obs.Arg{Key: "bytes", Val: payloadBytes(data)})
 	}
@@ -55,30 +61,37 @@ func (c *Comm) send(dst, tag int, data any) {
 // delivered, and messages between a fixed (source, tag) pair never overtake
 // one another.
 func (c *Comm) Recv(src, tag int) (any, Status) {
+	return c.recvMatch("Recv", src, tag, userMatch(src, tag))
+}
+
+// userMatch builds the public-API matcher for (src, tag), honoring the
+// AnySource/AnyTag wildcards and keeping AnyTag away from internal
+// (negative-tag) collective traffic. Shared by Recv and Irecv.
+func userMatch(src, tag int) func(*message) bool {
 	if tag == AnyTag {
-		// AnyTag must not match internal collective traffic.
-		return c.recvMatch(src, tag, func(m *message) bool {
+		return func(m *message) bool {
 			return (src == AnySource || m.src == src) && m.tag >= 0
-		})
+		}
 	}
-	return c.recvMatch(src, tag, func(m *message) bool {
+	return func(m *message) bool {
 		return (src == AnySource || m.src == src) && m.tag == tag
-	})
+	}
 }
 
 // recv matches an exact (src, tag) pair, including internal negative tags.
 func (c *Comm) recv(src, tag int) (any, Status) {
-	return c.recvMatch(src, tag, func(m *message) bool {
+	return c.recvMatch("Recv", src, tag, func(m *message) bool {
 		return m.src == src && m.tag == tag
 	})
 }
 
-// recvMatch is the blocking receive core. src and tag are diagnostic only
-// (they label the trace span); match decides delivery.
-func (c *Comm) recvMatch(src, tag int, match func(*message) bool) (any, Status) {
+// recvMatch is the blocking receive core. op labels the trace span (Recv or
+// a Request's Wait); src and tag are diagnostic only — match decides
+// delivery.
+func (c *Comm) recvMatch(op string, src, tag int, match func(*message) bool) (any, Status) {
 	var sp obs.Span
 	if tr := c.Tracer(); tr != nil {
-		sp = tr.Begin("mpi", "Recv",
+		sp = tr.Begin("mpi", op,
 			obs.Arg{Key: "src", Val: src}, obs.Arg{Key: "tag", Val: tag})
 	}
 	defer sp.End()

@@ -1,0 +1,140 @@
+package mpi
+
+import (
+	"fmt"
+
+	"repro/internal/obs"
+)
+
+// Nonblocking point-to-point: Isend and Irecv return a Request handle that
+// is completed later with Wait or Test (or in bulk with Waitall). The
+// transport is eager and buffered, so Isend hands its payload off
+// immediately and its Request is born complete; Irecv defers matching until
+// Wait or Test runs, which lets a rank post receives for many peers and
+// poll them while it keeps computing — the overlap primitive under the
+// streaming Aggregate exchange in internal/mrmpi.
+//
+// Matching semantics: a pending Irecv does not reserve a message at post
+// time. Each Wait/Test matches against the mailbox exactly like Recv
+// (earliest-enqueued match wins, per-(source, tag) FIFO preserved), so two
+// outstanding Requests with the same (source, tag) deliver messages in the
+// order their Wait/Test calls run, not the order the Requests were posted.
+//
+// Every Request must eventually be completed with Wait or a successful
+// Test: mpidebug builds track outstanding Requests and report leaks at
+// world exit, and the mpilint "requests" analyzer flags the static pattern.
+
+// Request is a handle on a nonblocking operation started with Isend or
+// Irecv. It is owned by the rank that created it and is not safe for
+// concurrent use.
+type Request struct {
+	c      *Comm
+	isRecv bool
+	src    int // recv matching source (may be AnySource)
+	tag    int // recv matching tag (may be AnyTag)
+	done   bool
+	data   any
+	st     Status
+}
+
+// Isend starts a nonblocking send of data to rank dst with the given tag.
+// On this eager buffered transport the payload is delivered to dst's
+// mailbox immediately, so the returned Request is already complete; Wait
+// exists to mirror MPI structure (and so the runtime and lint checkers can
+// verify every Request is retired). Ownership of data passes to the
+// receiver at the Isend call, not at Wait.
+func (c *Comm) Isend(dst, tag int, data any) *Request {
+	if tag < 0 {
+		panic(fmt.Sprintf("mpi: user tags must be non-negative, got %d", tag))
+	}
+	c.sendOp("Isend", dst, tag, data)
+	r := &Request{c: c, done: true}
+	c.debugRequestOpen(r, "Isend")
+	return r
+}
+
+// Irecv posts a nonblocking receive for a message matching (src, tag); src
+// may be AnySource and tag may be AnyTag, with the same wildcard semantics
+// as Recv. The returned Request completes on Wait (blocking) or a
+// successful Test (polling).
+func (c *Comm) Irecv(src, tag int) *Request {
+	if tag < AnyTag {
+		panic(fmt.Sprintf("mpi: Irecv tag %d is reserved for internal collective traffic", tag))
+	}
+	if tr := c.Tracer(); tr != nil {
+		tr.Instant("mpi", "Irecv",
+			obs.Arg{Key: "src", Val: src}, obs.Arg{Key: "tag", Val: tag})
+	}
+	r := &Request{c: c, isRecv: true, src: src, tag: tag}
+	c.debugRequestOpen(r, "Irecv")
+	return r
+}
+
+// Wait blocks until the operation completes and returns the received
+// payload and status (nil payload and a zero Status for send Requests).
+// Calling Wait on an already-complete Request returns the cached result.
+func (r *Request) Wait() (any, Status) {
+	if r.done {
+		r.c.debugRequestDone(r)
+		return r.data, r.st
+	}
+	data, st := r.c.recvMatch("Wait", r.src, r.tag, userMatch(r.src, r.tag))
+	r.data, r.st, r.done = data, st, true
+	r.c.debugRequestDone(r)
+	return data, st
+}
+
+// Test polls for completion without blocking. It returns (payload, status,
+// true) when the operation has completed — consuming the matched message
+// for receive Requests — and (nil, zero, false) when it has not.
+func (r *Request) Test() (any, Status, bool) {
+	if r.done {
+		r.c.debugRequestDone(r)
+		return r.data, r.st, true
+	}
+	match := userMatch(r.src, r.tag)
+	b := r.c.world.boxes[r.c.rank]
+	b.mu.Lock()
+	if b.aborted {
+		b.mu.Unlock()
+		panic(ErrAborted)
+	}
+	for i := range b.queue {
+		if !match(&b.queue[i]) {
+			continue
+		}
+		m := b.queue[i]
+		b.queue = append(b.queue[:i], b.queue[i+1:]...)
+		b.mu.Unlock()
+		r.c.world.mRecvs.Inc()
+		if tr := r.c.Tracer(); tr != nil {
+			tr.Instant("mpi", "Test",
+				obs.Arg{Key: "from", Val: m.src}, obs.Arg{Key: "tag", Val: m.tag},
+				obs.Arg{Key: "bytes", Val: payloadBytes(m.data)})
+		}
+		r.data, r.st, r.done = m.data, Status{Source: m.src, Tag: m.tag}, true
+		r.c.debugRequestDone(r)
+		return r.data, r.st, true
+	}
+	b.mu.Unlock()
+	return nil, Status{}, false
+}
+
+// Waitall completes every non-nil Request in order, equivalent to calling
+// Wait on each; retrieve per-Request payloads with the (cached, idempotent)
+// Wait afterwards.
+func Waitall(reqs []*Request) {
+	var sp obs.Span
+	for _, r := range reqs {
+		if r == nil {
+			continue
+		}
+		if !sp.Active() {
+			if tr := r.c.Tracer(); tr != nil {
+				sp = tr.Begin("mpi", "Waitall", obs.Arg{Key: "n", Val: len(reqs)})
+			}
+		}
+		r.Wait()
+	}
+	sp.End()
+}

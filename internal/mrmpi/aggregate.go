@@ -1,0 +1,297 @@
+package mrmpi
+
+import (
+	"fmt"
+
+	"repro/internal/mpi"
+	"repro/internal/obs"
+)
+
+// Streaming Aggregate: the collate exchange rebuilt as a pipelined,
+// page-granular shuffle. The old implementation materialized the entire
+// per-destination traffic in memory, ran one barrier-style Alltoall, then
+// re-inserted every received pair one Add at a time — no overlap and a
+// double-buffering of the whole KV. This version overlaps communication
+// with the hash/encode scan and ingests received data without decoding it:
+//
+//   - The local KV is scanned once; each pair is framed (KV wire format)
+//     into a per-destination bucket. When a bucket reaches the page size it
+//     is sealed into a self-describing page message and shipped immediately
+//     with Isend while the scan continues, under a bounded in-flight window.
+//   - One Irecv per peer is posted up front and polled (Test) at every page
+//     boundary, so incoming pages are absorbed while this rank is still
+//     scanning — send, receive, and encode all overlap.
+//   - Received pages are already in KV wire format, so they are adopted
+//     wholesale into the new paged store (appendEncodedPage) instead of
+//     being decoded and re-Added pair by pair — the zero-copy ingest path.
+//
+// Wire protocol (tag TagAggPage, payload []byte):
+//
+//	page:     uvarint(seq) uvarint(npairs>0) frames...
+//	sentinel: uvarint(npages) uvarint(0)
+//
+// seq numbers pages per (sender, receiver) stream starting at 0; the
+// sentinel's first field carries the total page count so the receiver can
+// verify the stream. npairs is the frame count of the page, which lets the
+// receiver adopt the page without scanning it.
+//
+// Determinism contract (unchanged from the Alltoall implementation): pairs
+// land grouped by sending rank in rank order, preserving each sender's
+// insertion order. Arrival order is nondeterministic, so received pages are
+// staged per source — per-(source, tag) FIFO delivery keeps each stream's
+// pages in seq order — and appended into the new store in rank order only
+// after every stream has finished.
+
+// aggInflightWindow bounds the number of outstanding page Isends per rank.
+// On the eager in-process transport sends complete immediately, so the
+// window never stalls; it exists to keep the structure (and the Request
+// accounting) identical to a rendezvous transport where it would apply
+// backpressure.
+const aggInflightWindow = 8
+
+// aggBucket accumulates the frames bound for one destination rank.
+type aggBucket struct {
+	frames []byte
+	npairs int
+	seq    int // next page sequence number for this destination
+}
+
+// aggSource tracks one peer's incoming page stream.
+type aggSource struct {
+	req      *mpi.Request
+	pages    [][]byte // staged page frames (header stripped) in seq order
+	npairs   []int    // frame count per staged page
+	bytes    int64    // total message bytes received (sentinels excluded)
+	finished bool
+}
+
+// sealAggPage builds one wire message from a bucket's frames. The frames
+// are copied (the bucket buffer is reused for the next page); ownership of
+// the message passes to the receiver at Isend.
+func sealAggPage(seq, npairs int, frames []byte) []byte {
+	msg := make([]byte, 0, len(frames)+16)
+	msg = putUvarint(msg, uint64(seq))
+	msg = putUvarint(msg, uint64(npairs))
+	return append(msg, frames...)
+}
+
+// stashAggPage parses one received message into s, returning the message's
+// contribution to the received-byte count (0 for sentinels).
+func (mr *MapReduce) stashAggPage(s *aggSource, src int, msg []byte) error {
+	seq, n := getUvarint(msg)
+	npairs, n2 := getUvarint(msg[n:])
+	if npairs == 0 {
+		// Sentinel: seq carries the sender's total page count.
+		if int(seq) != len(s.pages) {
+			return fmt.Errorf("mrmpi: aggregate stream from rank %d lost pages: sentinel says %d, received %d",
+				src, seq, len(s.pages))
+		}
+		s.finished = true
+		return nil
+	}
+	if int(seq) != len(s.pages) {
+		return fmt.Errorf("mrmpi: aggregate page from rank %d out of order: seq %d, want %d",
+			src, seq, len(s.pages))
+	}
+	s.pages = append(s.pages, msg[n+n2:])
+	s.npairs = append(s.npairs, int(npairs))
+	s.bytes += int64(len(msg))
+	if mr.tr != nil {
+		mr.tr.Instant("mrmpi", "exchange.page.recv",
+			obs.Arg{Key: "src", Val: src}, obs.Arg{Key: "bytes", Val: len(msg)},
+			obs.Arg{Key: "seq", Val: int(seq)})
+	}
+	return nil
+}
+
+// pollAggArrivals absorbs every page already sitting in the mailbox without
+// blocking, re-posting each completed Irecv until its stream finishes. This
+// is the overlap hook, called at page boundaries during the send scan.
+func (mr *MapReduce) pollAggArrivals(recvs []*aggSource) error {
+	for src, s := range recvs {
+		if s == nil || s.finished {
+			continue
+		}
+		for {
+			data, _, ok := s.req.Test()
+			if !ok {
+				break
+			}
+			if err := mr.stashAggPage(s, src, data.([]byte)); err != nil {
+				return err
+			}
+			if s.finished {
+				break
+			}
+			s.req = mr.comm.Irecv(src, TagAggPage)
+		}
+	}
+	return nil
+}
+
+// Aggregate redistributes KV pairs so that all pairs with equal keys land on
+// the same rank, chosen by hash. A nil hash uses DefaultHash. Pairs arrive
+// grouped by sending rank in rank order, preserving per-rank insertion
+// order, which makes the result deterministic.
+func (mr *MapReduce) Aggregate(hash HashFunc) error {
+	sp := mr.phase("aggregate")
+	defer sp.End()
+	if hash == nil {
+		hash = DefaultHash
+	}
+	size, rank := mr.comm.Size(), mr.comm.Rank()
+	if size == 1 {
+		// Every key hashes home; the KV already satisfies the contract.
+		if mr.tr != nil {
+			mr.tr.Instant("mrmpi", "exchange",
+				obs.Arg{Key: "sent", Val: int64(0)}, obs.Arg{Key: "recv", Val: int64(0)})
+		}
+		return nil
+	}
+	pageCap := mr.opt.PageSize
+	if pageCap <= 0 {
+		pageCap = DefaultPageSize
+	}
+
+	// Post one receive per peer before producing anything, so arrivals can
+	// be absorbed from the first page boundary onward.
+	recvs := make([]*aggSource, size)
+	for src := 0; src < size; src++ {
+		if src != rank {
+			recvs[src] = &aggSource{req: mr.comm.Irecv(src, TagAggPage)}
+		}
+	}
+
+	buckets := make([]aggBucket, size)
+	var selfPages [][]byte
+	var selfN []int
+	var inflight []*mpi.Request
+	var sentBytes int64
+
+	ship := func(dst int) error {
+		b := &buckets[dst]
+		if b.npairs == 0 {
+			return nil
+		}
+		if dst == rank {
+			// Home traffic never crosses the wire: stage a copy (the bucket
+			// buffer is reused) for the rank-ordered rebuild below.
+			selfPages = append(selfPages, append([]byte(nil), b.frames...))
+			selfN = append(selfN, b.npairs)
+		} else {
+			msg := sealAggPage(b.seq, b.npairs, b.frames)
+			if len(inflight) >= aggInflightWindow {
+				inflight[0].Wait()
+				inflight = inflight[1:]
+			}
+			inflight = append(inflight, mr.comm.Isend(dst, TagAggPage, msg))
+			sentBytes += int64(len(msg))
+			if mr.tr != nil {
+				mr.tr.Instant("mrmpi", "exchange.page.send",
+					obs.Arg{Key: "dst", Val: dst}, obs.Arg{Key: "bytes", Val: len(msg)},
+					obs.Arg{Key: "seq", Val: b.seq})
+			}
+		}
+		b.seq++
+		b.frames = b.frames[:0]
+		b.npairs = 0
+		// A page just moved: drain whatever our peers have shipped so far.
+		return mr.pollAggArrivals(recvs)
+	}
+
+	// Scan the KV page by page. Each record is already one wire frame, so
+	// bucketing is a single raw copy of the frame bytes — no re-encoding.
+	err := mr.kv.store.eachPage(func(data []byte) error {
+		fr := frameReader{data: data}
+		for off := 0; fr.next(); off = fr.off {
+			dst := hash(fr.key, size)
+			if dst < 0 || dst >= size {
+				return fmt.Errorf("mrmpi: hash returned invalid rank %d", dst)
+			}
+			b := &buckets[dst]
+			b.frames = append(b.frames, data[off:fr.off]...)
+			b.npairs++
+			if len(b.frames) >= pageCap {
+				if err := ship(dst); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	// Flush partial pages, then tell every peer this stream is complete.
+	for dst := 0; dst < size; dst++ {
+		if err := ship(dst); err != nil {
+			return err
+		}
+	}
+	for dst := 0; dst < size; dst++ {
+		if dst == rank {
+			continue
+		}
+		if len(inflight) >= aggInflightWindow {
+			inflight[0].Wait()
+			inflight = inflight[1:]
+		}
+		inflight = append(inflight, mr.comm.Isend(dst, TagAggPage, sealAggPage(buckets[dst].seq, 0, nil)))
+	}
+	mpi.Waitall(inflight)
+
+	// Drain the remaining streams. Per-source Waits are safe in any order:
+	// pages from other sources queue in the mailbox until their stream's
+	// turn.
+	for src := 0; src < size; src++ {
+		s := recvs[src]
+		if s == nil {
+			continue
+		}
+		for !s.finished {
+			data, _ := s.req.Wait()
+			if err := mr.stashAggPage(s, src, data.([]byte)); err != nil {
+				return err
+			}
+			if !s.finished {
+				s.req = mr.comm.Irecv(src, TagAggPage)
+			}
+		}
+	}
+
+	// Rebuild the KV rank-grouped in rank order, adopting page frames
+	// wholesale — received buffers become store pages without a decode.
+	out := mr.newLocalKV()
+	var recvBytes int64
+	for src := 0; src < size; src++ {
+		if src == rank {
+			for i, pg := range selfPages {
+				if err := out.store.appendEncodedPage(pg, selfN[i]); err != nil {
+					return err
+				}
+			}
+			continue
+		}
+		s := recvs[src]
+		for i, pg := range s.pages {
+			if err := out.store.appendEncodedPage(pg, s.npairs[i]); err != nil {
+				return err
+			}
+		}
+		recvBytes += s.bytes
+	}
+	mr.kv.reset()
+	mr.retireKV(mr.kv)
+	mr.kv = out
+
+	mr.stats.ExchangedBytes += sentBytes
+	mr.mExchSent.Add(sentBytes)
+	mr.stats.ExchangedBytesRecv += recvBytes
+	mr.mExchRecv.Add(recvBytes)
+	mr.board.AddExchange(sentBytes, recvBytes)
+	if mr.tr != nil {
+		mr.tr.Instant("mrmpi", "exchange",
+			obs.Arg{Key: "sent", Val: sentBytes}, obs.Arg{Key: "recv", Val: recvBytes})
+	}
+	return nil
+}

@@ -1,0 +1,262 @@
+package mrmpi
+
+import (
+	"fmt"
+	"hash/fnv"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/mpi"
+)
+
+// TestDefaultHashMatchesFNV pins the inlined DefaultHash to hash/fnv's
+// FNV-1a output. Key placement decides which rank owns every key after
+// Aggregate, so a drift here would silently reshuffle all workloads.
+func TestDefaultHashMatchesFNV(t *testing.T) {
+	keys := [][]byte{
+		nil,
+		[]byte(""),
+		[]byte("a"),
+		[]byte("key7"),
+		[]byte("the quick brown fox"),
+		{0, 1, 2, 255, 254, 128},
+		[]byte(strings.Repeat("x", 1000)),
+	}
+	for i := 0; i < 100; i++ {
+		keys = append(keys, []byte(fmt.Sprintf("generated-key-%d", i*7919)))
+	}
+	for _, nprocs := range []int{1, 2, 3, 4, 5, 7, 16, 1000} {
+		for _, key := range keys {
+			h := fnv.New32a()
+			h.Write(key)
+			want := int(h.Sum32() % uint32(nprocs))
+			if got := DefaultHash(key, nprocs); got != want {
+				t.Fatalf("DefaultHash(%q, %d) = %d, want %d (hash/fnv)", key, nprocs, got, want)
+			}
+		}
+	}
+}
+
+// emitDeterministic fills kv with rank-tagged pairs in a fixed order and
+// returns the same pairs for reference-model use. Values are sized so that
+// a small PageSize forces many pages per (source, destination) stream —
+// deeper than the Isend in-flight window.
+func emitDeterministic(rank, npairs int) [][2]string {
+	pairs := make([][2]string, npairs)
+	for i := range pairs {
+		pairs[i] = [2]string{
+			fmt.Sprintf("key-%03d", i%37),
+			fmt.Sprintf("r%d-val-%04d-%s", rank, i, strings.Repeat("v", i%11)),
+		}
+	}
+	return pairs
+}
+
+// expectedAfterAggregate applies the determinism contract to the per-rank
+// emission lists: rank d receives, grouped by source rank in rank order,
+// every pair that hashes to d in its source's insertion order.
+func expectedAfterAggregate(emitted [][][2]string, hash HashFunc, size int) [][]string {
+	out := make([][]string, size)
+	for d := 0; d < size; d++ {
+		for src := 0; src < size; src++ {
+			for _, p := range emitted[src] {
+				if hash([]byte(p[0]), size) == d {
+					out[d] = append(out[d], p[0]+"\x00"+p[1])
+				}
+			}
+		}
+	}
+	return out
+}
+
+func collectKV(kv *KeyValue) []string {
+	var got []string
+	kv.Each(func(k, v []byte) error {
+		got = append(got, string(k)+"\x00"+string(v))
+		return nil
+	})
+	return got
+}
+
+// TestAggregateDeterministicRankOrder checks the streaming shuffle's
+// byte-identical determinism contract on a multi-page pipeline: with a tiny
+// PageSize every (source, destination) stream spans many pages (more than
+// the in-flight window), yet each rank's post-aggregate KV must equal the
+// reference model exactly — grouped by source rank, per-source insertion
+// order preserved.
+func TestAggregateDeterministicRankOrder(t *testing.T) {
+	const nranks = 4
+	const npairs = 200
+	emitted := make([][][2]string, nranks)
+	for r := 0; r < nranks; r++ {
+		emitted[r] = emitDeterministic(r, npairs)
+	}
+	want := expectedAfterAggregate(emitted, DefaultHash, nranks)
+
+	var mu sync.Mutex
+	got := make([][]string, nranks)
+	runMR(t, nranks, Options{PageSize: 64}, func(mr *MapReduce) error {
+		rank := mr.Comm().Rank()
+		for _, p := range emitted[rank] {
+			mr.KV().Add([]byte(p[0]), []byte(p[1]))
+		}
+		if err := mr.Aggregate(nil); err != nil {
+			return err
+		}
+		g := collectKV(mr.KV())
+		mu.Lock()
+		got[rank] = g
+		mu.Unlock()
+		return nil
+	})
+	for d := 0; d < nranks; d++ {
+		if len(got[d]) != len(want[d]) {
+			t.Fatalf("rank %d: %d pairs, want %d", d, len(got[d]), len(want[d]))
+		}
+		for i := range want[d] {
+			if got[d][i] != want[d][i] {
+				t.Fatalf("rank %d pair %d: got %q, want %q (determinism contract broken)",
+					d, i, got[d][i], want[d][i])
+			}
+		}
+	}
+}
+
+// TestAggregateBackToBackRounds runs two aggregates in a row with different
+// hash functions over the same communicator. The sentinel protocol must
+// delimit the rounds (page streams from round two must not bleed into round
+// one), and the second round's output must match the reference model applied
+// to the first round's output.
+func TestAggregateBackToBackRounds(t *testing.T) {
+	const nranks = 3
+	const npairs = 120
+	altHash := func(key []byte, nprocs int) int {
+		return (DefaultHash(key, nprocs) + 1) % nprocs
+	}
+	emitted := make([][][2]string, nranks)
+	for r := 0; r < nranks; r++ {
+		emitted[r] = emitDeterministic(r, npairs)
+	}
+	after1 := expectedAfterAggregate(emitted, DefaultHash, nranks)
+	// Round two's inputs are round one's outputs, in their landed order.
+	mid := make([][][2]string, nranks)
+	for r := 0; r < nranks; r++ {
+		for _, kv := range after1[r] {
+			k, v, _ := strings.Cut(kv, "\x00")
+			mid[r] = append(mid[r], [2]string{k, v})
+		}
+	}
+	want := expectedAfterAggregate(mid, altHash, nranks)
+
+	var mu sync.Mutex
+	got := make([][]string, nranks)
+	runMR(t, nranks, Options{PageSize: 64}, func(mr *MapReduce) error {
+		rank := mr.Comm().Rank()
+		for _, p := range emitted[rank] {
+			mr.KV().Add([]byte(p[0]), []byte(p[1]))
+		}
+		if err := mr.Aggregate(nil); err != nil {
+			return err
+		}
+		if err := mr.Aggregate(altHash); err != nil {
+			return err
+		}
+		g := collectKV(mr.KV())
+		mu.Lock()
+		got[rank] = g
+		mu.Unlock()
+		return nil
+	})
+	for d := 0; d < nranks; d++ {
+		if len(got[d]) != len(want[d]) {
+			t.Fatalf("rank %d after round 2: %d pairs, want %d", d, len(got[d]), len(want[d]))
+		}
+		for i := range want[d] {
+			if got[d][i] != want[d][i] {
+				t.Fatalf("rank %d round-2 pair %d: got %q, want %q", d, i, got[d][i], want[d][i])
+			}
+		}
+	}
+}
+
+// TestAggregateSingleRank: the one-rank short-circuit must leave the KV
+// untouched (every key already lives on its home rank).
+func TestAggregateSingleRank(t *testing.T) {
+	runMR(t, 1, Options{}, func(mr *MapReduce) error {
+		mr.KV().AddString("a", []byte("1"))
+		mr.KV().AddString("b", []byte("2"))
+		if err := mr.Aggregate(nil); err != nil {
+			return err
+		}
+		got := collectKV(mr.KV())
+		if len(got) != 2 || got[0] != "a\x001" || got[1] != "b\x002" {
+			return fmt.Errorf("single-rank aggregate disturbed the KV: %q", got)
+		}
+		st := mr.Stats()
+		if st.ExchangedBytes != 0 || st.ExchangedBytesRecv != 0 {
+			return fmt.Errorf("single-rank aggregate counted exchange bytes: %+v", st)
+		}
+		return nil
+	})
+}
+
+// TestAggregateInvalidHashRank: a hash that maps outside [0, nprocs) must
+// surface as an error, not a panic or a hang.
+func TestAggregateInvalidHashRank(t *testing.T) {
+	err := mpi.Run(2, func(c *mpi.Comm) error {
+		mr := New(c)
+		defer mr.Close()
+		mr.KV().AddString("k", []byte("v"))
+		return mr.Aggregate(func(key []byte, nprocs int) int { return nprocs + 3 })
+	})
+	if err == nil || !strings.Contains(err.Error(), "invalid rank") {
+		t.Fatalf("err = %v, want invalid-rank error", err)
+	}
+}
+
+// TestAggregateSpilledKV: the send scan must read pages back from disk, and
+// the contract must hold when the sender's KV was out-of-core.
+func TestAggregateSpilledKV(t *testing.T) {
+	const nranks = 2
+	const npairs = 300
+	emitted := make([][][2]string, nranks)
+	for r := 0; r < nranks; r++ {
+		emitted[r] = emitDeterministic(r, npairs)
+	}
+	want := expectedAfterAggregate(emitted, DefaultHash, nranks)
+	var mu sync.Mutex
+	got := make([][]string, nranks)
+	spilled := make([]bool, nranks)
+	runMR(t, nranks, Options{PageSize: 128, MemSize: 256}, func(mr *MapReduce) error {
+		rank := mr.Comm().Rank()
+		for _, p := range emitted[rank] {
+			mr.KV().Add([]byte(p[0]), []byte(p[1]))
+		}
+		sp := mr.KV().Spills() > 0
+		if err := mr.Aggregate(nil); err != nil {
+			return err
+		}
+		g := collectKV(mr.KV())
+		mu.Lock()
+		got[rank] = g
+		spilled[rank] = sp
+		mu.Unlock()
+		return nil
+	})
+	for r, sp := range spilled {
+		if !sp {
+			t.Fatalf("rank %d never spilled; MemSize too large for this test", r)
+		}
+	}
+	for d := 0; d < nranks; d++ {
+		if len(got[d]) != len(want[d]) {
+			t.Fatalf("rank %d: %d pairs, want %d", d, len(got[d]), len(want[d]))
+		}
+		for i := range want[d] {
+			if got[d][i] != want[d][i] {
+				t.Fatalf("rank %d pair %d: got %q, want %q", d, i, got[d][i], want[d][i])
+			}
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package mrmpi
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/mpi"
+)
+
+// Microbenchmarks for the shuffle hot paths. Run with
+//
+//	go test ./internal/mrmpi -bench . -benchmem -run '^$'
+//
+// -benchmem (or the ReportAllocs calls below) is the point: KeyValue.Add and
+// DefaultHash must stay at zero allocations per operation, and Aggregate /
+// Convert should only allocate page-granular, not per-pair. An allocs/op
+// regression here lands on every pair of every shuffle.
+
+// benchPairs builds a deterministic workload: nkeys distinct keys cycled
+// over npairs values of varying width.
+func benchPairs(npairs, nkeys int) [][2][]byte {
+	out := make([][2][]byte, npairs)
+	for i := range out {
+		out[i] = [2][]byte{
+			[]byte(fmt.Sprintf("bench-key-%04d", i%nkeys)),
+			[]byte(fmt.Sprintf("value-%06d-%0*d", i, i%23, 0)),
+		}
+	}
+	return out
+}
+
+func BenchmarkKeyValueAdd(b *testing.B) {
+	pairs := benchPairs(1024, 64)
+	kv := newKeyValue(b.TempDir(), 1<<20, 1<<40)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := pairs[i%len(pairs)]
+		kv.Add(p[0], p[1])
+	}
+}
+
+func BenchmarkDefaultHash(b *testing.B) {
+	pairs := benchPairs(1024, 1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	sink := 0
+	for i := 0; i < b.N; i++ {
+		sink += DefaultHash(pairs[i%len(pairs)][0], 16)
+	}
+	_ = sink
+}
+
+// BenchmarkConvert measures the in-memory grouping path: one iteration
+// fills a KV with 4096 pairs over 256 keys and converts it to a KMV.
+func BenchmarkConvert(b *testing.B) {
+	pairs := benchPairs(4096, 256)
+	dir := b.TempDir()
+	err := mpi.Run(1, func(c *mpi.Comm) error {
+		mr := NewWith(c, Options{SpillDir: dir})
+		defer mr.Close()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, p := range pairs {
+				mr.KV().Add(p[0], p[1])
+			}
+			if err := mr.Convert(); err != nil {
+				return err
+			}
+			mr.kmv.reset()
+		}
+		b.StopTimer()
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkAggregate measures one streaming shuffle round across 4 in-process
+// ranks: each rank contributes 2048 pairs per iteration. The per-iteration
+// KV refill is included (it is part of any real shuffle's producer side).
+func BenchmarkAggregate(b *testing.B) {
+	const nranks = 4
+	perRank := make([][][2][]byte, nranks)
+	for r := 0; r < nranks; r++ {
+		perRank[r] = benchPairs(2048, 512)
+	}
+	dir := b.TempDir()
+	err := mpi.Run(nranks, func(c *mpi.Comm) error {
+		mr := NewWith(c, Options{SpillDir: dir})
+		defer mr.Close()
+		pairs := perRank[c.Rank()]
+		if c.Rank() == 0 {
+			b.ReportAllocs()
+			b.ResetTimer()
+		}
+		c.Barrier()
+		for i := 0; i < b.N; i++ {
+			for _, p := range pairs {
+				mr.KV().Add(p[0], p[1])
+			}
+			if err := mr.Aggregate(nil); err != nil {
+				return err
+			}
+			mr.kv.reset()
+		}
+		c.Barrier()
+		if c.Rank() == 0 {
+			b.StopTimer()
+		}
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}

@@ -13,16 +13,17 @@ func newKeyValue(spillDir string, pageSize int, memLimit int64) *KeyValue {
 	return &KeyValue{store: newPagedStore("kv", spillDir, pageSize, memLimit)}
 }
 
-// Add appends one pair; key and value are copied.
+// Add appends one pair; key and value are copied. The frame is encoded
+// directly into the page under construction (one copy of each byte, no
+// staging buffer), so steady-state Adds allocate nothing.
 func (kv *KeyValue) Add(key, value []byte) {
-	rec := make([]byte, 0, len(key)+len(value)+8)
-	rec = putUvarint(rec, uint64(len(key)))
-	rec = append(rec, key...)
-	rec = putUvarint(rec, uint64(len(value)))
-	rec = append(rec, value...)
-	if err := kv.store.appendRecord(rec); err != nil {
+	s := kv.store
+	need := len(key) + len(value) + 2*maxUvarintLen
+	if err := s.beginRecord(need); err != nil {
 		panic(err) // spill failure: environment problem, not user error
 	}
+	s.cur = putFrame(s.cur, key, value)
+	s.nrec++
 }
 
 // AddString appends one pair with a string key.
@@ -44,16 +45,9 @@ func (kv *KeyValue) Spills() int { return kv.store.nspill }
 // only valid during the callback; copy them to retain.
 func (kv *KeyValue) Each(fn func(key, value []byte) error) error {
 	return kv.store.eachPage(func(data []byte) error {
-		for len(data) > 0 {
-			klen, n := getUvarint(data)
-			data = data[n:]
-			key := data[:klen]
-			data = data[klen:]
-			vlen, n := getUvarint(data)
-			data = data[n:]
-			value := data[:vlen]
-			data = data[vlen:]
-			if err := fn(key, value); err != nil {
+		fr := frameReader{data: data}
+		for fr.next() {
+			if err := fn(fr.key, fr.val); err != nil {
 				return err
 			}
 		}
@@ -76,23 +70,27 @@ func newKeyMultiValue(spillDir string, pageSize int, memLimit int64) *KeyMultiVa
 	return &KeyMultiValue{store: newPagedStore("kmv", spillDir, pageSize, memLimit)}
 }
 
-// Add appends one grouped entry; all slices are copied.
+// Add appends one grouped entry; all slices are copied. Like KeyValue.Add,
+// the record is encoded straight into the page under construction, so
+// grouped emits (the Convert arena copy) copy each byte exactly once.
 func (kmv *KeyMultiValue) Add(key []byte, values [][]byte) {
-	size := len(key) + 16
+	s := kmv.store
+	need := len(key) + 2*maxUvarintLen
 	for _, v := range values {
-		size += len(v) + 8
+		need += len(v) + maxUvarintLen
 	}
-	rec := make([]byte, 0, size)
-	rec = putUvarint(rec, uint64(len(key)))
+	if err := s.beginRecord(need); err != nil {
+		panic(err)
+	}
+	rec := putUvarint(s.cur, uint64(len(key)))
 	rec = append(rec, key...)
 	rec = putUvarint(rec, uint64(len(values)))
 	for _, v := range values {
 		rec = putUvarint(rec, uint64(len(v)))
 		rec = append(rec, v...)
 	}
-	if err := kmv.store.appendRecord(rec); err != nil {
-		panic(err)
-	}
+	s.cur = rec
+	s.nrec++
 }
 
 // N reports the local number of unique keys.

@@ -3,7 +3,6 @@ package mrmpi
 import (
 	"bytes"
 	"fmt"
-	"hash/fnv"
 	"sort"
 
 	"repro/internal/mpi"
@@ -68,6 +67,10 @@ const (
 	TagTaskAssign = TagReservedBase + 2
 	// TagGatherData carries serialized KV pages during Gather.
 	TagGatherData = TagReservedBase + 3
+	// TagAggPage carries one encoded page (or the sentinel finish message)
+	// of the streaming Aggregate exchange; see aggregate.go for the wire
+	// protocol.
+	TagAggPage = TagReservedBase + 4
 )
 
 // Options configures a MapReduce instance (Sandia's settable parameters).
@@ -396,79 +399,25 @@ func (mr *MapReduce) mapMasterAffinity(nmap int, fn MapFunc) error {
 // HashFunc maps a key to a destination rank in [0, nprocs).
 type HashFunc func(key []byte, nprocs int) int
 
-// DefaultHash is FNV-1a modulo the rank count, MR-MPI's default key
-// assignment.
-func DefaultHash(key []byte, nprocs int) int {
-	h := fnv.New32a()
-	h.Write(key)
-	return int(h.Sum32() % uint32(nprocs))
-}
+// FNV-1a constants (32-bit), matching hash/fnv.
+const (
+	fnvOffset32 = 2166136261
+	fnvPrime32  = 16777619
+)
 
-// Aggregate redistributes KV pairs so that all pairs with equal keys land on
-// the same rank, chosen by hash. A nil hash uses DefaultHash. Pairs arrive
-// grouped by sending rank in rank order, preserving per-rank insertion
-// order, which makes the result deterministic.
-func (mr *MapReduce) Aggregate(hash HashFunc) error {
-	sp := mr.phase("aggregate")
-	defer sp.End()
-	if hash == nil {
-		hash = DefaultHash
+// DefaultHash is FNV-1a modulo the rank count, MR-MPI's default key
+// assignment. The hash is inlined rather than built on fnv.New32a, which
+// allocates a hasher per call — this runs once per pair on the Aggregate
+// hot path. TestDefaultHashMatchesFNV pins it to the hash/fnv output so
+// key placement (and with it spill-file and aggregate layout) never
+// drifts from the historical implementation.
+func DefaultHash(key []byte, nprocs int) int {
+	h := uint32(fnvOffset32)
+	for _, b := range key {
+		h ^= uint32(b)
+		h *= fnvPrime32
 	}
-	size := mr.comm.Size()
-	buckets := make([][]byte, size)
-	err := mr.kv.Each(func(key, value []byte) error {
-		dst := hash(key, size)
-		if dst < 0 || dst >= size {
-			return fmt.Errorf("mrmpi: hash returned invalid rank %d", dst)
-		}
-		b := buckets[dst]
-		b = putUvarint(b, uint64(len(key)))
-		b = append(b, key...)
-		b = putUvarint(b, uint64(len(value)))
-		b = append(b, value...)
-		buckets[dst] = b
-		return nil
-	})
-	if err != nil {
-		return err
-	}
-	var sentBytes int64
-	for r, b := range buckets {
-		if r != mr.comm.Rank() {
-			sentBytes += int64(len(b))
-		}
-	}
-	mr.stats.ExchangedBytes += sentBytes
-	mr.mExchSent.Add(sentBytes)
-	recv := mpi.Alltoall(mr.comm, buckets)
-	var recvBytes int64
-	for r, b := range recv {
-		if r != mr.comm.Rank() {
-			recvBytes += int64(len(b))
-		}
-	}
-	mr.stats.ExchangedBytesRecv += recvBytes
-	mr.mExchRecv.Add(recvBytes)
-	mr.board.AddExchange(sentBytes, recvBytes)
-	if mr.tr != nil {
-		mr.tr.Instant("mrmpi", "exchange",
-			obs.Arg{Key: "sent", Val: sentBytes}, obs.Arg{Key: "recv", Val: recvBytes})
-	}
-	mr.kv.reset()
-	for _, buf := range recv {
-		for len(buf) > 0 {
-			klen, n := getUvarint(buf)
-			buf = buf[n:]
-			key := buf[:klen]
-			buf = buf[klen:]
-			vlen, n := getUvarint(buf)
-			buf = buf[n:]
-			value := buf[:vlen]
-			buf = buf[vlen:]
-			mr.kv.Add(key, value)
-		}
-	}
-	return nil
+	return int(h % uint32(nprocs))
 }
 
 // Convert groups the local KV into the local KMV: one entry per unique key,
@@ -479,6 +428,11 @@ func (mr *MapReduce) Aggregate(hash HashFunc) error {
 // external sort-group runs (sorted runs on disk, k-way merge) and keys
 // emerge in lexicographic order. Value order within a key is preserved in
 // both paths.
+//
+// The in-memory path is allocation-hardened: the KV's pages are retained
+// and groups are built as byte-offset references into them (no per-value
+// copy, no per-key duplicate copy); the only data copy is the one arena
+// copy KeyMultiValue.Add makes when each grouped record is encoded.
 func (mr *MapReduce) Convert() error {
 	sp := mr.phase("convert")
 	defer sp.End()
@@ -489,33 +443,50 @@ func (mr *MapReduce) Convert() error {
 	if mr.kv.Bytes() > memLimit {
 		return mr.convertExternal()
 	}
-	type group struct {
-		key  []byte
-		vals [][]byte
-	}
-	index := make(map[string]int)
-	var groups []group
-	err := mr.kv.Each(func(key, value []byte) error {
-		k := string(key)
-		i, ok := index[k]
-		if !ok {
-			i = len(groups)
-			index[k] = i
-			groups = append(groups, group{key: []byte(k)})
-		}
-		v := make([]byte, len(value))
-		copy(v, value)
-		groups[i].vals = append(groups[i].vals, v)
-		return nil
-	})
+	pages, err := mr.kv.store.retainPages()
 	if err != nil {
 		return err
 	}
-	mr.kv.reset()
-	mr.kmv.reset()
-	for _, g := range groups {
-		mr.kmv.Add(g.key, g.vals)
+	// valRef locates one value inside the retained pages; 12 bytes per
+	// value instead of a copied slice.
+	type valRef struct {
+		page, off, n int32
 	}
+	type group struct {
+		key  []byte // aliases the retained page holding the first occurrence
+		refs []valRef
+	}
+	index := make(map[string]int)
+	var groups []group
+	for pi, data := range pages {
+		fr := frameReader{data: data}
+		for fr.next() {
+			// The map lookup with a string([]byte) key compiles without an
+			// allocation; only inserting a new key materializes the string.
+			i, ok := index[string(fr.key)]
+			if !ok {
+				i = len(groups)
+				index[string(fr.key)] = i
+				groups = append(groups, group{key: fr.key})
+			}
+			groups[i].refs = append(groups[i].refs, valRef{
+				page: int32(pi), off: int32(fr.valOff), n: int32(len(fr.val)),
+			})
+		}
+	}
+	mr.kmv.reset()
+	var vals [][]byte
+	for _, g := range groups {
+		if cap(vals) < len(g.refs) {
+			vals = make([][]byte, 0, len(g.refs))
+		}
+		vals = vals[:0]
+		for _, r := range g.refs {
+			vals = append(vals, pages[r.page][r.off:r.off+r.n])
+		}
+		mr.kmv.Add(g.key, vals)
+	}
+	mr.kv.reset()
 	return nil
 }
 
@@ -606,10 +577,7 @@ func (mr *MapReduce) Gather(nranks int) (int64, error) {
 	if rank >= nranks {
 		var buf []byte
 		err := mr.kv.Each(func(key, value []byte) error {
-			buf = putUvarint(buf, uint64(len(key)))
-			buf = append(buf, key...)
-			buf = putUvarint(buf, uint64(len(value)))
-			buf = append(buf, value...)
+			buf = putFrame(buf, key, value)
 			return nil
 		})
 		if err != nil {
@@ -621,16 +589,10 @@ func (mr *MapReduce) Gather(nranks int) (int64, error) {
 		for src := rank + nranks; src < size; src += nranks {
 			data, _ := mr.comm.Recv(src, TagGatherData)
 			buf := data.([]byte)
-			for len(buf) > 0 {
-				klen, n := getUvarint(buf)
-				buf = buf[n:]
-				key := buf[:klen]
-				buf = buf[klen:]
-				vlen, n := getUvarint(buf)
-				buf = buf[n:]
-				value := buf[:vlen]
-				buf = buf[vlen:]
-				mr.kv.Add(key, value)
+			// Received buffers are already in KV wire format: adopt each
+			// wholesale instead of decoding and re-encoding pair by pair.
+			if err := mr.kv.store.appendEncodedPage(buf, countFrames(buf)); err != nil {
+				return 0, err
 			}
 		}
 	}

@@ -80,19 +80,34 @@ func newPagedStore(label, spillDir string, pageSize int, memLimit int64) *pagedS
 	}
 }
 
-// appendRecord adds one framed record, sealing and possibly spilling pages
-// as needed. rec is copied.
-func (s *pagedStore) appendRecord(rec []byte) error {
-	if len(s.cur)+len(rec) > s.pageSize && len(s.cur) > 0 {
+// curPageSeed is the initial capacity of a page under construction. Pages
+// start small and let append's geometric growth take them toward pageSize:
+// a full make([]byte, 0, pageSize) up front forces the allocator to zero
+// the whole page (mallocgc), while growslice skips zeroing for byte slices
+// — with a 1 MB default page and mostly-small stores, the zeroing dominated
+// the store's CPU cost.
+const curPageSeed = 16 << 10
+
+// maxUvarintLen over-approximates one length prefix when sizing a record:
+// stores deal in slices whose lengths fit 32 bits, so 5 varint bytes cover
+// any prefix this package writes.
+const maxUvarintLen = 5
+
+// beginRecord prepares the page under construction to receive one record of
+// at most `need` bytes: it seals (and possibly spills) the current page if
+// the record would overflow it, and allocates a fresh page buffer when none
+// is open. The caller then appends the encoded record to s.cur directly and
+// bumps s.nrec — encoding straight into the page is what keeps Add at one
+// copy per byte.
+func (s *pagedStore) beginRecord(need int) error {
+	if len(s.cur)+need > s.pageSize && len(s.cur) > 0 {
 		if err := s.sealCurrent(); err != nil {
 			return err
 		}
 	}
 	if s.cur == nil {
-		s.cur = make([]byte, 0, max(s.pageSize, len(rec)))
+		s.cur = make([]byte, 0, max(min(s.pageSize, curPageSeed), need))
 	}
-	s.cur = append(s.cur, rec...)
-	s.nrec++
 	return nil
 }
 
@@ -145,6 +160,59 @@ func (s *pagedStore) spillOldest() bool {
 		return true
 	}
 	return false
+}
+
+// appendEncodedPage adopts a whole page of pre-framed records (KV wire
+// format, as produced by putFrame) holding npairs records. The buffer is
+// taken over, not copied — the zero-copy ingest path of the streaming
+// Aggregate, where received page frames become store pages directly. The
+// page under construction is sealed first so append order is preserved,
+// and the memory budget is enforced as usual (adopted pages may spill).
+func (s *pagedStore) appendEncodedPage(data []byte, npairs int) error {
+	if len(data) == 0 {
+		return s.spillErr
+	}
+	if err := s.sealCurrent(); err != nil {
+		return err
+	}
+	s.pages = append(s.pages, page{buf: data, size: len(data)})
+	s.memBytes += int64(len(data))
+	s.nrec += npairs
+	for s.memBytes > s.memLimit {
+		if !s.spillOldest() {
+			break
+		}
+	}
+	return s.spillErr
+}
+
+// retainPages returns every page's payload in append order, loading spilled
+// pages into memory. The returned slices alias resident page buffers; they
+// stay valid as long as the caller holds them, even across a reset (the
+// store drops its references but the caller's keep the buffers alive).
+// Intended for the in-memory Convert path, which only runs when the whole
+// store fits the memory budget.
+func (s *pagedStore) retainPages() ([][]byte, error) {
+	if err := s.spillErr; err != nil {
+		return nil, err
+	}
+	out := make([][]byte, 0, len(s.pages)+1)
+	for i := range s.pages {
+		p := &s.pages[i]
+		if p.buf != nil {
+			out = append(out, p.buf)
+			continue
+		}
+		loaded, err := os.ReadFile(p.path)
+		if err != nil {
+			return nil, fmt.Errorf("mrmpi: reload %s page: %w", s.label, err)
+		}
+		out = append(out, loaded)
+	}
+	if len(s.cur) > 0 {
+		out = append(out, s.cur)
+	}
+	return out, nil
 }
 
 // eachPage streams every page's payload in append order, loading spilled
@@ -206,6 +274,61 @@ func spillDirOK(dir string) error {
 }
 
 // frame encoding helpers
+
+// putFrame appends one KV wire frame — uvarint(len(key)) key
+// uvarint(len(value)) value — to dst. The single encoder behind
+// KeyValue.Add, Gather's serializer, and the Aggregate page builder.
+func putFrame(dst, key, value []byte) []byte {
+	dst = putUvarint(dst, uint64(len(key)))
+	dst = append(dst, key...)
+	dst = putUvarint(dst, uint64(len(value)))
+	dst = append(dst, value...)
+	return dst
+}
+
+// frameReader iterates the KV wire frames of one encoded page: the shared
+// decode loop behind KeyValue.Each, Gather's receive side, and the
+// offset-based Convert (which additionally needs valOff to index values
+// without copying them). key/val alias the underlying page; copy to
+// retain beyond the iteration step.
+type frameReader struct {
+	data []byte
+	off  int
+	// Set by next:
+	key, val []byte
+	keyOff   int // byte offset of key within data
+	valOff   int // byte offset of val within data
+}
+
+// next decodes the frame at the current offset; it returns false when the
+// page is exhausted and panics on malformed frames (internal corruption).
+func (fr *frameReader) next() bool {
+	if fr.off >= len(fr.data) {
+		return false
+	}
+	rest := fr.data[fr.off:]
+	klen, n := getUvarint(rest)
+	fr.keyOff = fr.off + n
+	fr.key = rest[n : n+int(klen)]
+	rest = rest[n+int(klen):]
+	vlen, n := getUvarint(rest)
+	fr.valOff = fr.keyOff + int(klen) + n
+	fr.val = rest[n : n+int(vlen)]
+	fr.off = fr.valOff + int(vlen)
+	return true
+}
+
+// countFrames walks an encoded page and reports the number of frames,
+// panicking on corruption — the validation pass the streaming Aggregate
+// runs before adopting a received page wholesale.
+func countFrames(data []byte) int {
+	fr := frameReader{data: data}
+	n := 0
+	for fr.next() {
+		n++
+	}
+	return n
+}
 
 // putUvarint appends a uvarint to dst.
 func putUvarint(dst []byte, v uint64) []byte {

@@ -44,12 +44,31 @@ type Regression struct {
 	Ratio       float64 `json:"ratio"`
 }
 
-// Delta is a Compare result: regressions plus informational entries that
-// appear on only one side.
+// improvementThreshold is the minimum normalized median speedup (10%)
+// before an entry is reported as an Improvement.
+const improvementThreshold = 0.10
+
+// Improvement is one entry whose new timings are meaningfully better than
+// the baseline's, reported informationally (it never fails a compare) so
+// perf wins are visible in CI logs and EXPERIMENTS.md with the same
+// statistical footing as regressions.
+type Improvement struct {
+	Name string `json:"name"`
+	// OldMedianMS and NewMedianMS are calibration-normalized (expressed in
+	// the baseline machine's time scale).
+	OldMedianMS float64 `json:"old_median_ms"`
+	NewMedianMS float64 `json:"new_median_ms"`
+	// Speedup is old median / new median (1.2 = 20% faster).
+	Speedup float64 `json:"speedup"`
+}
+
+// Delta is a Compare result: regressions and improvements plus
+// informational entries that appear on only one side.
 type Delta struct {
-	Regressions []Regression
-	OnlyOld     []string
-	OnlyNew     []string
+	Regressions  []Regression
+	Improvements []Improvement
+	OnlyOld      []string
+	OnlyNew      []string
 	// Scale is the calibration ratio applied to the new file's timings
 	// (old calibration / new calibration); 1 when either is unset.
 	Scale float64
@@ -93,6 +112,21 @@ func Compare(old, new *File, threshold float64) (*Delta, error) {
 				Ratio:       normMedian / oe.MedianMS,
 			})
 		}
+		// Improvements: normalized median better by at least
+		// improvementThreshold and the fastest new run faster than the
+		// fastest baseline run. Deliberately looser than the regression
+		// test's min-above-max rule — improvements are informational, so a
+		// single slow outlier repeat (GC pause, noisy neighbor) should not
+		// suppress reporting a genuine win, while a regression gate must be
+		// outlier-proof because it fails CI.
+		if normMedian > 0 && normMedian < oe.MedianMS*(1-improvementThreshold) && normMin < oe.MinMS {
+			d.Improvements = append(d.Improvements, Improvement{
+				Name:        ne.Name,
+				OldMedianMS: oe.MedianMS,
+				NewMedianMS: normMedian,
+				Speedup:     oe.MedianMS / normMedian,
+			})
+		}
 	}
 	for _, oe := range old.Entries {
 		if !seen[oe.Name] {
@@ -101,6 +135,9 @@ func Compare(old, new *File, threshold float64) (*Delta, error) {
 	}
 	sort.Slice(d.Regressions, func(i, j int) bool {
 		return d.Regressions[i].Ratio > d.Regressions[j].Ratio
+	})
+	sort.Slice(d.Improvements, func(i, j int) bool {
+		return d.Improvements[i].Speedup > d.Improvements[j].Speedup
 	})
 	return d, nil
 }

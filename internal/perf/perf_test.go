@@ -117,6 +117,87 @@ func TestCompareCalibrationNormalizes(t *testing.T) {
 	}
 }
 
+// TestCompareReportsImprovement: a clean 2× speedup on one entry is
+// reported as an improvement (and never as a regression), with the speedup
+// calibration-normalized.
+func TestCompareReportsImprovement(t *testing.T) {
+	old := baselineFile()
+	fast := baselineFile()
+	for i := range fast.Entries {
+		if fast.Entries[i].Name == "mrmpi-shuffle" {
+			e := &fast.Entries[i]
+			e.TimesMS = []float64{15, 15.5, 16.5}
+			e.MinMS, e.MedianMS, e.MaxMS = 15, 15.5, 16.5
+		}
+	}
+	d, err := Compare(old, fast, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Regressions) != 0 {
+		t.Errorf("speedup flagged as regression: %+v", d.Regressions)
+	}
+	if len(d.Improvements) != 1 {
+		t.Fatalf("improvements = %+v, want exactly mrmpi-shuffle", d.Improvements)
+	}
+	im := d.Improvements[0]
+	if im.Name != "mrmpi-shuffle" {
+		t.Errorf("improved entry = %q, want mrmpi-shuffle", im.Name)
+	}
+	if im.Speedup < 1.9 || im.Speedup > 2.1 {
+		t.Errorf("speedup = %g, want ~2", im.Speedup)
+	}
+}
+
+// TestCompareModestSpeedupNotReported: a median within the improvement
+// threshold is a noisy repeat, not a win.
+func TestCompareModestSpeedupNotReported(t *testing.T) {
+	old := baselineFile()
+	noisy := baselineFile()
+	for i := range noisy.Entries {
+		if noisy.Entries[i].Name == "som-batch" {
+			e := &noisy.Entries[i]
+			e.TimesMS = []float64{47, 48, 49}
+			e.MinMS, e.MedianMS, e.MaxMS = 47, 48, 49
+		}
+	}
+	d, err := Compare(old, noisy, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Improvements) != 0 {
+		t.Errorf("modest speedup reported as improvement: %+v", d.Improvements)
+	}
+}
+
+// TestCompareWideBaselineSpeedupNotReported: when the baseline's own spread
+// already reaches below the new minimum, the "faster" run proves nothing.
+func TestCompareWideBaselineSpeedupNotReported(t *testing.T) {
+	old := baselineFile()
+	for i := range old.Entries {
+		if old.Entries[i].Name == "som-batch" {
+			e := &old.Entries[i]
+			e.TimesMS = []float64{30, 52, 54}
+			e.MinMS, e.MedianMS, e.MaxMS = 30, 52, 54
+		}
+	}
+	cur := baselineFile()
+	for i := range cur.Entries {
+		if cur.Entries[i].Name == "som-batch" {
+			e := &cur.Entries[i]
+			e.TimesMS = []float64{40, 44, 46}
+			e.MinMS, e.MedianMS, e.MaxMS = 40, 44, 46
+		}
+	}
+	d, err := Compare(old, cur, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Improvements) != 0 {
+		t.Errorf("speedup inside the baseline's spread reported: %+v", d.Improvements)
+	}
+}
+
 // TestCompareSchemaMismatch refuses cross-version comparison.
 func TestCompareSchemaMismatch(t *testing.T) {
 	old := baselineFile()
