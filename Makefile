@@ -3,7 +3,7 @@
 GO ?= go
 BIN ?= bin
 
-.PHONY: all build test race lint lint-json debug bench perf perf-check figures examples trace-demo clean
+.PHONY: all build test race lint lint-json lint-baseline lint-stats debug bench perf perf-check figures examples trace-demo clean
 
 all: build test
 
@@ -11,19 +11,33 @@ build:
 	$(GO) build ./...
 	$(GO) build -o $(BIN)/ ./cmd/...
 
-# Static analysis: go vet plus mpilint, the repo's own analyzer suite. Both
-# families run: the MPI checks (rank-divergent collectives, aliased
-# broadcasts, tag hygiene, unchecked roots) and the MapReduce checks
-# (phase-protocol order, unsynchronized callback captures, retained page
-# buffers, escaped KeyValue handles) — see README "Correctness tooling".
+# Static analysis: go vet plus mpilint, the repo's own analyzer suite. All
+# three families run: the MPI checks (rank-divergent collectives, aliased
+# broadcasts, tag hygiene, unchecked roots, leaked requests), the MapReduce
+# checks (phase-protocol order, unsynchronized callback captures, retained
+# page buffers, escaped KeyValue handles), and the concurrency checks
+# (goroutine-confined handles, recv-first deadlocks, WaitGroup misuse) —
+# see README "Correctness tooling". Findings recorded in .mpilint-baseline
+# are accepted as pre-existing; only NEW findings fail the build.
 lint:
 	$(GO) vet ./...
-	$(GO) run ./cmd/mpilint -tests ./...
+	$(GO) run ./cmd/mpilint -tests -baseline .mpilint-baseline ./...
 
 # Same findings in the machine-readable CI format: one JSON object per line
 # (file, line, col, check, message).
 lint-json:
 	$(GO) run ./cmd/mpilint -tests -json ./...
+
+# Accept the current findings: rewrite the committed baseline. Run this when
+# a finding is a deliberate, reviewed exception that an mpilint:ignore
+# directive cannot express; the diff to .mpilint-baseline shows up in review.
+lint-baseline:
+	$(GO) run ./cmd/mpilint -tests -write-baseline .mpilint-baseline ./...
+
+# Finding counts and the mpilint:ignore suppression inventory (every
+# directive with its use count and reason).
+lint-stats:
+	$(GO) run ./cmd/mpilint -tests -stats -baseline .mpilint-baseline ./...
 
 # Runtime invariant checker: the mpi test suite with the mpidebug
 # collective-fingerprint watchdog compiled in.

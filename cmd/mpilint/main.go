@@ -16,18 +16,34 @@
 // default text format matches the GitHub Actions problem matcher in
 // .github/mpilint-matcher.json so findings annotate PR diffs in CI.
 //
-// Exit status is 0 when no findings are reported, 1 when findings exist,
-// and 2 on usage or load errors — so `make lint` and CI can gate on it the
-// same way they gate on go vet.
+// v2 additions:
+//
+//   - -summary prints the per-function communication summaries (the ordered
+//     MPI op traces the interprocedural analyzers reason over) instead of
+//     running the analyzers — a debugging window into what the engine sees.
+//   - -stats appends per-analyzer finding counts and the full
+//     mpilint:ignore suppression inventory (with use counts) after the
+//     findings.
+//   - -baseline FILE subtracts known findings: a finding whose
+//     check+file+message triple appears in FILE is accepted as pre-existing
+//     and not reported, so CI fails only on NEW findings. Regenerate the
+//     file with -write-baseline FILE (see `make lint-baseline`). Keys carry
+//     no line numbers, so edits elsewhere in a file don't invalidate them.
+//
+// Exit status is 0 when no (new) findings are reported, 1 when findings
+// exist, and 2 on usage or load errors — so `make lint` and CI can gate on
+// it the same way they gate on go vet.
 package main
 
 import (
+	"bufio"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"go/token"
 	"io"
 	"os"
+	"sort"
 	"strings"
 
 	"repro/internal/lint"
@@ -44,6 +60,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	list := fs.Bool("list", false, "list the analyzers and exit")
 	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
 	jsonOut := fs.Bool("json", false, "emit findings as JSON Lines (file, line, col, check, message)")
+	summary := fs.Bool("summary", false, "print per-function communication summaries instead of findings")
+	stats := fs.Bool("stats", false, "append finding counts and the suppression inventory")
+	baselinePath := fs.String("baseline", "", "subtract findings listed in this baseline file; report only new ones")
+	writeBaseline := fs.String("write-baseline", "", "write the current findings to this baseline file and exit")
 	fs.Usage = func() {
 		fmt.Fprintf(stderr, "usage: mpilint [flags] [packages]\n\n"+
 			"Analyzes Go packages for misuse of the internal/mpi layer.\n"+
@@ -78,18 +98,54 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	fset := token.NewFileSet()
-	var findings []lint.Finding
+	var pkgs []*lint.Package
 	for _, dir := range dirs {
-		pkgs, err := lint.LoadDir(fset, dir, lint.LoadOptions{Tests: *tests})
+		loaded, err := lint.LoadDir(fset, dir, lint.LoadOptions{Tests: *tests})
 		if err != nil {
 			fmt.Fprintln(stderr, "mpilint:", err)
 			return 2
 		}
-		for _, pkg := range pkgs {
-			findings = append(findings, lint.CheckWith(pkg, enabled)...)
-		}
+		pkgs = append(pkgs, loaded...)
+	}
+
+	if *summary {
+		printSummaries(stdout, fset, pkgs)
+		return 0
+	}
+
+	var findings []lint.Finding
+	for _, pkg := range pkgs {
+		findings = append(findings, lint.CheckWith(pkg, enabled)...)
 	}
 	lint.Sort(findings)
+
+	if *writeBaseline != "" {
+		if err := saveBaseline(*writeBaseline, findings); err != nil {
+			fmt.Fprintln(stderr, "mpilint:", err)
+			return 2
+		}
+		fmt.Fprintf(stdout, "mpilint: wrote %d finding(s) to %s\n", len(findings), *writeBaseline)
+		return 0
+	}
+
+	baselined := 0
+	if *baselinePath != "" {
+		known, err := loadBaseline(*baselinePath)
+		if err != nil {
+			fmt.Fprintln(stderr, "mpilint:", err)
+			return 2
+		}
+		kept := findings[:0]
+		for _, f := range findings {
+			if known[baselineKey(f)] {
+				baselined++
+				continue
+			}
+			kept = append(kept, f)
+		}
+		findings = kept
+	}
+
 	enc := json.NewEncoder(stdout)
 	for _, f := range findings {
 		if *jsonOut {
@@ -109,11 +165,115 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		fmt.Fprintln(stdout, f)
 	}
+	if *stats {
+		printStats(stdout, pkgs, findings, baselined)
+	}
 	if len(findings) > 0 {
 		fmt.Fprintf(stderr, "mpilint: %d finding(s)\n", len(findings))
 		return 1
 	}
 	return 0
+}
+
+// printSummaries dumps every function's communication summary, skipping the
+// (many) functions that perform no communication at all.
+func printSummaries(w io.Writer, fset *token.FileSet, pkgs []*lint.Package) {
+	for _, pkg := range pkgs {
+		for _, sum := range pkg.Summaries().All() {
+			if len(sum.Trace) == 0 {
+				continue
+			}
+			fmt.Fprint(w, sum.Format(fset))
+		}
+	}
+}
+
+// printStats renders the -stats block: findings per analyzer, then the
+// suppression inventory with per-directive use counts.
+func printStats(w io.Writer, pkgs []*lint.Package, findings []lint.Finding, baselined int) {
+	fmt.Fprintf(w, "-- stats --\n")
+	counts := map[string]int{}
+	for _, f := range findings {
+		counts[f.Analyzer]++
+	}
+	var names []string
+	for n := range counts {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(w, "findings %-14s %d\n", n, counts[n])
+	}
+	if baselined > 0 {
+		fmt.Fprintf(w, "baselined findings    %d\n", baselined)
+	}
+	total := 0
+	for _, pkg := range pkgs {
+		for _, s := range pkg.Suppressions() {
+			total++
+			checks := strings.Join(s.Checks, ",")
+			if checks == "" {
+				checks = "(bare)"
+			}
+			reason := s.Reason
+			if reason == "" {
+				reason = "(no reason)"
+			}
+			fmt.Fprintf(w, "suppression %s:%d %s used=%d -- %s\n",
+				s.Pos.Filename, s.Pos.Line, checks, s.Used, reason)
+		}
+	}
+	fmt.Fprintf(w, "suppressions total    %d\n", total)
+}
+
+// baselineKey identifies a finding without its line/column, so baseline
+// entries survive unrelated edits to the same file.
+func baselineKey(f lint.Finding) string {
+	return f.Analyzer + "\t" + f.Pos.Filename + "\t" + f.Message
+}
+
+// loadBaseline reads a baseline file into a key set. Blank lines and
+// #-comments are ignored.
+func loadBaseline(path string) (map[string]bool, error) {
+	fh, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer fh.Close()
+	known := map[string]bool{}
+	sc := bufio.NewScanner(fh)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		known[line] = true
+	}
+	return known, sc.Err()
+}
+
+// saveBaseline writes the findings as sorted unique baseline keys.
+func saveBaseline(path string, findings []lint.Finding) error {
+	keys := map[string]bool{}
+	for _, f := range findings {
+		keys[baselineKey(f)] = true
+	}
+	var lines []string
+	for k := range keys {
+		lines = append(lines, k)
+	}
+	sort.Strings(lines)
+	var b strings.Builder
+	b.WriteString("# mpilint baseline: findings accepted as pre-existing.\n")
+	b.WriteString("# One finding per line, check<TAB>file<TAB>message — no line numbers,\n")
+	b.WriteString("# so edits elsewhere in a file don't invalidate entries.\n")
+	b.WriteString("# Regenerate with `make lint-baseline`.\n")
+	for _, l := range lines {
+		b.WriteString(l)
+		b.WriteByte('\n')
+	}
+	return os.WriteFile(path, []byte(b.String()), 0o644)
 }
 
 // jsonFinding is the -json wire format, one object per line.

@@ -136,6 +136,127 @@ func f(mr *mrmpi.MapReduce, fn any) {
 	}
 }
 
+func TestMpilintBaseline(t *testing.T) {
+	dir := writeTree(t, map[string]string{
+		"bad/bad.go": `package bad
+
+import "repro/internal/mpi"
+
+func f(c *mpi.Comm) {
+	if c.Rank() == 0 {
+		c.Barrier()
+	}
+}
+`,
+	})
+	baseline := filepath.Join(dir, "baseline.txt")
+
+	// Write the baseline: all current findings become accepted.
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-write-baseline", baseline, dir + "/..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-write-baseline exit %d\n%s%s", code, stdout.String(), stderr.String())
+	}
+	data, err := os.ReadFile(baseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "divergence\t") {
+		t.Fatalf("baseline missing divergence entry:\n%s", data)
+	}
+
+	// Against the baseline the same tree is clean.
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-baseline", baseline, dir + "/..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("baselined run exit %d\n%s%s", code, stdout.String(), stderr.String())
+	}
+
+	// A new finding still fails, and only the new one is reported.
+	if err := os.WriteFile(filepath.Join(dir, "bad", "worse.go"), []byte(`package bad
+
+import "repro/internal/mpi"
+
+func g(c *mpi.Comm) {
+	c.Send(1, -9, nil)
+}
+`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-baseline", baseline, dir + "/..."}, &stdout, &stderr); code != 1 {
+		t.Fatalf("new-finding run exit %d, want 1\n%s%s", code, stdout.String(), stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "[tags]") || strings.Contains(out, "[divergence]") {
+		t.Errorf("baselined run should report only the new tags finding:\n%s", out)
+	}
+}
+
+func TestMpilintSummaryAndStats(t *testing.T) {
+	dir := writeTree(t, map[string]string{
+		"p/p.go": `package p
+
+import "repro/internal/mpi"
+
+func exchange(c *mpi.Comm) {
+	c.Send(1, 7, "x")
+	c.Recv(1, 8)
+	helper(c)
+}
+
+func helper(c *mpi.Comm) {
+	c.Barrier()
+}
+
+func quiet() int { return 1 }
+`,
+		"p/sup.go": `package p
+
+import "repro/internal/mpi"
+
+func orphan(c *mpi.Comm) {
+	c.Send(1, 99, "x") // mpilint:ignore tags -- exercising the stats inventory
+	c.Recv(1, 7)
+	c.Recv(1, 8)
+}
+`,
+	})
+
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-summary", dir + "/..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-summary exit %d\n%s%s", code, stdout.String(), stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{
+		"exchange (", "send", "Send(peer=1,tag=7)", "recv", "collective", "Barrier",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-summary missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "quiet") {
+		t.Errorf("-summary should skip functions with no communication:\n%s", out)
+	}
+
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-stats", dir + "/..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-stats exit %d\n%s%s", code, stdout.String(), stderr.String())
+	}
+	out = stdout.String()
+	for _, want := range []string{
+		"-- stats --",
+		"suppression ",
+		"tags used=1 -- exercising the stats inventory",
+		"suppressions total    1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-stats missing %q:\n%s", want, out)
+		}
+	}
+}
+
 func TestMpilintFlags(t *testing.T) {
 	var stdout, stderr strings.Builder
 	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
@@ -144,6 +265,7 @@ func TestMpilintFlags(t *testing.T) {
 	for _, name := range []string{
 		"divergence", "aliasedbcast", "tags", "root",
 		"phase", "capture", "retain", "kvescape",
+		"requests", "goroutines", "deadlock", "sync", "suppress", "obslint",
 	} {
 		if !strings.Contains(stdout.String(), name) {
 			t.Errorf("-list missing %q", name)

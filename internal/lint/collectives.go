@@ -133,6 +133,54 @@ func collectiveName(call *ast.CallExpr, alias string, inMPI bool) string {
 	return ""
 }
 
+// collectiveCallName is collectiveName with the v2 typed veto layered on:
+// when type information can prove a method receiver is neither *mpi.Comm
+// nor *mrmpi.MapReduce, or a qualifier is not the mpi package, the
+// syntactic match is rejected. Unknown keeps the syntactic answer.
+func (pkg *Package) collectiveCallName(call *ast.CallExpr, alias string, inMPI bool) string {
+	name := collectiveName(call, alias, inMPI)
+	if name == "" || !pkg.typed() {
+		return name
+	}
+	sel := selOf(call)
+	if sel == nil {
+		return name
+	}
+	if collectiveMethods[name] {
+		if pkg.receiverIs(sel, mpiImportPath, "Comm") == ansNo &&
+			pkg.receiverIs(sel, mrmpiImportPath, "MapReduce") == ansNo {
+			return ""
+		}
+		return name
+	}
+	if id, ok := sel.X.(*ast.Ident); ok {
+		if pkg.qualifierIsPackage(id, mpiImportPath) == ansNo {
+			return ""
+		}
+	}
+	return name
+}
+
+// selOf unwraps a call's function expression to its selector, through
+// parens and generic instantiation; nil for unqualified calls.
+func selOf(call *ast.CallExpr) *ast.SelectorExpr {
+	fun := call.Fun
+	for {
+		switch f := fun.(type) {
+		case *ast.ParenExpr:
+			fun = f.X
+		case *ast.IndexExpr:
+			fun = f.X
+		case *ast.IndexListExpr:
+			fun = f.X
+		case *ast.SelectorExpr:
+			return f
+		default:
+			return nil
+		}
+	}
+}
+
 // isRankExpr reports whether expr mentions the caller's rank: a call to a
 // method named Rank, a selector of a field named rank, or one of the
 // identifiers in rankVars.

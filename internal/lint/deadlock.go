@@ -1,0 +1,265 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+)
+
+// checkDeadlock detects two rank-dependent communication shapes that are
+// wrong by construction, using the summary traces so ops buried in helpers
+// count:
+//
+//  1. recv-first everywhere: a rank branch that covers every rank (a final
+//     else or default) where every arm's first communication op blocks in
+//     Recv/Probe. Sends in this runtime are buffered and never block, so
+//     the only way such a branch makes progress is a send issued before it
+//     — if none exists earlier in the function, no rank can ever satisfy
+//     another's receive. This is the textbook head-to-head exchange written
+//     recv-first instead of send-first.
+//
+//  2. mismatched constant routing: an arm guarded by `rank == A` sends with
+//     a constant tag to a constant peer B whose own `rank == B` arm
+//     receives — but only ever with other constant tags. The buffered send
+//     is silently lost and B's receive blocks forever. Reported only when
+//     B's arm does receive (the protocol is local to the branch) and no
+//     wildcard/unknown-tag receive anywhere in the function could pick the
+//     message up.
+//
+// Both rules bail toward silence on any unknown: dynamic peers, computed
+// tags, or receives the analysis cannot place keep the branch unreported.
+func checkDeadlock(pkg *Package) []Finding {
+	sums := pkg.Summaries()
+	var out []Finding
+	for _, fd := range pkg.funcDecls() {
+		fd := fd
+		rankVars := rankVarsOf(fd)
+		env := constEnv{consts: localConsts(fd, pkg.Consts)}
+		var fullTrace []CommOp
+		haveFull := false
+		full := func() []CommOp {
+			if !haveFull {
+				fullTrace = sums.TraceOf(fd.Body, fd)
+				haveFull = true
+			}
+			return fullTrace
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			var arms []ast.Node
+			var conds []ast.Expr
+			var span [2]token.Pos
+			switch stmt := n.(type) {
+			case *ast.IfStmt:
+				if isElseIf(fd.Body, stmt) || !ifChainOnRank(stmt, rankVars) {
+					return true
+				}
+				arms, conds = armsAndConds(stmt)
+				span = [2]token.Pos{stmt.Pos(), stmt.End()}
+			case *ast.SwitchStmt:
+				if !switchOnRank(stmt, rankVars) || stmt.Tag == nil {
+					return true
+				}
+				for _, c := range stmt.Body.List {
+					cc := c.(*ast.CaseClause)
+					arms = append(arms, &ast.BlockStmt{List: cc.Body})
+					if len(cc.List) == 1 {
+						conds = append(conds, &ast.BinaryExpr{X: stmt.Tag, Op: token.EQL, Y: cc.List[0]})
+					} else {
+						conds = append(conds, nil) // default or multi-value case
+					}
+				}
+				span = [2]token.Pos{stmt.Pos(), stmt.End()}
+			default:
+				return true
+			}
+			traces := make([][]CommOp, len(arms))
+			for i, arm := range arms {
+				if arm != nil {
+					traces[i] = sums.TraceOf(arm, fd)
+				}
+			}
+			if f := recvFirstDeadlock(pkg, arms, traces, span, full()); f != nil {
+				out = append(out, *f)
+			}
+			out = append(out, lostSends(pkg, fd, conds, traces, span, full(), env, rankVars)...)
+			return true
+		})
+	}
+	return out
+}
+
+// armsAndConds flattens an if/else-if chain to parallel arm and condition
+// slices; the final else (or the implicit empty arm) gets a nil condition.
+func armsAndConds(s *ast.IfStmt) (arms []ast.Node, conds []ast.Expr) {
+	for {
+		arms = append(arms, s.Body)
+		conds = append(conds, s.Cond)
+		switch e := s.Else.(type) {
+		case *ast.IfStmt:
+			s = e
+		case *ast.BlockStmt:
+			return append(arms, e), append(conds, nil)
+		default:
+			return append(arms, nil), append(conds, nil)
+		}
+	}
+}
+
+// sitePos is the op's position inside the analyzed function: the outermost
+// call site when the op was reached through helpers, the op itself when
+// direct.
+func sitePos(op CommOp) token.Pos {
+	if len(op.Via) > 0 {
+		return op.Via[0]
+	}
+	return op.Pos
+}
+
+// recvFirstDeadlock applies rule 1 to one branch.
+func recvFirstDeadlock(pkg *Package, arms []ast.Node, traces [][]CommOp, span [2]token.Pos, full []CommOp) *Finding {
+	if len(arms) < 2 {
+		return nil
+	}
+	for i, arm := range arms {
+		if arm == nil {
+			return nil // incomplete coverage: some rank skips the branch
+		}
+		first := firstMPIOp(traces[i])
+		if first == nil || (first.Kind != OpRecv && first.Kind != OpProbe) {
+			return nil
+		}
+	}
+	// A send (or posted Isend) earlier in the function can satisfy the
+	// first receive; only a branch with nothing in flight is certain.
+	for _, op := range full {
+		if sitePos(op) >= span[0] {
+			continue
+		}
+		switch op.Kind {
+		case OpSend, OpIsend, OpSendrecv:
+			return nil
+		}
+	}
+	return &Finding{
+		Pos:      pkg.Fset.Position(span[0]),
+		Analyzer: "deadlock",
+		Message: "every arm of this rank-dependent branch blocks in " +
+			"Recv/Probe as its first communication op with no send in flight; no rank can make progress",
+	}
+}
+
+// firstMPIOp returns the first non-emit op of a trace.
+func firstMPIOp(trace []CommOp) *CommOp {
+	for i := range trace {
+		if trace[i].MPI() {
+			return &trace[i]
+		}
+	}
+	return nil
+}
+
+// lostSends applies rule 2: constant-routed sends whose peer's arm cannot
+// receive the tag.
+func lostSends(pkg *Package, fd *ast.FuncDecl, conds []ast.Expr, traces [][]CommOp,
+	span [2]token.Pos, full []CommOp, env constEnv, rankVars map[string]bool) []Finding {
+	// Arms guarded by rank == constant.
+	armOfRank := map[int64]int{}
+	rankOfArm := map[int]int64{}
+	for i, cond := range conds {
+		if v, ok := rankEquality(cond, env, rankVars); ok {
+			if _, dup := armOfRank[v]; dup {
+				return nil // two arms claim one rank: give up on the branch
+			}
+			armOfRank[v] = i
+			rankOfArm[i] = v
+		}
+	}
+	if len(armOfRank) < 2 {
+		return nil
+	}
+	// Receives elsewhere in the function (outside this branch) with any
+	// wildcard or unknown tag/peer make every send potentially received.
+	var outside []CommOp
+	for _, op := range full {
+		if p := sitePos(op); p >= span[0] && p < span[1] {
+			continue
+		}
+		if op.Kind == OpRecv || op.Kind == OpIrecv || op.Kind == OpProbe {
+			outside = append(outside, op)
+		}
+	}
+	var out []Finding
+	for i, trace := range traces {
+		from, isConst := rankOfArm[i]
+		if !isConst {
+			continue
+		}
+		for _, op := range trace {
+			if op.Kind != OpSend && op.Kind != OpIsend && op.Kind != OpSendrecv {
+				continue
+			}
+			if !op.PeerKnown || !op.TagKnown {
+				continue
+			}
+			peerArm, known := armOfRank[op.Peer]
+			if !known || op.Peer == from {
+				continue
+			}
+			recvs := receivesOf(traces[peerArm])
+			if len(recvs) == 0 {
+				continue // peer arm has no local receive protocol: not our call
+			}
+			if anyRecvMatches(recvs, from, op.Tag) || anyRecvMatches(outside, from, op.Tag) {
+				continue
+			}
+			out = append(out, Finding{
+				Pos:      pkg.Fset.Position(sitePos(op)),
+				Analyzer: "deadlock",
+				Message: fmt.Sprintf("rank %d sends tag %d to rank %d, whose branch arm receives only other constant tags; "+
+					"the buffered send is lost and the peer's receive blocks", from, op.Tag, op.Peer),
+			})
+		}
+	}
+	return out
+}
+
+// receivesOf filters a trace to its receive-like ops.
+func receivesOf(trace []CommOp) []CommOp {
+	var out []CommOp
+	for _, op := range trace {
+		if op.Kind == OpRecv || op.Kind == OpIrecv || op.Kind == OpProbe {
+			out = append(out, op)
+		}
+	}
+	return out
+}
+
+// anyRecvMatches reports whether any receive could accept a message with
+// the given source rank and tag. Unknown tags or peers count as matching —
+// the bail-toward-silence direction.
+func anyRecvMatches(recvs []CommOp, src, tag int64) bool {
+	for _, r := range recvs {
+		tagOK := r.TagAny || !r.TagKnown || r.Tag == tag
+		srcOK := r.PeerAny || !r.PeerKnown || r.Peer == src
+		if tagOK && srcOK {
+			return true
+		}
+	}
+	return false
+}
+
+// rankEquality recognizes `rank == <const>` (either operand order) and
+// returns the constant.
+func rankEquality(cond ast.Expr, env constEnv, rankVars map[string]bool) (int64, bool) {
+	be, ok := cond.(*ast.BinaryExpr)
+	if !ok || be.Op != token.EQL {
+		return 0, false
+	}
+	if isRankExpr(be.X, rankVars) && !isRankExpr(be.Y, rankVars) {
+		return evalConst(be.Y, env)
+	}
+	if isRankExpr(be.Y, rankVars) && !isRankExpr(be.X, rankVars) {
+		return evalConst(be.X, env)
+	}
+	return 0, false
+}

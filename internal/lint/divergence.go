@@ -2,7 +2,6 @@ package lint
 
 import (
 	"go/ast"
-	"go/token"
 )
 
 // checkDivergence flags collective calls that appear on one arm of a
@@ -15,56 +14,49 @@ import (
 // field, or a local bound from Rank(). If/else-if chains and switches over
 // rank are treated as one multi-arm branch; a chain with no final else has
 // an implicit empty arm, so any collective inside it is divergent.
+//
+// Since v2 the per-arm collective sets come from the communication
+// summaries, so a collective buried any number of helper calls deep inside
+// one arm still counts — and is reported at the helper call site with the
+// route named.
 func checkDivergence(pkg *Package) []Finding {
+	sums := pkg.Summaries()
 	var out []Finding
-	inMPI := pkg.Name == "mpi"
-	for _, f := range pkg.Files {
-		alias := mpiAlias(f)
-		if alias == "" && !inMPI {
-			// Methods like Barrier/Aggregate can still appear via mrmpi et
-			// al. even without a direct mpi import.
-			alias = "mpi"
-		}
-		for _, d := range f.Decls {
-			fn, ok := d.(*ast.FuncDecl)
-			if !ok || fn.Body == nil {
-				continue
-			}
-			rankVars := rankVarsOf(fn)
-			ast.Inspect(fn.Body, func(n ast.Node) bool {
-				switch stmt := n.(type) {
-				case *ast.IfStmt:
-					// Only handle the head of a chain; else-if links are
-					// visited through collectArms.
-					if isElseIf(fn.Body, stmt) {
-						return true
-					}
-					if !ifChainOnRank(stmt, rankVars) {
-						return true
-					}
-					arms := collectArms(stmt)
-					out = append(out, divergentCalls(pkg, arms, alias, inMPI)...)
-				case *ast.SwitchStmt:
-					if !switchOnRank(stmt, rankVars) {
-						return true
-					}
-					var arms []ast.Node
-					hasDefault := false
-					for _, c := range stmt.Body.List {
-						cc := c.(*ast.CaseClause)
-						if cc.List == nil {
-							hasDefault = true
-						}
-						arms = append(arms, &ast.BlockStmt{List: cc.Body})
-					}
-					if !hasDefault {
-						arms = append(arms, nil) // implicit empty arm
-					}
-					out = append(out, divergentCalls(pkg, arms, alias, inMPI)...)
+	for _, fn := range pkg.funcDecls() {
+		fn := fn
+		rankVars := rankVarsOf(fn)
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			switch stmt := n.(type) {
+			case *ast.IfStmt:
+				// Only handle the head of a chain; else-if links are
+				// visited through collectArms.
+				if isElseIf(fn.Body, stmt) {
+					return true
 				}
-				return true
-			})
-		}
+				if !ifChainOnRank(stmt, rankVars) {
+					return true
+				}
+				out = append(out, divergentCalls(pkg, sums, fn, collectArms(stmt))...)
+			case *ast.SwitchStmt:
+				if !switchOnRank(stmt, rankVars) {
+					return true
+				}
+				var arms []ast.Node
+				hasDefault := false
+				for _, c := range stmt.Body.List {
+					cc := c.(*ast.CaseClause)
+					if cc.List == nil {
+						hasDefault = true
+					}
+					arms = append(arms, &ast.BlockStmt{List: cc.Body})
+				}
+				if !hasDefault {
+					arms = append(arms, nil) // implicit empty arm
+				}
+				out = append(out, divergentCalls(pkg, sums, fn, arms)...)
+			}
+			return true
+		})
 	}
 	return out
 }
@@ -132,33 +124,21 @@ func isElseIf(body *ast.BlockStmt, target *ast.IfStmt) bool {
 	return found
 }
 
-// collectiveCall records one collective call site within an arm.
-type collectiveCall struct {
-	name string
-	pos  token.Pos
-}
-
-// divergentCalls compares the collective sets of the arms and reports every
-// call whose collective is missing from at least one other arm.
-func divergentCalls(pkg *Package, arms []ast.Node, alias string, inMPI bool) []Finding {
-	calls := make([][]collectiveCall, len(arms))
+// divergentCalls compares the summary-derived collective sets of the arms
+// and reports every call (direct or via a helper) whose collective is
+// missing from at least one other arm.
+func divergentCalls(pkg *Package, sums *Summaries, fn *ast.FuncDecl, arms []ast.Node) []Finding {
+	calls := make([][]collectiveUse, len(arms))
 	sets := make([]map[string]bool, len(arms))
 	for i, arm := range arms {
 		sets[i] = map[string]bool{}
 		if arm == nil {
 			continue
 		}
-		ast.Inspect(arm, func(n ast.Node) bool {
-			call, ok := n.(*ast.CallExpr)
-			if !ok {
-				return true
-			}
-			if name := collectiveName(call, alias, inMPI); name != "" {
-				calls[i] = append(calls[i], collectiveCall{name: name, pos: call.Pos()})
-				sets[i][name] = true
-			}
-			return true
-		})
+		for _, u := range sums.CollectivesUnder(arm, fn) {
+			calls[i] = append(calls[i], u)
+			sets[i][u.name] = true
+		}
 	}
 	var out []Finding
 	for i, armCalls := range calls {
@@ -172,10 +152,14 @@ func divergentCalls(pkg *Package, arms []ast.Node, alias string, inMPI bool) []F
 					continue
 				}
 				reported[c.name] = true
+				route := ""
+				if c.via != "" {
+					route = " (reached via " + c.via + ")"
+				}
 				out = append(out, Finding{
 					Pos:      pkg.Fset.Position(c.pos),
 					Analyzer: "divergence",
-					Message: "collective " + c.name + " inside a rank-dependent branch has no matching " +
+					Message: "collective " + c.name + route + " inside a rank-dependent branch has no matching " +
 						c.name + " on every other arm; all ranks must execute the same collective sequence",
 				})
 				break

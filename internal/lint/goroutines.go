@@ -1,0 +1,79 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// checkGoroutines flags MPI operations and KeyValue emits reachable from a
+// goroutine spawned inside a rank function. The Comm handle and the
+// KeyValue emitter are per-rank, single-threaded objects: the runtime's
+// mailbox matching and the paged KV stores assume one goroutine per rank
+// drives them. A worker goroutine that sends, receives, or emits behind the
+// rank's back corrupts match ordering (or the KV pages) in ways -race only
+// catches on the right schedule — goroutines must do pure compute and hand
+// results back over a channel.
+//
+// The check looks through the communication summaries, so an op buried in a
+// helper called from the goroutine is still found:
+//
+//	go worker(c)         // worker's summary sends → flagged
+//	go func() { h() }()  // h's summary receives → flagged
+//
+// mpi.Run's own per-rank spawner stays clean: the rank closure it launches
+// calls an opaque function parameter, which summarizes to no ops.
+func checkGoroutines(pkg *Package) []Finding {
+	sums := pkg.Summaries()
+	var out []Finding
+	for _, fd := range pkg.funcDecls() {
+		fd := fd
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			trace, via := spawnedTrace(pkg, sums, fd, g)
+			for _, op := range trace {
+				out = append(out, Finding{
+					Pos:      pkg.position(g),
+					Analyzer: "goroutines",
+					Message:  goroutineMessage(op, via),
+				})
+				break // one finding per spawn site
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// spawnedTrace computes the may-trace of the goroutine g launches. Call
+// arguments are excluded: `go f(c.Recv(0, 1))` evaluates the Recv on the
+// spawning rank's goroutine, which is fine.
+func spawnedTrace(pkg *Package, sums *Summaries, fd *ast.FuncDecl, g *ast.GoStmt) (trace []CommOp, via string) {
+	if lit, ok := g.Call.Fun.(*ast.FuncLit); ok {
+		return sums.TraceOf(lit.Body, fd), ""
+	}
+	if ops, ok := sums.extractor(fd).opsFor(g.Call); ok {
+		return ops, ""
+	}
+	if callee := pkg.calleeDecl(g.Call); callee != nil {
+		if sum := sums.Of(callee); sum != nil {
+			return sum.Trace, sum.Name
+		}
+	}
+	return nil, ""
+}
+
+// goroutineMessage renders the finding for the first offending op.
+func goroutineMessage(op CommOp, via string) string {
+	route := ""
+	if via != "" {
+		route = " (via " + via + ")"
+	}
+	if op.Kind == OpEmit {
+		return "goroutine emits through the per-rank KeyValue handle" + route +
+			"; emit on the rank's own goroutine and pass results over a channel"
+	}
+	return "goroutine performs MPI " + op.Name + route +
+		"; the Comm handle is per-rank — goroutines must do pure compute and hand results back over a channel"
+}

@@ -41,20 +41,43 @@
 //   - kvescape: the *KeyValue emitter handle escaping its callback
 //     (stored, returned, or sent on a channel).
 //
-// Everything is built from the standard library only (go/ast, go/parser,
-// go/token) and works purely syntactically, so it runs on any subset of the
-// tree without type-checking the full import graph. The price is
-// approximation: the analyzers are tuned to have no false positives on this
-// repository and to catch the misuse classes above in their common
-// syntactic forms, not to be sound or complete program analyses.
+// A third family targets intra-rank concurrency — the goroutine pools and
+// pipelined shuffles the runtime is growing toward, where -race and the
+// mpidebug ledger get weaker rather than stronger:
+//
+//   - goroutines: MPI calls or KV emits reachable (through any chain of
+//     helpers) from a goroutine spawned inside a rank function. The Comm
+//     and the KeyValue emitter are per-rank handles; goroutines must do
+//     pure compute and hand results back over a channel.
+//   - deadlock: rank-dependent branches whose arms all block in Recv as
+//     their first communication op (nobody ever sends — a certain
+//     deadlock), and constant-routed sends whose peer's arm cannot receive
+//     the tag.
+//   - sync: WaitGroup misuse in worker-pool shapes — Add called inside the
+//     spawned goroutine (racing the Wait), a local WaitGroup that is Added
+//     but never Waited.
+//   - suppress: the suppression discipline itself — every mpilint:ignore
+//     must name its check(s) and a reason (`mpilint:ignore check -- why`).
+//
+// Everything is built from the standard library only. Since v2 the loader
+// attaches a go/types view when the analyzed tree sits inside a module
+// (see typecheck.go): receivers resolve to the real *mpi.Comm /
+// *mrmpi.MapReduce types instead of being matched by name, and a
+// per-function communication-summary engine (summary.go) lets the
+// analyzers see collectives, sends, and buffer escapes through arbitrarily
+// nested helper calls. Without type information every check degrades to
+// the v1 syntactic heuristics, so in-memory fixtures and bare trees still
+// analyze. The analyzers remain tuned to have no false positives on this
+// repository — may-analysis breadth is spent only where it cannot
+// misfire, not to be sound or complete program analyses.
 package lint
 
 import (
 	"fmt"
 	"go/ast"
 	"go/token"
+	"go/types"
 	"sort"
-	"strings"
 )
 
 // Finding is one diagnostic produced by an analyzer.
@@ -85,48 +108,28 @@ type Package struct {
 	// the subset of constant expressions evalConst understands (enough for
 	// tag blocks built with iota).
 	Consts map[string]int64
-	// ignores maps filename -> lines suppressed by a "mpilint:ignore"
-	// comment (the comment's own line and the line below it).
-	ignores map[string]map[int]bool
-}
+	// TypesPkg and TypesInfo are the optional go/types view attached by the
+	// v2 loader (TypeCheck). When nil, every analyzer falls back to the v1
+	// syntactic heuristics; when present, receiver types and call targets
+	// resolve through the checker.
+	TypesPkg  *types.Package
+	TypesInfo *types.Info
+	// Siblings are the other packages loaded from the same directory (the
+	// external _test package of a library, and vice versa). Package-scope
+	// checks like tag matching consult them: a Recv living in foo_test
+	// still satisfies a Send in foo.
+	Siblings []*Package
 
-// buildIgnores records the lines covered by mpilint:ignore comments, so a
-// deliberate misuse (e.g. a test provoking the runtime's negative-tag panic)
-// can be annotated instead of fixed.
-func (pkg *Package) buildIgnores() {
-	pkg.ignores = map[string]map[int]bool{}
-	for _, f := range pkg.Files {
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				if !strings.Contains(c.Text, "mpilint:ignore") {
-					continue
-				}
-				pos := pkg.Fset.Position(c.Pos())
-				lines := pkg.ignores[pos.Filename]
-				if lines == nil {
-					lines = map[int]bool{}
-					pkg.ignores[pos.Filename] = lines
-				}
-				lines[pos.Line] = true
-				lines[pos.Line+1] = true
-			}
-		}
-	}
-}
+	// suppressions are the parsed mpilint:ignore directives.
+	suppressions []Suppression
+	// ignores maps filename -> suppressed lines -> the directive, built
+	// from suppressions (the comment's own line and the line below it).
+	ignores map[string]map[int]*Suppression
 
-// suppressed filters out findings on lines covered by mpilint:ignore.
-func (pkg *Package) suppressed(fs []Finding) []Finding {
-	if len(pkg.ignores) == 0 {
-		return fs
-	}
-	out := fs[:0]
-	for _, f := range fs {
-		if pkg.ignores[f.Pos.Filename][f.Pos.Line] {
-			continue
-		}
-		out = append(out, f)
-	}
-	return out
+	// lazy caches.
+	summaries *Summaries
+	declIndex map[types.Object]*ast.FuncDecl
+	funcIndex map[string]*ast.FuncDecl
 }
 
 // An Analyzer inspects one package and reports findings.
@@ -152,6 +155,10 @@ func Analyzers() []*Analyzer {
 		{Name: "kvescape", Doc: "the *KeyValue emitter handle escaping its callback", Run: checkKVEscape},
 		{Name: "obslint", Doc: "trace spans opened with Begin but never ended in the same function", Run: checkObsSpans},
 		{Name: "requests", Doc: "Isend/Irecv requests that are discarded or never completed with Wait/Test", Run: checkRequests},
+		{Name: "goroutines", Doc: "MPI calls or KV emits reachable from a goroutine spawned inside a rank function", Run: checkGoroutines},
+		{Name: "deadlock", Doc: "rank-dependent branches whose arms all block in Recv first, and per-arm sends no peer arm can receive", Run: checkDeadlock},
+		{Name: "sync", Doc: "WaitGroup misuse in worker pools (Add inside the spawned goroutine, Add with no Wait)", Run: checkSync},
+		{Name: "suppress", Doc: "mpilint:ignore directives without named checks and a reason, or naming unknown checks", Run: checkSuppress},
 	}
 }
 

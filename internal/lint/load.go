@@ -14,6 +14,10 @@ import (
 type LoadOptions struct {
 	// Tests includes _test.go files in the analysis.
 	Tests bool
+	// NoTypes skips the go/types pass, forcing the v1 syntactic fallback.
+	// The default is to type-check whenever the directory sits inside a
+	// module (a go.mod is found above it).
+	NoTypes bool
 }
 
 // LoadDir parses every buildable Go file in one directory (non-recursive)
@@ -54,7 +58,19 @@ func LoadDir(fset *token.FileSet, dir string, opts LoadOptions) ([]*Package, err
 	for _, name := range names {
 		pkg := byName[name]
 		pkg.Consts = packageConsts(pkg.Files)
+		if !opts.NoTypes {
+			pkg.TypeCheck(dir)
+		}
 		out = append(out, pkg)
+	}
+	// Link the directory's packages as siblings: the external test package
+	// of a library participates in package-scope matching (tags).
+	for _, pkg := range out {
+		for _, other := range out {
+			if other != pkg {
+				pkg.Siblings = append(pkg.Siblings, other)
+			}
+		}
 	}
 	return out, nil
 }

@@ -138,7 +138,7 @@ func f(work any) error {
 func f(fn any) {
 	mr := mrmpi.New(nil)
 	defer mr.Close()
-	mr.Reduce(fn) // mpilint:ignore — provoking the empty-KMV path on purpose
+	mr.Reduce(fn) // mpilint:ignore phase -- provoking the empty-KMV path on purpose
 }`,
 		},
 	}

@@ -116,35 +116,37 @@ func phaseScope(pkg *Package, alias string, inMR bool, params *ast.FieldList, bo
 			}
 		case *ast.CallExpr:
 			name, method := mrMethodCall(x, vars, kvOwner)
-			if name == "" {
+			if name != "" {
+				applyPhase(vars[name], name, method, "", x, report)
 				return
 			}
-			v := vars[name]
-			switch method {
-			case "Map", "MapFiles", "AddKV":
-				v.state = stKV
-			case "Aggregate":
-				if v.state == stEmpty {
-					report(x, "Aggregate on "+name+" before any Map or KV().Add: the KV is empty, so there is nothing to redistribute")
+			// Passing a tracked value to a summarized local helper replays
+			// the helper's unconditional phase effects on the value, so a
+			// protocol violation split across functions is still caught and
+			// a helper that advances the state keeps the caller honest.
+			callee := pkg.calleeDecl(x)
+			if callee == nil || callee.Body == nil {
+				return
+			}
+			sum := pkg.Summaries().Of(callee)
+			if sum == nil || len(sum.PhaseEffects) == 0 {
+				return
+			}
+			for a, arg := range x.Args {
+				id, ok := arg.(*ast.Ident)
+				if !ok || vars[id.Name] == nil {
+					continue
 				}
-			case "Convert", "Collate":
-				switch v.state {
-				case stEmpty:
-					report(x, method+" on "+name+" before any Map or KV().Add: converting an empty KV builds an empty KMV")
-				case stKMV:
-					report(x, "double "+method+" on "+name+": the KV was already converted with no intervening Map or Add, so this wipes the KMV")
+				for _, m := range sum.PhaseEffects[a] {
+					applyPhase(vars[id.Name], id.Name, m, sum.Name, x, report)
 				}
-				v.state = stKMV
-			case "Reduce", "Scrunch":
-				if v.state == stKV || v.state == stEmpty {
-					report(x, method+" on "+name+" without a preceding Collate/Convert: the KMV is empty, so the callback never runs")
-				}
-				v.state = stKV
 			}
 		}
 	})
 
 	// Pass 2: Close on every return path, for values this scope created.
+	// A helper whose summary unconditionally Closes its parameter counts
+	// as a close (closeMR(mr) is as good as mr.Close()).
 	for name, v := range vars {
 		if v.created == nil {
 			continue
@@ -153,7 +155,8 @@ func phaseScope(pkg *Package, alias string, inMR bool, params *ast.FieldList, bo
 		if rest == nil {
 			continue
 		}
-		closed, terminated := walkClose(rest, name, false, func(n ast.Node) {
+		closes := closePredicate(pkg, name)
+		closed, terminated := walkClose(rest, closes, false, func(n ast.Node) {
 			report(n, name+" is not Closed on this return path: its spill files and page memory leak")
 		})
 		if !closed && !terminated {
@@ -161,6 +164,65 @@ func phaseScope(pkg *Package, alias string, inMR bool, params *ast.FieldList, bo
 		}
 	}
 	return out
+}
+
+// applyPhase advances one tracked value's state machine by a single phase
+// method, reporting protocol violations. via names the helper the effect
+// was replayed from ("" for direct calls).
+func applyPhase(v *mrVar, name, method, via string, at ast.Node, report func(ast.Node, string)) {
+	suffix := ""
+	if via != "" {
+		suffix = " (via " + via + ")"
+	}
+	switch method {
+	case "Map", "MapFiles", "AddKV":
+		v.state = stKV
+	case "Aggregate":
+		if v.state == stEmpty {
+			report(at, "Aggregate on "+name+" before any Map or KV().Add: the KV is empty, so there is nothing to redistribute"+suffix)
+		}
+	case "Convert", "Collate":
+		switch v.state {
+		case stEmpty:
+			report(at, method+" on "+name+" before any Map or KV().Add: converting an empty KV builds an empty KMV"+suffix)
+		case stKMV:
+			report(at, "double "+method+" on "+name+": the KV was already converted with no intervening Map or Add, so this wipes the KMV"+suffix)
+		}
+		v.state = stKMV
+	case "Reduce", "Scrunch":
+		if v.state == stKV || v.state == stEmpty {
+			report(at, method+" on "+name+" without a preceding Collate/Convert: the KMV is empty, so the callback never runs"+suffix)
+		}
+		v.state = stKV
+	}
+}
+
+// closePredicate matches name.Close() plus helper(name) calls whose callee
+// summary unconditionally Closes the corresponding parameter.
+func closePredicate(pkg *Package, name string) func(*ast.CallExpr) bool {
+	return func(call *ast.CallExpr) bool {
+		if isCloseCall(call, name) {
+			return true
+		}
+		callee := pkg.calleeDecl(call)
+		if callee == nil || callee.Body == nil {
+			return false
+		}
+		sum := pkg.Summaries().Of(callee)
+		if sum == nil {
+			return false
+		}
+		for a, arg := range call.Args {
+			if id, ok := arg.(*ast.Ident); ok && id.Name == name {
+				for _, m := range sum.PhaseEffects[a] {
+					if m == "Close" {
+						return true
+					}
+				}
+			}
+		}
+		return false
+	}
 }
 
 // scopeInspect walks the statements of one scope in source order without
@@ -295,16 +357,16 @@ func stmtsAfter(body *ast.BlockStmt, target ast.Node) []ast.Stmt {
 	return rest
 }
 
-// walkClose walks a statement list tracking whether name has been Closed,
-// reporting any return reached while it is not. It returns (closed,
-// terminated): terminated means control cannot fall past the list (every
-// path returns or branches away). Loops and switch bodies are walked for
-// their inner returns but conservatively do not change the fall-through
-// close state.
-func walkClose(stmts []ast.Stmt, name string, closed bool, report func(ast.Node)) (bool, bool) {
+// walkClose walks a statement list tracking whether the value has been
+// Closed (per the closes predicate), reporting any return reached while it
+// is not. It returns (closed, terminated): terminated means control cannot
+// fall past the list (every path returns or branches away). Loops and
+// switch bodies are walked for their inner returns but conservatively do
+// not change the fall-through close state.
+func walkClose(stmts []ast.Stmt, closes func(*ast.CallExpr) bool, closed bool, report func(ast.Node)) (bool, bool) {
 	for _, s := range stmts {
 		var term bool
-		closed, term = walkCloseStmt(s, name, closed, report)
+		closed, term = walkCloseStmt(s, closes, closed, report)
 		if term {
 			return closed, true
 		}
@@ -312,14 +374,14 @@ func walkClose(stmts []ast.Stmt, name string, closed bool, report func(ast.Node)
 	return closed, false
 }
 
-func walkCloseStmt(s ast.Stmt, name string, closed bool, report func(ast.Node)) (bool, bool) {
+func walkCloseStmt(s ast.Stmt, closes func(*ast.CallExpr) bool, closed bool, report func(ast.Node)) (bool, bool) {
 	switch x := s.(type) {
 	case *ast.DeferStmt:
-		if deferCloses(x.Call, name) {
+		if deferCloses(x.Call, closes) {
 			return true, false
 		}
 	case *ast.ExprStmt:
-		if call, ok := x.X.(*ast.CallExpr); ok && isCloseCall(call, name) {
+		if call, ok := x.X.(*ast.CallExpr); ok && closes(call) {
 			return true, false
 		}
 	case *ast.ReturnStmt:
@@ -332,11 +394,11 @@ func walkCloseStmt(s ast.Stmt, name string, closed bool, report func(ast.Node)) 
 		// list without judging the target.
 		return closed, true
 	case *ast.BlockStmt:
-		return walkClose(x.List, name, closed, report)
+		return walkClose(x.List, closes, closed, report)
 	case *ast.LabeledStmt:
-		return walkCloseStmt(x.Stmt, name, closed, report)
+		return walkCloseStmt(x.Stmt, closes, closed, report)
 	case *ast.IfStmt:
-		bodyClosed, bodyTerm := walkClose(x.Body.List, name, closed, report)
+		bodyClosed, bodyTerm := walkClose(x.Body.List, closes, closed, report)
 		if x.Else == nil {
 			if bodyTerm {
 				// Falling past the if means the body was not taken.
@@ -346,7 +408,7 @@ func walkCloseStmt(s ast.Stmt, name string, closed bool, report func(ast.Node)) 
 			// guaranteed afterwards.
 			return closed, false
 		}
-		elseClosed, elseTerm := walkCloseStmt(x.Else, name, closed, report)
+		elseClosed, elseTerm := walkCloseStmt(x.Else, closes, closed, report)
 		switch {
 		case bodyTerm && elseTerm:
 			return closed, true
@@ -358,27 +420,27 @@ func walkCloseStmt(s ast.Stmt, name string, closed bool, report func(ast.Node)) 
 			return bodyClosed && elseClosed, false
 		}
 	case *ast.ForStmt:
-		walkClose(x.Body.List, name, closed, report)
+		walkClose(x.Body.List, closes, closed, report)
 	case *ast.RangeStmt:
-		walkClose(x.Body.List, name, closed, report)
+		walkClose(x.Body.List, closes, closed, report)
 	case *ast.SwitchStmt:
-		walkClauses(x.Body, name, closed, report)
+		walkClauses(x.Body, closes, closed, report)
 	case *ast.TypeSwitchStmt:
-		walkClauses(x.Body, name, closed, report)
+		walkClauses(x.Body, closes, closed, report)
 	case *ast.SelectStmt:
 		for _, c := range x.Body.List {
 			if cc, ok := c.(*ast.CommClause); ok {
-				walkClose(cc.Body, name, closed, report)
+				walkClose(cc.Body, closes, closed, report)
 			}
 		}
 	}
 	return closed, false
 }
 
-func walkClauses(body *ast.BlockStmt, name string, closed bool, report func(ast.Node)) {
+func walkClauses(body *ast.BlockStmt, closes func(*ast.CallExpr) bool, closed bool, report func(ast.Node)) {
 	for _, c := range body.List {
 		if cc, ok := c.(*ast.CaseClause); ok {
-			walkClose(cc.Body, name, closed, report)
+			walkClose(cc.Body, closes, closed, report)
 		}
 	}
 }
@@ -393,10 +455,10 @@ func isCloseCall(call *ast.CallExpr, name string) bool {
 	return ok && id.Name == name
 }
 
-// deferCloses matches `defer name.Close()` and `defer func() { ...
-// name.Close() ... }()`.
-func deferCloses(call *ast.CallExpr, name string) bool {
-	if isCloseCall(call, name) {
+// deferCloses matches `defer name.Close()` (or a closing helper) and
+// `defer func() { ... name.Close() ... }()`.
+func deferCloses(call *ast.CallExpr, closes func(*ast.CallExpr) bool) bool {
+	if closes(call) {
 		return true
 	}
 	fl, ok := call.Fun.(*ast.FuncLit)
@@ -405,7 +467,7 @@ func deferCloses(call *ast.CallExpr, name string) bool {
 	}
 	found := false
 	ast.Inspect(fl.Body, func(n ast.Node) bool {
-		if c, ok := n.(*ast.CallExpr); ok && isCloseCall(c, name) {
+		if c, ok := n.(*ast.CallExpr); ok && closes(c) {
 			found = true
 		}
 		return !found

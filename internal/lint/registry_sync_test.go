@@ -1,0 +1,64 @@
+package lint
+
+import (
+	"os"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// TestRegistrySync asserts that the analyzer registry, the README
+// "Correctness tooling" table, and the DESIGN §6 table name exactly the
+// same set of checks, so a new analyzer cannot land undocumented (and a
+// renamed one cannot leave stale docs behind).
+func TestRegistrySync(t *testing.T) {
+	var registered []string
+	for _, a := range Analyzers() {
+		registered = append(registered, a.Name)
+	}
+	sort.Strings(registered)
+
+	readme := tableChecks(t, "../../README.md", "## Correctness tooling")
+	design := tableChecks(t, "../../DESIGN.md", "## 6. Correctness tooling")
+
+	if got, want := strings.Join(readme, " "), strings.Join(registered, " "); got != want {
+		t.Errorf("README table checks = %s\nregistry = %s", got, want)
+	}
+	if got, want := strings.Join(design, " "), strings.Join(registered, " "); got != want {
+		t.Errorf("DESIGN table checks = %s\nregistry = %s", got, want)
+	}
+}
+
+// tableChecks extracts the backticked check names from markdown table rows
+// (`| `name` | ...`) inside one ## section of a file.
+func tableChecks(t *testing.T, path, heading string) []string {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(data)
+	start := strings.Index(text, heading)
+	if start < 0 {
+		t.Fatalf("%s: heading %q not found", path, heading)
+	}
+	section := text[start+len(heading):]
+	if end := strings.Index(section, "\n## "); end >= 0 {
+		section = section[:end]
+	}
+	row := regexp.MustCompile("(?m)^\\s*\\| `([a-z]+)` \\|")
+	seen := map[string]bool{}
+	var names []string
+	for _, m := range row.FindAllStringSubmatch(section, -1) {
+		if !seen[m[1]] {
+			seen[m[1]] = true
+			names = append(names, m[1])
+		}
+	}
+	if len(names) == 0 {
+		t.Fatalf("%s: no table rows with backticked check names under %q", path, heading)
+	}
+	sort.Strings(names)
+	return names
+}

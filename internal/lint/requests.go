@@ -16,12 +16,17 @@ import (
 //     semantics were intended,
 //   - the result assigned to `_`,
 //   - the result assigned to a variable that is never mentioned again in the
-//     enclosing function.
+//     enclosing function,
+//   - the result appended into a slice (`reqs = append(reqs, c.Isend(...))`)
+//     that is itself never drained: the container must reach mpi.Waitall, a
+//     range loop, or some other later mention. Mentions inside the opening
+//     append statements themselves don't count — `reqs = append(reqs, ...)`
+//     read alone never completes anything.
 //
 // The check is conservative in the usual mpilint way: any later use of the
-// variable (a Wait/Test call, appending to a Waitall slice, passing it on,
-// returning it) counts as completion, and results stored into fields,
-// slices, or composite literals are out of syntactic reach and trusted.
+// variable (a Wait/Test call, a Waitall call, passing it on, returning it)
+// counts as completion, and results stored into fields, maps, or composite
+// literals are out of syntactic reach and trusted.
 func checkRequests(pkg *Package) []Finding {
 	var out []Finding
 	for _, f := range pkg.Files {
@@ -63,11 +68,16 @@ func isRequestCall(e ast.Expr) (*ast.CallExpr, string, bool) {
 // idiomatic).
 func requestsScanScope(pkg *Package, body *ast.BlockStmt) []Finding {
 	type open struct {
-		ident *ast.Ident // LHS of the opening assignment
-		call  ast.Node
-		op    string
+		ident     *ast.Ident // LHS of the opening assignment
+		call      ast.Node
+		op        string
+		container bool // opened by appending into a slice
 	}
 	var opens []open
+	// openingIdents holds every ident occurrence that belongs to an opening
+	// statement; the completion scan ignores them so a container's
+	// self-mentions (`reqs = append(reqs, ...)`) don't count as draining it.
+	openingIdents := map[*ast.Ident]bool{}
 	var out []Finding
 	report := func(n ast.Node, msg string) {
 		out = append(out, Finding{Pos: pkg.position(n), Analyzer: "requests", Message: msg})
@@ -91,22 +101,50 @@ func requestsScanScope(pkg *Package, body *ast.BlockStmt) []Finding {
 				return true
 			}
 			for i, rhs := range s.Rhs {
-				call, op, ok := isRequestCall(rhs)
-				if !ok {
+				if call, op, ok := isRequestCall(rhs); ok {
+					id, ok := s.Lhs[i].(*ast.Ident)
+					if !ok {
+						continue // field/index destination: out of syntactic reach
+					}
+					if id.Name == "_" {
+						report(call, op+" result assigned to _: that request can never be completed with Wait or Test")
+						continue
+					}
+					opens = append(opens, open{ident: id, call: call, op: op})
+					continue
+				}
+				// Container open: reqs = append(reqs, c.Isend(...), ...).
+				reqArgs := appendedRequests(rhs)
+				if reqArgs == nil {
 					continue
 				}
 				id, ok := s.Lhs[i].(*ast.Ident)
-				if !ok {
-					continue // field/index destination: out of syntactic reach
+				if !ok || id.Name == "_" {
+					continue // destination out of reach (or discarded with the slice)
 				}
-				if id.Name == "_" {
-					report(call, op+" result assigned to _: that request can never be completed with Wait or Test")
-					continue
+				for _, ra := range reqArgs {
+					opens = append(opens, open{ident: id, call: ra.call, op: ra.op, container: true})
 				}
-				opens = append(opens, open{ident: id, call: call, op: op})
+				ast.Inspect(s, func(m ast.Node) bool {
+					// Only the container's own occurrences are "opening":
+					// another variable appended alongside is still a use of
+					// that variable.
+					if mid, ok := m.(*ast.Ident); ok && mid.Name == id.Name {
+						openingIdents[mid] = true
+					}
+					return true
+				})
 			}
 			return true
 		case *ast.ValueSpec:
+			if s.Values == nil {
+				// A bare declaration (`var reqs []*mpi.Request`) completes
+				// nothing; its name must not count as a later use.
+				for _, name := range s.Names {
+					openingIdents[name] = true
+				}
+				return true
+			}
 			for i, v := range s.Values {
 				call, op, ok := isRequestCall(v)
 				if !ok || i >= len(s.Names) {
@@ -125,23 +163,28 @@ func requestsScanScope(pkg *Package, body *ast.BlockStmt) []Finding {
 	ast.Inspect(body, walk)
 
 	if len(opens) > 0 {
-		// Any mention of the variable besides its opening LHS counts as
-		// completion (Wait/Test, Waitall slices, passing it on, reassignment
-		// chains) — matched by node identity so shadowed names stay honest
-		// per occurrence.
-		opening := map[*ast.Ident]bool{}
+		// Any mention of the variable besides its opening statement counts as
+		// completion (Wait/Test, Waitall, range loops, passing it on,
+		// reassignment chains) — matched by node identity so shadowed names
+		// stay honest per occurrence.
 		for _, o := range opens {
-			opening[o.ident] = true
+			openingIdents[o.ident] = true
 		}
 		used := map[string]bool{}
 		ast.Inspect(body, func(n ast.Node) bool {
-			if id, ok := n.(*ast.Ident); ok && !opening[id] {
+			if id, ok := n.(*ast.Ident); ok && !openingIdents[id] {
 				used[id.Name] = true
 			}
 			return true
 		})
 		for _, o := range opens {
-			if !used[o.ident.Name] {
+			if used[o.ident.Name] {
+				continue
+			}
+			if o.container {
+				report(o.call, o.op+" request is appended to "+o.ident.Name+" but "+o.ident.Name+
+					" is never drained: pass it to mpi.Waitall or range over it calling Wait")
+			} else {
 				report(o.call, o.op+" request "+o.ident.Name+
 					" is never completed: call "+o.ident.Name+".Wait() or poll "+o.ident.Name+".Test()")
 			}
@@ -149,4 +192,33 @@ func requestsScanScope(pkg *Package, body *ast.BlockStmt) []Finding {
 	}
 	Sort(out)
 	return out
+}
+
+// appendedRequests matches `append(dst, ..., c.Isend(...)/c.Irecv(...), ...)`
+// and returns the request-returning arguments, nil when the expression is not
+// such an append.
+func appendedRequests(e ast.Expr) []struct {
+	call ast.Node
+	op   string
+} {
+	ap, ok := e.(*ast.CallExpr)
+	if !ok || ap.Ellipsis.IsValid() {
+		return nil
+	}
+	if qual, name := callTarget(ap); qual != "" || name != "append" || len(ap.Args) < 2 {
+		return nil
+	}
+	var reqs []struct {
+		call ast.Node
+		op   string
+	}
+	for _, arg := range ap.Args[1:] {
+		if call, op, ok := isRequestCall(arg); ok {
+			reqs = append(reqs, struct {
+				call ast.Node
+				op   string
+			}{call, op})
+		}
+	}
+	return reqs
 }

@@ -102,6 +102,24 @@ func retainedEscapes(pkg *Package, fl *ast.FuncLit) []retainFinding {
 
 	ast.Inspect(fl.Body, func(n ast.Node) bool {
 		switch s := n.(type) {
+		case *ast.CallExpr:
+			// Passing a tainted slice to a local helper whose summary says
+			// the parameter escapes is an escape at this call site — the
+			// interprocedural leg of the check.
+			callee := pkg.calleeDecl(s)
+			if callee == nil || callee.Body == nil {
+				return true
+			}
+			sum := pkg.Summaries().Of(callee)
+			if sum == nil {
+				return true
+			}
+			for a, arg := range s.Args {
+				if !sum.EscapeParams[a] || exprTaint(arg, taint) == taintNone {
+					continue
+				}
+				report(s, exprString(arg), "is passed to "+sum.Name+", which retains it beyond the call")
+			}
 		case *ast.AssignStmt:
 			if s.Tok == token.DEFINE {
 				for i, lhs := range s.Lhs {
@@ -112,6 +130,9 @@ func retainedEscapes(pkg *Package, fl *ast.FuncLit) []retainFinding {
 					k := taintNone
 					if len(s.Rhs) == len(s.Lhs) {
 						k = exprTaint(s.Rhs[i], taint)
+						if k == taintNone {
+							k = summaryTaint(pkg, s.Rhs[i], taint)
+						}
 					}
 					if k == taintNone {
 						delete(taint, id.Name)
@@ -131,6 +152,9 @@ func retainedEscapes(pkg *Package, fl *ast.FuncLit) []retainFinding {
 				k := taintNone
 				if rhs != nil {
 					k = exprTaint(rhs, taint)
+					if k == taintNone {
+						k = summaryTaint(pkg, rhs, taint)
+					}
 				}
 				if k == taintNone {
 					// Rebinding with a clean value clears taint.
@@ -219,6 +243,33 @@ func exprTaint(e ast.Expr, taint map[string]int) int {
 		}
 	case *ast.CallExpr:
 		return appendTaint(x, taint)
+	}
+	return taintNone
+}
+
+// summaryTaint extends exprTaint across calls: a local helper whose
+// summary says it returns one of its parameters hands back the argument's
+// taint (identity-ish helpers like trim(key) keep the alias alive).
+func summaryTaint(pkg *Package, e ast.Expr, taint map[string]int) int {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return taintNone
+	}
+	callee := pkg.calleeDecl(call)
+	if callee == nil || callee.Body == nil {
+		return taintNone
+	}
+	sum := pkg.Summaries().Of(callee)
+	if sum == nil {
+		return taintNone
+	}
+	for a, arg := range call.Args {
+		if !sum.ReturnsParam[a] {
+			continue
+		}
+		if k := exprTaint(arg, taint); k != taintNone {
+			return k
+		}
 	}
 	return taintNone
 }

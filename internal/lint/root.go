@@ -47,6 +47,11 @@ func checkRoot(pkg *Package) []Finding {
 				if !(qual != "" && qual == alias) && !(qual == "" && inMPI) {
 					return true
 				}
+				// v2 typed veto: a qualifier that provably is not the mpi
+				// package (a struct named like the alias, say) is rejected.
+				if pkg.collectiveCallName(call, alias, inMPI) == "" {
+					return true
+				}
 				if len(call.Args) <= argIdx {
 					return true
 				}

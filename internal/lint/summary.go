@@ -1,0 +1,984 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// This file is the communication-summary engine: for every function in a
+// package it computes the ordered sequence of MPI operations the function
+// may perform — collectives (with root), point-to-point sends and receives
+// (with peer and tag where they are constant), nonblocking request ops,
+// request completions, and KeyValue emits — then flattens callee summaries
+// into caller traces bottom-up over the package-local call graph. The
+// interprocedural analyzers (divergence, deadlock, goroutines, phase,
+// retain) consume these summaries to see through helper calls; `mpilint
+// -summary` dumps them.
+//
+// The traces are may-traces: an op inside a loop appears once, an op on one
+// branch arm appears unconditionally, function literals and go statements
+// are excluded (goroutine-spawned ops are the `goroutines` analyzer's
+// domain and are collected separately at the spawn site). Recursion is cut
+// with an in-progress guard (the cycle contributes nothing — a deliberate
+// under-approximation), and traces are capped at maxTrace ops per function
+// with the transitive Collectives set kept exact past the cap.
+
+// OpKind classifies one communication op in a summary trace.
+type OpKind int
+
+const (
+	// OpCollective is a collective call every rank must make: the mpi
+	// package functions (Bcast, Reduce, …), Comm.Barrier, and the mrmpi
+	// phase methods documented collective (Aggregate, Collate, …).
+	OpCollective OpKind = iota
+	// OpSend is Comm.Send. In this runtime sends are buffered (mailbox
+	// semantics), so a send never blocks; only receives do.
+	OpSend
+	// OpRecv is Comm.Recv (or the receive half of Sendrecv).
+	OpRecv
+	// OpProbe is Comm.Probe: blocking like a receive, consumes nothing.
+	OpProbe
+	// OpSendrecv is the send half of Comm.Sendrecv; the receive half is
+	// recorded as a following OpRecv so first-op analysis sees send-first.
+	OpSendrecv
+	// OpIsend and OpIrecv are the request-returning nonblocking ops.
+	OpIsend
+	OpIrecv
+	// OpWait is a blocking completion: Request.Wait or mpi.Waitall.
+	OpWait
+	// OpEmit is a KeyValue.Add/AddString emit through the per-rank handle.
+	OpEmit
+)
+
+// String names the kind for -summary output.
+func (k OpKind) String() string {
+	switch k {
+	case OpCollective:
+		return "collective"
+	case OpSend:
+		return "send"
+	case OpRecv:
+		return "recv"
+	case OpProbe:
+		return "probe"
+	case OpSendrecv:
+		return "sendrecv"
+	case OpIsend:
+		return "isend"
+	case OpIrecv:
+		return "irecv"
+	case OpWait:
+		return "wait"
+	case OpEmit:
+		return "emit"
+	}
+	return "?"
+}
+
+// CommOp is one operation in a communication trace.
+type CommOp struct {
+	// Kind classifies the op; Name is the function or method as written
+	// ("Bcast", "Send", "Collate", …).
+	Kind OpKind
+	Name string
+	// Peer, Tag, Root hold the constant argument values where evalConst
+	// resolves them; the Known flags gate validity. PeerAny/TagAny mark the
+	// AnySource/AnyTag wildcards.
+	Peer, Tag, Root                int64
+	PeerKnown, TagKnown, RootKnown bool
+	PeerAny, TagAny                bool
+	// Pos is the op's own position; Via lists the call sites traversed to
+	// reach it, outermost first (empty for a direct op).
+	Pos token.Pos
+	Via []token.Pos
+}
+
+// Blocking reports whether the op can block its rank. Sends are buffered in
+// this runtime, so only receives, probes, completions, and collectives
+// block; the send half of Sendrecv is issued before its receive half.
+func (op CommOp) Blocking() bool {
+	switch op.Kind {
+	case OpRecv, OpProbe, OpWait, OpCollective:
+		return true
+	}
+	return false
+}
+
+// MPI reports whether the op touches the MPI layer (everything but a pure
+// KeyValue emit).
+func (op CommOp) MPI() bool { return op.Kind != OpEmit }
+
+// Summary is the communication effect of one function.
+type Summary struct {
+	// Decl is the summarized declaration; Name is "Func" or "Type.Method".
+	Decl *ast.FuncDecl
+	Name string
+	// Trace is the ordered may-trace, capped at maxTrace (Truncated set
+	// when ops were dropped).
+	Trace     []CommOp
+	Truncated bool
+	// Collectives is the transitive set of collective names the function
+	// may execute. Exact even when Trace is truncated.
+	Collectives map[string]bool
+	// EmitsKV reports a transitive KeyValue.Add/AddString emit.
+	EmitsKV bool
+	// PhaseEffects maps a *MapReduce parameter's flat index to the phase
+	// methods the function unconditionally applies to it at the top level
+	// of its body (directly or through further helpers), in order. The
+	// phase analyzer replays these when the caller hands its value to a
+	// helper.
+	PhaseEffects map[int][]string
+	// EscapeParams and ReturnsParam mark slice-typed parameters (by flat
+	// index) that the function stores beyond the call (package state,
+	// fields, channels) or returns un-copied. The retain analyzer uses
+	// them to track page buffers through helpers.
+	EscapeParams map[int]bool
+	ReturnsParam map[int]bool
+	// Recursive marks summaries whose call graph hit a cycle; their traces
+	// under-approximate the cycle body.
+	Recursive bool
+}
+
+// maxTrace caps per-function trace length; Collectives stays exact past it.
+const maxTrace = 64
+
+// add appends an op, folding it into the aggregate facts even past the cap.
+func (sum *Summary) add(op CommOp) {
+	switch op.Kind {
+	case OpCollective:
+		sum.Collectives[op.Name] = true
+	case OpEmit:
+		sum.EmitsKV = true
+	}
+	if len(sum.Trace) >= maxTrace {
+		sum.Truncated = true
+		return
+	}
+	sum.Trace = append(sum.Trace, op)
+}
+
+// event is one entry of a function's direct (unflattened) effect list:
+// either an op or a call-graph edge to expand.
+type event struct {
+	op     CommOp
+	callee *ast.FuncDecl // non-nil: expand this callee's summary here
+	pos    token.Pos
+}
+
+// Summaries holds the per-function summaries of one package, built lazily.
+type Summaries struct {
+	pkg    *Package
+	byDecl map[*ast.FuncDecl]*Summary
+	state  map[*ast.FuncDecl]int // 0 new, 1 in progress, 2 done
+	fileOf map[*ast.FuncDecl]*ast.File
+	direct map[*ast.FuncDecl][]event
+}
+
+// Summaries returns the package's summary table, computing it on first use.
+func (pkg *Package) Summaries() *Summaries {
+	if pkg.summaries == nil {
+		s := &Summaries{
+			pkg:    pkg,
+			byDecl: map[*ast.FuncDecl]*Summary{},
+			state:  map[*ast.FuncDecl]int{},
+			fileOf: map[*ast.FuncDecl]*ast.File{},
+			direct: map[*ast.FuncDecl][]event{},
+		}
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+					s.fileOf[fd] = f
+				}
+			}
+		}
+		pkg.summaries = s
+		for _, fd := range pkg.funcDecls() {
+			s.of(fd)
+		}
+		s.escapeFixpoint()
+	}
+	return pkg.summaries
+}
+
+// Of returns the summary for one declaration (nil for bodyless functions).
+func (s *Summaries) Of(fd *ast.FuncDecl) *Summary {
+	if s.fileOf[fd] == nil {
+		return nil
+	}
+	return s.of(fd)
+}
+
+// All returns every summary ordered by source position.
+func (s *Summaries) All() []*Summary {
+	out := make([]*Summary, 0, len(s.byDecl))
+	for _, sum := range s.byDecl {
+		out = append(out, sum)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Decl.Pos() < out[j].Decl.Pos() })
+	return out
+}
+
+// of computes (and memoizes) one function's flattened summary.
+func (s *Summaries) of(fd *ast.FuncDecl) *Summary {
+	if sum, ok := s.byDecl[fd]; ok {
+		return sum
+	}
+	if s.state[fd] == 1 {
+		// Recursion: the cycle edge contributes nothing.
+		return &Summary{Decl: fd, Name: declName(fd), Recursive: true,
+			Collectives: map[string]bool{}, PhaseEffects: map[int][]string{}}
+	}
+	s.state[fd] = 1
+	sum := &Summary{Decl: fd, Name: declName(fd),
+		Collectives:  map[string]bool{},
+		PhaseEffects: map[int][]string{},
+		EscapeParams: map[int]bool{},
+		ReturnsParam: map[int]bool{},
+	}
+	for _, ev := range s.directEvents(fd) {
+		if ev.callee == nil {
+			sum.add(ev.op)
+			continue
+		}
+		child := s.of(ev.callee)
+		if child.Recursive {
+			sum.Recursive = true
+		}
+		for name := range child.Collectives {
+			sum.Collectives[name] = true
+		}
+		if child.EmitsKV {
+			sum.EmitsKV = true
+		}
+		if child.Truncated {
+			sum.Truncated = true
+		}
+		for _, op := range child.Trace {
+			via := make([]token.Pos, 0, len(op.Via)+1)
+			via = append(via, ev.pos)
+			op.Via = append(via, op.Via...)
+			sum.add(op)
+		}
+	}
+	s.phaseEffects(fd, sum)
+	s.state[fd] = 2
+	s.byDecl[fd] = sum
+	return sum
+}
+
+// directEvents extracts (and caches) a function's own ops and call edges.
+func (s *Summaries) directEvents(fd *ast.FuncDecl) []event {
+	if evs, ok := s.direct[fd]; ok {
+		return evs
+	}
+	x := s.extractor(fd)
+	evs := x.events(fd.Body)
+	s.direct[fd] = evs
+	return evs
+}
+
+// extractor builds the op extractor for a declaration's file context.
+func (s *Summaries) extractor(fd *ast.FuncDecl) *opExtractor {
+	f := s.fileOf[fd]
+	x := &opExtractor{
+		pkg:   s.pkg,
+		inMPI: s.pkg.Name == "mpi",
+		inMR:  s.pkg.Name == "mrmpi",
+		env:   constEnv{consts: localConsts(fd, s.pkg.Consts)},
+	}
+	if f != nil {
+		x.alias = mpiAlias(f)
+		x.mrAlias = mrmpiAlias(f)
+	}
+	x.kvIdents = kvHandleIdents(fd, x.mrAlias, x.inMR)
+	x.reqIdents = requestIdents(fd)
+	return x
+}
+
+// TraceOf flattens the may-trace of an arbitrary node inside fd's body —
+// the arm of a branch, a goroutine body — expanding local callee summaries.
+func (s *Summaries) TraceOf(n ast.Node, fd *ast.FuncDecl) []CommOp {
+	var out []CommOp
+	for _, ev := range s.extractor(fd).events(n) {
+		if ev.callee == nil {
+			out = append(out, ev.op)
+			continue
+		}
+		child := s.of(ev.callee)
+		for _, op := range child.Trace {
+			via := make([]token.Pos, 0, len(op.Via)+1)
+			via = append(via, ev.pos)
+			op.Via = append(via, op.Via...)
+			out = append(out, op)
+			if len(out) > maxTrace {
+				return out
+			}
+		}
+	}
+	return out
+}
+
+// CollectivesUnder returns the collective names a node may execute with the
+// position and route of one witness call per name — the interprocedural
+// divergence primitive.
+type collectiveUse struct {
+	name string
+	pos  token.Pos
+	via  string // helper name when reached through a call, "" when direct
+}
+
+func (s *Summaries) CollectivesUnder(n ast.Node, fd *ast.FuncDecl) []collectiveUse {
+	var out []collectiveUse
+	for _, ev := range s.extractor(fd).events(n) {
+		if ev.callee == nil {
+			if ev.op.Kind == OpCollective {
+				out = append(out, collectiveUse{name: ev.op.Name, pos: ev.op.Pos})
+			}
+			continue
+		}
+		child := s.of(ev.callee)
+		names := make([]string, 0, len(child.Collectives))
+		for name := range child.Collectives {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			out = append(out, collectiveUse{name: name, pos: ev.pos, via: child.Name})
+		}
+	}
+	return out
+}
+
+// ---- op extraction -------------------------------------------------------
+
+// opExtractor classifies the calls of one function body into CommOps,
+// using type information where attached and the v1 syntactic heuristics
+// otherwise.
+type opExtractor struct {
+	pkg              *Package
+	alias, mrAlias   string // file's mpi / mrmpi import names
+	inMPI, inMR      bool
+	env              constEnv
+	kvIdents         map[string]bool // idents that are KeyValue emitter handles
+	reqIdents        map[string]bool // idents bound from Isend/Irecv
+}
+
+// events walks n in source order collecting ops and call edges. Function
+// literals and go statements are skipped: literal bodies execute under
+// their caller's control (the callback analyzers own them) and goroutine
+// bodies are the goroutines analyzer's domain.
+func (x *opExtractor) events(n ast.Node) []event {
+	var evs []event
+	ast.Inspect(n, func(nn ast.Node) bool {
+		switch v := nn.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.GoStmt:
+			return false
+		case *ast.CallExpr:
+			if ops, ok := x.opsFor(v); ok {
+				for _, op := range ops {
+					evs = append(evs, event{op: op})
+				}
+				return true
+			}
+			if fd := x.pkg.calleeDecl(v); fd != nil && fd.Body != nil {
+				evs = append(evs, event{callee: fd, pos: v.Pos()})
+			}
+		}
+		return true
+	})
+	return evs
+}
+
+// opsFor classifies one call. Most calls yield one op; Sendrecv yields its
+// send half then its receive half. ok=false means "not a communication op"
+// — the call may still be a local call-graph edge.
+func (x *opExtractor) opsFor(call *ast.CallExpr) ([]CommOp, bool) {
+	if name := x.pkg.collectiveCallName(call, x.alias, x.inMPI); name != "" {
+		op := CommOp{Kind: OpCollective, Name: name, Pos: call.Pos()}
+		if idx, ok := rootedFuncs[name]; ok && idx < len(call.Args) {
+			if v, ok := evalConst(call.Args[idx], x.env); ok {
+				op.Root, op.RootKnown = v, true
+			}
+		}
+		return []CommOp{op}, true
+	}
+	qual, name := callTarget(call)
+	// mpi.Waitall(reqs) — the only package-level completion.
+	if name == "Waitall" && len(call.Args) == 1 &&
+		((qual != "" && qual == x.alias) || (qual == "" && x.inMPI)) {
+		return []CommOp{{Kind: OpWait, Name: name, Pos: call.Pos()}}, true
+	}
+	sel := selOf(call)
+	if sel == nil {
+		return nil, false
+	}
+	// Method ops need a receiver that is (or may be) the mpi type; a typed
+	// "provably not" answer vetoes the syntactic match.
+	isComm := func() bool { return x.pkg.receiverIs(sel, mpiImportPath, "Comm") != ansNo }
+	op := CommOp{Name: name, Pos: call.Pos()}
+	switch {
+	case name == "Send" && len(call.Args) == 3 && isComm():
+		op.Kind = OpSend
+		x.peerTag(&op, call.Args[0], call.Args[1])
+	case name == "Recv" && len(call.Args) == 2 && isComm():
+		op.Kind = OpRecv
+		x.peerTag(&op, call.Args[0], call.Args[1])
+	case name == "Probe" && len(call.Args) == 2 && isComm():
+		op.Kind = OpProbe
+		x.peerTag(&op, call.Args[0], call.Args[1])
+	case name == "Isend" && len(call.Args) == 3 && isComm():
+		op.Kind = OpIsend
+		x.peerTag(&op, call.Args[0], call.Args[1])
+	case name == "Irecv" && len(call.Args) == 2 && isComm():
+		op.Kind = OpIrecv
+		x.peerTag(&op, call.Args[0], call.Args[1])
+	case name == "Sendrecv" && len(call.Args) == 5 && isComm():
+		op.Kind = OpSendrecv
+		x.peerTag(&op, call.Args[0], call.Args[1])
+		recv := CommOp{Kind: OpRecv, Name: name, Pos: call.Pos()}
+		x.peerTag(&recv, call.Args[3], call.Args[4])
+		return []CommOp{op, recv}, true
+	case name == "Wait" && len(call.Args) == 0 && x.isRequest(sel):
+		op.Kind = OpWait
+	case (name == "Add" || name == "AddString") && len(call.Args) == 2 && x.isKV(sel):
+		op.Kind = OpEmit
+	default:
+		return nil, false
+	}
+	return []CommOp{op}, true
+}
+
+// peerTag fills the constant peer and tag facts of a p2p op.
+func (x *opExtractor) peerTag(op *CommOp, peer, tag ast.Expr) {
+	if isWildcard(peer, "AnySource", x.alias, x.inMPI) {
+		op.PeerAny = true
+	} else if v, ok := evalConst(peer, x.env); ok {
+		op.Peer, op.PeerKnown = v, true
+	}
+	if isWildcard(tag, "AnyTag", x.alias, x.inMPI) {
+		op.TagAny = true
+	} else if v, ok := evalConst(tag, x.env); ok {
+		op.Tag, op.TagKnown = v, true
+	}
+}
+
+// isWildcard matches mpi.AnySource / mpi.AnyTag (qualified outside package
+// mpi, bare inside it).
+func isWildcard(e ast.Expr, name, alias string, inMPI bool) bool {
+	switch v := e.(type) {
+	case *ast.SelectorExpr:
+		id, ok := v.X.(*ast.Ident)
+		return ok && id.Name == alias && v.Sel.Name == name
+	case *ast.Ident:
+		return inMPI && v.Name == name
+	}
+	return false
+}
+
+// isRequest guards Wait classification: "Wait" is too generic a name
+// (sync.WaitGroup), so the receiver must be a provable *mpi.Request or an
+// identifier bound from Isend/Irecv. Unknown-but-unbound stays unmatched —
+// a missed Wait only makes traces shorter, never wrong.
+func (x *opExtractor) isRequest(sel *ast.SelectorExpr) bool {
+	switch x.pkg.receiverIs(sel, mpiImportPath, "Request") {
+	case ansYes:
+		return true
+	case ansNo:
+		return false
+	}
+	id := baseIdent(sel.X)
+	return id != nil && x.reqIdents[id.Name]
+}
+
+// isKV guards emit classification the same way: Add(k, v) is a generic
+// shape, so the receiver must be a provable *mrmpi.KeyValue or a known
+// handle identifier (a *KeyValue parameter or an mr.KV() binding).
+func (x *opExtractor) isKV(sel *ast.SelectorExpr) bool {
+	switch x.pkg.receiverIs(sel, mrmpiImportPath, "KeyValue") {
+	case ansYes:
+		return true
+	case ansNo:
+		return false
+	}
+	id := baseIdent(sel.X)
+	return id != nil && x.kvIdents[id.Name]
+}
+
+// kvHandleIdents collects a declaration's KeyValue emitter identifiers: its
+// *mrmpi.KeyValue parameters and idents bound from a .KV() call.
+func kvHandleIdents(fd *ast.FuncDecl, mrAlias string, inMR bool) map[string]bool {
+	ids := map[string]bool{}
+	if fd.Type.Params != nil {
+		for _, field := range fd.Type.Params.List {
+			if !isKVParamType(field.Type, mrAlias, inMR) {
+				continue
+			}
+			for _, name := range field.Names {
+				ids[name.Name] = true
+			}
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			call, ok := rhs.(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			if _, name := callTarget(call); name != "KV" || len(call.Args) != 0 {
+				continue
+			}
+			if id, ok := as.Lhs[i].(*ast.Ident); ok && id.Name != "_" {
+				ids[id.Name] = true
+			}
+		}
+		return true
+	})
+	return ids
+}
+
+// isKVParamType matches *mrmpi.KeyValue (aliased) or bare *KeyValue inside
+// package mrmpi.
+func isKVParamType(e ast.Expr, alias string, inMR bool) bool {
+	star, ok := e.(*ast.StarExpr)
+	if !ok {
+		return false
+	}
+	switch t := star.X.(type) {
+	case *ast.Ident:
+		return inMR && t.Name == "KeyValue"
+	case *ast.SelectorExpr:
+		if id, ok := t.X.(*ast.Ident); ok {
+			return id.Name == alias && t.Sel.Name == "KeyValue"
+		}
+	}
+	return false
+}
+
+// requestIdents collects idents bound (directly or through append) from
+// Isend/Irecv calls, so req.Wait() classifies without type information.
+func requestIdents(fd *ast.FuncDecl) map[string]bool {
+	ids := map[string]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			if !mentionsRequestCall(rhs) {
+				continue
+			}
+			if id, ok := as.Lhs[i].(*ast.Ident); ok && id.Name != "_" {
+				ids[id.Name] = true
+			}
+		}
+		return true
+	})
+	return ids
+}
+
+// mentionsRequestCall reports whether expr contains an Isend/Irecv call.
+func mentionsRequestCall(expr ast.Expr) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if _, name := callTarget(call); name == "Isend" || name == "Irecv" {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// ---- phase effects -------------------------------------------------------
+
+// phaseEffects records the MapReduce phase methods fd unconditionally
+// applies, at the top level of its body, to each *MapReduce parameter —
+// either directly (param.Collate()) or by handing the parameter to another
+// summarized helper. Conditional or nested calls are deliberately ignored:
+// the phase analyzer must never replay an effect that might not happen.
+func (s *Summaries) phaseEffects(fd *ast.FuncDecl, sum *Summary) {
+	f := s.fileOf[fd]
+	alias := ""
+	if f != nil {
+		alias = mrmpiAlias(f)
+	}
+	inMR := s.pkg.Name == "mrmpi"
+	// Map parameter names to flat indices, filtered to *MapReduce params.
+	mrParams := map[string]int{}
+	flat := 0
+	if fd.Type.Params != nil {
+		for _, field := range fd.Type.Params.List {
+			isMR := isMRParamType(field.Type, alias, inMR)
+			for _, name := range field.Names {
+				if isMR && name.Name != "_" {
+					mrParams[name.Name] = flat
+				}
+				flat++
+			}
+		}
+	}
+	if len(mrParams) == 0 {
+		return
+	}
+	for _, stmt := range fd.Body.List {
+		call := topLevelCall(stmt)
+		if call == nil {
+			continue
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+			if id, ok := sel.X.(*ast.Ident); ok {
+				if idx, isParam := mrParams[id.Name]; isParam {
+					sum.PhaseEffects[idx] = append(sum.PhaseEffects[idx], sel.Sel.Name)
+					continue
+				}
+			}
+		}
+		callee := s.pkg.calleeDecl(call)
+		if callee == nil || callee.Body == nil || callee == fd {
+			continue
+		}
+		child := s.of(callee)
+		for a, arg := range call.Args {
+			id, ok := arg.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			idx, isParam := mrParams[id.Name]
+			if !isParam {
+				continue
+			}
+			sum.PhaseEffects[idx] = append(sum.PhaseEffects[idx], child.PhaseEffects[a]...)
+		}
+	}
+}
+
+// topLevelCall unwraps a statement to its call when the statement is a bare
+// call or a `x := call(…)` / `x = call(…)` assignment.
+func topLevelCall(stmt ast.Stmt) *ast.CallExpr {
+	switch v := stmt.(type) {
+	case *ast.ExprStmt:
+		call, _ := v.X.(*ast.CallExpr)
+		return call
+	case *ast.AssignStmt:
+		if len(v.Rhs) == 1 {
+			call, _ := v.Rhs[0].(*ast.CallExpr)
+			return call
+		}
+	}
+	return nil
+}
+
+// ---- buffer-escape facts -------------------------------------------------
+
+// escapeFixpoint computes EscapeParams/ReturnsParam for slice-typed
+// parameters, iterating because escapes propagate through calls (helper A
+// passes its parameter to helper B which stores it). The direction of every
+// approximation is "miss an escape" (a false negative for retain), never
+// "invent one": closure captures and copying conversions do not count.
+func (s *Summaries) escapeFixpoint() {
+	decls := s.pkg.funcDecls()
+	for iter := 0; iter < 4; iter++ {
+		changed := false
+		for _, fd := range decls {
+			sum := s.byDecl[fd]
+			if sum == nil {
+				continue
+			}
+			flat := 0
+			if fd.Type.Params != nil {
+				for _, field := range fd.Type.Params.List {
+					_, isSlice := field.Type.(*ast.ArrayType)
+					for _, name := range field.Names {
+						if isSlice && name.Name != "_" {
+							esc, ret := s.paramFate(fd, name.Name)
+							if esc && !sum.EscapeParams[flat] {
+								sum.EscapeParams[flat] = true
+								changed = true
+							}
+							if ret && !sum.ReturnsParam[flat] {
+								sum.ReturnsParam[flat] = true
+								changed = true
+							}
+						}
+						flat++
+					}
+				}
+			}
+		}
+		if !changed {
+			return
+		}
+	}
+}
+
+// paramFate decides whether fd's named slice parameter escapes the call or
+// flows to a return value. Carriers start at the parameter and grow through
+// local aliasing assignments; storing a carrier outside the function's
+// locals (package var, field, map/slice cell of a non-local, channel) is an
+// escape, returning one is a return-flow.
+func (s *Summaries) paramFate(fd *ast.FuncDecl, pname string) (escapes, returned bool) {
+	carriers := map[string]bool{pname: true}
+	locals := localIdentsOf(fd)
+	// Two passes so a carrier introduced late still taints earlier reads in
+	// loops; the carrier set only grows.
+	for pass := 0; pass < 2; pass++ {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch v := n.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.ReturnStmt:
+				for _, res := range v.Results {
+					if carriesValue(res, carriers, s) {
+						returned = true
+					}
+				}
+			case *ast.SendStmt:
+				if carriesValue(v.Value, carriers, s) {
+					escapes = true
+				}
+			case *ast.AssignStmt:
+				for i, rhs := range v.Rhs {
+					if i >= len(v.Lhs) {
+						break
+					}
+					if len(v.Lhs) != len(v.Rhs) {
+						break // multi-value call unpacking: handled below via calls
+					}
+					if !carriesValue(rhs, carriers, s) {
+						continue
+					}
+					switch lhs := v.Lhs[i].(type) {
+					case *ast.Ident:
+						if lhs.Name == "_" {
+							continue
+						}
+						if locals[lhs.Name] {
+							if !carriers[lhs.Name] {
+								carriers[lhs.Name] = true
+							}
+						} else {
+							escapes = true // package-level variable
+						}
+					default:
+						// Field, index, or deref target: escapes unless the
+						// container is itself a known local non-carrier…
+						// which alias analysis this size cannot prove. A
+						// store through a selector or index leaves the frame.
+						base := baseIdent(v.Lhs[i])
+						if base == nil || !locals[base.Name] {
+							escapes = true
+						} else if carriers[base.Name] {
+							escapes = false || escapes
+						} else {
+							// Store into a local container: the container
+							// becomes a carrier.
+							carriers[base.Name] = true
+						}
+					}
+				}
+			case *ast.CallExpr:
+				// Passing a carrier to a helper whose summary says the
+				// parameter escapes (or returns) propagates the fact.
+				callee := s.pkg.calleeDecl(v)
+				if callee == nil || callee == fd {
+					return true
+				}
+				child := s.byDecl[callee]
+				if child == nil {
+					return true
+				}
+				for a, arg := range v.Args {
+					if !carriesValue(arg, carriers, s) {
+						continue
+					}
+					if child.EscapeParams[a] {
+						escapes = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	return escapes, returned
+}
+
+// carriesValue reports whether expr may alias one of the carrier slices:
+// the ident itself, a sub-slice or element of it, an append that keeps the
+// header, or a local call returning its argument. Copying conversions
+// (string(p), []byte(string)), len/cap, and unrelated calls are barriers.
+func carriesValue(expr ast.Expr, carriers map[string]bool, s *Summaries) bool {
+	switch v := expr.(type) {
+	case *ast.Ident:
+		return carriers[v.Name]
+	case *ast.ParenExpr:
+		return carriesValue(v.X, carriers, s)
+	case *ast.SliceExpr:
+		return carriesValue(v.X, carriers, s)
+	case *ast.IndexExpr:
+		// values[i] of a [][]byte carrier is itself a page-backed slice.
+		return carriesValue(v.X, carriers, s)
+	case *ast.UnaryExpr:
+		return carriesValue(v.X, carriers, s)
+	case *ast.StarExpr:
+		return carriesValue(v.X, carriers, s)
+	case *ast.CompositeLit:
+		for _, elt := range v.Elts {
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				elt = kv.Value
+			}
+			if carriesValue(elt, carriers, s) {
+				return true
+			}
+		}
+	case *ast.CallExpr:
+		_, name := callTarget(v)
+		if name == "append" {
+			// append(dst, p) of slice headers keeps the alias; append with
+			// a spread of bytes (p...) copies the contents.
+			for i, arg := range v.Args {
+				spread := i == len(v.Args)-1 && v.Ellipsis != token.NoPos
+				if !spread && carriesValue(arg, carriers, s) {
+					return true
+				}
+			}
+			return false
+		}
+		if s != nil {
+			if callee := s.pkg.calleeDecl(v); callee != nil {
+				if child := s.byDecl[callee]; child != nil {
+					for a, arg := range v.Args {
+						if child.ReturnsParam[a] && carriesValue(arg, carriers, s) {
+							return true
+						}
+					}
+				}
+			}
+		}
+	}
+	return false
+}
+
+// localIdentsOf collects every identifier declared inside fd: parameters,
+// results, and all := / var bindings. Assigning to anything else writes
+// outside the frame.
+func localIdentsOf(fd *ast.FuncDecl) map[string]bool {
+	locals := map[string]bool{}
+	addFields := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			for _, name := range field.Names {
+				locals[name.Name] = true
+			}
+		}
+	}
+	addFields(fd.Recv)
+	addFields(fd.Type.Params)
+	addFields(fd.Type.Results)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.AssignStmt:
+			if v.Tok == token.DEFINE {
+				for _, lhs := range v.Lhs {
+					if id, ok := lhs.(*ast.Ident); ok {
+						locals[id.Name] = true
+					}
+				}
+			}
+		case *ast.GenDecl:
+			if v.Tok == token.VAR {
+				for _, spec := range v.Specs {
+					if vs, ok := spec.(*ast.ValueSpec); ok {
+						for _, name := range vs.Names {
+							locals[name.Name] = true
+						}
+					}
+				}
+			}
+		case *ast.RangeStmt:
+			for _, e := range []ast.Expr{v.Key, v.Value} {
+				if id, ok := e.(*ast.Ident); ok {
+					locals[id.Name] = true
+				}
+			}
+		}
+		return true
+	})
+	return locals
+}
+
+// ---- formatting ----------------------------------------------------------
+
+// declName renders "Func" or "Type.Method".
+func declName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return fd.Name.Name
+	}
+	if id := baseIdent(fd.Recv.List[0].Type); id != nil {
+		return id.Name + "." + fd.Name.Name
+	}
+	return fd.Name.Name
+}
+
+// Format renders the summary as indented lines for `mpilint -summary`.
+func (sum *Summary) Format(fset *token.FileSet) string {
+	var b strings.Builder
+	pos := fset.Position(sum.Decl.Pos())
+	fmt.Fprintf(&b, "%s (%s:%d)", sum.Name, pos.Filename, pos.Line)
+	if sum.Recursive {
+		b.WriteString(" [recursive]")
+	}
+	if sum.Truncated {
+		b.WriteString(" [truncated]")
+	}
+	b.WriteByte('\n')
+	if len(sum.Trace) == 0 {
+		b.WriteString("  (no communication)\n")
+		return b.String()
+	}
+	for _, op := range sum.Trace {
+		p := fset.Position(op.Pos)
+		fmt.Fprintf(&b, "  %-10s %-22s", op.Kind, op.Name+opArgs(op))
+		if len(op.Via) > 0 {
+			vp := fset.Position(op.Via[0])
+			fmt.Fprintf(&b, " via line %d,", vp.Line)
+		}
+		fmt.Fprintf(&b, " at %s:%d\n", p.Filename, p.Line)
+	}
+	return b.String()
+}
+
+// opArgs renders the known constant facts of an op.
+func opArgs(op CommOp) string {
+	var parts []string
+	switch {
+	case op.PeerAny:
+		parts = append(parts, "peer=any")
+	case op.PeerKnown:
+		parts = append(parts, fmt.Sprintf("peer=%d", op.Peer))
+	}
+	switch {
+	case op.TagAny:
+		parts = append(parts, "tag=any")
+	case op.TagKnown:
+		parts = append(parts, fmt.Sprintf("tag=%d", op.Tag))
+	}
+	if op.RootKnown {
+		parts = append(parts, fmt.Sprintf("root=%d", op.Root))
+	}
+	if len(parts) == 0 {
+		return ""
+	}
+	return "(" + strings.Join(parts, ",") + ")"
+}

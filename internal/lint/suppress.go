@@ -1,0 +1,195 @@
+package lint
+
+import (
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Suppression is one parsed mpilint:ignore directive. The v2 grammar is
+//
+//	// mpilint:ignore <check>[,<check>...] -- <reason>
+//
+// naming the check(s) being silenced and why. The marker must start the
+// comment (at most one space after the //), so prose and doc examples that
+// merely mention the marker are not directives. The directive suppresses
+// findings of the named checks on its own line and the line below it. A
+// directive with no named check or no reason still suppresses (so a stale
+// tree does not double-report), but is itself reported by the `suppress`
+// analyzer: an unexplained suppression is a finding, not a free pass, and
+// `-stats` prints the full inventory so CI can watch it.
+type Suppression struct {
+	// Pos locates the directive comment.
+	Pos token.Position
+	// Checks are the analyzer names the directive silences. Empty means
+	// every check (the bare legacy form, which `suppress` flags).
+	Checks []string
+	// Reason is the text after the `--` separator (the em-dash form `—` is
+	// accepted as equivalent).
+	Reason string
+	// Unknown lists claimed check names that match no analyzer: typos that
+	// would otherwise silently suppress nothing.
+	Unknown []string
+	// Used counts findings this directive actually suppressed in the last
+	// Check run, for the -stats inventory.
+	Used int
+}
+
+// bare reports whether the directive is missing its check list or reason.
+func (s *Suppression) bare() bool { return len(s.Checks) == 0 || s.Reason == "" }
+
+const ignoreMarker = "mpilint:ignore"
+
+// parseSuppression splits one comment's directive into checks and reason.
+// Only comments that begin with the marker parse; a mid-sentence mention
+// (or a tab-indented doc example) is not a directive.
+func parseSuppression(text string, pos token.Position) *Suppression {
+	body, isLine := strings.CutPrefix(text, "//")
+	if !isLine {
+		var isBlock bool
+		body, isBlock = strings.CutPrefix(text, "/*")
+		if !isBlock {
+			return nil
+		}
+		body = strings.TrimSuffix(body, "*/")
+	}
+	body, _ = strings.CutPrefix(body, " ") // at most one leading space
+	if !strings.HasPrefix(body, ignoreMarker) {
+		return nil
+	}
+	rest := strings.TrimSpace(body[len(ignoreMarker):])
+	s := &Suppression{Pos: pos}
+	// Accept "--" and the typographic "—" as the reason separator.
+	var spec string
+	if i := strings.Index(rest, "--"); i >= 0 {
+		spec, s.Reason = rest[:i], strings.TrimSpace(rest[i+2:])
+	} else if i := strings.Index(rest, "—"); i >= 0 {
+		spec, s.Reason = rest[:i], strings.TrimSpace(rest[i+len("—"):])
+	} else {
+		spec = rest
+	}
+	known := analyzerNames()
+	for _, field := range strings.FieldsFunc(spec, func(r rune) bool { return r == ',' || r == ' ' || r == '\t' }) {
+		if field == "" {
+			continue
+		}
+		if known[field] {
+			s.Checks = append(s.Checks, field)
+		} else {
+			s.Unknown = append(s.Unknown, field)
+		}
+	}
+	if len(s.Unknown) > 0 && len(s.Checks) == 0 && s.Reason == "" {
+		// Free-text after the marker with no separator: treat as a bare
+		// directive rather than a pile of unknown-check findings.
+		s.Unknown = nil
+	}
+	return s
+}
+
+// analyzerNames returns the set of registered analyzer names.
+func analyzerNames() map[string]bool {
+	names := map[string]bool{}
+	for _, a := range Analyzers() {
+		names[a.Name] = true
+	}
+	return names
+}
+
+// buildIgnores parses every mpilint:ignore directive in the package and
+// records the lines it covers (the comment's own line and the next line, so
+// a directive can sit on the offending line or on its own line above).
+func (pkg *Package) buildIgnores() {
+	pkg.ignores = map[string]map[int]*Suppression{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				pos := pkg.Fset.Position(c.Pos())
+				s := parseSuppression(c.Text, pos)
+				if s == nil {
+					continue
+				}
+				pkg.suppressions = append(pkg.suppressions, *s)
+				sp := &pkg.suppressions[len(pkg.suppressions)-1]
+				lines := pkg.ignores[pos.Filename]
+				if lines == nil {
+					lines = map[int]*Suppression{}
+					pkg.ignores[pos.Filename] = lines
+				}
+				lines[pos.Line] = sp
+				lines[pos.Line+1] = sp
+			}
+		}
+	}
+	sort.SliceStable(pkg.suppressions, func(i, j int) bool {
+		a, b := pkg.suppressions[i].Pos, pkg.suppressions[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		return a.Line < b.Line
+	})
+}
+
+// Suppressions exposes the parsed directive inventory (for -stats).
+func (pkg *Package) Suppressions() []Suppression {
+	if pkg.ignores == nil {
+		pkg.buildIgnores()
+	}
+	return pkg.suppressions
+}
+
+// suppressed filters out findings covered by a directive. A directive with
+// named checks silences only those; a bare directive silences everything on
+// its lines. Findings of the `suppress` analyzer itself are never filtered:
+// the way to silence the meta-check is to fix the directive.
+func (pkg *Package) suppressed(fs []Finding) []Finding {
+	if len(pkg.ignores) == 0 {
+		return fs
+	}
+	out := fs[:0]
+	for _, f := range fs {
+		s := pkg.ignores[f.Pos.Filename][f.Pos.Line]
+		if s != nil && f.Analyzer != "suppress" && s.covers(f.Analyzer) {
+			s.Used++
+			continue
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+// covers reports whether the directive silences the named check.
+func (s *Suppression) covers(check string) bool {
+	if len(s.Checks) == 0 {
+		return true
+	}
+	for _, c := range s.Checks {
+		if c == check {
+			return true
+		}
+	}
+	return false
+}
+
+// checkSuppress is the meta-analyzer: every mpilint:ignore directive must
+// name the check(s) it silences and give a reason after `--`. Bare
+// directives rot — nobody can tell whether they are still needed or what
+// they were for — and typo'd check names silently silence nothing.
+func checkSuppress(pkg *Package) []Finding {
+	if pkg.ignores == nil {
+		pkg.buildIgnores()
+	}
+	var out []Finding
+	for i := range pkg.suppressions {
+		s := &pkg.suppressions[i]
+		for _, u := range s.Unknown {
+			out = append(out, Finding{Pos: s.Pos, Analyzer: "suppress",
+				Message: "mpilint:ignore names unknown check \"" + u + "\" (use -list to see the suite)"})
+		}
+		if s.bare() {
+			out = append(out, Finding{Pos: s.Pos, Analyzer: "suppress",
+				Message: "mpilint:ignore without named check(s) and a reason: write `mpilint:ignore <check>[,<check>] -- <why>`"})
+		}
+	}
+	return out
+}

@@ -1,0 +1,168 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// checkSync flags WaitGroup (and errgroup.Group) misuse in the worker-pool
+// shapes the map-task scheduler and the pipelined shuffle use:
+//
+//   - Add called inside the spawned goroutine itself. The spawner can reach
+//     Wait before the goroutine is scheduled, so Wait returns while workers
+//     are still starting — the canonical WaitGroup race. Add must happen on
+//     the spawning goroutine, before `go`.
+//   - a function-local WaitGroup that is Added (or an errgroup that is
+//     Go'd) but never Waited in the function, with its address never taken:
+//     nothing can ever wait on it, so the pool's completion is unobserved.
+//
+// Taking the group's address (&wg) hands it to someone who may Wait, so an
+// escaping group suppresses the second rule entirely.
+func checkSync(pkg *Package) []Finding {
+	var out []Finding
+	for _, fd := range pkg.funcDecls() {
+		groups := groupIdents(fd)
+		if len(groups) == 0 {
+			continue
+		}
+		waited := map[string]bool{}
+		escaped := map[string]bool{}
+		firstAdd := map[string]token.Pos{}
+		// goDepth tracks whether the walk is inside a go-spawned literal.
+		var goLits []*ast.FuncLit
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if g, ok := n.(*ast.GoStmt); ok {
+				if lit, ok := g.Call.Fun.(*ast.FuncLit); ok {
+					goLits = append(goLits, lit)
+				}
+			}
+			return true
+		})
+		inGoLit := func(pos token.Pos) bool {
+			for _, lit := range goLits {
+				if pos >= lit.Pos() && pos < lit.End() {
+					return true
+				}
+			}
+			return false
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch v := n.(type) {
+			case *ast.UnaryExpr:
+				if v.Op == token.AND {
+					if id, ok := v.X.(*ast.Ident); ok && groups[id.Name] != "" {
+						escaped[id.Name] = true
+					}
+				}
+			case *ast.CallExpr:
+				sel, ok := v.Fun.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				id, ok := sel.X.(*ast.Ident)
+				if !ok || groups[id.Name] == "" {
+					return true
+				}
+				kind := groups[id.Name]
+				switch sel.Sel.Name {
+				case "Wait":
+					waited[id.Name] = true
+				case "Add":
+					if kind != "WaitGroup" {
+						return true
+					}
+					if inGoLit(v.Pos()) {
+						out = append(out, Finding{
+							Pos:      pkg.position(v),
+							Analyzer: "sync",
+							Message: id.Name + ".Add inside the spawned goroutine races " + id.Name +
+								".Wait; Add on the spawning goroutine before `go`",
+						})
+					} else if _, seen := firstAdd[id.Name]; !seen {
+						firstAdd[id.Name] = v.Pos()
+					}
+				case "Go":
+					if kind != "Group" {
+						return true
+					}
+					if _, seen := firstAdd[id.Name]; !seen {
+						firstAdd[id.Name] = v.Pos()
+					}
+				}
+			}
+			return true
+		})
+		for name, pos := range firstAdd {
+			if waited[name] || escaped[name] {
+				continue
+			}
+			verb := "Added"
+			if groups[name] == "Group" {
+				verb = "Go'd"
+			}
+			out = append(out, Finding{
+				Pos:      pkg.Fset.Position(pos),
+				Analyzer: "sync",
+				Message:  name + " is " + verb + " but never Waited in this function; the pool's completion is never observed",
+			})
+		}
+	}
+	return out
+}
+
+// groupIdents collects function-local sync.WaitGroup / errgroup.Group
+// variables, mapping name to the type's base name. Only clear declarations
+// count: `var wg sync.WaitGroup` and `wg := sync.WaitGroup{}` forms.
+func groupIdents(fd *ast.FuncDecl) map[string]string {
+	groups := map[string]string{}
+	record := func(name string, typ ast.Expr) {
+		sel, ok := typ.(*ast.SelectorExpr)
+		if !ok || name == "_" {
+			return
+		}
+		pkgID, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return
+		}
+		switch {
+		case pkgID.Name == "sync" && sel.Sel.Name == "WaitGroup":
+			groups[name] = "WaitGroup"
+		case pkgID.Name == "errgroup" && sel.Sel.Name == "Group":
+			groups[name] = "Group"
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.FuncLit:
+			return false // a literal's own locals are its own scope
+		case *ast.GenDecl:
+			if v.Tok != token.VAR {
+				return true
+			}
+			for _, spec := range v.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok || vs.Type == nil {
+					continue
+				}
+				for _, name := range vs.Names {
+					record(name.Name, vs.Type)
+				}
+			}
+		case *ast.AssignStmt:
+			if v.Tok != token.DEFINE || len(v.Lhs) != len(v.Rhs) {
+				return true
+			}
+			for i, rhs := range v.Rhs {
+				cl, ok := rhs.(*ast.CompositeLit)
+				if !ok {
+					continue
+				}
+				if id, ok := v.Lhs[i].(*ast.Ident); ok {
+					record(id.Name, cl.Type)
+				}
+			}
+		}
+		return true
+	})
+	return groups
+}

@@ -21,17 +21,48 @@ import (
 //
 // The matching check is package-scoped and conservative: a package with any
 // AnyTag or non-constant receive tag is treated as able to receive
-// everything, and cross-package protocols are out of scope.
+// everything. "Package" here means the whole directory: receive evidence
+// from sibling packages (the external _test package, or the non-test files
+// when linting that package) also satisfies a send, since a test commonly
+// receives what the package under test sends and vice versa. Cross-package
+// protocols beyond that are out of scope.
 func checkTags(pkg *Package) []Finding {
-	var out []Finding
-
-	type sendSite struct {
-		tag int64
-		pos ast.Node
+	out, sends, recvTags, dynamicRecv := tagScan(pkg)
+	for _, sib := range pkg.Siblings {
+		// Only the sibling's receive evidence is merged; its own findings
+		// are produced when the sibling itself is linted.
+		_, _, sibRecv, sibDyn := tagScan(sib)
+		dynamicRecv = dynamicRecv || sibDyn
+		for t := range sibRecv {
+			recvTags[t] = true
+		}
 	}
-	var sends []sendSite
-	recvTags := map[int64]bool{}
-	dynamicRecv := false
+	if !dynamicRecv {
+		for _, s := range sends {
+			if !recvTags[s.tag] {
+				out = append(out, Finding{
+					Pos:      pkg.position(s.pos),
+					Analyzer: "tags",
+					Message: "Send with tag " + strconv.FormatInt(s.tag, 10) +
+						" has no matching Recv in this package; the message can never be received",
+				})
+			}
+		}
+	}
+	Sort(out)
+	return out
+}
+
+type sendSite struct {
+	tag int64
+	pos ast.Node
+}
+
+// tagScan walks one package collecting negative-tag findings, constant send
+// sites, and the package's receive evidence (constant tags received plus
+// whether any receive is dynamic/AnyTag).
+func tagScan(pkg *Package) (out []Finding, sends []sendSite, recvTags map[int64]bool, dynamicRecv bool) {
+	recvTags = map[int64]bool{}
 
 	for _, f := range pkg.Files {
 		for _, d := range f.Decls {
@@ -118,19 +149,7 @@ func checkTags(pkg *Package) []Finding {
 		}
 	}
 
-	if !dynamicRecv {
-		for _, s := range sends {
-			if !recvTags[s.tag] {
-				out = append(out, Finding{
-					Pos:      pkg.position(s.pos),
-					Analyzer: "tags",
-					Message: "Send with tag " + strconv.FormatInt(s.tag, 10) +
-						" has no matching Recv in this package; the message can never be received",
-				})
-			}
-		}
-	}
-	return out
+	return out, sends, recvTags, dynamicRecv
 }
 
 // isAnyTag reports whether expr is syntactically the AnyTag constant

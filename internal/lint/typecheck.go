@@ -1,0 +1,458 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+)
+
+// This file is the v2 loader: a go/types-backed type-checking layer on top
+// of the purely syntactic parse in load.go. Analyzers consult type
+// information when it is available — resolving method receivers to the real
+// *mpi.Comm / *mrmpi.MapReduce / *mrmpi.KeyValue types instead of matching
+// on names — and silently fall back to the v1 syntactic heuristics when it
+// is not (in-memory fixtures, trees outside a module, unparseable deps).
+//
+// The loader is deliberately self-contained and error-tolerant:
+//
+//   - imports inside the analyzed module (path prefix == the go.mod module
+//     path) are type-checked from source, recursively, with a cycle guard;
+//   - every other import (stdlib included) resolves to an empty placeholder
+//     package, so references through it get types.Invalid and the analyzers
+//     treat them as unknown — no compiled export data, no GOROOT parsing,
+//     no network, no external deps;
+//   - all type errors are swallowed: a package that half-checks still
+//     yields usable types for the half that resolved. go/types is built to
+//     keep going after errors; mpilint leans on that.
+//
+// The price of placeholder imports is that identifiers whose types come
+// from outside the module (time.Duration fields, sync.Mutex embeds) are
+// Invalid. Every typed query below treats Invalid as "unknown" and defers
+// to the syntactic answer, preserving the zero-false-positive contract.
+
+// TypeLoader loads and caches type-checked packages for one module tree.
+type TypeLoader struct {
+	fset    *token.FileSet
+	modRoot string // filesystem path holding go.mod
+	modPath string // module path from go.mod (e.g. "repro")
+
+	mu      sync.Mutex
+	pkgs    map[string]*types.Package // import path -> checked package
+	loading map[string]bool           // cycle guard
+}
+
+// loaderCache shares TypeLoaders between LoadDir calls that use the same
+// file set and module root (cmd/mpilint walks many directories of one
+// module; re-checking internal/mpi per directory would be quadratic).
+var (
+	loaderCacheMu sync.Mutex
+	loaderCache   = map[loaderKey]*TypeLoader{}
+)
+
+type loaderKey struct {
+	fset *token.FileSet
+	root string
+}
+
+// NewTypeLoader returns the cached loader for the module containing dir, or
+// nil when dir is not inside a module (no go.mod above it) — in which case
+// analysis proceeds untyped.
+func NewTypeLoader(fset *token.FileSet, dir string) *TypeLoader {
+	root, path := findModule(dir)
+	if root == "" {
+		return nil
+	}
+	loaderCacheMu.Lock()
+	defer loaderCacheMu.Unlock()
+	key := loaderKey{fset: fset, root: root}
+	if l, ok := loaderCache[key]; ok {
+		return l
+	}
+	l := &TypeLoader{
+		fset:    fset,
+		modRoot: root,
+		modPath: path,
+		pkgs:    map[string]*types.Package{},
+		loading: map[string]bool{},
+	}
+	loaderCache[key] = l
+	return l
+}
+
+// findModule walks up from dir looking for go.mod and returns the module
+// root directory and module path.
+func findModule(dir string) (root, path string) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", ""
+	}
+	for {
+		data, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return dir, strings.TrimSpace(rest)
+				}
+			}
+			return "", ""
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", ""
+		}
+		dir = parent
+	}
+}
+
+// Import implements types.Importer. Module-internal paths check from
+// source; everything else yields a complete-but-empty placeholder, so
+// references through it become types.Invalid rather than load failures.
+func (l *TypeLoader) Import(path string) (*types.Package, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.importLocked(path)
+}
+
+func (l *TypeLoader) importLocked(path string) (*types.Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	if rel, ok := strings.CutPrefix(path, l.modPath+"/"); ok && !l.loading[path] {
+		l.loading[path] = true
+		pkg := l.checkDir(path, filepath.Join(l.modRoot, filepath.FromSlash(rel)))
+		l.loading[path] = false
+		if pkg != nil {
+			l.pkgs[path] = pkg
+			return pkg, nil
+		}
+	}
+	// Placeholder: stdlib, external, in-progress cycle, or unloadable.
+	pkg := types.NewPackage(path, pathBase(path))
+	pkg.MarkComplete()
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+func pathBase(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+// checkDir parses the non-test files of one module-internal directory and
+// type-checks them. Returns nil when the directory has no buildable files.
+func (l *TypeLoader) checkDir(path, dir string) *types.Package {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil || f.Name == nil {
+			continue
+		}
+		files = append(files, f)
+	}
+	// Multiple build-tag variants of one symbol (debug_on.go/debug_off.go)
+	// would collide; prefer the _off (default-build) variant by dropping
+	// files whose names end in _on.go when a sibling _off.go exists.
+	files = dropTagVariants(files, l.fset)
+	if len(files) == 0 {
+		return nil
+	}
+	pkg, _ := l.check(path, files)
+	return pkg
+}
+
+// dropTagVariants removes <base>_on.go files when a matching <base>_off.go
+// is present, mirroring the default (untagged) build of the mpidebug pair.
+// Everything else is kept: lint loads ignore build tags by design.
+func dropTagVariants(files []*ast.File, fset *token.FileSet) []*ast.File {
+	off := map[string]bool{}
+	for _, f := range files {
+		name := filepath.Base(fset.Position(f.Pos()).Filename)
+		if strings.HasSuffix(name, "_off.go") {
+			off[strings.TrimSuffix(name, "_off.go")] = true
+		}
+	}
+	if len(off) == 0 {
+		return files
+	}
+	out := files[:0]
+	for _, f := range files {
+		name := filepath.Base(fset.Position(f.Pos()).Filename)
+		if strings.HasSuffix(name, "_on.go") && off[strings.TrimSuffix(name, "_on.go")] {
+			continue
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+// check type-checks one file set as package `path`, tolerating every error.
+// It never fails: the returned package may be partially typed.
+func (l *TypeLoader) check(path string, files []*ast.File) (pkg *types.Package, info *types.Info) {
+	info = &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{
+		Importer:                 importerFunc(l.importLocked),
+		Error:                    func(error) {}, // tolerate everything
+		DisableUnusedImportCheck: true,
+	}
+	defer func() {
+		// A malformed tree must degrade to untyped analysis, never crash
+		// the linter.
+		if recover() != nil {
+			pkg, info = nil, nil
+		}
+	}()
+	pkg, _ = conf.Check(path, l.fset, files, info)
+	return pkg, info
+}
+
+// importerFunc adapts a function to types.Importer. The loader passes its
+// locked variant so recursive imports reuse the held lock.
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+var _ types.Importer = (*TypeLoader)(nil)
+
+// TypeCheck type-checks an already-parsed Package against the module rooted
+// at or above dir, attaching TypesInfo. It is a no-op (and harmless) when
+// no module is found. Used by LoadDir and by the typed test fixtures.
+func (pkg *Package) TypeCheck(dir string) {
+	l := NewTypeLoader(pkg.Fset, dir)
+	if l == nil {
+		return
+	}
+	// Check under the directory's real import path when it is inside the
+	// module, so the package's own types carry the same path its importers
+	// see.
+	path := pkg.Name
+	if abs, err := filepath.Abs(dir); err == nil {
+		if rel, err := filepath.Rel(l.modRoot, abs); err == nil && !strings.HasPrefix(rel, "..") && rel != "." {
+			path = l.modPath + "/" + filepath.ToSlash(rel)
+		}
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	tp, info := l.check(path, pkg.Files)
+	if tp == nil || info == nil {
+		return
+	}
+	pkg.TypesPkg, pkg.TypesInfo = tp, info
+}
+
+// ---- typed queries -------------------------------------------------------
+//
+// Each query answers from type information when present and meaningful,
+// and returns "unknown" (not "no") otherwise, so callers can fall back to
+// the syntactic heuristic. The three-valued answer is the contract that
+// keeps typed mode strictly more precise than untyped mode.
+
+// answer is a three-valued truth: typed queries distinguish "provably not"
+// from "cannot tell".
+type answer int
+
+const (
+	ansUnknown answer = iota
+	ansYes
+	ansNo
+)
+
+// typed reports whether type information is attached.
+func (pkg *Package) typed() bool { return pkg.TypesInfo != nil }
+
+// exprNamedType resolves the named type of e (through pointers), returning
+// its package path and name, or ok=false when no usable type is recorded.
+func (pkg *Package) exprNamedType(e ast.Expr) (path, name string, ok bool) {
+	if pkg.TypesInfo == nil {
+		return "", "", false
+	}
+	tv, found := pkg.TypesInfo.Types[e]
+	if !found || tv.Type == nil {
+		return "", "", false
+	}
+	t := tv.Type
+	for {
+		if p, isPtr := t.Underlying().(*types.Pointer); isPtr {
+			t = p.Elem()
+			continue
+		}
+		break
+	}
+	named, isNamed := t.(*types.Named)
+	if !isNamed || named.Obj() == nil {
+		return "", "", false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return "", obj.Name(), true
+	}
+	return obj.Pkg().Path(), obj.Name(), true
+}
+
+// receiverIs classifies a method call's receiver against a (package path,
+// type name) pair. ansUnknown covers untyped packages, Invalid types,
+// interface receivers, and type parameters — all of which keep the
+// syntactic answer.
+func (pkg *Package) receiverIs(sel *ast.SelectorExpr, path, name string) answer {
+	if pkg.TypesInfo == nil {
+		return ansUnknown
+	}
+	tv, found := pkg.TypesInfo.Types[sel.X]
+	if !found || tv.Type == nil || tv.Type == types.Typ[types.Invalid] {
+		return ansUnknown
+	}
+	t := tv.Type
+	for {
+		if p, isPtr := t.Underlying().(*types.Pointer); isPtr {
+			t = p.Elem()
+			continue
+		}
+		break
+	}
+	if _, isIface := t.Underlying().(*types.Interface); isIface {
+		return ansUnknown // an interface may be satisfied by the real type
+	}
+	if _, isParam := t.(*types.TypeParam); isParam {
+		return ansUnknown
+	}
+	named, isNamed := t.(*types.Named)
+	if !isNamed || named.Obj() == nil {
+		if t.Underlying() == types.Typ[types.Invalid] {
+			return ansUnknown
+		}
+		return ansNo
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return ansNo
+	}
+	// A module-internal type checked under its real import path matches
+	// exactly; the package under analysis sees its own types with the
+	// package name as path (conf.Check path), so match the tail too.
+	if obj.Name() != name {
+		return ansNo
+	}
+	opath := obj.Pkg().Path()
+	if opath == path || opath == pathBase(path) {
+		return ansYes
+	}
+	return ansNo
+}
+
+// qualifierIsPackage reports whether the identifier qual in this file
+// resolves to an import of the given path. ansUnknown when untyped.
+func (pkg *Package) qualifierIsPackage(qual *ast.Ident, path string) answer {
+	if pkg.TypesInfo == nil {
+		return ansUnknown
+	}
+	obj, found := pkg.TypesInfo.Uses[qual]
+	if !found {
+		return ansUnknown
+	}
+	pn, isPkg := obj.(*types.PkgName)
+	if !isPkg {
+		return ansNo // a variable or type shadowing the package name
+	}
+	if pn.Imported().Path() == path {
+		return ansYes
+	}
+	return ansNo
+}
+
+// calleeDecl resolves a call to a function declared in this package, the
+// edge the summary engine propagates over. Typed packages resolve through
+// go/types (including methods and aliased names); untyped packages fall
+// back to matching unqualified calls against unique top-level functions.
+func (pkg *Package) calleeDecl(call *ast.CallExpr) *ast.FuncDecl {
+	if pkg.TypesInfo != nil {
+		if id := calleeIdent(call); id != nil {
+			if obj := pkg.TypesInfo.Uses[id]; obj != nil {
+				if fd := pkg.declOfObj(obj); fd != nil {
+					return fd
+				}
+			}
+		}
+	}
+	qual, name := callTarget(call)
+	if qual != "" || name == "" {
+		return nil
+	}
+	return pkg.uniqueFunc(name)
+}
+
+// calleeIdent finds the identifier naming the called function: the bare
+// ident or the selector's Sel (methods and package-qualified calls).
+func calleeIdent(call *ast.CallExpr) *ast.Ident {
+	fun := call.Fun
+	for {
+		switch fn := fun.(type) {
+		case *ast.ParenExpr:
+			fun = fn.X
+		case *ast.IndexExpr:
+			fun = fn.X
+		case *ast.IndexListExpr:
+			fun = fn.X
+		case *ast.SelectorExpr:
+			return fn.Sel
+		case *ast.Ident:
+			return fn
+		default:
+			return nil
+		}
+	}
+}
+
+// declOfObj maps a types.Object back to this package's FuncDecl, building
+// the index lazily.
+func (pkg *Package) declOfObj(obj types.Object) *ast.FuncDecl {
+	if pkg.declIndex == nil {
+		pkg.declIndex = map[types.Object]*ast.FuncDecl{}
+		if pkg.TypesInfo != nil {
+			for _, fd := range pkg.funcDecls() {
+				if def := pkg.TypesInfo.Defs[fd.Name]; def != nil {
+					pkg.declIndex[def] = fd
+				}
+			}
+		}
+	}
+	return pkg.declIndex[obj]
+}
+
+// uniqueFunc returns the package's sole top-level (non-method) function of
+// that name, or nil — the untyped call-graph edge.
+func (pkg *Package) uniqueFunc(name string) *ast.FuncDecl {
+	if pkg.funcIndex == nil {
+		pkg.funcIndex = map[string]*ast.FuncDecl{}
+		for _, fd := range pkg.funcDecls() {
+			if fd.Recv != nil {
+				continue
+			}
+			if _, dup := pkg.funcIndex[fd.Name.Name]; dup {
+				pkg.funcIndex[fd.Name.Name] = nil // ambiguous: refuse to guess
+				continue
+			}
+			pkg.funcIndex[fd.Name.Name] = fd
+		}
+	}
+	return pkg.funcIndex[name]
+}

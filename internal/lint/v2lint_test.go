@@ -1,0 +1,507 @@
+package lint
+
+import (
+	"testing"
+)
+
+// Golden tests for the v2 analyzer family (goroutines, deadlock, sync,
+// suppress) and for the interprocedural reach the communication summaries
+// give the v1 analyzers, using the same `// want <analyzer>` harness.
+
+func TestGoroutines(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{
+			name: "goroutine receiving on the comm",
+			src: header + `
+func f(c *mpi.Comm) {
+	go func() { // want goroutines
+		c.Recv(0, 1)
+	}()
+}`,
+		},
+		{
+			name: "goroutine sending through a helper",
+			src: header + `
+func f(c *mpi.Comm) {
+	go worker(c) // want goroutines
+}
+
+func worker(c *mpi.Comm) {
+	c.Send(1, 7, "x")
+}`,
+		},
+		{
+			name: "pure compute goroutine is fine",
+			src: header + `
+func f(c *mpi.Comm, out chan int) {
+	go func() {
+		out <- 2 * 21
+	}()
+	c.Barrier()
+}`,
+		},
+		{
+			name: "MPI in the spawn arguments runs on the spawner",
+			src: header + `
+func f(c *mpi.Comm, out chan string) {
+	go consume(out, c.Recv(0, 1))
+}
+
+func consume(out chan string, v any) {
+	out <- "ok"
+}`,
+		},
+		{
+			name: "goroutine emitting through the KV handle",
+			src: mrHeader + `
+func f(out *mrmpi.KeyValue, k, v []byte) {
+	go func() { // want goroutines
+		out.Add(k, v)
+	}()
+}`,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) { checkFixture(t, "goroutines", tc.src) })
+	}
+}
+
+func TestDeadlock(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{
+			name: "recv-first on every arm with nothing in flight",
+			src: header + `
+func f(c *mpi.Comm) {
+	if c.Rank() == 0 { // want deadlock
+		c.Recv(1, 1)
+		c.Send(1, 2, "x")
+	} else {
+		c.Recv(0, 2)
+		c.Send(0, 1, "y")
+	}
+}`,
+		},
+		{
+			name: "send-first on one arm is fine",
+			src: header + `
+func f(c *mpi.Comm) {
+	if c.Rank() == 0 {
+		c.Send(1, 1, "x")
+		c.Recv(1, 2)
+	} else {
+		c.Recv(0, 1)
+		c.Send(0, 2, "y")
+	}
+}`,
+		},
+		{
+			name: "posted isend before the branch keeps it alive",
+			src: header + `
+func f(c *mpi.Comm) {
+	r := c.Isend(1, 1, "x")
+	if c.Rank() == 0 {
+		c.Recv(1, 1)
+	} else {
+		c.Recv(0, 1)
+	}
+	r.Wait()
+}`,
+		},
+		{
+			name: "recv-first buried in helpers still counts",
+			src: header + `
+func f(c *mpi.Comm) {
+	if c.Rank() == 0 { // want deadlock
+		pull(c, 1)
+	} else {
+		pull(c, 0)
+	}
+}
+
+func pull(c *mpi.Comm, peer int) {
+	c.Recv(peer, 3)
+}`,
+		},
+		{
+			name: "constant-routed send with no matching receive tag",
+			src: header + `
+func f(c *mpi.Comm) {
+	if c.Rank() == 0 {
+		c.Send(1, 7, "x") // want deadlock
+	} else if c.Rank() == 1 {
+		c.Recv(0, 9)
+	}
+}`,
+		},
+		{
+			name: "wildcard receive on the peer arm absorbs any tag",
+			src: header + `
+func f(c *mpi.Comm) {
+	if c.Rank() == 0 {
+		c.Send(1, 7, "x")
+	} else if c.Rank() == 1 {
+		c.Recv(0, mpi.AnyTag)
+	}
+}`,
+		},
+		{
+			name: "lost send through a helper is reported at the call",
+			src: header + `
+func f(c *mpi.Comm) {
+	if c.Rank() == 0 {
+		sendSeven(c) // want deadlock
+	} else if c.Rank() == 1 {
+		c.Recv(0, 9)
+	}
+}
+
+func sendSeven(c *mpi.Comm) {
+	c.Send(1, 7, "x")
+}`,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) { checkFixture(t, "deadlock", tc.src) })
+	}
+}
+
+const syncHeader = `package fix
+
+import "sync"
+`
+
+func TestSync(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{
+			name: "Add inside the spawned goroutine",
+			src: syncHeader + `
+func f() {
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		go func() {
+			wg.Add(1) // want sync
+			wg.Done()
+		}()
+	}
+	wg.Wait()
+}`,
+		},
+		{
+			name: "Added but never Waited",
+			src: syncHeader + `
+func f() {
+	var wg sync.WaitGroup
+	wg.Add(1) // want sync
+	go func() { wg.Done() }()
+}`,
+		},
+		{
+			name: "errgroup Go'd but never Waited",
+			src: syncHeader + `
+import "golang.org/x/sync/errgroup"
+
+func f(run func() error) {
+	var g errgroup.Group
+	g.Go(run) // want sync
+}`,
+		},
+		{
+			name: "escaping group may be Waited elsewhere",
+			src: syncHeader + `
+func f(park func(*sync.WaitGroup)) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	park(&wg)
+}`,
+		},
+		{
+			name: "the correct shape is clean",
+			src: syncHeader + `
+func f() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { wg.Done() }()
+	wg.Wait()
+}`,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) { checkFixture(t, "sync", tc.src) })
+	}
+}
+
+func TestSuppress(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{
+			name: "typo'd check name",
+			src: header + `
+func f(c *mpi.Comm) {
+	c.Send(1, 7, "x") // mpilint:ignore tags,tagz -- tagz is a typo // want suppress
+}`,
+		},
+		{
+			name: "bare directive without checks or reason",
+			src: header + `
+func f(c *mpi.Comm) {
+	c.Barrier() // mpilint:ignore — legacy bare form // want suppress
+}`,
+		},
+		{
+			name: "named check with reason is clean",
+			src: header + `
+func f(c *mpi.Comm) {
+	c.Send(1, 9, "x") // mpilint:ignore tags -- partner lives in another package
+}`,
+		},
+		{
+			name: "prose mention of the marker is not a directive",
+			src: header + `
+// Use a comment of the form mpilint:ignore <check> -- <why> to silence one.
+func f(c *mpi.Comm) {
+	c.Barrier()
+}`,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) { checkFixture(t, "suppress", tc.src) })
+	}
+}
+
+// TestDivergenceInterprocedural pins the ISSUE's acceptance fixture: a
+// collective reached two helper calls deep on one arm of a rank branch is
+// reported at the helper call site.
+func TestDivergenceInterprocedural(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{
+			name: "collective two helpers deep on one arm",
+			src: header + `
+func f(c *mpi.Comm) {
+	if c.Rank() == 0 {
+		level1(c) // want divergence
+	}
+}
+
+func level1(c *mpi.Comm) {
+	level2(c)
+}
+
+func level2(c *mpi.Comm) {
+	c.Barrier()
+}`,
+		},
+		{
+			name: "matching helper collectives on both arms are fine",
+			src: header + `
+func f(c *mpi.Comm) {
+	if c.Rank() == 0 {
+		level1(c)
+	} else {
+		c.Barrier()
+	}
+}
+
+func level1(c *mpi.Comm) {
+	level2(c)
+}
+
+func level2(c *mpi.Comm) {
+	c.Barrier()
+}`,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) { checkFixture(t, "divergence", tc.src) })
+	}
+}
+
+// TestRequestsContainers covers the slice-append protocol: requests
+// accumulated with append must reach a drain (Waitall, a range loop, any
+// later mention); the opening appends themselves prove nothing.
+func TestRequestsContainers(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{
+			name: "append then Waitall is clean",
+			src: header + `
+func f(c *mpi.Comm) {
+	var reqs []*mpi.Request
+	for i := 0; i < 3; i++ {
+		reqs = append(reqs, c.Isend(i, 1, "x"))
+	}
+	mpi.Waitall(reqs)
+}`,
+		},
+		{
+			name: "append then range-Wait is clean",
+			src: header + `
+func f(c *mpi.Comm) {
+	var reqs []*mpi.Request
+	reqs = append(reqs, c.Irecv(0, 1), c.Irecv(1, 1))
+	for _, r := range reqs {
+		r.Wait()
+	}
+}`,
+		},
+		{
+			name: "appended request never drained",
+			src: header + `
+func f(c *mpi.Comm) {
+	var reqs []*mpi.Request
+	reqs = append(reqs, c.Isend(1, 1, "x")) // want requests
+}`,
+		},
+		{
+			name: "two appends drained by one Waitall",
+			src: header + `
+func f(c *mpi.Comm) {
+	var reqs []*mpi.Request
+	reqs = append(reqs, c.Isend(1, 1, "x"))
+	reqs = append(reqs, c.Irecv(1, 2))
+	mpi.Waitall(reqs)
+}`,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) { checkFixture(t, "requests", tc.src) })
+	}
+}
+
+// runOne runs a single named analyzer over an already-built package.
+func runOne(t *testing.T, pkg *Package, name string) []Finding {
+	t.Helper()
+	for _, a := range Analyzers() {
+		if a.Name == name {
+			return CheckWith(pkg, []*Analyzer{a})
+		}
+	}
+	t.Fatalf("no analyzer named %q", name)
+	return nil
+}
+
+// TestTagsCrossFile: the send/recv pairing is package-scoped, so a send in
+// one file satisfied by a receive in another file of the same package is
+// clean.
+func TestTagsCrossFile(t *testing.T) {
+	sender := header + `
+func s(c *mpi.Comm) { c.Send(1, 5, "x") }`
+	recver := header + `
+func r(c *mpi.Comm) { c.Recv(0, 5) }`
+	if fs := runOne(t, parseFixture(t, sender, recver), "tags"); len(fs) != 0 {
+		t.Errorf("cross-file send/recv pair flagged: %v", fs)
+	}
+	// Without the receiving file the same send is an orphan.
+	if fs := runOne(t, parseFixture(t, sender), "tags"); len(fs) != 1 {
+		t.Errorf("orphan send findings = %v, want exactly one", fs)
+	}
+}
+
+// TestTagsSiblingPackage: receive evidence from the directory's sibling
+// package (the external _test package) satisfies a send in the package under
+// lint, and vice versa.
+func TestTagsSiblingPackage(t *testing.T) {
+	pkg := parseFixture(t, header+`
+func s(c *mpi.Comm) { c.Send(1, 5, "x") }`)
+	sib := parseFixture(t, `package fix_test
+
+import "repro/internal/mpi"
+
+func r(c *mpi.Comm) { c.Recv(0, 5) }`)
+	pkg.Siblings = []*Package{sib}
+	if fs := runOne(t, pkg, "tags"); len(fs) != 0 {
+		t.Errorf("send with sibling-package receive flagged: %v", fs)
+	}
+	// A sibling receiving a different tag does not pair the send.
+	other := parseFixture(t, `package fix_test
+
+import "repro/internal/mpi"
+
+func r(c *mpi.Comm) { c.Recv(0, 6) }`)
+	pkg2 := parseFixture(t, header+`
+func s(c *mpi.Comm) { c.Send(1, 5, "x") }`)
+	pkg2.Siblings = []*Package{other}
+	if fs := runOne(t, pkg2, "tags"); len(fs) != 1 {
+		t.Errorf("unpaired send findings = %v, want exactly one", fs)
+	}
+}
+
+// TestRetainInterprocedural: a callback parameter handed to a local helper
+// that stores it escapes through the helper; a helper that merely reads (or
+// copies) it is clean.
+func TestRetainInterprocedural(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{
+			name: "helper that stores the key escapes it",
+			src: mrHeader + `
+var stash [][]byte
+
+func keep(b []byte) {
+	stash = append(stash, b)
+}
+
+func f(mr *mrmpi.MapReduce, n int) {
+	mr.Reduce(func(key []byte, values [][]byte, out *mrmpi.KeyValue) error {
+		keep(key) // want retain
+		return nil
+	})
+}`,
+		},
+		{
+			name: "helper that only reads is clean",
+			src: mrHeader + `
+func total(b []byte) int {
+	n := 0
+	for _, v := range b {
+		n += int(v)
+	}
+	return n
+}
+
+func f(mr *mrmpi.MapReduce, sink func(int)) {
+	mr.Reduce(func(key []byte, values [][]byte, out *mrmpi.KeyValue) error {
+		sink(total(key))
+		return nil
+	})
+}`,
+		},
+		{
+			name: "identity helper keeps the alias alive",
+			src: mrHeader + `
+var stash [][]byte
+
+func trim(b []byte) []byte {
+	return b[1:]
+}
+
+func f(mr *mrmpi.MapReduce, n int) {
+	mr.Reduce(func(key []byte, values [][]byte, out *mrmpi.KeyValue) error {
+		k := trim(key)
+		stash = append(stash, k) // want retain
+		return nil
+	})
+}`,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) { checkFixture(t, "retain", tc.src) })
+	}
+}

@@ -17,10 +17,10 @@ import (
 // diverged.)
 func TestDebugCollectiveMismatch(t *testing.T) {
 	err := RunWith(2, RunOptions{Timeout: 2 * time.Second}, func(c *Comm) error {
-		if c.Rank() == 0 { // mpilint:ignore — deliberate divergence to exercise the checker
-			Bcast(c, 0, 42) // mpilint:ignore — deliberate divergence to exercise the checker
+		if c.Rank() == 0 { // mpilint:ignore divergence -- deliberate divergence to exercise the checker
+			Bcast(c, 0, 42) // mpilint:ignore divergence -- deliberate divergence to exercise the checker
 		} else {
-			c.Barrier() // mpilint:ignore — deliberate divergence to exercise the checker
+			c.Barrier() // mpilint:ignore divergence -- deliberate divergence to exercise the checker
 		}
 		return nil
 	})
@@ -73,7 +73,7 @@ func TestDebugMatchingCollectivesPass(t *testing.T) {
 func TestDebugUnreceivedMessage(t *testing.T) {
 	err := Run(2, func(c *Comm) error {
 		if c.Rank() == 0 {
-			c.Send(1, 7, "orphan") // never received // mpilint:ignore — deliberate orphan send
+			c.Send(1, 7, "orphan") // mpilint:ignore tags -- never received: a deliberate orphan send
 		}
 		return nil
 	})
@@ -117,7 +117,7 @@ func TestDebugUnwaitedRequest(t *testing.T) {
 	err := Run(2, func(c *Comm) error {
 		if c.Rank() == 0 {
 			c.Isend(1, 9, "page").Wait()
-			c.Irecv(1, AnyTag) // mpilint:ignore — deliberately leaked request
+			c.Irecv(1, AnyTag) // mpilint:ignore requests -- deliberately leaked request
 		} else {
 			c.Recv(0, 9)
 		}

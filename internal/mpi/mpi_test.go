@@ -121,7 +121,7 @@ func TestSendNegativeTagPanics(t *testing.T) {
 					t.Error("expected panic on negative tag")
 				}
 			}()
-			c.Send(1, -1, "x") // mpilint:ignore — provokes the negative-tag panic on purpose
+			c.Send(1, -1, "x") // mpilint:ignore tags -- provokes the negative-tag panic on purpose
 		}
 		return nil
 	})
@@ -408,7 +408,7 @@ func TestCollectivesInterleaved(t *testing.T) {
 		rng := rand.New(rand.NewSource(int64(c.Rank())))
 		for i := 0; i < 30; i++ {
 			time.Sleep(time.Duration(rng.Intn(100)) * time.Microsecond)
-			b := Bcast(c, i%5, i*7) // mpilint:ignore — root i%5 is in range: the world has exactly 5 ranks
+			b := Bcast(c, i%5, i*7) // mpilint:ignore root -- root i%5 is in range: the world has exactly 5 ranks
 			if b != i*7 {
 				return fmt.Errorf("bcast round %d: got %d", i, b)
 			}
@@ -475,7 +475,7 @@ func TestRecvTimeout(t *testing.T) {
 func TestBarrierTimeout(t *testing.T) {
 	err := RunWith(2, RunOptions{Timeout: 50 * time.Millisecond}, func(c *Comm) error {
 		if c.Rank() == 0 {
-			c.Barrier() // rank 1 never joins; mpilint:ignore — deliberate divergence to exercise the timeout
+			c.Barrier() // mpilint:ignore divergence -- rank 1 never joins: deliberate divergence to exercise the timeout
 		}
 		return nil
 	})

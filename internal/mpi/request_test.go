@@ -174,7 +174,7 @@ func TestIsendNegativeTagPanics(t *testing.T) {
 				t.Error("Isend with negative tag did not panic")
 			}
 		}()
-		c.Isend(0, -1, "x") // mpilint:ignore — deliberate misuse to exercise the runtime check
+		c.Isend(0, -1, "x") // mpilint:ignore tags,requests -- deliberate misuse to exercise the runtime check
 		return nil
 	})
 	if err != nil {

@@ -275,7 +275,7 @@ func TestUnsynchronizedCaptureSingleRank(t *testing.T) {
 	sum := 0
 	runMR(t, 1, Options{MapStyle: MapStyleMaster}, func(mr *MapReduce) error {
 		_, err := mr.Map(50, func(itask int, kv *KeyValue) error {
-			sum += itask // mpilint:ignore — deliberately unsynchronized: the capture check's runtime twin
+			sum += itask // mpilint:ignore capture -- deliberately unsynchronized: the capture check's runtime twin
 			return nil
 		})
 		return err
@@ -283,6 +283,35 @@ func TestUnsynchronizedCaptureSingleRank(t *testing.T) {
 	if want := 50 * 49 / 2; sum != want {
 		t.Fatalf("sum = %d, want %d", sum, want)
 	}
+}
+
+// TestChannelSerializedGoroutineEmit is the runtime twin of mpilint's
+// `goroutines` check: a spawned goroutine emits through the rank's KeyValue
+// handle — the exact shape the analyzer flags — but fully serialized against
+// the rank goroutine through a done channel, so only one goroutine ever
+// touches the handle at a time. CI runs this package under -race; if the KV
+// store ever grows state that channel-ordering cannot protect, this test
+// becomes the failing reproduction of the bug class the static check
+// guards against.
+func TestChannelSerializedGoroutineEmit(t *testing.T) {
+	runMR(t, 1, Options{}, func(mr *MapReduce) error {
+		total, err := mr.Map(4, func(itask int, kv *KeyValue) error {
+			done := make(chan struct{})
+			go func() { // mpilint:ignore goroutines -- serialized through done: the goroutines check's runtime twin
+				kv.AddString(fmt.Sprintf("k%d", itask), nil)
+				close(done)
+			}()
+			<-done
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		if total != 4 {
+			return fmt.Errorf("emitted %d keys, want 4", total)
+		}
+		return nil
+	})
 }
 
 func TestMapReturnsGlobalCount(t *testing.T) {

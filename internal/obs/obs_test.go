@@ -115,7 +115,7 @@ func TestValidateCatchesMisuse(t *testing.T) {
 	}
 
 	tr, rt := base()
-	// mpilint:ignore — deliberately unclosed span to provoke Validate.
+	// mpilint:ignore obslint -- deliberately unclosed span to provoke Validate.
 	rt.Begin("c", "unclosed")
 	if err := Validate(tr.Events()); err == nil || !strings.Contains(err.Error(), "never ended") {
 		t.Fatalf("unclosed span not caught: %v", err)
