@@ -3,7 +3,7 @@
 GO ?= go
 BIN ?= bin
 
-.PHONY: all build test race lint lint-json lint-baseline lint-stats debug bench perf perf-check figures examples trace-demo clean
+.PHONY: all build test race lint lint-json lint-baseline lint-stats lint-sarif debug bench perf perf-check figures examples trace-demo clean
 
 all: build test
 
@@ -22,6 +22,8 @@ build:
 lint:
 	$(GO) vet ./...
 	$(GO) run ./cmd/mpilint -tests -baseline .mpilint-baseline ./...
+	$(GO) run ./cmd/mpilint -world 4 -only unmatched,mismatch,globaldeadlock \
+		./cmd/mrblast ./cmd/mrsom ./internal/mrmpi ./internal/mrblast ./internal/mrsom
 
 # Same findings in the machine-readable CI format: one JSON object per line
 # (file, line, col, check, message).
@@ -39,6 +41,13 @@ lint-baseline:
 lint-stats:
 	$(GO) run ./cmd/mpilint -tests -stats -baseline .mpilint-baseline ./...
 
+# SARIF 2.1.0 log for GitHub code scanning (uploaded by CI). mpilint exits 1
+# when findings exist; the log is the artifact either way.
+lint-sarif:
+	mkdir -p results
+	$(GO) run ./cmd/mpilint -tests -sarif ./... > results/mpilint.sarif; \
+		test -s results/mpilint.sarif
+
 # Runtime invariant checker: the mpi test suite with the mpidebug
 # collective-fingerprint watchdog compiled in.
 debug:
@@ -48,7 +57,7 @@ debug:
 # on the concurrency-heavy packages, and the mpidebug watchdog tests.
 test: lint
 	$(GO) test ./...
-	$(GO) test -race ./internal/mpi ./internal/mrmpi ./internal/obs
+	$(GO) test -race ./internal/mpi ./internal/mrmpi ./internal/obs ./internal/mrblast ./internal/mrsom
 	$(GO) test -tags mpidebug ./internal/mpi
 
 race:

@@ -28,7 +28,19 @@
 //     check+file+message triple appears in FILE is accepted as pre-existing
 //     and not reported, so CI fails only on NEW findings. Regenerate the
 //     file with -write-baseline FILE (see `make lint-baseline`). Keys carry
-//     no line numbers, so edits elsewhere in a file don't invalidate them.
+//     no line numbers, so edits elsewhere in a file don't invalidate them,
+//     and file paths are stored module-root-relative with forward slashes,
+//     so a baseline written on one machine (or OS) matches on another.
+//
+// v3 additions (the cross-rank protocol verifier):
+//
+//   - -world N runs the unmatched/mismatch/globaldeadlock checks in an
+//     N-rank world only, instead of the default {2, 4, 8} sweep.
+//   - -protocol prints each SPMD entrypoint's per-rank instantiated traces
+//     (what the verifier simulated) instead of running the analyzers — the
+//     protocol-level counterpart of -summary.
+//   - -sarif emits the findings as a SARIF 2.1.0 log on stdout, the format
+//     GitHub code scanning ingests (see the upload-sarif step in CI).
 //
 // Exit status is 0 when no (new) findings are reported, 1 when findings
 // exist, and 2 on usage or load errors — so `make lint` and CI can gate on
@@ -43,8 +55,10 @@ import (
 	"go/token"
 	"io"
 	"os"
+	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/lint"
 )
@@ -64,6 +78,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	stats := fs.Bool("stats", false, "append finding counts and the suppression inventory")
 	baselinePath := fs.String("baseline", "", "subtract findings listed in this baseline file; report only new ones")
 	writeBaseline := fs.String("write-baseline", "", "write the current findings to this baseline file and exit")
+	world := fs.Int("world", 0, "run the cross-rank protocol checks in an N-rank world only (default: sweep 2, 4, 8)")
+	protocol := fs.Bool("protocol", false, "print per-entrypoint per-rank instantiated traces instead of findings")
+	sarifOut := fs.Bool("sarif", false, "emit findings as a SARIF 2.1.0 log for code-scanning upload")
 	fs.Usage = func() {
 		fmt.Fprintf(stderr, "usage: mpilint [flags] [packages]\n\n"+
 			"Analyzes Go packages for misuse of the internal/mpi layer.\n"+
@@ -79,6 +96,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stdout, "%-14s %s\n", a.Name, a.Doc)
 		}
 		return 0
+	}
+
+	if *world != 0 {
+		if *world < 2 || *world > 64 {
+			fmt.Fprintf(stderr, "mpilint: -world must be between 2 and 64, got %d\n", *world)
+			return 2
+		}
+		defer func(old []int) { lint.ProtocolWorlds = old }(lint.ProtocolWorlds)
+		lint.ProtocolWorlds = []int{*world}
 	}
 
 	enabled, err := selectAnalyzers(*only)
@@ -113,6 +139,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 0
 	}
 
+	if *protocol {
+		for _, pkg := range pkgs {
+			fmt.Fprint(stdout, lint.ProtocolDump(pkg))
+		}
+		return 0
+	}
+
 	var findings []lint.Finding
 	for _, pkg := range pkgs {
 		findings = append(findings, lint.CheckWith(pkg, enabled)...)
@@ -144,6 +177,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 			kept = append(kept, f)
 		}
 		findings = kept
+	}
+
+	if *sarifOut {
+		if err := writeSARIF(stdout, findings); err != nil {
+			fmt.Fprintln(stderr, "mpilint:", err)
+			return 2
+		}
+		if len(findings) > 0 {
+			fmt.Fprintf(stderr, "mpilint: %d finding(s)\n", len(findings))
+			return 1
+		}
+		return 0
 	}
 
 	enc := json.NewEncoder(stdout)
@@ -227,13 +272,56 @@ func printStats(w io.Writer, pkgs []*lint.Package, findings []lint.Finding, base
 }
 
 // baselineKey identifies a finding without its line/column, so baseline
-// entries survive unrelated edits to the same file.
+// entries survive unrelated edits to the same file. The file component is
+// module-root-relative with forward slashes, so keys match across machines
+// and operating systems.
 func baselineKey(f lint.Finding) string {
-	return f.Analyzer + "\t" + f.Pos.Filename + "\t" + f.Message
+	return f.Analyzer + "\t" + normalizePath(f.Pos.Filename) + "\t" + f.Message
+}
+
+// normalizePath rewrites a finding path to module-root-relative,
+// forward-slash form. Paths outside any module (or unresolvable ones) are
+// only slash-normalized, so bare trees still baseline consistently on one
+// machine.
+func normalizePath(file string) string {
+	// Treat backslashes as separators regardless of host OS, so a baseline
+	// written on Windows loads correctly elsewhere.
+	file = strings.ReplaceAll(file, `\`, "/")
+	abs, err := filepath.Abs(filepath.FromSlash(file))
+	if err != nil {
+		return file
+	}
+	if root := moduleRootOf(filepath.Dir(abs)); root != "" {
+		if rel, err := filepath.Rel(root, abs); err == nil && rel != ".." && !strings.HasPrefix(rel, ".."+string(filepath.Separator)) {
+			return filepath.ToSlash(rel)
+		}
+	}
+	return filepath.ToSlash(file)
+}
+
+// moduleRootCache memoizes lint.ModuleRoot per directory: a lint run emits
+// many findings from few directories, and each lookup walks to the
+// filesystem root.
+var (
+	moduleRootMu    sync.Mutex
+	moduleRootCache = map[string]string{}
+)
+
+func moduleRootOf(dir string) string {
+	moduleRootMu.Lock()
+	defer moduleRootMu.Unlock()
+	if root, ok := moduleRootCache[dir]; ok {
+		return root
+	}
+	root := lint.ModuleRoot(dir)
+	moduleRootCache[dir] = root
+	return root
 }
 
 // loadBaseline reads a baseline file into a key set. Blank lines and
-// #-comments are ignored.
+// #-comments are ignored. The file component of each key is re-normalized
+// on load, so baselines written before path normalization (or with the
+// other OS's separators) keep matching.
 func loadBaseline(path string) (map[string]bool, error) {
 	fh, err := os.Open(path)
 	if err != nil {
@@ -247,6 +335,18 @@ func loadBaseline(path string) (map[string]bool, error) {
 		line := sc.Text()
 		if line == "" || strings.HasPrefix(line, "#") {
 			continue
+		}
+		// Already-canonical keys (relative, forward slashes) pass through
+		// untouched: re-anchoring them against the current directory would
+		// mangle them. Legacy backslashed paths get their separators
+		// converted; legacy absolute paths get the full module-root
+		// normalization.
+		if parts := strings.Split(line, "\t"); len(parts) == 3 {
+			p := strings.ReplaceAll(parts[1], `\`, "/")
+			if filepath.IsAbs(p) {
+				p = normalizePath(p)
+			}
+			line = parts[0] + "\t" + p + "\t" + parts[2]
 		}
 		known[line] = true
 	}

@@ -241,7 +241,9 @@ func orphan(c *mpi.Comm) {
 
 	stdout.Reset()
 	stderr.Reset()
-	if code := run([]string{"-stats", dir + "/..."}, &stdout, &stderr); code != 0 {
+	// -only: the fixture is deliberately not SPMD-clean (its sends and recvs
+	// never pair up), so the cross-rank protocol checks would rightly fire.
+	if code := run([]string{"-stats", "-only", "tags,suppress", dir + "/..."}, &stdout, &stderr); code != 0 {
 		t.Fatalf("-stats exit %d\n%s%s", code, stdout.String(), stderr.String())
 	}
 	out = stdout.String()
@@ -266,6 +268,7 @@ func TestMpilintFlags(t *testing.T) {
 		"divergence", "aliasedbcast", "tags", "root",
 		"phase", "capture", "retain", "kvescape",
 		"requests", "goroutines", "deadlock", "sync", "suppress", "obslint",
+		"unmatched", "mismatch", "globaldeadlock",
 	} {
 		if !strings.Contains(stdout.String(), name) {
 			t.Errorf("-list missing %q", name)
@@ -276,5 +279,241 @@ func TestMpilintFlags(t *testing.T) {
 	}
 	if code := run([]string{"/definitely/not/a/dir"}, &stdout, &stderr); code != 2 {
 		t.Errorf("bad dir: exit %d, want 2", code)
+	}
+	if code := run([]string{"-world", "1", "."}, &stdout, &stderr); code != 2 {
+		t.Errorf("-world 1: exit %d, want 2", code)
+	}
+}
+
+// ringTree is a module whose only bug is cross-rank: each rank receives
+// from the rank it sent to, which pairs up in a 2-rank world but strands
+// everyone at 4 ranks. Only the protocol checks can see it.
+func ringTree(t *testing.T) string {
+	return writeTree(t, map[string]string{
+		"go.mod": "module ringmod\n\ngo 1.22\n",
+		"ring/ring.go": `package ring
+
+import "repro/internal/mpi"
+
+func step(c *mpi.Comm) {
+	c.Send((c.Rank()+1)%c.Size(), 9, "tok")
+	c.Recv((c.Rank()+1)%c.Size(), 9)
+}
+`,
+	})
+}
+
+func TestMpilintWorldFlag(t *testing.T) {
+	dir := ringTree(t)
+
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-only", "unmatched", "-world", "2", dir + "/..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-world 2 exit %d, want 0 (the ring is consistent at 2 ranks)\n%s%s", code, stdout.String(), stderr.String())
+	}
+
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-only", "unmatched", "-world", "4", dir + "/..."}, &stdout, &stderr); code != 1 {
+		t.Fatalf("-world 4 exit %d, want 1\n%s%s", code, stdout.String(), stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "4-rank world") {
+		t.Errorf("finding should name the world size:\n%s", stdout.String())
+	}
+}
+
+func TestMpilintProtocolFlag(t *testing.T) {
+	dir := ringTree(t)
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-protocol", dir + "/..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-protocol exit %d\n%s%s", code, stdout.String(), stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{
+		"step (", "world 2:", "world 4:", "world 8:",
+		"rank 0: Send(peer=1,tag=9) Recv(peer=1,tag=9)",
+		"rank 3: Send(peer=0,tag=9) Recv(peer=0,tag=9)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-protocol missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// sarifLogIn mirrors the emitted structure for validation; every field the
+// code-scanning ingester requires is checked, so a schema regression fails
+// here rather than at upload time.
+type sarifLogIn struct {
+	Schema  string `json:"$schema"`
+	Version string `json:"version"`
+	Runs    []struct {
+		Tool struct {
+			Driver struct {
+				Name  string `json:"name"`
+				Rules []struct {
+					ID               string `json:"id"`
+					ShortDescription struct {
+						Text string `json:"text"`
+					} `json:"shortDescription"`
+				} `json:"rules"`
+			} `json:"driver"`
+		} `json:"tool"`
+		Results []struct {
+			RuleID  string `json:"ruleId"`
+			Level   string `json:"level"`
+			Message struct {
+				Text string `json:"text"`
+			} `json:"message"`
+			Locations []struct {
+				PhysicalLocation struct {
+					ArtifactLocation struct {
+						URI string `json:"uri"`
+					} `json:"artifactLocation"`
+					Region struct {
+						StartLine   int `json:"startLine"`
+						StartColumn int `json:"startColumn"`
+					} `json:"region"`
+				} `json:"physicalLocation"`
+			} `json:"locations"`
+		} `json:"results"`
+	} `json:"runs"`
+}
+
+func TestMpilintSARIF(t *testing.T) {
+	dir := writeTree(t, map[string]string{
+		"go.mod": "module sarifmod\n\ngo 1.22\n",
+		"bad/bad.go": `package bad
+
+import "repro/internal/mpi"
+
+func f(c *mpi.Comm) {
+	if c.Rank() == 0 {
+		c.Barrier()
+	}
+	c.Send(1, -9, nil)
+}
+`,
+	})
+
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-sarif", dir + "/..."}, &stdout, &stderr); code != 1 {
+		t.Fatalf("-sarif exit %d, want 1\n%s%s", code, stdout.String(), stderr.String())
+	}
+	var log sarifLogIn
+	if err := json.Unmarshal([]byte(stdout.String()), &log); err != nil {
+		t.Fatalf("SARIF output is not valid JSON: %v\n%s", err, stdout.String())
+	}
+	if log.Version != "2.1.0" {
+		t.Errorf("version = %q, want 2.1.0", log.Version)
+	}
+	if !strings.Contains(log.Schema, "sarif-2.1.0") {
+		t.Errorf("$schema = %q, want a 2.1.0 schema URI", log.Schema)
+	}
+	if len(log.Runs) != 1 {
+		t.Fatalf("runs = %d, want 1", len(log.Runs))
+	}
+	runObj := log.Runs[0]
+	if runObj.Tool.Driver.Name != "mpilint" {
+		t.Errorf("driver name = %q", runObj.Tool.Driver.Name)
+	}
+	ruleIDs := map[string]bool{}
+	for _, r := range runObj.Tool.Driver.Rules {
+		if r.ID == "" || r.ShortDescription.Text == "" {
+			t.Errorf("rule %+v missing id or shortDescription", r)
+		}
+		ruleIDs[r.ID] = true
+	}
+	if len(runObj.Results) == 0 {
+		t.Fatal("no results for a buggy tree")
+	}
+	for _, res := range runObj.Results {
+		if !ruleIDs[res.RuleID] {
+			t.Errorf("result ruleId %q not in the rules table", res.RuleID)
+		}
+		if res.Level != "warning" {
+			t.Errorf("level = %q, want warning", res.Level)
+		}
+		if res.Message.Text == "" {
+			t.Error("result with empty message")
+		}
+		if len(res.Locations) != 1 {
+			t.Fatalf("locations = %d, want 1", len(res.Locations))
+		}
+		loc := res.Locations[0].PhysicalLocation
+		if strings.Contains(loc.ArtifactLocation.URI, `\`) || strings.HasPrefix(loc.ArtifactLocation.URI, "/") {
+			t.Errorf("uri %q should be relative with forward slashes", loc.ArtifactLocation.URI)
+		}
+		if loc.Region.StartLine < 1 {
+			t.Errorf("startLine = %d, want >= 1", loc.Region.StartLine)
+		}
+	}
+
+	// A clean tree still emits a structurally complete log with an empty
+	// (non-null) results array.
+	clean := writeTree(t, map[string]string{
+		"go.mod":   "module cleanmod\n\ngo 1.22\n",
+		"ok/ok.go": "package ok\n\nfunc F() int { return 1 }\n",
+	})
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-sarif", clean + "/..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("clean -sarif exit %d\n%s%s", code, stdout.String(), stderr.String())
+	}
+	if !strings.Contains(stdout.String(), `"results": []`) {
+		t.Errorf("empty run should serialize results as [], got:\n%s", stdout.String())
+	}
+}
+
+// TestMpilintBaselinePortable checks baseline keys are module-root-relative
+// with forward slashes, and that absolute or backslash-separated entries
+// from older baselines still match on load.
+func TestMpilintBaselinePortable(t *testing.T) {
+	dir := writeTree(t, map[string]string{
+		"go.mod": "module basemod\n\ngo 1.22\n",
+		"bad/bad.go": `package bad
+
+import "repro/internal/mpi"
+
+func f(c *mpi.Comm) {
+	c.Send(1, -9, nil)
+}
+`,
+	})
+
+	base := filepath.Join(dir, "base.txt")
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-only", "tags", "-write-baseline", base, dir + "/..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-write-baseline exit %d\n%s%s", code, stdout.String(), stderr.String())
+	}
+	data, err := os.ReadFile(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "\tbad/bad.go\t") {
+		t.Errorf("baseline keys should be module-root-relative with forward slashes:\n%s", data)
+	}
+
+	// The written baseline must round-trip to a clean run.
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-only", "tags", "-baseline", base, dir + "/..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-baseline exit %d, want 0\n%s%s", code, stdout.String(), stderr.String())
+	}
+
+	// Legacy variants of the same key — absolute path, backslash
+	// separators — must normalize to a match on load.
+	abs := filepath.Join(dir, "bad", "bad.go")
+	for _, variant := range []string{
+		strings.ReplaceAll(string(data), "\tbad/bad.go\t", "\t"+abs+"\t"),
+		strings.ReplaceAll(string(data), "\tbad/bad.go\t", "\tbad\\bad.go\t"),
+	} {
+		if err := os.WriteFile(base, []byte(variant), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		stdout.Reset()
+		stderr.Reset()
+		if code := run([]string{"-only", "tags", "-baseline", base, dir + "/..."}, &stdout, &stderr); code != 0 {
+			t.Errorf("legacy baseline variant did not match (exit %d):\nbaseline:\n%s\nout:\n%s%s",
+				code, variant, stdout.String(), stderr.String())
+		}
 	}
 }

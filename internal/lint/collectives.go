@@ -212,6 +212,18 @@ func isRankExpr(expr ast.Expr, rankVars map[string]bool) bool {
 // rankVarsOf scans a function for identifiers bound from a Rank() call
 // (e.g. `rank := c.Rank()` or `size, rank := c.Size(), c.Rank()`).
 func rankVarsOf(fn *ast.FuncDecl) map[string]bool {
+	return boundFromCall(fn, "Rank")
+}
+
+// sizeVarsOf scans a function for identifiers bound from a Size() call, the
+// world-size twin of rankVarsOf (used by the protocol verifier to resolve
+// `(rank+1)%size` peers under a concrete world).
+func sizeVarsOf(fn *ast.FuncDecl) map[string]bool {
+	return boundFromCall(fn, "Size")
+}
+
+// boundFromCall collects idents assigned from a call to the named method.
+func boundFromCall(fn ast.Node, method string) map[string]bool {
 	vars := map[string]bool{}
 	ast.Inspect(fn, func(n ast.Node) bool {
 		as, ok := n.(*ast.AssignStmt)
@@ -223,7 +235,7 @@ func rankVarsOf(fn *ast.FuncDecl) map[string]bool {
 			if !ok {
 				continue
 			}
-			if _, name := callTarget(call); name != "Rank" {
+			if _, name := callTarget(call); name != method {
 				continue
 			}
 			if id, ok := as.Lhs[i].(*ast.Ident); ok && id.Name != "_" {

@@ -130,6 +130,9 @@ type Package struct {
 	summaries *Summaries
 	declIndex map[types.Object]*ast.FuncDecl
 	funcIndex map[string]*ast.FuncDecl
+	// protocol caches the cross-rank verifier's findings per check name
+	// (unmatched/mismatch/globaldeadlock share one world run).
+	protocol map[string][]Finding
 }
 
 // An Analyzer inspects one package and reports findings.
@@ -159,6 +162,9 @@ func Analyzers() []*Analyzer {
 		{Name: "deadlock", Doc: "rank-dependent branches whose arms all block in Recv first, and per-arm sends no peer arm can receive", Run: checkDeadlock},
 		{Name: "sync", Doc: "WaitGroup misuse in worker pools (Add inside the spawned goroutine, Add with no Wait)", Run: checkSync},
 		{Name: "suppress", Doc: "mpilint:ignore directives without named checks and a reason, or naming unknown checks", Run: checkSuppress},
+		{Name: "unmatched", Doc: "cross-rank: constant-routed sends no rank can receive, and receives no rank's sends satisfy", Run: checkUnmatched},
+		{Name: "mismatch", Doc: "cross-rank: ranks whose collective sequences diverge (kind, order, or root)", Run: checkMismatch},
+		{Name: "globaldeadlock", Doc: "cross-rank: a reachable schedule where every rank blocks with nothing in flight", Run: checkGlobalDeadlock},
 	}
 }
 
@@ -181,7 +187,9 @@ func CheckWith(pkg *Package, analyzers []*Analyzer) []Finding {
 	return out
 }
 
-// Sort orders findings by file, line, and column for stable reporting.
+// Sort orders findings by file, line, column, then check name and message,
+// so multi-package runs (and co-located findings from different analyzers)
+// print and baseline in one deterministic order across runs and machines.
 func Sort(fs []Finding) {
 	sort.Slice(fs, func(i, j int) bool {
 		a, b := fs[i].Pos, fs[j].Pos
@@ -191,7 +199,13 @@ func Sort(fs []Finding) {
 		if a.Line != b.Line {
 			return a.Line < b.Line
 		}
-		return a.Column < b.Column
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		if fs[i].Analyzer != fs[j].Analyzer {
+			return fs[i].Analyzer < fs[j].Analyzer
+		}
+		return fs[i].Message < fs[j].Message
 	})
 }
 

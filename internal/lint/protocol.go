@@ -1,0 +1,512 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// This file hosts the cross-rank protocol verifier: three analyzers that
+// check that a package's communication protocols *compose* across ranks,
+// where everything before PR 7 reasoned one function (one rank) at a time.
+//
+// For every entrypoint — an SPMD-shaped function nothing in the package
+// calls, or a function literal handed to mpi.Run/RunWith with a constant
+// rank count — the verifier instantiates the conditional trace tree
+// (world.go) once per rank of each world in ProtocolWorlds, then matches
+// the per-rank op lists:
+//
+//   - `unmatched`: an unconditional constant-routed send whose destination
+//     rank can post no receive that matches it (the buffered send is lost),
+//     and an unconditional receive no rank's sends can ever satisfy (it
+//     blocks forever).
+//   - `mismatch`: two ranks whose unconditional collective sequences
+//     diverge — different names, different order, or different constant
+//     roots. Both ranks' sequences are printed.
+//   - `globaldeadlock`: the scheduler found a reachable global state where
+//     every unfinished rank is blocked at an unconditional Recv/Probe/
+//     collective with nothing to satisfy it; the per-rank stack of pending
+//     ops is printed.
+//
+// All three inherit the engine's bail-toward-silence discipline: unknown
+// peers/tags, undecidable branches, loops, truncated or recursive traces,
+// and search-cap overruns all suppress rather than report.
+
+// ProtocolWorlds are the world sizes every entrypoint is instantiated for.
+// 2 exercises the master/worker split, 4 the general case, and 8 stands in
+// for "large" — together they cover every guard shape this codebase uses
+// (rank == 0, rank == size-1, rank < k, parity). cmd/mpilint's -world flag
+// narrows it to a single size. Function-literal entrypoints with a constant
+// rank count override this with their own exact world.
+var ProtocolWorlds = []int{2, 4, 8}
+
+// maxLiteralWorld caps the rank count of literal entrypoints; a 64-rank
+// test world would blow up the scheduler for no extra guard coverage.
+const maxLiteralWorld = 8
+
+// entrypoint is one protocol to verify.
+type entrypoint struct {
+	name   string
+	pos    token.Pos
+	fd     *ast.FuncDecl // named entrypoint (nil for literals)
+	lit    *ast.FuncLit  // mpi.Run/RunWith callback
+	encl   *ast.FuncDecl // the declaration enclosing lit
+	worlds []int         // non-nil: exact worlds (literal rank counts)
+}
+
+// checkUnmatched, checkMismatch and checkGlobalDeadlock surface the shared
+// protocol run through the analyzer registry.
+func checkUnmatched(pkg *Package) []Finding      { return pkg.protocolFindings("unmatched") }
+func checkMismatch(pkg *Package) []Finding       { return pkg.protocolFindings("mismatch") }
+func checkGlobalDeadlock(pkg *Package) []Finding { return pkg.protocolFindings("globaldeadlock") }
+
+// protocolFindings runs the verifier once per package and caches the
+// findings per check name.
+func (pkg *Package) protocolFindings(check string) []Finding {
+	if pkg.protocol == nil {
+		pkg.protocol = runProtocol(pkg)
+	}
+	return pkg.protocol[check]
+}
+
+// runProtocol verifies every entrypoint of the package in every world.
+func runProtocol(pkg *Package) map[string][]Finding {
+	out := map[string][]Finding{}
+	for _, ep := range protocolEntrypoints(pkg) {
+		worlds := ep.worlds
+		if worlds == nil {
+			worlds = ProtocolWorlds
+		}
+		seen := map[string]bool{}
+		for _, n := range worlds {
+			ranks, ok := instantiateWorld(pkg, ep, n)
+			if !ok {
+				continue
+			}
+			var fs []Finding
+			fs = append(fs, unmatchedIn(pkg, n, ranks)...)
+			fs = append(fs, mismatchIn(pkg, ep, n, ranks)...)
+			fs = append(fs, deadlockIn(pkg, ep, n, ranks)...)
+			for _, f := range fs {
+				// The smallest world that exhibits a finding reports it;
+				// larger worlds usually re-derive the same one.
+				key := fmt.Sprintf("%s:%s:%d:%d", f.Analyzer, f.Pos.Filename, f.Pos.Line, f.Pos.Column)
+				if seen[key] {
+					continue
+				}
+				seen[key] = true
+				out[f.Analyzer] = append(out[f.Analyzer], f)
+			}
+		}
+	}
+	return out
+}
+
+// protocolEntrypoints discovers what to verify.
+func protocolEntrypoints(pkg *Package) []*entrypoint {
+	sums := pkg.Summaries()
+	// A function with any in-package caller is a helper, not an entrypoint
+	// (callers include calls from function literals and go statements).
+	called := map[*ast.FuncDecl]bool{}
+	for _, fd := range pkg.funcDecls() {
+		fd := fd
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if callee := pkg.calleeDecl(call); callee != nil && callee != fd {
+					called[callee] = true
+				}
+			}
+			return true
+		})
+	}
+	var eps []*entrypoint
+	for _, fd := range pkg.funcDecls() {
+		if called[fd] {
+			continue
+		}
+		sum := sums.Of(fd)
+		if sum == nil || sum.Recursive || sum.Truncated || !spmdShaped(sum) {
+			continue
+		}
+		eps = append(eps, &entrypoint{name: sum.Name, pos: fd.Pos(), fd: fd})
+	}
+	// Function literals handed to mpi.Run/RunWith with a constant rank
+	// count: the world size is that count (the literal's peers may be
+	// computed from enclosing constants correlated with it), so these are
+	// verified at exactly n ranks, and skipped when n is unknown or large.
+	for _, fd := range pkg.funcDecls() {
+		fd := fd
+		env := constEnv{consts: localConsts(fd, pkg.Consts)}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			_, name := callTarget(call)
+			if (name != "Run" && name != "RunWith") || len(call.Args) < 2 {
+				return true
+			}
+			lit := commFuncLit(call)
+			if lit == nil {
+				return true
+			}
+			ranks, ok := evalConst(call.Args[0], env)
+			if !ok || ranks < 2 || ranks > maxLiteralWorld {
+				return true
+			}
+			eps = append(eps, &entrypoint{
+				name:   declName(fd) + " rank fn",
+				pos:    lit.Pos(),
+				lit:    lit,
+				encl:   fd,
+				worlds: []int{int(ranks)},
+			})
+			return true
+		})
+	}
+	sort.Slice(eps, func(i, j int) bool { return eps[i].pos < eps[j].pos })
+	return eps
+}
+
+// commFuncLit returns the call's function-literal argument taking a single
+// *…Comm parameter (the mpi.Run/RunWith rank-function shape), or nil.
+func commFuncLit(call *ast.CallExpr) *ast.FuncLit {
+	for _, arg := range call.Args {
+		lit, ok := arg.(*ast.FuncLit)
+		if !ok || lit.Type.Params == nil || len(lit.Type.Params.List) != 1 {
+			continue
+		}
+		star, ok := lit.Type.Params.List[0].Type.(*ast.StarExpr)
+		if !ok {
+			continue
+		}
+		if id := baseIdent(star.X); id != nil && strings.HasSuffix(id.Name, "Comm") {
+			return lit
+		}
+		if sel, ok := star.X.(*ast.SelectorExpr); ok && strings.HasSuffix(sel.Sel.Name, "Comm") {
+			return lit
+		}
+	}
+	return nil
+}
+
+// spmdShaped filters entrypoints to protocols every rank runs: a collective
+// somewhere, or both send-kind and recv-kind ops. One-sided helpers (a
+// master loop, a pure sender) are half a protocol and would read as
+// unmatched against themselves.
+func spmdShaped(sum *Summary) bool {
+	if len(sum.Collectives) > 0 {
+		return true
+	}
+	var send, recv bool
+	for _, op := range sum.Trace {
+		switch op.Kind {
+		case OpSend, OpIsend, OpSendrecv:
+			send = true
+		case OpRecv, OpProbe, OpIrecv:
+			recv = true
+		}
+	}
+	return send && recv
+}
+
+// instantiateWorld produces every rank's op list for one world, ok=false
+// when any rank's instantiation bailed.
+func instantiateWorld(pkg *Package, ep *entrypoint, n int) ([][]RankOp, bool) {
+	sums := pkg.Summaries()
+	ranks := make([][]RankOp, n)
+	for k := 0; k < n; k++ {
+		var steps []traceStep
+		env := &worldEnv{rank: int64(k), size: int64(n)}
+		if ep.fd != nil {
+			steps = sums.stepsOf(ep.fd)
+			env.consts = localConsts(ep.fd, pkg.Consts)
+			env.rankVars = rankVarsOf(ep.fd)
+			env.sizeVars = sizeVarsOf(ep.fd)
+		} else {
+			steps = sums.stepsOfNode(ep.lit.Body, ep.encl, ep.lit)
+			env.consts = localConsts(ep.encl, pkg.Consts)
+			env.rankVars = boundFromCall(ep.lit, "Rank")
+			env.sizeVars = boundFromCall(ep.lit, "Size")
+		}
+		ops, ok := sums.instantiateRank(steps, env)
+		if !ok {
+			return nil, false
+		}
+		ranks[k] = ops
+	}
+	return ranks, true
+}
+
+// ---- check: unmatched ----------------------------------------------------
+
+// unmatchedIn reports unconditional constant-routed sends no receive can
+// match and unconditional receives no send can satisfy.
+func unmatchedIn(pkg *Package, n int, ranks [][]RankOp) []Finding {
+	var out []Finding
+	for r, ops := range ranks {
+		for _, op := range ops {
+			if op.Cond || op.InLoop {
+				continue
+			}
+			switch op.Kind {
+			case OpSend, OpIsend, OpSendrecv:
+				if !op.PeerKnown || op.PeerAny {
+					continue
+				}
+				if op.Peer < 0 || op.Peer >= int64(n) {
+					continue // size-dependent routing at another world's size
+				}
+				if anyRecvMatchesSend(ranks[op.Peer], int64(r), op.CommOp) {
+					continue
+				}
+				out = append(out, Finding{
+					Pos:      pkg.Fset.Position(sitePos(op.CommOp)),
+					Analyzer: "unmatched",
+					Message: fmt.Sprintf("in a %d-rank world, rank %d's %s has no matching receive on rank %d, whose receives are %s; the buffered send is lost",
+						n, r, renderOp(op.CommOp), op.Peer, renderOps(receiveOps(ranks[op.Peer]), 8)),
+				})
+			case OpRecv, OpProbe:
+				if op.PeerAny {
+					matched := false
+					for s := range ranks {
+						if anySendMatchesRecv(ranks[s], int64(s), int64(r), op.CommOp) {
+							matched = true
+							break
+						}
+					}
+					if !matched {
+						out = append(out, Finding{
+							Pos:      pkg.Fset.Position(sitePos(op.CommOp)),
+							Analyzer: "unmatched",
+							Message: fmt.Sprintf("in a %d-rank world, rank %d's %s can never be satisfied: no rank sends anything it matches",
+								n, r, renderOp(op.CommOp)),
+						})
+					}
+					continue
+				}
+				if !op.PeerKnown || op.Peer < 0 || op.Peer >= int64(n) {
+					continue
+				}
+				if anySendMatchesRecv(ranks[op.Peer], op.Peer, int64(r), op.CommOp) {
+					continue
+				}
+				out = append(out, Finding{
+					Pos:      pkg.Fset.Position(sitePos(op.CommOp)),
+					Analyzer: "unmatched",
+					Message: fmt.Sprintf("in a %d-rank world, rank %d's %s can never be satisfied: rank %d's sends are %s",
+						n, r, renderOp(op.CommOp), op.Peer, renderOps(sendOps(ranks[op.Peer]), 8)),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// anyRecvMatchesSend reports whether any receive-kind op of the peer could
+// accept a message from src with the send's tag (Cond/InLoop receives and
+// unknowns count as matching).
+func anyRecvMatchesSend(peerOps []RankOp, src int64, send CommOp) bool {
+	for _, r := range peerOps {
+		switch r.Kind {
+		case OpRecv, OpProbe, OpIrecv:
+		default:
+			continue
+		}
+		srcOK := r.PeerAny || !r.PeerKnown || r.Peer == src
+		tagOK := r.TagAny || !r.TagKnown || !send.TagKnown || r.Tag == send.Tag
+		if srcOK && tagOK {
+			return true
+		}
+	}
+	return false
+}
+
+// anySendMatchesRecv reports whether any send-kind op of rank `from` could
+// satisfy the receive posted by rank `to`.
+func anySendMatchesRecv(fromOps []RankOp, from, to int64, recv CommOp) bool {
+	for _, s := range fromOps {
+		switch s.Kind {
+		case OpSend, OpIsend, OpSendrecv:
+		default:
+			continue
+		}
+		dstOK := !s.PeerKnown || s.PeerAny || s.Peer == to
+		tagOK := !s.TagKnown || s.TagAny || !recv.TagKnown || recv.TagAny || s.Tag == recv.Tag
+		if dstOK && tagOK {
+			return true
+		}
+	}
+	return false
+}
+
+// receiveOps / sendOps filter a rank's ops for rendering in messages.
+func receiveOps(ops []RankOp) []CommOp {
+	var out []CommOp
+	for _, op := range ops {
+		switch op.Kind {
+		case OpRecv, OpProbe, OpIrecv:
+			out = append(out, op.CommOp)
+		}
+	}
+	return out
+}
+
+func sendOps(ops []RankOp) []CommOp {
+	var out []CommOp
+	for _, op := range ops {
+		switch op.Kind {
+		case OpSend, OpIsend, OpSendrecv:
+			out = append(out, op.CommOp)
+		}
+	}
+	return out
+}
+
+// ---- check: mismatch -----------------------------------------------------
+
+// mismatchIn compares the ranks' unconditional collective sequences; any
+// divergence in kind, order, or constant root deadlocks (or mis-pairs) the
+// collectives at runtime.
+func mismatchIn(pkg *Package, ep *entrypoint, n int, ranks [][]RankOp) []Finding {
+	seqs := make([][]CommOp, n)
+	for r, ops := range ranks {
+		for _, op := range ops {
+			if op.Kind == OpCollective && !op.Cond && !op.InLoop {
+				seqs[r] = append(seqs[r], op.CommOp)
+			}
+		}
+	}
+	for r := 1; r < n; r++ {
+		i, why := firstDivergence(seqs[0], seqs[r])
+		if i < 0 {
+			continue
+		}
+		pos := ep.pos
+		if i < len(seqs[0]) {
+			pos = sitePos(seqs[0][i])
+		} else if i < len(seqs[r]) {
+			pos = sitePos(seqs[r][i])
+		}
+		return []Finding{{
+			Pos:      pkg.Fset.Position(pos),
+			Analyzer: "mismatch",
+			Message: fmt.Sprintf("in a %d-rank world, rank 0 and rank %d execute different collective sequences (%s at step %d): rank 0 runs %s, rank %d runs %s",
+				n, r, why, i, renderOps(seqs[0], 8), r, renderOps(seqs[r], 8)),
+		}}
+	}
+	return nil
+}
+
+// firstDivergence returns the index and kind of the first difference
+// between two collective sequences, or -1 when they agree.
+func firstDivergence(a, b []CommOp) (int, string) {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i].Name != b[i].Name {
+			return i, a[i].Name + " vs " + b[i].Name
+		}
+		if a[i].RootKnown && b[i].RootKnown && a[i].Root != b[i].Root {
+			return i, fmt.Sprintf("%s root %d vs %d", a[i].Name, a[i].Root, b[i].Root)
+		}
+	}
+	if len(a) != len(b) {
+		i := len(a)
+		if len(b) < len(a) {
+			i = len(b)
+		}
+		return i, "sequence length"
+	}
+	return -1, ""
+}
+
+// ---- check: globaldeadlock -----------------------------------------------
+
+// deadlockIn runs the scheduler and reports a reachable blocked state,
+// unless phantom capacity (a weakened op that might satisfy it) exists.
+func deadlockIn(pkg *Package, ep *entrypoint, n int, ranks [][]RankOp) []Finding {
+	total := 0
+	for _, ops := range ranks {
+		total += len(ops)
+	}
+	if total == 0 {
+		return nil
+	}
+	dl, ok := findDeadlock(ranks)
+	if !ok || dl == nil {
+		return nil
+	}
+	if phantomCapacity(ranks, dl.state) {
+		return nil
+	}
+	// Report at the first blocked rank's pending op.
+	pos := ep.pos
+	var stacks []string
+	for r, ops := range ranks {
+		pc := dl.state.pcs[r]
+		if pc >= len(ops) {
+			stacks = append(stacks, fmt.Sprintf("rank %d finished", r))
+			continue
+		}
+		if pos == ep.pos {
+			pos = sitePos(ops[pc].CommOp)
+		}
+		stacks = append(stacks, fmt.Sprintf("rank %d blocked at %s (op %d of %d)",
+			r, renderOp(ops[pc].CommOp), pc+1, len(ops)))
+	}
+	inflight := ""
+	if len(dl.state.inflight) > 0 {
+		inflight = fmt.Sprintf(" with %d unmatchable message(s) in flight", len(dl.state.inflight))
+	}
+	return []Finding{{
+		Pos:      pkg.Fset.Position(pos),
+		Analyzer: "globaldeadlock",
+		Message: fmt.Sprintf("in a %d-rank world a reachable schedule blocks every rank%s: %s",
+			n, inflight, strings.Join(stacks, "; ")),
+	}}
+}
+
+// ---- -protocol rendering -------------------------------------------------
+
+// ProtocolDump renders the verifier's view of a package for `mpilint
+// -protocol`: every entrypoint with its per-rank instantiated traces per
+// world. Ops the engine treats as weakened are marked `?` (conditional)
+// and `*` (in a loop).
+func ProtocolDump(pkg *Package) string {
+	var b strings.Builder
+	for _, ep := range protocolEntrypoints(pkg) {
+		worlds := ep.worlds
+		if worlds == nil {
+			worlds = ProtocolWorlds
+		}
+		pos := pkg.Fset.Position(ep.pos)
+		fmt.Fprintf(&b, "%s (%s:%d)\n", ep.name, pos.Filename, pos.Line)
+		for _, n := range worlds {
+			ranks, ok := instantiateWorld(pkg, ep, n)
+			if !ok {
+				fmt.Fprintf(&b, "  world %d: (not modeled: trace too long, too deep, or recursive)\n", n)
+				continue
+			}
+			fmt.Fprintf(&b, "  world %d:\n", n)
+			for r, ops := range ranks {
+				var parts []string
+				for _, op := range ops {
+					s := renderOp(op.CommOp)
+					if op.Cond {
+						s += "?"
+					}
+					if op.InLoop {
+						s += "*"
+					}
+					parts = append(parts, s)
+				}
+				if len(parts) == 0 {
+					parts = append(parts, "(no ops)")
+				}
+				fmt.Fprintf(&b, "    rank %d: %s\n", r, strings.Join(parts, " "))
+			}
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,304 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// The protocol-verifier fixtures: each function below is an uncalled
+// SPMD-shaped declaration, so protocolEntrypoints picks it up and the
+// world engine simulates it at 2/4/8 ranks.
+
+func TestUnmatched(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{
+			name: "send and recv that can never pair",
+			src: header + `
+func f(c *mpi.Comm) {
+	if c.Rank() == 0 {
+		c.Send(1, 7, "x") // want unmatched
+	} else {
+		c.Recv(0, 8) // want unmatched
+	}
+}`,
+		},
+		{
+			name: "matched master/worker exchange is silent",
+			src: header + `
+func f(c *mpi.Comm) {
+	if c.Rank() == 0 {
+		c.Send(1, 7, "x")
+	} else if c.Rank() == 1 {
+		c.Recv(0, 7)
+	}
+}`,
+		},
+		{
+			name: "AnySource fan-in satisfies every worker send",
+			src: header + `
+func f(c *mpi.Comm) {
+	if c.Rank() == 0 {
+		for i := 1; i < c.Size(); i++ {
+			c.Recv(mpi.AnySource, 5)
+		}
+	} else {
+		c.Send(0, 5, "w")
+	}
+}`,
+		},
+		{
+			name: "ring with rank arithmetic resolves and pairs up",
+			src: header + `
+func f(c *mpi.Comm) {
+	c.Send((c.Rank()+1)%c.Size(), 9, "tok")
+	c.Recv((c.Rank()+c.Size()-1)%c.Size(), 9)
+}`,
+		},
+		{
+			name: "recv from the next rank instead of the previous",
+			src: header + `
+func f(c *mpi.Comm) {
+	c.Send((c.Rank()+1)%c.Size(), 9, "tok") // want unmatched
+	c.Recv((c.Rank()+1)%c.Size(), 9)        // want unmatched
+}`,
+		},
+		{
+			name: "unknown peer bails toward silence",
+			src: header + `
+func f(c *mpi.Comm, peer int) {
+	c.Send(peer, 3, "x")
+	c.Recv(peer, 3)
+}`,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) { checkFixture(t, "unmatched", tc.src) })
+	}
+}
+
+func TestMismatch(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{
+			name: "Bcast against Barrier",
+			src: header + `
+func f(c *mpi.Comm) {
+	if c.Rank() == 0 {
+		mpi.Bcast(c, 0, 1) // want mismatch
+	} else {
+		c.Barrier()
+	}
+}`,
+		},
+		{
+			name: "same collective, different constant roots",
+			src: header + `
+func f(c *mpi.Comm) {
+	if c.Rank() == 0 {
+		mpi.Bcast(c, 0, 1) // want mismatch
+	} else {
+		mpi.Bcast(c, 1, 1)
+	}
+}`,
+		},
+		{
+			name: "divergence buried three helpers deep",
+			src: header + `
+func top(c *mpi.Comm) {
+	middle(c)
+}
+
+func middle(c *mpi.Comm) {
+	inner(c)
+}
+
+func inner(c *mpi.Comm) {
+	leaf(c)
+}
+
+func leaf(c *mpi.Comm) {
+	if c.Rank() == 0 {
+		mpi.Bcast(c, 0, 1) // want mismatch
+	} else {
+		c.Barrier()
+	}
+}`,
+		},
+		{
+			name: "uniform sequence through helpers is silent",
+			src: header + `
+func top(c *mpi.Comm) {
+	c.Barrier()
+	step(c)
+	c.Barrier()
+}
+
+func step(c *mpi.Comm) {
+	mpi.Bcast(c, 0, 1)
+}`,
+		},
+		{
+			name: "rank-dependent extra collective",
+			src: header + `
+func f(c *mpi.Comm) {
+	c.Barrier()
+	if c.Rank() == 0 {
+		c.Barrier() // want mismatch
+	}
+}`,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) { checkFixture(t, "mismatch", tc.src) })
+	}
+}
+
+func TestGlobalDeadlock(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{
+			name: "both ranks recv first",
+			src: header + `
+func f(c *mpi.Comm) {
+	if c.Rank() == 0 {
+		c.Recv(1, 1) // want globaldeadlock
+	} else {
+		c.Recv(0, 2)
+	}
+	c.Barrier()
+}`,
+		},
+		{
+			name: "crossed tags deadlock even though peers pair up",
+			src: header + `
+func f(c *mpi.Comm) {
+	if c.Rank() == 0 {
+		c.Send(1, 1, "x")
+		c.Recv(1, 3) // want globaldeadlock
+	} else {
+		c.Send(0, 2, "y")
+		c.Recv(0, 4)
+	}
+}`,
+		},
+		{
+			name: "send before recv drains cleanly",
+			src: header + `
+func f(c *mpi.Comm) {
+	if c.Rank() == 0 {
+		c.Send(1, 1, "x")
+		c.Recv(1, 2)
+	} else if c.Rank() == 1 {
+		c.Recv(0, 1)
+		c.Send(0, 2, "y")
+	}
+}`,
+		},
+		{
+			name: "aggregate-style page window with wildcard fan-in",
+			src: header + `
+func aggregate(c *mpi.Comm) {
+	var reqs []*mpi.Request
+	for r := 0; r < c.Size(); r++ {
+		if r == c.Rank() {
+			continue
+		}
+		reqs = append(reqs, c.Isend(r, 3, "page"))
+	}
+	for seen := 0; seen < c.Size()-1; seen++ {
+		c.Recv(mpi.AnySource, 3)
+	}
+	for _, q := range reqs {
+		q.Wait()
+	}
+	c.Barrier()
+}`,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) { checkFixture(t, "globaldeadlock", tc.src) })
+	}
+}
+
+// TestProtocolLiteralEntrypoint checks that a function literal handed to
+// RunWith with a constant rank count is simulated at exactly that world.
+func TestProtocolLiteralEntrypoint(t *testing.T) {
+	src := header + `
+func driver() {
+	mpi.RunWith(2, mpi.RunOptions{}, func(c *mpi.Comm) error {
+		if c.Rank() == 0 {
+			c.Recv(1, 1) // want globaldeadlock
+		} else {
+			c.Recv(0, 2)
+		}
+		return nil
+	})
+}`
+	checkFixture(t, "globaldeadlock", src)
+}
+
+// TestProtocolMessagesNameBothRanks pins the diagnostic contract: the
+// message must name the world size and render both sides' traces, so a
+// reader can see the disagreement without re-running the tool.
+func TestProtocolMessagesNameBothRanks(t *testing.T) {
+	src := header + `
+func f(c *mpi.Comm) {
+	if c.Rank() == 0 {
+		mpi.Bcast(c, 0, 1)
+	} else {
+		c.Barrier()
+	}
+}`
+	pkg := parseFixture(t, src)
+	fs := CheckWith(pkg, selectByName(t, "mismatch"))
+	if len(fs) != 1 {
+		t.Fatalf("findings = %d, want 1: %v", len(fs), fs)
+	}
+	msg := fs[0].Message
+	for _, want := range []string{"2-rank world", "rank 0 runs [Bcast(root=0)]", "rank 1 runs [Barrier]"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("mismatch message missing %q:\n%s", want, msg)
+		}
+	}
+}
+
+// TestProtocolDump smoke-tests the -protocol rendering: every rank of every
+// world appears, with conditional ops marked.
+func TestProtocolDump(t *testing.T) {
+	src := header + `
+func f(c *mpi.Comm) {
+	c.Barrier()
+	if c.Rank() == 0 {
+		c.Send(1, 7, "x")
+	} else if c.Rank() == 1 {
+		c.Recv(0, 7)
+	}
+}`
+	pkg := parseFixture(t, src)
+	dump := ProtocolDump(pkg)
+	for _, want := range []string{"world 2:", "world 4:", "world 8:", "rank 0: Barrier Send(peer=1,tag=7)", "rank 1: Barrier Recv(peer=0,tag=7)", "rank 2: Barrier"} {
+		if !strings.Contains(dump, want) {
+			t.Errorf("ProtocolDump missing %q:\n%s", want, dump)
+		}
+	}
+}
+
+// selectByName narrows the registry to one analyzer for direct CheckWith
+// calls.
+func selectByName(t *testing.T, name string) []*Analyzer {
+	t.Helper()
+	for _, a := range Analyzers() {
+		if a.Name == name {
+			return []*Analyzer{a}
+		}
+	}
+	t.Fatalf("no analyzer named %q", name)
+	return nil
+}

@@ -94,6 +94,11 @@ type CommOp struct {
 	// reach it, outermost first (empty for a direct op).
 	Pos token.Pos
 	Via []token.Pos
+	// peerX, tagX, rootX keep the argument expressions themselves, so the
+	// protocol verifier (world.go) can re-evaluate them under a concrete
+	// rank/size environment where evalConst alone saw nothing constant
+	// (e.g. `(rank+1)%size`). Nil when the op has no such argument.
+	peerX, tagX, rootX ast.Expr
 }
 
 // Blocking reports whether the op can block its rank. Sends are buffered in
@@ -175,6 +180,9 @@ type Summaries struct {
 	state  map[*ast.FuncDecl]int // 0 new, 1 in progress, 2 done
 	fileOf map[*ast.FuncDecl]*ast.File
 	direct map[*ast.FuncDecl][]event
+	// steps caches the conditional trace trees of the protocol verifier
+	// (world.go).
+	steps map[*ast.FuncDecl][]traceStep
 }
 
 // Summaries returns the package's summary table, computing it on first use.
@@ -358,12 +366,12 @@ func (s *Summaries) CollectivesUnder(n ast.Node, fd *ast.FuncDecl) []collectiveU
 // using type information where attached and the v1 syntactic heuristics
 // otherwise.
 type opExtractor struct {
-	pkg              *Package
-	alias, mrAlias   string // file's mpi / mrmpi import names
-	inMPI, inMR      bool
-	env              constEnv
-	kvIdents         map[string]bool // idents that are KeyValue emitter handles
-	reqIdents        map[string]bool // idents bound from Isend/Irecv
+	pkg            *Package
+	alias, mrAlias string // file's mpi / mrmpi import names
+	inMPI, inMR    bool
+	env            constEnv
+	kvIdents       map[string]bool // idents that are KeyValue emitter handles
+	reqIdents      map[string]bool // idents bound from Isend/Irecv
 }
 
 // events walks n in source order collecting ops and call edges. Function
@@ -401,6 +409,7 @@ func (x *opExtractor) opsFor(call *ast.CallExpr) ([]CommOp, bool) {
 	if name := x.pkg.collectiveCallName(call, x.alias, x.inMPI); name != "" {
 		op := CommOp{Kind: OpCollective, Name: name, Pos: call.Pos()}
 		if idx, ok := rootedFuncs[name]; ok && idx < len(call.Args) {
+			op.rootX = call.Args[idx]
 			if v, ok := evalConst(call.Args[idx], x.env); ok {
 				op.Root, op.RootKnown = v, true
 			}
@@ -455,6 +464,7 @@ func (x *opExtractor) opsFor(call *ast.CallExpr) ([]CommOp, bool) {
 
 // peerTag fills the constant peer and tag facts of a p2p op.
 func (x *opExtractor) peerTag(op *CommOp, peer, tag ast.Expr) {
+	op.peerX, op.tagX = peer, tag
 	if isWildcard(peer, "AnySource", x.alias, x.inMPI) {
 		op.PeerAny = true
 	} else if v, ok := evalConst(peer, x.env); ok {

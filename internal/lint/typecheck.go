@@ -110,6 +110,14 @@ func findModule(dir string) (root, path string) {
 	}
 }
 
+// ModuleRoot returns the directory of the enclosing Go module of dir, or ""
+// when dir is not inside a module. cmd/mpilint uses it to normalize baseline
+// and SARIF paths to module-root-relative form.
+func ModuleRoot(dir string) string {
+	root, _ := findModule(dir)
+	return root
+}
+
 // Import implements types.Importer. Module-internal paths check from
 // source; everything else yields a complete-but-empty placeholder, so
 // references through it become types.Invalid rather than load failures.

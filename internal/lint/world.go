@@ -1,0 +1,1038 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// This file is the world engine of the protocol verifier (see protocol.go
+// for the checks built on it). Where summary.go flattens branches into
+// may-traces — sound for per-function checks but too lossy to match ranks
+// against each other — this engine keeps the branch structure: it builds a
+// per-function *conditional trace tree* (ops, call edges, branches with
+// their conditions, loops), then instantiates that tree once per rank of a
+// concrete N-rank world, evaluating rank-conditional branches under
+// `rank == k` and re-evaluating peer/tag/root expressions under the same
+// environment (so `(rank+1)%size` resolves). The result is one RankOp list
+// per rank, which the checks match pairwise and the scheduler explores.
+//
+// Every approximation bails toward silence: an undecidable branch
+// instantiates all of its arms with Cond set (the op may not execute), a
+// loop body instantiates once with InLoop set (the op may execute zero or
+// many times), and Cond/InLoop ops get skip transitions in the scheduler
+// and count as potential matchers — so nothing the engine is unsure about
+// can ever manufacture a finding.
+
+// ---- conditional trace tree ----------------------------------------------
+
+// traceStep is one node of a function's conditional trace tree.
+type traceStep interface{ isStep() }
+
+// stepOp is a leaf communication op.
+type stepOp struct{ op CommOp }
+
+// stepCall is an in-package call edge expanded at instantiation time (with
+// constant arguments propagated into the callee's environment).
+type stepCall struct {
+	callee *ast.FuncDecl
+	call   *ast.CallExpr
+	pos    token.Pos
+}
+
+// stepBranch is an if/else-if chain, switch, type switch, or select. Arms
+// are tried in source order; the evaluator stops at the first arm whose
+// condition is definitely true.
+type stepBranch struct{ arms []traceArm }
+
+// traceArm is one arm of a branch. The condition is either cond (if-arm),
+// tag+cases (switch case), or nothing (else / default / implicit empty
+// arm, which matches whenever no earlier arm did). opaque marks arms whose
+// condition can never be decided (type switches, selects).
+type traceArm struct {
+	cond   ast.Expr
+	tag    ast.Expr
+	cases  []ast.Expr
+	opaque bool
+	body   []traceStep
+}
+
+// stepLoop is a for/range body, instantiated once with InLoop set. rankDep
+// marks loops whose trip count depends on the rank, so their ops are also
+// conditional (different ranks may run them a different number of times).
+type stepLoop struct {
+	rankDep bool
+	body    []traceStep
+}
+
+// stepReturn terminates the instantiation of the current path (return,
+// panic, os.Exit-shaped calls are not modeled — only return and panic).
+type stepReturn struct{}
+
+func (stepOp) isStep()     {}
+func (stepCall) isStep()   {}
+func (stepBranch) isStep() {}
+func (stepLoop) isStep()   {}
+func (stepReturn) isStep() {}
+
+// stepsOf builds (and caches) the conditional trace tree of a declaration.
+func (s *Summaries) stepsOf(fd *ast.FuncDecl) []traceStep {
+	if s.steps == nil {
+		s.steps = map[*ast.FuncDecl][]traceStep{}
+	}
+	if st, ok := s.steps[fd]; ok {
+		return st
+	}
+	b := &stepBuilder{x: s.extractor(fd), rankVars: rankVarsOf(fd)}
+	st := b.block(fd.Body.List)
+	s.steps[fd] = st
+	return st
+}
+
+// stepsOfNode builds the tree of an arbitrary body (a FuncLit passed to
+// mpi.Run) in the context of its enclosing declaration.
+func (s *Summaries) stepsOfNode(body *ast.BlockStmt, encl *ast.FuncDecl, lit *ast.FuncLit) []traceStep {
+	b := &stepBuilder{x: s.extractor(encl), rankVars: boundFromCall(lit, "Rank")}
+	return b.block(body.List)
+}
+
+// stepBuilder walks statement lists into trace steps.
+type stepBuilder struct {
+	x        *opExtractor
+	rankVars map[string]bool
+}
+
+// block converts a statement list.
+func (b *stepBuilder) block(stmts []ast.Stmt) []traceStep {
+	var out []traceStep
+	for _, st := range stmts {
+		out = append(out, b.stmt(st)...)
+	}
+	return out
+}
+
+// stmt converts one statement. Compound statements keep their structure;
+// everything else is a leaf whose ops come from the summary extractor
+// (which already skips function literals and go statements).
+func (b *stepBuilder) stmt(st ast.Stmt) []traceStep {
+	switch v := st.(type) {
+	case *ast.BlockStmt:
+		return b.block(v.List)
+	case *ast.LabeledStmt:
+		return b.stmt(v.Stmt)
+	case *ast.IfStmt:
+		var out []traceStep
+		if v.Init != nil {
+			out = append(out, b.leaf(v.Init)...)
+		}
+		out = append(out, b.leafExpr(v.Cond)...)
+		br := stepBranch{}
+		for {
+			br.arms = append(br.arms, traceArm{cond: v.Cond, body: b.block(v.Body.List)})
+			switch e := v.Else.(type) {
+			case *ast.IfStmt:
+				v = e
+				continue
+			case *ast.BlockStmt:
+				br.arms = append(br.arms, traceArm{body: b.block(e.List)})
+			default:
+				br.arms = append(br.arms, traceArm{})
+			}
+			break
+		}
+		return append(out, br)
+	case *ast.SwitchStmt:
+		var out []traceStep
+		if v.Init != nil {
+			out = append(out, b.leaf(v.Init)...)
+		}
+		if v.Tag != nil {
+			out = append(out, b.leafExpr(v.Tag)...)
+		}
+		br := stepBranch{}
+		var def *traceArm
+		for _, c := range v.Body.List {
+			cc := c.(*ast.CaseClause)
+			arm := traceArm{body: b.block(cc.Body)}
+			switch {
+			case cc.List == nil:
+				// default: matches when nothing else did — order it last.
+				d := arm
+				def = &d
+				continue
+			case v.Tag != nil:
+				arm.tag, arm.cases = v.Tag, cc.List
+			case len(cc.List) == 1:
+				arm.cond = cc.List[0] // tagless switch: case exprs are conditions
+			default:
+				arm.opaque = true
+			}
+			br.arms = append(br.arms, arm)
+		}
+		if def != nil {
+			br.arms = append(br.arms, *def)
+		} else {
+			br.arms = append(br.arms, traceArm{}) // implicit empty arm
+		}
+		return append(out, br)
+	case *ast.TypeSwitchStmt, *ast.SelectStmt:
+		// Undecidable dispatch: every arm is opaque.
+		br := stepBranch{}
+		switch w := st.(type) {
+		case *ast.TypeSwitchStmt:
+			for _, c := range w.Body.List {
+				cc := c.(*ast.CaseClause)
+				br.arms = append(br.arms, traceArm{opaque: true, body: b.block(cc.Body)})
+			}
+		case *ast.SelectStmt:
+			for _, c := range w.Body.List {
+				cc := c.(*ast.CommClause)
+				br.arms = append(br.arms, traceArm{opaque: true, body: b.block(cc.Body)})
+			}
+		}
+		br.arms = append(br.arms, traceArm{}) // the no-arm path
+		return []traceStep{br}
+	case *ast.ForStmt:
+		var out []traceStep
+		if v.Init != nil {
+			out = append(out, b.leaf(v.Init)...)
+		}
+		rankDep := v.Cond != nil && isRankExpr(v.Cond, b.rankVars)
+		if v.Cond != nil {
+			out = append(out, b.leafExpr(v.Cond)...)
+		}
+		body := b.block(v.Body.List)
+		if v.Post != nil {
+			body = append(body, b.leaf(v.Post)...)
+		}
+		return append(out, stepLoop{rankDep: rankDep, body: body})
+	case *ast.RangeStmt:
+		out := b.leafExpr(v.X)
+		rankDep := isRankExpr(v.X, b.rankVars)
+		return append(out, stepLoop{rankDep: rankDep, body: b.block(v.Body.List)})
+	case *ast.ReturnStmt:
+		return append(b.leaf(st), stepReturn{})
+	case *ast.BranchStmt:
+		return nil // break/continue/goto: loop bodies are single-shot anyway
+	case *ast.ExprStmt:
+		if call, ok := v.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return append(b.leaf(st), stepReturn{})
+			}
+		}
+		return b.leaf(st)
+	default:
+		return b.leaf(st)
+	}
+}
+
+// leaf extracts the ops and call edges of a non-compound statement.
+func (b *stepBuilder) leaf(n ast.Node) []traceStep {
+	var out []traceStep
+	for _, ev := range b.x.events(n) {
+		if ev.callee != nil {
+			out = append(out, stepCall{callee: ev.callee, call: callIn(n, ev.pos), pos: ev.pos})
+			continue
+		}
+		out = append(out, stepOp{op: ev.op})
+	}
+	return out
+}
+
+// leafExpr is leaf for expressions (branch conditions, loop bounds).
+func (b *stepBuilder) leafExpr(e ast.Expr) []traceStep {
+	if e == nil {
+		return nil
+	}
+	return b.leaf(e)
+}
+
+// callIn finds the CallExpr at pos inside n, so stepCall can propagate its
+// arguments into the callee environment.
+func callIn(n ast.Node, pos token.Pos) *ast.CallExpr {
+	var found *ast.CallExpr
+	ast.Inspect(n, func(nn ast.Node) bool {
+		if call, ok := nn.(*ast.CallExpr); ok && call.Pos() == pos {
+			found = call
+			return false
+		}
+		return found == nil
+	})
+	return found
+}
+
+// ---- rank-world evaluation -----------------------------------------------
+
+// worldEnv is the evaluation environment of one rank in one world: the
+// concrete rank and size, the visible integer constants (package + local +
+// constants propagated through call arguments), and the identifiers known
+// to hold Rank()/Size().
+type worldEnv struct {
+	rank, size int64
+	consts     map[string]int64
+	rankVars   map[string]bool
+	sizeVars   map[string]bool
+}
+
+// evalWorldExpr evaluates an integer expression under a world environment:
+// evalConst's subset plus Rank()/Size() calls, .rank/.size selectors, and
+// rank/size-bound identifiers.
+func evalWorldExpr(e ast.Expr, env *worldEnv) (int64, bool) {
+	switch v := e.(type) {
+	case *ast.Ident:
+		if env.rankVars[v.Name] {
+			return env.rank, true
+		}
+		if env.sizeVars[v.Name] {
+			return env.size, true
+		}
+		c, ok := env.consts[v.Name]
+		return c, ok
+	case *ast.CallExpr:
+		switch _, name := callTarget(v); name {
+		case "Rank":
+			return env.rank, true
+		case "Size":
+			return env.size, true
+		}
+		return 0, false
+	case *ast.SelectorExpr:
+		switch v.Sel.Name {
+		case "rank":
+			return env.rank, true
+		case "size":
+			return env.size, true
+		}
+		return 0, false
+	case *ast.ParenExpr:
+		return evalWorldExpr(v.X, env)
+	case *ast.UnaryExpr:
+		x, ok := evalWorldExpr(v.X, env)
+		if !ok {
+			return 0, false
+		}
+		switch v.Op {
+		case token.SUB:
+			return -x, true
+		case token.ADD:
+			return x, true
+		case token.XOR:
+			return ^x, true
+		}
+		return 0, false
+	case *ast.BasicLit:
+		return evalConst(e, constEnv{})
+	case *ast.BinaryExpr:
+		a, okA := evalWorldExpr(v.X, env)
+		b, okB := evalWorldExpr(v.Y, env)
+		if !okA || !okB {
+			return 0, false
+		}
+		switch v.Op {
+		case token.ADD:
+			return a + b, true
+		case token.SUB:
+			return a - b, true
+		case token.MUL:
+			return a * b, true
+		case token.QUO:
+			if b == 0 {
+				return 0, false
+			}
+			return a / b, true
+		case token.REM:
+			if b == 0 {
+				return 0, false
+			}
+			return a % b, true
+		case token.AND:
+			return a & b, true
+		case token.OR:
+			return a | b, true
+		case token.XOR:
+			return a ^ b, true
+		case token.SHL:
+			if b < 0 || b > 63 {
+				return 0, false
+			}
+			return a << uint(b), true
+		case token.SHR:
+			if b < 0 || b > 63 {
+				return 0, false
+			}
+			return a >> uint(b), true
+		}
+		return 0, false
+	}
+	return 0, false
+}
+
+// evalWorldCond evaluates a boolean condition three-valuedly: ansYes/ansNo
+// when the comparison is decided by the environment, ansUnknown otherwise.
+func evalWorldCond(e ast.Expr, env *worldEnv) answer {
+	switch v := e.(type) {
+	case *ast.ParenExpr:
+		return evalWorldCond(v.X, env)
+	case *ast.Ident:
+		switch v.Name {
+		case "true":
+			return ansYes
+		case "false":
+			return ansNo
+		}
+		return ansUnknown
+	case *ast.UnaryExpr:
+		if v.Op != token.NOT {
+			return ansUnknown
+		}
+		switch evalWorldCond(v.X, env) {
+		case ansYes:
+			return ansNo
+		case ansNo:
+			return ansYes
+		}
+		return ansUnknown
+	case *ast.BinaryExpr:
+		switch v.Op {
+		case token.LAND:
+			a, b := evalWorldCond(v.X, env), evalWorldCond(v.Y, env)
+			if a == ansNo || b == ansNo {
+				return ansNo
+			}
+			if a == ansYes && b == ansYes {
+				return ansYes
+			}
+			return ansUnknown
+		case token.LOR:
+			a, b := evalWorldCond(v.X, env), evalWorldCond(v.Y, env)
+			if a == ansYes || b == ansYes {
+				return ansYes
+			}
+			if a == ansNo && b == ansNo {
+				return ansNo
+			}
+			return ansUnknown
+		case token.EQL, token.NEQ, token.LSS, token.LEQ, token.GTR, token.GEQ:
+			a, okA := evalWorldExpr(v.X, env)
+			b, okB := evalWorldExpr(v.Y, env)
+			if !okA || !okB {
+				return ansUnknown
+			}
+			var truth bool
+			switch v.Op {
+			case token.EQL:
+				truth = a == b
+			case token.NEQ:
+				truth = a != b
+			case token.LSS:
+				truth = a < b
+			case token.LEQ:
+				truth = a <= b
+			case token.GTR:
+				truth = a > b
+			case token.GEQ:
+				truth = a >= b
+			}
+			if truth {
+				return ansYes
+			}
+			return ansNo
+		}
+	}
+	return ansUnknown
+}
+
+// ---- instantiation -------------------------------------------------------
+
+// RankOp is one op of one rank's instantiated trace. Cond marks ops the
+// rank may or may not execute (undecidable branch, rank-dependent loop, a
+// path after a possible early return); InLoop marks ops that may execute
+// zero or many times. Both weaken the op for matching and give it a skip
+// transition in the scheduler.
+type RankOp struct {
+	CommOp
+	Cond   bool
+	InLoop bool
+}
+
+// maxRankOps caps one rank's instantiated trace; exceeding it abandons the
+// entrypoint (toward silence).
+const maxRankOps = 256
+
+// maxCallDepth bounds call-edge expansion during instantiation.
+const maxCallDepth = 16
+
+// flow is the control-flow status of an instantiated step sequence.
+type flow int
+
+const (
+	flowLive  flow = iota // definitely continues
+	flowMaybe             // may have returned on some path
+	flowDead              // definitely returned
+)
+
+// instantiator accumulates one rank's ops while walking trace trees.
+type instantiator struct {
+	s     *Summaries
+	ops   []RankOp
+	stack map[*ast.FuncDecl]bool
+	depth int
+	bad   bool // trace too long, recursion, or other give-up
+}
+
+// instantiateRank produces rank's op list for a world of the given size,
+// ok=false when the engine gave up.
+func (s *Summaries) instantiateRank(steps []traceStep, env *worldEnv) ([]RankOp, bool) {
+	in := &instantiator{s: s, stack: map[*ast.FuncDecl]bool{}}
+	in.run(steps, env, false, false)
+	if in.bad {
+		return nil, false
+	}
+	return in.ops, true
+}
+
+// run instantiates a step list under env; cond/inLoop carry the enclosing
+// conditionality. Returns the flow status of the list.
+func (in *instantiator) run(steps []traceStep, env *worldEnv, cond, inLoop bool) flow {
+	status := flowLive
+	for _, st := range steps {
+		if in.bad {
+			return status
+		}
+		// After a possible early return, everything is conditional.
+		c := cond || status == flowMaybe
+		switch v := st.(type) {
+		case stepOp:
+			op := v.op
+			in.resolve(&op, env)
+			if len(in.ops) >= maxRankOps {
+				in.bad = true
+				return status
+			}
+			in.ops = append(in.ops, RankOp{CommOp: op, Cond: c, InLoop: inLoop})
+		case stepReturn:
+			if !c {
+				return flowDead
+			}
+			status = flowMaybe
+		case stepCall:
+			in.expandCall(v, env, c, inLoop)
+		case stepLoop:
+			if in.run(v.body, env, true, true) != flowLive && status == flowLive {
+				status = flowMaybe
+			}
+			_ = v.rankDep // rank-dependent trip counts are already Cond via cond=true
+		case stepBranch:
+			bs := in.branch(v, env, c, inLoop)
+			switch bs {
+			case flowDead:
+				if !c {
+					return flowDead
+				}
+				status = flowMaybe
+			case flowMaybe:
+				status = flowMaybe
+			}
+		}
+	}
+	return status
+}
+
+// branch instantiates a stepBranch: arms are tried in order, a definitely
+// true arm is taken exclusively, undecidable arms are all instantiated with
+// Cond set.
+func (in *instantiator) branch(br stepBranch, env *worldEnv, cond, inLoop bool) flow {
+	anyUnknown := false
+	var maybeReturn bool
+	for _, arm := range br.arms {
+		switch in.armMatch(arm, env) {
+		case ansNo:
+			continue
+		case ansYes:
+			if !anyUnknown {
+				// Exclusively taken.
+				return in.run(arm.body, env, cond, inLoop)
+			}
+			// Reached only if every earlier unknown arm was false.
+			if in.run(arm.body, env, true, inLoop) != flowLive {
+				maybeReturn = true
+			}
+			// Arms after a true condition are unreachable either way.
+			if maybeReturn {
+				return flowMaybe
+			}
+			return flowLive
+		default:
+			anyUnknown = true
+			if in.run(arm.body, env, true, inLoop) != flowLive {
+				maybeReturn = true
+			}
+		}
+	}
+	if maybeReturn {
+		return flowMaybe
+	}
+	return flowLive
+}
+
+// armMatch decides an arm's condition under the environment.
+func (in *instantiator) armMatch(arm traceArm, env *worldEnv) answer {
+	if arm.opaque {
+		return ansUnknown
+	}
+	if arm.cond != nil {
+		return evalWorldCond(arm.cond, env)
+	}
+	if arm.tag != nil {
+		tv, ok := evalWorldExpr(arm.tag, env)
+		if !ok {
+			return ansUnknown
+		}
+		allKnown := true
+		for _, ce := range arm.cases {
+			cv, ok := evalWorldExpr(ce, env)
+			if !ok {
+				allKnown = false
+				continue
+			}
+			if cv == tv {
+				return ansYes
+			}
+		}
+		if allKnown {
+			return ansNo
+		}
+		return ansUnknown
+	}
+	return ansYes // else / default / implicit arm
+}
+
+// expandCall instantiates a callee's tree under a fresh environment with
+// constant (and rank/size) argument values bound to parameter names.
+func (in *instantiator) expandCall(sc stepCall, env *worldEnv, cond, inLoop bool) {
+	fd := sc.callee
+	if fd == nil || fd.Body == nil {
+		return
+	}
+	if in.stack[fd] || in.depth >= maxCallDepth {
+		// Recursive or too-deep protocols are beyond the model: give up on
+		// the entrypoint rather than reason about half of it.
+		if sumHasMPI(in.s.of(fd)) {
+			in.bad = true
+		}
+		return
+	}
+	callee := &worldEnv{
+		rank:     env.rank,
+		size:     env.size,
+		consts:   localConsts(fd, in.s.pkg.Consts),
+		rankVars: rankVarsOf(fd),
+		sizeVars: sizeVarsOf(fd),
+	}
+	// Bind call arguments to parameter names: constants become constants,
+	// rank/size expressions mark the parameter as a rank/size variable.
+	if sc.call != nil && fd.Type.Params != nil {
+		flat := flatParamNames(fd)
+		if len(flat) == len(sc.call.Args) {
+			bound := false
+			for i, arg := range sc.call.Args {
+				name := flat[i]
+				if name == "" || name == "_" {
+					continue
+				}
+				if v, ok := evalWorldExpr(arg, env); ok {
+					if !bound {
+						callee.consts = copyConsts(callee.consts)
+						bound = true
+					}
+					// Rank and size stay symbolic via the var sets; plain
+					// values become constants.
+					switch {
+					case exprIsExactly(arg, env.rankVars, "Rank", "rank"):
+						callee.rankVars[name] = true
+					case exprIsExactly(arg, env.sizeVars, "Size", "size"):
+						callee.sizeVars[name] = true
+					default:
+						callee.consts[name] = v
+					}
+				}
+			}
+		}
+	}
+	prevDepth := in.depth
+	in.stack[fd] = true
+	in.depth++
+	st := in.run(in.s.stepsOf(fd), callee, cond, inLoop)
+	in.depth = prevDepth
+	delete(in.stack, fd)
+	_ = st // a callee's early return ends the callee only
+}
+
+// exprIsExactly reports whether arg is precisely the rank (or size) value:
+// a bound identifier, a Method() call, or a .field selector — not an
+// arithmetic derivation.
+func exprIsExactly(arg ast.Expr, vars map[string]bool, method, field string) bool {
+	switch v := arg.(type) {
+	case *ast.Ident:
+		return vars[v.Name]
+	case *ast.CallExpr:
+		_, name := callTarget(v)
+		return name == method
+	case *ast.SelectorExpr:
+		return v.Sel.Name == field
+	case *ast.ParenExpr:
+		return exprIsExactly(v.X, vars, method, field)
+	}
+	return false
+}
+
+// flatParamNames flattens a declaration's parameter names (one entry per
+// value, "" for unnamed).
+func flatParamNames(fd *ast.FuncDecl) []string {
+	var out []string
+	for _, field := range fd.Type.Params.List {
+		if len(field.Names) == 0 {
+			out = append(out, "")
+			continue
+		}
+		for _, n := range field.Names {
+			out = append(out, n.Name)
+		}
+	}
+	return out
+}
+
+func copyConsts(m map[string]int64) map[string]int64 {
+	out := make(map[string]int64, len(m)+4)
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// sumHasMPI reports whether a summary contains any MPI op.
+func sumHasMPI(sum *Summary) bool {
+	if len(sum.Collectives) > 0 {
+		return true
+	}
+	for _, op := range sum.Trace {
+		if op.MPI() {
+			return true
+		}
+	}
+	return false
+}
+
+// resolve re-evaluates an op's peer/tag/root argument expressions under the
+// rank environment, upgrading unknown values to known ones where the
+// expression is rank/size arithmetic.
+func (in *instantiator) resolve(op *CommOp, env *worldEnv) {
+	if !op.PeerKnown && !op.PeerAny && op.peerX != nil {
+		if v, ok := evalWorldExpr(op.peerX, env); ok {
+			op.Peer, op.PeerKnown = v, true
+		}
+	}
+	if !op.TagKnown && !op.TagAny && op.tagX != nil {
+		if v, ok := evalWorldExpr(op.tagX, env); ok {
+			op.Tag, op.TagKnown = v, true
+		}
+	}
+	if !op.RootKnown && op.rootX != nil {
+		if v, ok := evalWorldExpr(op.rootX, env); ok {
+			op.Root, op.RootKnown = v, true
+		}
+	}
+}
+
+// ---- the scheduler -------------------------------------------------------
+
+// worldMsg is one buffered message in flight. dstKnown/tagKnown=false makes
+// the field a wildcard that matches anything (toward silence).
+type worldMsg struct {
+	src, dst, tag      int64
+	dstKnown, tagKnown bool
+}
+
+// schedState is one explored state: per-rank program counters plus the
+// multiset of messages in flight.
+type schedState struct {
+	pcs      []int
+	inflight []worldMsg
+}
+
+// key renders a canonical state key for the visited set.
+func (st *schedState) key() string {
+	var b strings.Builder
+	for _, pc := range st.pcs {
+		fmt.Fprintf(&b, "%d,", pc)
+	}
+	b.WriteByte('|')
+	msgs := append([]worldMsg(nil), st.inflight...)
+	// Insertion sort: inflight stays tiny.
+	for i := 1; i < len(msgs); i++ {
+		for j := i; j > 0 && msgLess(msgs[j], msgs[j-1]); j-- {
+			msgs[j], msgs[j-1] = msgs[j-1], msgs[j]
+		}
+	}
+	for _, m := range msgs {
+		fmt.Fprintf(&b, "%d:%d:%v:%d:%v;", m.src, m.dst, m.dstKnown, m.tag, m.tagKnown)
+	}
+	return b.String()
+}
+
+func msgLess(a, b worldMsg) bool {
+	if a.src != b.src {
+		return a.src < b.src
+	}
+	if a.dst != b.dst {
+		return a.dst < b.dst
+	}
+	return a.tag < b.tag
+}
+
+// maxSchedStates caps the state search; past it the scheduler gives up
+// silently (an unexplored schedule can only hide a bug, not invent one).
+const maxSchedStates = 20000
+
+// maxInflight caps buffered messages per state.
+const maxInflight = 96
+
+// deadlock is the scheduler's verdict: the blocked state it found, or nil.
+type deadlock struct {
+	state schedState
+}
+
+// findDeadlock explores the interleavings of the per-rank op lists and
+// returns a reachable global blocked state (every unfinished rank stuck at
+// an unconditional blocking op with nothing to satisfy it), or nil. ok is
+// false when the search hit a cap and proved nothing.
+func findDeadlock(ranks [][]RankOp) (*deadlock, bool) {
+	n := len(ranks)
+	start := schedState{pcs: make([]int, n)}
+	visited := map[string]bool{start.key(): true}
+	stack := []schedState{start}
+	states := 0
+	for len(stack) > 0 {
+		states++
+		if states > maxSchedStates {
+			return nil, false
+		}
+		st := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		next, blocked := successors(ranks, st)
+		if blocked {
+			return &deadlock{state: st}, true
+		}
+		for _, ns := range next {
+			if len(ns.inflight) > maxInflight {
+				return nil, false
+			}
+			k := ns.key()
+			if !visited[k] {
+				visited[k] = true
+				stack = append(stack, ns)
+			}
+		}
+	}
+	return nil, true
+}
+
+// successors computes the next states of st; blocked=true when st has no
+// successor and some rank is unfinished (a global deadlock candidate).
+func successors(ranks [][]RankOp, st schedState) (next []schedState, blocked bool) {
+	n := len(ranks)
+	unfinished := false
+	for r := 0; r < n; r++ {
+		pc := st.pcs[r]
+		if pc >= len(ranks[r]) {
+			continue
+		}
+		unfinished = true
+		op := ranks[r][pc]
+		if op.Cond || op.InLoop {
+			next = append(next, advance(st, r, nil, -1)) // skip transition
+		}
+		switch op.Kind {
+		case OpSend, OpIsend, OpSendrecv:
+			m := worldMsg{src: int64(r)}
+			if op.PeerKnown {
+				m.dst, m.dstKnown = op.Peer, true
+			}
+			if op.TagKnown {
+				m.tag, m.tagKnown = op.Tag, true
+			}
+			if op.PeerAny {
+				m.dstKnown = false
+			}
+			if op.TagAny {
+				m.tagKnown = false
+			}
+			next = append(next, advance(st, r, &m, -1))
+		case OpIrecv, OpWait, OpEmit:
+			next = append(next, advance(st, r, nil, -1))
+		case OpRecv:
+			for i, m := range st.inflight {
+				if msgMatches(m, op, int64(r)) {
+					next = append(next, advance(st, r, nil, i))
+				}
+			}
+		case OpProbe:
+			for _, m := range st.inflight {
+				if msgMatches(m, op, int64(r)) {
+					next = append(next, advance(st, r, nil, -1))
+					break
+				}
+			}
+		case OpCollective:
+			if ns, ok := collectiveAdvance(ranks, st, op.Name); ok {
+				next = append(next, ns)
+			}
+		}
+	}
+	return next, unfinished && len(next) == 0
+}
+
+// msgMatches applies the runtime's receive matching (tag-selective with
+// wildcards) with unknowns counting as matches.
+func msgMatches(m worldMsg, op RankOp, rank int64) bool {
+	if m.dstKnown && m.dst != rank {
+		return false
+	}
+	if !op.PeerAny && op.PeerKnown && m.src != op.Peer {
+		return false
+	}
+	if !op.TagAny && op.TagKnown && m.tagKnown && m.tag != op.Tag {
+		return false
+	}
+	return true
+}
+
+// advance returns st with rank r's pc incremented, optionally adding a
+// message (add) or consuming inflight[consume].
+func advance(st schedState, r int, add *worldMsg, consume int) schedState {
+	ns := schedState{pcs: append([]int(nil), st.pcs...)}
+	ns.pcs[r]++
+	for i, m := range st.inflight {
+		if i == consume {
+			continue
+		}
+		ns.inflight = append(ns.inflight, m)
+	}
+	if add != nil {
+		ns.inflight = append(ns.inflight, *add)
+	}
+	return ns
+}
+
+// collectiveAdvance fires a collective atomically: enabled only when every
+// unfinished rank's current op is the same-named collective and no rank has
+// already finished (a finished rank can never join).
+func collectiveAdvance(ranks [][]RankOp, st schedState, name string) (schedState, bool) {
+	for r := range ranks {
+		pc := st.pcs[r]
+		if pc >= len(ranks[r]) {
+			return schedState{}, false
+		}
+		op := ranks[r][pc]
+		if op.Kind != OpCollective || op.Name != name {
+			return schedState{}, false
+		}
+	}
+	ns := schedState{pcs: append([]int(nil), st.pcs...), inflight: st.inflight}
+	for r := range ns.pcs {
+		ns.pcs[r]++
+	}
+	return ns, true
+}
+
+// phantomCapacity reports whether a blocked state could be satisfied by an
+// op the model weakened (a Cond/InLoop send that might match a blocked
+// receive, a Cond/InLoop collective of the name some rank is stuck at, or
+// any wildcard-peer/unknown send anywhere). Such deadlocks are not
+// reported: the loop-unrolled-once and maybe-branch under-approximations
+// must never manufacture one.
+func phantomCapacity(ranks [][]RankOp, st schedState) bool {
+	for r := range ranks {
+		pc := st.pcs[r]
+		if pc >= len(ranks[r]) {
+			continue
+		}
+		op := ranks[r][pc]
+		switch op.Kind {
+		case OpRecv, OpProbe:
+			for s := range ranks {
+				for _, cand := range ranks[s] {
+					if !cand.Cond && !cand.InLoop {
+						continue
+					}
+					switch cand.Kind {
+					case OpSend, OpIsend, OpSendrecv:
+						m := worldMsg{src: int64(s)}
+						if cand.PeerKnown && !cand.PeerAny {
+							m.dst, m.dstKnown = cand.Peer, true
+						}
+						if cand.TagKnown && !cand.TagAny {
+							m.tag, m.tagKnown = cand.Tag, true
+						}
+						if msgMatches(m, op, int64(r)) {
+							return true
+						}
+					}
+				}
+			}
+		case OpCollective:
+			for s := range ranks {
+				if s == r {
+					continue
+				}
+				for _, cand := range ranks[s] {
+					if (cand.Cond || cand.InLoop) && cand.Kind == OpCollective && cand.Name == op.Name {
+						return true
+					}
+				}
+			}
+		}
+	}
+	return false
+}
+
+// ---- rendering -----------------------------------------------------------
+
+// renderOp prints one op without positions (stable across edits, so
+// baseline keys survive).
+func renderOp(op CommOp) string {
+	var parts []string
+	switch {
+	case op.PeerAny:
+		parts = append(parts, "peer=any")
+	case op.PeerKnown:
+		parts = append(parts, fmt.Sprintf("peer=%d", op.Peer))
+	}
+	switch {
+	case op.TagAny:
+		parts = append(parts, "tag=any")
+	case op.TagKnown:
+		parts = append(parts, fmt.Sprintf("tag=%d", op.Tag))
+	}
+	if op.RootKnown {
+		parts = append(parts, fmt.Sprintf("root=%d", op.Root))
+	}
+	if len(parts) == 0 {
+		return op.Name
+	}
+	return op.Name + "(" + strings.Join(parts, ",") + ")"
+}
+
+// renderOps prints an op list, eliding past limit.
+func renderOps(ops []CommOp, limit int) string {
+	var names []string
+	for i, op := range ops {
+		if i == limit {
+			names = append(names, fmt.Sprintf("… +%d more", len(ops)-limit))
+			break
+		}
+		names = append(names, renderOp(op))
+	}
+	return "[" + strings.Join(names, " ") + "]"
+}

@@ -18,7 +18,7 @@ import (
 func TestDebugCollectiveMismatch(t *testing.T) {
 	err := RunWith(2, RunOptions{Timeout: 2 * time.Second}, func(c *Comm) error {
 		if c.Rank() == 0 { // mpilint:ignore divergence -- deliberate divergence to exercise the checker
-			Bcast(c, 0, 42) // mpilint:ignore divergence -- deliberate divergence to exercise the checker
+			Bcast(c, 0, 42) // mpilint:ignore divergence,mismatch,globaldeadlock -- deliberate divergence to exercise the checker
 		} else {
 			c.Barrier() // mpilint:ignore divergence -- deliberate divergence to exercise the checker
 		}
@@ -73,7 +73,7 @@ func TestDebugMatchingCollectivesPass(t *testing.T) {
 func TestDebugUnreceivedMessage(t *testing.T) {
 	err := Run(2, func(c *Comm) error {
 		if c.Rank() == 0 {
-			c.Send(1, 7, "orphan") // mpilint:ignore tags -- never received: a deliberate orphan send
+			c.Send(1, 7, "orphan") // mpilint:ignore tags,unmatched -- never received: a deliberate orphan send
 		}
 		return nil
 	})
@@ -95,7 +95,7 @@ func TestDebugTimeoutNamesLaggard(t *testing.T) {
 	err := RunWith(2, RunOptions{Timeout: 100 * time.Millisecond}, func(c *Comm) error {
 		c.Barrier()
 		if c.Rank() == 0 {
-			c.Recv(1, 5) // rank 1 never sends
+			c.Recv(1, 5) // mpilint:ignore unmatched,globaldeadlock -- rank 1 never sends: provokes the timeout diagnostic
 		}
 		return nil
 	})

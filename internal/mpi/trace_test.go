@@ -82,7 +82,7 @@ func TestTimeoutNamesInFlightSpans(t *testing.T) {
 	tracer := obs.NewTracer()
 	err := RunWith(2, RunOptions{Timeout: 50 * time.Millisecond, Trace: tracer}, func(c *Comm) error {
 		if c.Rank() == 0 {
-			c.Recv(1, 99) // never sent: the watchdog must fire
+			c.Recv(1, 99) // mpilint:ignore unmatched,globaldeadlock -- never sent: the watchdog must fire
 		}
 		return nil
 	})
@@ -115,7 +115,7 @@ func TestDeadlockBothRanksNamed(t *testing.T) {
 		// crossed-wires deadlock.
 		peer := 1 - c.Rank()
 		c.Send(peer, 10+c.Rank(), []byte("x"))
-		c.Recv(peer, 99+c.Rank())
+		c.Recv(peer, 99+c.Rank()) // mpilint:ignore globaldeadlock -- the crossed-wires deadlock is the point of the test
 		return nil
 	})
 	if err == nil {

@@ -346,6 +346,43 @@ func TestCheckpointAndResume(t *testing.T) {
 	}
 }
 
+// TestFourRankEpochRaceTwin is the runtime twin of mpilint's cross-rank
+// protocol checks (unmatched/mismatch/globaldeadlock): one 4-rank epoch
+// under MapStyleMaster drives the full master/worker request loop, the
+// shuffle, and the codebook collectives concurrently on all four rank
+// goroutines. The static verifier proves the protocol composes on paper;
+// this test (run with -race in CI) proves the implementation of that
+// protocol is free of data races on a live schedule.
+func TestFourRankEpochRaceTwin(t *testing.T) {
+	path := writeVectors(t, 61, 160, 6)
+	grid, _ := som.NewGrid(5, 5)
+	var mu sync.Mutex
+	books := map[int][]float64{}
+	err := mpi.Run(4, func(c *mpi.Comm) error {
+		res, err := Train(c, path, Config{
+			Grid: grid, Epochs: 1, BlockSize: 10,
+			MapStyle: mrmpi.MapStyleMaster, Seed: 2,
+		})
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		books[c.Rank()] = res.Codebook.Weights
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 1; r < 4; r++ {
+		for i := range books[0] {
+			if books[0][i] != books[r][i] {
+				t.Fatalf("rank %d codebook differs at weight %d", r, i)
+			}
+		}
+	}
+}
+
 func TestCancellation(t *testing.T) {
 	path := writeVectors(t, 60, 100, 4)
 	grid, _ := som.NewGrid(4, 4)
