@@ -3,7 +3,7 @@
 GO ?= go
 BIN ?= bin
 
-.PHONY: all build test race lint lint-json lint-baseline lint-stats lint-sarif debug bench perf perf-check figures examples trace-demo clean
+.PHONY: all build test race lint lint-json lint-baseline lint-stats lint-sarif debug bench perf perf-check figures examples trace-demo metrics-smoke clean
 
 all: build test
 
@@ -57,7 +57,7 @@ debug:
 # on the concurrency-heavy packages, and the mpidebug watchdog tests.
 test: lint
 	$(GO) test ./...
-	$(GO) test -race ./internal/mpi ./internal/mrmpi ./internal/obs ./internal/mrblast ./internal/mrsom
+	$(GO) test -race ./internal/mpi ./internal/mrmpi ./internal/obs/... ./internal/mrblast ./internal/mrsom
 	$(GO) test -tags mpidebug ./internal/mpi
 
 race:
@@ -107,6 +107,16 @@ trace-demo: build
 		-epochs 4 -trace results/trace-demo.json -metrics
 	$(BIN)/traceview -check results/trace-demo.json
 	$(BIN)/traceview -top 5 results/trace-demo.json
+	$(BIN)/mrsom -data results/trace-demo-vectors.bin -ranks 4 -w 12 -h 12 \
+		-epochs 4 -comm results/trace-demo-comm.json
+	$(BIN)/traceview -comm results/trace-demo-comm.json
+
+# CI conformance gate for the live /metrics route: starts mrblast with a
+# status server and comm accounting, scrapes /metrics after the run, and
+# validates the Prometheus text exposition with the repo's own parser
+# (obs.ValidatePrometheus) — no external dependencies.
+metrics-smoke:
+	$(GO) test -run TestMetricsEndpointSmoke -v .
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -6,12 +6,19 @@ package repro
 // main packages.
 
 import (
+	"bufio"
+	"io"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/obs/comm"
 )
 
 var (
@@ -142,6 +149,92 @@ func TestCLISOMPipeline(t *testing.T) {
 		"-w", "8", "-h", "8", "-epochs", "8", "-checkpoint", "ck.somc")
 	if !strings.Contains(out, "quantization error") {
 		t.Fatalf("mrsom resume output: %s", out)
+	}
+}
+
+// TestMetricsEndpointSmoke is the CI conformance gate for the live /metrics
+// route: it starts mrblast with a status server, comm accounting, and a
+// post-run linger, scrapes /metrics after the run completes, and validates
+// the exposition with the repo's own Prometheus parser. The -comm matrix
+// file is checked as a side effect.
+func TestMetricsEndpointSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI pipeline is not short")
+	}
+	dir := t.TempDir()
+	runCLI(t, dir, "genseq", "-mode", "genomes", "-n", "2",
+		"-minlen", "2000", "-maxlen", "3000", "-strains", "1",
+		"-identity", "0.93", "-out", "all.fa")
+	runCLI(t, dir, "formatdb", "-in", "all.fa", "-out", "db",
+		"-name", "refdb", "-target-residues", "4000")
+	runCLI(t, dir, "shred", "-in", "all.fa", "-out", "reads.fa")
+
+	cmd := exec.Command(filepath.Join(buildCLIs(t), "mrblast"),
+		"-query", "reads.fa", "-db", "db/refdb.json", "-ranks", "2",
+		"-block-size", "8", "-evalue", "1e-6", "-out", "hits",
+		"-status", "127.0.0.1:0", "-status-linger", "60s", "-comm", "comm.json")
+	cmd.Dir = dir
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = cmd.Stdout
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	}()
+
+	// The status line prints before the run, the comm-matrix line after it;
+	// waiting for the latter guarantees the scrape sees the finished run.
+	var addr string
+	sc := bufio.NewScanner(stdout)
+	for sc.Scan() {
+		line := sc.Text()
+		if _, rest, ok := strings.Cut(line, "live status at http://"); ok {
+			addr, _, _ = strings.Cut(rest, "/status")
+		}
+		if strings.Contains(line, "wrote comm matrix") {
+			break
+		}
+	}
+	if addr == "" {
+		t.Fatal("mrblast never printed the live status address")
+	}
+
+	client := &http.Client{Timeout: 10 * time.Second}
+	resp, err := client.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatalf("scraping /metrics: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics: status %d\n%s", resp.StatusCode, body)
+	}
+	text := string(body)
+	if err := obs.ValidatePrometheus(strings.NewReader(text)); err != nil {
+		t.Fatalf("/metrics exposition not conformant: %v\n%s", err, text)
+	}
+	for _, want := range []string{"mpi_sends_total", "mpi_comm_bytes_total"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %s:\n%s", want, text)
+		}
+	}
+
+	f, err := os.Open(filepath.Join(dir, "comm.json"))
+	if err != nil {
+		t.Fatalf("comm matrix not written: %v", err)
+	}
+	defer f.Close()
+	m, err := comm.ReadMatrix(f)
+	if err != nil {
+		t.Fatalf("comm matrix not parseable: %v", err)
+	}
+	if m.NumRanks != 2 || len(m.Links) == 0 {
+		t.Errorf("comm matrix implausible: %d ranks, %d links", m.NumRanks, len(m.Links))
 	}
 }
 

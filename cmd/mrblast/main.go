@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/obs"
+	obscomm "repro/internal/obs/comm"
 	"repro/internal/obs/live"
 )
 
@@ -41,6 +42,9 @@ func main() {
 	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON of the run (view in Perfetto or cmd/traceview)")
 	metrics := flag.Bool("metrics", false, "print the run's metrics registry on completion")
 	status := flag.String("status", "", "serve live per-rank status over HTTP on this address (e.g. :8080); watch with curl addr/status.txt")
+	statusLinger := flag.Duration("status-linger", 0, "keep the -status server up this long after the run so scrapers can collect final /metrics")
+	commPath := flag.String("comm", "", "account per-rank communication; write the merged comm matrix JSON here (render with traceview -comm)")
+	flightPath := flag.String("flight", "", "arm the flight recorder; a post-mortem dump is written here if the run deadlocks or panics")
 	flag.Parse()
 	if *query == "" || *db == "" {
 		fail(fmt.Errorf("-query and -db are required"))
@@ -57,13 +61,24 @@ func main() {
 	if *metrics || *status != "" {
 		reg = obs.NewRegistry()
 	}
+	var commT *obscomm.Tracker
+	if *commPath != "" {
+		commT = obscomm.NewTracker()
+	}
+	var flight *obs.FlightRecorder
+	if *flightPath != "" {
+		flight = obs.NewFlightRecorder(obs.DefaultFlightEvents)
+	}
 	var board *obs.Board
 	if *status != "" {
 		board = obs.NewBoard()
-		srv := live.New(board, tracer, reg)
+		srv := live.New(board, tracer, reg, commT)
 		fail(srv.Start(*status))
 		defer srv.Close()
-		fmt.Printf("mrblast: live status at http://%s/status (text: /status.txt)\n", srv.Addr())
+		fmt.Printf("mrblast: live status at http://%s/status (text: /status.txt, metrics: /metrics)\n", srv.Addr())
+		if *statusLinger > 0 {
+			defer time.Sleep(*statusLinger)
+		}
 	}
 
 	start := time.Now()
@@ -87,6 +102,9 @@ func main() {
 		Trace:              tracer,
 		Metrics:            reg,
 		Board:              board,
+		Comm:               commT,
+		Flight:             flight,
+		FlightPath:         *flightPath,
 	})
 	fail(err)
 	fmt.Printf("mrblast: %d queries in %d blocks x %d partitions = %d work units on %d ranks\n",
@@ -100,6 +118,22 @@ func main() {
 	if reg != nil {
 		fail(reg.Snapshot().WriteTable(os.Stdout))
 	}
+	if commT != nil {
+		fail(writeComm(*commPath, commT))
+		fmt.Printf("mrblast: wrote comm matrix to %s (render with traceview -comm %s)\n", *commPath, *commPath)
+	}
+}
+
+func writeComm(path string, tracker *obscomm.Tracker) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tracker.Finalize().WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func writeTrace(path string, tracer *obs.Tracer) error {

@@ -78,6 +78,9 @@ func runCompare(args []string) {
 		fmt.Printf("mrperf: calibration scale %.3f (baseline %.2fms, new %.2fms)\n",
 			d.Scale, old.CalibrationMS, cur.CalibrationMS)
 	}
+	for _, warn := range d.MetaWarnings {
+		fmt.Printf("mrperf: warning: %s\n", warn)
+	}
 	for _, name := range d.OnlyOld {
 		fmt.Printf("mrperf: note: %s present only in baseline\n", name)
 	}

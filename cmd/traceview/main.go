@@ -6,7 +6,10 @@
 // carry in-range ranks and timestamps) and exits non-zero on a malformed
 // trace; with -analyze it runs the performance analyzer (per-rank
 // busy/comm/idle time, per-phase load imbalance, master dispatch latency,
-// straggler ranking, critical path).
+// straggler ranking, critical path); with -comm it renders a communication
+// matrix recorded by mrblast/mrsom -comm (per-phase totals, src×dst byte
+// grid, heaviest links, α–β cost-model fit) — standalone, or folded into the
+// -analyze report as its comm section.
 //
 // Usage:
 //
@@ -14,6 +17,8 @@
 //	traceview -top 20 trace.json
 //	traceview -check trace.json
 //	traceview -analyze trace.json
+//	traceview -comm comm.json
+//	traceview -analyze -comm comm.json trace.json
 package main
 
 import (
@@ -23,15 +28,31 @@ import (
 
 	"repro/internal/obs"
 	"repro/internal/obs/analyze"
+	"repro/internal/obs/comm"
 )
 
 func main() {
 	check := flag.Bool("check", false, "validate the trace structure and exit (non-zero on failure)")
 	analyzeFlag := flag.Bool("analyze", false, "run trace analytics: busy/comm/idle, load imbalance, dispatch latency, stragglers, critical path")
+	commPath := flag.String("comm", "", "render a comm matrix JSON (mrblast/mrsom -comm output); alone or as an -analyze section")
 	top := flag.Int("top", 10, "number of slowest spans to show")
 	flag.Parse()
+
+	var matrix *comm.Matrix
+	if *commPath != "" {
+		f, err := os.Open(*commPath)
+		fail(err)
+		matrix, err = comm.ReadMatrix(f)
+		f.Close()
+		fail(err)
+	}
+	if matrix != nil && !*analyzeFlag && flag.NArg() == 0 {
+		// Comm-only mode: no trace needed.
+		fail(matrix.WriteReport(os.Stdout, *top))
+		return
+	}
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: traceview [-check] [-analyze] [-top N] trace.json")
+		fmt.Fprintln(os.Stderr, "usage: traceview [-check] [-analyze] [-comm comm.json] [-top N] trace.json")
 		os.Exit(2)
 	}
 	path := flag.Arg(0)
@@ -60,8 +81,14 @@ func main() {
 	}
 
 	if *analyzeFlag {
-		fail(analyze.WriteReport(os.Stdout, analyze.Analyze(events)))
+		rep := analyze.Analyze(events)
+		rep.Comm = analyze.AnalyzeComm(matrix)
+		fail(analyze.WriteReport(os.Stdout, rep))
 		return
+	}
+	if matrix != nil {
+		fail(matrix.WriteReport(os.Stdout, *top))
+		fmt.Println()
 	}
 
 	stats := obs.Summarize(events)

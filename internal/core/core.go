@@ -17,6 +17,7 @@ import (
 	"repro/internal/mrmpi"
 	"repro/internal/mrsom"
 	"repro/internal/obs"
+	"repro/internal/obs/comm"
 	"repro/internal/som"
 )
 
@@ -71,6 +72,14 @@ type BlastJob struct {
 	// Board, when non-nil, is the live per-rank status board sampled by the
 	// status server and the deadlock watchdog.
 	Board *obs.Board
+	// Comm, when non-nil, accounts every p2p message and collective leg into
+	// a per-phase communication matrix (comm.Tracker.Finalize after the run).
+	Comm *comm.Tracker
+	// Flight, when non-nil, keeps a bounded ring of recent runtime events per
+	// rank, dumped to FlightPath on deadlock or panic.
+	Flight *obs.FlightRecorder
+	// FlightPath overrides the flight-dump file (default flight-dump.json).
+	FlightPath string
 }
 
 // BlastSummary aggregates a parallel BLAST run.
@@ -139,7 +148,10 @@ func RunBlast(nranks int, job BlastJob) (*BlastSummary, error) {
 	workItems := make([]int, nranks)
 	hits := make([]int64, nranks)
 	rankResults := make([]*mrblast.Result, nranks)
-	opts := mpi.RunOptions{Trace: job.Trace, Metrics: job.Metrics, Board: job.Board}
+	opts := mpi.RunOptions{
+		Trace: job.Trace, Metrics: job.Metrics, Board: job.Board,
+		Comm: job.Comm, Flight: job.Flight, FlightPath: job.FlightPath,
+	}
 	err = mpi.RunWith(nranks, opts, func(c *mpi.Comm) error {
 		res, err := mrblast.Run(c, mrblast.Config{
 			Params:             params,
@@ -205,6 +217,14 @@ type SOMJob struct {
 	// Board, when non-nil, is the live per-rank status board sampled by the
 	// status server and the deadlock watchdog.
 	Board *obs.Board
+	// Comm, when non-nil, accounts every p2p message and collective leg into
+	// a per-phase communication matrix (comm.Tracker.Finalize after the run).
+	Comm *comm.Tracker
+	// Flight, when non-nil, keeps a bounded ring of recent runtime events per
+	// rank, dumped to FlightPath on deadlock or panic.
+	Flight *obs.FlightRecorder
+	// FlightPath overrides the flight-dump file (default flight-dump.json).
+	FlightPath string
 }
 
 // SOMCheckpoint configures checkpointing for RunSOM: when Path is set, the
@@ -249,7 +269,10 @@ func RunSOM(nranks int, job SOMJob) (*SOMSummary, error) {
 	vf.Close()
 
 	var cb *som.Codebook
-	opts := mpi.RunOptions{Trace: job.Trace, Metrics: job.Metrics, Board: job.Board}
+	opts := mpi.RunOptions{
+		Trace: job.Trace, Metrics: job.Metrics, Board: job.Board,
+		Comm: job.Comm, Flight: job.Flight, FlightPath: job.FlightPath,
+	}
 	err = mpi.RunWith(nranks, opts, func(c *mpi.Comm) error {
 		res, err := mrsom.Train(c, job.DataPath, mrsom.Config{
 			Grid:            grid,

@@ -1,0 +1,99 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// checkCommPhase flags comm-accounting hooks — `RecordSend(...)` /
+// `RecordRecv(...)` on a comm.Rank — called with no phase context
+// established first. A record made before any `SetPhase` lands in the
+// matrix under the empty phase, which renders as "(none)" in every report
+// and silently dodges per-phase attribution; the discipline is that
+// instrumented code either sets its phase or runs inside an open trace
+// span (whose caller did).
+//
+// A hook is accepted when, earlier in the source text of the same top-level
+// function (closures included — the phase sticks for the goroutine, so
+// setting it before spawning the literal is correct), there is a
+// `SetPhase(...)` call or an opened `Begin(cat, name, ...)` span.
+//
+// The runtime layers are exempt: package mpi records under the
+// sender-stamped phase inside its own send/recv paths, and package comm is
+// the accounting implementation itself.
+func checkCommPhase(pkg *Package) []Finding {
+	if pkg.Name == "mpi" || pkg.Name == "comm" {
+		return nil
+	}
+	var out []Finding
+	for _, f := range pkg.Files {
+		for _, fd := range fileFuncDecls(f) {
+			out = append(out, commPhaseScan(pkg, fd.Body)...)
+		}
+	}
+	Sort(out)
+	return out
+}
+
+// fileFuncDecls yields the top-level function declarations with bodies.
+func fileFuncDecls(f *ast.File) []*ast.FuncDecl {
+	var out []*ast.FuncDecl
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+			out = append(out, fd)
+		}
+	}
+	return out
+}
+
+// commPhaseScan checks one top-level function body: every RecordSend /
+// RecordRecv must be preceded (in source position) by a SetPhase call or an
+// opened span.
+func commPhaseScan(pkg *Package, body *ast.BlockStmt) []Finding {
+	// First pass: the earliest position where a phase context is created.
+	phaseAt := token.Pos(-1)
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		opens := sel.Sel.Name == "SetPhase" && len(call.Args) == 1
+		if !opens {
+			_, opens = isBeginCall(call)
+		}
+		if opens && (phaseAt == token.Pos(-1) || call.Pos() < phaseAt) {
+			phaseAt = call.Pos()
+		}
+		return true
+	})
+
+	var out []Finding
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		name := sel.Sel.Name
+		if name != "RecordSend" && name != "RecordRecv" {
+			return true
+		}
+		if phaseAt == token.Pos(-1) || call.Pos() < phaseAt {
+			out = append(out, Finding{
+				Pos:      pkg.position(call),
+				Analyzer: "commphase",
+				Message: name + " with no phase context: call SetPhase (or open a span) first, " +
+					"or the traffic lands under the empty phase",
+			})
+		}
+		return true
+	})
+	return out
+}

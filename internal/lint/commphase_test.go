@@ -1,0 +1,90 @@
+package lint
+
+import "testing"
+
+const commHeader = `package fix
+
+import (
+	"repro/internal/obs"
+	"repro/internal/obs/comm"
+)
+`
+
+func TestCommPhase(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{
+			name: "record after SetPhase is fine",
+			src: commHeader + `
+func f(cr *comm.Rank) {
+	cr.SetPhase("map")
+	cr.RecordSend(1, 7, 128)
+}`,
+		},
+		{
+			name: "record inside an open span is fine",
+			src: commHeader + `
+func f(tr *obs.RankTracer, cr *comm.Rank) {
+	sp := tr.Begin("mpi", "Send")
+	defer sp.End()
+	cr.RecordSend(1, 7, 128)
+}`,
+		},
+		{
+			name: "record before any phase is flagged",
+			src: commHeader + `
+func f(cr *comm.Rank) {
+	cr.RecordSend(1, 7, 128) // want commphase
+	cr.SetPhase("map")
+}`,
+		},
+		{
+			name: "bare record is flagged",
+			src: commHeader + `
+func f(cr *comm.Rank) {
+	cr.RecordRecv(0, 7, 128, 10, 5, "map") // want commphase
+}`,
+		},
+		{
+			name: "phase set before spawning the recording closure is fine",
+			src: commHeader + `
+func f(cr *comm.Rank) {
+	cr.SetPhase("map")
+	go func() {
+		cr.RecordSend(1, 7, 128)
+	}()
+}`,
+		},
+		{
+			name: "record in a closure with no phase anywhere is flagged",
+			src: commHeader + `
+func f(cr *comm.Rank) {
+	go func() {
+		cr.RecordSend(1, 7, 128) // want commphase
+	}()
+}`,
+		},
+		{
+			name: "phase through a field handle is fine",
+			src: commHeader + `
+func f(mr *driver) {
+	mr.cr.SetPhase("reduce")
+	mr.cr.RecordRecv(0, 7, 128, 10, 5, "reduce")
+}`,
+		},
+		{
+			name: "unrelated RecordSend-free code is ignored",
+			src: commHeader + `
+func f(cr *comm.Rank) {
+	cr.SetPhase("map")
+}`,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			checkFixture(t, "commphase", tc.src)
+		})
+	}
+}

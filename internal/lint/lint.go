@@ -157,6 +157,7 @@ func Analyzers() []*Analyzer {
 		{Name: "retain", Doc: "key/values page-buffer slices escaping a callback without a copy", Run: checkRetain},
 		{Name: "kvescape", Doc: "the *KeyValue emitter handle escaping its callback", Run: checkKVEscape},
 		{Name: "obslint", Doc: "trace spans opened with Begin but never ended in the same function", Run: checkObsSpans},
+		{Name: "commphase", Doc: "comm-accounting RecordSend/RecordRecv calls with no preceding SetPhase or open span", Run: checkCommPhase},
 		{Name: "requests", Doc: "Isend/Irecv requests that are discarded or never completed with Wait/Test", Run: checkRequests},
 		{Name: "goroutines", Doc: "MPI calls or KV emits reachable from a goroutine spawned inside a rank function", Run: checkGoroutines},
 		{Name: "deadlock", Doc: "rank-dependent branches whose arms all block in Recv first, and per-arm sends no peer arm can receive", Run: checkDeadlock},

@@ -21,21 +21,29 @@ const (
 
 // traceCollective counts one collective entry and opens its trace span on
 // this rank. The zero Span returned when tracing is off is a no-op to End.
+// The flight recorder notes the entry so a post-mortem shows which
+// collective each rank last reached.
 func (c *Comm) traceCollective(op string) obs.Span {
 	c.world.mCollectives.Inc()
+	if fr := c.FlightRank(); fr != nil {
+		fr.Note("collective", op)
+	}
 	if tr := c.Tracer(); tr != nil {
 		return tr.Begin("mpi", op)
 	}
 	return obs.Span{}
 }
 
-// Barrier blocks until every rank in the world has entered it.
+// Barrier blocks until every rank in the world has entered it. Barrier is
+// the one collective with no p2p legs (it synchronizes on a shared
+// generation counter), so it contributes no comm-matrix traffic.
 func (c *Comm) Barrier() {
 	c.debugCollective("Barrier")
 	sp := c.traceCollective("Barrier")
 	defer sp.End()
 	c.world.barrier.wait(c.world.timeout, func() string {
-		return c.debugStatus() + c.world.traceStatus() + c.world.boardStatus()
+		return c.debugStatus() + c.world.traceStatus() + c.world.boardStatus() +
+			c.world.flightDump(fmt.Sprintf("rank %d barrier timed out (likely deadlock)", c.rank))
 	})
 }
 

@@ -19,12 +19,15 @@ package mpi
 import (
 	"errors"
 	"fmt"
+	"os"
 	"runtime"
+	"sort"
 	"strings"
 	"sync"
 	"time"
 
 	"repro/internal/obs"
+	obscomm "repro/internal/obs/comm"
 )
 
 // AnySource matches messages from any sending rank in Recv.
@@ -41,11 +44,17 @@ var ErrAborted = errors.New("mpi: world aborted")
 // the runtime declares a deadlock. Zero disables the watchdog.
 var DefaultRecvTimeout = 60 * time.Second
 
-// message is one in-flight point-to-point message.
+// message is one in-flight point-to-point message. sentAt and phase are
+// stamped by the sender only when comm accounting is on: sentAt (the comm
+// tracker's clock) lets the receiver compute queue time, and phase carries
+// the sender's current phase so both sides of a link bucket traffic under
+// the phase that *produced* it.
 type message struct {
-	src  int
-	tag  int
-	data any
+	src    int
+	tag    int
+	data   any
+	sentAt int64
+	phase  string
 }
 
 // mailbox holds pending messages for one rank.
@@ -77,6 +86,25 @@ type World struct {
 	// board's lock).
 	board  *obs.Board
 	boards []*obs.RankBoard
+	// tracer is the whole-run tracer behind tracers, kept for snapshots
+	// (flight dumps thread it into the board snapshot for in-flight spans).
+	tracer *obs.Tracer
+	// comm is the communication-accounting tracker; nil when disabled.
+	// commRanks holds the pre-resolved per-rank accumulators.
+	comm      *obscomm.Tracker
+	commRanks []*obscomm.Rank
+	// flight is the post-mortem flight recorder; nil when disabled.
+	// flightRanks are the per-rank rings, flightPath the dump destination,
+	// and flightOnce guards against every wedged rank dumping over the
+	// previous rank's report.
+	flight      *obs.FlightRecorder
+	flightRanks []*obs.RankRecorder
+	flightPath  string
+	flightOnce  sync.Once
+	// ledgers tracks open Isend/Irecv requests per rank, allocated only
+	// when the flight recorder is on — its dump includes the pending set so
+	// a post-mortem shows which nonblocking traffic never completed.
+	ledgers []*reqLedger
 	// Pre-resolved instruments so hot paths skip the registry lookup; all
 	// nil when metrics is nil (obs instruments no-op on nil).
 	mSends, mSendBytes, mRecvs, mCollectives *obs.Counter
@@ -120,6 +148,26 @@ func (c *Comm) Board() *obs.RankBoard {
 	return c.world.boards[c.rank]
 }
 
+// CommRank returns this rank's communication-accounting handle, or nil when
+// the world was launched without RunOptions.Comm. The nil result is a valid
+// no-op; mrmpi uses it to label traffic with the current MapReduce phase.
+func (c *Comm) CommRank() *obscomm.Rank {
+	if c.world.commRanks == nil {
+		return nil
+	}
+	return c.world.commRanks[c.rank]
+}
+
+// FlightRank returns this rank's flight-recorder ring, or nil when the world
+// was launched without RunOptions.Flight. The nil result is a valid no-op;
+// layers may Note their own milestones into the post-mortem ring.
+func (c *Comm) FlightRank() *obs.RankRecorder {
+	if c.world.flightRanks == nil {
+		return nil
+	}
+	return c.world.flightRanks[c.rank]
+}
+
 // newWorld creates a world of n ranks.
 func newWorld(n int, timeout time.Duration, opts RunOptions) *World {
 	w := &World{
@@ -137,6 +185,7 @@ func newWorld(n int, timeout time.Duration, opts RunOptions) *World {
 		w.boxes[i] = b
 	}
 	if opts.Trace != nil {
+		w.tracer = opts.Trace
 		w.tracers = make([]*obs.RankTracer, n)
 		for i := range w.tracers {
 			w.tracers[i] = opts.Trace.Rank(i)
@@ -146,6 +195,28 @@ func newWorld(n int, timeout time.Duration, opts RunOptions) *World {
 		w.boards = make([]*obs.RankBoard, n)
 		for i := range w.boards {
 			w.boards[i] = w.board.Rank(i)
+		}
+	}
+	if opts.Comm != nil {
+		w.comm = opts.Comm
+		w.commRanks = make([]*obscomm.Rank, n)
+		for i := range w.commRanks {
+			w.commRanks[i] = opts.Comm.Rank(i)
+		}
+	}
+	if opts.Flight != nil {
+		w.flight = opts.Flight
+		w.flightRanks = make([]*obs.RankRecorder, n)
+		for i := range w.flightRanks {
+			w.flightRanks[i] = opts.Flight.Rank(i)
+		}
+		w.flightPath = opts.FlightPath
+		if w.flightPath == "" {
+			w.flightPath = "flight-dump.json"
+		}
+		w.ledgers = make([]*reqLedger, n)
+		for i := range w.ledgers {
+			w.ledgers[i] = &reqLedger{open: map[uint64]string{}}
 		}
 	}
 	if w.metrics != nil {
@@ -187,6 +258,88 @@ func (w *World) boardStatus() string {
 	return b.String()
 }
 
+// flightDump writes the post-mortem report once per world and returns a
+// diagnostic suffix naming the file, for inclusion in the watchdog's panic
+// message. Empty when the flight recorder is off. Every failure path calls
+// it (recv timeout, barrier timeout, rank panic); only the first does the
+// writing, so the report describes the moment the run first went wrong.
+func (w *World) flightDump(reason string) string {
+	if w.flight == nil {
+		return ""
+	}
+	w.flightOnce.Do(func() {
+		var metrics *obs.RegistrySnapshot
+		if w.metrics != nil {
+			s := w.metrics.Snapshot()
+			metrics = &s
+		}
+		d := w.flight.Dump(reason, w.board.Snapshot(w.tracer), metrics, w.pendingRequests())
+		f, err := os.Create(w.flightPath)
+		if err != nil {
+			return
+		}
+		defer f.Close()
+		_ = d.WriteJSON(f)
+	})
+	return "\nflight recorder dump: " + w.flightPath
+}
+
+// reqLedger tracks one rank's open nonblocking requests (Isend/Irecv posted
+// but not yet Waited/Tested to completion). Allocated only when the flight
+// recorder is on; the post-mortem dump lists the pending set.
+type reqLedger struct {
+	mu   sync.Mutex
+	next uint64
+	open map[uint64]string
+}
+
+// ledgerOpen registers a freshly posted Request.
+func (c *Comm) ledgerOpen(r *Request, desc string) {
+	if c.world.ledgers == nil {
+		return
+	}
+	l := c.world.ledgers[c.rank]
+	l.mu.Lock()
+	l.next++
+	r.ledger = l.next
+	l.open[r.ledger] = desc
+	l.mu.Unlock()
+}
+
+// ledgerClose retires a completed Request; idempotent.
+func (c *Comm) ledgerClose(r *Request) {
+	if c.world.ledgers == nil || r.ledger == 0 {
+		return
+	}
+	l := c.world.ledgers[c.rank]
+	l.mu.Lock()
+	delete(l.open, r.ledger)
+	l.mu.Unlock()
+	r.ledger = 0
+}
+
+// pendingRequests snapshots every rank's open requests as "rank N: ..."
+// lines, sorted within each rank for stable output.
+func (w *World) pendingRequests() []string {
+	if w.ledgers == nil {
+		return nil
+	}
+	var out []string
+	for rank, l := range w.ledgers {
+		l.mu.Lock()
+		descs := make([]string, 0, len(l.open))
+		for _, d := range l.open {
+			descs = append(descs, d)
+		}
+		l.mu.Unlock()
+		sort.Strings(descs)
+		for _, d := range descs {
+			out = append(out, fmt.Sprintf("rank %d: %s", rank, d))
+		}
+	}
+	return out
+}
+
 // abort wakes every blocked rank; they will panic with ErrAborted, which Run
 // converts into an error return.
 func (w *World) abort() {
@@ -218,6 +371,20 @@ type RunOptions struct {
 	// update via Comm.Board and that the status server and the deadlock
 	// watchdog snapshot. Nil disables it.
 	Board *obs.Board
+	// Comm, when non-nil, records every p2p message and collective leg —
+	// (src, dst, tag, phase, bytes, queue time, transfer time) — into
+	// per-rank accumulators; merge with Comm.Matrix() after the run. Nil
+	// disables accounting at nil-check cost on the hot paths.
+	Comm *obscomm.Tracker
+	// Flight, when non-nil, keeps a bounded per-rank ring of recent events
+	// (sends, receives, collective entries, layer notes). When the deadlock
+	// watchdog fires or a rank panics, the runtime dumps the rings together
+	// with the board snapshot, the metrics table, and the pending
+	// nonblocking-request ledger to FlightPath as a post-mortem report.
+	Flight *obs.FlightRecorder
+	// FlightPath is where the post-mortem dump is written; defaults to
+	// "flight-dump.json" when Flight is set.
+	FlightPath string
 }
 
 // Run executes f as an SPMD program on n ranks (goroutines) and blocks until
@@ -256,7 +423,8 @@ func RunWith(n int, opts RunOptions, f func(c *Comm) error) error {
 					} else {
 						buf := make([]byte, 8<<10)
 						buf = buf[:runtime.Stack(buf, false)]
-						errs[rank] = fmt.Errorf("mpi: rank %d panicked: %v\n%s", rank, r, buf)
+						dump := w.flightDump(fmt.Sprintf("rank %d panicked: %v", rank, r))
+						errs[rank] = fmt.Errorf("mpi: rank %d panicked: %v%s\n%s", rank, r, dump, buf)
 					}
 					w.abort()
 				}

@@ -32,25 +32,43 @@ func (c *Comm) send(dst, tag int, data any) {
 // sendOp is the buffered delivery core shared by Send, the collectives, and
 // Isend; op labels the trace instant.
 func (c *Comm) sendOp(op string, dst, tag int, data any) {
-	if dst < 0 || dst >= c.world.size {
-		panic(fmt.Sprintf("mpi: %s to invalid rank %d (size %d)", op, dst, c.world.size))
+	w := c.world
+	if dst < 0 || dst >= w.size {
+		panic(fmt.Sprintf("mpi: %s to invalid rank %d (size %d)", op, dst, w.size))
+	}
+	// Payload size feeds four optional subsystems; size it once when any is
+	// on, never when all are off.
+	var nb int64
+	if w.tracers != nil || w.mSends != nil || w.commRanks != nil || w.flightRanks != nil {
+		nb = payloadBytes(data)
 	}
 	if tr := c.Tracer(); tr != nil {
 		tr.Instant("mpi", op,
 			obs.Arg{Key: "dst", Val: dst}, obs.Arg{Key: "tag", Val: tag},
-			obs.Arg{Key: "bytes", Val: payloadBytes(data)})
+			obs.Arg{Key: "bytes", Val: nb})
 	}
-	if w := c.world; w.mSends != nil {
+	if w.mSends != nil {
 		w.mSends.Inc()
-		w.mSendBytes.Add(payloadBytes(data))
+		w.mSendBytes.Add(nb)
 	}
-	b := c.world.boxes[dst]
+	m := message{src: c.rank, tag: tag, data: data}
+	if cr := c.CommRank(); cr != nil {
+		// Stamp the sender's clock and phase so the receiver can compute
+		// queue time and attribute the traffic to the phase that sent it.
+		m.phase = cr.Phase()
+		m.sentAt = w.comm.Now()
+		cr.RecordSend(dst, tag, nb)
+	}
+	if fr := c.FlightRank(); fr != nil {
+		fr.Notef("send", "%s dst=%d tag=%d bytes=%d", op, dst, tag, nb)
+	}
+	b := w.boxes[dst]
 	b.mu.Lock()
 	if b.aborted {
 		b.mu.Unlock()
 		panic(ErrAborted)
 	}
-	b.queue = append(b.queue, message{src: c.rank, tag: tag, data: data})
+	b.queue = append(b.queue, m)
 	b.cond.Broadcast()
 	b.mu.Unlock()
 }
@@ -96,6 +114,14 @@ func (c *Comm) recvMatch(op string, src, tag int, match func(*message) bool) (an
 	}
 	defer sp.End()
 	c.world.mRecvs.Inc()
+	// Comm accounting: note when matching started, so delivery minus start
+	// is the time this rank actually waited for the message (its transfer
+	// time on the eager transport).
+	cr := c.CommRank()
+	var matchStart int64
+	if cr != nil {
+		matchStart = c.world.comm.Now()
+	}
 	b := c.world.boxes[c.rank]
 	timeout := c.world.timeout
 	var deadline time.Time
@@ -118,6 +144,10 @@ func (c *Comm) recvMatch(op string, src, tag int, match func(*message) bool) (an
 			if match(&b.queue[i]) {
 				m := b.queue[i]
 				b.queue = append(b.queue[:i], b.queue[i+1:]...)
+				var mb int64
+				if sp.Active() || cr != nil || c.world.flightRanks != nil {
+					mb = payloadBytes(m.data)
+				}
 				if sp.Active() {
 					// The End args carry the matched source, which the
 					// trace analyzer pairs with Send instants to build
@@ -125,7 +155,14 @@ func (c *Comm) recvMatch(op string, src, tag int, match func(*message) bool) (an
 					// no-op.
 					sp.End(obs.Arg{Key: "from", Val: m.src},
 						obs.Arg{Key: "tag", Val: m.tag},
-						obs.Arg{Key: "bytes", Val: payloadBytes(m.data)})
+						obs.Arg{Key: "bytes", Val: mb})
+				}
+				if cr != nil {
+					now := c.world.comm.Now()
+					cr.RecordRecv(m.src, m.tag, mb, now-m.sentAt, now-matchStart, m.phase)
+				}
+				if fr := c.FlightRank(); fr != nil {
+					fr.Notef("recv", "%s src=%d tag=%d bytes=%d", op, m.src, m.tag, mb)
 				}
 				return m.data, Status{Source: m.src, Tag: m.tag}
 			}
@@ -134,9 +171,12 @@ func (c *Comm) recvMatch(op string, src, tag int, match func(*message) bool) (an
 			// debugStatus names each rank's collective fingerprint under
 			// mpidebug builds; traceStatus names each rank's in-flight span
 			// when tracing is enabled; boardStatus shows each rank's live
-			// progress. Any of them points at the laggard rank.
-			panic(fmt.Errorf("mpi: rank %d Recv timed out after %v (likely deadlock)%s%s%s: %w",
-				c.rank, timeout, c.debugStatus(), c.world.traceStatus(), c.world.boardStatus(), ErrAborted))
+			// progress; flightDump leaves the full post-mortem file. Any of
+			// them points at the laggard rank.
+			panic(fmt.Errorf("mpi: rank %d Recv timed out after %v (likely deadlock)%s%s%s%s: %w",
+				c.rank, timeout, c.debugStatus(), c.world.traceStatus(), c.world.boardStatus(),
+				c.world.flightDump(fmt.Sprintf("rank %d Recv timed out after %v (likely deadlock)", c.rank, timeout)),
+				ErrAborted))
 		}
 		if timeout > 0 && watchdog == nil {
 			// Wake the cond at the deadline so the timeout check above

@@ -35,6 +35,7 @@ type Request struct {
 	done   bool
 	data   any
 	st     Status
+	ledger uint64 // pending-request ledger id; 0 when untracked
 }
 
 // Isend starts a nonblocking send of data to rank dst with the given tag.
@@ -50,6 +51,7 @@ func (c *Comm) Isend(dst, tag int, data any) *Request {
 	c.sendOp("Isend", dst, tag, data)
 	r := &Request{c: c, done: true}
 	c.debugRequestOpen(r, "Isend")
+	c.ledgerOpen(r, fmt.Sprintf("Isend dst=%d tag=%d", dst, tag))
 	return r
 }
 
@@ -67,6 +69,7 @@ func (c *Comm) Irecv(src, tag int) *Request {
 	}
 	r := &Request{c: c, isRecv: true, src: src, tag: tag}
 	c.debugRequestOpen(r, "Irecv")
+	c.ledgerOpen(r, fmt.Sprintf("Irecv src=%d tag=%d", src, tag))
 	return r
 }
 
@@ -76,11 +79,13 @@ func (c *Comm) Irecv(src, tag int) *Request {
 func (r *Request) Wait() (any, Status) {
 	if r.done {
 		r.c.debugRequestDone(r)
+		r.c.ledgerClose(r)
 		return r.data, r.st
 	}
 	data, st := r.c.recvMatch("Wait", r.src, r.tag, userMatch(r.src, r.tag))
 	r.data, r.st, r.done = data, st, true
 	r.c.debugRequestDone(r)
+	r.c.ledgerClose(r)
 	return data, st
 }
 
@@ -90,6 +95,7 @@ func (r *Request) Wait() (any, Status) {
 func (r *Request) Test() (any, Status, bool) {
 	if r.done {
 		r.c.debugRequestDone(r)
+		r.c.ledgerClose(r)
 		return r.data, r.st, true
 	}
 	match := userMatch(r.src, r.tag)
@@ -112,8 +118,18 @@ func (r *Request) Test() (any, Status, bool) {
 				obs.Arg{Key: "from", Val: m.src}, obs.Arg{Key: "tag", Val: m.tag},
 				obs.Arg{Key: "bytes", Val: payloadBytes(m.data)})
 		}
+		if cr := r.c.CommRank(); cr != nil {
+			// A successful Test found the message already queued: transfer
+			// time (receiver wait) is zero; queue time still runs from the
+			// sender's stamp.
+			cr.RecordRecv(m.src, m.tag, payloadBytes(m.data), r.c.world.comm.Now()-m.sentAt, 0, m.phase)
+		}
+		if fr := r.c.FlightRank(); fr != nil {
+			fr.Notef("recv", "Test src=%d tag=%d bytes=%d", m.src, m.tag, payloadBytes(m.data))
+		}
 		r.data, r.st, r.done = m.data, Status{Source: m.src, Tag: m.tag}, true
 		r.c.debugRequestDone(r)
+		r.c.ledgerClose(r)
 		return r.data, r.st, true
 	}
 	b.mu.Unlock()

@@ -2,6 +2,8 @@ package mpi
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -102,13 +104,20 @@ func TestTimeoutNamesInFlightSpans(t *testing.T) {
 }
 
 // TestDeadlockBothRanksNamed deadlocks both ranks of a traced 2-rank run
-// (each waits for a tag the other never sends) with the status board on: the
-// watchdog diagnostic must name each rank's in-flight span and carry the
-// board's per-rank status lines.
+// (each waits for a tag the other never sends) with the status board and the
+// flight recorder on: the watchdog diagnostic must name each rank's
+// in-flight span, carry the board's per-rank status lines (with heartbeat
+// ages), name the flight-recorder dump file, and the dump itself must be
+// byte-parseable and carry the deadlock's evidence.
 func TestDeadlockBothRanksNamed(t *testing.T) {
 	tracer := obs.NewTracer()
 	board := obs.NewBoard()
-	err := RunWith(2, RunOptions{Timeout: 50 * time.Millisecond, Trace: tracer, Board: board}, func(c *Comm) error {
+	flight := obs.NewFlightRecorder(64)
+	dumpPath := filepath.Join(t.TempDir(), "flight-dump.json")
+	err := RunWith(2, RunOptions{
+		Timeout: 50 * time.Millisecond, Trace: tracer, Board: board,
+		Flight: flight, FlightPath: dumpPath,
+	}, func(c *Comm) error {
 		c.Board().SetPhase("map")
 		// Mismatched tags: rank 0 waits for tag 1, rank 1 for tag 2, and
 		// each sends the tag the other is not waiting on — a classic
@@ -135,5 +144,111 @@ func TestDeadlockBothRanksNamed(t *testing.T) {
 	}
 	if !strings.Contains(msg, "phase=map") {
 		t.Fatalf("status board snapshot missing the phase:\n%s", msg)
+	}
+	if !strings.Contains(msg, "beat=") {
+		t.Fatalf("status board snapshot missing the heartbeat age:\n%s", msg)
+	}
+	if !strings.Contains(msg, "flight recorder dump: "+dumpPath) {
+		t.Fatalf("timeout error does not name the flight dump:\n%s", msg)
+	}
+
+	// The dump file is the post-mortem contract: parse it back and check it
+	// holds the recent events, the board, and the dead Recvs' evidence.
+	f, ferr := os.Open(dumpPath)
+	if ferr != nil {
+		t.Fatalf("flight dump not written: %v", ferr)
+	}
+	defer f.Close()
+	dump, derr := obs.ReadFlightDump(f)
+	if derr != nil {
+		t.Fatalf("flight dump not parseable: %v", derr)
+	}
+	if !strings.Contains(dump.Reason, "timed out") {
+		t.Fatalf("dump reason = %q", dump.Reason)
+	}
+	if len(dump.Ranks) != 2 {
+		t.Fatalf("dump has %d ranks, want 2", len(dump.Ranks))
+	}
+	for _, r := range dump.Ranks {
+		var sawSend bool
+		for _, ev := range r.Recent {
+			if ev.Kind == "send" {
+				sawSend = true
+			}
+		}
+		if !sawSend {
+			t.Fatalf("rank %d ring lacks its crossed send: %+v", r.Rank, r.Recent)
+		}
+	}
+	if len(dump.Board) != 2 || dump.Board[0].Phase != "map" {
+		t.Fatalf("dump board: %+v", dump.Board)
+	}
+}
+
+// TestFlightDumpOnPanic checks the other dump trigger: a rank panicking in
+// user code must leave the same post-mortem file, with the panic as reason.
+func TestFlightDumpOnPanic(t *testing.T) {
+	flight := obs.NewFlightRecorder(16)
+	dumpPath := filepath.Join(t.TempDir(), "panic-dump.json")
+	err := RunWith(2, RunOptions{Flight: flight, FlightPath: dumpPath}, func(c *Comm) error {
+		if c.Rank() == 1 {
+			c.Send(0, 3, []byte("last words"))
+			panic("engine exploded")
+		}
+		c.Recv(1, 3)
+		return nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "engine exploded") {
+		t.Fatalf("err = %v", err)
+	}
+	if !strings.Contains(err.Error(), "flight recorder dump: "+dumpPath) {
+		t.Fatalf("panic error does not name the dump:\n%v", err)
+	}
+	f, ferr := os.Open(dumpPath)
+	if ferr != nil {
+		t.Fatalf("flight dump not written: %v", ferr)
+	}
+	defer f.Close()
+	dump, derr := obs.ReadFlightDump(f)
+	if derr != nil {
+		t.Fatalf("flight dump not parseable: %v", derr)
+	}
+	if !strings.Contains(dump.Reason, "engine exploded") {
+		t.Fatalf("dump reason = %q", dump.Reason)
+	}
+}
+
+// TestFlightDumpListsPendingRequests wedges a rank with an outstanding
+// Irecv that never matches: the dump's pending-request ledger must name it.
+func TestFlightDumpListsPendingRequests(t *testing.T) {
+	flight := obs.NewFlightRecorder(16)
+	dumpPath := filepath.Join(t.TempDir(), "pending-dump.json")
+	err := RunWith(2, RunOptions{Timeout: 50 * time.Millisecond, Flight: flight, FlightPath: dumpPath}, func(c *Comm) error {
+		if c.Rank() == 0 {
+			r := c.Irecv(1, 42)
+			r.Wait() // mpilint:ignore unmatched,globaldeadlock -- never sent: the dump must list the pending Irecv
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("expected a timeout error")
+	}
+	f, ferr := os.Open(dumpPath)
+	if ferr != nil {
+		t.Fatalf("flight dump not written: %v", ferr)
+	}
+	defer f.Close()
+	dump, derr := obs.ReadFlightDump(f)
+	if derr != nil {
+		t.Fatalf("flight dump not parseable: %v", derr)
+	}
+	found := false
+	for _, p := range dump.PendingRequests {
+		if strings.Contains(p, "rank 0") && strings.Contains(p, "Irecv src=1 tag=42") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("pending ledger missing the wedged Irecv: %+v", dump.PendingRequests)
 	}
 }

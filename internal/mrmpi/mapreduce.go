@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/mpi"
 	"repro/internal/obs"
+	"repro/internal/obs/comm"
 )
 
 // MapStyle selects how Map distributes tasks across ranks, mirroring
@@ -135,6 +136,13 @@ type MapReduce struct {
 	// without a board); phase transitions, task progress, and byte totals
 	// are published through it.
 	board *obs.RankBoard
+	// cr is this rank's comm-accounting handle (nil when the world runs
+	// without RunOptions.Comm); phase() labels it so every message the MPI
+	// layer moves is attributed to the MapReduce phase that sent it.
+	cr *comm.Rank
+	// fr is this rank's flight-recorder ring (nil when disabled); phase
+	// transitions are noted so post-mortems show where each rank was.
+	fr *obs.RankRecorder
 	// Pre-resolved metrics instruments, all nil (no-op) when the world runs
 	// without a registry.
 	mTasks, mEmitted         *obs.Counter
@@ -155,6 +163,8 @@ func NewWith(comm *mpi.Comm, opt Options) *MapReduce {
 	mr := &MapReduce{comm: comm, opt: opt}
 	mr.tr = comm.Tracer()
 	mr.board = comm.Board()
+	mr.cr = comm.CommRank()
+	mr.fr = comm.FlightRank()
 	reg := comm.Metrics()
 	mr.mTasks = reg.Counter("mrmpi.map.tasks")
 	mr.mEmitted = reg.Counter("mrmpi.kv.emitted")
@@ -188,6 +198,11 @@ func (mr *MapReduce) phase(name string) obs.Span {
 		mr.board.SetKVBytes(mr.kv.Bytes())
 		mr.board.SetSpillBytes(mr.Stats().SpillBytes)
 	}
+	// Label comm accounting with the new phase: every message sent from
+	// here until the next transition is attributed to this phase in the
+	// comm matrix (receivers bucket under the sender's stamp).
+	mr.cr.SetPhase(name)
+	mr.fr.Note("phase", name)
 	if mr.tr != nil {
 		return mr.tr.Begin("mrmpi", name)
 	}

@@ -42,6 +42,11 @@ type Report struct {
 	// CriticalPath is the chain of rank segments connected by p2p/collective
 	// edges that determined the wall clock.
 	CriticalPath CriticalPath `json:"critical_path"`
+	// Comm is the communication-matrix section; nil unless the caller
+	// attaches one built by AnalyzeComm from a recorded comm.Matrix (the
+	// matrix is a separate artifact from the trace, so Analyze alone cannot
+	// produce it).
+	Comm *CommReport `json:"comm,omitempty"`
 }
 
 // RankTime decomposes one rank's wall-clock share: Busy is time inside

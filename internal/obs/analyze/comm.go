@@ -1,0 +1,118 @@
+package analyze
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/obs/comm"
+)
+
+// commTopLinks bounds how many heavy links the comm section lists.
+const commTopLinks = 5
+
+// commFitMinSamples is the per-link sample floor for the α–β fit table.
+const commFitMinSamples = 8
+
+// CommReport is the communication-matrix section of a Report: volume totals,
+// per-phase aggregates, send-side load balance across ranks, the heaviest
+// links, and the fitted α–β cost model. It is built from a comm.Matrix
+// recorded alongside the trace (mrblast/mrsom -comm), so traces analyzed
+// without comm accounting simply omit it.
+type CommReport struct {
+	// TotalMsgs and TotalBytes count delivered traffic across all links.
+	TotalMsgs  int64 `json:"total_msgs"`
+	TotalBytes int64 `json:"total_bytes"`
+	// Phases aggregates traffic per mrmpi phase, heaviest first.
+	Phases []comm.PhaseTotal `json:"phases"`
+	// SentByRank is bytes sent per source rank, indexed by rank.
+	SentByRank []int64 `json:"sent_by_rank"`
+	// SendImbalance is max/mean of SentByRank (1.0 = every rank sends the
+	// same volume; 0 when nothing was sent). A master–worker run is expected
+	// to be lopsided; a data-parallel phase is not.
+	SendImbalance float64 `json:"send_imbalance"`
+	// TopLinks are the heaviest (src, dst, phase) links by delivered bytes.
+	TopLinks []comm.Link `json:"top_links"`
+	// Fit is the global α–β model over every regression sample; nil when the
+	// matrix carries too few samples to regress.
+	Fit *comm.Fit `json:"fit,omitempty"`
+	// LinkFits are per-rank-pair fits where enough samples exist.
+	LinkFits []comm.LinkFit `json:"link_fits,omitempty"`
+}
+
+// AnalyzeComm summarizes a communication matrix into the Report's comm
+// section. Attach the result to Report.Comm to have WriteReport render it.
+func AnalyzeComm(m *comm.Matrix) *CommReport {
+	if m == nil || len(m.Links) == 0 {
+		return nil
+	}
+	cr := &CommReport{
+		Phases:     m.PhaseTotals(),
+		SentByRank: make([]int64, m.NumRanks),
+		TopLinks:   m.TopLinks(commTopLinks),
+	}
+	cr.TotalMsgs, cr.TotalBytes = m.Totals()
+	for i := range m.Links {
+		l := &m.Links[i]
+		if l.Src < len(cr.SentByRank) {
+			cr.SentByRank[l.Src] += l.SentBytes
+		}
+	}
+	var max, sum int64
+	for _, b := range cr.SentByRank {
+		sum += b
+		if b > max {
+			max = b
+		}
+	}
+	if sum > 0 && len(cr.SentByRank) > 0 {
+		mean := float64(sum) / float64(len(cr.SentByRank))
+		cr.SendImbalance = float64(max) / mean
+	}
+	if fit, ok := comm.FitAlphaBeta(m.AllSamples()); ok {
+		cr.Fit = &fit
+	}
+	cr.LinkFits = m.FitPerLink(commFitMinSamples)
+	return cr
+}
+
+// writeCommSection renders the comm section of WriteReport.
+func writeCommSection(w io.Writer, cr *CommReport) error {
+	fmt.Fprintf(w, "\ncommunication: %d msgs, %d bytes delivered\n", cr.TotalMsgs, cr.TotalBytes)
+	if len(cr.Phases) > 0 {
+		tw := tabwriter.NewWriter(w, 2, 8, 2, ' ', 0)
+		fmt.Fprintln(tw, "phase\tmsgs\tbytes\tavg queue\tmax queue")
+		for _, p := range cr.Phases {
+			name := p.Phase
+			if name == "" {
+				name = "(none)"
+			}
+			fmt.Fprintf(tw, "%s\t%d\t%d\t%v\t%v\n", name, p.Msgs, p.Bytes,
+				p.AvgQueue().Round(time.Microsecond),
+				time.Duration(p.MaxQueueNS).Round(time.Microsecond))
+		}
+		if err := tw.Flush(); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(w, "send volume by rank (imbalance %.2f):", cr.SendImbalance)
+	for r, b := range cr.SentByRank {
+		fmt.Fprintf(w, " %d:%d", r, b)
+	}
+	fmt.Fprintln(w)
+	if len(cr.TopLinks) > 0 {
+		fmt.Fprintln(w, "heaviest links:")
+		for i := range cr.TopLinks {
+			l := &cr.TopLinks[i]
+			fmt.Fprintf(w, "  %d->%d phase=%s: %d msgs, %d bytes\n", l.Src, l.Dst, l.Phase, l.Msgs, l.Bytes)
+		}
+	}
+	if cr.Fit != nil {
+		fmt.Fprintf(w, "α–β model: %s\n", cr.Fit)
+	}
+	for _, lf := range cr.LinkFits {
+		fmt.Fprintf(w, "  %d->%d: %s\n", lf.Src, lf.Dst, lf.Fit.String())
+	}
+	return nil
+}

@@ -71,5 +71,12 @@ func WriteReport(w io.Writer, rep Report) error {
 			time.Duration(s.End).Round(time.Microsecond),
 			s.Dur().Round(time.Microsecond))
 	}
-	return tw.Flush()
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+
+	if rep.Comm != nil {
+		return writeCommSection(w, rep.Comm)
+	}
+	return nil
 }

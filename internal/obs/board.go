@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Board is the live per-rank status board of one run: a handful of atomic
@@ -86,6 +87,16 @@ type RankBoard struct {
 	spillBytes atomic.Int64
 	exchSent   atomic.Int64
 	exchRecv   atomic.Int64
+	// beat is the UnixNano of the last update through any mutator — the
+	// rank's heartbeat. Snapshot turns it into an age so the deadlock
+	// watchdog can distinguish a stalled rank (old beat) from one making
+	// slow progress (fresh beat). Zero until the first update.
+	beat atomic.Int64
+}
+
+// touch refreshes the heartbeat; called by every mutator.
+func (rb *RankBoard) touch() {
+	rb.beat.Store(time.Now().UnixNano())
 }
 
 // SetPhase records the phase this rank is currently in (e.g. "map").
@@ -94,6 +105,7 @@ func (rb *RankBoard) SetPhase(phase string) {
 		return
 	}
 	rb.phase.Store(&phase)
+	rb.touch()
 }
 
 // Phase reads the current phase ("" before the first SetPhase).
@@ -116,6 +128,7 @@ func (rb *RankBoard) BeginTasks(total int64) {
 	}
 	rb.tasksDone.Store(0)
 	rb.tasksTotal.Store(total)
+	rb.touch()
 }
 
 // TaskDone counts one completed task on this rank.
@@ -124,6 +137,7 @@ func (rb *RankBoard) TaskDone() {
 		return
 	}
 	rb.tasksDone.Add(1)
+	rb.touch()
 }
 
 // SetEpoch records the current epoch (SOM) or MapReduce iteration (BLAST).
@@ -132,6 +146,7 @@ func (rb *RankBoard) SetEpoch(epoch int64) {
 		return
 	}
 	rb.epoch.Store(epoch)
+	rb.touch()
 }
 
 // SetKVBytes records the bytes currently buffered in this rank's key-value
@@ -141,6 +156,7 @@ func (rb *RankBoard) SetKVBytes(n int64) {
 		return
 	}
 	rb.kvBytes.Store(n)
+	rb.touch()
 }
 
 // SetSpillBytes records the cumulative bytes this rank has spilled to disk.
@@ -149,6 +165,7 @@ func (rb *RankBoard) SetSpillBytes(n int64) {
 		return
 	}
 	rb.spillBytes.Store(n)
+	rb.touch()
 }
 
 // AddExchange accumulates bytes sent to and received from other ranks
@@ -159,10 +176,19 @@ func (rb *RankBoard) AddExchange(sent, recv int64) {
 	}
 	rb.exchSent.Add(sent)
 	rb.exchRecv.Add(recv)
+	rb.touch()
 }
 
-// state reads every slot.
+// state reads every slot. BeatAgeNS is computed against the snapshot
+// moment; -1 marks a rank that never updated its board.
 func (rb *RankBoard) state() RankState {
+	age := int64(-1)
+	if beat := rb.beat.Load(); beat != 0 {
+		age = time.Now().UnixNano() - beat
+		if age < 0 {
+			age = 0
+		}
+	}
 	return RankState{
 		Rank:              rb.rank,
 		Phase:             rb.Phase(),
@@ -173,6 +199,7 @@ func (rb *RankBoard) state() RankState {
 		SpillBytes:        rb.spillBytes.Load(),
 		ExchangeSentBytes: rb.exchSent.Load(),
 		ExchangeRecvBytes: rb.exchRecv.Load(),
+		BeatAgeNS:         age,
 	}
 }
 
@@ -188,7 +215,11 @@ type RankState struct {
 	SpillBytes        int64  `json:"spill_bytes"`
 	ExchangeSentBytes int64  `json:"exchange_sent_bytes"`
 	ExchangeRecvBytes int64  `json:"exchange_recv_bytes"`
-	InFlight          string `json:"in_flight,omitempty"`
+	// BeatAgeNS is how long ago (at snapshot time) this rank last updated
+	// any board slot; -1 when it never has. A large age against peers with
+	// fresh beats is the signature of a stalled rank.
+	BeatAgeNS int64  `json:"beat_age_ns"`
+	InFlight  string `json:"in_flight,omitempty"`
 }
 
 // String renders the state as one compact line, shared by the live text
@@ -201,6 +232,12 @@ func (s RankState) String() string {
 	line := fmt.Sprintf("phase=%s tasks=%d/%d epoch=%d kv=%dB spilled=%dB exch=%dB/%dB",
 		phase, s.TasksDone, s.TasksTotal, s.Epoch, s.KVBytes, s.SpillBytes,
 		s.ExchangeSentBytes, s.ExchangeRecvBytes)
+	switch {
+	case s.BeatAgeNS >= 0:
+		line += fmt.Sprintf(" beat=%v ago", time.Duration(s.BeatAgeNS).Round(time.Millisecond))
+	default:
+		line += " beat=never"
+	}
 	if s.InFlight != "" {
 		line += " " + s.InFlight
 	}

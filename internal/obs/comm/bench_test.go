@@ -1,0 +1,72 @@
+package comm
+
+import "testing"
+
+// Comm accounting sits inline in mpi's sendOp and recvMatch, the hottest
+// paths in the runtime; when no tracker is installed the cost must be the
+// same nil-check-and-return the tracer pays. The CI overhead gate runs this
+// test next to the obs one.
+
+var sinkPhase string
+
+func BenchmarkDisabledRecordSend(b *testing.B) {
+	var r *Rank
+	for i := 0; i < b.N; i++ {
+		r.RecordSend(1, 5, 128)
+	}
+}
+
+func BenchmarkDisabledRecordRecv(b *testing.B) {
+	var r *Rank
+	for i := 0; i < b.N; i++ {
+		r.RecordRecv(1, 5, 128, 100, 10, "map")
+	}
+}
+
+func BenchmarkDisabledPhase(b *testing.B) {
+	var r *Rank
+	for i := 0; i < b.N; i++ {
+		sinkPhase = r.Phase()
+	}
+}
+
+func BenchmarkEnabledRecordSend(b *testing.B) {
+	r := NewTracker().Rank(0)
+	r.SetPhase("map")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.RecordSend(1, 5, 128)
+	}
+}
+
+func BenchmarkEnabledRecordRecv(b *testing.B) {
+	r := NewTracker().Rank(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.RecordRecv(1, 5, 128, 100, 10, "map")
+	}
+}
+
+// TestDisabledPathOverhead gates the disabled comm-accounting path at the
+// same ≤5ns bar as the tracer's (see internal/obs/bench_test.go). Skipped
+// under the race detector, whose instrumentation skews absolute numbers.
+func TestDisabledPathOverhead(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation skews ns/op; the gate runs in the non-race CI step")
+	}
+	if testing.Short() {
+		t.Skip("timing gate skipped in -short mode")
+	}
+	res := testing.Benchmark(BenchmarkDisabledRecordSend)
+	if ns := res.NsPerOp(); ns > 5 {
+		t.Errorf("disabled RecordSend costs %dns/op, want <= 5ns/op", ns)
+	}
+	res = testing.Benchmark(BenchmarkDisabledRecordRecv)
+	if ns := res.NsPerOp(); ns > 5 {
+		t.Errorf("disabled RecordRecv costs %dns/op, want <= 5ns/op", ns)
+	}
+	res = testing.Benchmark(BenchmarkDisabledPhase)
+	if ns := res.NsPerOp(); ns > 5 {
+		t.Errorf("disabled Phase costs %dns/op, want <= 5ns/op", ns)
+	}
+}

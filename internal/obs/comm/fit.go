@@ -1,0 +1,95 @@
+package comm
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Fit is a fitted α–β (Hockney) cost model: latency = α + β·bytes, where α
+// is the per-message startup cost and 1/β the bandwidth. RMSResidualNS and
+// R2 qualify the fit — on an in-process transport with scheduler noise a
+// low R² is information, not an error.
+type Fit struct {
+	N             int     `json:"n"`
+	AlphaNS       float64 `json:"alpha_ns"`
+	BetaNSPerByte float64 `json:"beta_ns_per_byte"`
+	BandwidthMBps float64 `json:"bandwidth_mbps"`
+	RMSResidualNS float64 `json:"rms_residual_ns"`
+	R2            float64 `json:"r2"`
+}
+
+// String renders the fit in the units people quote: α in time units,
+// bandwidth in MB/s.
+func (f Fit) String() string {
+	bw := "∞"
+	if f.BandwidthMBps > 0 {
+		bw = fmt.Sprintf("%.0f MB/s", f.BandwidthMBps)
+	}
+	return fmt.Sprintf("α=%v bandwidth=%s (n=%d, rms residual %v, R²=%.3f)",
+		time.Duration(f.AlphaNS).Round(10*time.Nanosecond), bw, f.N,
+		time.Duration(f.RMSResidualNS).Round(10*time.Nanosecond), f.R2)
+}
+
+// FitAlphaBeta least-squares-fits latency = α + β·bytes over the samples.
+// It needs at least two samples spanning at least two distinct message
+// sizes; otherwise (and when the fit degenerates) ok is false. A negative
+// fitted α (possible when large messages happened to be measured on a warm
+// path) is clamped to 0, with residuals computed against the clamped model.
+func FitAlphaBeta(samples []Sample) (fit Fit, ok bool) {
+	n := len(samples)
+	if n < 2 {
+		return Fit{}, false
+	}
+	var sumX, sumY float64
+	for _, s := range samples {
+		sumX += float64(s.Bytes)
+		sumY += float64(s.LatencyNS)
+	}
+	meanX := sumX / float64(n)
+	meanY := sumY / float64(n)
+	var sxx, sxy, syy float64
+	for _, s := range samples {
+		dx := float64(s.Bytes) - meanX
+		dy := float64(s.LatencyNS) - meanY
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		// Every sample the same size: slope is unidentifiable.
+		return Fit{}, false
+	}
+	beta := sxy / sxx
+	alpha := meanY - beta*meanX
+	if alpha < 0 {
+		alpha = 0
+	}
+	if beta < 0 {
+		// Latency decreasing with size is pure noise; report a flat model so
+		// the bandwidth column reads "∞" rather than a negative number.
+		beta = 0
+		alpha = meanY
+	}
+	var ssRes float64
+	for _, s := range samples {
+		r := float64(s.LatencyNS) - (alpha + beta*float64(s.Bytes))
+		ssRes += r * r
+	}
+	r2 := 1.0
+	if syy > 0 {
+		r2 = 1 - ssRes/syy
+	}
+	fit = Fit{
+		N:             n,
+		AlphaNS:       alpha,
+		BetaNSPerByte: beta,
+		RMSResidualNS: math.Sqrt(ssRes / float64(n)),
+		R2:            r2,
+	}
+	if beta > 0 {
+		// β is ns/byte; 1/β is bytes/ns = GB/s·1e0 → MB/s = 1000/β.
+		fit.BandwidthMBps = 1000 / beta
+	}
+	return fit, true
+}

@@ -1,0 +1,6 @@
+//go:build !race
+
+package comm
+
+// raceEnabled reports whether the race detector is compiled in.
+const raceEnabled = false

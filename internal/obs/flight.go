@@ -1,0 +1,192 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// FlightRecorder keeps a bounded per-rank ring buffer of recent events —
+// p2p sends and receives, collective entries, span-level notes — so that
+// when a run wedges or a rank panics, the last moments of every rank are
+// still in memory to dump. It is the post-mortem complement to the tracer:
+// the tracer records everything for a healthy run's analysis, the flight
+// recorder records a little, always, for the runs that never reach the
+// analysis step.
+//
+// The mpi watchdog and panic paths call Dump to assemble a self-contained
+// post-mortem (recent events per rank, the status-board snapshot, the
+// metrics table, and the pending nonblocking-request ledger) written as one
+// JSON file next to the run.
+//
+// Like every obs type, a nil *FlightRecorder hands out nil *RankRecorder
+// handles whose Note is a nil-check no-op.
+type FlightRecorder struct {
+	capPer int
+	start  time.Time
+	mu     sync.Mutex
+	ranks  []*RankRecorder
+}
+
+// DefaultFlightEvents is the per-rank ring capacity used when NewFlightRecorder
+// is given a non-positive size.
+const DefaultFlightEvents = 256
+
+// NewFlightRecorder creates a recorder keeping the last eventsPerRank
+// events per rank.
+func NewFlightRecorder(eventsPerRank int) *FlightRecorder {
+	if eventsPerRank <= 0 {
+		eventsPerRank = DefaultFlightEvents
+	}
+	return &FlightRecorder{capPer: eventsPerRank, start: time.Now()}
+}
+
+// Rank returns rank r's ring, creating it on first use. Nil recorder → nil
+// ring (a valid no-op receiver).
+func (f *FlightRecorder) Rank(r int) *RankRecorder {
+	if f == nil || r < 0 {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for len(f.ranks) <= r {
+		f.ranks = append(f.ranks, &RankRecorder{f: f, rank: len(f.ranks)})
+	}
+	return f.ranks[r]
+}
+
+// FlightEvent is one recorded moment: a timestamp (ns since the recorder
+// was created), a kind ("send", "recv", "collective", "note", ...), and a
+// free-form detail line.
+type FlightEvent struct {
+	TSNS   int64  `json:"ts_ns"`
+	Kind   string `json:"kind"`
+	Detail string `json:"detail"`
+}
+
+// RankRecorder is one rank's ring. Note is called from that rank's
+// goroutine only, but Dump may race with it, so the ring is mutex-guarded
+// (uncontended in the common case — each rank owns its ring).
+type RankRecorder struct {
+	f     *FlightRecorder
+	rank  int
+	mu    sync.Mutex
+	buf   []FlightEvent
+	next  int
+	total int64
+}
+
+// Note records one event, overwriting the oldest when the ring is full.
+// No-op on a nil receiver.
+func (r *RankRecorder) Note(kind, detail string) {
+	if r == nil {
+		return
+	}
+	ev := FlightEvent{TSNS: int64(time.Since(r.f.start)), Kind: kind, Detail: detail}
+	r.mu.Lock()
+	if len(r.buf) < r.f.capPer {
+		r.buf = append(r.buf, ev)
+	} else {
+		r.buf[r.next] = ev
+		r.next = (r.next + 1) % len(r.buf)
+	}
+	r.total++
+	r.mu.Unlock()
+}
+
+// Notef is Note with printf formatting, for call sites that would otherwise
+// Sprintf themselves.
+func (r *RankRecorder) Notef(kind, format string, args ...any) {
+	if r == nil {
+		return
+	}
+	r.Note(kind, fmt.Sprintf(format, args...))
+}
+
+// Events copies the ring's contents oldest-first.
+func (r *RankRecorder) Events() []FlightEvent {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]FlightEvent, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
+// Dropped reports how many events have been overwritten.
+func (r *RankRecorder) Dropped() int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total - int64(len(r.buf))
+}
+
+// FlightRankDump is one rank's section of a post-mortem dump.
+type FlightRankDump struct {
+	Rank    int           `json:"rank"`
+	Dropped int64         `json:"dropped"`
+	Recent  []FlightEvent `json:"recent"`
+}
+
+// FlightDump is the self-contained post-mortem report: why it was taken,
+// each rank's recent events, and whatever run state was available — the
+// board snapshot, the metrics snapshot, and the pending nonblocking-request
+// ledger.
+type FlightDump struct {
+	Reason          string            `json:"reason"`
+	TakenAt         time.Time         `json:"taken_at"`
+	Ranks           []FlightRankDump  `json:"ranks"`
+	Board           []RankState       `json:"board,omitempty"`
+	Metrics         *RegistrySnapshot `json:"metrics,omitempty"`
+	PendingRequests []string          `json:"pending_requests,omitempty"`
+}
+
+// Dump assembles the post-mortem. board, metrics and pending may each be
+// empty/nil when the corresponding subsystem was not enabled.
+func (f *FlightRecorder) Dump(reason string, board []RankState, metrics *RegistrySnapshot, pending []string) FlightDump {
+	d := FlightDump{
+		Reason:          reason,
+		TakenAt:         time.Now(),
+		Board:           board,
+		Metrics:         metrics,
+		PendingRequests: pending,
+	}
+	if f == nil {
+		return d
+	}
+	f.mu.Lock()
+	ranks := append([]*RankRecorder(nil), f.ranks...)
+	f.mu.Unlock()
+	for _, r := range ranks {
+		d.Ranks = append(d.Ranks, FlightRankDump{
+			Rank:    r.rank,
+			Dropped: r.Dropped(),
+			Recent:  r.Events(),
+		})
+	}
+	return d
+}
+
+// WriteJSON serializes the dump as indented JSON.
+func (d FlightDump) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(d)
+}
+
+// ReadFlightDump parses a dump written by WriteJSON — the byte-parseability
+// contract the deadlock test pins.
+func ReadFlightDump(r io.Reader) (*FlightDump, error) {
+	var d FlightDump
+	if err := json.NewDecoder(r).Decode(&d); err != nil {
+		return nil, fmt.Errorf("obs: parsing flight dump: %w", err)
+	}
+	return &d, nil
+}

@@ -1,0 +1,163 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestFlightRecorderRingWraps(t *testing.T) {
+	f := NewFlightRecorder(4)
+	r := f.Rank(0)
+	for i := 0; i < 10; i++ {
+		r.Notef("send", "msg %d", i)
+	}
+	evs := r.Events()
+	if len(evs) != 4 {
+		t.Fatalf("ring holds %d events, want 4", len(evs))
+	}
+	// Oldest-first and only the most recent survive.
+	for i, ev := range evs {
+		want := fmt.Sprintf("msg %d", 6+i)
+		if ev.Detail != want {
+			t.Fatalf("event %d = %q, want %q", i, ev.Detail, want)
+		}
+	}
+	if got := r.Dropped(); got != 6 {
+		t.Fatalf("Dropped = %d, want 6", got)
+	}
+	// Timestamps monotone.
+	for i := 1; i < len(evs); i++ {
+		if evs[i].TSNS < evs[i-1].TSNS {
+			t.Fatalf("timestamps not monotone: %v", evs)
+		}
+	}
+}
+
+func TestFlightRecorderNilSafe(t *testing.T) {
+	var f *FlightRecorder
+	r := f.Rank(2)
+	if r != nil {
+		t.Fatal("nil recorder must hand out nil ranks")
+	}
+	r.Note("send", "x")
+	r.Notef("recv", "y %d", 1)
+	if r.Events() != nil || r.Dropped() != 0 {
+		t.Fatal("nil rank must be empty")
+	}
+	d := f.Dump("because", nil, nil, nil)
+	if d.Reason != "because" || len(d.Ranks) != 0 {
+		t.Fatalf("nil recorder dump: %+v", d)
+	}
+}
+
+func TestFlightDumpRoundTrip(t *testing.T) {
+	f := NewFlightRecorder(8)
+	f.Rank(0).Note("send", "dst=1 tag=5 bytes=100")
+	f.Rank(1).Note("recv", "src=0 tag=5 bytes=100")
+
+	board := NewBoard()
+	board.Rank(0).SetPhase("map")
+	board.Rank(1).SetPhase("map")
+	reg := NewRegistry()
+	reg.Counter("mpi.sends").Add(7)
+	snap := reg.Snapshot()
+
+	d := f.Dump("watchdog: rank 0 Recv timed out", board.Snapshot(nil), &snap,
+		[]string{"rank 1: Irecv src=0 tag=9"})
+	var buf bytes.Buffer
+	if err := d.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadFlightDump(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Reason != d.Reason {
+		t.Fatalf("reason = %q", back.Reason)
+	}
+	if len(back.Ranks) != 2 || back.Ranks[0].Recent[0].Kind != "send" {
+		t.Fatalf("ranks: %+v", back.Ranks)
+	}
+	if len(back.Board) != 2 || back.Board[0].Phase != "map" {
+		t.Fatalf("board: %+v", back.Board)
+	}
+	if back.Metrics == nil || len(back.Metrics.Counters) != 1 || back.Metrics.Counters[0].Value != 7 {
+		t.Fatalf("metrics: %+v", back.Metrics)
+	}
+	if len(back.PendingRequests) != 1 || !strings.Contains(back.PendingRequests[0], "Irecv") {
+		t.Fatalf("pending: %+v", back.PendingRequests)
+	}
+}
+
+// TestFlightRecorderConcurrent races Note against Dump/Events; meaningful
+// under -race (internal/obs is in the race CI step).
+func TestFlightRecorderConcurrent(t *testing.T) {
+	f := NewFlightRecorder(32)
+	var wg sync.WaitGroup
+	for rank := 0; rank < 4; rank++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			r := f.Rank(rank)
+			for i := 0; i < 1000; i++ {
+				r.Notef("send", "msg %d", i)
+			}
+		}(rank)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			f.Dump("probe", nil, nil, nil)
+		}
+	}()
+	wg.Wait()
+	<-done
+	d := f.Dump("final", nil, nil, nil)
+	if len(d.Ranks) != 4 {
+		t.Fatalf("ranks = %d, want 4", len(d.Ranks))
+	}
+	for _, r := range d.Ranks {
+		if len(r.Recent) != 32 || r.Dropped != 1000-32 {
+			t.Fatalf("rank %d: %d recent, %d dropped", r.Rank, len(r.Recent), r.Dropped)
+		}
+	}
+}
+
+func TestBoardHeartbeatAge(t *testing.T) {
+	b := NewBoard()
+	r0 := b.Rank(0)
+	b.Rank(1) // never updated
+	r0.SetPhase("map")
+	states := b.Snapshot(nil)
+	if states[0].BeatAgeNS < 0 {
+		t.Fatalf("rank 0 updated but BeatAgeNS = %d", states[0].BeatAgeNS)
+	}
+	if states[1].BeatAgeNS != -1 {
+		t.Fatalf("rank 1 never updated but BeatAgeNS = %d", states[1].BeatAgeNS)
+	}
+	if s := states[0].String(); !strings.Contains(s, "beat=") || strings.Contains(s, "beat=never") {
+		t.Fatalf("rank 0 line: %q", s)
+	}
+	if s := states[1].String(); !strings.Contains(s, "beat=never") {
+		t.Fatalf("rank 1 line: %q", s)
+	}
+	// Every mutator must refresh the heartbeat.
+	for name, touch := range map[string]func(){
+		"BeginTasks":    func() { r0.BeginTasks(4) },
+		"TaskDone":      func() { r0.TaskDone() },
+		"SetEpoch":      func() { r0.SetEpoch(2) },
+		"SetKVBytes":    func() { r0.SetKVBytes(10) },
+		"SetSpillBytes": func() { r0.SetSpillBytes(10) },
+		"AddExchange":   func() { r0.AddExchange(1, 2) },
+	} {
+		before := r0.beat.Load()
+		for r0.beat.Load() == before {
+			touch()
+		}
+		_ = name
+	}
+}

@@ -9,7 +9,11 @@
 //
 //	/status      JSON snapshot ({"uptime_ms":..., "ranks":[...]})
 //	/status.txt  the same snapshot as one line per rank (watch -n1 friendly)
-//	/metrics     the metrics registry as a plain-text table (404 when off)
+//	/metrics     Prometheus text exposition: the registry's counters,
+//	             gauges and histograms plus comm-matrix link totals
+//	             (404 when neither source is on) — the control-plane
+//	             groundwork for mrblastd
+//	/metrics.txt the registry as the legacy plain-text table (404 when off)
 //
 // cmd/mrblast and cmd/mrsom expose it behind their -status :PORT flag.
 package live
@@ -22,6 +26,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/obs/comm"
 )
 
 // Snapshot is the JSON body served at /status.
@@ -40,16 +45,18 @@ type Server struct {
 	board   *obs.Board
 	tracer  *obs.Tracer
 	metrics *obs.Registry
+	comm    *comm.Tracker
 	start   time.Time
 
 	ln   net.Listener
 	http *http.Server
 }
 
-// New creates a server over the given sources. tracer and metrics may be
-// nil: snapshots then omit in-flight spans and /metrics responds 404.
-func New(board *obs.Board, tracer *obs.Tracer, metrics *obs.Registry) *Server {
-	return &Server{board: board, tracer: tracer, metrics: metrics, start: time.Now()}
+// New creates a server over the given sources. tracer, metrics and commT
+// may each be nil: snapshots then omit in-flight spans, and the metrics
+// routes 404 when every source they draw from is off.
+func New(board *obs.Board, tracer *obs.Tracer, metrics *obs.Registry, commT *comm.Tracker) *Server {
+	return &Server{board: board, tracer: tracer, metrics: metrics, comm: commT, start: time.Now()}
 }
 
 // Snapshot samples the board (and tracer) right now.
@@ -90,6 +97,21 @@ func (s *Server) Handler() http.Handler {
 		text(w, r)
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if s.metrics == nil && s.comm == nil {
+			http.Error(w, "metrics disabled", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if s.metrics != nil {
+			s.metrics.Snapshot().WritePrometheus(w)
+		}
+		if s.comm != nil {
+			// Mid-run the matrix is a live partial view; Prometheus counters
+			// are cumulative anyway, so serving the merged snapshot is exact.
+			s.comm.Matrix().WritePrometheus(w)
+		}
+	})
+	mux.HandleFunc("/metrics.txt", func(w http.ResponseWriter, r *http.Request) {
 		if s.metrics == nil {
 			http.Error(w, "metrics disabled", http.StatusNotFound)
 			return

@@ -11,6 +11,7 @@ import (
 	"repro/internal/mpi"
 	"repro/internal/mrmpi"
 	"repro/internal/obs"
+	"repro/internal/obs/comm"
 )
 
 // getSnapshot polls the /status endpoint once and decodes it.
@@ -39,7 +40,7 @@ func TestStatusEndpointDuringLiveRun(t *testing.T) {
 	const nranks, nmap = 4, 8
 	board := obs.NewBoard()
 	tracer := obs.NewTracer()
-	srv := New(board, tracer, nil)
+	srv := New(board, tracer, nil, nil)
 	if err := srv.Start("127.0.0.1:0"); err != nil {
 		t.Fatal(err)
 	}
@@ -153,7 +154,7 @@ func TestTextView(t *testing.T) {
 	rb.SetPhase("map")
 	rb.BeginTasks(5)
 	rb.TaskDone()
-	srv := New(board, nil, nil)
+	srv := New(board, nil, nil, nil)
 	if err := srv.Start("127.0.0.1:0"); err != nil {
 		t.Fatal(err)
 	}
@@ -172,12 +173,17 @@ func TestTextView(t *testing.T) {
 	}
 }
 
-// TestMetricsRoute checks /metrics serves the registry table and 404s when
-// the registry is absent.
+// TestMetricsRoute checks /metrics serves a conformant Prometheus exposition
+// of the registry plus comm-matrix totals, /metrics.txt keeps the legacy
+// table, and both 404 when every source is absent.
 func TestMetricsRoute(t *testing.T) {
 	reg := obs.NewRegistry()
 	reg.Counter("x.count").Add(3)
-	srv := New(obs.NewBoard(), nil, reg)
+	tracker := comm.NewTracker()
+	tracker.Rank(0).SetPhase("map")
+	tracker.Rank(0).RecordSend(1, 7, 128)
+	tracker.Rank(1).RecordRecv(0, 7, 128, 1000, 500, "map")
+	srv := New(obs.NewBoard(), nil, reg, tracker)
 	if err := srv.Start("127.0.0.1:0"); err != nil {
 		t.Fatal(err)
 	}
@@ -188,28 +194,47 @@ func TestMetricsRoute(t *testing.T) {
 	}
 	body, _ := io.ReadAll(resp.Body)
 	resp.Body.Close()
-	if !strings.Contains(string(body), "x.count") {
-		t.Errorf("/metrics = %q, want counter table", body)
+	text := string(body)
+	if !strings.Contains(text, "x_count_total 3") {
+		t.Errorf("/metrics = %q, want Prometheus counter x_count_total 3", text)
+	}
+	if !strings.Contains(text, `mpi_comm_bytes_total{src="0",dst="1",phase="map"} 128`) {
+		t.Errorf("/metrics = %q, want the comm-matrix link total", text)
+	}
+	if err := obs.ValidatePrometheus(strings.NewReader(text)); err != nil {
+		t.Errorf("/metrics exposition not conformant: %v\n%s", err, text)
 	}
 
-	off := New(obs.NewBoard(), nil, nil)
+	resp, err = http.Get("http://" + srv.Addr() + "/metrics.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "x.count") {
+		t.Errorf("/metrics.txt = %q, want the legacy counter table", body)
+	}
+
+	off := New(obs.NewBoard(), nil, nil, nil)
 	if err := off.Start("127.0.0.1:0"); err != nil {
 		t.Fatal(err)
 	}
 	defer off.Close()
-	resp, err = http.Get("http://" + off.Addr() + "/metrics")
-	if err != nil {
-		t.Fatal(err)
-	}
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusNotFound {
-		t.Errorf("/metrics without registry: status %d, want 404", resp.StatusCode)
+	for _, path := range []string{"/metrics", "/metrics.txt"} {
+		resp, err = http.Get("http://" + off.Addr() + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("%s without sources: status %d, want 404", path, resp.StatusCode)
+		}
 	}
 }
 
 // TestSnapshotBeforeRun: an idle server serves an empty-but-valid snapshot.
 func TestSnapshotBeforeRun(t *testing.T) {
-	srv := New(obs.NewBoard(), nil, nil)
+	srv := New(obs.NewBoard(), nil, nil, nil)
 	if err := srv.Start("127.0.0.1:0"); err != nil {
 		t.Fatal(err)
 	}

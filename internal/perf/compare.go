@@ -72,6 +72,39 @@ type Delta struct {
 	// Scale is the calibration ratio applied to the new file's timings
 	// (old calibration / new calibration); 1 when either is unset.
 	Scale float64
+	// MetaWarnings notes environment differences between the two files (go
+	// version, CPU model, GOMAXPROCS, ...). Informational: calibration
+	// scaling corrects raw speed but not scheduler or architecture effects,
+	// so a cross-environment compare deserves a caveat, not a failure.
+	MetaWarnings []string
+}
+
+// metaWarnings diffs the two files' environment fingerprints.
+func metaWarnings(old, new *File) []string {
+	if old.Meta == nil || new.Meta == nil {
+		if old.Meta != new.Meta {
+			return []string{"one file lacks environment metadata (recorded by an older mrperf)"}
+		}
+		return nil
+	}
+	var out []string
+	diff := func(field, o, n string) {
+		if o != n {
+			out = append(out, fmt.Sprintf("%s differs: baseline %q vs new %q", field, o, n))
+		}
+	}
+	diff("go version", old.Meta.GoVersion, new.Meta.GoVersion)
+	diff("GOOS/GOARCH", old.Meta.GOOS+"/"+old.Meta.GOARCH, new.Meta.GOOS+"/"+new.Meta.GOARCH)
+	if old.Meta.GOMAXPROCS != new.Meta.GOMAXPROCS {
+		out = append(out, fmt.Sprintf("GOMAXPROCS differs: baseline %d vs new %d",
+			old.Meta.GOMAXPROCS, new.Meta.GOMAXPROCS))
+	}
+	if old.Meta.NumCPU != new.Meta.NumCPU {
+		out = append(out, fmt.Sprintf("CPU count differs: baseline %d vs new %d",
+			old.Meta.NumCPU, new.Meta.NumCPU))
+	}
+	diff("CPU model", old.Meta.CPUModel, new.Meta.CPUModel)
+	return out
 }
 
 // Compare flags entries of new whose timings regressed past threshold
@@ -89,7 +122,7 @@ func Compare(old, new *File, threshold float64) (*Delta, error) {
 	if old.CalibrationMS > 0 && new.CalibrationMS > 0 {
 		scale = old.CalibrationMS / new.CalibrationMS
 	}
-	d := &Delta{Scale: scale}
+	d := &Delta{Scale: scale, MetaWarnings: metaWarnings(old, new)}
 	oldByName := map[string]Entry{}
 	for _, e := range old.Entries {
 		oldByName[e.Name] = e

@@ -8,8 +8,10 @@ package perf
 import (
 	"fmt"
 	"hash/fnv"
+	"os"
 	"runtime"
 	"sort"
+	"strings"
 	"time"
 
 	"repro/internal/bio"
@@ -38,7 +40,50 @@ type File struct {
 	// workload on this machine. Compare scales timings by the calibration
 	// ratio so baselines recorded on one machine remain usable on another.
 	CalibrationMS float64 `json:"calibration_ms"`
-	Entries       []Entry `json:"entries"`
+	// Meta identifies the recording environment; Compare warns (but does not
+	// fail) when it differs between baseline and new file, since calibration
+	// scaling corrects speed but not scheduling or architecture effects.
+	// Optional so pre-metadata BENCH files keep parsing under schema v1.
+	Meta    *RunMeta `json:"meta,omitempty"`
+	Entries []Entry  `json:"entries"`
+}
+
+// RunMeta is the environment fingerprint stamped into a BENCH file.
+type RunMeta struct {
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+	// CPUModel is the first "model name" from /proc/cpuinfo ("" when the
+	// platform does not expose one).
+	CPUModel string `json:"cpu_model,omitempty"`
+}
+
+// CaptureMeta fingerprints the current environment.
+func CaptureMeta() *RunMeta {
+	return &RunMeta{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		CPUModel:   cpuModel(),
+	}
+}
+
+// cpuModel reads the CPU model from /proc/cpuinfo; "" off Linux.
+func cpuModel() string {
+	data, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return ""
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if k, v, ok := strings.Cut(line, ":"); ok && strings.TrimSpace(k) == "model name" {
+			return strings.TrimSpace(v)
+		}
+	}
+	return ""
 }
 
 // Entry is one suite workload's measurements.
@@ -198,6 +243,7 @@ func Run(dir string, repeats int, progress func(string)) (*File, error) {
 		CreatedAt:     time.Now().UTC().Format(time.RFC3339),
 		GoVersion:     runtime.Version(),
 		CalibrationMS: Calibrate(),
+		Meta:          CaptureMeta(),
 	}
 	for _, w := range workloads {
 		e := Entry{Name: w.name, Repeats: repeats}

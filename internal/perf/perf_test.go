@@ -293,3 +293,62 @@ func TestSuiteRunsQuick(t *testing.T) {
 		}
 	}
 }
+
+// TestCompareMetaWarnings: environment differences between baseline and new
+// file surface as warnings, never failures; matching metadata stays silent.
+func TestCompareMetaWarnings(t *testing.T) {
+	meta := func() *RunMeta {
+		return &RunMeta{GoVersion: "go1.22", GOOS: "linux", GOARCH: "amd64",
+			GOMAXPROCS: 8, NumCPU: 8, CPUModel: "TestCPU 3000"}
+	}
+	old, cur := baselineFile(), baselineFile()
+	old.Meta, cur.Meta = meta(), meta()
+	d, err := Compare(old, cur, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.MetaWarnings) != 0 {
+		t.Errorf("warnings on matching metadata: %v", d.MetaWarnings)
+	}
+
+	cur.Meta.GoVersion = "go1.23"
+	cur.Meta.GOMAXPROCS = 4
+	cur.Meta.CPUModel = "OtherCPU 1000"
+	d, err = Compare(old, cur, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.MetaWarnings) != 3 {
+		t.Fatalf("warnings = %v, want go version + GOMAXPROCS + CPU model", d.MetaWarnings)
+	}
+	joined := strings.Join(d.MetaWarnings, "; ")
+	for _, want := range []string{"go version", "GOMAXPROCS", "CPU model"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("warnings missing %q: %v", want, d.MetaWarnings)
+		}
+	}
+	if len(d.Regressions) != 0 {
+		t.Errorf("metadata mismatch must not create regressions: %+v", d.Regressions)
+	}
+
+	// One side without metadata (older mrperf): a single note.
+	cur.Meta = nil
+	d, err = Compare(old, cur, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.MetaWarnings) != 1 || !strings.Contains(d.MetaWarnings[0], "lacks environment metadata") {
+		t.Errorf("warnings = %v, want a single missing-metadata note", d.MetaWarnings)
+	}
+}
+
+// TestCaptureMeta sanity-checks the environment fingerprint on this host.
+func TestCaptureMeta(t *testing.T) {
+	m := CaptureMeta()
+	if m.GoVersion == "" || m.GOOS == "" || m.GOARCH == "" {
+		t.Fatalf("incomplete meta: %+v", m)
+	}
+	if m.GOMAXPROCS < 1 || m.NumCPU < 1 {
+		t.Fatalf("impossible CPU counts: %+v", m)
+	}
+}
