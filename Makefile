@@ -96,20 +96,28 @@ figures: build
 	$(BIN)/benchfig -fig all -out results -csv results/csv
 
 # Observability demo and self-check: train a small SOM on 4 ranks with
-# tracing and metrics on, then structurally validate the exported Chrome
-# trace with traceview -check (spans nest, begins have ends, clocks are
-# monotonic) and print the per-rank per-phase summary. Load
-# results/trace-demo.json into https://ui.perfetto.dev to browse it.
+# tracing, metrics, per-phase profiling, and the flight recorder on, then
+# structurally validate the exported Chrome trace with traceview -check
+# (spans nest, begins have ends, clocks are monotonic), print the per-rank
+# per-phase summary, stitch the causal DAG (-causal), and write the full
+# analyzer report with wait blame (-analyze/-blame). Outputs are
+# gzip-compressed (.gz); zcat results/trace-demo.json.gz and load it into
+# https://ui.perfetto.dev to browse it.
 trace-demo: build
 	mkdir -p results
 	$(BIN)/genseq -mode vectors -n 4000 -dim 16 -out results/trace-demo-vectors.bin
 	$(BIN)/mrsom -data results/trace-demo-vectors.bin -ranks 4 -w 12 -h 12 \
-		-epochs 4 -trace results/trace-demo.json -metrics
-	$(BIN)/traceview -check results/trace-demo.json
-	$(BIN)/traceview -top 5 results/trace-demo.json
+		-epochs 4 -trace results/trace-demo.json.gz -metrics \
+		-flight results/trace-demo-flight.json.gz -profile results/trace-demo-prof
+	$(BIN)/traceview -check results/trace-demo.json.gz
+	$(BIN)/traceview -top 5 results/trace-demo.json.gz
+	$(BIN)/traceview -causal results/trace-demo.json.gz
 	$(BIN)/mrsom -data results/trace-demo-vectors.bin -ranks 4 -w 12 -h 12 \
-		-epochs 4 -comm results/trace-demo-comm.json
-	$(BIN)/traceview -comm results/trace-demo-comm.json
+		-epochs 4 -comm results/trace-demo-comm.json.gz
+	$(BIN)/traceview -comm results/trace-demo-comm.json.gz
+	$(BIN)/traceview -analyze -comm results/trace-demo-comm.json.gz \
+		-o results/trace-demo-report.txt.gz results/trace-demo.json.gz
+	$(BIN)/traceview -blame results/trace-demo.json.gz
 
 # CI conformance gate for the live /metrics route: starts mrblast with a
 # status server and comm accounting, scrapes /metrics after the run, and

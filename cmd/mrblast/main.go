@@ -39,12 +39,13 @@ func main() {
 	locality := flag.Bool("locality", false, "locality-aware master: prefer giving workers partitions they already hold")
 	dynamic := flag.Bool("dynamic-blocks", false, "taper query blocks toward the end of the set")
 	format := flag.String("format", "tsv", "output format: tsv | jsonl")
-	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON of the run (view in Perfetto or cmd/traceview)")
+	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON of the run (.gz compresses; view in Perfetto or cmd/traceview)")
 	metrics := flag.Bool("metrics", false, "print the run's metrics registry on completion")
 	status := flag.String("status", "", "serve live per-rank status over HTTP on this address (e.g. :8080); watch with curl addr/status.txt")
 	statusLinger := flag.Duration("status-linger", 0, "keep the -status server up this long after the run so scrapers can collect final /metrics")
-	commPath := flag.String("comm", "", "account per-rank communication; write the merged comm matrix JSON here (render with traceview -comm)")
-	flightPath := flag.String("flight", "", "arm the flight recorder; a post-mortem dump is written here if the run deadlocks or panics")
+	commPath := flag.String("comm", "", "account per-rank communication; write the merged comm matrix JSON here (.gz compresses; render with traceview -comm)")
+	flightPath := flag.String("flight", "", "arm the flight recorder; a post-mortem dump is written here (.gz compresses) if the run deadlocks, panics, or gets SIGQUIT")
+	profileDir := flag.String("profile", "", "capture per-phase CPU profiles and an end-of-run heap snapshot into this directory")
 	flag.Parse()
 	if *query == "" || *db == "" {
 		fail(fmt.Errorf("-query and -db are required"))
@@ -68,6 +69,12 @@ func main() {
 	var flight *obs.FlightRecorder
 	if *flightPath != "" {
 		flight = obs.NewFlightRecorder(obs.DefaultFlightEvents)
+	}
+	var prof *obs.PhaseProfiler
+	if *profileDir != "" {
+		p, err := obs.StartPhaseProfiler(*profileDir)
+		fail(err)
+		prof = p
 	}
 	var board *obs.Board
 	if *status != "" {
@@ -105,7 +112,15 @@ func main() {
 		Comm:               commT,
 		Flight:             flight,
 		FlightPath:         *flightPath,
+		Profile:            prof,
 	})
+	if prof != nil {
+		files, perr := prof.Stop()
+		fmt.Printf("mrblast: wrote %d profile file(s) under %s (go tool pprof <file>)\n", len(files), *profileDir)
+		if perr != nil {
+			fmt.Fprintln(os.Stderr, "mrblast: profiling:", perr)
+		}
+	}
 	fail(err)
 	fmt.Printf("mrblast: %d queries in %d blocks x %d partitions = %d work units on %d ranks\n",
 		sum.Queries, sum.Blocks, sum.Partitions, sum.WorkItems, *ranks)
@@ -125,7 +140,7 @@ func main() {
 }
 
 func writeComm(path string, tracker *obscomm.Tracker) error {
-	f, err := os.Create(path)
+	f, err := obs.CreateOutput(path)
 	if err != nil {
 		return err
 	}
@@ -137,7 +152,7 @@ func writeComm(path string, tracker *obscomm.Tracker) error {
 }
 
 func writeTrace(path string, tracer *obs.Tracer) error {
-	f, err := os.Create(path)
+	f, err := obs.CreateOutput(path)
 	if err != nil {
 		return err
 	}

@@ -80,6 +80,9 @@ type BlastJob struct {
 	Flight *obs.FlightRecorder
 	// FlightPath overrides the flight-dump file (default flight-dump.json).
 	FlightPath string
+	// Profile, when non-nil, rotates CPU profiles at phase boundaries and
+	// snapshots the heap when stopped (obs.StartPhaseProfiler / Stop).
+	Profile *obs.PhaseProfiler
 }
 
 // BlastSummary aggregates a parallel BLAST run.
@@ -151,6 +154,7 @@ func RunBlast(nranks int, job BlastJob) (*BlastSummary, error) {
 	opts := mpi.RunOptions{
 		Trace: job.Trace, Metrics: job.Metrics, Board: job.Board,
 		Comm: job.Comm, Flight: job.Flight, FlightPath: job.FlightPath,
+		Profile: job.Profile,
 	}
 	err = mpi.RunWith(nranks, opts, func(c *mpi.Comm) error {
 		res, err := mrblast.Run(c, mrblast.Config{
@@ -225,6 +229,9 @@ type SOMJob struct {
 	Flight *obs.FlightRecorder
 	// FlightPath overrides the flight-dump file (default flight-dump.json).
 	FlightPath string
+	// Profile, when non-nil, rotates CPU profiles at phase boundaries and
+	// snapshots the heap when stopped (obs.StartPhaseProfiler / Stop).
+	Profile *obs.PhaseProfiler
 }
 
 // SOMCheckpoint configures checkpointing for RunSOM: when Path is set, the
@@ -272,6 +279,7 @@ func RunSOM(nranks int, job SOMJob) (*SOMSummary, error) {
 	opts := mpi.RunOptions{
 		Trace: job.Trace, Metrics: job.Metrics, Board: job.Board,
 		Comm: job.Comm, Flight: job.Flight, FlightPath: job.FlightPath,
+		Profile: job.Profile,
 	}
 	err = mpi.RunWith(nranks, opts, func(c *mpi.Comm) error {
 		res, err := mrsom.Train(c, job.DataPath, mrsom.Config{

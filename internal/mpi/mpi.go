@@ -19,11 +19,11 @@ package mpi
 import (
 	"errors"
 	"fmt"
-	"os"
 	"runtime"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/obs"
@@ -48,13 +48,21 @@ var DefaultRecvTimeout = 60 * time.Second
 // stamped by the sender only when comm accounting is on: sentAt (the comm
 // tracker's clock) lets the receiver compute queue time, and phase carries
 // the sender's current phase so both sides of a link bucket traffic under
-// the phase that *produced* it.
+// the phase that *produced* it. seq and span are the causal provenance
+// header, stamped only when tracing or comm accounting is on: seq is the
+// message's ordinal on its (src, dst) link (1-based, monotonically
+// increasing), and span is the sender's innermost open trace span id at
+// send time. The receive side echoes both into its trace events, which is
+// what lets internal/obs/causal stitch per-rank streams into an exact
+// happens-before DAG instead of guessing at FIFO pairings.
 type message struct {
 	src    int
 	tag    int
 	data   any
 	sentAt int64
 	phase  string
+	seq    uint64
+	span   uint64
 }
 
 // mailbox holds pending messages for one rank.
@@ -105,6 +113,16 @@ type World struct {
 	// when the flight recorder is on — its dump includes the pending set so
 	// a post-mortem shows which nonblocking traffic never completed.
 	ledgers []*reqLedger
+	// profiler rotates per-phase CPU profiles; nil when disabled. The
+	// profiler itself is process-wide (Go's CPU profiler is global), the
+	// world just carries the handle so layers reach it via Comm.Profiler.
+	profiler *obs.PhaseProfiler
+	// seqs holds one monotonically increasing message counter per directed
+	// (src, dst) link, flattened src*size+dst. Allocated only when tracing
+	// or comm accounting is on; nil otherwise, so the disabled send path
+	// pays a single nil check. The counter value is the provenance seq
+	// piggybacked on every p2p message and collective leg.
+	seqs []atomic.Uint64
 	// Pre-resolved instruments so hot paths skip the registry lookup; all
 	// nil when metrics is nil (obs instruments no-op on nil).
 	mSends, mSendBytes, mRecvs, mCollectives *obs.Counter
@@ -168,6 +186,11 @@ func (c *Comm) FlightRank() *obs.RankRecorder {
 	return c.world.flightRanks[c.rank]
 }
 
+// Profiler returns the run's per-phase CPU profiler, or nil when the world
+// was launched without RunOptions.Profile. The nil result is a valid no-op;
+// layers announce phase boundaries unconditionally.
+func (c *Comm) Profiler() *obs.PhaseProfiler { return c.world.profiler }
+
 // newWorld creates a world of n ranks.
 func newWorld(n int, timeout time.Duration, opts RunOptions) *World {
 	w := &World{
@@ -179,6 +202,7 @@ func newWorld(n int, timeout time.Duration, opts RunOptions) *World {
 		metrics: opts.Metrics,
 		board:   opts.Board,
 	}
+	w.profiler = opts.Profile
 	for i := range w.boxes {
 		b := &mailbox{}
 		b.cond = sync.NewCond(&b.mu)
@@ -218,6 +242,9 @@ func newWorld(n int, timeout time.Duration, opts RunOptions) *World {
 		for i := range w.ledgers {
 			w.ledgers[i] = &reqLedger{open: map[uint64]string{}}
 		}
+	}
+	if opts.Trace != nil || opts.Comm != nil {
+		w.seqs = make([]atomic.Uint64, n*n)
 	}
 	if w.metrics != nil {
 		w.mSends = w.metrics.Counter("mpi.sends")
@@ -274,7 +301,8 @@ func (w *World) flightDump(reason string) string {
 			metrics = &s
 		}
 		d := w.flight.Dump(reason, w.board.Snapshot(w.tracer), metrics, w.pendingRequests())
-		f, err := os.Create(w.flightPath)
+		d.Goroutines = allGoroutines()
+		f, err := obs.CreateOutput(w.flightPath)
 		if err != nil {
 			return
 		}
@@ -282,6 +310,19 @@ func (w *World) flightDump(reason string) string {
 		_ = d.WriteJSON(f)
 	})
 	return "\nflight recorder dump: " + w.flightPath
+}
+
+// allGoroutines captures every goroutine's stack, growing the buffer until
+// the dump fits (bounded — a truncated tail beats an unbounded allocation
+// inside a failure path).
+func allGoroutines() string {
+	for size := 1 << 20; ; size *= 2 {
+		buf := make([]byte, size)
+		n := runtime.Stack(buf, true)
+		if n < size || size >= 16<<20 {
+			return string(buf[:n])
+		}
+	}
 }
 
 // reqLedger tracks one rank's open nonblocking requests (Isend/Irecv posted
@@ -385,6 +426,12 @@ type RunOptions struct {
 	// FlightPath is where the post-mortem dump is written; defaults to
 	// "flight-dump.json" when Flight is set.
 	FlightPath string
+	// Profile, when non-nil, is the per-phase CPU profiler: layers announce
+	// phase boundaries through Comm.Profiler and the profiler rotates its
+	// CPU capture at each one, plus a heap snapshot at Stop. Start it with
+	// obs.StartPhaseProfiler before the run; Stop it after. Nil disables
+	// profiling.
+	Profile *obs.PhaseProfiler
 }
 
 // Run executes f as an SPMD program on n ranks (goroutines) and blocks until
@@ -405,6 +452,9 @@ func RunWith(n int, opts RunOptions, f func(c *Comm) error) error {
 		timeout = DefaultRecvTimeout
 	}
 	w := newWorld(n, timeout, opts)
+	if w.flight != nil {
+		defer w.installQuitHandler()()
+	}
 	errs := make([]error, n)
 	var wg sync.WaitGroup
 	wg.Add(n)

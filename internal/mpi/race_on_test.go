@@ -1,0 +1,7 @@
+//go:build race
+
+package mpi
+
+// raceEnabled reports whether the race detector is compiled in, so timing
+// gates can skip themselves under its instrumentation.
+const raceEnabled = true

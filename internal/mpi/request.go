@@ -116,13 +116,15 @@ func (r *Request) Test() (any, Status, bool) {
 		if tr := r.c.Tracer(); tr != nil {
 			tr.Instant("mpi", "Test",
 				obs.Arg{Key: "from", Val: m.src}, obs.Arg{Key: "tag", Val: m.tag},
-				obs.Arg{Key: "bytes", Val: payloadBytes(m.data)})
+				obs.Arg{Key: "bytes", Val: payloadBytes(m.data)},
+				obs.Arg{Key: "seq", Val: int64(m.seq)},
+				obs.Arg{Key: "sspan", Val: int64(m.span)})
 		}
 		if cr := r.c.CommRank(); cr != nil {
 			// A successful Test found the message already queued: transfer
 			// time (receiver wait) is zero; queue time still runs from the
 			// sender's stamp.
-			cr.RecordRecv(m.src, m.tag, payloadBytes(m.data), r.c.world.comm.Now()-m.sentAt, 0, m.phase)
+			cr.RecordRecv(m.src, m.tag, payloadBytes(m.data), r.c.world.comm.Now()-m.sentAt, 0, m.seq, m.phase)
 		}
 		if fr := r.c.FlightRank(); fr != nil {
 			fr.Notef("recv", "Test src=%d tag=%d bytes=%d", m.src, m.tag, payloadBytes(m.data))

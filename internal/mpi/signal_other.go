@@ -1,0 +1,7 @@
+//go:build !unix
+
+package mpi
+
+// installQuitHandler is a no-op on platforms without SIGQUIT; the flight
+// recorder still dumps on deadlock and panic.
+func (w *World) installQuitHandler() func() { return func() {} }

@@ -1,0 +1,40 @@
+//go:build unix
+
+package mpi
+
+import (
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+)
+
+// installQuitHandler arms a SIGQUIT listener for the duration of a run with
+// the flight recorder on: `kill -QUIT <pid>` writes the post-mortem report
+// (per-rank flight rings, board snapshot, metrics, pending nonblocking
+// requests, full goroutine dump) without killing the job — an on-demand
+// snapshot of a live run. It goes through the same once-guarded flightDump
+// path as the deadlock watchdog and rank panics, so whichever trigger fires
+// first owns the report.
+//
+// The returned func disarms the listener and restores SIGQUIT's default
+// behavior (goroutine dump + exit).
+func (w *World) installQuitHandler() func() {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, syscall.SIGQUIT)
+	done := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-ch:
+				fmt.Fprintf(os.Stderr, "mpi: SIGQUIT%s\n", w.flightDump("SIGQUIT"))
+			case <-done:
+				return
+			}
+		}
+	}()
+	return func() {
+		signal.Stop(ch)
+		close(done)
+	}
+}

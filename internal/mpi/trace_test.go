@@ -169,6 +169,9 @@ func TestDeadlockBothRanksNamed(t *testing.T) {
 	if len(dump.Ranks) != 2 {
 		t.Fatalf("dump has %d ranks, want 2", len(dump.Ranks))
 	}
+	if !strings.Contains(dump.Goroutines, "goroutine") {
+		t.Fatal("dump lacks the goroutine stack dump")
+	}
 	for _, r := range dump.Ranks {
 		var sawSend bool
 		for _, ev := range r.Recent {

@@ -143,6 +143,9 @@ type MapReduce struct {
 	// fr is this rank's flight-recorder ring (nil when disabled); phase
 	// transitions are noted so post-mortems show where each rank was.
 	fr *obs.RankRecorder
+	// prof is the run's per-phase CPU profiler (nil when disabled); phase()
+	// announces every transition so the profile rotates at phase boundaries.
+	prof *obs.PhaseProfiler
 	// Pre-resolved metrics instruments, all nil (no-op) when the world runs
 	// without a registry.
 	mTasks, mEmitted         *obs.Counter
@@ -165,6 +168,7 @@ func NewWith(comm *mpi.Comm, opt Options) *MapReduce {
 	mr.board = comm.Board()
 	mr.cr = comm.CommRank()
 	mr.fr = comm.FlightRank()
+	mr.prof = comm.Profiler()
 	reg := comm.Metrics()
 	mr.mTasks = reg.Counter("mrmpi.map.tasks")
 	mr.mEmitted = reg.Counter("mrmpi.kv.emitted")
@@ -203,6 +207,7 @@ func (mr *MapReduce) phase(name string) obs.Span {
 	// comm matrix (receivers bucket under the sender's stamp).
 	mr.cr.SetPhase(name)
 	mr.fr.Note("phase", name)
+	mr.prof.Transition(mr.comm.Rank(), name)
 	if mr.tr != nil {
 		return mr.tr.Begin("mrmpi", name)
 	}
@@ -262,7 +267,15 @@ func (mr *MapReduce) Map(nmap int, fn MapFunc) (int64, error) {
 		inner := fn
 		fn = func(itask int, kv *KeyValue) error {
 			tsp := mr.tr.Begin("mrmpi", "map.task", obs.Arg{Key: "task", Val: itask})
-			defer tsp.End()
+			pairs0, bytes0 := kv.N(), kv.Bytes()
+			// End args carry the task's own output so lineage and straggler
+			// views can tell a task that was slow from one that was big.
+			defer func() {
+				tsp.End(
+					obs.Arg{Key: "pairs", Val: kv.N() - pairs0},
+					obs.Arg{Key: "bytes", Val: kv.Bytes() - bytes0},
+				)
+			}()
 			err := inner(itask, kv)
 			mr.board.TaskDone()
 			mr.board.SetKVBytes(kv.Bytes())

@@ -1,0 +1,63 @@
+package mrmpi
+
+import (
+	"fmt"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/mpi"
+	"repro/internal/obs"
+)
+
+// TestPhaseProfilerRotatesAtPhases runs a small job with the per-phase
+// profiler attached and checks that phase() announced every MapReduce phase
+// to it: each phase name must appear in exactly one rotated CPU profile
+// segment, and the heap snapshot must close the set.
+func TestPhaseProfilerRotatesAtPhases(t *testing.T) {
+	prof, err := obs.StartPhaseProfiler(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = mpi.RunWith(2, mpi.RunOptions{Profile: prof}, func(c *mpi.Comm) error {
+		mr := New(c)
+		defer mr.Close()
+		if _, err := mr.Map(4, func(itask int, kv *KeyValue) error {
+			kv.AddString(fmt.Sprintf("key%d", itask%2), []byte{1})
+			return nil
+		}); err != nil {
+			return err
+		}
+		if _, err := mr.Collate(nil); err != nil {
+			return err
+		}
+		_, err := mr.Reduce(func(key []byte, values [][]byte, out *KeyValue) error {
+			out.Add(key, []byte{byte(len(values))})
+			return nil
+		})
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	files, err := prof.Stop()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]int{}
+	for _, f := range files {
+		// cpu.<NN>.<phase>.rank<r>.pprof — middle piece is the phase label.
+		parts := strings.Split(filepath.Base(f), ".")
+		if parts[0] == "cpu" && len(parts) >= 4 {
+			seen[parts[2]]++
+		}
+	}
+	for _, phase := range []string{"map", "collate", "aggregate", "convert", "reduce"} {
+		if seen[phase] != 1 {
+			t.Errorf("phase %q captured in %d segments, want 1 (files: %v)", phase, seen[phase], files)
+		}
+	}
+	if base := filepath.Base(files[len(files)-1]); base != "heap.pprof" {
+		t.Errorf("last file = %s, want heap.pprof", base)
+	}
+}

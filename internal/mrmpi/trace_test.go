@@ -98,6 +98,29 @@ func TestFourRankJobProducesValidChromeTrace(t *testing.T) {
 		}
 	}
 
+	// Each map.task End must carry the task's own output volume (every task
+	// in this job emits 8 pairs of 1 byte each plus keys).
+	taskEnds := 0
+	for _, ev := range events {
+		if ev.Type != obs.EndEvent || ev.Cat != "mrmpi" || ev.Name != "map.task" {
+			continue
+		}
+		taskEnds++
+		args := map[string]any{}
+		for _, a := range ev.Args {
+			args[a.Key] = a.Val
+		}
+		if p, ok := args["pairs"].(float64); !ok || p != 8 {
+			t.Errorf("map.task end args pairs = %v, want 8", args["pairs"])
+		}
+		if b, ok := args["bytes"].(float64); !ok || b <= 0 {
+			t.Errorf("map.task end args bytes = %v, want > 0", args["bytes"])
+		}
+	}
+	if taskEnds != 16 {
+		t.Errorf("map.task end events = %d, want 16", taskEnds)
+	}
+
 	// Per-phase summary must produce stats for each rank.
 	stats := obs.Summarize(events)
 	if len(stats) == 0 {

@@ -181,6 +181,7 @@ func TrainFile(comm *mpi.Comm, vf *som.VectorFile, cfg Config) (*Result, error) 
 	board := comm.Board()
 	for epoch := startEpoch; epoch < cfg.Epochs; epoch++ {
 		board.SetEpoch(int64(epoch))
+		comm.Profiler().Transition(comm.Rank(), fmt.Sprintf("epoch%d", epoch))
 		if cfg.Cancel != nil {
 			select {
 			case <-cfg.Cancel:

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/obs/causal"
 )
 
 // Default master-protocol tags, mirroring mrmpi's reserved range (kept as
@@ -42,6 +43,12 @@ type Report struct {
 	// CriticalPath is the chain of rank segments connected by p2p/collective
 	// edges that determined the wall clock.
 	CriticalPath CriticalPath `json:"critical_path"`
+	// Blame is the per-rank blocked-on table: each rank's blocking-MPI wait
+	// time attributed to the (peer, phase, span) whose send released it.
+	Blame []RankBlame `json:"blame,omitempty"`
+	// BlameCoverage is the fraction of measured wait time the blame tables
+	// attribute (1.0 on a complete provenance-carrying trace).
+	BlameCoverage float64 `json:"blame_coverage"`
 	// Comm is the communication-matrix section; nil unless the caller
 	// attaches one built by AnalyzeComm from a recorded comm.Matrix (the
 	// matrix is a separate artifact from the trace, so Analyze alone cannot
@@ -235,7 +242,13 @@ func Analyze(events []obs.Event) Report {
 	rep.Phases = phaseStats(spans, mergedComm, numRanks)
 	rep.Dispatch = dispatchStats(events, spans)
 	rep.Stragglers = stragglers(events, rep.Ranks)
-	rep.CriticalPath = criticalPath(events, spans, minTS, maxTS)
+
+	// Cross-rank causality: stitch the happens-before DAG once, then read
+	// the exact critical path and the wait-blame tables off it.
+	g := causal.Build(events)
+	rep.CriticalPath = g.CriticalPath()
+	rep.Blame = g.Blame()
+	rep.BlameCoverage = causal.Coverage(rep.Blame)
 	return rep
 }
 

@@ -198,6 +198,14 @@ func TestAnalyzeLiveTrace(t *testing.T) {
 	if len(rep.Stragglers) != 4 {
 		t.Errorf("stragglers = %d entries, want 4", len(rep.Stragglers))
 	}
+	// Wait-blame: the provenance-carrying live trace must attribute at least
+	// 95% of measured blocking time to a named (peer, phase, span).
+	if rep.BlameCoverage < 0.95 {
+		t.Errorf("blame coverage = %v, want >= 0.95", rep.BlameCoverage)
+	}
+	if len(rep.Blame) != 4 {
+		t.Errorf("blame tables = %d, want 4 ranks", len(rep.Blame))
+	}
 
 	// The same trace must survive a Chrome JSON round trip (args become
 	// float64) and still analyze cleanly.
@@ -222,7 +230,7 @@ func TestAnalyzeLiveTrace(t *testing.T) {
 	if err := WriteReport(&out, rep); err != nil {
 		t.Fatal(err)
 	}
-	for _, want := range []string{"per-rank time", "phase load balance", "critical path"} {
+	for _, want := range []string{"per-rank time", "phase load balance", "critical path", "blocked-on"} {
 		if !strings.Contains(out.String(), want) {
 			t.Errorf("report missing %q:\n%s", want, out.String())
 		}

@@ -17,12 +17,12 @@ func commFixture() *comm.Matrix {
 	// (α = 1000ns, β = 2ns/B) so the fit recovers it.
 	for i := 1; i <= 10; i++ {
 		size := int64(i * 100)
-		tracker.Rank(0).RecordSend(1, 1, size)
-		tracker.Rank(1).RecordRecv(0, 1, size, 1000+2*size, 100, "map")
+		tracker.Rank(0).RecordSend(1, 1, size, uint64(i))
+		tracker.Rank(1).RecordRecv(0, 1, size, 1000+2*size, 100, uint64(i), "map")
 	}
 	tracker.Rank(1).SetPhase("reduce")
-	tracker.Rank(1).RecordSend(0, 2, 50)
-	tracker.Rank(0).RecordRecv(1, 2, 50, 500, 50, "reduce")
+	tracker.Rank(1).RecordSend(0, 2, 50, 1)
+	tracker.Rank(0).RecordRecv(1, 2, 50, 500, 50, 1, "reduce")
 	return tracker.Finalize()
 }
 

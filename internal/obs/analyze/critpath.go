@@ -1,205 +1,21 @@
 package analyze
 
-import (
-	"sort"
-	"time"
+import "repro/internal/obs/causal"
 
-	"repro/internal/obs"
-)
-
-// Critical-path extraction. The runtime builds every collective except
-// Barrier out of traced point-to-point traffic (Send instants and Recv
-// spans on negative internal tags), so one generic matching covers p2p and
-// collective edges: the k-th Send instant for a (src, dst, tag) triple pairs
-// with the k-th completed Recv on dst from (src, tag) — MPI non-overtaking
-// makes that FIFO pairing exact. Barrier is message-less (a shared
-// generation counter), so its edges are matched by occurrence index: the
-// k-th Barrier span on every rank is the same barrier, and its resolver is
-// the last rank to arrive.
-//
-// The path is then a backward replay from the last event in the trace: walk
-// back along the current rank until a span where the rank was genuinely
-// blocked (its resolver arrived after the wait began), jump to the resolving
-// rank at the resolution time, repeat. Segments are contiguous by
-// construction, so their total equals the trace wall clock exactly.
+// Critical-path extraction and wait-blame live in internal/obs/causal: the
+// runtime piggybacks a per-link sequence number and the sender's span id on
+// every message, and the causal stitcher turns the trace into an exact
+// cross-rank happens-before DAG. The analyzer delegates to it — the segment
+// and path types are aliased so the report's JSON shape (and every existing
+// consumer) is unchanged from the old FIFO-heuristic implementation this
+// file used to hold. Traces recorded without provenance still analyze via
+// causal's FIFO fallback, which reproduces the old pairing.
 
 // Segment is one rank's stretch of the critical path.
-type Segment struct {
-	Rank  int   `json:"rank"`
-	Start int64 `json:"start_ns"`
-	End   int64 `json:"end_ns"`
-}
-
-// Dur is the segment length.
-func (s Segment) Dur() time.Duration { return time.Duration(s.End - s.Start) }
+type Segment = causal.Segment
 
 // CriticalPath is the chain of segments, earliest first.
-type CriticalPath struct {
-	Segments []Segment `json:"segments"`
-	// Total is the summed segment time; equal to the trace wall clock by
-	// construction (the acceptance check of the extraction).
-	Total time.Duration `json:"total_ns"`
-}
+type CriticalPath = causal.CriticalPath
 
-// blocker is one wait on a rank that some other rank resolved.
-type blocker struct {
-	start, end int64
-	resolve    int64 // when the resolver made progress possible
-	from       int   // the resolving rank
-}
-
-// buildBlockers derives every rank's blocker list (sorted by end time) from
-// Send↔Recv matching and Barrier occurrence matching.
-func buildBlockers(events []obs.Event, spans []obs.SpanInstance, numRanks int) [][]blocker {
-	out := make([][]blocker, numRanks)
-
-	// Send instants per (src, dst, tag), in send order (events are
-	// TS-ordered, per-rank order preserved).
-	type edge struct {
-		src, dst int
-		tag      int64
-	}
-	sends := map[edge][]int64{}
-	for _, ev := range events {
-		if ev.Type != obs.InstantEvent || ev.Cat != "mpi" || ev.Name != "Send" {
-			continue
-		}
-		dst, ok1 := argInt(ev.Args, "dst")
-		tag, ok2 := argInt(ev.Args, "tag")
-		if !ok1 || !ok2 {
-			continue
-		}
-		e := edge{src: ev.Rank, dst: int(dst), tag: tag}
-		sends[e] = append(sends[e], ev.TS)
-	}
-
-	// Completed Recvs per (src, dst, tag) in completion order; PairSpans
-	// yields in End order already.
-	matched := map[edge]int{}
-	for _, sp := range spans {
-		switch {
-		case sp.Cat == "mpi" && sp.Name == "Recv":
-			from, ok1 := argInt(sp.EndArgs, "from")
-			tag, ok2 := argInt(sp.EndArgs, "tag")
-			if !ok1 || !ok2 {
-				continue
-			}
-			e := edge{src: int(from), dst: sp.Rank, tag: tag}
-			k := matched[e]
-			matched[e] = k + 1
-			if k >= len(sends[e]) {
-				continue // truncated trace: recv without its send
-			}
-			out[sp.Rank] = append(out[sp.Rank], blocker{
-				start:   sp.Start,
-				end:     sp.End(),
-				resolve: sends[e][k],
-				from:    int(from),
-			})
-		}
-	}
-
-	// Barriers: k-th span on each rank is occurrence k; the resolver is the
-	// last arrival.
-	barriers := make([][]obs.SpanInstance, numRanks)
-	maxOcc := 0
-	for _, sp := range spans {
-		if sp.Cat != "mpi" || sp.Name != "Barrier" {
-			continue
-		}
-		barriers[sp.Rank] = append(barriers[sp.Rank], sp)
-		if len(barriers[sp.Rank]) > maxOcc {
-			maxOcc = len(barriers[sp.Rank])
-		}
-	}
-	for r := range barriers {
-		sort.Slice(barriers[r], func(i, j int) bool { return barriers[r][i].Start < barriers[r][j].Start })
-	}
-	for k := 0; k < maxOcc; k++ {
-		lastRank, lastTS := -1, int64(-1)
-		for r := 0; r < numRanks; r++ {
-			if k >= len(barriers[r]) {
-				continue
-			}
-			if barriers[r][k].Start > lastTS {
-				lastRank, lastTS = r, barriers[r][k].Start
-			}
-		}
-		if lastRank < 0 {
-			continue
-		}
-		for r := 0; r < numRanks; r++ {
-			if k >= len(barriers[r]) || r == lastRank {
-				continue
-			}
-			sp := barriers[r][k]
-			out[r] = append(out[r], blocker{
-				start:   sp.Start,
-				end:     sp.End(),
-				resolve: lastTS,
-				from:    lastRank,
-			})
-		}
-	}
-
-	for r := range out {
-		sort.Slice(out[r], func(i, j int) bool { return out[r][i].end < out[r][j].end })
-	}
-	return out
-}
-
-// criticalPath runs the backward replay over the blocker lists.
-func criticalPath(events []obs.Event, spans []obs.SpanInstance, minTS, maxTS int64) CriticalPath {
-	numRanks := 0
-	endRank := 0
-	for _, ev := range events {
-		if ev.Rank+1 > numRanks {
-			numRanks = ev.Rank + 1
-		}
-		if ev.TS == maxTS {
-			endRank = ev.Rank
-		}
-	}
-	if numRanks == 0 {
-		return CriticalPath{}
-	}
-	blockers := buildBlockers(events, spans, numRanks)
-
-	var segments []Segment
-	r, t := endRank, maxTS
-	cursor := t
-	for t > minTS {
-		bl := blockers[r]
-		// Latest blocker ending at or before the scan cursor.
-		i := sort.Search(len(bl), func(i int) bool { return bl[i].end > cursor }) - 1
-		var hop *blocker
-		for ; i >= 0; i-- {
-			b := bl[i]
-			// A wait only matters if the resolver arrived after the wait
-			// began (and strictly before the segment end, for progress).
-			if b.resolve > b.start && b.resolve < t {
-				hop = &b
-				break
-			}
-			// Otherwise the message was already waiting — the rank never
-			// actually stalled there; keep scanning earlier waits.
-		}
-		if hop == nil {
-			segments = append(segments, Segment{Rank: r, Start: minTS, End: t})
-			break
-		}
-		segments = append(segments, Segment{Rank: r, Start: hop.resolve, End: t})
-		t = hop.resolve
-		cursor = t
-		r = hop.from
-	}
-	// Reverse into chronological order.
-	for i, j := 0, len(segments)-1; i < j; i, j = i+1, j-1 {
-		segments[i], segments[j] = segments[j], segments[i]
-	}
-	cp := CriticalPath{Segments: segments}
-	for _, s := range segments {
-		cp.Total += s.Dur()
-	}
-	return cp
-}
+// RankBlame is one rank's blocked-on table.
+type RankBlame = causal.RankBlame

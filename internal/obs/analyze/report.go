@@ -75,8 +75,63 @@ func WriteReport(w io.Writer, rep Report) error {
 		return err
 	}
 
+	if hasBlame(rep.Blame) {
+		if err := WriteBlame(w, rep.Blame, rep.BlameCoverage); err != nil {
+			return err
+		}
+	}
+
 	if rep.Comm != nil {
 		return writeCommSection(w, rep.Comm)
 	}
 	return nil
+}
+
+// WriteBlame renders the per-rank blocked-on tables: for each rank, the
+// contexts (sender span, peer rank, phase) its measured wait time resolves
+// to, largest first. Standalone entry point for traceview -blame; WriteReport
+// embeds the same section.
+func WriteBlame(w io.Writer, blame []RankBlame, coverage float64) error {
+	fmt.Fprintf(w, "\nblocked-on (wait-blame, %.0f%% of wait time attributed):\n", coverage*100)
+	tw := tabwriter.NewWriter(w, 2, 8, 2, ' ', 0)
+	fmt.Fprintln(tw, "rank\twait\tblocked on")
+	for _, rb := range blame {
+		if rb.TotalWait == 0 {
+			continue
+		}
+		tops := ""
+		for i, e := range rb.Entries {
+			if i >= blameTopEntries {
+				break
+			}
+			if i > 0 {
+				tops += ", "
+			}
+			span, phase := e.Span, e.Phase
+			if span == "" {
+				span = "(untracked)"
+			}
+			if phase == "" {
+				phase = "-"
+			}
+			tops += fmt.Sprintf("%s on rank %d (%s) %v",
+				span, e.Peer, phase, e.Wait.Round(time.Microsecond))
+		}
+		fmt.Fprintf(tw, "%d\t%v\t%s\n", rb.Rank, rb.TotalWait.Round(time.Microsecond), tops)
+	}
+	return tw.Flush()
+}
+
+// blameTopEntries bounds how many blamed contexts each rank's report line
+// lists (the JSON report keeps the full tables).
+const blameTopEntries = 3
+
+// hasBlame reports whether any rank measured blocked time worth printing.
+func hasBlame(blame []RankBlame) bool {
+	for _, rb := range blame {
+		if rb.TotalWait > 0 {
+			return true
+		}
+	}
+	return false
 }

@@ -1,0 +1,202 @@
+package causal
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Wait-blame attribution: for every stall a rank spent inside a blocking
+// MPI operation — Recv, an Irecv's Wait, a Barrier leg — name the peer,
+// phase, and sender span that released it. A blocked rank is a symptom; the
+// blame table points at the cause ("rank 0 spent 1.2s blocked on map.task
+// 17 on rank 1"), which is what the paper's skew and shuffle-stall analysis
+// actually needs.
+//
+// The span label comes from the piggybacked sender span id. When the
+// sender's innermost span is an mpi op or a phase container (a send between
+// map tasks reports the enclosing "map" phase), the label is refined to the
+// latest application span that finished on the sender before the send —
+// the work whose completion freed the message.
+
+// BlameKey names the sender-side context a stall is charged to.
+type BlameKey struct {
+	// Peer is the rank whose action released the stall.
+	Peer int `json:"peer"`
+	// Phase is the sender's mrmpi phase at release time ("" when the send
+	// happened outside any phase).
+	Phase string `json:"phase"`
+	// Span labels the sender's span at release time, e.g. "map.task 17".
+	Span string `json:"span"`
+}
+
+// BlameEntry aggregates one (peer, phase, span) triple's share of a rank's
+// blocked time.
+type BlameEntry struct {
+	BlameKey
+	Wait  time.Duration `json:"wait_ns"`
+	Count int64         `json:"count"`
+}
+
+// RankBlame is one rank's blocked-on table.
+type RankBlame struct {
+	Rank int `json:"rank"`
+	// TotalWait is all time the rank spent inside completed blocking MPI
+	// operations (Recv/Wait spans and Barrier legs).
+	TotalWait time.Duration `json:"total_wait_ns"`
+	// Attributed is the share of TotalWait matched to a named releasing
+	// context; the remainder is stalls whose releasing message fell outside
+	// the trace (truncation, drops).
+	Attributed time.Duration `json:"attributed_ns"`
+	// Entries is the table, largest wait first.
+	Entries []BlameEntry `json:"entries"`
+}
+
+// Blame computes every rank's blocked-on table.
+func (g *Graph) Blame() []RankBlame {
+	totals := make([]time.Duration, g.NumRanks)
+	attributed := make([]time.Duration, g.NumRanks)
+	tables := make([]map[BlameKey]*BlameEntry, g.NumRanks)
+	for r := range tables {
+		tables[r] = map[BlameKey]*BlameEntry{}
+	}
+	charge := func(rank int, key BlameKey, wait time.Duration) {
+		attributed[rank] += wait
+		e := tables[rank][key]
+		if e == nil {
+			e = &BlameEntry{BlameKey: key}
+			tables[rank][key] = e
+		}
+		e.Wait += wait
+		e.Count++
+	}
+
+	// Total blocked time: every completed blocking span, whether or not an
+	// edge matched it — unmatched stalls must count against coverage, not
+	// vanish.
+	for r := range g.Spans {
+		for _, sp := range g.Spans[r] {
+			if sp.Cat == "mpi" && sp.Complete && (sp.Name == "Recv" || sp.Name == "Wait" || sp.Name == "Barrier") {
+				totals[r] += time.Duration(sp.End - sp.Start)
+			}
+		}
+	}
+	for i := range g.Edges {
+		e := &g.Edges[i]
+		if !e.Blocking {
+			continue
+		}
+		phase, label := g.senderContext(e.Src, e.SendTS, e.SrcSpan)
+		charge(e.Dst, BlameKey{Peer: e.Src, Phase: phase, Span: label}, time.Duration(e.Wait()))
+	}
+	for _, occ := range g.Barriers {
+		phase, label := g.senderContext(occ.LastRank, occ.LastTS, 0)
+		for _, leg := range occ.Legs {
+			charge(leg.Rank, BlameKey{Peer: occ.LastRank, Phase: phase, Span: label},
+				time.Duration(leg.End-leg.Start))
+		}
+	}
+
+	out := make([]RankBlame, g.NumRanks)
+	for r := 0; r < g.NumRanks; r++ {
+		rb := RankBlame{Rank: r, TotalWait: totals[r], Attributed: attributed[r]}
+		for _, e := range tables[r] {
+			rb.Entries = append(rb.Entries, *e)
+		}
+		sort.Slice(rb.Entries, func(i, j int) bool {
+			if rb.Entries[i].Wait != rb.Entries[j].Wait {
+				return rb.Entries[i].Wait > rb.Entries[j].Wait
+			}
+			if rb.Entries[i].Peer != rb.Entries[j].Peer {
+				return rb.Entries[i].Peer < rb.Entries[j].Peer
+			}
+			return rb.Entries[i].Span < rb.Entries[j].Span
+		})
+		out[r] = rb
+	}
+	return out
+}
+
+// Coverage is the fraction of total blocked time the blame table attributes
+// to a named (peer, phase, span) triple; 1.0 for an idle (stall-free)
+// trace. The acceptance bar for provenance-carrying traces is ≥0.95.
+func Coverage(blame []RankBlame) float64 {
+	var total, attr time.Duration
+	for _, rb := range blame {
+		total += rb.TotalWait
+		attr += rb.Attributed
+	}
+	if total == 0 {
+		return 1.0
+	}
+	return float64(attr) / float64(total)
+}
+
+// senderContext resolves the (phase, span label) a message send is blamed
+// on from the sender's span chain at send time.
+func (g *Graph) senderContext(rank int, ts int64, spanID uint64) (phase, label string) {
+	chain := g.chainAt(rank, ts, spanID)
+
+	// Phase: the innermost mrmpi phase container; failing that, the
+	// outermost application span (an mrsom epoch's collectives run outside
+	// any mrmpi phase).
+	for _, sp := range chain {
+		if sp.Cat == "mrmpi" && sp.Name != "map.task" {
+			phase = sp.Name
+			break
+		}
+	}
+	if phase == "" {
+		for i := len(chain) - 1; i >= 0; i-- {
+			if chain[i].Cat != "mpi" {
+				phase = chain[i].Name
+				break
+			}
+		}
+	}
+
+	// Label: the innermost application (non-mpi) span...
+	var app *Span
+	for _, sp := range chain {
+		if sp.Cat != "mpi" {
+			app = sp
+			break
+		}
+	}
+	if app == nil {
+		return phase, ""
+	}
+	// ...refined: when that span is a phase container, the informative
+	// context is the latest child that completed before the send — e.g. a
+	// worker's ready request between tasks blames "map.task 17", the task
+	// whose completion freed the worker.
+	if app.Cat == "mrmpi" && app.Name != "map.task" {
+		var latest *Span
+		for _, sp := range g.Spans[rank] {
+			if sp.Start > ts {
+				break
+			}
+			if sp.Parent == app && sp.Complete && sp.End <= ts && sp.Cat != "mpi" {
+				if latest == nil || sp.End >= latest.End {
+					latest = sp
+				}
+			}
+		}
+		if latest != nil {
+			app = latest
+		}
+	}
+	return phase, spanLabel(app)
+}
+
+// spanLabel renders a span for the blame table: its name plus the
+// identifying integer arg the layers attach (a map task's "task", an
+// epoch's "epoch", an engine block's "block").
+func spanLabel(sp *Span) string {
+	for _, key := range [...]string{"task", "epoch", "block", "unit"} {
+		if v, ok := argInt(sp.Args, key); ok {
+			return fmt.Sprintf("%s %d", sp.Name, v)
+		}
+	}
+	return sp.Name
+}

@@ -1,0 +1,473 @@
+// Package causal stitches the per-rank event streams of one trace into a
+// cross-rank happens-before DAG. The mpi runtime piggybacks a provenance
+// header on every p2p message and collective leg — the message's ordinal on
+// its (src, dst) link ("seq") and the sender's innermost open span id
+// ("span") — and the receive side echoes both into its trace events, so
+// every delivered message yields one exact Edge here: no FIFO guessing, no
+// tag heuristics. Traces recorded before the header existed still stitch
+// via the FIFO fallback (k-th send on a (src, dst, tag) triple pairs with
+// the k-th completion), the same pairing the old per-rank analyzer used.
+//
+// On the DAG the package computes the three things a per-rank view cannot:
+// the exact cross-rank critical path (critpath.go), wait-blame attribution
+// — which peer, phase, and span released each recv/collective stall
+// (blame.go) — and per-unit end-to-end lineage for BLAST map tasks and SOM
+// epochs (lineage.go).
+package causal
+
+import (
+	"sort"
+
+	"repro/internal/obs"
+)
+
+// Span is one span reconstructed from a rank's stream. ID is the per-rank
+// Begin ordinal (1-based) — obs.RankTracer assigns ids the same way, by
+// incrementing a counter once per Begin, so replaying Begins in stream
+// order recovers exactly the ids the runtime piggybacked on messages.
+type Span struct {
+	Rank       int
+	ID         uint64
+	Cat, Name  string
+	Start, End int64
+	// Parent is the enclosing span at Begin time (nil at top level).
+	Parent *Span
+	// Depth is the nesting depth at Begin time (0 = top level).
+	Depth int
+	// Complete reports whether the End event was observed; incomplete spans
+	// (open at trace end, or lost to truncation) have End = the trace's max
+	// timestamp.
+	Complete bool
+	Args     []obs.Arg
+	EndArgs  []obs.Arg
+}
+
+// Edge is one delivered message: a happens-before edge from the send
+// instant on Src to the completion on Dst.
+type Edge struct {
+	Src, Dst int
+	// Tag is the message tag (negative for collective legs).
+	Tag int64
+	// Seq is the message's provenance ordinal on the (Src, Dst) link; 0
+	// when the edge was FIFO-matched from a pre-provenance trace.
+	Seq   int64
+	Bytes int64
+	// SendTS is when the sender handed the message off.
+	SendTS int64
+	// SrcSpan is the id of the sender's innermost open span at send time (0
+	// when none was open or the trace predates the header).
+	SrcSpan uint64
+	// RecvStart/RecvEnd bound the completion: the Recv/Wait span, or the
+	// zero-length Test instant that polled the message out.
+	RecvStart, RecvEnd int64
+	// Blocking reports whether the completion was a blocking Recv/Wait span
+	// (a Test poll never stalls the receiver).
+	Blocking bool
+}
+
+// Wait is the time the receiver spent blocked in the completing operation.
+func (e *Edge) Wait() int64 { return e.RecvEnd - e.RecvStart }
+
+// BarrierLeg is one rank's participation in a barrier occurrence.
+type BarrierLeg struct {
+	Rank       int
+	Start, End int64
+}
+
+// BarrierOcc is one barrier: every rank's k-th Barrier span is the same
+// occurrence (the runtime's barrier is a shared generation counter, so no
+// messages mark it). The resolver is the last rank to arrive.
+type BarrierOcc struct {
+	Legs     []BarrierLeg
+	LastRank int
+	LastTS   int64
+}
+
+// Graph is the stitched happens-before DAG of one trace.
+type Graph struct {
+	NumRanks     int
+	MinTS, MaxTS int64
+	// EndRank is the rank that produced the trace's last event — where the
+	// critical path's backward replay starts.
+	EndRank int
+	Edges   []Edge
+	// Barriers holds barrier occurrences in occurrence order.
+	Barriers []BarrierOcc
+	// Pages holds the shuffle's page-granular flows: mrmpi's streaming
+	// Aggregate emits one instant per exchanged page on each side, matched
+	// here by (src, dst, page seq). They carry the emit→shuffle leg of task
+	// lineage at the granularity the exchange actually has (pages batch
+	// many tasks' pairs; per-pair tracking would break the zero-copy wire
+	// format).
+	Pages []PageFlow
+	// Spans holds each rank's reconstructed spans in Begin (= ID) order.
+	Spans [][]*Span
+	// SeqMatched / FIFOMatched count edges by match kind; a healthy
+	// provenance-carrying trace has FIFOMatched == 0.
+	SeqMatched, FIFOMatched int
+	// UnmatchedRecvs counts completions whose send was not in the trace
+	// (truncated stream); UnmatchedSends counts sends never observed
+	// delivered (in flight at trace end, or a wedged receiver).
+	UnmatchedRecvs, UnmatchedSends int
+
+	byID []map[uint64]*Span // per-rank id → span
+}
+
+// argInt extracts an integer arg. Live traces carry int/int64; traces read
+// back from Chrome JSON carry float64.
+func argInt(args []obs.Arg, key string) (int64, bool) {
+	for _, a := range args {
+		if a.Key != key {
+			continue
+		}
+		switch v := a.Val.(type) {
+		case int:
+			return int64(v), true
+		case int64:
+			return v, true
+		case uint64:
+			return int64(v), true
+		case float64:
+			return int64(v), true
+		}
+	}
+	return 0, false
+}
+
+// sendRec is one Send/Isend instant awaiting its completion.
+type sendRec struct {
+	ts    int64
+	span  uint64
+	bytes int64
+	tag   int64
+	used  bool
+}
+
+// completion is one message delivery observed on the receive side.
+type completion struct {
+	rank       int
+	src        int64 // from arg
+	tag        int64
+	seq        int64 // 0 on pre-provenance traces
+	bytes      int64
+	start, end int64
+	blocking   bool
+}
+
+// Build stitches a merged event stream (obs.Tracer.Events or a parsed
+// Chrome trace) into a Graph. It never fails: malformed or truncated
+// streams yield a partial graph with the damage counted in
+// UnmatchedRecvs/UnmatchedSends.
+func Build(events []obs.Event) *Graph {
+	g := &Graph{}
+	if len(events) == 0 {
+		return g
+	}
+	g.MinTS, g.MaxTS = events[0].TS, events[0].TS
+	for _, ev := range events {
+		if ev.TS < g.MinTS {
+			g.MinTS = ev.TS
+		}
+		if ev.TS > g.MaxTS {
+			g.MaxTS = ev.TS
+		}
+		if ev.Rank+1 > g.NumRanks {
+			g.NumRanks = ev.Rank + 1
+		}
+		if ev.TS == g.MaxTS {
+			g.EndRank = ev.Rank
+		}
+	}
+
+	g.buildSpans(events)
+	g.buildEdges(events)
+	g.buildBarriers()
+	g.buildPages(events)
+	return g
+}
+
+// PageFlow is one matched shuffle page: sent from Src's Aggregate scan,
+// ingested on Dst. RecvTS is 0 when the receipt fell outside the trace.
+type PageFlow struct {
+	Src, Dst int
+	Seq      int64
+	Bytes    int64
+	SendTS   int64
+	RecvTS   int64
+}
+
+// buildPages matches mrmpi's exchange.page.send/recv instants by
+// (src, dst, page seq).
+func (g *Graph) buildPages(events []obs.Event) {
+	type pageKey struct {
+		src, dst int
+		seq      int64
+	}
+	idx := map[pageKey]int{}
+	for _, ev := range events {
+		if ev.Type != obs.InstantEvent || ev.Cat != "mrmpi" {
+			continue
+		}
+		switch ev.Name {
+		case "exchange.page.send":
+			dst, ok1 := argInt(ev.Args, "dst")
+			seq, ok2 := argInt(ev.Args, "seq")
+			if !ok1 || !ok2 {
+				continue
+			}
+			bytes, _ := argInt(ev.Args, "bytes")
+			k := pageKey{src: ev.Rank, dst: int(dst), seq: seq}
+			idx[k] = len(g.Pages)
+			g.Pages = append(g.Pages, PageFlow{Src: ev.Rank, Dst: int(dst), Seq: seq, Bytes: bytes, SendTS: ev.TS})
+		case "exchange.page.recv":
+			src, ok1 := argInt(ev.Args, "src")
+			seq, ok2 := argInt(ev.Args, "seq")
+			if !ok1 || !ok2 {
+				continue
+			}
+			if i, ok := idx[pageKey{src: int(src), dst: ev.Rank, seq: seq}]; ok {
+				g.Pages[i].RecvTS = ev.TS
+			}
+		}
+	}
+}
+
+// buildSpans replays each rank's Begin/End events with the same
+// innermost-(cat,name) matching the tracer and obs.PairSpans use,
+// recovering per-rank span ids, parents, and depths.
+func (g *Graph) buildSpans(events []obs.Event) {
+	g.Spans = make([][]*Span, g.NumRanks)
+	g.byID = make([]map[uint64]*Span, g.NumRanks)
+	for r := range g.byID {
+		g.byID[r] = map[uint64]*Span{}
+	}
+	stacks := make([][]*Span, g.NumRanks)
+	nextID := make([]uint64, g.NumRanks)
+	for _, ev := range events {
+		r := ev.Rank
+		switch ev.Type {
+		case obs.BeginEvent:
+			nextID[r]++
+			sp := &Span{
+				Rank: r, ID: nextID[r], Cat: ev.Cat, Name: ev.Name,
+				Start: ev.TS, End: g.MaxTS, Depth: len(stacks[r]), Args: ev.Args,
+			}
+			if len(stacks[r]) > 0 {
+				sp.Parent = stacks[r][len(stacks[r])-1]
+			}
+			stacks[r] = append(stacks[r], sp)
+			g.Spans[r] = append(g.Spans[r], sp)
+			g.byID[r][sp.ID] = sp
+		case obs.EndEvent:
+			st := stacks[r]
+			for i := len(st) - 1; i >= 0; i-- {
+				if st[i].Cat != ev.Cat || st[i].Name != ev.Name {
+					continue
+				}
+				st[i].End = ev.TS
+				st[i].Complete = true
+				st[i].EndArgs = ev.Args
+				stacks[r] = append(st[:i], st[i+1:]...)
+				break
+			}
+		}
+	}
+}
+
+// SpanByID returns rank's span with the given per-rank id, or nil.
+func (g *Graph) SpanByID(rank int, id uint64) *Span {
+	if rank < 0 || rank >= len(g.byID) || id == 0 {
+		return nil
+	}
+	return g.byID[rank][id]
+}
+
+// CoveringSpan returns the innermost span on rank covering ts, or nil.
+func (g *Graph) CoveringSpan(rank int, ts int64) *Span {
+	if rank < 0 || rank >= len(g.Spans) {
+		return nil
+	}
+	var best *Span
+	for _, sp := range g.Spans[rank] {
+		if sp.Start > ts {
+			break // spans are in Begin order
+		}
+		if ts < sp.End || (!sp.Complete && ts <= sp.End) {
+			if best == nil || sp.Depth >= best.Depth {
+				best = sp
+			}
+		}
+	}
+	return best
+}
+
+// buildEdges matches every completion (Recv/Wait span end, Test instant) to
+// its Send/Isend instant: exactly by the piggybacked (src, dst, seq) when
+// present, by FIFO order per (src, dst, tag) otherwise.
+func (g *Graph) buildEdges(events []obs.Event) {
+	type linkKey struct{ src, dst int }
+	type fifoKey struct {
+		src, dst int
+		tag      int64
+	}
+	seqSends := map[linkKey]map[int64]*sendRec{}
+	fifoSends := map[fifoKey][]*sendRec{}
+
+	for _, ev := range events {
+		if ev.Type != obs.InstantEvent || ev.Cat != "mpi" || (ev.Name != "Send" && ev.Name != "Isend") {
+			continue
+		}
+		dst, ok1 := argInt(ev.Args, "dst")
+		tag, ok2 := argInt(ev.Args, "tag")
+		if !ok1 || !ok2 {
+			continue
+		}
+		rec := &sendRec{ts: ev.TS, tag: tag}
+		rec.bytes, _ = argInt(ev.Args, "bytes")
+		if sp, ok := argInt(ev.Args, "span"); ok {
+			rec.span = uint64(sp)
+		}
+		seq, _ := argInt(ev.Args, "seq")
+		if seq > 0 {
+			lk := linkKey{src: ev.Rank, dst: int(dst)}
+			m := seqSends[lk]
+			if m == nil {
+				m = map[int64]*sendRec{}
+				seqSends[lk] = m
+			}
+			m[seq] = rec
+		}
+		// Keep the FIFO list too: a completion without a seq (mixed-version
+		// or hand-built trace) still matches positionally.
+		fk := fifoKey{src: ev.Rank, dst: int(dst), tag: tag}
+		fifoSends[fk] = append(fifoSends[fk], rec)
+	}
+
+	// Completions in delivery order: completed Recv/Wait spans in End order
+	// (PairSpans yields that) interleaved with Test instants by timestamp.
+	var comps []completion
+	obs.PairSpans(events, func(sp obs.SpanInstance) {
+		if sp.Cat != "mpi" || (sp.Name != "Recv" && sp.Name != "Wait") {
+			return
+		}
+		from, ok1 := argInt(sp.EndArgs, "from")
+		tag, ok2 := argInt(sp.EndArgs, "tag")
+		if !ok1 || !ok2 {
+			return
+		}
+		c := completion{rank: sp.Rank, src: from, tag: tag, start: sp.Start, end: sp.End(), blocking: true}
+		c.seq, _ = argInt(sp.EndArgs, "seq")
+		c.bytes, _ = argInt(sp.EndArgs, "bytes")
+		comps = append(comps, c)
+	})
+	for _, ev := range events {
+		if ev.Type != obs.InstantEvent || ev.Cat != "mpi" || ev.Name != "Test" {
+			continue
+		}
+		from, ok1 := argInt(ev.Args, "from")
+		tag, ok2 := argInt(ev.Args, "tag")
+		if !ok1 || !ok2 {
+			continue
+		}
+		c := completion{rank: ev.Rank, src: from, tag: tag, start: ev.TS, end: ev.TS}
+		c.seq, _ = argInt(ev.Args, "seq")
+		c.bytes, _ = argInt(ev.Args, "bytes")
+		comps = append(comps, c)
+	}
+	sort.SliceStable(comps, func(i, j int) bool { return comps[i].end < comps[j].end })
+
+	fifoNext := map[fifoKey]int{}
+	for _, c := range comps {
+		var rec *sendRec
+		if c.seq > 0 {
+			rec = seqSends[linkKey{src: int(c.src), dst: c.rank}][c.seq]
+			if rec != nil && !rec.used {
+				g.SeqMatched++
+			} else {
+				rec = nil
+			}
+		}
+		if rec == nil && c.seq == 0 {
+			fk := fifoKey{src: int(c.src), dst: c.rank, tag: c.tag}
+			k := fifoNext[fk]
+			fifoNext[fk] = k + 1
+			if sends := fifoSends[fk]; k < len(sends) && !sends[k].used {
+				rec = sends[k]
+				g.FIFOMatched++
+			}
+		}
+		if rec == nil {
+			g.UnmatchedRecvs++
+			continue
+		}
+		rec.used = true
+		bytes := c.bytes
+		if bytes == 0 {
+			bytes = rec.bytes
+		}
+		g.Edges = append(g.Edges, Edge{
+			Src: int(c.src), Dst: c.rank, Tag: c.tag, Seq: c.seq, Bytes: bytes,
+			SendTS: rec.ts, SrcSpan: rec.span,
+			RecvStart: c.start, RecvEnd: c.end, Blocking: c.blocking,
+		})
+	}
+	for _, sends := range fifoSends {
+		for _, rec := range sends {
+			if !rec.used {
+				g.UnmatchedSends++
+			}
+		}
+	}
+	sort.SliceStable(g.Edges, func(i, j int) bool { return g.Edges[i].RecvEnd < g.Edges[j].RecvEnd })
+}
+
+// buildBarriers groups Barrier spans by occurrence index: the runtime's
+// barrier is message-less, so the k-th Barrier span on every rank is the
+// same occurrence, resolved by the last arrival.
+func (g *Graph) buildBarriers() {
+	perRank := make([][]*Span, g.NumRanks)
+	maxOcc := 0
+	for r := range g.Spans {
+		for _, sp := range g.Spans[r] {
+			if sp.Cat == "mpi" && sp.Name == "Barrier" && sp.Complete {
+				perRank[r] = append(perRank[r], sp)
+			}
+		}
+		sort.Slice(perRank[r], func(i, j int) bool { return perRank[r][i].Start < perRank[r][j].Start })
+		if len(perRank[r]) > maxOcc {
+			maxOcc = len(perRank[r])
+		}
+	}
+	for k := 0; k < maxOcc; k++ {
+		occ := BarrierOcc{LastRank: -1, LastTS: -1}
+		for r := 0; r < g.NumRanks; r++ {
+			if k >= len(perRank[r]) {
+				continue
+			}
+			sp := perRank[r][k]
+			occ.Legs = append(occ.Legs, BarrierLeg{Rank: r, Start: sp.Start, End: sp.End})
+			if sp.Start > occ.LastTS {
+				occ.LastRank, occ.LastTS = r, sp.Start
+			}
+		}
+		if occ.LastRank >= 0 {
+			g.Barriers = append(g.Barriers, occ)
+		}
+	}
+}
+
+// chainAt resolves the sender-side span chain for a message: from the
+// piggybacked span id when valid (exact even under concurrent same-rank
+// spans), by covering-span search at ts otherwise. The chain runs innermost
+// first.
+func (g *Graph) chainAt(rank int, ts int64, spanID uint64) []*Span {
+	sp := g.SpanByID(rank, spanID)
+	if sp == nil {
+		sp = g.CoveringSpan(rank, ts)
+	}
+	var chain []*Span
+	for ; sp != nil; sp = sp.Parent {
+		chain = append(chain, sp)
+	}
+	return chain
+}

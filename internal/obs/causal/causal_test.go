@@ -1,0 +1,470 @@
+package causal
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/mpi"
+	"repro/internal/mrmpi"
+	"repro/internal/obs"
+)
+
+// Event-building shorthand for hand-built reference traces.
+func ev(typ obs.EventType, rank int, cat, name string, ts int64, args ...obs.Arg) obs.Event {
+	return obs.Event{Type: typ, Rank: rank, Cat: cat, Name: name, TS: ts, Args: args}
+}
+
+func arg(k string, v any) obs.Arg { return obs.Arg{Key: k, Val: v} }
+
+// sendArgs builds a Send/Isend instant's args the way internal/mpi emits
+// them; recvEnd builds a Recv/Wait End's echo of the provenance header.
+func sendArgs(dst, tag int, seq, span int64) []obs.Arg {
+	return []obs.Arg{arg("dst", dst), arg("tag", tag), arg("bytes", int64(8)), arg("seq", seq), arg("span", span)}
+}
+
+func recvEndArgs(from, tag int, seq, sspan int64) []obs.Arg {
+	return []obs.Arg{arg("from", from), arg("tag", tag), arg("bytes", int64(8)), arg("seq", seq), arg("sspan", sspan)}
+}
+
+// referenceDAG is the hand-built three-rank trace with one unambiguous
+// critical path: rank 0 computes [0,100] and sends to rank 1, which was
+// blocked since t=10; rank 1 computes [100,250] and sends to rank 2,
+// blocked since t=50; rank 2 computes [250,400]. The exact path is
+// 0:[0,100] → 1:[100,250] → 2:[250,400].
+//
+// A decoy send (rank 0's seq 2, delivered to rank 1 long before rank 1
+// waits for it) is included: its completion at [260,261] must NOT become a
+// hop, because the message was already waiting when the recv began.
+func referenceDAG() []obs.Event {
+	return []obs.Event{
+		// rank 0: span id 1 = "work0".
+		ev(obs.BeginEvent, 0, "app", "work0", 0),
+		ev(obs.InstantEvent, 0, "mpi", "Send", 100, sendArgs(1, 7, 1, 1)...),
+		ev(obs.InstantEvent, 0, "mpi", "Send", 101, sendArgs(1, 9, 2, 1)...), // decoy, delivered early
+		ev(obs.EndEvent, 0, "app", "work0", 102),
+		// rank 1: span ids — 1 Recv, 2 work1, 3 decoy Recv.
+		ev(obs.BeginEvent, 1, "mpi", "Recv", 10, arg("src", 0), arg("tag", 7)),
+		ev(obs.EndEvent, 1, "mpi", "Recv", 100, recvEndArgs(0, 7, 1, 1)...),
+		ev(obs.BeginEvent, 1, "app", "work1", 100),
+		ev(obs.InstantEvent, 1, "mpi", "Send", 250, sendArgs(2, 7, 1, 2)...),
+		ev(obs.EndEvent, 1, "app", "work1", 250),
+		ev(obs.BeginEvent, 1, "mpi", "Recv", 260, arg("src", 0), arg("tag", 9)),
+		ev(obs.EndEvent, 1, "mpi", "Recv", 261, recvEndArgs(0, 9, 2, 1)...),
+		// rank 2: blocked [50,250], then computes to the trace end.
+		ev(obs.BeginEvent, 2, "mpi", "Recv", 50, arg("src", 1), arg("tag", 7)),
+		ev(obs.EndEvent, 2, "mpi", "Recv", 250, recvEndArgs(1, 7, 1, 2)...),
+		ev(obs.BeginEvent, 2, "app", "work2", 250),
+		ev(obs.EndEvent, 2, "app", "work2", 400),
+	}
+}
+
+// TestCriticalPathReferenceDAG is the acceptance test for the exact
+// extraction: the computed segments must equal the hand-derived path of the
+// reference DAG, and their sum must equal the trace wall clock.
+func TestCriticalPathReferenceDAG(t *testing.T) {
+	g := Build(referenceDAG())
+	if g.SeqMatched != 3 || g.FIFOMatched != 0 || g.UnmatchedRecvs != 0 || g.UnmatchedSends != 0 {
+		t.Fatalf("matching: seq=%d fifo=%d unrecv=%d unsend=%d, want 3/0/0/0",
+			g.SeqMatched, g.FIFOMatched, g.UnmatchedRecvs, g.UnmatchedSends)
+	}
+	cp := g.CriticalPath()
+	want := []Segment{{Rank: 0, Start: 0, End: 100}, {Rank: 1, Start: 100, End: 250}, {Rank: 2, Start: 250, End: 400}}
+	if len(cp.Segments) != len(want) {
+		t.Fatalf("critical path = %+v, want %+v", cp.Segments, want)
+	}
+	for i, s := range cp.Segments {
+		if s != want[i] {
+			t.Errorf("segment %d = %+v, want %+v", i, s, want[i])
+		}
+	}
+	if wall := time.Duration(g.MaxTS - g.MinTS); cp.Total != wall {
+		t.Errorf("Total = %v, want wall clock %v", cp.Total, wall)
+	}
+}
+
+// TestBlameReferenceDAG checks the blocked-on tables on the same DAG: each
+// stall is charged to the sender's span, fully covered.
+func TestBlameReferenceDAG(t *testing.T) {
+	g := Build(referenceDAG())
+	blame := g.Blame()
+	if cov := Coverage(blame); cov != 1.0 {
+		t.Errorf("Coverage = %v, want 1.0 (every stall has a matched edge)", cov)
+	}
+	// Rank 1 waited [10,100] on rank 0's work0 and [260,261] on the decoy —
+	// both sends happened inside work0, so they aggregate into one entry.
+	b1 := blame[1]
+	if b1.TotalWait != 91 {
+		t.Errorf("rank 1 TotalWait = %d, want 91", b1.TotalWait)
+	}
+	if len(b1.Entries) != 1 || b1.Entries[0].Peer != 0 || b1.Entries[0].Span != "work0" ||
+		b1.Entries[0].Wait != 91 || b1.Entries[0].Count != 2 {
+		t.Errorf("rank 1 blame = %+v, want one {peer 0, work0, 91ns, 2} entry", b1.Entries)
+	}
+	// Rank 2 waited [50,250] on rank 1's work1.
+	b2 := blame[2]
+	if b2.TotalWait != 200 || len(b2.Entries) != 1 {
+		t.Fatalf("rank 2 blame = %+v, want one 200ns entry", b2)
+	}
+	if e := b2.Entries[0]; e.Peer != 1 || e.Span != "work1" || e.Wait != 200 || e.Count != 1 {
+		t.Errorf("rank 2 entry = %+v, want {peer 1, work1, 200ns, 1}", e)
+	}
+}
+
+// TestCriticalPathIgnoresDeliveredMessage: a message that was already
+// waiting when the recv began never becomes a hop — the receiver did not
+// stall on the sender.
+func TestCriticalPathIgnoresDeliveredMessage(t *testing.T) {
+	events := []obs.Event{
+		ev(obs.InstantEvent, 0, "mpi", "Send", 5, sendArgs(1, 3, 1, 0)...),
+		ev(obs.BeginEvent, 1, "app", "work", 0),
+		ev(obs.BeginEvent, 1, "mpi", "Recv", 50, arg("src", 0), arg("tag", 3)),
+		ev(obs.EndEvent, 1, "mpi", "Recv", 60, recvEndArgs(0, 3, 1, 0)...),
+		ev(obs.EndEvent, 1, "app", "work", 200),
+	}
+	cp := Build(events).CriticalPath()
+	if len(cp.Segments) != 1 || cp.Segments[0] != (Segment{Rank: 1, Start: 0, End: 200}) {
+		t.Errorf("critical path = %+v, want a single rank-1 segment [0,200]", cp.Segments)
+	}
+}
+
+// TestOutOfOrderIrecvCompletion: two same-tag messages on one link complete
+// in reverse order (the second Wait drains the first message). Seq matching
+// must pair each completion with its true send; positional FIFO would cross
+// them.
+func TestOutOfOrderIrecvCompletion(t *testing.T) {
+	events := []obs.Event{
+		ev(obs.InstantEvent, 0, "mpi", "Send", 10, sendArgs(1, 5, 1, 0)...),
+		ev(obs.InstantEvent, 0, "mpi", "Send", 20, sendArgs(1, 5, 2, 0)...),
+		// Rank 1 completes seq 2 first, then seq 1.
+		ev(obs.BeginEvent, 1, "mpi", "Wait", 30, arg("src", 0), arg("tag", 5)),
+		ev(obs.EndEvent, 1, "mpi", "Wait", 40, recvEndArgs(0, 5, 2, 0)...),
+		ev(obs.BeginEvent, 1, "mpi", "Wait", 40, arg("src", 0), arg("tag", 5)),
+		ev(obs.EndEvent, 1, "mpi", "Wait", 45, recvEndArgs(0, 5, 1, 0)...),
+	}
+	g := Build(events)
+	if g.SeqMatched != 2 || g.FIFOMatched != 0 {
+		t.Fatalf("seq=%d fifo=%d, want 2/0", g.SeqMatched, g.FIFOMatched)
+	}
+	for _, e := range g.Edges {
+		wantSend := map[int64]int64{1: 10, 2: 20}[e.Seq]
+		if e.SendTS != wantSend {
+			t.Errorf("edge seq %d SendTS = %d, want %d (crossed pairing)", e.Seq, e.SendTS, wantSend)
+		}
+	}
+}
+
+// TestFIFOFallback: the same shape without provenance args (a trace from
+// before the header existed) matches positionally per (src, dst, tag).
+func TestFIFOFallback(t *testing.T) {
+	events := []obs.Event{
+		ev(obs.InstantEvent, 0, "mpi", "Send", 10, arg("dst", 1), arg("tag", 5), arg("bytes", int64(8))),
+		ev(obs.InstantEvent, 0, "mpi", "Send", 20, arg("dst", 1), arg("tag", 5), arg("bytes", int64(8))),
+		ev(obs.BeginEvent, 1, "mpi", "Recv", 30, arg("src", 0), arg("tag", 5)),
+		ev(obs.EndEvent, 1, "mpi", "Recv", 40, arg("from", 0), arg("tag", 5), arg("bytes", int64(8))),
+		ev(obs.BeginEvent, 1, "mpi", "Recv", 40, arg("src", 0), arg("tag", 5)),
+		ev(obs.EndEvent, 1, "mpi", "Recv", 45, arg("from", 0), arg("tag", 5), arg("bytes", int64(8))),
+	}
+	g := Build(events)
+	if g.SeqMatched != 0 || g.FIFOMatched != 2 {
+		t.Fatalf("seq=%d fifo=%d, want 0/2", g.SeqMatched, g.FIFOMatched)
+	}
+	if g.Edges[0].SendTS != 10 || g.Edges[1].SendTS != 20 {
+		t.Errorf("FIFO pairing = (%d, %d), want (10, 20)", g.Edges[0].SendTS, g.Edges[1].SendTS)
+	}
+}
+
+// TestDroppedAndAnySourceMessages: a completion whose send fell outside the
+// trace counts as unmatched — and must not steal a FIFO slot from a healthy
+// pair; a send never seen delivered counts on the other side. AnySource
+// receives stitch normally because the End event echoes the matched source.
+func TestDroppedAndAnySourceMessages(t *testing.T) {
+	events := []obs.Event{
+		// Healthy AnySource pair: Begin posts src=-1; End echoes from=0.
+		ev(obs.InstantEvent, 0, "mpi", "Send", 10, sendArgs(1, 5, 1, 0)...),
+		ev(obs.BeginEvent, 1, "mpi", "Recv", 5, arg("src", mpi.AnySource), arg("tag", mpi.AnyTag)),
+		ev(obs.EndEvent, 1, "mpi", "Recv", 10, recvEndArgs(0, 5, 1, 0)...),
+		// Truncated: rank 2's send to rank 1 predates the trace (seq 9 has no
+		// Send instant).
+		ev(obs.BeginEvent, 1, "mpi", "Recv", 20, arg("src", 2), arg("tag", 5)),
+		ev(obs.EndEvent, 1, "mpi", "Recv", 30, recvEndArgs(2, 5, 9, 4)...),
+		// Dropped: a send whose delivery fell off the end of the trace.
+		ev(obs.InstantEvent, 0, "mpi", "Send", 40, sendArgs(1, 5, 2, 0)...),
+	}
+	g := Build(events)
+	if g.SeqMatched != 1 {
+		t.Errorf("SeqMatched = %d, want 1 (the AnySource pair)", g.SeqMatched)
+	}
+	if g.FIFOMatched != 0 {
+		t.Errorf("FIFOMatched = %d, want 0 — a seq-carrying orphan must not fall back to FIFO", g.FIFOMatched)
+	}
+	if g.UnmatchedRecvs != 1 || g.UnmatchedSends != 1 {
+		t.Errorf("unmatched recvs/sends = %d/%d, want 1/1", g.UnmatchedRecvs, g.UnmatchedSends)
+	}
+	// The orphaned stall still counts against coverage.
+	if cov := Coverage(g.Blame()); cov >= 1.0 {
+		t.Errorf("Coverage = %v, want < 1.0 with an unattributable stall", cov)
+	}
+}
+
+// TestNonZeroRootCollectives runs live collectives rooted away from rank 0
+// and checks their legs stitch into exact seq-matched edges.
+func TestNonZeroRootCollectives(t *testing.T) {
+	tracer := obs.NewTracer()
+	err := mpi.RunWith(3, mpi.RunOptions{Trace: tracer}, func(c *mpi.Comm) error {
+		v := mpi.Bcast(c, 2, 40+c.Rank())
+		if v != 42 {
+			return fmt.Errorf("rank %d: Bcast from root 2 = %d, want 42", c.Rank(), v)
+		}
+		sum := mpi.ReduceSumFloat64s(c, 1, []float64{float64(c.Rank())})
+		if c.Rank() == 1 && sum[0] != 3 {
+			return fmt.Errorf("ReduceSumFloat64s at root 1 = %v, want [3]", sum)
+		}
+		c.Barrier()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := Build(tracer.Events())
+	if g.FIFOMatched != 0 || g.UnmatchedRecvs != 0 {
+		t.Errorf("fifo=%d unmatchedRecvs=%d, want 0/0 on a provenance-carrying trace", g.FIFOMatched, g.UnmatchedRecvs)
+	}
+	// Bcast and Reduce traffic use distinct internal (negative) tags, so the
+	// legs separate by tag: 2 fan-out legs from root 2, 2 fan-in legs to
+	// root 1.
+	var bcastLegs, reduceLegs int
+	bcastTag := g.Edges[0].Tag // first edge chronologically is a bcast leg
+	for _, e := range g.Edges {
+		if e.Tag >= 0 {
+			t.Errorf("edge %+v: collective leg with non-negative tag", e)
+		}
+		if e.Tag == bcastTag {
+			if e.Src != 2 {
+				t.Errorf("bcast leg %+v not from root 2", e)
+			}
+			bcastLegs++
+		} else {
+			if e.Dst != 1 {
+				t.Errorf("reduce leg %+v not into root 1", e)
+			}
+			reduceLegs++
+		}
+	}
+	if bcastLegs != 2 {
+		t.Errorf("bcast legs from root 2 = %d, want 2", bcastLegs)
+	}
+	if reduceLegs != 2 {
+		t.Errorf("reduce legs into root 1 = %d, want 2", reduceLegs)
+	}
+	if len(g.Barriers) != 1 || len(g.Barriers[0].Legs) != 3 {
+		t.Errorf("barriers = %+v, want one occurrence with 3 legs", g.Barriers)
+	}
+	if cov := Coverage(g.Blame()); cov < 0.95 {
+		t.Errorf("Coverage = %v, want >= 0.95", cov)
+	}
+}
+
+// liveTrace runs a 4-rank master-style MapReduce job under tracing and
+// returns the merged event stream.
+func liveTrace(t *testing.T) []obs.Event {
+	t.Helper()
+	const nranks, nmap = 4, 8
+	tracer := obs.NewTracer()
+	err := mpi.RunWith(nranks, mpi.RunOptions{Trace: tracer}, func(c *mpi.Comm) error {
+		mr := mrmpi.NewWith(c, mrmpi.Options{MapStyle: mrmpi.MapStyleMaster})
+		defer mr.Close()
+		if _, err := mr.Map(nmap, func(itask int, kv *mrmpi.KeyValue) error {
+			for i := 0; i < 4; i++ {
+				kv.Add([]byte(fmt.Sprintf("k%d", (itask+i)%5)), []byte("v"))
+			}
+			return nil
+		}); err != nil {
+			return err
+		}
+		if err := mr.Aggregate(nil); err != nil {
+			return err
+		}
+		if err := mr.Convert(); err != nil {
+			return err
+		}
+		_, err := mr.Reduce(func(key []byte, values [][]byte, out *mrmpi.KeyValue) error {
+			out.Add(key, []byte(fmt.Sprintf("%d", len(values))))
+			return nil
+		})
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tracer.Events()
+}
+
+// TestLiveRunExactness is the end-to-end acceptance test on a real 4-rank
+// run: every edge seq-matches, the critical path's segments are contiguous
+// and sum exactly to the wall clock, and the blame tables attribute at
+// least 95% of measured wait time.
+func TestLiveRunExactness(t *testing.T) {
+	g := Build(liveTrace(t))
+	if g.NumRanks != 4 {
+		t.Fatalf("NumRanks = %d, want 4", g.NumRanks)
+	}
+	if g.SeqMatched == 0 || g.FIFOMatched != 0 {
+		t.Errorf("seq=%d fifo=%d, want all-seq matching on a live trace", g.SeqMatched, g.FIFOMatched)
+	}
+	if g.UnmatchedRecvs != 0 {
+		t.Errorf("UnmatchedRecvs = %d, want 0 on a complete trace", g.UnmatchedRecvs)
+	}
+
+	cp := g.CriticalPath()
+	if wall := time.Duration(g.MaxTS - g.MinTS); cp.Total != wall {
+		t.Errorf("critical path Total = %v, want wall clock %v", cp.Total, wall)
+	}
+	if len(cp.Segments) == 0 {
+		t.Fatal("empty critical path")
+	}
+	if cp.Segments[0].Start != g.MinTS || cp.Segments[len(cp.Segments)-1].End != g.MaxTS {
+		t.Errorf("path spans [%d,%d], want [%d,%d]",
+			cp.Segments[0].Start, cp.Segments[len(cp.Segments)-1].End, g.MinTS, g.MaxTS)
+	}
+	for i := 1; i < len(cp.Segments); i++ {
+		if cp.Segments[i].Start != cp.Segments[i-1].End {
+			t.Errorf("segments %d/%d not contiguous: %+v %+v", i-1, i, cp.Segments[i-1], cp.Segments[i])
+		}
+	}
+
+	blame := g.Blame()
+	if cov := Coverage(blame); cov < 0.95 {
+		t.Errorf("blame Coverage = %v, want >= 0.95", cov)
+	}
+	// Master-style map: workers stall on rank 0 (the dispatcher); rank 0
+	// stalls on workers' ready/result messages. Every rank must have entries.
+	for _, rb := range blame {
+		if rb.TotalWait > 0 && len(rb.Entries) == 0 {
+			t.Errorf("rank %d: %v waited but no blame entries", rb.Rank, rb.TotalWait)
+		}
+	}
+}
+
+// TestLiveRunLineage checks per-task provenance on the live run: every map
+// task has a lineage with a dispatch edge from the master and its map span,
+// and tasks on ranks that shipped pages carry shuffle/reduce stages.
+func TestLiveRunLineage(t *testing.T) {
+	g := Build(liveTrace(t))
+	lineages := g.Lineages()
+	tasks := map[int64]Lineage{}
+	for _, l := range lineages {
+		if l.Unit != "map.task" {
+			continue
+		}
+		if _, dup := tasks[l.ID]; dup {
+			t.Errorf("task %d has two lineages", l.ID)
+		}
+		tasks[l.ID] = l
+	}
+	if len(tasks) != 8 {
+		t.Fatalf("got %d task lineages, want 8", len(tasks))
+	}
+	var sawShuffle, sawReduce bool
+	for id, l := range tasks {
+		if l.Rank == 0 {
+			t.Errorf("task %d ran on the master rank", id)
+		}
+		stages := map[string]Stage{}
+		for _, s := range l.Stages {
+			stages[s.Name] = s
+		}
+		d, ok := stages["dispatch"]
+		if !ok || d.Rank != 0 {
+			t.Errorf("task %d: dispatch stage = %+v, want one from rank 0", id, l.Stages)
+		}
+		m, ok := stages["map"]
+		if !ok || m.Rank != l.Rank || m.Start < d.End {
+			t.Errorf("task %d: map stage = %+v (dispatch %+v), want on rank %d after dispatch", id, m, d, l.Rank)
+		}
+		if s, ok := stages["shuffle"]; ok {
+			sawShuffle = true
+			if s.Start < m.End {
+				t.Errorf("task %d: shuffle starts at %d before map ends at %d", id, s.Start, m.End)
+			}
+		}
+		if _, ok := stages["reduce"]; ok {
+			sawReduce = true
+		}
+	}
+	if !sawShuffle || !sawReduce {
+		t.Errorf("sawShuffle=%v sawReduce=%v, want both across 8 tasks", sawShuffle, sawReduce)
+	}
+}
+
+// TestTruncatedStream: cutting the tail off a live trace must still build —
+// with the damage counted, not silently absorbed — and the critical path
+// identity must hold on the truncated window.
+func TestTruncatedStream(t *testing.T) {
+	events := liveTrace(t)
+	cut := events[:len(events)*2/3]
+	g := Build(cut)
+	if g.UnmatchedSends == 0 {
+		t.Errorf("UnmatchedSends = 0 after dropping the final third, want in-flight sends counted")
+	}
+	cp := g.CriticalPath()
+	if wall := time.Duration(g.MaxTS - g.MinTS); cp.Total != wall {
+		t.Errorf("truncated critical path Total = %v, want %v", cp.Total, wall)
+	}
+	Coverage(g.Blame()) // must not panic; coverage may legitimately dip
+}
+
+// TestEpochLineage: SOM epoch spans merge across ranks into one lineage per
+// epoch, with the per-rank children merged into cross-rank stage windows.
+func TestEpochLineage(t *testing.T) {
+	events := []obs.Event{
+		ev(obs.BeginEvent, 0, "mrsom", "epoch", 0, arg("epoch", 0)),
+		ev(obs.BeginEvent, 0, "mrsom", "kernel", 10),
+		ev(obs.EndEvent, 0, "mrsom", "kernel", 50),
+		ev(obs.BeginEvent, 0, "mrsom", "reduce.updates", 50),
+		ev(obs.EndEvent, 0, "mrsom", "reduce.updates", 80),
+		ev(obs.EndEvent, 0, "mrsom", "epoch", 100),
+		ev(obs.BeginEvent, 1, "mrsom", "epoch", 5, arg("epoch", 0)),
+		ev(obs.BeginEvent, 1, "mrsom", "kernel", 12),
+		ev(obs.EndEvent, 1, "mrsom", "kernel", 60),
+		ev(obs.BeginEvent, 1, "mrsom", "reduce.updates", 60),
+		ev(obs.EndEvent, 1, "mrsom", "reduce.updates", 85),
+		ev(obs.EndEvent, 1, "mrsom", "epoch", 110),
+		ev(obs.BeginEvent, 0, "mrsom", "epoch", 120, arg("epoch", 1)),
+		ev(obs.EndEvent, 0, "mrsom", "epoch", 150),
+		ev(obs.BeginEvent, 1, "mrsom", "epoch", 125, arg("epoch", 1)),
+		ev(obs.EndEvent, 1, "mrsom", "epoch", 155),
+	}
+	lineages := Build(events).Lineages()
+	if len(lineages) != 2 {
+		t.Fatalf("got %d lineages, want 2 epochs", len(lineages))
+	}
+	e0 := lineages[0]
+	if e0.Unit != "epoch" || e0.ID != 0 || e0.Rank != -1 || e0.Start != 0 || e0.End != 110 {
+		t.Errorf("epoch 0 lineage = %+v, want cross-rank [0,110]", e0)
+	}
+	if len(e0.Stages) != 2 ||
+		e0.Stages[0] != (Stage{Name: "kernel", Rank: -1, Start: 10, End: 60}) ||
+		e0.Stages[1] != (Stage{Name: "reduce.updates", Rank: -1, Start: 50, End: 85}) {
+		t.Errorf("epoch 0 stages = %+v, want merged kernel [10,60] + reduce.updates [50,85]", e0.Stages)
+	}
+	if lineages[1].ID != 1 || len(lineages[1].Stages) != 0 {
+		t.Errorf("epoch 1 = %+v, want id 1 with no child stages", lineages[1])
+	}
+}
+
+// TestEmptyAndDegenerate: Build never fails on empty or span-less input.
+func TestEmptyAndDegenerate(t *testing.T) {
+	g := Build(nil)
+	if cp := g.CriticalPath(); len(cp.Segments) != 0 || cp.Total != 0 {
+		t.Errorf("empty graph critical path = %+v", cp)
+	}
+	if cov := Coverage(g.Blame()); cov != 1.0 {
+		t.Errorf("empty graph coverage = %v, want 1.0", cov)
+	}
+	// One lone instant: a one-event trace still yields a sane graph.
+	g = Build([]obs.Event{ev(obs.InstantEvent, 0, "mpi", "Send", 5, sendArgs(1, 1, 1, 0)...)})
+	if g.NumRanks != 1 || g.UnmatchedSends != 1 {
+		t.Errorf("degenerate graph = %+v", g)
+	}
+}

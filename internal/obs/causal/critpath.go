@@ -1,0 +1,119 @@
+package causal
+
+import (
+	"sort"
+	"time"
+)
+
+// Exact critical path over the happens-before DAG: a backward replay from
+// the trace's last event. Walk back along the current rank until a
+// completion where the rank was genuinely blocked — its message was sent
+// (or its barrier resolved) only after the wait began — then hop to the
+// sending rank at the send time and repeat. Segments are contiguous by
+// construction, so their total equals the trace wall clock exactly; that
+// identity is the acceptance check of the extraction.
+//
+// This replaces the per-rank heuristic the analyzer used before provenance
+// existed: with seq-matched edges, every hop follows the actual message
+// that released the stall (including out-of-order Irecv completions via
+// Wait spans, which the tag-FIFO heuristic could not see).
+
+// Segment is one rank's stretch of the critical path.
+type Segment struct {
+	Rank  int   `json:"rank"`
+	Start int64 `json:"start_ns"`
+	End   int64 `json:"end_ns"`
+}
+
+// Dur is the segment length.
+func (s Segment) Dur() time.Duration { return time.Duration(s.End - s.Start) }
+
+// CriticalPath is the chain of segments, earliest first.
+type CriticalPath struct {
+	Segments []Segment `json:"segments"`
+	// Total is the summed segment time; equal to the trace wall clock by
+	// construction.
+	Total time.Duration `json:"total_ns"`
+}
+
+// blocker is one wait on a rank that some other rank resolved.
+type blocker struct {
+	start, end int64
+	resolve    int64 // when the resolver made progress possible
+	from       int   // the resolving rank
+}
+
+// blockers collects each rank's resolvable waits, sorted by end time:
+// blocking message completions (Recv and Wait spans) and barrier legs.
+func (g *Graph) blockers() [][]blocker {
+	out := make([][]blocker, g.NumRanks)
+	for i := range g.Edges {
+		e := &g.Edges[i]
+		if !e.Blocking {
+			continue
+		}
+		out[e.Dst] = append(out[e.Dst], blocker{
+			start: e.RecvStart, end: e.RecvEnd, resolve: e.SendTS, from: e.Src,
+		})
+	}
+	for _, occ := range g.Barriers {
+		for _, leg := range occ.Legs {
+			if leg.Rank == occ.LastRank {
+				continue
+			}
+			out[leg.Rank] = append(out[leg.Rank], blocker{
+				start: leg.Start, end: leg.End, resolve: occ.LastTS, from: occ.LastRank,
+			})
+		}
+	}
+	for r := range out {
+		sort.Slice(out[r], func(i, j int) bool { return out[r][i].end < out[r][j].end })
+	}
+	return out
+}
+
+// CriticalPath runs the backward replay over the DAG.
+func (g *Graph) CriticalPath() CriticalPath {
+	if g.NumRanks == 0 {
+		return CriticalPath{}
+	}
+	blockers := g.blockers()
+
+	var segments []Segment
+	r, t := g.EndRank, g.MaxTS
+	cursor := t
+	for t > g.MinTS {
+		bl := blockers[r]
+		// Latest blocker ending at or before the scan cursor.
+		i := sort.Search(len(bl), func(i int) bool { return bl[i].end > cursor }) - 1
+		var hop *blocker
+		for ; i >= 0; i-- {
+			b := bl[i]
+			// A wait only matters if the resolver arrived after the wait
+			// began (and strictly before the segment end, for progress).
+			if b.resolve > b.start && b.resolve < t {
+				hop = &b
+				break
+			}
+			// Otherwise the message was already waiting — the rank never
+			// actually stalled there; keep scanning earlier waits.
+		}
+		if hop == nil {
+			segments = append(segments, Segment{Rank: r, Start: g.MinTS, End: t})
+			break
+		}
+		segments = append(segments, Segment{Rank: r, Start: hop.resolve, End: t})
+		t = hop.resolve
+		cursor = t
+		r = hop.from
+	}
+	// Reverse into chronological order.
+	for i, j := 0, len(segments)-1; i < j; i, j = i+1, j-1 {
+		segments[i], segments[j] = segments[j], segments[i]
+	}
+	cp := CriticalPath{Segments: segments}
+	for _, s := range segments {
+		cp.Total += s.Dur()
+	}
+	return cp
+}

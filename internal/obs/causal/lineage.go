@@ -1,0 +1,237 @@
+package causal
+
+import "sort"
+
+// Per-unit end-to-end provenance: for every BLAST map task (a query subset)
+// and every SOM epoch, the timestamped chain of stages the unit flowed
+// through — dispatch→map→shuffle→reduce for tasks, bcast→map→reduce→apply
+// for epochs.
+//
+// Granularity is what the runtime actually has, stated honestly: the
+// dispatch edge and the map span are exact per task (seq-matched message,
+// task-id span). The shuffle legs are page-granular — Aggregate batches
+// many tasks' pairs into each wire page, so a task's shuffle window is the
+// span of its *rank's* page flows, and the reduce window is phase-level on
+// the receiving side. Epochs merge cleanly across ranks because every rank
+// runs the same epoch spans.
+
+// Stage is one hop of a unit's lineage.
+type Stage struct {
+	Name string `json:"name"`
+	// Rank is the stage's rank, or -1 when the stage spans ranks (a
+	// shuffle fan-out, a merged cross-rank phase window).
+	Rank  int   `json:"rank"`
+	Start int64 `json:"start_ns"`
+	End   int64 `json:"end_ns"`
+}
+
+// Lineage is the provenance record of one work unit.
+type Lineage struct {
+	// Unit is "map.task" (a BLAST query subset / generic mrmpi task) or
+	// "epoch" (a SOM training epoch).
+	Unit string `json:"unit"`
+	// ID is the task index or epoch number.
+	ID int64 `json:"id"`
+	// Rank is the rank that computed the unit; -1 for cross-rank units
+	// (epochs run on every rank).
+	Rank   int     `json:"rank"`
+	Start  int64   `json:"start_ns"`
+	End    int64   `json:"end_ns"`
+	Stages []Stage `json:"stages"`
+}
+
+// Lineages extracts every unit's lineage: one record per completed map.task
+// span (ordered by rank, then task id) followed by one per epoch (ordered
+// by epoch number).
+func (g *Graph) Lineages() []Lineage {
+	out := g.taskLineages()
+	out = append(out, g.epochLineages()...)
+	return out
+}
+
+func (g *Graph) taskLineages() []Lineage {
+	// Blocking edges into each rank, ordered by RecvEnd (Edges already are):
+	// used to find the dispatch message that preceded each task.
+	edgesInto := make([][]*Edge, g.NumRanks)
+	for i := range g.Edges {
+		e := &g.Edges[i]
+		if e.Dst < g.NumRanks {
+			edgesInto[e.Dst] = append(edgesInto[e.Dst], e)
+		}
+	}
+
+	var out []Lineage
+	for r := range g.Spans {
+		for _, sp := range g.Spans[r] {
+			if sp.Cat != "mrmpi" || sp.Name != "map.task" || !sp.Complete {
+				continue
+			}
+			task, ok := argInt(sp.Args, "task")
+			if !ok {
+				continue
+			}
+			lin := Lineage{Unit: "map.task", ID: task, Rank: r, Start: sp.Start, End: sp.End}
+
+			// Dispatch: the last message this rank received before the task
+			// began, inside the enclosing phase — under the master protocol
+			// that is the assignment carrying this task.
+			phaseStart := g.MinTS
+			if sp.Parent != nil {
+				phaseStart = sp.Parent.Start
+			}
+			var disp *Edge
+			for _, e := range edgesInto[r] {
+				if e.RecvEnd > sp.Start {
+					break
+				}
+				if e.RecvEnd >= phaseStart {
+					disp = e
+				}
+			}
+			if disp != nil {
+				lin.Stages = append(lin.Stages, Stage{Name: "dispatch", Rank: disp.Src, Start: disp.SendTS, End: disp.RecvEnd})
+			}
+			lin.Stages = append(lin.Stages, Stage{Name: "map", Rank: r, Start: sp.Start, End: sp.End})
+
+			// Shuffle: this rank's page flows in the first aggregate phase
+			// after the task. Pages mix tasks, so the window is rank-level.
+			if agg := g.nextPhase(r, "aggregate", sp.End); agg != nil {
+				shuffle := Stage{Name: "shuffle", Rank: -1, Start: -1}
+				for _, p := range g.Pages {
+					if p.Src != r || p.SendTS < agg.Start || p.SendTS > agg.End {
+						continue
+					}
+					if shuffle.Start < 0 || p.SendTS < shuffle.Start {
+						shuffle.Start = p.SendTS
+					}
+					last := p.RecvTS
+					if last == 0 {
+						last = p.SendTS
+					}
+					if last > shuffle.End {
+						shuffle.End = last
+					}
+				}
+				if shuffle.Start >= 0 {
+					lin.Stages = append(lin.Stages, shuffle)
+				}
+				// Reduce: the cross-rank window of reduce phases after the
+				// exchange the pairs landed in.
+				if red := g.phaseWindow("reduce", agg.Start); red != nil {
+					lin.Stages = append(lin.Stages, *red)
+				}
+			}
+			lin.End = lin.Stages[len(lin.Stages)-1].End
+			out = append(out, lin)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Rank != out[j].Rank {
+			return out[i].Rank < out[j].Rank
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// nextPhase finds rank's first completed mrmpi phase span with the given
+// name starting at or after ts.
+func (g *Graph) nextPhase(rank int, name string, ts int64) *Span {
+	for _, sp := range g.Spans[rank] {
+		if sp.Cat == "mrmpi" && sp.Name == name && sp.Complete && sp.Start >= ts {
+			return sp
+		}
+	}
+	return nil
+}
+
+// phaseWindow merges, across all ranks, the first completed mrmpi phase
+// span named name starting at or after ts into one cross-rank stage.
+func (g *Graph) phaseWindow(name string, ts int64) *Stage {
+	st := Stage{Name: name, Rank: -1, Start: -1}
+	for r := range g.Spans {
+		sp := g.nextPhase(r, name, ts)
+		if sp == nil {
+			continue
+		}
+		if st.Start < 0 || sp.Start < st.Start {
+			st.Start = sp.Start
+		}
+		if sp.End > st.End {
+			st.End = sp.End
+		}
+	}
+	if st.Start < 0 {
+		return nil
+	}
+	return &st
+}
+
+func (g *Graph) epochLineages() []Lineage {
+	// Epoch spans exist on every rank; merge by epoch number, and merge
+	// each epoch's direct children by name into cross-rank stage windows.
+	type window struct {
+		start, end int64
+		first      int64 // earliest start, for ordering
+	}
+	epochs := map[int64]*Lineage{}
+	stages := map[int64]map[string]*window{}
+	for r := range g.Spans {
+		for _, sp := range g.Spans[r] {
+			if sp.Cat != "mrsom" || sp.Name != "epoch" || !sp.Complete {
+				continue
+			}
+			id, ok := argInt(sp.Args, "epoch")
+			if !ok {
+				continue
+			}
+			lin := epochs[id]
+			if lin == nil {
+				lin = &Lineage{Unit: "epoch", ID: id, Rank: -1, Start: sp.Start, End: sp.End}
+				epochs[id] = lin
+				stages[id] = map[string]*window{}
+			}
+			if sp.Start < lin.Start {
+				lin.Start = sp.Start
+			}
+			if sp.End > lin.End {
+				lin.End = sp.End
+			}
+			for _, child := range g.Spans[r] {
+				if child.Parent != sp || child.Cat == "mpi" || !child.Complete {
+					continue
+				}
+				w := stages[id][child.Name]
+				if w == nil {
+					w = &window{start: child.Start, end: child.End, first: child.Start}
+					stages[id][child.Name] = w
+					continue
+				}
+				if child.Start < w.start {
+					w.start = child.Start
+				}
+				if child.End > w.end {
+					w.end = child.End
+				}
+				if child.Start < w.first {
+					w.first = child.Start
+				}
+			}
+		}
+	}
+	var out []Lineage
+	for id, lin := range epochs {
+		for name, w := range stages[id] {
+			lin.Stages = append(lin.Stages, Stage{Name: name, Rank: -1, Start: w.start, End: w.end})
+		}
+		sort.Slice(lin.Stages, func(i, j int) bool {
+			if lin.Stages[i].Start != lin.Stages[j].Start {
+				return lin.Stages[i].Start < lin.Stages[j].Start
+			}
+			return lin.Stages[i].Name < lin.Stages[j].Name
+		})
+		out = append(out, *lin)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}

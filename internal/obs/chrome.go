@@ -83,8 +83,13 @@ func ReadTrace(r io.Reader) ([]Event, error) {
 // ReadTraceMeta is ReadTrace plus the metadata records: it also reports how
 // many rank tracks the file's thread_name records declare, which
 // ValidateInstants uses to range-check instant ranks.
+// Gzip-compressed traces are decompressed transparently.
 func ReadTraceMeta(r io.Reader) ([]Event, TraceMeta, error) {
 	var meta TraceMeta
+	r, err := MaybeGzip(r)
+	if err != nil {
+		return nil, meta, fmt.Errorf("obs: trace: %w", err)
+	}
 	var file chromeFile
 	dec := json.NewDecoder(r)
 	if err := dec.Decode(&file); err != nil {

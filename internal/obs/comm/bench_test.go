@@ -12,14 +12,14 @@ var sinkPhase string
 func BenchmarkDisabledRecordSend(b *testing.B) {
 	var r *Rank
 	for i := 0; i < b.N; i++ {
-		r.RecordSend(1, 5, 128)
+		r.RecordSend(1, 5, 128, uint64(i))
 	}
 }
 
 func BenchmarkDisabledRecordRecv(b *testing.B) {
 	var r *Rank
 	for i := 0; i < b.N; i++ {
-		r.RecordRecv(1, 5, 128, 100, 10, "map")
+		r.RecordRecv(1, 5, 128, 100, 10, uint64(i), "map")
 	}
 }
 
@@ -35,7 +35,7 @@ func BenchmarkEnabledRecordSend(b *testing.B) {
 	r.SetPhase("map")
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		r.RecordSend(1, 5, 128)
+		r.RecordSend(1, 5, 128, uint64(i+1))
 	}
 }
 
@@ -43,7 +43,7 @@ func BenchmarkEnabledRecordRecv(b *testing.B) {
 	r := NewTracker().Rank(0)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		r.RecordRecv(1, 5, 128, 100, 10, "map")
+		r.RecordRecv(1, 5, 128, 100, 10, uint64(i+1), "map")
 	}
 }
 

@@ -80,9 +80,14 @@ type linkKey struct {
 	phase string
 }
 
-// sentAcc counts send-side traffic for one (dst, phase).
+// sentAcc counts send-side traffic for one (dst, phase). maxSeq is the
+// highest provenance seq stamped on a message in this bucket — seqs are
+// per-(src,dst)-link ordinals assigned by the mpi runtime, so across a
+// pair's phase buckets the max equals the total messages the link ever
+// carried, which Matrix uses to cross-check the two sides' counters.
 type sentAcc struct {
 	msgs, bytes int64
+	maxSeq      uint64
 }
 
 // recvAcc accumulates delivered traffic for one (src, phase): counts, the
@@ -91,6 +96,7 @@ type recvAcc struct {
 	msgs, bytes            int64
 	queueNS, transferNS    int64
 	maxQueueNS             int64
+	maxSeq                 uint64
 	samples                []Sample
 	sampleStride, sampleAt int64
 }
@@ -154,8 +160,11 @@ func (r *Rank) Phase() string {
 // current phase. tag is accepted for symmetry with the recorded tuple but
 // only negative/non-negative (collective vs p2p) would distinguish buckets;
 // traffic is keyed by (peer, phase), which subsumes the distinction in
-// practice because collectives run in their own phases.
-func (r *Rank) RecordSend(dst, tag int, bytes int64) {
+// practice because collectives run in their own phases. seq is the
+// message's provenance ordinal on its (src, dst) link (0 when the runtime
+// has no seq counters, i.e. both tracing and comm accounting are off —
+// never the case on this path in practice).
+func (r *Rank) RecordSend(dst, tag int, bytes int64, seq uint64) {
 	if r == nil {
 		return
 	}
@@ -168,6 +177,9 @@ func (r *Rank) RecordSend(dst, tag int, bytes int64) {
 	}
 	a.msgs++
 	a.bytes += bytes
+	if seq > a.maxSeq {
+		a.maxSeq = seq
+	}
 	r.mu.Unlock()
 }
 
@@ -176,8 +188,9 @@ func (r *Rank) RecordSend(dst, tag int, bytes int64) {
 // (time spent buffered in the mailbox plus the receiver's lag), transferNS
 // is delivery time minus the receiver's matching start (time the receiver
 // actually waited inside Recv/Wait for this message; 0 for a Test poll that
-// found it already queued).
-func (r *Rank) RecordRecv(src, tag int, bytes int64, queueNS, transferNS int64, phase string) {
+// found it already queued). seq is the sender-stamped provenance ordinal
+// (see RecordSend).
+func (r *Rank) RecordRecv(src, tag int, bytes int64, queueNS, transferNS int64, seq uint64, phase string) {
 	if r == nil {
 		return
 	}
@@ -194,6 +207,9 @@ func (r *Rank) RecordRecv(src, tag int, bytes int64, queueNS, transferNS int64, 
 	a.transferNS += transferNS
 	if queueNS > a.maxQueueNS {
 		a.maxQueueNS = queueNS
+	}
+	if seq > a.maxSeq {
+		a.maxSeq = seq
 	}
 	a.addSample(Sample{Bytes: bytes, LatencyNS: queueNS})
 	r.mu.Unlock()
@@ -236,6 +252,9 @@ func (t *Tracker) Matrix() *Matrix {
 			l := get(pairKey{src: r.rank, dst: k.peer, phase: k.phase})
 			l.SentMsgs += a.msgs
 			l.SentBytes += a.bytes
+			if a.maxSeq > l.MaxSeqSent {
+				l.MaxSeqSent = a.maxSeq
+			}
 			if k.peer+1 > numRanks {
 				numRanks = k.peer + 1
 			}
@@ -248,6 +267,9 @@ func (t *Tracker) Matrix() *Matrix {
 			l.TransferNS += a.transferNS
 			if a.maxQueueNS > l.MaxQueueNS {
 				l.MaxQueueNS = a.maxQueueNS
+			}
+			if a.maxSeq > l.MaxSeqRcvd {
+				l.MaxSeqRcvd = a.maxSeq
 			}
 			l.Samples = append(l.Samples, a.samples...)
 			if k.peer+1 > numRanks {

@@ -22,8 +22,8 @@ func TestNilTrackerNoOps(t *testing.T) {
 	if r.Phase() != "" {
 		t.Fatal("nil Rank.Phase should be empty")
 	}
-	r.RecordSend(1, 0, 100)
-	r.RecordRecv(1, 0, 100, 10, 5, "map")
+	r.RecordSend(1, 0, 100, 1)
+	r.RecordRecv(1, 0, 100, 10, 5, 1, "map")
 	if tr.Matrix() != nil {
 		t.Fatal("nil Tracker.Matrix should be nil")
 	}
@@ -37,18 +37,18 @@ func TestMatrixMergeAndPhases(t *testing.T) {
 	if got := r0.Phase(); got != "map" {
 		t.Fatalf("Phase = %q, want map", got)
 	}
-	r0.RecordSend(1, 5, 100)
-	r0.RecordSend(1, 5, 200)
-	r1.RecordRecv(0, 5, 100, 1000, 400, "map")
-	r1.RecordRecv(0, 5, 200, 3000, 600, "map")
+	r0.RecordSend(1, 5, 100, 1)
+	r0.RecordSend(1, 5, 200, 2)
+	r1.RecordRecv(0, 5, 100, 1000, 400, 1, "map")
+	r1.RecordRecv(0, 5, 200, 3000, 600, 2, "map")
 
 	r0.SetPhase("aggregate")
-	r0.RecordSend(1, 6, 50)
-	r1.RecordRecv(0, 6, 50, 500, 100, "aggregate")
+	r0.RecordSend(1, 6, 50, 3)
+	r1.RecordRecv(0, 6, 50, 500, 100, 3, "aggregate")
 
 	// Reverse-direction traffic with no SetPhase → empty phase label.
-	r1.RecordSend(0, 7, 10)
-	r0.RecordRecv(1, 7, 10, 100, 50, "")
+	r1.RecordSend(0, 7, 10, 1)
+	r0.RecordRecv(1, 7, 10, 100, 50, 1, "")
 
 	m := tr.Finalize()
 	if m.NumRanks != 2 {
@@ -108,7 +108,7 @@ func TestMatrixMergeAndPhases(t *testing.T) {
 func TestUnaccountedTracksInFlight(t *testing.T) {
 	tr := NewTracker()
 	tr.Rank(0).SetPhase("map")
-	tr.Rank(0).RecordSend(1, 5, 100)
+	tr.Rank(0).RecordSend(1, 5, 100, 1)
 	// Never delivered: the matrix must show the shortfall.
 	m := tr.Matrix()
 	lost := m.Unaccounted()
@@ -120,8 +120,8 @@ func TestUnaccountedTracksInFlight(t *testing.T) {
 func TestMatrixJSONRoundTrip(t *testing.T) {
 	tr := NewTracker()
 	tr.Rank(0).SetPhase("map")
-	tr.Rank(0).RecordSend(1, 5, 100)
-	tr.Rank(1).RecordRecv(0, 5, 100, 1000, 400, "map")
+	tr.Rank(0).RecordSend(1, 5, 100, 1)
+	tr.Rank(1).RecordRecv(0, 5, 100, 1000, 400, 1, "map")
 	m := tr.Matrix()
 
 	var buf bytes.Buffer
@@ -135,7 +135,7 @@ func TestMatrixJSONRoundTrip(t *testing.T) {
 	if back.NumRanks != m.NumRanks || len(back.Links) != len(m.Links) {
 		t.Fatalf("round trip mismatch: %+v vs %+v", back, m)
 	}
-	if back.Links[0] .Bytes != 100 || back.Links[0].Phase != "map" {
+	if back.Links[0].Bytes != 100 || back.Links[0].Phase != "map" {
 		t.Fatalf("round-tripped link: %+v", back.Links[0])
 	}
 }
@@ -218,8 +218,8 @@ func TestWriteReport(t *testing.T) {
 	r0.SetPhase("map")
 	for i := 0; i < 16; i++ {
 		b := int64(64 << uint(i%6))
-		r0.RecordSend(1, 5, b)
-		r1.RecordRecv(0, 5, b, 2000+b/2, 100, "map")
+		r0.RecordSend(1, 5, b, uint64(i+1))
+		r1.RecordRecv(0, 5, b, 2000+b/2, 100, uint64(i+1), "map")
 	}
 	var buf bytes.Buffer
 	if err := tr.Matrix().WriteReport(&buf, 5); err != nil {
@@ -245,8 +245,8 @@ func TestWriteReport(t *testing.T) {
 func TestWritePrometheus(t *testing.T) {
 	tr := NewTracker()
 	tr.Rank(0).SetPhase("map")
-	tr.Rank(0).RecordSend(1, 5, 100)
-	tr.Rank(1).RecordRecv(0, 5, 100, 1000, 400, "map")
+	tr.Rank(0).RecordSend(1, 5, 100, 1)
+	tr.Rank(1).RecordRecv(0, 5, 100, 1000, 400, 1, "map")
 	var buf bytes.Buffer
 	if err := tr.Matrix().WritePrometheus(&buf); err != nil {
 		t.Fatal(err)
@@ -256,10 +256,57 @@ func TestWritePrometheus(t *testing.T) {
 		"# TYPE mpi_comm_bytes_total counter",
 		`mpi_comm_bytes_total{src="0",dst="1",phase="map"} 100`,
 		`mpi_comm_msgs_total{src="0",dst="1",phase="map"} 1`,
+		// Receiver-side blocked time per link — the blame gauges (400ns).
+		"# TYPE mpi_recv_wait_seconds_total counter",
+		`mpi_recv_wait_seconds_total{src="0",dst="1",phase="map"} 4e-07`,
 	} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("prometheus output missing %q:\n%s", want, out)
 		}
+	}
+}
+
+// TestSeqAlignment: the per-link provenance seqs cross-check the message
+// counters. Aligned links report nothing; a link whose recorded sends lag
+// the seq stream is flagged.
+func TestSeqAlignment(t *testing.T) {
+	tr := NewTracker()
+	tr.Rank(0).SetPhase("map")
+	tr.Rank(0).RecordSend(1, 5, 100, 1)
+	tr.Rank(0).SetPhase("reduce")
+	tr.Rank(0).RecordSend(1, 5, 100, 2) // phases pool per (src, dst) pair
+	tr.Rank(1).RecordRecv(0, 5, 100, 10, 5, 1, "map")
+	tr.Rank(1).RecordRecv(0, 5, 100, 10, 5, 2, "reduce")
+	if skews := tr.Matrix().SeqAlignment(); len(skews) != 0 {
+		t.Fatalf("aligned matrix reports skew: %+v", skews)
+	}
+
+	// A delivery stamped seq 4 arrives but only 2 sends were recorded: the
+	// accounting missed sends (e.g. a tracker attached mid-run).
+	tr.Rank(1).RecordRecv(0, 5, 100, 10, 5, 4, "reduce")
+	skews := tr.Matrix().SeqAlignment()
+	if len(skews) != 1 {
+		t.Fatalf("skews = %+v, want the 0->1 pair flagged", skews)
+	}
+	s := skews[0]
+	if s.Src != 0 || s.Dst != 1 || s.MaxSeq != 4 || s.SentMsgs != 2 || s.Msgs != 3 {
+		t.Fatalf("skew = %+v, want {0 1 4 2 3}", s)
+	}
+
+	// The text report renders the misalignment section.
+	var buf bytes.Buffer
+	if err := tr.Matrix().WriteReport(&buf, 1); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "seq misalignment") {
+		t.Fatalf("report missing seq misalignment section:\n%s", buf.String())
+	}
+
+	// Links recorded without seqs (pre-provenance) are skipped entirely.
+	old := NewTracker()
+	old.Rank(0).RecordSend(1, 5, 100, 0)
+	if skews := old.Matrix().SeqAlignment(); len(skews) != 0 {
+		t.Fatalf("seq-less matrix reports skew: %+v", skews)
 	}
 }
 
@@ -279,8 +326,8 @@ func TestConcurrentRecording(t *testing.T) {
 					h.SetPhase([]string{"map", "aggregate", "reduce"}[i/100%3])
 				}
 				peer := (r + 1) % ranks
-				h.RecordSend(peer, 5, int64(i))
-				h.RecordRecv((r+ranks-1)%ranks, 5, int64(i), int64(i)*10, int64(i), h.Phase())
+				h.RecordSend(peer, 5, int64(i), uint64(i+1))
+				h.RecordRecv((r+ranks-1)%ranks, 5, int64(i), int64(i)*10, int64(i), uint64(i+1), h.Phase())
 			}
 		}(r)
 	}

@@ -25,16 +25,24 @@ type Sample struct {
 // still in flight when the matrix was taken — on a post-mortem, the wedged
 // messages themselves.
 type Link struct {
-	Src        int      `json:"src"`
-	Dst        int      `json:"dst"`
-	Phase      string   `json:"phase"`
-	Msgs       int64    `json:"msgs"`
-	Bytes      int64    `json:"bytes"`
-	SentMsgs   int64    `json:"sent_msgs"`
-	SentBytes  int64    `json:"sent_bytes"`
-	QueueNS    int64    `json:"queue_ns"`
-	TransferNS int64    `json:"transfer_ns"`
-	MaxQueueNS int64    `json:"max_queue_ns"`
+	Src        int    `json:"src"`
+	Dst        int    `json:"dst"`
+	Phase      string `json:"phase"`
+	Msgs       int64  `json:"msgs"`
+	Bytes      int64  `json:"bytes"`
+	SentMsgs   int64  `json:"sent_msgs"`
+	SentBytes  int64  `json:"sent_bytes"`
+	QueueNS    int64  `json:"queue_ns"`
+	TransferNS int64  `json:"transfer_ns"`
+	MaxQueueNS int64  `json:"max_queue_ns"`
+	// MaxSeqSent/MaxSeqRcvd are the highest provenance seq observed on each
+	// side of the link in this phase bucket. Seqs number the (src, dst)
+	// link's messages across all phases, so per pair the max over phase
+	// buckets equals the link's lifetime message count — SeqAlignment
+	// cross-checks that against the msgs counters to catch double- or
+	// under-counting in the accounting itself.
+	MaxSeqSent uint64   `json:"max_seq_sent,omitempty"`
+	MaxSeqRcvd uint64   `json:"max_seq_rcvd,omitempty"`
 	Samples    []Sample `json:"samples,omitempty"`
 }
 
@@ -173,6 +181,67 @@ func (m *Matrix) Unaccounted() []Link {
 	return out
 }
 
+// SeqSkew describes one (src, dst) pair whose message counters disagree
+// with the provenance seq stream: the runtime stamped MaxSeq messages onto
+// the link, but the accounting recorded a different number of sends or
+// deliveries. SentMsgs < MaxSeq means sends went unrecorded; Msgs < MaxSeq
+// with SentMsgs == MaxSeq is the ordinary in-flight shortfall Unaccounted
+// already reports; Msgs > MaxSeq or SentMsgs > MaxSeq means double
+// counting.
+type SeqSkew struct {
+	Src, Dst int
+	MaxSeq   uint64
+	SentMsgs int64
+	Msgs     int64
+}
+
+// SeqAlignment cross-checks the per-link provenance seqs against the
+// msgs counters, pair by pair (phases pooled — seqs number the whole
+// link). Pairs without seqs (pre-provenance traces, or matrices recorded
+// with accounting but not numbering) are skipped. An empty result means
+// every counted pair aligns.
+func (m *Matrix) SeqAlignment() []SeqSkew {
+	type pair struct{ src, dst int }
+	type agg struct {
+		maxSeq     uint64
+		sent, rcvd int64
+	}
+	pairs := map[pair]*agg{}
+	for i := range m.Links {
+		l := &m.Links[i]
+		k := pair{l.Src, l.Dst}
+		a := pairs[k]
+		if a == nil {
+			a = &agg{}
+			pairs[k] = a
+		}
+		if l.MaxSeqSent > a.maxSeq {
+			a.maxSeq = l.MaxSeqSent
+		}
+		if l.MaxSeqRcvd > a.maxSeq {
+			a.maxSeq = l.MaxSeqRcvd
+		}
+		a.sent += l.SentMsgs
+		a.rcvd += l.Msgs
+	}
+	var out []SeqSkew
+	for k, a := range pairs {
+		if a.maxSeq == 0 {
+			continue
+		}
+		if a.sent != int64(a.maxSeq) || a.rcvd > int64(a.maxSeq) {
+			out = append(out, SeqSkew{Src: k.src, Dst: k.dst, MaxSeq: a.maxSeq, SentMsgs: a.sent, Msgs: a.rcvd})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Src != out[j].Src {
+			return out[i].Src < out[j].Src
+		}
+		return out[i].Dst < out[j].Dst
+	})
+	return out
+}
+
 // AllSamples concatenates every link's regression samples.
 func (m *Matrix) AllSamples() []Sample {
 	var out []Sample
@@ -277,6 +346,14 @@ func (m *Matrix) WriteReport(w io.Writer, topK int) error {
 		tw.Flush()
 	}
 
+	if skews := m.SeqAlignment(); len(skews) > 0 {
+		fmt.Fprintf(w, "\nseq misalignment (provenance stream disagrees with counters):\n")
+		for _, s := range skews {
+			fmt.Fprintf(w, "  %d->%d: link carried %d msgs by seq, accounting saw %d sent / %d delivered\n",
+				s.Src, s.Dst, s.MaxSeq, s.SentMsgs, s.Msgs)
+		}
+	}
+
 	if lost := m.Unaccounted(); len(lost) > 0 {
 		fmt.Fprintf(w, "\nin-flight (sent but not delivered when snapshotted):\n")
 		for i := range lost {
@@ -361,6 +438,18 @@ func (m *Matrix) WritePrometheus(w io.Writer) error {
 		l := &m.Links[i]
 		fmt.Fprintf(w, "mpi_comm_msgs_total{src=\"%d\",dst=\"%d\",phase=\"%s\"} %d\n",
 			l.Src, l.Dst, esc(l.Phase), l.Msgs)
+	}
+	// Receiver blocked-on time per link: the Prometheus face of the causal
+	// blame table. TransferNS sums the time receivers actually waited inside
+	// Recv/Wait for this link's messages, keyed by the phase that *sent*
+	// them — scrape two links' series and you see which peer and phase a
+	// rank's stalls charge to.
+	fmt.Fprintf(w, "# HELP mpi_recv_wait_seconds_total seconds receivers spent blocked waiting on each (src,dst,phase) link\n")
+	fmt.Fprintf(w, "# TYPE mpi_recv_wait_seconds_total counter\n")
+	for i := range m.Links {
+		l := &m.Links[i]
+		fmt.Fprintf(w, "mpi_recv_wait_seconds_total{src=\"%d\",dst=\"%d\",phase=\"%s\"} %g\n",
+			l.Src, l.Dst, esc(l.Phase), float64(l.TransferNS)/1e9)
 	}
 	return nil
 }

@@ -146,6 +146,10 @@ type FlightDump struct {
 	Board           []RankState       `json:"board,omitempty"`
 	Metrics         *RegistrySnapshot `json:"metrics,omitempty"`
 	PendingRequests []string          `json:"pending_requests,omitempty"`
+	// Goroutines is a full goroutine stack dump taken with the snapshot
+	// (runtime.Stack with all=true); the mpi runtime fills it so a
+	// post-mortem shows exactly where every rank was parked.
+	Goroutines string `json:"goroutines,omitempty"`
 }
 
 // Dump assembles the post-mortem. board, metrics and pending may each be
@@ -182,8 +186,13 @@ func (d FlightDump) WriteJSON(w io.Writer) error {
 }
 
 // ReadFlightDump parses a dump written by WriteJSON — the byte-parseability
-// contract the deadlock test pins.
+// contract the deadlock test pins. Gzip-compressed dumps (a FlightPath
+// ending in .gz) are decompressed transparently.
 func ReadFlightDump(r io.Reader) (*FlightDump, error) {
+	r, err := MaybeGzip(r)
+	if err != nil {
+		return nil, fmt.Errorf("obs: parsing flight dump: %w", err)
+	}
 	var d FlightDump
 	if err := json.NewDecoder(r).Decode(&d); err != nil {
 		return nil, fmt.Errorf("obs: parsing flight dump: %w", err)

@@ -1,0 +1,91 @@
+package obs
+
+import (
+	"bufio"
+	"compress/gzip"
+	"io"
+	"os"
+	"strings"
+)
+
+// OpenInput opens path for reading, transparently decompressing gzip: the
+// decision is made by content (the 0x1f 0x8b magic), not by file name, so a
+// renamed .gz still reads and a plain file named *.gz still reads.
+func OpenInput(path string) (io.ReadCloser, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	r, err := MaybeGzip(f)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &inputReader{r: r, close: f.Close}, nil
+}
+
+// MaybeGzip sniffs r and, when it starts with the gzip magic, returns a
+// decompressing reader; otherwise it returns an equivalent reader that
+// replays the sniffed bytes. Use for io.Reader plumbing where there is no
+// path to open (ReadFlightDump, ReadTraceMeta).
+func MaybeGzip(r io.Reader) (io.Reader, error) {
+	br := bufio.NewReader(r)
+	magic, err := br.Peek(2)
+	if err != nil || magic[0] != 0x1f || magic[1] != 0x8b {
+		// Too short to be gzip or plainly not gzip: hand back the buffered
+		// stream (Peek errors surface on the first Read).
+		return br, nil
+	}
+	return gzip.NewReader(br)
+}
+
+// inputReader pairs a (possibly gzip) reader with the file close.
+type inputReader struct {
+	r     io.Reader
+	close func() error
+}
+
+func (ir *inputReader) Read(p []byte) (int, error) { return ir.r.Read(p) }
+
+func (ir *inputReader) Close() error {
+	var gzErr error
+	if gz, ok := ir.r.(*gzip.Reader); ok {
+		gzErr = gz.Close()
+	}
+	if err := ir.close(); err != nil {
+		return err
+	}
+	return gzErr
+}
+
+// CreateOutput creates path for writing, gzip-compressing when the name
+// ends in ".gz" — the writer-side convention every artifact flag shares
+// (-trace x.json.gz, -comm y.json.gz, -o report.gz). Close flushes the
+// compressor before the file.
+func CreateOutput(path string) (io.WriteCloser, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	if !strings.HasSuffix(path, ".gz") {
+		return f, nil
+	}
+	return &outputWriter{gz: gzip.NewWriter(f), f: f}, nil
+}
+
+// outputWriter chains gzip.Close (which writes the trailer) before the
+// file's own close.
+type outputWriter struct {
+	gz *gzip.Writer
+	f  *os.File
+}
+
+func (ow *outputWriter) Write(p []byte) (int, error) { return ow.gz.Write(p) }
+
+func (ow *outputWriter) Close() error {
+	gzErr := ow.gz.Close()
+	if err := ow.f.Close(); err != nil {
+		return err
+	}
+	return gzErr
+}

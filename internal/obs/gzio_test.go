@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"bytes"
+	"compress/gzip"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestCreateOpenRoundTrip: CreateOutput compresses iff the name ends in
+// .gz, OpenInput reads both back by content, including a .gz name holding
+// plain bytes (renames must not confuse the sniffer).
+func TestCreateOpenRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	payload := strings.Repeat("the payload survives the trip. ", 100)
+	cases := []struct {
+		name       string
+		compressed bool
+	}{
+		{"plain.json", false},
+		{"packed.json.gz", true},
+	}
+	for _, tc := range cases {
+		path := filepath.Join(dir, tc.name)
+		w, err := CreateOutput(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := io.WriteString(w, payload); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		isGz := len(raw) > 2 && raw[0] == 0x1f && raw[1] == 0x8b
+		if isGz != tc.compressed {
+			t.Errorf("%s: compressed = %v, want %v", tc.name, isGz, tc.compressed)
+		}
+
+		r, err := OpenInput(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := io.ReadAll(r)
+		if cerr := r.Close(); cerr != nil {
+			t.Fatal(cerr)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != payload {
+			t.Errorf("%s: round trip corrupted the payload (%d bytes back, want %d)", tc.name, len(got), len(payload))
+		}
+	}
+
+	// A plain file that merely *looks* compressed by name still reads.
+	liar := filepath.Join(dir, "liar.gz")
+	if err := os.WriteFile(liar, []byte(payload), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r, err := OpenInput(liar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := io.ReadAll(r)
+	r.Close()
+	if string(got) != payload {
+		t.Error("plain bytes under a .gz name did not read back verbatim")
+	}
+}
+
+// TestReadFlightDumpGzip: a dump compressed on the way out parses
+// transparently on the way back in, and a truncated compressed stream (the
+// crash-mid-write case a post-mortem format must expect) fails with an
+// error instead of panicking or silently succeeding.
+func TestReadFlightDumpGzip(t *testing.T) {
+	d := FlightDump{
+		Reason:     "test",
+		TakenAt:    time.Now(),
+		Goroutines: "goroutine 1 [running]:\nmain.main()",
+		Ranks: []FlightRankDump{
+			{Rank: 0, Recent: []FlightEvent{{Kind: "send", Detail: "dst=1 tag=3"}}},
+			{Rank: 1},
+		},
+	}
+	var plain bytes.Buffer
+	if err := d.WriteJSON(&plain); err != nil {
+		t.Fatal(err)
+	}
+	var packed bytes.Buffer
+	gz := gzip.NewWriter(&packed)
+	if _, err := gz.Write(plain.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	if err := gz.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	back, err := ReadFlightDump(bytes.NewReader(packed.Bytes()))
+	if err != nil {
+		t.Fatalf("compressed dump did not parse: %v", err)
+	}
+	if back.Reason != "test" || len(back.Ranks) != 2 || back.Goroutines == "" {
+		t.Errorf("compressed round trip lost fields: %+v", back)
+	}
+
+	// Truncate the compressed stream at several depths: every cut must
+	// surface an error (bad magic, unexpected EOF, or JSON cut short).
+	for _, frac := range []int{4, 2} {
+		cut := packed.Len() / frac
+		if _, err := ReadFlightDump(bytes.NewReader(packed.Bytes()[:cut])); err == nil {
+			t.Errorf("truncated compressed dump (%d of %d bytes) parsed without error", cut, packed.Len())
+		}
+	}
+	if _, err := ReadFlightDump(bytes.NewReader(nil)); err == nil {
+		t.Error("empty stream parsed without error")
+	}
+}

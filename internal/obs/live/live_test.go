@@ -181,8 +181,8 @@ func TestMetricsRoute(t *testing.T) {
 	reg.Counter("x.count").Add(3)
 	tracker := comm.NewTracker()
 	tracker.Rank(0).SetPhase("map")
-	tracker.Rank(0).RecordSend(1, 7, 128)
-	tracker.Rank(1).RecordRecv(0, 7, 128, 1000, 500, "map")
+	tracker.Rank(0).RecordSend(1, 7, 128, 1)
+	tracker.Rank(1).RecordRecv(0, 7, 128, 1000, 500, 1, "map")
 	srv := New(obs.NewBoard(), nil, reg, tracker)
 	if err := srv.Start("127.0.0.1:0"); err != nil {
 		t.Fatal(err)

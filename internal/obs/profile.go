@@ -1,0 +1,176 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/pprof"
+	"strings"
+	"sync"
+)
+
+// PhaseProfiler captures one CPU profile per run phase plus a heap snapshot
+// at run end, so a slow phase can be drilled into with `go tool pprof`
+// without profiling the whole run into one undifferentiated file.
+//
+// Go's CPU profiler is process-global and the MPI runtime's ranks are
+// goroutines of one process, so the profiler is process-wide: the first
+// rank to advance past the current phase rotates the profile (the file is
+// named after that rank and the phase, e.g. cpu.03.map.rank1.pprof). Ranks
+// announcing the phase already in progress, or catching up through phases
+// the frontier has left behind, are no-ops — in an SPMD program every rank
+// walks the same phase sequence, so the segment boundary is the first
+// arrival and stragglers don't ping-pong the capture. All methods are safe
+// on a nil receiver — the disabled path.
+type PhaseProfiler struct {
+	dir string
+
+	mu    sync.Mutex
+	phase string
+	// last remembers each rank's most recent announcement; a rank rotates
+	// only when it steps from the current phase to a new one (see
+	// Transition).
+	last    map[int]string
+	seq     int
+	f       *os.File
+	files   []string
+	err     error // first capture error; surfaced at Stop
+	stopped bool
+}
+
+// StartPhaseProfiler creates dir if needed and starts CPU profiling into
+// its first segment, labeled "init" (setup work before any phase
+// transition). Rotate with Transition; finish with Stop.
+func StartPhaseProfiler(dir string) (*PhaseProfiler, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("obs: profile dir: %w", err)
+	}
+	p := &PhaseProfiler{dir: dir, last: map[int]string{}}
+	if err := p.startSegment("init"); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// Transition rotates the CPU profile at a phase boundary: the running
+// segment is finished and a new one named for (rank, phase) begins. Every
+// rank reports every boundary it crosses; only the rank advancing the
+// frontier — stepping from the phase currently being profiled into a new
+// one — rotates. A straggler still crossing earlier boundaries is a no-op,
+// so unsynchronized ranks don't flip the capture back and forth, while a
+// phase sequence that legitimately repeats (iterated jobs, training epochs)
+// rotates on every pass.
+func (p *PhaseProfiler) Transition(rank int, phase string) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.stopped {
+		return
+	}
+	prev := p.last[rank]
+	if phase == p.phase || prev != p.phase {
+		// Either already profiling this phase, or the rank is a straggler
+		// still crossing boundaries the frontier has left behind. Record the
+		// announcement only when it lands on the current phase — a straggler
+		// that merely passes through an old phase must catch up to the
+		// frontier before its next step can rotate.
+		if phase == p.phase {
+			p.last[rank] = phase
+		}
+		return
+	}
+	p.last[rank] = phase
+	p.finishSegment()
+	if err := p.startSegment(fmt.Sprintf("%s.rank%d", sanitize(phase), rank)); err != nil && p.err == nil {
+		p.err = err
+	}
+	p.phase = phase
+}
+
+// Stop finishes the last CPU segment, writes the end-of-run heap snapshot
+// (heap.pprof), and returns every file written. It returns the first error
+// any capture hit; the files written before it are still listed.
+func (p *PhaseProfiler) Stop() ([]string, error) {
+	if p == nil {
+		return nil, nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.stopped {
+		return p.files, p.err
+	}
+	p.stopped = true
+	p.finishSegment()
+	heap := filepath.Join(p.dir, "heap.pprof")
+	if err := writeHeapProfile(heap); err != nil {
+		if p.err == nil {
+			p.err = err
+		}
+	} else {
+		p.files = append(p.files, heap)
+	}
+	return p.files, p.err
+}
+
+// startSegment opens the next CPU profile file and begins profiling into
+// it. Callers hold p.mu (or have exclusive access at construction).
+func (p *PhaseProfiler) startSegment(label string) error {
+	path := filepath.Join(p.dir, fmt.Sprintf("cpu.%02d.%s.pprof", p.seq, label))
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("obs: profile segment: %w", err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		os.Remove(path)
+		// Another profiler is already running (only one CPU profile can be
+		// active per process) — report once, keep phase tracking alive.
+		return fmt.Errorf("obs: start cpu profile: %w", err)
+	}
+	p.f = f
+	p.seq++
+	p.files = append(p.files, path)
+	return nil
+}
+
+// finishSegment stops the running CPU profile, if any.
+func (p *PhaseProfiler) finishSegment() {
+	if p.f == nil {
+		return
+	}
+	pprof.StopCPUProfile()
+	if err := p.f.Close(); err != nil && p.err == nil {
+		p.err = err
+	}
+	p.f = nil
+}
+
+// writeHeapProfile snapshots the heap after a GC (so the profile reflects
+// live objects, not garbage awaiting collection).
+func writeHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// sanitize keeps phase names filesystem-safe.
+func sanitize(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '.', r == '-', r == '_':
+			return r
+		default:
+			return '_'
+		}
+	}, s)
+}

@@ -1,0 +1,67 @@
+package obs
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// The CPU profiler is process-global, so these tests run the whole
+// lifecycle in one sequence rather than in parallel subtests.
+func TestPhaseProfiler(t *testing.T) {
+	dir := t.TempDir()
+	p, err := StartPhaseProfiler(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Transition(0, "map")
+	p.Transition(1, "map")          // same phase from another rank: no rotation
+	p.Transition(2, "reduce/final") // rank 2 never crossed into map: ignored
+	p.Transition(0, "reduce/final") // rank 0 advances the frontier: rotates
+	p.Transition(1, "reduce/final") // straggler: no rotation
+	p.Transition(2, "map")          // behind the frontier: ignored
+	files, err := p.Stop()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"cpu.00.init.pprof",
+		"cpu.01.map.rank0.pprof",
+		"cpu.02.reduce_final.rank0.pprof",
+		"heap.pprof",
+	}
+	if len(files) != len(want) {
+		t.Fatalf("files = %v, want %d entries", files, len(want))
+	}
+	for i, w := range want {
+		if filepath.Base(files[i]) != w {
+			t.Errorf("files[%d] = %s, want %s", i, filepath.Base(files[i]), w)
+		}
+		fi, err := os.Stat(files[i])
+		if err != nil {
+			t.Errorf("missing %s: %v", w, err)
+		} else if strings.HasPrefix(w, "heap") && fi.Size() == 0 {
+			t.Errorf("%s is empty", w)
+		}
+	}
+
+	// Stop is idempotent and transitions after Stop are no-ops.
+	again, err := p.Stop()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(again) != len(files) {
+		t.Errorf("second Stop returned %d files, want %d", len(again), len(files))
+	}
+	p.Transition(0, "late")
+}
+
+func TestPhaseProfilerNil(t *testing.T) {
+	var p *PhaseProfiler
+	p.Transition(0, "map")
+	files, err := p.Stop()
+	if files != nil || err != nil {
+		t.Errorf("nil profiler Stop = %v, %v", files, err)
+	}
+}

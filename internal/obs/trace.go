@@ -191,6 +191,25 @@ func (s Span) End(args ...Arg) {
 	rt.mu.Unlock()
 }
 
+// CurrentSpanID returns the id of this rank's innermost open span, or 0
+// when no span is open (or on a nil receiver — the disabled fast path).
+// Span ids are per-rank ordinals: the k-th Begin on a rank gets id k, so a
+// consumer replaying a rank's Begin events in order recovers the id→span
+// mapping with no schema change. The MPI runtime piggybacks this id on
+// outgoing messages so the causal stitcher (internal/obs/causal) can name
+// the exact sender span that released a blocked receiver.
+func (rt *RankTracer) CurrentSpanID() uint64 {
+	if rt == nil {
+		return 0
+	}
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if len(rt.open) == 0 {
+		return 0
+	}
+	return rt.open[len(rt.open)-1].id
+}
+
 // Instant records a point event.
 func (rt *RankTracer) Instant(cat, name string, args ...Arg) {
 	if rt == nil {
