@@ -34,6 +34,7 @@ func main() {
 	excludeSelf := flag.Bool("exclude-self", false, "drop hits of query fragments against their parent sequence")
 	iterBlocks := flag.Int("iter-blocks", 0, "query blocks per MapReduce iteration (0 = all at once)")
 	cache := flag.Int("cache", 1, "DB partitions cached per rank")
+	mapWorkers := flag.Int("map-workers", 1, "goroutines per rank for map tasks (0 = auto: cores/ranks; output identical to serial)")
 	strand := flag.Int("strand", 0, "nucleotide strand: 0 both, 1 plus, -1 minus")
 	ungapped := flag.Bool("ungapped", false, "skip gapped extension (ungapped statistics)")
 	locality := flag.Bool("locality", false, "locality-aware master: prefer giving workers partitions they already hold")
@@ -101,6 +102,7 @@ func main() {
 		ExcludeSelfHits:    *excludeSelf,
 		BlocksPerIteration: *iterBlocks,
 		CacheCapacity:      *cache,
+		MapWorkers:         core.AutoMapWorkers(*mapWorkers, *ranks),
 		Strand:             int8(*strand),
 		UngappedOnly:       *ungapped,
 		LocalityAware:      *locality,

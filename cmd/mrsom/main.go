@@ -29,6 +29,7 @@ func main() {
 	h := flag.Int("h", 50, "map height")
 	epochs := flag.Int("epochs", 20, "training epochs")
 	blockSize := flag.Int("block", 40, "vectors per work unit (the paper uses 40)")
+	mapWorkers := flag.Int("map-workers", 1, "goroutines per rank for the accumulation kernel (0 = auto: cores/ranks; bit-identical for a fixed task assignment)")
 	seed := flag.Int64("seed", 1, "codebook init seed")
 	umatrix := flag.String("umatrix", "", "write the U-matrix as a PGM image")
 	codebook := flag.String("codebook", "", "write the codebook's first 3 dims as a PPM image")
@@ -87,14 +88,15 @@ func main() {
 
 	start := time.Now()
 	sum, err := core.RunSOM(*ranks, core.SOMJob{
-		DataPath:  *data,
-		Width:     *w,
-		Height:    *h,
-		Epochs:    *epochs,
-		BlockSize: *blockSize,
-		Seed:      *seed,
-		Hex:       *hex,
-		Bubble:    *bubble,
+		DataPath:   *data,
+		Width:      *w,
+		Height:     *h,
+		Epochs:     *epochs,
+		BlockSize:  *blockSize,
+		Seed:       *seed,
+		Hex:        *hex,
+		Bubble:     *bubble,
+		MapWorkers: core.AutoMapWorkers(*mapWorkers, *ranks),
 		Checkpoint: core.SOMCheckpoint{
 			Path:  *checkpoint,
 			Every: *checkpointEvery,

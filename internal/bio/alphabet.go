@@ -111,6 +111,24 @@ func EncodeDNA(seq []byte) []byte {
 	return out
 }
 
+// AppendEncodeDNA is EncodeDNA in append style: it appends the 2-bit codes
+// of seq to dst and returns the extended slice, reusing dst's capacity.
+// Scan loops that encode one database sequence per iteration use it with a
+// per-worker buffer to avoid a fresh allocation per sequence.
+func AppendEncodeDNA(dst, seq []byte) []byte {
+	off := len(dst)
+	dst = append(dst, seq...)
+	out := dst[off:]
+	for i, c := range seq {
+		code := dnaCode[c]
+		if code < 0 {
+			code = int8(splitmix64(uint64(i)+0x9e3779b9) & 3)
+		}
+		out[i] = byte(code)
+	}
+	return dst
+}
+
 // DecodeDNA converts 2-bit codes back to ASCII letters.
 func DecodeDNA(codes []byte) []byte {
 	out := make([]byte, len(codes))
@@ -134,6 +152,25 @@ func EncodeProtein(seq []byte) []byte {
 		}
 	}
 	return out
+}
+
+// AppendEncodeProtein is EncodeProtein in append style: it appends the
+// codes of seq to dst and returns the extended slice, reusing dst's
+// capacity.
+func AppendEncodeProtein(dst, seq []byte) []byte {
+	off := len(dst)
+	dst = append(dst, seq...)
+	out := dst[off:]
+	xCode := byte(proteinCode['X'])
+	for i, c := range seq {
+		code := proteinCode[c]
+		if code < 0 {
+			out[i] = xCode
+		} else {
+			out[i] = byte(code)
+		}
+	}
+	return dst
 }
 
 // DecodeProtein converts protein codes back to ASCII letters.

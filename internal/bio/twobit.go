@@ -1,5 +1,7 @@
 package bio
 
+import "slices"
+
 // TwoBit is a densely packed 2-bit-per-base DNA sequence, the on-disk and
 // in-memory representation used by BLAST database volumes (mirroring NCBI
 // formatdb's packed format). Base i occupies bits (i%4)*2 of byte i/4,
@@ -56,6 +58,28 @@ func (tb *TwoBit) Unpack(start, end int) []byte {
 
 // UnpackAll expands the whole sequence into 2-bit codes, one per byte.
 func (tb *TwoBit) UnpackAll() []byte { return tb.Unpack(0, tb.n) }
+
+// AppendUnpacked appends every base's 2-bit code to dst and returns the
+// extended slice, reusing dst's capacity: the zero-allocation variant of
+// UnpackAll for scan loops that decode one subject per iteration. Whole
+// bytes are expanded four bases at a time.
+func (tb *TwoBit) AppendUnpacked(dst []byte) []byte {
+	off := len(dst)
+	dst = slices.Grow(dst, tb.n)[:off+tb.n]
+	out := dst[off:]
+	whole := tb.n >> 2
+	for b := 0; b < whole; b++ {
+		v := tb.data[b]
+		out[b*4] = v & 3
+		out[b*4+1] = (v >> 2) & 3
+		out[b*4+2] = (v >> 4) & 3
+		out[b*4+3] = (v >> 6) & 3
+	}
+	for i := whole * 4; i < tb.n; i++ {
+		out[i] = tb.Base(i)
+	}
+	return dst
+}
 
 // PackedSize reports the number of bytes needed to pack n bases.
 func PackedSize(n int) int { return (n + 3) / 4 }

@@ -110,7 +110,7 @@ func TestExtendGappedSpansIndel(t *testing.T) {
 	sStr := "ACGTACGTACGA" + "G" + "TTGCATGCATGC"
 	q := dnaCodes(qStr)
 	s := dnaCodes(sStr)
-	r := extendGapped(q, 0, len(q), s, 4, 4, m, g, 15)
+	r := extendGapped(q, 0, len(q), s, 4, 4, m, g, 15, new(gapScratch))
 	if r.qlo != 0 || r.qhi != len(q) || r.slo != 0 || r.shi != len(s) {
 		t.Errorf("bounds = %+v, want full span", r)
 	}

@@ -1,0 +1,97 @@
+package blast
+
+import "slices"
+
+// cullScratch holds the reusable index buffers of cullContained so the
+// per-subject culling pass allocates nothing in steady state.
+type cullScratch struct {
+	ord  []int32 // candidate indices in priority order
+	kept []int32 // kept candidate indices of the current context group
+}
+
+// cullContained computes the containment-culling keep flags: candidate j is
+// dropped when some candidate i on the same context contains both its query
+// and subject ranges and outranks it (higher score, or equal score and
+// lower index — the tie rule of the original pairwise pass).
+//
+// The pairwise pass was O(n²) over all candidates; pathological repeat-rich
+// subjects produce thousands of candidates and went quadratic. Because the
+// kill relation is transitive (containment is transitive on both axes and
+// the score/index priority is a total order), a candidate is killed by SOME
+// candidate iff it is killed by a surviving one. So: visit candidates in
+// priority order (context, score desc, index asc) and test each only
+// against the survivors of its context group — O(n·log n + n·kept), with
+// kept typically tiny.
+//
+// keep is reused storage for the result; the grown slice is returned.
+func cullContained(cands []cand, keep []bool, sc *cullScratch) []bool {
+	if cap(keep) < len(cands) {
+		keep = make([]bool, len(cands))
+	}
+	keep = keep[:len(cands)]
+	sc.ord = sc.ord[:0]
+	for i := range cands {
+		keep[i] = true
+		sc.ord = append(sc.ord, int32(i))
+	}
+	slices.SortFunc(sc.ord, func(a, b int32) int {
+		ca, cb := &cands[a], &cands[b]
+		if ca.ctx != cb.ctx {
+			return ca.ctx - cb.ctx
+		}
+		if ca.score != cb.score {
+			return cb.score - ca.score
+		}
+		return int(a - b)
+	})
+	sc.kept = sc.kept[:0]
+	groupCtx := -1
+	for _, oi := range sc.ord {
+		c := &cands[oi]
+		if c.ctx != groupCtx {
+			groupCtx = c.ctx
+			sc.kept = sc.kept[:0]
+		}
+		contained := false
+		for _, ki := range sc.kept {
+			k := &cands[ki]
+			if c.qlo >= k.qlo && c.qhi <= k.qhi && c.slo >= k.slo && c.shi <= k.shi {
+				contained = true
+				break
+			}
+		}
+		if contained {
+			keep[oi] = false
+		} else {
+			sc.kept = append(sc.kept, oi)
+		}
+	}
+	return keep
+}
+
+// cullContainedRef is the original pairwise O(n²) pass, kept as the
+// reference implementation for the equivalence property test.
+func cullContainedRef(cands []cand) []bool {
+	keep := make([]bool, len(cands))
+	for i := range keep {
+		keep[i] = true
+	}
+	for i := range cands {
+		if !keep[i] {
+			continue
+		}
+		for j := range cands {
+			if i == j || !keep[j] {
+				continue
+			}
+			a, b := cands[i], cands[j]
+			if a.ctx == b.ctx &&
+				b.qlo >= a.qlo && b.qhi <= a.qhi &&
+				b.slo >= a.slo && b.shi <= a.shi &&
+				(b.score < a.score || (b.score == a.score && j > i)) {
+				keep[j] = false
+			}
+		}
+	}
+	return keep
+}

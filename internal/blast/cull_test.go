@@ -1,0 +1,92 @@
+package blast
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randomCands draws candidate sets dense enough to produce real containment
+// chains: small coordinate ranges, few contexts, clustered scores.
+func randomCands(rng *rand.Rand, n int) []cand {
+	cands := make([]cand, n)
+	for i := range cands {
+		qlo := rng.Intn(40)
+		slo := rng.Intn(40)
+		cands[i] = cand{
+			ctx:   rng.Intn(3),
+			qlo:   qlo,
+			qhi:   qlo + 1 + rng.Intn(30),
+			slo:   slo,
+			shi:   slo + 1 + rng.Intn(30),
+			score: rng.Intn(8),
+		}
+	}
+	return cands
+}
+
+// TestCullContainedMatchesReference: the sort-and-sweep pass must keep
+// exactly the candidates the original pairwise O(n²) pass kept, for random
+// candidate sets with heavy containment, duplicate rectangles, and score
+// ties.
+func TestCullContainedMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(4451))
+	var sc cullScratch
+	var keep []bool
+	for trial := 0; trial < 300; trial++ {
+		cands := randomCands(rng, rng.Intn(60))
+		// Force exact-duplicate rectangles into some trials to exercise the
+		// equal-score, equal-rect index tie rule.
+		if len(cands) > 4 && trial%3 == 0 {
+			cands[1] = cands[0]
+			cands[3] = cands[2]
+			cands[3].score = cands[2].score
+		}
+		want := cullContainedRef(cands)
+		keep = cullContained(cands, keep, &sc)
+		for i := range want {
+			if keep[i] != want[i] {
+				t.Fatalf("trial %d: keep[%d] = %v, reference %v\ncands: %+v",
+					trial, i, keep[i], want[i], cands)
+			}
+		}
+	}
+}
+
+// benchCands builds the pathological shape the rewrite targets: ~n
+// low-scoring sliding-window candidates (pairwise non-contained, so none
+// can kill another) followed by one wide top-scoring container at the LAST
+// index. The pairwise pass burns a full n-candidate scan on every window's
+// outer turn before the container's turn finally culls them — Θ(n²) — while
+// the priority sweep visits the container first and kills each window on
+// its first kept-list test.
+func benchCands(n int) []cand {
+	cands := make([]cand, n)
+	for i := 0; i < n-1; i++ {
+		cands[i] = cand{ctx: 0, qlo: i, qhi: i + 50, slo: i, shi: i + 50, score: 10}
+	}
+	cands[n-1] = cand{ctx: 0, qlo: 0, qhi: n + 50, slo: 0, shi: n + 50, score: 1000}
+	return cands
+}
+
+// BenchmarkCullContained1k is the regression benchmark for the containment
+// pass: ~1k candidates, almost all culled. The pairwise reference does ~1M
+// rectangle tests here; the sweep does ~n against the few survivors.
+func BenchmarkCullContained1k(b *testing.B) {
+	cands := benchCands(1000)
+	var sc cullScratch
+	var keep []bool
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		keep = cullContained(cands, keep, &sc)
+	}
+}
+
+func BenchmarkCullContainedRef1k(b *testing.B) {
+	cands := benchCands(1000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cullContainedRef(cands)
+	}
+}

@@ -39,6 +39,10 @@ type Engine struct {
 	dbLen        int64
 	dbSeqs       int64
 
+	// scanner streams word hits with an incrementally maintained word; one
+	// per engine, reset per subject.
+	scanner Scanner
+
 	// scan scratch, sized to the diagonal set of (concat, subject) and
 	// reset per subject with an epoch stamp.
 	diagEpoch  []int32
@@ -46,6 +50,17 @@ type Engine struct {
 	diagEpoch2 []int32
 	diagValue2 []int32
 	epoch      int32
+
+	// per-subject scratch reused across SearchSubject calls so the
+	// steady-state scan allocates nothing (gated in CI by
+	// BenchmarkSearchSubjectSteadyState).
+	seeds     []seed
+	cands     []cand
+	keep      []bool
+	cull      cullScratch
+	gap       gapScratch
+	perQEpoch []int32 // epoch stamp per query for the HSP-per-subject cap
+	perQCount []int32
 
 	// Stats accumulates scan-stage counters for diagnostics and the cost
 	// model calibration.
@@ -112,7 +127,13 @@ func NewEngine(queries []*bio.Sequence, p Params) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
+	e.scanner = e.lookup.NewScanner()
 	e.searchSpaces = make([]SearchSpace, len(qs.IDs))
+	e.perQEpoch = make([]int32, len(qs.IDs))
+	e.perQCount = make([]int32, len(qs.IDs))
+	for i := range e.perQEpoch {
+		e.perQEpoch[i] = -1
+	}
 	return e, nil
 }
 
@@ -192,14 +213,15 @@ func (e *Engine) SearchSubject(subj Subject) ([]*HSP, error) {
 	e.epoch++
 	twoHit := e.params.TwoHitWindow > 0
 
-	var seeds []seed
+	seeds := e.seeds[:0]
 	concat := e.qs.Concat
 	concatLen := len(concat)
 
-	for spos := 0; spos+w <= len(subj.Codes); spos++ {
-		positions, ok := e.lookup.Positions(subj.Codes, spos)
-		if !ok || len(positions) == 0 {
-			continue
+	e.scanner.Reset(subj.Codes)
+	for {
+		spos, positions, ok := e.scanner.Next()
+		if !ok {
+			break
 		}
 		for _, qp := range positions {
 			e.Stats.WordHits++
@@ -253,6 +275,7 @@ func (e *Engine) SearchSubject(subj Subject) ([]*HSP, error) {
 			})
 		}
 	}
+	e.seeds = seeds // keep the grown capacity for the next subject
 	if len(seeds) == 0 {
 		return nil, nil
 	}
@@ -266,20 +289,28 @@ func (e *Engine) ensureScratch(ndiag int) {
 		e.diagEpoch2 = make([]int32, ndiag)
 		e.diagValue2 = make([]int32, ndiag)
 		e.epoch = 0
+		// The epoch counter restarts, so per-query stamps from earlier
+		// subjects could collide with reused epoch values; invalidate them.
+		for i := range e.perQEpoch {
+			e.perQEpoch[i] = -1
+		}
 	}
+}
+
+// cand is a gapped (or, in ungapped-only mode, ungapped) HSP candidate
+// awaiting containment culling.
+type cand struct {
+	ctx      int
+	qlo, qhi int
+	slo, shi int
+	score    int
 }
 
 // finishSubject runs gapped extensions for the collected seeds, culls
 // redundant HSPs, computes statistics, and applies the E-value cutoff.
 func (e *Engine) finishSubject(subj Subject, seeds []seed) ([]*HSP, error) {
 	concat := e.qs.Concat
-	type cand struct {
-		ctx      int
-		qlo, qhi int
-		slo, shi int
-		score    int
-	}
-	var cands []cand
+	cands := e.cands[:0]
 	if e.params.UngappedOnly {
 		for _, sd := range seeds {
 			cands = append(cands, cand{
@@ -310,7 +341,7 @@ func (e *Engine) finishSubject(subj Subject, seeds []seed) ([]*HSP, error) {
 		mid := (sd.qhi - sd.qlo) / 2
 		qseed, sseed := sd.qlo+mid, sd.slo+mid
 		g := extendGapped(concat, c.Start, c.Start+c.Len, subj.Codes,
-			qseed, sseed, e.params.ScoreMatrix, e.params.Gaps, e.xdropG)
+			qseed, sseed, e.params.ScoreMatrix, e.params.Gaps, e.xdropG, &e.gap)
 		e.Stats.GappedExts++
 		if g.qhi <= g.qlo || g.shi <= g.slo {
 			continue
@@ -323,30 +354,11 @@ func (e *Engine) finishSubject(subj Subject, seeds []seed) ([]*HSP, error) {
 
 	// Containment culling: drop candidates whose query and subject ranges
 	// both lie inside a higher-scoring candidate on the same context.
-	keep := make([]bool, len(cands))
-	for i := range keep {
-		keep[i] = true
-	}
-	for i := range cands {
-		if !keep[i] {
-			continue
-		}
-		for j := range cands {
-			if i == j || !keep[j] {
-				continue
-			}
-			a, b := cands[i], cands[j]
-			if a.ctx == b.ctx &&
-				b.qlo >= a.qlo && b.qhi <= a.qhi &&
-				b.slo >= a.slo && b.shi <= a.shi &&
-				(b.score < a.score || (b.score == a.score && j > i)) {
-				keep[j] = false
-			}
-		}
-	}
+	e.cands = cands
+	e.keep = cullContained(cands, e.keep, &e.cull)
+	keep := e.keep
 
 	var hsps []*HSP
-	perSubject := make(map[int]int) // query index -> HSPs kept
 	for i, cd := range cands {
 		if !keep[i] {
 			continue
@@ -361,10 +373,14 @@ func (e *Engine) finishSubject(subj Subject, seeds []seed) ([]*HSP, error) {
 		if ev > e.params.EValueCutoff {
 			continue
 		}
-		if e.params.MaxHSPsPerSubject > 0 && perSubject[c.Query] >= e.params.MaxHSPsPerSubject {
+		if e.perQEpoch[c.Query] != e.epoch {
+			e.perQEpoch[c.Query] = e.epoch
+			e.perQCount[c.Query] = 0
+		}
+		if e.params.MaxHSPsPerSubject > 0 && int(e.perQCount[c.Query]) >= e.params.MaxHSPsPerSubject {
 			continue
 		}
-		perSubject[c.Query]++
+		e.perQCount[c.Query]++
 
 		// Alignment statistics via banded traceback over the HSP rectangle.
 		qseg := concat[cd.qlo:cd.qhi]
@@ -426,4 +442,20 @@ func EncodeSubject(s *bio.Sequence, alpha bio.Alphabet) Subject {
 		codes = bio.EncodeProtein(s.Letters)
 	}
 	return Subject{ID: s.ID, Codes: codes}
+}
+
+// EncodeSubjectInto is EncodeSubject in append style: the codes land in
+// buf's storage (grown as needed) and the grown buffer is returned
+// alongside the Subject, so a scan loop encoding one database sequence per
+// iteration reuses a single buffer instead of allocating per sequence. The
+// returned Subject aliases the buffer and is only valid until the next
+// encode into it.
+func EncodeSubjectInto(s *bio.Sequence, alpha bio.Alphabet, buf []byte) (Subject, []byte) {
+	buf = buf[:0]
+	if alpha == bio.DNA {
+		buf = bio.AppendEncodeDNA(buf, s.Letters)
+	} else {
+		buf = bio.AppendEncodeProtein(buf, s.Letters)
+	}
+	return Subject{ID: s.ID, Codes: buf}, buf
 }

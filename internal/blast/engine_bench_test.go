@@ -1,0 +1,129 @@
+package blast
+
+import (
+	"testing"
+
+	"repro/internal/bio"
+)
+
+// benchEngine builds the scan benchmark fixture: a shredded-fragment query
+// block against synthetic genomes, the same shape as the mrperf
+// engine-scan workload.
+func benchEngine(b *testing.B, related bool) (*Engine, []Subject) {
+	b.Helper()
+	g := bio.NewGenerator(bio.SynthParams{Seed: 6001})
+	set := g.GenerateGenomeSet(bio.GenomeSetParams{
+		NTaxa: 2, MinLen: 6000, MaxLen: 8000,
+		StrainsPerGenome: 1, StrainIdentity: 0.95,
+	})
+	var strains []*bio.Sequence
+	for _, ss := range set.Strains {
+		strains = append(strains, ss...)
+	}
+	frags, err := bio.ShredAll(strains, bio.ShredParams{FragLen: 400, Overlap: 200, MinLen: 150})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if len(frags) > 8 {
+		frags = frags[:8]
+	}
+	params := DefaultNucleotideParams()
+	params.EValueCutoff = 1e-5
+	eng, err := NewEngine(frags, params)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var subjects []Subject
+	var residues int64
+	if related {
+		for _, s := range set.Genomes {
+			subj := EncodeSubject(s, bio.DNA)
+			subjects = append(subjects, subj)
+			residues += int64(len(subj.Codes))
+		}
+	} else {
+		// Unrelated sequence from an independent generator: word hits occur
+		// at background rate, extensions die before the gap trigger, and no
+		// HSP is ever reported — the steady-state scan.
+		g2 := bio.NewGenerator(bio.SynthParams{Seed: 9102})
+		for i := 0; i < 2; i++ {
+			subj := EncodeSubject(g2.RandomDNA("bg", 8000), bio.DNA)
+			subjects = append(subjects, subj)
+			residues += int64(len(subj.Codes))
+		}
+	}
+	eng.SetDatabaseDims(residues, int64(len(subjects)))
+	return eng, subjects
+}
+
+// BenchmarkSearchSubjectSteadyState is the CI-gated allocation benchmark:
+// scanning a subject that produces no reportable HSP must not allocate at
+// all in steady state (scanner, seed list, diagonal arrays, culling scratch
+// all reused). The gate greps for a nonzero allocs/op column.
+func BenchmarkSearchSubjectSteadyState(b *testing.B) {
+	eng, subjects := benchEngine(b, false)
+	// Warm the scratch so growth allocations land outside the measurement.
+	for _, s := range subjects {
+		if _, err := eng.SearchSubject(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hsps, err := eng.SearchSubject(subjects[i%len(subjects)])
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(hsps) != 0 {
+			b.Fatalf("steady-state subject reported %d HSPs; fixture broken", len(hsps))
+		}
+	}
+}
+
+// BenchmarkSearchSubjectHomologous measures the full pipeline (scan,
+// two-hit bookkeeping, ungapped + gapped extension, culling, statistics)
+// on genuinely homologous subjects. Allocations here are the reported
+// *HSP values, not scan overhead.
+func BenchmarkSearchSubjectHomologous(b *testing.B) {
+	eng, subjects := benchEngine(b, true)
+	b.ReportAllocs()
+	b.ResetTimer()
+	hits := 0
+	for i := 0; i < b.N; i++ {
+		hsps, err := eng.SearchSubject(subjects[i%len(subjects)])
+		if err != nil {
+			b.Fatal(err)
+		}
+		hits += len(hsps)
+	}
+	if b.N > len(subjects) && hits == 0 {
+		b.Fatal("homologous benchmark produced no hits; fixture broken")
+	}
+}
+
+// BenchmarkProteinScan covers the incremental base-24 scanner path with the
+// blastp two-hit configuration.
+func BenchmarkProteinScan(b *testing.B) {
+	g := bio.NewGenerator(bio.SynthParams{Seed: 6003})
+	var queries []*bio.Sequence
+	for i := 0; i < 4; i++ {
+		queries = append(queries, g.RandomProtein("q", 250))
+	}
+	eng, err := NewEngine(queries, DefaultProteinParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	subj := EncodeSubject(g.RandomProtein("s", 4000), bio.Protein)
+	eng.SetDatabaseDims(int64(len(subj.Codes)), 1)
+	if _, err := eng.SearchSubject(subj); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.SearchSubject(subj); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -701,3 +701,149 @@ func TestUngappedOnlySuppressesWeakHits(t *testing.T) {
 		t.Errorf("random sequences produced %d ungapped hits", len(hsps))
 	}
 }
+
+// --- Two-hit seeding golden tests -------------------------------------------
+//
+// These pin the exact scan semantics — the window check, the overlapping-hit
+// non-update rule, and the diagonal-coverage skip — with hand-constructed
+// inputs whose word hits are fully enumerable, so any scan rewrite that
+// changes seeding behavior fails loudly on counters, not just on end-to-end
+// hit lists.
+
+// plantSameDiagonal copies query[qfrom:qto] into subj at pad+qfrom, keeping
+// every planted word on the single diagonal spos-qpos = pad.
+func plantSameDiagonal(subj, query *bio.Sequence, pad, qfrom, qto int) {
+	copy(subj.Letters[pad+qfrom:], query.Letters[qfrom:qto])
+}
+
+// breakMatchAfter forces subj[i] to differ from query[qi], terminating any
+// accidental word-window extension across a planting boundary.
+func breakMatchAfter(subj, query *bio.Sequence, i, qi int) {
+	for _, b := range []byte("ACGT") {
+		if b != query.Letters[qi] && b != subj.Letters[i] {
+			subj.Letters[i] = b
+			return
+		}
+	}
+}
+
+func twoHitEngine(t *testing.T, query *bio.Sequence, window int) *Engine {
+	t.Helper()
+	return newDNAEngine(t, []*bio.Sequence{query}, func(p *Params) {
+		p.WordSize = 8
+		p.TwoHitWindow = window
+		p.Strand = 1 // plus only: keep the word-hit census enumerable
+	})
+}
+
+func TestTwoHitExactlyAtWindowTriggersExtension(t *testing.T) {
+	const w, window, pad = 8, 12, 30
+	g := bio.NewGenerator(bio.SynthParams{Seed: 901})
+	qb := w + window // second word at distance spos-lastEnd == window exactly
+	query := g.RandomDNA("q", qb+w)
+	subj := g.RandomDNA("s", 120)
+	plantSameDiagonal(subj, query, pad, 0, w)
+	plantSameDiagonal(subj, query, pad, qb, qb+w)
+	breakMatchAfter(subj, query, pad+w, w)
+
+	e := twoHitEngine(t, query, window)
+	e.SetDatabaseDims(120, 1)
+	if _, err := e.SearchSubject(EncodeSubject(subj, bio.DNA)); err != nil {
+		t.Fatal(err)
+	}
+	if e.Stats.WordHits != 2 {
+		t.Fatalf("WordHits = %d, want exactly the 2 planted hits", e.Stats.WordHits)
+	}
+	// The boundary case: spos-lastEnd == TwoHitWindow is IN the window.
+	if e.Stats.UngappedExts != 1 {
+		t.Errorf("UngappedExts = %d, want 1 (second hit exactly at window distance)", e.Stats.UngappedExts)
+	}
+}
+
+func TestTwoHitOneBeyondWindowDoesNotTrigger(t *testing.T) {
+	const w, window, pad = 8, 12, 30
+	g := bio.NewGenerator(bio.SynthParams{Seed: 907})
+	qb := w + window + 1 // one residue beyond the window
+	query := g.RandomDNA("q", qb+w)
+	subj := g.RandomDNA("s", 120)
+	plantSameDiagonal(subj, query, pad, 0, w)
+	plantSameDiagonal(subj, query, pad, qb, qb+w)
+	breakMatchAfter(subj, query, pad+w, w)
+
+	e := twoHitEngine(t, query, window)
+	e.SetDatabaseDims(120, 1)
+	if _, err := e.SearchSubject(EncodeSubject(subj, bio.DNA)); err != nil {
+		t.Fatal(err)
+	}
+	if e.Stats.WordHits != 2 {
+		t.Fatalf("WordHits = %d, want exactly the 2 planted hits", e.Stats.WordHits)
+	}
+	// Too far: the second hit becomes the new stored hit, no extension.
+	if e.Stats.UngappedExts != 0 {
+		t.Errorf("UngappedExts = %d, want 0 (hit one beyond the window)", e.Stats.UngappedExts)
+	}
+}
+
+func TestTwoHitOverlappingHitDoesNotUpdateStoredEnd(t *testing.T) {
+	// A 12-base planted segment produces 5 overlapping word hits on one
+	// diagonal. The first stores end = pad+8; hits 2..5 overlap it and must
+	// be ignored WITHOUT advancing the stored end. A later hit at distance
+	// window+2 from the ORIGINAL end must then be out of window (no
+	// extension). An implementation that wrongly advances the stored end on
+	// overlaps would see distance window-2 and extend.
+	const w, window, pad, seg = 8, 12, 30, 12
+	g := bio.NewGenerator(bio.SynthParams{Seed: 903})
+	qb := w + window + 2 // distance (qb-w) == window+2 from the original end
+	query := g.RandomDNA("q", qb+w)
+	subj := g.RandomDNA("s", 120)
+	plantSameDiagonal(subj, query, pad, 0, seg)
+	plantSameDiagonal(subj, query, pad, qb, qb+w)
+	breakMatchAfter(subj, query, pad+seg, seg)
+
+	e := twoHitEngine(t, query, window)
+	e.SetDatabaseDims(120, 1)
+	if _, err := e.SearchSubject(EncodeSubject(subj, bio.DNA)); err != nil {
+		t.Fatal(err)
+	}
+	if e.Stats.WordHits != 6 {
+		t.Fatalf("WordHits = %d, want 6 (5 overlapping + 1 distant)", e.Stats.WordHits)
+	}
+	if e.Stats.UngappedExts != 0 {
+		t.Errorf("UngappedExts = %d, want 0 (overlaps must not advance the stored hit end)",
+			e.Stats.UngappedExts)
+	}
+}
+
+func TestDiagonalCoverageSkipsHitsAfterExtension(t *testing.T) {
+	// One-hit mode: a 60-base planted match yields 53 word hits on one
+	// diagonal. The first triggers the only ungapped extension; its coverage
+	// mark (through the extension end) must swallow the remaining 52.
+	const w, pad = 8, 25
+	g := bio.NewGenerator(bio.SynthParams{Seed: 905})
+	query := g.RandomDNA("q", 80)
+	subj := g.RandomDNA("s", 160)
+	plantSameDiagonal(subj, query, pad, 10, 70)
+	breakMatchAfter(subj, query, pad+70, 70)
+
+	e := newDNAEngine(t, []*bio.Sequence{query}, func(p *Params) {
+		p.WordSize = w
+		p.Strand = 1
+	})
+	e.SetDatabaseDims(160, 1)
+	hsps, err := e.SearchSubject(EncodeSubject(subj, bio.DNA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Stats.WordHits != 53 {
+		t.Fatalf("WordHits = %d, want 53 (60-base match, word size 8)", e.Stats.WordHits)
+	}
+	if e.Stats.UngappedExts != 1 {
+		t.Errorf("UngappedExts = %d, want 1 (coverage must skip the trailing hits)", e.Stats.UngappedExts)
+	}
+	if e.Stats.GappedExts != 1 {
+		t.Errorf("GappedExts = %d, want 1", e.Stats.GappedExts)
+	}
+	if len(hsps) != 1 {
+		t.Errorf("got %d HSPs, want 1", len(hsps))
+	}
+}

@@ -10,18 +10,37 @@ type gappedResult struct {
 	slo, shi int
 }
 
+// gapScratch holds the reusable buffers of a gapped extension — the two
+// reversed-prefix copies and the three DP rows — so repeated extensions
+// allocate nothing. Every cell the recurrence reads is written first (the
+// window guards bound all reads), so dirty reuse is safe.
+type gapScratch struct {
+	lq, ls                 []byte
+	score, eGap, prevScore []int
+}
+
+// rows returns the three DP rows with at least width cells each.
+func (sc *gapScratch) rows(width int) (score, eGap, prev []int) {
+	if cap(sc.score) < width {
+		sc.score = make([]int, width)
+		sc.eGap = make([]int, width)
+		sc.prevScore = make([]int, width)
+	}
+	return sc.score[:width], sc.eGap[:width], sc.prevScore[:width]
+}
+
 // extendGapped runs the BLAST stage-3 gapped X-drop extension from a seed
 // point inside an ungapped HSP: two half-extensions (left of and right of
 // the seed) whose scores add. The seed residue pair itself is scored in the
 // right half.
-func extendGapped(q []byte, qloBound, qhiBound int, s []byte, qseed, sseed int, m Matrix, gaps GapCosts, xdrop int) gappedResult {
+func extendGapped(q []byte, qloBound, qhiBound int, s []byte, qseed, sseed int, m Matrix, gaps GapCosts, xdrop int, sc *gapScratch) gappedResult {
 	// Right half includes the seed pair: align q[qseed..qhiBound) with
 	// s[sseed..len).
-	rScore, rq, rs := xdropHalf(q[qseed:qhiBound], s[sseed:], m, gaps, xdrop)
+	rScore, rq, rs := xdropHalfScratch(q[qseed:qhiBound], s[sseed:], m, gaps, xdrop, sc)
 	// Left half: reversed prefixes, excluding the seed pair.
-	lq := reverseSlice(q[qloBound:qseed])
-	ls := reverseSlice(s[:sseed])
-	lScore, lqe, lse := xdropHalf(lq, ls, m, gaps, xdrop)
+	sc.lq = appendReversed(sc.lq[:0], q[qloBound:qseed])
+	sc.ls = appendReversed(sc.ls[:0], s[:sseed])
+	lScore, lqe, lse := xdropHalfScratch(sc.lq, sc.ls, m, gaps, xdrop, sc)
 	return gappedResult{
 		score: rScore + lScore,
 		qlo:   qseed - lqe,
@@ -31,12 +50,13 @@ func extendGapped(q []byte, qloBound, qhiBound int, s []byte, qseed, sseed int, 
 	}
 }
 
-func reverseSlice(b []byte) []byte {
-	out := make([]byte, len(b))
-	for i, c := range b {
-		out[len(b)-1-i] = c
+// appendReversed appends b's bytes to dst in reverse order, reusing dst's
+// capacity.
+func appendReversed(dst, b []byte) []byte {
+	for i := len(b) - 1; i >= 0; i-- {
+		dst = append(dst, b[i])
 	}
-	return out
+	return dst
 }
 
 // xdropHalf computes the best-scoring alignment of prefixes of q and s that
@@ -47,14 +67,18 @@ func reverseSlice(b []byte) []byte {
 // The recurrence is the affine-gap X-drop of Zhang et al. as used in NCBI's
 // gapped extension: row i consumes q[i-1], column j consumes s[j-1].
 func xdropHalf(q, s []byte, m Matrix, gaps GapCosts, xdrop int) (best, qext, sext int) {
+	return xdropHalfScratch(q, s, m, gaps, xdrop, new(gapScratch))
+}
+
+// xdropHalfScratch is xdropHalf with caller-owned DP rows.
+func xdropHalfScratch(q, s []byte, m Matrix, gaps GapCosts, xdrop int, sc *gapScratch) (best, qext, sext int) {
 	openExt := gaps.Open + gaps.Extend
 
 	// score[j]: best alignment score ending at (i, j); eGap[j]: best ending
 	// with a gap that consumes q (vertical). Window [jlo, jhi] holds the
 	// live columns of the previous row.
 	width := len(s) + 1
-	score := make([]int, width)
-	eGap := make([]int, width)
+	score, eGap, prevScore := sc.rows(width)
 
 	best = 0
 	qext, sext = 0, 0
@@ -72,9 +96,14 @@ func xdropHalf(q, s []byte, m Matrix, gaps GapCosts, xdrop int) (best, qext, sex
 	}
 	jlo := 0
 
-	prevScore := make([]int, width)
 	for i := 1; i <= len(q); i++ {
-		copy(prevScore, score)
+		// Double-buffer the score rows instead of copying: every cell the
+		// recurrence reads from prevScore lies in [jlo-1, jhi], which the
+		// previous iteration wrote (row i-1 writes [jlo, newHi] ⊇ the next
+		// row's read window), so the swapped-in row's stale cells are never
+		// observed. A copy here is O(len(s)) per row — the dominant cost on
+		// long subjects with a narrow live band.
+		score, prevScore = prevScore, score
 		// Columns left of the live window are dead; kill the one cell the
 		// diagonal recurrence can reach so stale values never leak in.
 		if jlo >= 1 {

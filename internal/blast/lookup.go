@@ -2,6 +2,7 @@ package blast
 
 import (
 	"fmt"
+	"math/bits"
 
 	"repro/internal/bio"
 )
@@ -16,6 +17,24 @@ type Lookup interface {
 	// starting at subject[pos]; ok is false when the window is not a valid
 	// word (e.g. it spans masked or out-of-alphabet letters).
 	Positions(subject []byte, pos int) (positions []int32, ok bool)
+	// NewScanner returns a fresh streaming scanner over this lookup. Each
+	// scanner owns its own rolling state, so an engine can keep one per
+	// search without re-deriving the word at every position.
+	NewScanner() Scanner
+}
+
+// Scanner streams the word hits of one subject in position order. It
+// maintains the current word incrementally — one shift-in per residue
+// instead of re-reading all w bytes per window — so a full subject scan is
+// O(len) rather than O(len·w). Scanners keep no heap state per call; Reset
+// makes one reusable across subjects.
+type Scanner interface {
+	// Reset points the scanner at a new subject and rewinds it.
+	Reset(subject []byte)
+	// Next returns the next subject position whose word has at least one
+	// registered query position, with those positions. ok is false when the
+	// subject is exhausted.
+	Next() (spos int, positions []int32, ok bool)
 }
 
 // maskedCode marks soft-masked residues in encoded sequences; lookup
@@ -24,12 +43,28 @@ type Lookup interface {
 const maskedCode = 0xFE
 
 // DNALookup is an exact-match lookup for 2-bit DNA words, the blastn
-// contiguous-word seeding strategy.
+// contiguous-word seeding strategy. The cell store is a flat open-addressed
+// hash table (power-of-two buckets, linear probing) whose cells are (offset,
+// length) windows into one shared positions arena: one probe and one slice
+// header per lookup, no per-word heap node to chase.
 type DNALookup struct {
-	w     int
-	mask  uint64
-	cells map[uint64][]int32
+	w    int
+	mask uint64
+
+	// Open-addressed table. keys holds word+1 so 0 can mean "empty slot"
+	// (words fit in 2w <= 62 bits, so the +1 cannot wrap). cellOff/cellLen
+	// describe slot i's window of the positions arena.
+	keys      []uint64
+	cellOff   []int32
+	cellLen   []int32
+	positions []int32
+	shift     uint // hash shift: 64 - log2(len(keys))
+	nwords    int
 }
+
+// hashMul is the 64-bit golden-ratio multiplier (Fibonacci hashing); the
+// high bits of word*hashMul index the power-of-two table.
+const hashMul = 0x9E3779B97F4A7C15
 
 // NewDNALookup builds the lookup from every valid w-length window of the
 // query set.
@@ -41,10 +76,56 @@ func NewDNALookup(qs *QuerySet, w int) (*DNALookup, error) {
 		return nil, fmt.Errorf("blast: DNA word size must be in 4..31, got %d", w)
 	}
 	lk := &DNALookup{
-		w:     w,
-		mask:  (uint64(1) << (2 * w)) - 1,
-		cells: make(map[uint64][]int32),
+		w:    w,
+		mask: (uint64(1) << (2 * w)) - 1,
 	}
+
+	// Upper bound on registered windows sizes the table at load factor
+	// <= 0.5 (distinct words <= total windows).
+	nwin := 0
+	for _, c := range qs.Contexts {
+		if c.Len >= w {
+			nwin += c.Len - w + 1
+		}
+	}
+	size := 1
+	for size < 2*nwin {
+		size <<= 1
+	}
+	lk.keys = make([]uint64, size)
+	lk.cellOff = make([]int32, size)
+	lk.cellLen = make([]int32, size)
+	lk.shift = uint(64 - bits.TrailingZeros(uint(size)))
+
+	// Pass 1: insert every distinct word, counting its occurrences.
+	lk.eachWord(qs, func(word uint64, start int32) {
+		slot := lk.insert(word)
+		lk.cellLen[slot]++
+	})
+
+	// Prefix-sum the counts into arena offsets, then reset the counts so
+	// pass 2 can reuse cellLen as the fill cursor. Filling in a second
+	// sequential pass preserves each word's position order exactly as the
+	// map-based build appended them — required for byte-identical hits.
+	total := int32(0)
+	for i, n := range lk.cellLen {
+		lk.cellOff[i] = total
+		total += n
+		lk.cellLen[i] = 0
+	}
+	lk.positions = make([]int32, total)
+	lk.eachWord(qs, func(word uint64, start int32) {
+		slot := lk.insert(word)
+		lk.positions[lk.cellOff[slot]+lk.cellLen[slot]] = start
+		lk.cellLen[slot]++
+	})
+	return lk, nil
+}
+
+// eachWord walks every valid w-window of the query contexts with the same
+// rolling 2-bit word the scanner uses, invoking fn(word, concatStart).
+func (lk *DNALookup) eachWord(qs *QuerySet, fn func(word uint64, start int32)) {
+	w := lk.w
 	for _, c := range qs.Contexts {
 		var word uint64
 		valid := 0
@@ -58,12 +139,47 @@ func NewDNALookup(qs *QuerySet, w int) (*DNALookup, error) {
 			word = (word<<2 | uint64(code)) & lk.mask
 			valid++
 			if valid >= w {
-				start := int32(c.Start + i - w + 1)
-				lk.cells[word] = append(lk.cells[word], start)
+				fn(word, int32(c.Start+i-w+1))
 			}
 		}
 	}
-	return lk, nil
+}
+
+// insert returns the slot of word, claiming an empty slot on first sight.
+func (lk *DNALookup) insert(word uint64) int {
+	key := word + 1
+	tmask := len(lk.keys) - 1
+	i := int((word * hashMul) >> lk.shift)
+	for {
+		k := lk.keys[i]
+		if k == key {
+			return i
+		}
+		if k == 0 {
+			lk.keys[i] = key
+			lk.nwords++
+			return i
+		}
+		i = (i + 1) & tmask
+	}
+}
+
+// find returns the positions registered for word, or nil.
+func (lk *DNALookup) find(word uint64) []int32 {
+	key := word + 1
+	tmask := len(lk.keys) - 1
+	i := int((word * hashMul) >> lk.shift)
+	for {
+		k := lk.keys[i]
+		if k == key {
+			off := lk.cellOff[i]
+			return lk.positions[off : off+lk.cellLen[i]]
+		}
+		if k == 0 {
+			return nil
+		}
+		i = (i + 1) & tmask
+	}
 }
 
 // W implements Lookup.
@@ -79,12 +195,59 @@ func (lk *DNALookup) Positions(subject []byte, pos int) ([]int32, bool) {
 		}
 		word = word<<2 | uint64(code)
 	}
-	return lk.cells[word], true
+	return lk.find(word), true
 }
+
+// NewScanner implements Lookup.
+func (lk *DNALookup) NewScanner() Scanner { return &dnaScanner{lk: lk} }
 
 // NumWords reports the number of distinct words registered (for tests and
 // diagnostics).
-func (lk *DNALookup) NumWords() int { return len(lk.cells) }
+func (lk *DNALookup) NumWords() int { return lk.nwords }
+
+// dnaScanner rolls a 2-bit word across the subject: shift in one code,
+// mask, and reset the valid-run counter on out-of-alphabet bytes. Each
+// residue costs one shift and one probe of the flat table.
+type dnaScanner struct {
+	lk    *DNALookup
+	subj  []byte
+	next  int // next residue index to consume
+	word  uint64
+	valid int
+}
+
+// Reset implements Scanner.
+func (sc *dnaScanner) Reset(subject []byte) {
+	sc.subj = subject
+	sc.next = 0
+	sc.word = 0
+	sc.valid = 0
+}
+
+// Next implements Scanner.
+func (sc *dnaScanner) Next() (int, []int32, bool) {
+	lk := sc.lk
+	w, mask := lk.w, lk.mask
+	subj := sc.subj
+	word, valid := sc.word, sc.valid
+	for i := sc.next; i < len(subj); i++ {
+		code := subj[i]
+		if code > 3 {
+			word, valid = 0, 0
+			continue
+		}
+		word = (word<<2 | uint64(code)) & mask
+		valid++
+		if valid >= w {
+			if ps := lk.find(word); len(ps) > 0 {
+				sc.next, sc.word, sc.valid = i+1, word, valid
+				return i - w + 1, ps, true
+			}
+		}
+	}
+	sc.next, sc.word, sc.valid = len(subj), word, valid
+	return 0, nil, false
+}
 
 // ProteinLookup is a neighborhood lookup for protein words: a subject word
 // matches a query position when the matrix score between the words is at
@@ -185,6 +348,15 @@ func (lk *ProteinLookup) Positions(subject []byte, pos int) ([]int32, bool) {
 	return lk.cells[idx], true
 }
 
+// NewScanner implements Lookup.
+func (lk *ProteinLookup) NewScanner() Scanner {
+	pow := 1
+	for i := 0; i < lk.w-1; i++ {
+		pow *= bio.ProteinAlphabetSize
+	}
+	return &proteinScanner{lk: lk, powW1: pow}
+}
+
 // NumEntries reports the total number of (word, position) entries (for
 // tests and diagnostics).
 func (lk *ProteinLookup) NumEntries() int {
@@ -193,4 +365,56 @@ func (lk *ProteinLookup) NumEntries() int {
 		n += len(c)
 	}
 	return n
+}
+
+// proteinScanner maintains the base-24 cell index incrementally: subtract
+// the leaving residue's high digit, multiply by the alphabet size, add the
+// entering residue — O(1) per position instead of re-deriving the w-digit
+// index.
+type proteinScanner struct {
+	lk    *ProteinLookup
+	powW1 int // ProteinAlphabetSize^(w-1)
+	subj  []byte
+	next  int
+	idx   int
+	valid int
+}
+
+// Reset implements Scanner.
+func (sc *proteinScanner) Reset(subject []byte) {
+	sc.subj = subject
+	sc.next = 0
+	sc.idx = 0
+	sc.valid = 0
+}
+
+// Next implements Scanner.
+func (sc *proteinScanner) Next() (int, []int32, bool) {
+	lk := sc.lk
+	w := lk.w
+	subj := sc.subj
+	idx, valid := sc.idx, sc.valid
+	for i := sc.next; i < len(subj); i++ {
+		code := subj[i]
+		if code >= bio.ProteinAlphabetSize {
+			idx, valid = 0, 0
+			continue
+		}
+		if valid == w {
+			// Window full: retire the residue leaving on the left. It is
+			// guaranteed in-alphabet — it was one of the last w accepted.
+			idx -= int(subj[i-w]) * sc.powW1
+		} else {
+			valid++
+		}
+		idx = idx*bio.ProteinAlphabetSize + int(code)
+		if valid == w {
+			if ps := lk.cells[idx]; len(ps) > 0 {
+				sc.next, sc.idx, sc.valid = i+1, idx, valid
+				return i - w + 1, ps, true
+			}
+		}
+	}
+	sc.next, sc.idx, sc.valid = len(subj), idx, valid
+	return 0, nil, false
 }

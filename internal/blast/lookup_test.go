@@ -1,0 +1,191 @@
+package blast
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bio"
+)
+
+// buildDNARef replays the lookup build with the plain map the flat table
+// replaced, as the order-sensitive reference: per word, positions must come
+// back in exactly the registration order.
+func buildDNARef(qs *QuerySet, w int) map[uint64][]int32 {
+	cells := make(map[uint64][]int32)
+	mask := (uint64(1) << (2 * w)) - 1
+	for _, c := range qs.Contexts {
+		var word uint64
+		valid := 0
+		for i := 0; i < c.Len; i++ {
+			code := qs.Concat[c.Start+i]
+			if code > 3 {
+				valid, word = 0, 0
+				continue
+			}
+			word = (word<<2 | uint64(code)) & mask
+			valid++
+			if valid >= w {
+				cells[word] = append(cells[word], int32(c.Start+i-w+1))
+			}
+		}
+	}
+	return cells
+}
+
+// TestDNALookupFlatMatchesMapReference: the open-addressed table must hold
+// exactly the reference map's words, each with its positions in identical
+// order.
+func TestDNALookupFlatMatchesMapReference(t *testing.T) {
+	g := bio.NewGenerator(bio.SynthParams{Seed: 1201})
+	seqs := []*bio.Sequence{g.RandomDNA("a", 400), g.RandomDNA("b", 250), g.RandomDNA("c", 37)}
+	qs, err := NewQuerySetStrand(seqs, bio.DNA, 0) // both strands: several contexts
+	if err != nil {
+		t.Fatal(err)
+	}
+	const w = 8
+	lk, err := NewDNALookup(qs, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := buildDNARef(qs, w)
+	if lk.NumWords() != len(ref) {
+		t.Fatalf("NumWords = %d, reference has %d distinct words", lk.NumWords(), len(ref))
+	}
+	for word, want := range ref {
+		got := lk.find(word)
+		if len(got) != len(want) {
+			t.Fatalf("word %#x: %d positions, want %d", word, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("word %#x: position %d = %d, want %d (order must match the map build)",
+					word, i, got[i], want[i])
+			}
+		}
+	}
+	// Probing for absent words must miss cleanly.
+	for word := uint64(0); word < 1000; word++ {
+		if _, present := ref[word]; !present && lk.find(word) != nil {
+			t.Fatalf("word %#x: find returned positions for an unregistered word", word)
+		}
+	}
+}
+
+// scanViaPositions is the reference scan: call Positions at every window.
+type scanHit struct {
+	spos      int
+	positions []int32
+}
+
+func scanViaPositions(lk Lookup, subj []byte) []scanHit {
+	var hits []scanHit
+	w := lk.W()
+	for spos := 0; spos+w <= len(subj); spos++ {
+		positions, ok := lk.Positions(subj, spos)
+		if ok && len(positions) > 0 {
+			hits = append(hits, scanHit{spos, positions})
+		}
+	}
+	return hits
+}
+
+func scanViaScanner(lk Lookup, subj []byte) []scanHit {
+	var hits []scanHit
+	sc := lk.NewScanner()
+	sc.Reset(subj)
+	for {
+		spos, positions, ok := sc.Next()
+		if !ok {
+			return hits
+		}
+		hits = append(hits, scanHit{spos, positions})
+	}
+}
+
+func diffScans(t *testing.T, got, want []scanHit) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("scanner returned %d hit windows, Positions walk %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].spos != want[i].spos {
+			t.Fatalf("hit %d: spos %d vs %d", i, got[i].spos, want[i].spos)
+		}
+		if len(got[i].positions) != len(want[i].positions) {
+			t.Fatalf("hit %d: %d positions vs %d", i, len(got[i].positions), len(want[i].positions))
+		}
+		for j := range want[i].positions {
+			if got[i].positions[j] != want[i].positions[j] {
+				t.Fatalf("hit %d position %d: %d vs %d", i, j,
+					got[i].positions[j], want[i].positions[j])
+			}
+		}
+	}
+}
+
+// TestDNAScannerMatchesPositions: the rolling-word scanner must yield
+// exactly the non-empty windows of a per-position Positions walk, in order,
+// including across masked-code resets.
+func TestDNAScannerMatchesPositions(t *testing.T) {
+	g := bio.NewGenerator(bio.SynthParams{Seed: 1301})
+	qs, err := NewQuerySet([]*bio.Sequence{g.RandomDNA("q", 300)}, bio.DNA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{4, 8, 11} {
+		lk, err := NewDNALookup(qs, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// A subject embedding query chunks (guaranteed hits) and ambiguity
+		// resets at irregular spacing.
+		rng := rand.New(rand.NewSource(77))
+		var subj []byte
+		for i := 0; i < 20; i++ {
+			start := rng.Intn(len(qs.Concat) - 40)
+			subj = append(subj, qs.Concat[start:start+40]...)
+			subj = append(subj, bio.EncodeDNA(g.RandomDNA("x", 1+rng.Intn(30)).Letters)...)
+			if i%3 == 0 {
+				subj = append(subj, maskedCode)
+			}
+		}
+		want := scanViaPositions(lk, subj)
+		if len(want) == 0 {
+			t.Fatalf("w=%d: reference scan found no hits; test subject broken", w)
+		}
+		diffScans(t, scanViaScanner(lk, subj), want)
+	}
+}
+
+// TestProteinScannerMatchesPositions: same contract for the incremental
+// base-24 index, across out-of-alphabet resets.
+func TestProteinScannerMatchesPositions(t *testing.T) {
+	g := bio.NewGenerator(bio.SynthParams{Seed: 1302})
+	qs, err := NewQuerySet([]*bio.Sequence{g.RandomProtein("q", 250)}, bio.Protein)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{2, 3} {
+		lk, err := NewProteinLookup(qs, w, Blosum62(), DefaultNeighborThreshold)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(78))
+		var subj []byte
+		for i := 0; i < 20; i++ {
+			start := rng.Intn(len(qs.Concat) - 30)
+			subj = append(subj, qs.Concat[start:start+30]...)
+			// Non-standard but in-alphabet codes (B, Z, X, *) and the
+			// masked sentinel, which is the only invalid scanner input.
+			subj = append(subj, byte(20+rng.Intn(4)))
+			if i%4 == 0 {
+				subj = append(subj, maskedCode)
+			}
+		}
+		want := scanViaPositions(lk, subj)
+		if len(want) == 0 {
+			t.Fatalf("w=%d: reference scan found no hits; test subject broken", w)
+		}
+		diffScans(t, scanViaScanner(lk, subj), want)
+	}
+}

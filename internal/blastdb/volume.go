@@ -119,6 +119,21 @@ func (v *Volume) Subject(i int) blast.Subject {
 	return blast.Subject{ID: v.ids[i], Codes: raw}
 }
 
+// SubjectAppend is Subject with a caller-owned scratch buffer: DNA payloads
+// unpack into buf's capacity (grown as needed) instead of a fresh
+// allocation per sequence, which keeps the scan loop over a volume
+// allocation-free. The returned buffer must be passed back on the next
+// call; the Subject's Codes alias it (DNA) or the volume payload (protein)
+// and are valid until then.
+func (v *Volume) SubjectAppend(i int, buf []byte) (blast.Subject, []byte) {
+	raw := v.payload[v.offsets[i]:v.offsets[i+1]]
+	if v.Alpha == bio.DNA {
+		buf = bio.FromPacked(raw, v.lens[i]).AppendUnpacked(buf[:0])
+		return blast.Subject{ID: v.ids[i], Codes: buf}, buf
+	}
+	return blast.Subject{ID: v.ids[i], Codes: raw}, buf
+}
+
 // CacheStats counts volume cache activity.
 type CacheStats struct {
 	// Hits is the number of Get calls served from memory.

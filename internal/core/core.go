@@ -8,6 +8,7 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 
 	"repro/internal/bio"
 	"repro/internal/blast"
@@ -53,6 +54,10 @@ type BlastJob struct {
 	// LocalityAware enables the paper's proposed location-aware work
 	// scheduler (see mrblast.Config.LocalityAware).
 	LocalityAware bool
+	// MapWorkers, when > 1, runs each rank's map tasks on that many
+	// goroutines (mrblast.Config.MapWorkers). Output is byte-identical to a
+	// serial run.
+	MapWorkers int
 	// DynamicBlocks uses the paper's future-work block plan: BlockSize
 	// blocks through the bulk of the query set, progressively halving
 	// toward the end for uniform core filling (bio.FastaIndex.DynamicBlocks).
@@ -168,6 +173,7 @@ func RunBlast(nranks int, job BlastJob) (*BlastSummary, error) {
 			ExcludeSelfHits:    job.ExcludeSelfHits,
 			BlocksPerIteration: job.BlocksPerIteration,
 			LocalityAware:      job.LocalityAware,
+			MapWorkers:         job.MapWorkers,
 			OutFormat:          job.OutFormat,
 		})
 		if err != nil {
@@ -211,6 +217,10 @@ type SOMJob struct {
 	// Bubble selects the cut-off neighborhood kernel (default Gaussian,
 	// the paper's Eq. 4).
 	Bubble bool
+	// MapWorkers, when > 1, parallelizes the accumulation kernel across
+	// that many goroutines per rank (mrsom.Config.MapWorkers). Codebooks
+	// are bit-identical to a serial run.
+	MapWorkers int
 	// Checkpoint configures optional checkpoint/resume.
 	Checkpoint SOMCheckpoint
 	// Trace, when non-nil, records per-rank span events across all layers
@@ -287,6 +297,7 @@ func RunSOM(nranks int, job SOMJob) (*SOMSummary, error) {
 			Epochs:          job.Epochs,
 			BlockSize:       job.BlockSize,
 			MapStyle:        mrmpi.MapStyleMaster,
+			MapWorkers:      job.MapWorkers,
 			Seed:            job.Seed,
 			Kernel:          kernelOf(job),
 			CheckpointPath:  job.Checkpoint.Path,
@@ -319,6 +330,21 @@ func RunSOM(nranks int, job SOMJob) (*SOMSummary, error) {
 	summary.QuantErr = som.QuantizationError(cb, data, n)
 	summary.TopoErr = som.TopographicError(cb, data, n)
 	return summary, nil
+}
+
+// AutoMapWorkers resolves a -map-workers flag: n > 0 is taken as given,
+// n == 0 picks the largest pool that does not oversubscribe the machine —
+// GOMAXPROCS divided by the rank count, floored at 1 (serial). With ranks ≥
+// cores the ranks themselves saturate the CPUs and pooling only adds
+// scheduling overhead.
+func AutoMapWorkers(n, nranks int) int {
+	if n > 0 {
+		return n
+	}
+	if nranks < 1 {
+		nranks = 1
+	}
+	return max(1, runtime.GOMAXPROCS(0)/nranks)
 }
 
 // kernelOf maps the job's kernel flag to the som constant.

@@ -72,6 +72,27 @@ func f(work any) {
 }`,
 		},
 		{
+			name: "MapWorker counts as map input",
+			src: mrHeader + `
+func f(work, fn any) {
+	mr := mrmpi.New(nil)
+	defer mr.Close()
+	mr.MapWorker(4, work)
+	mr.Collate(nil)
+	mr.Reduce(fn)
+}`,
+		},
+		{
+			name: "reduce after MapWorker without collate",
+			src: mrHeader + `
+func f(work, fn any) {
+	mr := mrmpi.New(nil)
+	defer mr.Close()
+	mr.MapWorker(4, work)
+	mr.Reduce(fn) // want phase
+}`,
+		},
+		{
 			name: "adds through a KV alias count as map input",
 			src: mrHeader + `
 func f() {
@@ -158,6 +179,17 @@ func TestCapture(t *testing.T) {
 func f(mr *mrmpi.MapReduce) {
 	n := 0
 	mr.Map(4, func(itask int, kv *mrmpi.KeyValue) error {
+		n++ // want capture
+		return nil
+	})
+}`,
+		},
+		{
+			name: "unguarded captured counter in a MapWorker callback",
+			src: mrHeader + `
+func f(mr *mrmpi.MapReduce) {
+	n := 0
+	mr.MapWorker(4, func(itask, worker int, kv *mrmpi.KeyValue) error {
 		n++ // want capture
 		return nil
 	})

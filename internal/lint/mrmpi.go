@@ -83,6 +83,13 @@ func mrCallback(call *ast.CallExpr) (cbKind, *ast.FuncLit) {
 		if len(types) == 2 && isIdentType(types[0], "int") && isKeyValuePtrType(types[1]) {
 			return cbMap, fl
 		}
+	case "MapWorker":
+		// MapWorker(nmap, func(itask, worker int, kv *KeyValue) error): the
+		// same map-callback rules apply — and matter more, since the pool
+		// runs the callback concurrently.
+		if len(types) == 3 && isIdentType(types[0], "int") && isIdentType(types[1], "int") && isKeyValuePtrType(types[2]) {
+			return cbMap, fl
+		}
 	case "MapFiles":
 		if len(types) == 2 && isIdentType(types[0], "string") && isKeyValuePtrType(types[1]) {
 			return cbMapFiles, fl

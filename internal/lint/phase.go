@@ -175,7 +175,7 @@ func applyPhase(v *mrVar, name, method, via string, at ast.Node, report func(ast
 		suffix = " (via " + via + ")"
 	}
 	switch method {
-	case "Map", "MapFiles", "AddKV":
+	case "Map", "MapWorker", "MapFiles", "AddKV":
 		v.state = stKV
 	case "Aggregate":
 		if v.state == stEmpty {

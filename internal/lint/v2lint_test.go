@@ -69,6 +69,66 @@ func f(out *mrmpi.KeyValue, k, v []byte) {
 	}
 }
 
+// TestGoroutinesPoolPattern pins the intra-rank worker-pool idiom of
+// internal/mrmpi/pool.go as legal: workers run an OPAQUE callback against a
+// goroutine-local staging KV and hand it back over a channel, while the
+// rank goroutine keeps the comm, the rank KV, and the merge. The contrast
+// cases show what breaks the pattern — touching the per-rank KV handle or
+// the Comm from inside a worker.
+func TestGoroutinesPoolPattern(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{
+			name: "staging-KV pool with channel hand-back is fine",
+			src: mrHeader + `
+func pool(run func(int, int, *mrmpi.KeyValue) error, newKV func() *mrmpi.KeyValue) {
+	tasks := make(chan int)
+	results := make(chan *mrmpi.KeyValue, 4)
+	for w := 0; w < 4; w++ {
+		go func(w int) {
+			for t := range tasks {
+				kv := newKV()
+				run(t, w, kv)
+				results <- kv
+			}
+		}(w)
+	}
+}`,
+		},
+		{
+			name: "pool worker emitting into the rank KV is flagged",
+			src: mrHeader + `
+func pool(out *mrmpi.KeyValue, tasks chan int, k, v []byte) {
+	for w := 0; w < 4; w++ {
+		go func() { // want goroutines
+			for range tasks {
+				out.Add(k, v)
+			}
+		}()
+	}
+}`,
+		},
+		{
+			name: "pool worker fetching tasks over the comm is flagged",
+			src: header + `
+func pool(c *mpi.Comm, tasks chan int) {
+	go func() { // want goroutines
+		for {
+			c.Send(0, 1, "ready")
+			c.Recv(0, 2)
+			tasks <- 1
+		}
+	}()
+}`,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) { checkFixture(t, "goroutines", tc.src) })
+	}
+}
+
 func TestDeadlock(t *testing.T) {
 	cases := []struct {
 		name string

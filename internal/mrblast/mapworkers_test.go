@@ -1,0 +1,63 @@
+package mrblast
+
+import (
+	"os"
+	"testing"
+
+	"repro/internal/mrmpi"
+)
+
+// TestMapWorkersOutputByteIdentical is the end-to-end determinism gate for
+// the intra-rank pool: with a deterministic task→rank assignment (chunk
+// style) at 4 ranks, every rank's hits file from a MapWorkers run must be
+// byte-for-byte the file a serial run writes. The pool merges staging KVs
+// in dispatch order, so the shuffle input — and everything downstream — is
+// unchanged.
+func TestMapWorkersOutputByteIdentical(t *testing.T) {
+	w := makeWorkload(t, 6, 4)
+	chunk := func(c *Config) { c.MapStyle = mrmpi.MapStyleChunk }
+	_, serial := runParallel(t, w, 4, chunk)
+	_, pooled := runParallel(t, w, 4, func(c *Config) {
+		chunk(c)
+		c.MapWorkers = 3
+	})
+	for r := 0; r < 4; r++ {
+		want, err := os.ReadFile(serial[r].OutFile)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := os.ReadFile(pooled[r].OutFile)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != string(want) {
+			t.Fatalf("rank %d output differs under MapWorkers=3 (%d vs %d bytes)",
+				r, len(got), len(want))
+		}
+	}
+}
+
+// TestMapWorkersMasterMatchesSerial covers the master style, whose task
+// assignment is scheduling-dependent: the global hit set must equal the
+// serial baseline exactly.
+func TestMapWorkersMasterMatchesSerial(t *testing.T) {
+	w := makeWorkload(t, 6, 4)
+	serial, err := SerialSearch(w.queries, w.manifest, w.params, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) == 0 {
+		t.Fatal("serial baseline found no hits; workload broken")
+	}
+	want := fingerprintsFromFiles(serial)
+	hits, _ := runParallel(t, w, 4, func(c *Config) { c.MapWorkers = 3 })
+	got := fingerprintsFromFiles(hits)
+	if len(got) != len(want) {
+		t.Fatalf("hit count %d != serial %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("hit %d differs:\n got %s\nwant %s", i, got[i], want[i])
+		}
+	}
+}

@@ -74,6 +74,12 @@ type Config struct {
 	// controls the intermediate key-value working set (0 = all blocks in
 	// one iteration).
 	BlocksPerIteration int
+	// MapWorkers is the number of map tasks each rank runs concurrently
+	// (≤ 1: serial). Each worker owns a private engine, DB-volume cache,
+	// and subject scratch; emitted pairs are merged in task order by the
+	// MapReduce layer, so output is identical to a serial run. Memory cost
+	// scales with workers (one cached engine + CacheCapacity volumes each).
+	MapWorkers int
 	// MRMemSize is the MapReduce out-of-core memory budget per object.
 	MRMemSize int64
 	// OutFormat selects the output encoding: "tsv" (default, outfmt-6-like
@@ -211,15 +217,26 @@ func Run(comm *mpi.Comm, cfg Config) (*Result, error) {
 
 	tr := comm.Tracer()
 	board := comm.Board()
-	cache := blastdb.NewCache(cfg.CacheCapacity)
 	// Engine reuse: rebuilding the lookup table is wasted work when the
 	// master hands consecutive units of the same query block to a rank.
-	// The cache and the result counters are shared by every callback
-	// invocation on this rank; the mapper is free to run callbacks
-	// concurrently under the master styles, so all access is mutex-guarded.
+	// Each worker index gets a private slot — engine, DB-volume cache, and
+	// subject decode scratch — so concurrent map tasks (Config.MapWorkers
+	// > 1) never share mutable search state; worker −1 (serial execution)
+	// uses slot 0. A worker runs at most one task at a time, so slot
+	// access needs no lock; only the shared result counters are
+	// mutex-guarded.
+	type workerSlot struct {
+		cache       *blastdb.Cache
+		engine      *blast.Engine
+		cachedBlock int
+		subjBuf     []byte
+	}
+	nslots := max(1, cfg.MapWorkers)
+	slots := make([]*workerSlot, nslots)
+	for i := range slots {
+		slots[i] = &workerSlot{cache: blastdb.NewCache(cfg.CacheCapacity), cachedBlock: -1}
+	}
 	var mu sync.Mutex
-	var cachedEngine *blast.Engine
-	cachedBlock := -1
 
 	nparts := cfg.Manifest.NumPartitions()
 	step := cfg.BlocksPerIteration
@@ -234,8 +251,9 @@ func Run(comm *mpi.Comm, cfg Config) (*Result, error) {
 		nmap := len(iterBlocks) * nparts
 
 		opts := mrmpi.Options{
-			MapStyle: cfg.MapStyle,
-			MemSize:  cfg.MRMemSize,
+			MapStyle:   cfg.MapStyle,
+			MemSize:    cfg.MRMemSize,
+			MapWorkers: cfg.MapWorkers,
 		}
 		if cfg.LocalityAware {
 			opts.MapStyle = mrmpi.MapStyleMasterAffinity
@@ -243,54 +261,63 @@ func Run(comm *mpi.Comm, cfg Config) (*Result, error) {
 		}
 		mr := mrmpi.NewWith(comm, opts)
 
-		_, err := mr.Map(nmap, func(itask int, kv *mrmpi.KeyValue) error {
+		_, err := mr.MapWorker(nmap, func(itask, worker int, kv *mrmpi.KeyValue) error {
 			if canceled(cfg.Cancel) {
 				return ErrCanceled
 			}
 			bi := iterStart + itask/nparts
 			pi := itask % nparts
+			// Pool workers trace onto their own track and search with their
+			// own slot; serial execution (worker −1) uses the rank track and
+			// slot 0.
+			wtr, slot := tr, slots[0]
+			if worker >= 0 {
+				wtr, slot = tr.Worker(worker), slots[worker]
+			}
 			var usp obs.Span
-			if tr != nil {
-				usp = tr.Begin("mrblast", "unit",
+			if wtr != nil {
+				usp = wtr.Begin("mrblast", "unit",
 					obs.Arg{Key: "block", Val: bi}, obs.Arg{Key: "partition", Val: pi})
 			}
 			defer usp.End()
 
 			mu.Lock()
 			res.WorkItems++
-			if cachedBlock != bi {
+			mu.Unlock()
+			if slot.cachedBlock != bi {
 				var bsp obs.Span
-				if tr != nil {
-					bsp = tr.Begin("mrblast", "engine.build", obs.Arg{Key: "block", Val: bi})
+				if wtr != nil {
+					bsp = wtr.Begin("mrblast", "engine.build", obs.Arg{Key: "block", Val: bi})
 				}
 				eng, err := blast.NewEngine(cfg.QueryBlocks[bi], cfg.Params)
 				bsp.End()
 				if err != nil {
-					mu.Unlock()
 					return fmt.Errorf("block %d: %w", bi, err)
 				}
-				if cachedEngine != nil {
-					res.EngineStats = addStats(res.EngineStats, cachedEngine.Stats)
+				if slot.engine != nil {
+					mu.Lock()
+					res.EngineStats = addStats(res.EngineStats, slot.engine.Stats)
+					mu.Unlock()
 				}
-				cachedEngine, cachedBlock = eng, bi
+				slot.engine, slot.cachedBlock = eng, bi
 			}
-			eng := cachedEngine
-			mu.Unlock()
+			eng := slot.engine
 			eng.SetDatabaseDims(cfg.Manifest.TotalResidues, cfg.Manifest.NumSeqs)
 
-			vol, err := cache.Get(cfg.Manifest.VolumePath(pi))
+			vol, err := slot.cache.Get(cfg.Manifest.VolumePath(pi))
 			if err != nil {
 				return fmt.Errorf("partition %d: %w", pi, err)
 			}
 			var ssp obs.Span
-			if tr != nil {
-				ssp = tr.Begin("mrblast", "engine.search",
+			if wtr != nil {
+				ssp = wtr.Begin("mrblast", "engine.search",
 					obs.Arg{Key: "partition", Val: pi}, obs.Arg{Key: "subjects", Val: vol.NumSeqs()})
 			}
 			defer ssp.End()
 			searchStart := time.Now()
 			for si := 0; si < vol.NumSeqs(); si++ {
-				subj := vol.Subject(si)
+				var subj blast.Subject
+				subj, slot.subjBuf = vol.SubjectAppend(si, slot.subjBuf)
 				hsps, err := eng.SearchSubject(subj)
 				if err != nil {
 					return err
@@ -364,10 +391,12 @@ func Run(comm *mpi.Comm, cfg Config) (*Result, error) {
 		board.SetEpoch(int64(res.Iterations))
 	}
 
-	if cachedEngine != nil {
-		res.EngineStats = addStats(res.EngineStats, cachedEngine.Stats)
+	for _, slot := range slots {
+		if slot.engine != nil {
+			res.EngineStats = addStats(res.EngineStats, slot.engine.Stats)
+		}
+		res.CacheStats = addCacheStats(res.CacheStats, slot.cache.Stats())
 	}
-	res.CacheStats = cache.Stats()
 	// Publish this rank's engine and cache counters into the run's registry
 	// (additive across ranks; no-op when metrics are disabled).
 	if reg := comm.Metrics(); reg != nil {
@@ -387,6 +416,14 @@ func Run(comm *mpi.Comm, cfg Config) (*Result, error) {
 	}
 	res.TotalHits = mpi.AllreduceSumInt64(comm, localHits)
 	return res, nil
+}
+
+func addCacheStats(a, b blastdb.CacheStats) blastdb.CacheStats {
+	a.Hits += b.Hits
+	a.Misses += b.Misses
+	a.Evictions += b.Evictions
+	a.BytesLoaded += b.BytesLoaded
+	return a
 }
 
 func addStats(a, b blast.EngineStats) blast.EngineStats {

@@ -88,6 +88,16 @@ type Options struct {
 	// Affinity maps a task index to a resource identifier (e.g. a DB
 	// partition) for MapStyleMasterAffinity. Required for that style.
 	Affinity func(itask int) int
+	// MapWorkers is the number of map tasks one rank runs concurrently
+	// (≤ 1: serial, the MR-MPI behavior). With W > 1 a bounded pool of W
+	// goroutines executes tasks while the rank goroutine keeps doing all
+	// communication (task fetching, e.g. the master protocol) and merges
+	// each task's emitted pairs into the rank KV in task-dispatch order —
+	// so the KV byte stream, and with it every downstream phase, is
+	// identical to a serial run. The map function must be safe for
+	// concurrent calls with distinct tasks (give each worker index its own
+	// scratch; see MapWorker).
+	MapWorkers int
 }
 
 // Stats counts activity on a MapReduce instance since creation. All fields
@@ -250,10 +260,27 @@ func (mr *MapReduce) Close() {
 // MapFunc processes one abstract task, emitting pairs into kv.
 type MapFunc func(itask int, kv *KeyValue) error
 
+// MapWorkerFunc processes one abstract task, emitting pairs into kv, and
+// additionally receives the index of the intra-rank worker executing it:
+// −1 when the rank runs its tasks serially, 0..MapWorkers−1 under a worker
+// pool. Callers use the index to select per-worker scratch (engines,
+// caches) that must not be shared across concurrent tasks.
+type MapWorkerFunc func(itask, worker int, kv *KeyValue) error
+
 // Map executes fn over nmap abstract tasks distributed per the configured
 // MapStyle, appending emitted pairs to each rank's local KV. It returns the
 // global number of KV pairs after the map.
 func (mr *MapReduce) Map(nmap int, fn MapFunc) (int64, error) {
+	return mr.MapWorker(nmap, func(itask, _ int, kv *KeyValue) error {
+		return fn(itask, kv)
+	})
+}
+
+// MapWorker is Map for map functions that need the intra-rank worker index
+// (Options.MapWorkers > 1) to pick per-worker scratch. The KV handed to fn
+// is the rank KV when serial and a per-task staging KV under a pool; either
+// way fn only ever appends to it.
+func (mr *MapReduce) MapWorker(nmap int, fn MapWorkerFunc) (int64, error) {
 	if nmap < 0 {
 		return 0, fmt.Errorf("mrmpi: Map nmap must be non-negative, got %d", nmap)
 	}
@@ -263,22 +290,34 @@ func (mr *MapReduce) Map(nmap int, fn MapFunc) (int64, error) {
 	if mr.tr != nil || mr.board != nil {
 		// Wrap the user function once so every dispatch style gets a
 		// per-work-unit span and a board progress tick without per-style
-		// instrumentation. (Begin on a nil tracer is a no-op Span.)
+		// instrumentation. (Begin on a nil tracer is a no-op Span.) Pool
+		// workers record onto their own trace track with a worker arg, so
+		// concurrent spans on one rank stay LIFO per track.
 		inner := fn
-		fn = func(itask int, kv *KeyValue) error {
-			tsp := mr.tr.Begin("mrmpi", "map.task", obs.Arg{Key: "task", Val: itask})
+		fn = func(itask, worker int, kv *KeyValue) error {
+			var tsp obs.Span
+			if worker >= 0 {
+				tsp = mr.tr.Worker(worker).Begin("mrmpi", "map.task",
+					obs.Arg{Key: "task", Val: itask}, obs.Arg{Key: "worker", Val: worker})
+			} else {
+				tsp = mr.tr.Begin("mrmpi", "map.task", obs.Arg{Key: "task", Val: itask})
+			}
 			pairs0, bytes0 := kv.N(), kv.Bytes()
 			// End args carry the task's own output so lineage and straggler
 			// views can tell a task that was slow from one that was big.
+			// Under a pool the deltas are against the task's staging KV,
+			// which starts empty, so they stay per-task exact.
 			defer func() {
 				tsp.End(
 					obs.Arg{Key: "pairs", Val: kv.N() - pairs0},
 					obs.Arg{Key: "bytes", Val: kv.Bytes() - bytes0},
 				)
 			}()
-			err := inner(itask, kv)
+			err := inner(itask, worker, kv)
 			mr.board.TaskDone()
-			mr.board.SetKVBytes(kv.Bytes())
+			if kv == mr.kv {
+				mr.board.SetKVBytes(kv.Bytes())
+			}
 			return err
 		}
 	}
@@ -317,34 +356,59 @@ func (mr *MapReduce) Map(nmap int, fn MapFunc) (int64, error) {
 	return total, nil
 }
 
-func (mr *MapReduce) mapChunk(nmap int, fn MapFunc) error {
+func (mr *MapReduce) mapChunk(nmap int, run MapWorkerFunc) error {
 	size, rank := mr.comm.Size(), mr.comm.Rank()
 	lo := rank * nmap / size
 	hi := (rank + 1) * nmap / size
-	for itask := lo; itask < hi; itask++ {
-		mr.stats.MapTasks++
-		if err := fn(itask, mr.kv); err != nil {
-			return fmt.Errorf("mrmpi: map task %d: %w", itask, err)
+	itask := lo
+	return mr.runTasks(run, func() (int, bool) {
+		if itask >= hi {
+			return 0, false
 		}
-	}
-	return nil
+		t := itask
+		itask++
+		return t, true
+	})
 }
 
-func (mr *MapReduce) mapStride(nmap int, fn MapFunc) error {
+func (mr *MapReduce) mapStride(nmap int, run MapWorkerFunc) error {
 	size, rank := mr.comm.Size(), mr.comm.Rank()
-	for itask := rank; itask < nmap; itask += size {
-		mr.stats.MapTasks++
-		if err := fn(itask, mr.kv); err != nil {
-			return fmt.Errorf("mrmpi: map task %d: %w", itask, err)
+	itask := rank
+	return mr.runTasks(run, func() (int, bool) {
+		if itask >= nmap {
+			return 0, false
 		}
+		t := itask
+		itask += size
+		return t, true
+	})
+}
+
+// masterNext is the worker-rank side of the master protocols as a task
+// source: each fetch asks rank 0 for the next assignment. The fetch runs on
+// the rank goroutine even under a worker pool, so all communication stays
+// single-threaded per rank.
+func (mr *MapReduce) masterNext() func() (int, bool) {
+	done := false
+	return func() (int, bool) {
+		if done {
+			return 0, false
+		}
+		mr.comm.Send(0, TagWorkerReady, nil)
+		data, _ := mr.comm.Recv(0, TagTaskAssign)
+		itask := data.(int)
+		if itask < 0 {
+			done = true
+			return 0, false
+		}
+		return itask, true
 	}
-	return nil
 }
 
 // mapMaster implements the load-balancing master–worker protocol: rank 0
 // hands the next task to whichever worker asks first and performs no map
 // work itself, keeping every worker busy while tasks remain.
-func (mr *MapReduce) mapMaster(nmap int, fn MapFunc) error {
+func (mr *MapReduce) mapMaster(nmap int, run MapWorkerFunc) error {
 	if mr.comm.Rank() == 0 {
 		next := 0
 		stopped := 0
@@ -360,25 +424,14 @@ func (mr *MapReduce) mapMaster(nmap int, fn MapFunc) error {
 		}
 		return nil
 	}
-	for {
-		mr.comm.Send(0, TagWorkerReady, nil)
-		data, _ := mr.comm.Recv(0, TagTaskAssign)
-		itask := data.(int)
-		if itask < 0 {
-			return nil
-		}
-		mr.stats.MapTasks++
-		if err := fn(itask, mr.kv); err != nil {
-			return fmt.Errorf("mrmpi: map task %d: %w", itask, err)
-		}
-	}
+	return mr.runTasks(run, mr.masterNext())
 }
 
 // mapMasterAffinity is mapMaster with the paper's proposed location-aware
 // dispatch: the master remembers each worker's last resource and scans up
 // to AffinityLookahead pending tasks for a match before defaulting to the
 // queue head.
-func (mr *MapReduce) mapMasterAffinity(nmap int, fn MapFunc) error {
+func (mr *MapReduce) mapMasterAffinity(nmap int, run MapWorkerFunc) error {
 	if mr.comm.Rank() == 0 {
 		pending := make([]int, nmap)
 		for i := range pending {
@@ -410,18 +463,7 @@ func (mr *MapReduce) mapMasterAffinity(nmap int, fn MapFunc) error {
 		}
 		return nil
 	}
-	for {
-		mr.comm.Send(0, TagWorkerReady, nil)
-		data, _ := mr.comm.Recv(0, TagTaskAssign)
-		itask := data.(int)
-		if itask < 0 {
-			return nil
-		}
-		mr.stats.MapTasks++
-		if err := fn(itask, mr.kv); err != nil {
-			return fmt.Errorf("mrmpi: map task %d: %w", itask, err)
-		}
-	}
+	return mr.runTasks(run, mr.masterNext())
 }
 
 // HashFunc maps a key to a destination rank in [0, nprocs).

@@ -47,6 +47,17 @@ type Config struct {
 	// master–worker, "although in the case of SOM this is not as critical
 	// as it is for BLAST".
 	MapStyle mrmpi.MapStyle
+	// MapWorkers, when > 1, parallelizes the accumulation kernel across
+	// that many goroutines per rank. Accumulation for a block is
+	// rank-serialized (num/den are shared), so the parallelism lives inside
+	// the kernel (som.BatchAccumulateWorkers), which is bit-identical to
+	// the serial kernel at any worker count — for a fixed block→rank
+	// assignment the codebooks do not change. Under MapStyleMaster the
+	// assignment itself is timing-dependent, so the floating-point reduce
+	// may differ in low-order bits between runs whose timing differs (true
+	// of any perf change, not specific to MapWorkers); MapStyleChunk pins
+	// the assignment and hence the exact bits.
+	MapWorkers int
 	// Kernel is the neighborhood function (default Gaussian, the paper's
 	// choice).
 	Kernel som.Kernel
@@ -169,6 +180,7 @@ func TrainFile(comm *mpi.Comm, vf *som.VectorFile, cfg Config) (*Result, error) 
 
 	res := &Result{}
 	var mu sync.Mutex
+	var accSc som.AccumScratch
 	tr := comm.Tracer()
 	mr := mrmpi.NewWith(comm, mrmpi.Options{MapStyle: cfg.MapStyle})
 	defer mr.Close()
@@ -233,7 +245,8 @@ func TrainFile(comm *mpi.Comm, vf *som.VectorFile, cfg Config) (*Result, error) 
 				ksp = tr.Begin("mrsom", "kernel",
 					obs.Arg{Key: "block", Val: itask}, obs.Arg{Key: "vectors", Val: hi - lo})
 			}
-			som.BatchAccumulateKernel(cb, block, hi-lo, sigma, cfg.Kernel, num, den)
+			som.BatchAccumulateWorkers(cb, block, hi-lo, sigma, cfg.Kernel, num, den,
+				cfg.MapWorkers, &accSc)
 			ksp.End()
 			res.BlocksProcessed++
 			res.VectorsProcessed += hi - lo

@@ -398,3 +398,47 @@ func TestCancellation(t *testing.T) {
 		t.Fatalf("cancellation not reported: %v", err)
 	}
 }
+
+// TestMapWorkersCodebookBitIdentical: MapWorkers parallelism lives inside
+// som.BatchAccumulateWorkers, which is bit-identical to the serial kernel,
+// so with a deterministic task→rank assignment the trained codebook must
+// match a serial run EXACTLY — no tolerance.
+func TestMapWorkersCodebookBitIdentical(t *testing.T) {
+	path := writeVectors(t, 31, 240, 5)
+	grid, _ := som.NewGrid(9, 6)
+	train := func(workers int) []float64 {
+		var mu sync.Mutex
+		var weights []float64
+		err := mpi.Run(4, func(c *mpi.Comm) error {
+			res, err := Train(c, path, Config{
+				Grid:       grid,
+				Epochs:     5,
+				BlockSize:  17,
+				MapStyle:   mrmpi.MapStyleChunk,
+				MapWorkers: workers,
+				Seed:       9,
+			})
+			if err != nil {
+				return err
+			}
+			if c.Rank() == 0 {
+				mu.Lock()
+				weights = res.Codebook.Weights
+				mu.Unlock()
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return weights
+	}
+	serial := train(1)
+	pooled := train(4)
+	for i := range serial {
+		if serial[i] != pooled[i] {
+			t.Fatalf("weight %d differs under MapWorkers=4: %g != %g",
+				i, pooled[i], serial[i])
+		}
+	}
+}

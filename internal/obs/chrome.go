@@ -8,10 +8,16 @@ import (
 )
 
 // Chrome trace_event JSON: the interchange format of Perfetto and
-// chrome://tracing. Each rank is one "thread" (tid) of a single process, so
-// the UI shows one track per rank with nested spans. Only the subset this
-// package emits — B/E/I duration events plus M metadata naming the tracks —
-// is read back by ReadTrace.
+// chrome://tracing. Each (rank, track) pair is one "thread" (tid) of a
+// single process — tid = track·1000 + rank, so plain rank tracks keep their
+// historical tid and intra-rank worker tracks sort after all ranks. The UI
+// shows one lane per track with nested spans. Only the subset this package
+// emits — B/E/I duration events plus M metadata naming the tracks — is read
+// back by ReadTrace.
+
+// chromeTrackStride is the tid stride between tracks: tid = track·stride +
+// rank. Bounds the supported world size, far above any run here.
+const chromeTrackStride = 1000
 
 // chromeEvent is the wire form of one trace_event record. TS is in
 // microseconds per the format spec.
@@ -45,13 +51,26 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 			Args: map[string]any{"name": fmt.Sprintf("rank %d", r)},
 		})
 	}
+	// Worker tracks exist only where the stream used them; name each one.
+	workerTIDs := map[int]bool{}
+	for _, ev := range events {
+		if ev.Track > 0 {
+			workerTIDs[ev.Track*chromeTrackStride+ev.Rank] = true
+		}
+	}
+	for _, tid := range sortedKeys(workerTIDs) {
+		file.TraceEvents = append(file.TraceEvents, chromeEvent{
+			Name: "thread_name", Ph: "M", TID: tid,
+			Args: map[string]any{"name": fmt.Sprintf("rank %d worker %d", tid%chromeTrackStride, tid/chromeTrackStride-1)},
+		})
+	}
 	for _, ev := range events {
 		ce := chromeEvent{
 			Name: ev.Name,
 			Cat:  ev.Cat,
 			Ph:   string(ev.Type),
 			TS:   float64(ev.TS) / 1e3,
-			TID:  ev.Rank,
+			TID:  ev.Track*chromeTrackStride + ev.Rank,
 		}
 		if len(ev.Args) > 0 {
 			ce.Args = make(map[string]any, len(ev.Args))
@@ -99,7 +118,9 @@ func ReadTraceMeta(r io.Reader) ([]Event, TraceMeta, error) {
 	for i, ce := range file.TraceEvents {
 		switch ce.Ph {
 		case "M":
-			if ce.Name == "thread_name" && ce.TID+1 > meta.NumRanks {
+			// Only plain rank tracks (track 0) count toward the world size;
+			// worker-track names live at tid ≥ stride.
+			if ce.Name == "thread_name" && ce.TID < chromeTrackStride && ce.TID+1 > meta.NumRanks {
 				meta.NumRanks = ce.TID + 1
 			}
 			continue
@@ -108,11 +129,12 @@ func ReadTraceMeta(r io.Reader) ([]Event, TraceMeta, error) {
 			return nil, meta, fmt.Errorf("obs: event %d has unsupported phase %q", i, ce.Ph)
 		}
 		ev := Event{
-			Type: EventType(ce.Ph[0]),
-			Rank: ce.TID,
-			Cat:  ce.Cat,
-			Name: ce.Name,
-			TS:   int64(ce.TS * 1e3),
+			Type:  EventType(ce.Ph[0]),
+			Rank:  ce.TID % chromeTrackStride,
+			Track: ce.TID / chromeTrackStride,
+			Cat:   ce.Cat,
+			Name:  ce.Name,
+			TS:    int64(ce.TS * 1e3),
 		}
 		if len(ce.Args) > 0 {
 			keys := make([]string, 0, len(ce.Args))
@@ -169,14 +191,35 @@ func ValidateInstants(events []Event, numRanks int) error {
 	return nil
 }
 
+// trackLabel names a (rank, track) pair for diagnostics.
+func trackLabel(rank, track int) string {
+	if track == 0 {
+		return fmt.Sprintf("rank %d", rank)
+	}
+	return fmt.Sprintf("rank %d worker %d", rank, track-1)
+}
+
+// sortedKeys returns a map's integer keys in ascending order.
+func sortedKeys(m map[int]bool) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
 // Validate checks the structural invariants of a trace event stream:
-// every End matches the innermost open Begin of its rank (same category and
-// name), no End arrives with no span open, every Begin is eventually Ended,
-// and each rank's timestamps are monotonically non-decreasing. cmd/traceview
-// -check runs this against a trace file; the golden-file test runs it
-// against a live 4-rank job.
+// every End matches the innermost open Begin of its (rank, track) pair
+// (same category and name), no End arrives with no span open, every Begin
+// is eventually Ended, and each rank's timestamps are monotonically
+// non-decreasing (all tracks of a rank share one clock and one buffer).
+// cmd/traceview -check runs this against a trace file; the golden-file test
+// runs it against a live 4-rank job. Spans nest per track, which is how
+// concurrent intra-rank map-task workers stay LIFO-checkable.
 func Validate(events []Event) error {
-	stacks := map[int][]Event{}
+	type key struct{ rank, track int }
+	stacks := map[key][]Event{}
 	lastTS := map[int]int64{}
 	seen := map[int]bool{}
 	for i, ev := range events {
@@ -186,36 +229,42 @@ func Validate(events []Event) error {
 		}
 		seen[ev.Rank] = true
 		lastTS[ev.Rank] = ev.TS
+		k := key{ev.Rank, ev.Track}
 		switch ev.Type {
 		case BeginEvent:
-			stacks[ev.Rank] = append(stacks[ev.Rank], ev)
+			stacks[k] = append(stacks[k], ev)
 		case EndEvent:
-			st := stacks[ev.Rank]
+			st := stacks[k]
 			if len(st) == 0 {
-				return fmt.Errorf("obs: event %d: rank %d ends %s:%s with no span open",
-					i, ev.Rank, ev.Cat, ev.Name)
+				return fmt.Errorf("obs: event %d: %s ends %s:%s with no span open",
+					i, trackLabel(ev.Rank, ev.Track), ev.Cat, ev.Name)
 			}
 			top := st[len(st)-1]
 			if top.Cat != ev.Cat || top.Name != ev.Name {
-				return fmt.Errorf("obs: event %d: rank %d ends %s:%s but innermost open span is %s:%s",
-					i, ev.Rank, ev.Cat, ev.Name, top.Cat, top.Name)
+				return fmt.Errorf("obs: event %d: %s ends %s:%s but innermost open span is %s:%s",
+					i, trackLabel(ev.Rank, ev.Track), ev.Cat, ev.Name, top.Cat, top.Name)
 			}
-			stacks[ev.Rank] = st[:len(st)-1]
+			stacks[k] = st[:len(st)-1]
 		case InstantEvent:
 		default:
 			return fmt.Errorf("obs: event %d: unknown event type %q", i, ev.Type)
 		}
 	}
-	ranks := make([]int, 0, len(stacks))
-	for r := range stacks {
-		ranks = append(ranks, r)
+	keys := make([]key, 0, len(stacks))
+	for k := range stacks {
+		keys = append(keys, k)
 	}
-	sort.Ints(ranks)
-	for _, r := range ranks {
-		if st := stacks[r]; len(st) > 0 {
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].rank != keys[j].rank {
+			return keys[i].rank < keys[j].rank
+		}
+		return keys[i].track < keys[j].track
+	})
+	for _, k := range keys {
+		if st := stacks[k]; len(st) > 0 {
 			top := st[len(st)-1]
-			return fmt.Errorf("obs: rank %d has %d span(s) begun but never ended (innermost %s:%s)",
-				r, len(st), top.Cat, top.Name)
+			return fmt.Errorf("obs: %s has %d span(s) begun but never ended (innermost %s:%s)",
+				trackLabel(k.rank, k.track), len(st), top.Cat, top.Name)
 		}
 	}
 	return nil

@@ -49,14 +49,17 @@ type Arg struct {
 
 // Event is one trace record. TS is nanoseconds since the tracer's start on
 // the tracer's single monotonic clock, so events from different ranks are
-// directly comparable.
+// directly comparable. Track distinguishes concurrent span stacks within a
+// rank: 0 is the rank's own goroutine, track w+1 is intra-rank map-task
+// worker w (see RankTracer.Worker).
 type Event struct {
-	Type EventType
-	Rank int
-	Cat  string
-	Name string
-	TS   int64
-	Args []Arg
+	Type  EventType
+	Rank  int
+	Track int
+	Cat   string
+	Name  string
+	TS    int64
+	Args  []Arg
 }
 
 // Tracer collects span events from all ranks of one run. Create one per
@@ -83,7 +86,7 @@ func (t *Tracer) Rank(r int) *RankTracer {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	for len(t.ranks) <= r {
-		t.ranks = append(t.ranks, &RankTracer{t: t, rank: len(t.ranks)})
+		t.ranks = append(t.ranks, &RankTracer{st: &rankState{t: t, rank: len(t.ranks)}})
 	}
 	return t.ranks[r]
 }
@@ -100,9 +103,9 @@ func (t *Tracer) Events() []Event {
 	t.mu.Unlock()
 	var all []Event
 	for _, rt := range ranks {
-		rt.mu.Lock()
-		all = append(all, rt.events...)
-		rt.mu.Unlock()
+		rt.st.mu.Lock()
+		all = append(all, rt.st.events...)
+		rt.st.mu.Unlock()
 	}
 	// Within a rank timestamps are non-decreasing, so a stable sort by TS
 	// keeps every rank's own order intact.
@@ -120,22 +123,44 @@ func (t *Tracer) NumRanks() int {
 	return len(t.ranks)
 }
 
-// RankTracer is one rank's event buffer. All methods are safe for
-// concurrent use (map tasks on a rank may run concurrently) and safe on a
-// nil receiver.
+// RankTracer is a handle onto one track of one rank's event buffer. All
+// methods are safe for concurrent use (map tasks on a rank may run
+// concurrently) and safe on a nil receiver. The handle Tracer.Rank returns
+// records on track 0 (the rank's own goroutine); Worker derives handles for
+// intra-rank worker tracks that share the same buffer, id space, and clock.
 type RankTracer struct {
+	st    *rankState
+	track int
+}
+
+// rankState is the buffer shared by every track handle of one rank.
+type rankState struct {
 	t      *Tracer
 	rank   int
 	mu     sync.Mutex
 	events []Event
-	open   []openSpan // in-flight spans, innermost last
+	open   []openSpan // in-flight spans, per track innermost last
 	nextID uint64
+}
+
+// Worker returns a derived handle that records onto this rank's worker
+// track w (w ≥ 0): events share the rank's buffer, span-id space, and clock
+// but carry Track w+1, so the spans of concurrent intra-rank map-task
+// workers nest within their own track instead of interleaving — and
+// breaking LIFO validation — on the rank track. Calling Worker on a nil
+// handle (tracing disabled) or with negative w returns the receiver.
+func (rt *RankTracer) Worker(w int) *RankTracer {
+	if rt == nil || w < 0 {
+		return rt
+	}
+	return &RankTracer{st: rt.st, track: w + 1}
 }
 
 // openSpan tracks one in-flight Begin for End matching and for the MPI
 // deadlock watchdog's in-flight report.
 type openSpan struct {
 	id        uint64
+	track     int
 	cat, name string
 	since     int64
 }
@@ -147,7 +172,7 @@ type Span struct {
 	id uint64
 }
 
-func (rt *RankTracer) now() int64 { return int64(time.Since(rt.t.start)) }
+func (st *rankState) now() int64 { return int64(time.Since(st.t.start)) }
 
 // Begin opens a span. Callers on hot paths should guard with a nil check
 // before building args, so the disabled path allocates nothing.
@@ -155,13 +180,14 @@ func (rt *RankTracer) Begin(cat, name string, args ...Arg) Span {
 	if rt == nil {
 		return Span{}
 	}
-	rt.mu.Lock()
-	ts := rt.now()
-	rt.nextID++
-	id := rt.nextID
-	rt.events = append(rt.events, Event{Type: BeginEvent, Rank: rt.rank, Cat: cat, Name: name, TS: ts, Args: args})
-	rt.open = append(rt.open, openSpan{id: id, cat: cat, name: name, since: ts})
-	rt.mu.Unlock()
+	st := rt.st
+	st.mu.Lock()
+	ts := st.now()
+	st.nextID++
+	id := st.nextID
+	st.events = append(st.events, Event{Type: BeginEvent, Rank: st.rank, Track: rt.track, Cat: cat, Name: name, TS: ts, Args: args})
+	st.open = append(st.open, openSpan{id: id, track: rt.track, cat: cat, name: name, since: ts})
+	st.mu.Unlock()
 	return Span{rt: rt, id: id}
 }
 
@@ -178,36 +204,42 @@ func (s Span) End(args ...Arg) {
 	if rt == nil {
 		return
 	}
-	rt.mu.Lock()
-	for i := len(rt.open) - 1; i >= 0; i-- {
-		if rt.open[i].id != s.id {
+	st := rt.st
+	st.mu.Lock()
+	for i := len(st.open) - 1; i >= 0; i-- {
+		if st.open[i].id != s.id {
 			continue
 		}
-		ev := Event{Type: EndEvent, Rank: rt.rank, Cat: rt.open[i].cat, Name: rt.open[i].name, TS: rt.now(), Args: args}
-		rt.open = append(rt.open[:i], rt.open[i+1:]...)
-		rt.events = append(rt.events, ev)
+		ev := Event{Type: EndEvent, Rank: st.rank, Track: st.open[i].track, Cat: st.open[i].cat, Name: st.open[i].name, TS: st.now(), Args: args}
+		st.open = append(st.open[:i], st.open[i+1:]...)
+		st.events = append(st.events, ev)
 		break
 	}
-	rt.mu.Unlock()
+	st.mu.Unlock()
 }
 
-// CurrentSpanID returns the id of this rank's innermost open span, or 0
+// CurrentSpanID returns the id of this track's innermost open span, or 0
 // when no span is open (or on a nil receiver — the disabled fast path).
-// Span ids are per-rank ordinals: the k-th Begin on a rank gets id k, so a
-// consumer replaying a rank's Begin events in order recovers the id→span
-// mapping with no schema change. The MPI runtime piggybacks this id on
-// outgoing messages so the causal stitcher (internal/obs/causal) can name
-// the exact sender span that released a blocked receiver.
+// Span ids are per-rank ordinals shared by all tracks: the k-th Begin on a
+// rank gets id k, so a consumer replaying a rank's Begin events in order
+// recovers the id→span mapping with no schema change. The MPI runtime
+// piggybacks this id on outgoing messages so the causal stitcher
+// (internal/obs/causal) can name the exact sender span that released a
+// blocked receiver; comm happens only on the rank goroutine (track 0), so
+// worker spans never leak into piggybacked ids.
 func (rt *RankTracer) CurrentSpanID() uint64 {
 	if rt == nil {
 		return 0
 	}
-	rt.mu.Lock()
-	defer rt.mu.Unlock()
-	if len(rt.open) == 0 {
-		return 0
+	st := rt.st
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for i := len(st.open) - 1; i >= 0; i-- {
+		if st.open[i].track == rt.track {
+			return st.open[i].id
+		}
 	}
-	return rt.open[len(rt.open)-1].id
+	return 0
 }
 
 // Instant records a point event.
@@ -215,26 +247,31 @@ func (rt *RankTracer) Instant(cat, name string, args ...Arg) {
 	if rt == nil {
 		return
 	}
-	rt.mu.Lock()
-	rt.events = append(rt.events, Event{Type: InstantEvent, Rank: rt.rank, Cat: cat, Name: name, TS: rt.now(), Args: args})
-	rt.mu.Unlock()
+	st := rt.st
+	st.mu.Lock()
+	st.events = append(st.events, Event{Type: InstantEvent, Rank: st.rank, Track: rt.track, Cat: cat, Name: name, TS: st.now(), Args: args})
+	st.mu.Unlock()
 }
 
-// InFlight describes this rank's innermost open span ("mpi:Recv, open
+// InFlight describes this track's innermost open span ("mpi:Recv, open
 // 1.2s") or "idle". The MPI deadlock watchdog includes it per rank in
 // timeout diagnostics, naming what each rank was blocked inside.
 func (rt *RankTracer) InFlight() string {
 	if rt == nil {
 		return ""
 	}
-	rt.mu.Lock()
-	defer rt.mu.Unlock()
-	if len(rt.open) == 0 {
-		return "idle"
+	st := rt.st
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for i := len(st.open) - 1; i >= 0; i-- {
+		if st.open[i].track != rt.track {
+			continue
+		}
+		sp := st.open[i]
+		age := time.Duration(st.now() - sp.since).Round(time.Millisecond)
+		return fmt.Sprintf("in %s:%s, open %v", sp.cat, sp.name, age)
 	}
-	sp := rt.open[len(rt.open)-1]
-	age := time.Duration(rt.now() - sp.since).Round(time.Millisecond)
-	return fmt.Sprintf("in %s:%s, open %v", sp.cat, sp.name, age)
+	return "idle"
 }
 
 // stableSortByTS orders a concatenation of already-sorted per-rank runs by

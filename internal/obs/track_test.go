@@ -1,0 +1,147 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestWorkerTracksNestIndependently is the invariant the Track field
+// exists for: concurrent map-task workers on one rank open and close
+// differently-named inner spans in interleaved order, which would break
+// LIFO validation on a single per-rank stack, but validates cleanly when
+// spans nest per track.
+func TestWorkerTracksNestIndependently(t *testing.T) {
+	tr := NewTracer()
+	rt := tr.Rank(0)
+
+	// Deterministic interleave: worker 0 opens, worker 1 opens, worker 0
+	// closes its inner span, worker 1 closes its (differently named) one.
+	w0 := rt.Worker(0)
+	w1 := rt.Worker(1)
+	t0 := w0.Begin("map", "map.task")
+	i0 := w0.Begin("blast", "engine.search")
+	t1 := w1.Begin("map", "map.task")
+	i1 := w1.Begin("som", "som.kernel")
+	i0.End()
+	i1.End()
+	t0.End()
+	t1.End()
+
+	if err := Validate(tr.Events()); err != nil {
+		t.Fatalf("interleaved worker spans failed validation: %v", err)
+	}
+}
+
+func TestWorkerTrackSpanIDsAndInFlight(t *testing.T) {
+	tr := NewTracer()
+	rt := tr.Rank(2)
+	w := rt.Worker(3)
+
+	sp := rt.Begin("mpi", "Recv")
+	wsp := w.Begin("map", "map.task")
+	// Each handle sees only its own track's innermost span.
+	if rt.InFlight() != w.InFlight() && rt.CurrentSpanID() == w.CurrentSpanID() {
+		t.Fatal("rank and worker tracks share span ids but report different spans")
+	}
+	if got := rt.InFlight(); !strings.Contains(got, "mpi:Recv") {
+		t.Fatalf("rank track InFlight = %q, want mpi:Recv", got)
+	}
+	if got := w.InFlight(); !strings.Contains(got, "map:map.task") {
+		t.Fatalf("worker track InFlight = %q, want map:map.task", got)
+	}
+	if rt.CurrentSpanID() == 0 || w.CurrentSpanID() == 0 || rt.CurrentSpanID() == w.CurrentSpanID() {
+		t.Fatalf("span ids: rank %d worker %d", rt.CurrentSpanID(), w.CurrentSpanID())
+	}
+	wsp.End()
+	if got := w.InFlight(); got != "idle" {
+		t.Fatalf("worker track after End = %q, want idle", got)
+	}
+	if rt.CurrentSpanID() == 0 {
+		t.Fatal("rank track span closed by worker End")
+	}
+	sp.End()
+
+	// Nil-safety of the derived handle.
+	var nilRT *RankTracer
+	if h := nilRT.Worker(1); h != nil {
+		t.Fatal("Worker on nil handle must stay nil")
+	}
+	if h := rt.Worker(-1); h != rt {
+		t.Fatal("negative worker index must return the receiver")
+	}
+}
+
+// TestWorkerTrackChromeRoundTrip checks the tid encoding: worker events get
+// tid = track·1000 + rank with their own thread_name records, rank-track
+// events keep tid = rank, and ReadTraceMeta recovers rank, track, and the
+// world size (counting only rank tracks).
+func TestWorkerTrackChromeRoundTrip(t *testing.T) {
+	tr := NewTracer()
+	for r := 0; r < 2; r++ {
+		rt := tr.Rank(r)
+		sp := rt.Begin("mpi", "run")
+		w := rt.Worker(1)
+		ws := w.Begin("map", "map.task", Arg{Key: "worker", Val: 1})
+		ws.End()
+		sp.End()
+	}
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `"rank 1 worker 1"`) {
+		t.Fatalf("trace lacks worker thread_name: %s", out)
+	}
+	events, meta, err := ReadTraceMeta(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.NumRanks != 2 {
+		t.Fatalf("NumRanks = %d, want 2 (worker tracks must not count)", meta.NumRanks)
+	}
+	var workerEvents int
+	for _, ev := range events {
+		if ev.Track == 2 && ev.Name == "map.task" {
+			workerEvents++
+			if ev.Rank != 0 && ev.Rank != 1 {
+				t.Fatalf("worker event decoded rank %d", ev.Rank)
+			}
+		}
+	}
+	if workerEvents != 4 {
+		t.Fatalf("decoded %d worker-track map.task events, want 4", workerEvents)
+	}
+	if err := Validate(events); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWorkerTracksConcurrent exercises the shared rank buffer from many
+// goroutines; run under -race this is the data-race gate for the Worker
+// path.
+func TestWorkerTracksConcurrent(t *testing.T) {
+	tr := NewTracer()
+	rt := tr.Rank(0)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h := rt.Worker(w)
+			for i := 0; i < 50; i++ {
+				sp := h.Begin("map", "map.task", Arg{Key: "worker", Val: w})
+				inner := h.Begin("blast", "engine.search")
+				inner.End()
+				sp.End()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := Validate(tr.Events()); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -117,11 +117,88 @@ func suite(dir string) ([]workload, error) {
 	if err != nil {
 		return nil, err
 	}
+	scanRun, err := engineScanWorkload()
+	if err != nil {
+		return nil, err
+	}
 	return []workload{
 		{name: "blast-master", run: blastRun(mrmpi.MapStyleMaster, false)},
 		{name: "blast-locality", run: blastRun(mrmpi.MapStyleMaster, true)},
 		{name: "som-batch", run: somWorkload(dir)},
 		{name: "mrmpi-shuffle", run: shuffleWorkload()},
+		{name: "engine-scan", run: scanRun},
+	}, nil
+}
+
+// engineScanWorkload times the serial BLAST scan kernel directly — no MPI,
+// no MapReduce: one query block searched repeatedly against a deterministic
+// set of pre-encoded subjects. It isolates the per-residue cost (word
+// lookup, two-hit bookkeeping, extensions) that dominates blast-master's
+// engine.search spans, so kernel-level regressions show up undiluted by
+// scheduling and shuffle time.
+func engineScanWorkload() (func(mpi.RunOptions) error, error) {
+	g := bio.NewGenerator(bio.SynthParams{Seed: 7005})
+	set := g.GenerateGenomeSet(bio.GenomeSetParams{
+		NTaxa: 4, MinLen: 8000, MaxLen: 12000,
+		StrainsPerGenome: 1, StrainIdentity: 0.95,
+	})
+	var strains []*bio.Sequence
+	for _, ss := range set.Strains {
+		strains = append(strains, ss...)
+	}
+	frags, err := bio.ShredAll(strains, bio.ShredParams{FragLen: 400, Overlap: 200, MinLen: 150})
+	if err != nil {
+		return nil, err
+	}
+	if len(frags) > 12 {
+		frags = frags[:12]
+	}
+	params := blast.DefaultNucleotideParams()
+	params.EValueCutoff = 1e-5
+	eng, err := blast.NewEngine(frags, params)
+	if err != nil {
+		return nil, err
+	}
+	var subjects []blast.Subject
+	var residues int64
+	for _, s := range set.Genomes {
+		subj := blast.EncodeSubject(s, bio.DNA)
+		subjects = append(subjects, subj)
+		residues += int64(len(subj.Codes))
+	}
+	eng.SetDatabaseDims(residues, int64(len(subjects)))
+	const passes = 10
+	return func(opts mpi.RunOptions) error {
+		// The kernel runs outside mpi.Run, so wire the tracer/registry by
+		// hand: one span per pass on rank 0 and the engine counters folded
+		// into the registry, keeping the entry's analyzer/metrics columns
+		// populated like the MPI-driven workloads.
+		tr := opts.Trace.Rank(0)
+		before := eng.Stats
+		hits := 0
+		for p := 0; p < passes; p++ {
+			sp := tr.Begin("engine", "scan.pass")
+			for _, subj := range subjects {
+				hsps, err := eng.SearchSubject(subj)
+				if err != nil {
+					sp.End()
+					return err
+				}
+				hits += len(hsps)
+			}
+			sp.End()
+		}
+		if reg := opts.Metrics; reg != nil {
+			d := eng.Stats
+			reg.Counter("engine_word_hits_total").Add(d.WordHits - before.WordHits)
+			reg.Counter("engine_ungapped_exts_total").Add(d.UngappedExts - before.UngappedExts)
+			reg.Counter("engine_gapped_exts_total").Add(d.GappedExts - before.GappedExts)
+			reg.Counter("engine_residues_scanned_total").Add(d.ResiduesScanned - before.ResiduesScanned)
+		}
+		if hits == 0 {
+			return fmt.Errorf("perf: engine-scan produced no hits")
+		}
+		return nil
 	}, nil
 }
 

@@ -83,12 +83,39 @@ func (cb *Codebook) InitLinear(data []float64, n int) error {
 // vector is nearest in Euclidean distance (the paper's Eq. 1–2), together
 // with the squared distance. Ties break toward the lowest index, which
 // keeps serial and parallel training bit-identical.
+//
+// The distance loop is blocked by four elements with the early-exit test
+// hoisted to block boundaries; partial sums still accumulate one element at
+// a time in index order, so the winning neuron and its distance are
+// bit-identical to the plain per-element scan.
 func (cb *Codebook) BMU(x []float64) (int, float64) {
+	dim := cb.Dim
+	ws := cb.Weights
 	best := 0
-	bestD := distSq(cb.Vector(0), x)
-	for k := 1; k < cb.Grid.Cells(); k++ {
-		if d := distSqBounded(cb.Vector(k), x, bestD); d < bestD {
-			best, bestD = k, d
+	bestD := distSq(ws[:dim], x)
+	for k, off := 1, dim; off < len(ws); k, off = k+1, off+dim {
+		w := ws[off : off+dim : off+dim]
+		s := 0.0
+		i := 0
+		for i+4 <= dim && s < bestD {
+			d0 := w[i] - x[i]
+			s += d0 * d0
+			d1 := w[i+1] - x[i+1]
+			s += d1 * d1
+			d2 := w[i+2] - x[i+2]
+			s += d2 * d2
+			d3 := w[i+3] - x[i+3]
+			s += d3 * d3
+			i += 4
+		}
+		if s < bestD {
+			for ; i < dim; i++ {
+				d := w[i] - x[i]
+				s += d * d
+			}
+			if s < bestD {
+				best, bestD = k, s
+			}
 		}
 	}
 	return best, bestD

@@ -4,7 +4,10 @@
 // vector file format the parallel driver (internal/mrsom) reads by offset.
 package som
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // Topology selects the neuron lattice arrangement.
 type Topology int
@@ -85,6 +88,42 @@ func (g Grid) Dist2(a, b int) float64 {
 	bx, by := g.Position(b)
 	dx, dy := ax-bx, ay-by
 	return dx*dx + dy*dy
+}
+
+// neighborBox returns the inclusive lattice-coordinate bounds
+// [x0,x1]×[y0,y1] of every cell that can lie within map-space distance
+// cutoff of neuron b, clamped to the grid. The box is a superset of the
+// neighborhood: callers still apply the exact d² ≤ cutoff² test with
+// arithmetic identical to Dist2, so the pruning never changes which cells
+// contribute — it only skips cells that would fail that test anyway.
+func (g Grid) neighborBox(b int, cutoff float64) (x0, y0, x1, y1 int) {
+	if g.Topo == Hex {
+		bpx, bpy := g.Position(b)
+		y0 = int(math.Floor((bpy - cutoff) / hexRowSpacing))
+		y1 = int(math.Ceil((bpy + cutoff) / hexRowSpacing))
+		// Odd rows sit half a cell to the right, so widen x by a full cell
+		// on each side to cover both parities.
+		x0 = int(math.Floor(bpx-cutoff)) - 1
+		x1 = int(math.Ceil(bpx+cutoff)) + 1
+	} else {
+		bx, by := g.Coords(b)
+		// Integer offsets beyond floor(cutoff) already exceed cutoff.
+		r := int(cutoff)
+		x0, y0, x1, y1 = bx-r, by-r, bx+r, by+r
+	}
+	if x0 < 0 {
+		x0 = 0
+	}
+	if y0 < 0 {
+		y0 = 0
+	}
+	if x1 > g.W-1 {
+		x1 = g.W - 1
+	}
+	if y1 > g.H-1 {
+		y1 = g.H - 1
+	}
+	return
 }
 
 // Diagonal is the length of the map's main diagonal, the paper's reference

@@ -1,0 +1,186 @@
+package som
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// batchAccumulateRef is the pre-optimization accumulation kernel — a full
+// scan of every grid cell per vector — retained as the bit-exactness
+// reference for the box-bounded rewrite.
+func batchAccumulateRef(cb *Codebook, data []float64, n int, sigma float64, kern Kernel, num, den []float64) {
+	cutoff2 := kernelCutoff2(kern, sigma)
+	for v := 0; v < n; v++ {
+		x := data[v*cb.Dim : (v+1)*cb.Dim]
+		bmu, _ := cb.BMU(x)
+		for k := 0; k < cb.Grid.Cells(); k++ {
+			d2 := cb.Grid.Dist2(bmu, k)
+			if d2 > cutoff2 {
+				continue
+			}
+			h := kern.Eval(d2, sigma)
+			if h == 0 {
+				continue
+			}
+			nk := num[k*cb.Dim : (k+1)*cb.Dim]
+			for d := range nk {
+				nk[d] += h * x[d]
+			}
+			den[k] += h
+		}
+	}
+}
+
+// bmuRef is the plain per-element early-exit BMU scan the blocked rewrite
+// replaced.
+func bmuRef(cb *Codebook, x []float64) (int, float64) {
+	best := 0
+	bestD := distSq(cb.Vector(0), x)
+	for k := 1; k < cb.Grid.Cells(); k++ {
+		if d := distSqBounded(cb.Vector(k), x, bestD); d < bestD {
+			best, bestD = k, d
+		}
+	}
+	return best, bestD
+}
+
+func kernelFixture(t testing.TB, topo Topology, w, h, dim, n int, seed int64) (*Codebook, []float64) {
+	t.Helper()
+	g, err := NewGridTopo(w, h, topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, err := NewCodebook(g, dim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb.InitRandom(seed)
+	rng := rand.New(rand.NewSource(seed + 1))
+	data := make([]float64, n*dim)
+	for i := range data {
+		data[i] = rng.Float64()
+	}
+	return cb, data
+}
+
+func TestBMUMatchesReference(t *testing.T) {
+	for _, dim := range []int{1, 2, 3, 4, 5, 7, 8, 16, 19} {
+		cb, data := kernelFixture(t, Rect, 9, 7, dim, 64, int64(100+dim))
+		// Duplicate a weight vector to exercise the low-index tie break.
+		copy(cb.Vector(40), cb.Vector(7))
+		for v := 0; v < 64; v++ {
+			x := data[v*dim : (v+1)*dim]
+			wantK, wantD := bmuRef(cb, x)
+			gotK, gotD := cb.BMU(x)
+			if gotK != wantK || gotD != wantD {
+				t.Fatalf("dim %d vec %d: BMU = (%d, %v), reference (%d, %v)",
+					dim, v, gotK, gotD, wantK, wantD)
+			}
+		}
+	}
+}
+
+// TestBatchAccumulateKernelBitIdentical checks the box-bounded kernel
+// against the full-grid reference bit for bit, across topologies, kernels,
+// and radii from grid-spanning down to sub-cell.
+func TestBatchAccumulateKernelBitIdentical(t *testing.T) {
+	for _, topo := range []Topology{Rect, Hex} {
+		for _, kern := range []Kernel{Gaussian, Bubble} {
+			for _, sigma := range []float64{0.4, 1, 2.5, 7, 20} {
+				cb, data := kernelFixture(t, topo, 11, 8, 5, 40, 42)
+				cells := cb.Grid.Cells()
+				num := make([]float64, cells*cb.Dim)
+				den := make([]float64, cells)
+				refNum := make([]float64, cells*cb.Dim)
+				refDen := make([]float64, cells)
+				BatchAccumulateKernel(cb, data, 40, sigma, kern, num, den)
+				batchAccumulateRef(cb, data, 40, sigma, kern, refNum, refDen)
+				for i := range num {
+					if num[i] != refNum[i] {
+						t.Fatalf("%v/%v σ=%g: num[%d] = %v, reference %v",
+							topo, kern, sigma, i, num[i], refNum[i])
+					}
+				}
+				for i := range den {
+					if den[i] != refDen[i] {
+						t.Fatalf("%v/%v σ=%g: den[%d] = %v, reference %v",
+							topo, kern, sigma, i, den[i], refDen[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBatchAccumulateWorkersBitIdentical checks that the parallel
+// accumulation matches the serial kernel bit for bit at several worker
+// counts, including counts exceeding the row count.
+func TestBatchAccumulateWorkersBitIdentical(t *testing.T) {
+	for _, topo := range []Topology{Rect, Hex} {
+		for _, workers := range []int{1, 2, 3, 5, 16} {
+			cb, data := kernelFixture(t, topo, 10, 6, 4, 50, 77)
+			cells := cb.Grid.Cells()
+			num := make([]float64, cells*cb.Dim)
+			den := make([]float64, cells)
+			refNum := make([]float64, cells*cb.Dim)
+			refDen := make([]float64, cells)
+			sc := new(AccumScratch)
+			BatchAccumulateWorkers(cb, data, 50, 2.5, Gaussian, num, den, workers, sc)
+			BatchAccumulateKernel(cb, data, 50, 2.5, Gaussian, refNum, refDen)
+			for i := range num {
+				if num[i] != refNum[i] {
+					t.Fatalf("%v workers=%d: num[%d] = %v, serial %v",
+						topo, workers, i, num[i], refNum[i])
+				}
+			}
+			for i := range den {
+				if den[i] != refDen[i] {
+					t.Fatalf("%v workers=%d: den[%d] = %v, serial %v",
+						topo, workers, i, den[i], refDen[i])
+				}
+			}
+			// Scratch reuse across epochs must stay correct.
+			BatchAccumulateWorkers(cb, data, 50, 1.2, Gaussian, num, den, workers, sc)
+		}
+	}
+}
+
+// BenchmarkBatchAccumulateKernel is the CI-gated allocation benchmark: the
+// serial accumulation kernel must not allocate at all.
+func BenchmarkBatchAccumulateKernel(b *testing.B) {
+	cb, data := kernelFixture(b, Rect, 32, 32, 16, 64, 5)
+	cells := cb.Grid.Cells()
+	num := make([]float64, cells*cb.Dim)
+	den := make([]float64, cells)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BatchAccumulateKernel(cb, data, 64, 4, Gaussian, num, den)
+	}
+}
+
+// BenchmarkBatchAccumulateWorkers measures the intra-rank parallel variant
+// at 4 workers on the same fixture.
+func BenchmarkBatchAccumulateWorkers(b *testing.B) {
+	cb, data := kernelFixture(b, Rect, 32, 32, 16, 64, 5)
+	cells := cb.Grid.Cells()
+	num := make([]float64, cells*cb.Dim)
+	den := make([]float64, cells)
+	sc := new(AccumScratch)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BatchAccumulateWorkers(cb, data, 64, 4, Gaussian, num, den, 4, sc)
+	}
+}
+
+// BenchmarkBMU isolates the blocked best-matching-unit search.
+func BenchmarkBMU(b *testing.B) {
+	cb, data := kernelFixture(b, Rect, 32, 32, 16, 64, 5)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x := data[(i%64)*cb.Dim:]
+		cb.BMU(x[:cb.Dim])
+	}
+}

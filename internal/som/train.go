@@ -94,13 +94,20 @@ func (p TrainParams) Radius(epoch, epochs int) float64 {
 // kernel is negligible and skipped (exp(-9) < 2e-4).
 func neighborhoodCutoff(sigma float64) float64 { return 3 * sigma }
 
+// kernelCutoff is the map-space distance beyond which kernel k contributes
+// nothing worth accumulating (σ for Bubble, 3σ for Gaussian); it bounds the
+// lattice box the accumulation kernel iterates.
+func kernelCutoff(k Kernel, sigma float64) float64 {
+	if k == Bubble {
+		return sigma
+	}
+	return neighborhoodCutoff(sigma)
+}
+
 // kernelCutoff2 is the squared distance beyond which a kernel contributes
 // nothing worth accumulating.
 func kernelCutoff2(k Kernel, sigma float64) float64 {
-	if k == Bubble {
-		return sigma * sigma
-	}
-	c := neighborhoodCutoff(sigma)
+	c := kernelCutoff(k, sigma)
 	return c * c
 }
 
@@ -168,14 +175,59 @@ func BatchAccumulate(cb *Codebook, data []float64, n int, sigma float64, num, de
 }
 
 // BatchAccumulateKernel is BatchAccumulate with an explicit neighborhood
-// kernel.
+// kernel. It visits only the BMU's neighborhood bounding box per vector
+// (instead of the full grid) and allocates nothing; results are
+// bit-identical to the full-grid loop (see accumulateRows).
 func BatchAccumulateKernel(cb *Codebook, data []float64, n int, sigma float64, kern Kernel, num, den []float64) {
-	cutoff2 := kernelCutoff2(kern, sigma)
+	cutoff := kernelCutoff(kern, sigma)
+	cutoff2 := cutoff * cutoff
 	for v := 0; v < n; v++ {
 		x := data[v*cb.Dim : (v+1)*cb.Dim]
 		bmu, _ := cb.BMU(x)
-		for k := 0; k < cb.Grid.Cells(); k++ {
-			d2 := cb.Grid.Dist2(bmu, k)
+		accumulateRows(cb, x, bmu, sigma, cutoff, cutoff2, kern, num, den, 0, cb.Grid.H)
+	}
+}
+
+// accumulateRows adds vector x's batch-update contribution for the lattice
+// rows [yLo, yHi), given its precomputed BMU. It iterates only the BMU's
+// neighborhood bounding box in ascending neuron order and applies the exact
+// d² ≤ cutoff² test with arithmetic identical to Grid.Dist2, so the float
+// additions into num and den happen for exactly the same cells, in exactly
+// the same order, as the full-grid loop — results are bit-identical. The
+// row-range restriction is what makes the parallel variant deterministic:
+// workers own disjoint row bands of the same accumulators.
+func accumulateRows(cb *Codebook, x []float64, bmu int, sigma, cutoff, cutoff2 float64, kern Kernel, num, den []float64, yLo, yHi int) {
+	g := cb.Grid
+	x0, y0, x1, y1 := g.neighborBox(bmu, cutoff)
+	if y0 < yLo {
+		y0 = yLo
+	}
+	if y1 >= yHi {
+		y1 = yHi - 1
+	}
+	dim := cb.Dim
+	bpx, bpy := g.Position(bmu)
+	hex := g.Topo == Hex
+	for y := y0; y <= y1; y++ {
+		// Reproduce Grid.Position's bits: py = float64(y)·rowSpacing, px =
+		// float64(cx) (+0.5 on odd hex rows), then the Dist2 subtractions.
+		py := float64(y)
+		rowOff := 0.0
+		if hex {
+			py *= hexRowSpacing
+			if y&1 == 1 {
+				rowOff = 0.5
+			}
+		}
+		dy := py - bpy
+		dy2 := dy * dy
+		if dy2 > cutoff2 {
+			continue
+		}
+		row := y * g.W
+		for cx := x0; cx <= x1; cx++ {
+			dx := float64(cx) + rowOff - bpx
+			d2 := dx*dx + dy2
 			if d2 > cutoff2 {
 				continue
 			}
@@ -183,7 +235,8 @@ func BatchAccumulateKernel(cb *Codebook, data []float64, n int, sigma float64, k
 			if h == 0 {
 				continue
 			}
-			nk := num[k*cb.Dim : (k+1)*cb.Dim]
+			k := row + cx
+			nk := num[k*dim : (k+1)*dim]
 			for d := range nk {
 				nk[d] += h * x[d]
 			}

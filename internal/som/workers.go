@@ -1,0 +1,74 @@
+package som
+
+import "sync"
+
+// AccumScratch holds the reusable buffers of BatchAccumulateWorkers so the
+// per-epoch accumulation allocates nothing in steady state. One scratch per
+// concurrent caller (e.g. per MPI rank).
+type AccumScratch struct {
+	bmus []int32
+}
+
+// BatchAccumulateWorkers is BatchAccumulateKernel parallelized across
+// `workers` goroutines while staying bit-identical to the serial kernel at
+// every worker count:
+//
+//  1. BMUs are computed in parallel over contiguous vector chunks — each
+//     vector's BMU depends only on the epoch-start codebook, so partitioning
+//     cannot change it.
+//  2. Accumulation is parallelized over disjoint lattice row bands. Every
+//     worker scans all vectors in input order and adds only the cells of its
+//     own rows, so each num/den cell receives exactly the serial sequence of
+//     float additions regardless of the worker count.
+//
+// workers ≤ 1 falls through to the serial kernel.
+func BatchAccumulateWorkers(cb *Codebook, data []float64, n int, sigma float64, kern Kernel, num, den []float64, workers int, sc *AccumScratch) {
+	if workers <= 1 || n == 0 {
+		BatchAccumulateKernel(cb, data, n, sigma, kern, num, den)
+		return
+	}
+	if sc == nil {
+		sc = new(AccumScratch)
+	}
+	if cap(sc.bmus) < n {
+		sc.bmus = make([]int32, n)
+	}
+	bmus := sc.bmus[:n]
+	dim := cb.Dim
+
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for lo := 0; lo < n; lo += chunk {
+		hi := min(lo+chunk, n)
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for v := lo; v < hi; v++ {
+				b, _ := cb.BMU(data[v*dim : (v+1)*dim])
+				bmus[v] = int32(b)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+
+	rows := cb.Grid.H
+	bands := workers
+	if bands > rows {
+		bands = rows
+	}
+	per := (rows + bands - 1) / bands
+	cutoff := kernelCutoff(kern, sigma)
+	cutoff2 := cutoff * cutoff
+	for yLo := 0; yLo < rows; yLo += per {
+		yHi := min(yLo+per, rows)
+		wg.Add(1)
+		go func(yLo, yHi int) {
+			defer wg.Done()
+			for v := 0; v < n; v++ {
+				x := data[v*dim : (v+1)*dim]
+				accumulateRows(cb, x, int(bmus[v]), sigma, cutoff, cutoff2, kern, num, den, yLo, yHi)
+			}
+		}(yLo, yHi)
+	}
+	wg.Wait()
+}
